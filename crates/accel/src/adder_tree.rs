@@ -1,0 +1,213 @@
+//! The balanced adder tree baseline (§2.2, Brent & Kung \[4\]).
+//!
+//! `l` multipliers feed a binary reduction tree of `l−1` adders. Each cycle
+//! maps `l` consecutive cells of one matrix row (dense, zeros included)
+//! against the matching vector slice and reduces them; a row of width `n`
+//! takes `⌈n/l⌉` cycles, so the whole SpMV takes `m·n/l + log₂l + 1`
+//! cycles (Table 1: the `log₂l` is the tree's drain latency).
+
+use crate::model::{AccelRun, SpmvAccelerator};
+use gust_sim::{ExecutionReport, MemoryTraffic};
+use gust_sparse::CsrMatrix;
+
+/// A length-`l` balanced adder tree at the paper's 96 MHz clock.
+///
+/// # Example
+///
+/// ```
+/// use gust_accel::{AdderTree, SpmvAccelerator};
+/// use gust_sparse::CsrMatrix;
+///
+/// let a = CsrMatrix::identity(4);
+/// let run = AdderTree::new(4).execute(&a, &[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(run.output, vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(run.report.cycles, 4 * 4 / 4 + 2 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdderTree {
+    length: usize,
+    frequency_hz: f64,
+}
+
+impl AdderTree {
+    /// Creates a tree with `l` multiplier leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length < 2` (a tree needs at least one adder).
+    #[must_use]
+    pub fn new(length: usize) -> Self {
+        assert!(length >= 2, "adder tree needs at least two leaves");
+        Self {
+            length,
+            frequency_hz: 96.0e6,
+        }
+    }
+
+    /// Overrides the clock frequency.
+    #[must_use]
+    pub fn with_frequency(mut self, frequency_hz: f64) -> Self {
+        assert!(
+            frequency_hz.is_finite() && frequency_hz > 0.0,
+            "frequency must be positive and finite"
+        );
+        self.frequency_hz = frequency_hz;
+        self
+    }
+
+    fn log2_depth(&self) -> u64 {
+        (usize::BITS - (self.length - 1).leading_zeros()) as u64
+    }
+
+    fn base_report(&self, a: &CsrMatrix) -> ExecutionReport {
+        let l = self.length as u64;
+        let (m, n) = (a.rows() as u64, a.cols() as u64);
+        let chunks_per_row = n.div_ceil(l);
+        let cycles = m * chunks_per_row + self.log2_depth() + 1;
+        let nnz = a.nnz() as u64;
+
+        let mut report =
+            ExecutionReport::new(self.name(), self.length, self.arithmetic_units());
+        report.cycles = cycles;
+        report.nnz_processed = nnz;
+        report.busy_unit_cycles = 2 * nnz; // multiply + its reduction
+        report.stall_cycles = 0;
+        report.multiplies = nnz;
+        report.additions = nnz;
+        report.frequency_hz = self.frequency_hz;
+        report.traffic = MemoryTraffic {
+            off_chip_reads: m * n * 2, // dense matrix cell + vector operand
+            off_chip_writes: m,
+            on_chip_reads: 0,
+            on_chip_writes: 0,
+        };
+        report
+    }
+}
+
+impl SpmvAccelerator for AdderTree {
+    fn name(&self) -> String {
+        format!("adder-tree-{}", self.length)
+    }
+
+    fn length(&self) -> usize {
+        self.length
+    }
+
+    fn arithmetic_units(&self) -> usize {
+        // l multipliers + (l − 1) reduction adders.
+        2 * self.length - 1
+    }
+
+    fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    fn execute(&self, a: &CsrMatrix, x: &[f32]) -> AccelRun {
+        assert_eq!(x.len(), a.cols(), "input vector length mismatch");
+        let l = self.length;
+        let mut y = vec![0.0f32; a.rows()];
+
+        // Row by row, l-wide chunks; the tree reduces each chunk pairwise,
+        // which we reproduce so the f32 rounding matches hardware order.
+        for (r, slot) in y.iter_mut().enumerate() {
+            let (cols, vals) = a.row(r);
+            let mut acc = 0.0f32;
+            let mut chunk = vec![0.0f32; l];
+            let mut chunk_base = 0usize;
+            let flush = |chunk: &mut Vec<f32>, acc: &mut f32| {
+                // Pairwise tree reduction.
+                let mut level: Vec<f32> = chunk.clone();
+                while level.len() > 1 {
+                    level = level
+                        .chunks(2)
+                        .map(|p| if p.len() == 2 { p[0] + p[1] } else { p[0] })
+                        .collect();
+                }
+                *acc += level[0];
+                chunk.iter_mut().for_each(|v| *v = 0.0);
+            };
+            for (&c, &v) in cols.iter().zip(vals) {
+                let c = c as usize;
+                while c >= chunk_base + l {
+                    flush(&mut chunk, &mut acc);
+                    chunk_base += l;
+                }
+                chunk[c - chunk_base] = v * x[c];
+            }
+            flush(&mut chunk, &mut acc);
+            *slot = acc;
+        }
+
+        AccelRun {
+            output: y,
+            report: self.base_report(a),
+        }
+    }
+
+    fn report(&self, a: &CsrMatrix) -> ExecutionReport {
+        self.base_report(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gust_sparse::prelude::*;
+
+    #[test]
+    fn cycle_formula_matches_table_1() {
+        let a = CsrMatrix::from(&gen::uniform(64, 64, 100, 1));
+        let r = AdderTree::new(16).report(&a);
+        assert_eq!(r.cycles, 64 * (64 / 16) + 4 + 1);
+    }
+
+    #[test]
+    fn non_power_of_two_width_rounds_chunks_up() {
+        let a = CsrMatrix::from(&gen::uniform(10, 20, 30, 2));
+        let r = AdderTree::new(16).report(&a);
+        // 2 chunks per row, depth ⌈log2 16⌉ = 4.
+        assert_eq!(r.cycles, 10 * 2 + 4 + 1);
+    }
+
+    #[test]
+    fn output_matches_reference() {
+        let a = CsrMatrix::from(&gen::banded(40, 40, 6, 300, 3));
+        let x: Vec<f32> = (0..40).map(|i| 1.0 - (i as f32) * 0.05).collect();
+        let run = AdderTree::new(8).execute(&a, &x);
+        assert_vectors_close(&run.output, &reference_spmv(&a, &x), 1e-4);
+    }
+
+    #[test]
+    fn unit_count_is_2l_minus_1() {
+        assert_eq!(AdderTree::new(256).arithmetic_units(), 511);
+    }
+
+    #[test]
+    fn utilization_tracks_density_like_1d() {
+        let a = CsrMatrix::from(&gen::uniform(512, 512, 2621, 4));
+        let r = AdderTree::new(256).report(&a);
+        assert!((r.utilization() - 0.01).abs() < 0.003, "{}", r.utilization());
+    }
+
+    #[test]
+    fn execute_report_equals_report() {
+        let a = CsrMatrix::from(&gen::uniform(30, 30, 90, 5));
+        let acc = AdderTree::new(8);
+        assert_eq!(acc.execute(&a, &[1.0; 30]).report, acc.report(&a));
+    }
+
+    #[test]
+    fn dense_row_reduces_exactly() {
+        // A fully dense 8-wide row at l = 8 reduces in one chunk.
+        let coo = CooMatrix::from_triplets(
+            1,
+            8,
+            (0..8).map(|c| (0, c, (c + 1) as f32)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let a = CsrMatrix::from(&coo);
+        let run = AdderTree::new(8).execute(&a, &[1.0; 8]);
+        assert_eq!(run.output, vec![36.0]);
+    }
+}

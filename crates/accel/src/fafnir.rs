@@ -1,0 +1,227 @@
+//! The Fafnir baseline (§2.2, Asgari et al. \[1\]): a near-memory reduction
+//! tree over LIL-format columns.
+//!
+//! A length-`l` Fafnir is a binary tree with `l` leaf multipliers; each
+//! internal node at depth `d` owns `l/2^(d+1)` adders (every layer totals
+//! `l/2`), so the tree holds `(l/2)·log₂l` adders — the paper's comparison
+//! point uses `l = 128`: 128 multipliers + 448 adders. Leaves stream matrix
+//! columns (one column segment per leaf, `col mod l`); products carry their
+//! row index upward and nodes reduce matching rows on the fly. Peak
+//! utilization is therefore `4/log₂l` (§2.2), reached only if every leaf
+//! streams every cycle; imbalanced column loads push it far lower.
+
+use crate::model::{AccelRun, SpmvAccelerator};
+use gust_sim::{ExecutionReport, MemoryTraffic};
+use gust_sparse::{CscMatrix, CsrMatrix};
+
+/// A length-`l` Fafnir tree at the paper's 96 MHz clock.
+///
+/// # Example
+///
+/// ```
+/// use gust_accel::{Fafnir, SpmvAccelerator};
+/// use gust_sparse::CsrMatrix;
+///
+/// let a = CsrMatrix::identity(8);
+/// let run = Fafnir::new(8).execute(&a, &[3.0; 8]);
+/// assert_eq!(run.output, vec![3.0; 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fafnir {
+    length: usize,
+    frequency_hz: f64,
+}
+
+impl Fafnir {
+    /// Creates a tree with `l` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length < 2` or `length` is not a power of two (the tree
+    /// is binary and balanced).
+    #[must_use]
+    pub fn new(length: usize) -> Self {
+        assert!(
+            length >= 2 && length.is_power_of_two(),
+            "Fafnir length must be a power of two >= 2"
+        );
+        Self {
+            length,
+            frequency_hz: 96.0e6,
+        }
+    }
+
+    /// Overrides the clock frequency.
+    #[must_use]
+    pub fn with_frequency(mut self, frequency_hz: f64) -> Self {
+        assert!(
+            frequency_hz.is_finite() && frequency_hz > 0.0,
+            "frequency must be positive and finite"
+        );
+        self.frequency_hz = frequency_hz;
+        self
+    }
+
+    fn depth(&self) -> u64 {
+        self.length.trailing_zeros() as u64
+    }
+
+    /// Per-leaf load: leaf `j` streams every column `≡ j (mod l)`.
+    fn leaf_loads(&self, a: &CsrMatrix) -> Vec<u64> {
+        let mut loads = vec![0u64; self.length];
+        let stats = gust_sparse::MatrixStats::from_csr(a);
+        for (col, &nnz) in stats.col_nnz().iter().enumerate() {
+            loads[col % self.length] += nnz as u64;
+        }
+        loads
+    }
+
+    fn base_report(&self, a: &CsrMatrix) -> ExecutionReport {
+        let loads = self.leaf_loads(a);
+        let max_load = loads.iter().copied().max().unwrap_or(0);
+        let cycles = max_load + self.depth() + 1;
+        let nnz = a.nnz() as u64;
+
+        let mut report =
+            ExecutionReport::new(self.name(), self.length, self.arithmetic_units());
+        report.cycles = cycles;
+        report.nnz_processed = nnz;
+        report.busy_unit_cycles = 2 * nnz; // leaf multiply + one reduction
+        report.stall_cycles = loads.iter().map(|&ld| max_load - ld).sum();
+        report.multiplies = nnz;
+        report.additions = nnz;
+        report.frequency_hz = self.frequency_hz;
+        report.traffic = MemoryTraffic {
+            // LIL format: value + row index per non-zero, plus the vector
+            // operand fetched per leaf element.
+            off_chip_reads: 3 * nnz,
+            off_chip_writes: a.rows() as u64,
+            on_chip_reads: 0,
+            on_chip_writes: 0,
+        };
+        report
+    }
+}
+
+impl SpmvAccelerator for Fafnir {
+    fn name(&self) -> String {
+        format!("fafnir-{}", self.length)
+    }
+
+    fn length(&self) -> usize {
+        self.length
+    }
+
+    fn arithmetic_units(&self) -> usize {
+        // l leaf multipliers + l/2 adders per layer × log2(l) layers
+        // (l = 128: 128 + 448 = 576, the paper's §4 configuration).
+        self.length + (self.length / 2) * self.length.trailing_zeros() as usize
+    }
+
+    fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    fn execute(&self, a: &CsrMatrix, x: &[f32]) -> AccelRun {
+        assert_eq!(x.len(), a.cols(), "input vector length mismatch");
+        // Column-major accumulation mirrors the leaf-streaming order: leaf
+        // j contributes columns j, j+l, … left-to-right; the tree merges by
+        // row index.
+        let csc = CscMatrix::from(a);
+        let mut y = vec![0.0f32; a.rows()];
+        for leaf in 0..self.length {
+            let mut col = leaf;
+            while col < a.cols() {
+                let (rows, vals) = csc.col(col);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    y[r as usize] += v * x[col];
+                }
+                col += self.length;
+            }
+        }
+        AccelRun {
+            output: y,
+            report: self.base_report(a),
+        }
+    }
+
+    fn report(&self, a: &CsrMatrix) -> ExecutionReport {
+        self.base_report(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gust_sparse::prelude::*;
+
+    #[test]
+    fn paper_configuration_has_448_adders() {
+        let f = Fafnir::new(128);
+        assert_eq!(f.arithmetic_units(), 128 + 448);
+    }
+
+    #[test]
+    fn cycles_are_max_leaf_load_plus_drain() {
+        // 8 columns, l = 4: leaf 0 gets cols {0,4}, leaf 1 {1,5}, …
+        // Load each col 0 with 5 nnz, others 1 nnz.
+        let mut coo = CooMatrix::new(8, 8);
+        for r in 0..5 {
+            coo.push(r, 0, 1.0).unwrap();
+        }
+        for c in 1..8 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        let a = CsrMatrix::from(&coo);
+        let r = Fafnir::new(4).report(&a);
+        // Leaf 0: col0 (5) + col4 (1) = 6; depth log2(4) = 2; +1.
+        assert_eq!(r.cycles, 6 + 2 + 1);
+    }
+
+    #[test]
+    fn output_matches_reference() {
+        let a = CsrMatrix::from(&gen::power_law(64, 64, 600, 1.9, 7));
+        let x: Vec<f32> = (0..64).map(|i| (i as f32 % 13.0) - 6.0).collect();
+        let run = Fafnir::new(16).execute(&a, &x);
+        assert_vectors_close(&run.output, &reference_spmv(&a, &x), 1e-4);
+    }
+
+    #[test]
+    fn peak_utilization_is_4_over_log_l() {
+        // A perfectly balanced dense-column matrix keeps every leaf busy:
+        // utilization approaches 2·nnz / (units × nnz/l) = 2l/units ≈ 4/log₂l.
+        let a = CsrMatrix::from(&gen::k_regular(256, 16, 16, 1)); // all cols full
+        let f = Fafnir::new(16);
+        let r = f.report(&a);
+        let peak = 2.0 * 16.0 / f.arithmetic_units() as f64;
+        assert!((r.utilization() - peak).abs() < 0.05, "{}", r.utilization());
+        let four_over_log = 4.0 / 4.0; // log2(16) = 4
+        assert!(peak <= four_over_log);
+    }
+
+    #[test]
+    fn imbalanced_columns_hurt_utilization() {
+        // All nnz in one column segment: only one leaf works.
+        let mut coo = CooMatrix::new(64, 64);
+        for r in 0..64 {
+            coo.push(r, 0, 1.0).unwrap();
+        }
+        let a = CsrMatrix::from(&coo);
+        let balanced = CsrMatrix::from(&gen::k_regular(64, 64, 1, 2));
+        let f = Fafnir::new(8);
+        assert!(f.report(&a).utilization() < f.report(&balanced).utilization());
+    }
+
+    #[test]
+    fn execute_report_equals_report() {
+        let a = CsrMatrix::from(&gen::uniform(30, 30, 90, 6));
+        let acc = Fafnir::new(8);
+        assert_eq!(acc.execute(&a, &[1.0; 30]).report, acc.report(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = Fafnir::new(12);
+    }
+}

@@ -1,0 +1,46 @@
+//! Baseline SpMV accelerator simulators for the GUST reproduction.
+//!
+//! The paper's §2 surveys four prior designs whose utilization ceilings
+//! motivate GUST, and §5.3 compares against Serpens. This crate models all
+//! five:
+//!
+//! | Design | Paper §  | Hardware (length `l`) | Exec-time model (Table 1) |
+//! |---|---|---|---|
+//! | [`Systolic1d`] | §2.1 \[17\] | strip of `l` MAC PEs | `m·n/l + l + 1` |
+//! | [`FlexTpu`] | §2.1 \[10\] | `g×g` grid (`g² = l` PEs) | `≈ 3·#NZ/l` per packing |
+//! | [`AdderTree`] | §2.2 \[4\] | `l` multipliers + `l−1` adders | `m·n/l + log₂l + 1` |
+//! | [`Fafnir`] | §2.2 \[1\] | `l` leaves + `(l/2)·log₂l` adders | `max leaf load + log₂l + 1` |
+//! | [`Serpens`] | §5.3 \[29\] | 16 HBM channels × 8 lanes | padded-flit stream |
+//!
+//! Each implements [`SpmvAccelerator`]: `execute` produces the actual output
+//! vector (validated against the reference kernel in this crate's tests) and
+//! a cycle/utilization report; `report` is the same accounting without
+//! computing `y`, cheap enough for the paper-scale sweeps.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adder_tree;
+pub mod fafnir;
+pub mod flex_tpu;
+pub mod model;
+pub mod serpens;
+pub mod systolic_1d;
+pub mod wavefront;
+
+pub use adder_tree::AdderTree;
+pub use fafnir::Fafnir;
+pub use flex_tpu::FlexTpu;
+pub use model::{AccelRun, SpmvAccelerator};
+pub use serpens::Serpens;
+pub use systolic_1d::Systolic1d;
+
+/// Common imports for working with this crate.
+pub mod prelude {
+    pub use crate::adder_tree::AdderTree;
+    pub use crate::fafnir::Fafnir;
+    pub use crate::flex_tpu::FlexTpu;
+    pub use crate::model::{AccelRun, SpmvAccelerator};
+    pub use crate::serpens::Serpens;
+    pub use crate::systolic_1d::Systolic1d;
+}

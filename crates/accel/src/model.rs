@@ -1,0 +1,69 @@
+//! The common interface every accelerator model implements.
+
+use gust_sim::ExecutionReport;
+use gust_sparse::CsrMatrix;
+
+/// Result of executing one SpMV on an accelerator model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelRun {
+    /// The computed `y = A·x`.
+    pub output: Vec<f32>,
+    /// Cycle / utilization / traffic accounting.
+    pub report: ExecutionReport,
+}
+
+/// An SpMV accelerator model.
+///
+/// Implementations provide two paths over the same cycle accounting:
+/// [`SpmvAccelerator::execute`] also computes the output vector (used for
+/// correctness tests and small runs), while [`SpmvAccelerator::report`]
+/// skips it (used by the figure sweeps, where only cycles/utilization
+/// matter). The crate's tests pin `execute(..).report == report(..)`.
+pub trait SpmvAccelerator {
+    /// Short machine-readable design name (e.g. `"1d-systolic-256"`).
+    fn name(&self) -> String;
+
+    /// Characteristic length `l` (PEs, leaves or lanes).
+    fn length(&self) -> usize;
+
+    /// Total arithmetic units charged for the utilization metric
+    /// (§4 normalizes all §2 designs to 256 multipliers + 256 adders,
+    /// except Fafnir with 128 + 448).
+    fn arithmetic_units(&self) -> usize;
+
+    /// Clock frequency used to convert cycles to seconds.
+    fn frequency_hz(&self) -> f64 {
+        96.0e6
+    }
+
+    /// Cycle-accurate execution producing the output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != a.cols()`.
+    fn execute(&self, a: &CsrMatrix, x: &[f32]) -> AccelRun;
+
+    /// Cycle/utilization accounting without computing the output.
+    fn report(&self, a: &CsrMatrix) -> ExecutionReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The trait must stay object-safe: the bench harness iterates
+    // heterogeneous design lists as `Box<dyn SpmvAccelerator>`.
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_: &dyn SpmvAccelerator) {}
+    }
+
+    #[test]
+    fn accel_run_is_cloneable_and_comparable() {
+        let run = AccelRun {
+            output: vec![1.0],
+            report: ExecutionReport::new("x", 1, 2),
+        };
+        assert_eq!(run.clone(), run);
+    }
+}

@@ -1,0 +1,5 @@
+//! Ablations: coloring optimality, load balancing, parallel GUST (§5.5).
+fn main() {
+    let scale = gust_bench::env_scale(0.25);
+    println!("{}", gust_bench::runners::ablation::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Validates the §3.4 statistical bound and the §3.3 naive-vs-1D crossover.
+fn main() {
+    let scale = gust_bench::env_scale(0.25);
+    println!("{}", gust_bench::runners::bound::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 7(a) and 7(b). `GUST_SCALE=1` for full-size matrices.
+fn main() {
+    let scale = gust_bench::env_scale(0.25);
+    println!("{}", gust_bench::runners::fig7::run(scale));
+}

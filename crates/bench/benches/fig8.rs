@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8(a)-(d). `GUST_SCALE=1` for the paper's 16384^2 sweep.
+fn main() {
+    let scale = gust_bench::env_scale(0.25);
+    println!("{}", gust_bench::runners::fig8::run(scale));
+}

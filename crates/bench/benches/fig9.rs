@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9 (bandwidth utilization).
+fn main() {
+    let scale = gust_bench::env_scale(0.25);
+    println!("{}", gust_bench::runners::fig9::run(scale));
+}

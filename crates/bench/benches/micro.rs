@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the reproduction's software components:
+//! the scheduler (the paper's "Pre." cost), its three coloring algorithms,
+//! the load balancer and the execution engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gust::hw::GustPipeline;
+use gust::schedule::windows::WindowPlan;
+use gust::{ColoringAlgorithm, Gust, GustConfig, SchedulingPolicy};
+use gust_bench::workloads::{synthetic, test_vector, SyntheticKind};
+use gust_sparse::CsrMatrix;
+use std::hint::black_box;
+
+fn bench_matrix() -> CsrMatrix {
+    synthetic(SyntheticKind::Uniform, 4096, 1.0e-3, 7)
+}
+
+fn scheduling(c: &mut Criterion) {
+    let m = bench_matrix();
+    let mut group = c.benchmark_group("schedule-4096x4096-d1e-3-l256");
+    group.sample_size(10);
+    for (name, algo) in [
+        ("greedy-grouped", ColoringAlgorithm::Grouped),
+        ("greedy-verbatim", ColoringAlgorithm::Verbatim),
+        ("konig-optimal", ColoringAlgorithm::Konig),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let gust = Gust::new(GustConfig::new(256).with_coloring(algo));
+            b.iter(|| black_box(gust.schedule(black_box(&m))));
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("naive-arbitration"), |b| {
+        let gust = Gust::new(GustConfig::new(256).with_policy(SchedulingPolicy::Naive));
+        b.iter(|| black_box(gust.schedule(black_box(&m))));
+    });
+    group.finish();
+}
+
+fn load_balancing(c: &mut Criterion) {
+    let m = synthetic(SyntheticKind::PowerLaw, 4096, 1.0e-3, 8);
+    let mut group = c.benchmark_group("load-balance-plan");
+    group.sample_size(20);
+    for lb in [false, true] {
+        group.bench_function(
+            BenchmarkId::from_parameter(if lb { "sorted" } else { "natural" }),
+            |b| {
+                b.iter(|| black_box(WindowPlan::new(black_box(&m), 256, lb)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn execution(c: &mut Criterion) {
+    let m = bench_matrix();
+    let gust = Gust::new(GustConfig::new(256));
+    let schedule = gust.schedule(&m);
+    let x = test_vector(m.cols());
+    let mut group = c.benchmark_group("execute-4096x4096-d1e-3-l256");
+    group.sample_size(20);
+    group.bench_function("fast-engine", |b| {
+        b.iter(|| black_box(gust.execute(black_box(&schedule), black_box(&x))));
+    });
+    group.bench_function("structural-pipeline", |b| {
+        b.iter(|| black_box(GustPipeline::run(black_box(&schedule), black_box(&x), 96.0e6)));
+    });
+    group.finish();
+}
+
+fn reference_spmv(c: &mut Criterion) {
+    let m = bench_matrix();
+    let x = test_vector(m.cols());
+    c.bench_function("reference-csr-spmv-4096", |b| {
+        b.iter(|| black_box(black_box(&m).spmv(black_box(&x))));
+    });
+}
+
+criterion_group!(benches, scheduling, load_balancing, execution, reference_spmv);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! §5.5 scalability sweep: GUST lengths 8 -> 512 on one matrix.
+fn main() {
+    let scale = gust_bench::env_scale(0.25);
+    println!("{}", gust_bench::runners::scaling::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 1. `GUST_SCALE=1` for full-size matrices.
+fn main() {
+    let scale = gust_bench::env_scale(0.25);
+    println!("{}", gust_bench::runners::table1::run(scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 from the calibrated FPGA resource model.
+fn main() {
+    println!("{}", gust_bench::runners::table2::run(1.0));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Tables 3 & 4 (GUST vs Serpens). `GUST_SCALE=1` is the
+//! paper's full 14-37M-nnz matrices; the default keeps the run fast.
+fn main() {
+    let scale = gust_bench::env_scale(0.125);
+    println!("{}", gust_bench::runners::table4::run(scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 5 (per-partition resources).
+fn main() {
+    println!("{}", gust_bench::runners::table5::run(1.0));
+}

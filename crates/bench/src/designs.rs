@@ -1,0 +1,182 @@
+//! Unified dispatch over every accelerator the paper evaluates.
+
+use gust::{ColoringAlgorithm, Gust, GustConfig, SchedulingPolicy};
+use gust_accel::{AdderTree, Fafnir, FlexTpu, Serpens, SpmvAccelerator, Systolic1d};
+use gust_energy::resources::GustPowerBreakdown;
+use gust_energy::tech::DesignProfile;
+use gust_sim::ExecutionReport;
+use gust_sparse::CsrMatrix;
+
+/// Every design that appears in the paper's figures, normalized per §4:
+/// 256 multipliers + 256 adders for 1D/AT/Flex-TPU/GUST, 128 + 448 for
+/// Fafnir, and Serpens's own 16-channel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// Length-`l` 1D systolic array.
+    OneD(usize),
+    /// Length-`l` balanced adder tree.
+    AdderTree(usize),
+    /// Flex-TPU with ~`units` PEs (grid `⌊√units⌋`).
+    FlexTpu(usize),
+    /// Length-`l` Fafnir tree.
+    Fafnir(usize),
+    /// Serpens (fixed paper configuration).
+    Serpens,
+    /// Length-`l` GUST with naive collision-stall streaming.
+    GustNaive(usize),
+    /// Length-`l` GUST with edge coloring.
+    GustEc(usize),
+    /// Length-`l` GUST with edge coloring + load balancing.
+    GustEcLb(usize),
+}
+
+impl Design {
+    /// The seven designs of Fig. 7, in legend order.
+    #[must_use]
+    pub fn figure7_lineup() -> Vec<Design> {
+        vec![
+            Design::OneD(256),
+            Design::AdderTree(256),
+            Design::FlexTpu(256),
+            Design::Fafnir(128),
+            Design::GustNaive(256),
+            Design::GustEc(256),
+            Design::GustEcLb(256),
+        ]
+    }
+
+    /// Display label matching the paper's legends.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Design::OneD(l) => format!("1D-{l}"),
+            Design::AdderTree(l) => format!("AT-{l}"),
+            Design::FlexTpu(u) => format!("FlexTPU-{u}"),
+            Design::Fafnir(l) => format!("Fafnir-{l}"),
+            Design::Serpens => "Serpens".to_string(),
+            Design::GustNaive(l) => format!("GUST{l}-Naive"),
+            Design::GustEc(l) => format!("GUST{l}-EC"),
+            Design::GustEcLb(l) => format!("GUST{l}-EC/LB"),
+        }
+    }
+
+    /// Runs the design over `matrix` and returns its report.
+    ///
+    /// GUST variants schedule and execute (their report includes the real
+    /// color-derived cycle count); baselines use their analytic fast path,
+    /// which their unit tests pin against cycle-accurate execution.
+    #[must_use]
+    pub fn report(&self, matrix: &CsrMatrix) -> ExecutionReport {
+        match self {
+            Design::OneD(l) => Systolic1d::new(*l).report(matrix),
+            Design::AdderTree(l) => AdderTree::new(*l).report(matrix),
+            Design::FlexTpu(u) => FlexTpu::with_units(*u).report(matrix),
+            Design::Fafnir(l) => Fafnir::new(*l).report(matrix),
+            Design::Serpens => Serpens::new().report(matrix),
+            Design::GustNaive(l) | Design::GustEc(l) | Design::GustEcLb(l) => {
+                let gust = Gust::new(self.gust_config(*l));
+                let schedule = gust.schedule(matrix);
+                let x = crate::workloads::test_vector(matrix.cols());
+                gust.execute(&schedule, &x).report
+            }
+        }
+    }
+
+    fn gust_config(&self, l: usize) -> GustConfig {
+        let policy = match self {
+            Design::GustNaive(_) => SchedulingPolicy::Naive,
+            Design::GustEc(_) => SchedulingPolicy::EdgeColoring,
+            _ => SchedulingPolicy::EdgeColoringLb,
+        };
+        GustConfig::new(l)
+            .with_policy(policy)
+            .with_coloring(ColoringAlgorithm::Grouped)
+    }
+
+    /// The energy-accounting profile for this design (§4 powers; GUST
+    /// lengths other than 8/87/256 interpolate Table 2's totals).
+    #[must_use]
+    pub fn energy_profile(&self) -> DesignProfile {
+        match self {
+            Design::OneD(_) | Design::AdderTree(_) | Design::FlexTpu(_) | Design::Fafnir(_) => {
+                DesignProfile::one_d_256()
+            }
+            Design::Serpens => DesignProfile::serpens(),
+            Design::GustNaive(l) | Design::GustEc(l) | Design::GustEcLb(l) => match l {
+                8 => DesignProfile::gust_8(),
+                87 => DesignProfile::gust_87(),
+                256 => DesignProfile::gust_256(),
+                _ => DesignProfile {
+                    dynamic_watts: GustPowerBreakdown::at_length(*l).total_watts(),
+                    on_chip_mm: 129.0 * *l as f64 / 256.0,
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gust_sparse::prelude::*;
+
+    fn small() -> CsrMatrix {
+        CsrMatrix::from(&gen::uniform(64, 64, 400, 5))
+    }
+
+    #[test]
+    fn lineup_matches_figure_7_legend() {
+        let labels: Vec<String> = Design::figure7_lineup()
+            .iter()
+            .map(Design::label)
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "1D-256",
+                "AT-256",
+                "FlexTPU-256",
+                "Fafnir-128",
+                "GUST256-Naive",
+                "GUST256-EC",
+                "GUST256-EC/LB"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_design_reports() {
+        let m = small();
+        for d in Design::figure7_lineup() {
+            let r = d.report(&m);
+            assert!(r.cycles > 0, "{}", d.label());
+            assert!(r.utilization() > 0.0, "{}", d.label());
+        }
+        let r = Design::Serpens.report(&m);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn gust_ec_beats_all_baselines_on_utilization() {
+        let m = small();
+        let gust = Design::GustEcLb(8).report(&m).utilization();
+        for d in [Design::OneD(8), Design::AdderTree(8), Design::FlexTpu(64)] {
+            assert!(
+                gust > d.report(&m).utilization(),
+                "{} should trail GUST",
+                d.label()
+            );
+        }
+    }
+
+    #[test]
+    fn energy_profiles_use_published_powers() {
+        assert_eq!(Design::GustEcLb(256).energy_profile().dynamic_watts, 56.9);
+        assert_eq!(Design::GustEcLb(87).energy_profile().dynamic_watts, 16.8);
+        assert_eq!(Design::OneD(256).energy_profile().dynamic_watts, 35.3);
+        assert_eq!(Design::Serpens.energy_profile().dynamic_watts, 46.2);
+        // Interpolated length lies between neighbours.
+        let p = Design::GustEcLb(128).energy_profile().dynamic_watts;
+        assert!(p > 16.8 && p < 56.9);
+    }
+}

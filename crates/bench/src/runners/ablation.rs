@@ -1,0 +1,161 @@
+//! Ablations of GUST's design choices:
+//!
+//! 1. the greedy Listing-1 coloring vs the Δ-optimal Kőnig coloring (how
+//!    much utilization the paper's heuristic leaves on the table),
+//! 2. load balancing on/off per matrix structure (§3.5/§5.4),
+//! 3. one monolithic length-`kl` GUST vs `k` parallel length-`l` GUSTs
+//!    (§5.5): cycles and crossbar cost.
+
+use crate::table::{sig3, TextTable};
+use crate::workloads::{self, SyntheticKind};
+use gust::parallel::{ParallelGust, WindowAssignment};
+use gust::{ColoringAlgorithm, Gust, GustConfig, SchedulingPolicy};
+use gust_energy::resources::GustResources;
+use std::time::Instant;
+
+/// Runs all three ablations.
+#[must_use]
+pub fn run(scale: f64) -> String {
+    let mut out = super::header("Ablations — coloring optimality, load balancing, parallel GUST", scale);
+    out.push_str(&coloring_ablation(scale));
+    out.push('\n');
+    out.push_str(&load_balance_ablation(scale));
+    out.push('\n');
+    out.push_str(&parallel_ablation(scale));
+    out
+}
+
+fn coloring_ablation(scale: f64) -> String {
+    let l = 256usize;
+    let mut table = TextTable::new([
+        "matrix",
+        "Vizing bound",
+        "greedy-verbatim colors (pre s)",
+        "greedy-grouped colors (pre s)",
+        "konig colors (pre s)",
+    ]);
+    // The denser half of the Fig. 7 suite, where coloring quality matters.
+    for (entry, matrix) in workloads::figure7_matrices(scale).into_iter().skip(6) {
+        let mut cells = vec![entry.name.to_string()];
+        for (i, algo) in [
+            ColoringAlgorithm::Verbatim,
+            ColoringAlgorithm::Grouped,
+            ColoringAlgorithm::Konig,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let gust = Gust::new(
+                GustConfig::new(l)
+                    .with_policy(SchedulingPolicy::EdgeColoringLb)
+                    .with_coloring(algo),
+            );
+            let t0 = Instant::now();
+            let schedule = gust.schedule(&matrix);
+            let dt = t0.elapsed().as_secs_f64();
+            if i == 0 {
+                cells.push(sig3(schedule.total_vizing_bound() as f64));
+            }
+            cells.push(format!("{} ({:.3}s)", schedule.total_colors(), dt));
+        }
+        table.push_row(cells);
+    }
+    format!(
+        "(1) Edge-coloring optimality (length-256, EC/LB):\n{}",
+        table.render()
+    )
+}
+
+fn load_balance_ablation(scale: f64) -> String {
+    let n = workloads::synthetic_dimension(scale * 0.5);
+    let l = 256usize;
+    let mut table = TextTable::new([
+        "structure",
+        "EC cycles",
+        "EC/LB cycles",
+        "LB improvement",
+    ]);
+    for kind in [
+        SyntheticKind::Uniform,
+        SyntheticKind::PowerLaw,
+        SyntheticKind::KRegular,
+    ] {
+        let m = workloads::synthetic(kind, n, 2.0e-3, 42);
+        let x = workloads::test_vector(n);
+        let ec = Gust::new(GustConfig::new(l).with_policy(SchedulingPolicy::EdgeColoring))
+            .spmv(&m, &x)
+            .report
+            .cycles;
+        let lb = Gust::new(GustConfig::new(l).with_policy(SchedulingPolicy::EdgeColoringLb))
+            .spmv(&m, &x)
+            .report
+            .cycles;
+        table.push_row([
+            kind.label().to_string(),
+            sig3(ec as f64),
+            sig3(lb as f64),
+            format!("{:.2}x", ec as f64 / lb as f64),
+        ]);
+    }
+    format!(
+        "(2) Load balancing by structure ({n}x{n}, d = 2e-3; §5.4: LB matters most\n\
+         for skewed structures):\n{}",
+        table.render()
+    )
+}
+
+fn parallel_ablation(scale: f64) -> String {
+    let n = workloads::synthetic_dimension(scale * 0.5);
+    let m = workloads::synthetic(SyntheticKind::Uniform, n, 2.0e-3, 77);
+    let x = workloads::test_vector(n);
+
+    let mut table = TextTable::new([
+        "configuration",
+        "cycles",
+        "crossbar LUTs",
+        "arithmetic units",
+    ]);
+
+    // Monolithic length-256.
+    let mono = Gust::new(GustConfig::new(256)).spmv(&m, &x).report;
+    table.push_row([
+        "1 x length-256".to_string(),
+        sig3(mono.cycles as f64),
+        sig3(GustResources::at_length(256).crossbar.luts),
+        "512".to_string(),
+    ]);
+
+    // k parallel length-(256/k).
+    for k in [2usize, 4, 8] {
+        let l = 256 / k;
+        let engine = ParallelGust::new(GustConfig::new(l), k)
+            .with_assignment(WindowAssignment::RoundRobin);
+        let schedule = engine.schedule(&m);
+        let run = engine.execute(&schedule, &x);
+        table.push_row([
+            format!("{k} x length-{l}"),
+            sig3(run.report.cycles as f64),
+            sig3(k as f64 * GustResources::at_length(l).crossbar.luts),
+            "512".to_string(),
+        ]);
+    }
+
+    format!(
+        "(3) Parallel arrangement (§5.5) on uniform {n}x{n}, d = 2e-3 — same arithmetic,\n\
+         far less crossbar, somewhat more cycles:\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_ablations_render() {
+        let s = run(0.01);
+        assert!(s.contains("(1) Edge-coloring optimality"));
+        assert!(s.contains("(2) Load balancing"));
+        assert!(s.contains("(3) Parallel arrangement"));
+    }
+}

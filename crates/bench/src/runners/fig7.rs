@@ -1,0 +1,67 @@
+//! Fig. 7 — hardware utilization (a) and execution time (b) of all seven
+//! designs over the twelve real-matrix stand-ins.
+
+use crate::designs::Design;
+use crate::table::{sig3, TextTable};
+use crate::{geo_mean, workloads};
+
+/// Runs both panels and renders them.
+#[must_use]
+pub fn run(scale: f64) -> String {
+    let matrices = workloads::figure7_matrices(scale);
+    let lineup = Design::figure7_lineup();
+
+    let mut util_table = TextTable::new(
+        std::iter::once("matrix (density)".to_string())
+            .chain(lineup.iter().map(Design::label)),
+    );
+    let mut cycle_table = TextTable::new(
+        std::iter::once("matrix (density)".to_string())
+            .chain(lineup.iter().map(Design::label)),
+    );
+    let mut per_design_utils: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
+
+    for (entry, matrix) in &matrices {
+        let mut util_row = vec![format!("{} ({})", entry.name, entry.density_label)];
+        let mut cycle_row = util_row.clone();
+        for (i, design) in lineup.iter().enumerate() {
+            let report = design.report(matrix);
+            let util = report.utilization();
+            per_design_utils[i].push(util);
+            util_row.push(format!("{:.3}%", util * 100.0));
+            cycle_row.push(sig3(report.cycles as f64));
+        }
+        util_table.push_row(util_row);
+        cycle_table.push_row(cycle_row);
+    }
+
+    let mut gmean_row = vec!["G-Mean".to_string()];
+    for utils in &per_design_utils {
+        let g = geo_mean(utils).unwrap_or(0.0);
+        gmean_row.push(format!("{:.3}%", g * 100.0));
+    }
+    util_table.push_row(gmean_row);
+
+    let mut out = super::header("Figure 7 — utilization & execution time across designs", scale);
+    out.push_str("(a) Hardware utilization [paper G-Means: 1D 0.08%, AT 0.08%, FlexTPU 1.45%, Fafnir 4.67%, GUST EC/LB 33.67%]\n");
+    out.push_str(&util_table.render());
+    out.push_str("\n(b) Execution time in cycles\n");
+    out.push_str(&cycle_table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_matrices_and_designs() {
+        let s = run(0.01);
+        for name in ["scircuit", "mycielskian11", "heart1", "G-Mean"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        for design in ["1D-256", "GUST256-EC/LB", "Fafnir-128"] {
+            assert!(s.contains(design), "missing {design}");
+        }
+    }
+}

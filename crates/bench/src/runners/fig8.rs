@@ -1,0 +1,186 @@
+//! Fig. 8 — speedup and energy-efficiency gain over the length-256 1D
+//! systolic array: (a) real matrices, (b)–(d) synthetic 16 384² matrices
+//! with uniform / power-law / k-regular structure over the §4 density
+//! sweep.
+//!
+//! Paper headlines being reproduced: length-256 GUST EC/LB averages 411×
+//! speedup and 137× energy gain; length-87 averages 108× and 148×; EC/LB
+//! beats Naive by ~88× and EC by ~1.8×; both gains follow O(1/density).
+
+use crate::designs::Design;
+use crate::table::{sig3, TextTable};
+use crate::workloads::{self, SyntheticKind};
+use crate::geo_mean;
+use gust_energy::EnergyModel;
+use gust_sim::ExecutionReport;
+use gust_sparse::CsrMatrix;
+
+const HBM_BYTES_PER_SECOND: f64 = 460.0e9;
+
+/// Speedup and energy gain of one design against a 1D baseline report.
+fn gains(
+    design: Design,
+    matrix: &CsrMatrix,
+    baseline: &ExecutionReport,
+    energy: &EnergyModel,
+    baseline_energy_j: f64,
+) -> (f64, f64) {
+    let report = design.report(matrix);
+    let speedup = report.speedup_over(baseline);
+    let vector_load = matrix.cols() as f64 * 4.0 / HBM_BYTES_PER_SECOND;
+    let e = energy
+        .spmv_energy(
+            report.nnz_processed,
+            matrix.rows(),
+            matrix.cols(),
+            report.seconds(),
+            vector_load,
+            &design.energy_profile(),
+        )
+        .total_j();
+    (speedup, baseline_energy_j / e)
+}
+
+fn baseline_energy(
+    matrix: &CsrMatrix,
+    baseline: &ExecutionReport,
+    energy: &EnergyModel,
+) -> f64 {
+    energy
+        .spmv_energy(
+            baseline.nnz_processed,
+            matrix.rows(),
+            matrix.cols(),
+            baseline.seconds(),
+            0.0,
+            &Design::OneD(256).energy_profile(),
+        )
+        .total_j()
+}
+
+/// The five series of each Fig. 8 panel.
+fn panel_designs() -> [Design; 4] {
+    [
+        Design::GustNaive(256),
+        Design::GustEc(256),
+        Design::GustEcLb(256),
+        Design::GustEcLb(87),
+    ]
+}
+
+fn panel_header() -> Vec<String> {
+    let mut h = vec!["workload".to_string()];
+    for d in panel_designs() {
+        h.push(format!("{} speedup", d.label()));
+    }
+    h.push("GUST256-EC/LB energy gain".into());
+    h.push("GUST87-EC/LB energy gain".into());
+    h
+}
+
+fn panel_row(label: String, matrix: &CsrMatrix, energy: &EnergyModel) -> (Vec<String>, [f64; 6]) {
+    let baseline = Design::OneD(256).report(matrix);
+    let base_e = baseline_energy(matrix, &baseline, energy);
+    let mut cells = vec![label];
+    let mut values = [0.0f64; 6];
+    for (i, d) in panel_designs().iter().enumerate() {
+        let (speedup, egain) = gains(*d, matrix, &baseline, energy, base_e);
+        values[i] = speedup;
+        cells.push(format!("{}x", sig3(speedup)));
+        if *d == Design::GustEcLb(256) {
+            values[4] = egain;
+        }
+        if *d == Design::GustEcLb(87) {
+            values[5] = egain;
+        }
+    }
+    cells.push(format!("{}x", sig3(values[4])));
+    cells.push(format!("{}x", sig3(values[5])));
+    (cells, values)
+}
+
+fn render_panel(
+    title: &str,
+    rows: Vec<(String, CsrMatrix)>,
+    energy: &EnergyModel,
+) -> String {
+    let mut table = TextTable::new(panel_header());
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    for (label, matrix) in rows {
+        let (cells, values) = panel_row(label, &matrix, energy);
+        table.push_row(cells);
+        for (s, v) in series.iter_mut().zip(values) {
+            s.push(v);
+        }
+    }
+    let mut gmean = vec!["G-Mean".to_string()];
+    for s in &series {
+        gmean.push(format!("{}x", sig3(geo_mean(s).unwrap_or(0.0))));
+    }
+    table.push_row(gmean);
+    format!("{title}\n{}", table.render())
+}
+
+/// Runs all four panels.
+#[must_use]
+pub fn run(scale: f64) -> String {
+    let energy = EnergyModel::paper();
+    let mut out = super::header(
+        "Figure 8 — speedup & energy gain over length-256 1D",
+        scale,
+    );
+    out.push_str("paper averages (real): GUST256-EC/LB 411x speedup / 137x energy; GUST87-EC/LB 108x / 148x\n\n");
+
+    // (a) Real matrices.
+    let real: Vec<(String, CsrMatrix)> = workloads::figure7_matrices(scale)
+        .into_iter()
+        .map(|(e, m)| (format!("{} ({})", e.name, e.density_label), m))
+        .collect();
+    out.push_str(&render_panel("(a) real-world matrices", real, &energy));
+
+    // (b)-(d) synthetic sweeps.
+    let n = workloads::synthetic_dimension(scale);
+    for (panel, kind) in [
+        ("(b) uniform", SyntheticKind::Uniform),
+        ("(c) power-law", SyntheticKind::PowerLaw),
+        ("(d) k-regular", SyntheticKind::KRegular),
+    ] {
+        let rows: Vec<(String, CsrMatrix)> = workloads::density_sweep()
+            .into_iter()
+            .enumerate()
+            .map(|(i, density)| {
+                let m = workloads::synthetic(kind, n, density, 100 + i as u64);
+                (format!("{n}^2 d={density:.0e}"), m)
+            })
+            .collect();
+        out.push('\n');
+        out.push_str(&render_panel(
+            &format!("{panel} synthetic ({n}x{n})"),
+            rows,
+            &energy,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_render_with_gmeans() {
+        let s = run(0.01);
+        assert!(s.contains("(a) real-world matrices"));
+        assert!(s.contains("(d) k-regular"));
+        assert!(s.matches("G-Mean").count() == 4);
+    }
+
+    #[test]
+    fn ec_lb_speedup_exceeds_naive_on_dense_uniform() {
+        let energy = EnergyModel::paper();
+        let m = workloads::synthetic(SyntheticKind::Uniform, 512, 2.0e-2, 1);
+        let (_, values) = panel_row("x".into(), &m, &energy);
+        let (naive, _ec, eclb) = (values[0], values[1], values[2]);
+        assert!(eclb > naive, "EC/LB {eclb} vs naive {naive}");
+    }
+}

@@ -1,0 +1,86 @@
+//! §5.5 scalability sweep: one matrix, GUST lengths 8 → 512.
+//!
+//! Shows the tension the paper names: cycles fall roughly as `1/l` while
+//! the crossbar's area and power grow superlinearly, so energy per SpMV
+//! bottoms out at a moderate length (the reason length-87 beats length-256
+//! on energy efficiency in Fig. 8, and the motivation for the parallel
+//! arrangement).
+
+use crate::table::{sig3, TextTable};
+use crate::workloads::{self, SyntheticKind};
+use gust::{Gust, GustConfig};
+use gust_energy::resources::{GustPowerBreakdown, GustResources};
+use gust_energy::tech::DesignProfile;
+use gust_energy::EnergyModel;
+
+/// Runs the sweep.
+#[must_use]
+pub fn run(scale: f64) -> String {
+    let n = workloads::synthetic_dimension(scale * 0.5);
+    let m = workloads::synthetic(SyntheticKind::Uniform, n, 2.0e-3, 99);
+    let x = workloads::test_vector(n);
+    let energy = EnergyModel::paper();
+
+    let mut table = TextTable::new([
+        "length",
+        "cycles",
+        "utilization",
+        "crossbar LUT",
+        "power (W)",
+        "energy/SpMV (mJ)",
+    ]);
+    let mut best_energy = f64::INFINITY;
+    let mut best_length = 0usize;
+    for l in [8usize, 16, 32, 64, 87, 128, 256, 512] {
+        let run = Gust::new(GustConfig::new(l)).spmv(&m, &x);
+        let power = GustPowerBreakdown::at_length(l).total_watts();
+        let profile = DesignProfile {
+            dynamic_watts: power,
+            on_chip_mm: 129.0 * l as f64 / 256.0,
+        };
+        let e = energy
+            .spmv_energy(
+                run.report.nnz_processed,
+                m.rows(),
+                m.cols(),
+                run.report.seconds(),
+                m.cols() as f64 * 4.0 / 460.0e9,
+                &profile,
+            )
+            .total_j();
+        if e < best_energy {
+            best_energy = e;
+            best_length = l;
+        }
+        table.push_row([
+            format!("{l}"),
+            sig3(run.report.cycles as f64),
+            format!("{:.2}%", run.report.utilization() * 100.0),
+            sig3(GustResources::at_length(l).crossbar.luts),
+            format!("{power:.1}"),
+            format!("{:.3}", e * 1.0e3),
+        ]);
+    }
+
+    let mut out = super::header("§5.5 scalability — GUST length sweep", scale);
+    out.push_str(&format!(
+        "uniform {n}x{n}, d = 2e-3; speed rises with length, but crossbar cost\n\
+         makes energy/SpMV best at a moderate length (here: {best_length}).\n\n"
+    ));
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_renders_all_lengths() {
+        let s = run(0.02);
+        for l in ["8", "87", "256", "512"] {
+            assert!(s.contains(&format!("\n{l} ")), "missing length {l}");
+        }
+        assert!(s.contains("energy/SpMV"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Table 1 — qualities of the related designs and GUST: hardware
+//! inventory, closed-form execution time, and the measured geometric-mean
+//! utilization over the Fig. 7 suite.
+
+use crate::designs::Design;
+use crate::table::TextTable;
+use crate::{geo_mean, workloads};
+
+/// Renders Table 1. The utilization column is *measured* (the same runs as
+/// Fig. 7a, geometric mean), everything else is the design's closed form.
+#[must_use]
+pub fn run(scale: f64) -> String {
+    let matrices = workloads::figure7_matrices(scale);
+
+    let rows: [(Design, &str, &str); 5] = [
+        (
+            Design::FlexTpu(256),
+            "grid of sqrt(l) x sqrt(l) PEs (2D systolic)",
+            "~3 * #NZ / l",
+        ),
+        (
+            Design::OneD(256),
+            "strip of l PEs",
+            "m*n/l + l + 1",
+        ),
+        (
+            Design::AdderTree(256),
+            "binary tree: l multipliers + l-1 adders",
+            "m*n/l + log2(l) + 1",
+        ),
+        (
+            Design::Fafnir(128),
+            "binary tree: l leaves + (l/2)*log2(l) adders",
+            "max column-segment load + log2(l) + 1",
+        ),
+        (
+            Design::GustEcLb(256),
+            "l multipliers + l adders + full crossbar",
+            "sum of window colors + 2 (~3*#NZ/l worst case)",
+        ),
+    ];
+
+    let mut table = TextTable::new([
+        "design",
+        "hardware",
+        "execution time (cycles)",
+        "measured geo-mean utilization",
+    ]);
+    for (design, hardware, formula) in rows {
+        let utils: Vec<f64> = matrices
+            .iter()
+            .map(|(_, m)| design.report(m).utilization())
+            .collect();
+        let g = geo_mean(&utils).unwrap_or(0.0);
+        table.push_row([
+            design.label(),
+            hardware.to_string(),
+            formula.to_string(),
+            format!("{:.2}%", g * 100.0),
+        ]);
+    }
+
+    let mut out = super::header("Table 1 — design qualities", scale);
+    out.push_str("paper's reported utilizations: FlexTPU 1.45%, 1D 0.08%, AT 0.08%, Fafnir 4.67%, GUST 33.67%\n");
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_all_five_designs_with_formulas() {
+        let s = run(0.01);
+        for needle in [
+            "FlexTPU-256",
+            "1D-256",
+            "AT-256",
+            "Fafnir-128",
+            "GUST256-EC/LB",
+            "m*n/l + l + 1",
+        ] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

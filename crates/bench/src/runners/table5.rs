@@ -1,0 +1,124 @@
+//! Table 5 — per-partition resource consumption of GUST at lengths 8, 87
+//! and 256: the arithmetic and I/O partitions scale ~linearly while the
+//! crossbar scales super-quadratically, the §5.5 motivation for parallel
+//! short GUSTs.
+
+use crate::table::TextTable;
+use gust_energy::resources::GustResources;
+
+fn fmt(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.1}K", v / 1000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Renders Table 5 and the scaling exponents the model implies.
+#[must_use]
+pub fn run(_scale: f64) -> String {
+    let lengths = [8usize, 87, 256];
+    let mut table = TextTable::new([
+        "segment",
+        "metric",
+        "length 8",
+        "length 87",
+        "length 256",
+    ]);
+
+    let rs: Vec<GustResources> = lengths.iter().map(|&l| GustResources::at_length(l)).collect();
+    let rows: Vec<(&str, &str, Vec<String>)> = vec![
+        (
+            "Arithmetic",
+            "Power (W)",
+            rs.iter().map(|r| format!("{:.1}", r.arithmetic.power_watts)).collect(),
+        ),
+        (
+            "Arithmetic",
+            "LUT",
+            rs.iter().map(|r| fmt(r.arithmetic.luts)).collect(),
+        ),
+        (
+            "Arithmetic",
+            "Registers",
+            rs.iter().map(|r| fmt(r.arithmetic.registers)).collect(),
+        ),
+        (
+            "Arithmetic",
+            "DSP",
+            rs.iter().map(|r| fmt(r.arithmetic.dsps)).collect(),
+        ),
+        (
+            "Arithmetic",
+            "Carry8",
+            rs.iter().map(|r| fmt(r.arithmetic.carry8)).collect(),
+        ),
+        (
+            "Crossbar",
+            "Power (W)",
+            rs.iter().map(|r| format!("{:.1}", r.crossbar.power_watts)).collect(),
+        ),
+        (
+            "Crossbar",
+            "LUT",
+            rs.iter().map(|r| fmt(r.crossbar.luts)).collect(),
+        ),
+        (
+            "Crossbar",
+            "Registers",
+            rs.iter().map(|r| fmt(r.crossbar.registers)).collect(),
+        ),
+        (
+            "IO",
+            "Power (W)",
+            rs.iter().map(|r| format!("{:.1}", r.io.power_watts)).collect(),
+        ),
+        (
+            "IO",
+            "IO Pins",
+            rs.iter().map(|r| fmt(r.io.io_pins)).collect(),
+        ),
+        (
+            "IO",
+            "Buffers",
+            rs.iter().map(|r| fmt(r.io.buffers)).collect(),
+        ),
+    ];
+    for (segment, metric, values) in rows {
+        table.push_row([
+            segment.to_string(),
+            metric.to_string(),
+            values[0].clone(),
+            values[1].clone(),
+            values[2].clone(),
+        ]);
+    }
+
+    // Scaling exponents between the upper calibration points.
+    let exp = |a: f64, b: f64| (b / a).ln() / (256.0f64 / 87.0).ln();
+    let arith_exp = exp(rs[1].arithmetic.luts, rs[2].arithmetic.luts);
+    let xbar_exp = exp(rs[1].crossbar.luts, rs[2].crossbar.luts);
+
+    let mut out = super::header("Table 5 — per-partition resource consumption", 1.0);
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nLUT scaling exponent between l=87 and l=256: arithmetic l^{arith_exp:.2}, \
+         crossbar l^{xbar_exp:.2}\n(the crossbar's super-quadratic growth is \
+         the paper's motivation for k parallel short GUSTs, ablated in the \
+         `ablation` bench).\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_partitions_and_exponent_note() {
+        let s = run(1.0);
+        for needle in ["Arithmetic", "Crossbar", "IO", "756.0K", "scaling exponent"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! GUST configuration: length, clock, scheduling policy.
+
+/// How non-zeros are assigned to time slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SchedulingPolicy {
+    /// No reordering: stream column segments in natural order and stall on
+    /// every adder collision (§3.3 "the naive method").
+    Naive,
+    /// Edge-coloring scheduling (paper Listing 1), no load balancing.
+    EdgeColoring,
+    /// Edge-coloring plus the three-step sort load balancer of §3.5.
+    /// This is the configuration the paper reports headline numbers for.
+    EdgeColoringLb,
+}
+
+impl SchedulingPolicy {
+    /// Short label used in reports and tables (matches the paper's figure
+    /// legends: "Naive", "EC", "EC/LB").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Naive => "Naive",
+            Self::EdgeColoring => "EC",
+            Self::EdgeColoringLb => "EC/LB",
+        }
+    }
+}
+
+/// Which edge-coloring implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ColoringAlgorithm {
+    /// Listing 1 verbatim: scan each left vertex's edge list in column order
+    /// and take the first edge whose lane is unmatched. O(degree) scans.
+    Verbatim,
+    /// Same greedy matching discipline, but edges are grouped per lane and
+    /// groups are visited in first-occurrence order, giving near-linear
+    /// behaviour on large windows. Produces a valid coloring with the same
+    /// matching structure; slot order within a row may differ from
+    /// [`ColoringAlgorithm::Verbatim`]. Default.
+    #[default]
+    Grouped,
+    /// Optimal bipartite multigraph coloring (Kőnig): exactly Δ colors, the
+    /// Vizing/Eq. 1 lower bound. Slower; used for the ablation study of how
+    /// close the paper's greedy heuristic gets to optimal.
+    Konig,
+}
+
+impl ColoringAlgorithm {
+    /// Short label used in ablation tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Verbatim => "greedy-verbatim",
+            Self::Grouped => "greedy-grouped",
+            Self::Konig => "konig-optimal",
+        }
+    }
+}
+
+/// Configuration of one GUST instance.
+///
+/// # Example
+///
+/// ```
+/// use gust::{GustConfig, SchedulingPolicy};
+///
+/// let config = GustConfig::new(256)
+///     .with_policy(SchedulingPolicy::EdgeColoringLb)
+///     .with_frequency(96.0e6);
+/// assert_eq!(config.length(), 256);
+/// assert_eq!(config.arithmetic_units(), 512);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GustConfig {
+    length: usize,
+    frequency_hz: f64,
+    policy: SchedulingPolicy,
+    coloring: ColoringAlgorithm,
+}
+
+impl GustConfig {
+    /// The paper's synthesized clock: 96 MHz, bounded by the crossbar's
+    /// longest route (§4).
+    pub const PAPER_FREQUENCY_HZ: f64 = 96.0e6;
+
+    /// Creates a length-`l` configuration with the paper's defaults
+    /// (EC/LB scheduling, 96 MHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    #[must_use]
+    pub fn new(length: usize) -> Self {
+        assert!(length > 0, "GUST length must be non-zero");
+        Self {
+            length,
+            frequency_hz: Self::PAPER_FREQUENCY_HZ,
+            policy: SchedulingPolicy::EdgeColoringLb,
+            coloring: ColoringAlgorithm::default(),
+        }
+    }
+
+    /// Sets the scheduling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the edge-coloring algorithm (ignored under
+    /// [`SchedulingPolicy::Naive`]).
+    #[must_use]
+    pub fn with_coloring(mut self, coloring: ColoringAlgorithm) -> Self {
+        self.coloring = coloring;
+        self
+    }
+
+    /// Sets the clock frequency in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not positive and finite.
+    #[must_use]
+    pub fn with_frequency(mut self, frequency_hz: f64) -> Self {
+        assert!(
+            frequency_hz.is_finite() && frequency_hz > 0.0,
+            "frequency must be positive and finite"
+        );
+        self.frequency_hz = frequency_hz;
+        self
+    }
+
+    /// Number of multipliers (= number of adders) `l`.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Total arithmetic units: `l` multipliers + `l` adders.
+    #[must_use]
+    pub fn arithmetic_units(&self) -> usize {
+        2 * self.length
+    }
+
+    /// Clock frequency in Hz.
+    #[must_use]
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Scheduling policy.
+    #[must_use]
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// Edge-coloring algorithm.
+    #[must_use]
+    pub fn coloring(&self) -> ColoringAlgorithm {
+        self.coloring
+    }
+
+    /// Design name used in reports, e.g. `"gust256-EC/LB"`.
+    #[must_use]
+    pub fn design_name(&self) -> String {
+        format!("gust{}-{}", self.length, self.policy.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GustConfig::new(256);
+        assert_eq!(c.length(), 256);
+        assert_eq!(c.arithmetic_units(), 512);
+        assert_eq!(c.policy(), SchedulingPolicy::EdgeColoringLb);
+        assert!((c.frequency_hz() - 96.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = GustConfig::new(8)
+            .with_policy(SchedulingPolicy::Naive)
+            .with_coloring(ColoringAlgorithm::Konig)
+            .with_frequency(1.0e6);
+        assert_eq!(c.policy(), SchedulingPolicy::Naive);
+        assert_eq!(c.coloring(), ColoringAlgorithm::Konig);
+        assert!((c.frequency_hz() - 1.0e6).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn design_name_encodes_length_and_policy() {
+        let c = GustConfig::new(87).with_policy(SchedulingPolicy::EdgeColoring);
+        assert_eq!(c.design_name(), "gust87-EC");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchedulingPolicy::Naive.label(), "Naive");
+        assert_eq!(SchedulingPolicy::EdgeColoring.label(), "EC");
+        assert_eq!(SchedulingPolicy::EdgeColoringLb.label(), "EC/LB");
+        assert_eq!(ColoringAlgorithm::Konig.label(), "konig-optimal");
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be non-zero")]
+    fn zero_length_panics() {
+        let _ = GustConfig::new(0);
+    }
+}

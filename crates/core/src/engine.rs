@@ -1,0 +1,411 @@
+//! The GUST execution engine (event-driven over color steps).
+//!
+//! One color = one cycle (paper §3.4: "execution time … is the sum of the
+//! number of colors for all of the edge sets plus 2" for the three pipeline
+//! levels). The engine walks the schedule color by color: every occupied
+//! slot issues a multiply, the crossbar routes the product to the adder
+//! named by `Row_sch`, the adder accumulates; at each window boundary the
+//! adders dump into the output vector through the row permutation.
+//!
+//! This is the fast path used by benchmarks. The structurally faithful
+//! FIFO/Buffer-Filler pipeline of Fig. 2 lives in [`crate::hw`]; tests
+//! assert the two produce identical outputs and cycle counts.
+
+use crate::config::{GustConfig, SchedulingPolicy};
+use crate::schedule::scheduled::{log2_ceil, ScheduledMatrix};
+use crate::schedule::Scheduler;
+use gust_sim::{ExecutionReport, MemoryTraffic, UnitCounter};
+
+/// Result of one SpMV on the GUST engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GustRun {
+    /// The computed output vector `y = A·x`.
+    pub output: Vec<f32>,
+    /// Cycle/utilization/traffic accounting.
+    pub report: ExecutionReport,
+}
+
+/// A configured GUST accelerator: scheduler + engine.
+///
+/// # Example
+///
+/// ```
+/// use gust::{Gust, GustConfig};
+/// use gust_sparse::prelude::*;
+///
+/// let m = CsrMatrix::identity(8);
+/// let gust = Gust::new(GustConfig::new(4));
+/// let schedule = gust.schedule(&m);
+/// let run = gust.execute(&schedule, &[1.0; 8]);
+/// assert_eq!(run.output, vec![1.0; 8]);
+/// // Identity: every window is one color; 2 windows + pipeline depth 2.
+/// assert_eq!(run.report.cycles, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gust {
+    config: GustConfig,
+}
+
+impl Gust {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: GustConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &GustConfig {
+        &self.config
+    }
+
+    /// Preprocesses `matrix` (the paper's scheduling step). Delegates to
+    /// [`Scheduler::schedule`].
+    #[must_use]
+    pub fn schedule(&self, matrix: &gust_sparse::CsrMatrix) -> ScheduledMatrix {
+        Scheduler::new(self.config.clone()).schedule(matrix)
+    }
+
+    /// Runs one SpMV: streams the schedule through the engine.
+    ///
+    /// The schedule can be reused across calls with different vectors —
+    /// that reuse is the paper's §5.3 amortization argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != schedule.cols()` or the schedule's length does
+    /// not match this engine's configuration.
+    #[must_use]
+    pub fn execute(&self, schedule: &ScheduledMatrix, x: &[f32]) -> GustRun {
+        let l = self.config.length();
+        assert_eq!(
+            schedule.length(),
+            l,
+            "schedule was produced for a different GUST length"
+        );
+        assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
+
+        let mut y = vec![0.0f32; schedule.rows()];
+        let mut adders = vec![0.0f32; l];
+        let mut mults = UnitCounter::new("multipliers", l);
+        let mut adds = UnitCounter::new("adders", l);
+        let mut multiplies: u64 = 0;
+
+        let row_perm = schedule.row_perm();
+        for (w, window) in schedule.windows().iter().enumerate() {
+            adders.iter_mut().for_each(|a| *a = 0.0);
+            for c in 0..window.colors() {
+                let slots = window.color_slots(c);
+                // One cycle: every occupied lane multiplies, the crossbar
+                // routes, the named adder accumulates. Lane/adder uniqueness
+                // within a color was checked at schedule assembly.
+                for s in slots {
+                    let product = s.value * x[s.col as usize];
+                    adders[s.row_mod as usize] += product;
+                }
+                mults.record_busy(slots.len());
+                adds.record_busy(slots.len());
+                multiplies += slots.len() as u64;
+            }
+            // Dump: each adder's value belongs to the row scheduled at
+            // position w*l + adder_index.
+            let base = w * l;
+            for (i, &acc) in adders.iter().enumerate() {
+                let pos = base + i;
+                if pos < row_perm.len() {
+                    y[row_perm[pos] as usize] = acc;
+                }
+            }
+        }
+
+        let streaming_cycles = schedule.total_colors();
+        // Three pipeline levels add 2 cycles of fill; an empty schedule
+        // (no non-zeros anywhere) never starts the pipeline at all.
+        let cycles = if streaming_cycles == 0 {
+            0
+        } else {
+            streaming_cycles + 2
+        };
+        let nnz = schedule.nnz() as u64;
+
+        let mut report = ExecutionReport::new(
+            self.config.design_name(),
+            l,
+            self.config.arithmetic_units(),
+        );
+        report.cycles = cycles;
+        report.nnz_processed = nnz;
+        report.busy_unit_cycles = mults.busy_unit_cycles() + adds.busy_unit_cycles();
+        report.stall_cycles = schedule.total_stalls();
+        report.multiplies = multiplies;
+        report.additions = multiplies; // one accumulate per product
+        report.frequency_hz = self.config.frequency_hz();
+        report.traffic = self.traffic(schedule);
+        GustRun { output: y, report }
+    }
+
+    /// Schedules and executes in one call.
+    #[must_use]
+    pub fn spmv(&self, matrix: &gust_sparse::CsrMatrix, x: &[f32]) -> GustRun {
+        let schedule = self.schedule(matrix);
+        self.execute(&schedule, x)
+    }
+
+    /// Sparse-matrix × dense-matrix product by schedule reuse: one SpMV per
+    /// column of `b`, all against the same preprocessed schedule (the
+    /// iterative-solver / multi-right-hand-side pattern of §5.3, and the
+    /// SpMM direction §7 names as future work for a 2D GUST).
+    ///
+    /// Returns the dense product `A·B` (column per input column) and a
+    /// combined report whose cycle count is the sum over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column of `b` has the wrong length, or `b` is empty.
+    #[must_use]
+    pub fn execute_batch(
+        &self,
+        schedule: &ScheduledMatrix,
+        b: &[Vec<f32>],
+    ) -> (Vec<Vec<f32>>, ExecutionReport) {
+        assert!(!b.is_empty(), "batch must contain at least one vector");
+        let mut outputs = Vec::with_capacity(b.len());
+        let mut combined: Option<ExecutionReport> = None;
+        for x in b {
+            let run = self.execute(schedule, x);
+            outputs.push(run.output);
+            combined = Some(match combined {
+                None => run.report,
+                Some(mut acc) => {
+                    acc.cycles += run.report.cycles;
+                    acc.nnz_processed += run.report.nnz_processed;
+                    acc.busy_unit_cycles += run.report.busy_unit_cycles;
+                    acc.stall_cycles += run.report.stall_cycles;
+                    acc.multiplies += run.report.multiplies;
+                    acc.additions += run.report.additions;
+                    acc.traffic = acc.traffic.combined(&run.report.traffic);
+                    acc
+                }
+            });
+        }
+        (outputs, combined.expect("batch is non-empty"))
+    }
+
+    /// Memory-traffic model for one SpMV over `schedule` (§3.3 "Streaming
+    /// the Inputs" and §4's Buffer Filler pipeline):
+    ///
+    /// * off-chip reads — the dense `M_sch`/`Col_sch` stream (two 32-bit
+    ///   words per cell, empty cells included: that waste is the utilization
+    ///   loss) plus the packed `Row_sch` indices and the input vector;
+    /// * on-chip — double-buffer writes/reads in the Buffer Filler plus one
+    ///   vector-element read per non-zero;
+    /// * off-chip writes — the output vector.
+    fn traffic(&self, schedule: &ScheduledMatrix) -> MemoryTraffic {
+        let l = schedule.length() as u64;
+        let cells = l * schedule.total_colors();
+        let row_bits = u64::from(log2_ceil(schedule.length()));
+        let row_words = (cells * row_bits).div_ceil(32);
+        let stream_words = 2 * cells + row_words;
+        let vector_words = schedule.cols() as u64;
+        let nnz = schedule.nnz() as u64;
+        MemoryTraffic {
+            off_chip_reads: stream_words + vector_words,
+            off_chip_writes: schedule.rows() as u64,
+            // Buffer Filler: write the partition into on-chip memory, read
+            // it back out, plus one vector read per multiply.
+            on_chip_reads: stream_words + nnz,
+            on_chip_writes: stream_words + vector_words,
+        }
+    }
+}
+
+impl Default for Gust {
+    /// A length-256 GUST with the paper's defaults.
+    fn default() -> Self {
+        Self::new(GustConfig::new(256))
+    }
+}
+
+/// Convenience: run all three scheduling policies of Fig. 7/8 on one matrix.
+///
+/// Returns `(naive, ec, ec_lb)` runs for the same `x`.
+#[must_use]
+pub fn run_all_policies(
+    matrix: &gust_sparse::CsrMatrix,
+    x: &[f32],
+    length: usize,
+) -> (GustRun, GustRun, GustRun) {
+    let mk = |policy| {
+        let gust = Gust::new(GustConfig::new(length).with_policy(policy));
+        gust.spmv(matrix, x)
+    };
+    (
+        mk(SchedulingPolicy::Naive),
+        mk(SchedulingPolicy::EdgeColoring),
+        mk(SchedulingPolicy::EdgeColoringLb),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gust_sparse::prelude::*;
+
+    fn random_x(n: usize, seed: u64) -> Vec<f32> {
+        // Simple deterministic pseudo-random vector.
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+                ((h % 1000) as f32) / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn output_matches_reference_for_all_policies() {
+        let m = CsrMatrix::from(&gen::uniform(50, 60, 400, 11));
+        let x = random_x(60, 1);
+        let expected = reference_spmv(&m, &x);
+        let (naive, ec, lb) = run_all_policies(&m, &x, 8);
+        assert_vectors_close(&naive.output, &expected, 1e-4);
+        assert_vectors_close(&ec.output, &expected, 1e-4);
+        assert_vectors_close(&lb.output, &expected, 1e-4);
+    }
+
+    #[test]
+    fn cycles_are_colors_plus_two() {
+        let m = CsrMatrix::from(&gen::uniform(32, 32, 200, 3));
+        let gust = Gust::new(GustConfig::new(8));
+        let s = gust.schedule(&m);
+        let run = gust.execute(&s, &random_x(32, 2));
+        assert_eq!(run.report.cycles, s.total_colors() + 2);
+    }
+
+    #[test]
+    fn utilization_equals_nnz_over_lanes_times_cycles() {
+        let m = CsrMatrix::from(&gen::uniform(64, 64, 500, 4));
+        let gust = Gust::new(GustConfig::new(16));
+        let run = gust.spmv(&m, &random_x(64, 3));
+        // busy = 2*nnz (mult + add); units = 2l.
+        let expected = 500.0 / (16.0 * run.report.cycles as f64);
+        assert!((run.report.utilization() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_reuse_across_vectors() {
+        let m = CsrMatrix::from(&gen::banded(40, 40, 3, 150, 5));
+        let gust = Gust::new(GustConfig::new(8));
+        let s = gust.schedule(&m);
+        for seed in 0..4 {
+            let x = random_x(40, seed);
+            let run = gust.execute(&s, &x);
+            assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-4);
+        }
+    }
+
+    #[test]
+    fn load_balanced_output_is_correctly_unpermuted() {
+        // Highly skewed rows force a non-trivial permutation.
+        let m = CsrMatrix::from(&gen::power_law(64, 64, 600, 1.6, 6));
+        let x = random_x(64, 7);
+        let gust = Gust::new(GustConfig::new(8)); // EC/LB default
+        let run = gust.spmv(&m, &x);
+        assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-4);
+    }
+
+    #[test]
+    fn empty_rows_produce_zero_outputs() {
+        let coo = CooMatrix::from_triplets(6, 6, vec![(0, 0, 2.0), (5, 5, 3.0)]).unwrap();
+        let m = CsrMatrix::from(&coo);
+        let run = Gust::new(GustConfig::new(4)).spmv(&m, &[1.0; 6]);
+        assert_eq!(run.output, vec![2.0, 0.0, 0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn rectangular_matrices_work() {
+        let m = CsrMatrix::from(&gen::uniform(20, 100, 300, 8));
+        let x = random_x(100, 9);
+        let run = Gust::new(GustConfig::new(8)).spmv(&m, &x);
+        assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-4);
+    }
+
+    #[test]
+    fn naive_reports_stalls_ec_does_not() {
+        let m = CsrMatrix::from(&gen::uniform(32, 32, 512, 9));
+        let x = random_x(32, 10);
+        let (naive, ec, _) = run_all_policies(&m, &x, 8);
+        assert!(naive.report.stall_cycles > 0);
+        assert_eq!(ec.report.stall_cycles, 0);
+        assert!(naive.report.cycles >= ec.report.cycles);
+    }
+
+    #[test]
+    fn execute_batch_matches_per_vector_runs() {
+        let m = CsrMatrix::from(&gen::uniform(48, 48, 300, 12));
+        let gust = Gust::new(GustConfig::new(8));
+        let schedule = gust.schedule(&m);
+        let batch: Vec<Vec<f32>> = (0..4).map(|s| random_x(48, s)).collect();
+        let (outputs, report) = gust.execute_batch(&schedule, &batch);
+        let mut cycles = 0u64;
+        for (x, out) in batch.iter().zip(&outputs) {
+            let single = gust.execute(&schedule, x);
+            assert_eq!(out, &single.output);
+            cycles += single.report.cycles;
+        }
+        assert_eq!(report.cycles, cycles);
+        assert_eq!(report.nnz_processed, 4 * 300);
+    }
+
+    #[test]
+    fn update_values_reuses_the_coloring() {
+        // Same pattern, new values (the Jacobian/Hessian case of §3.3).
+        let coo_a = gen::uniform(40, 40, 250, 13);
+        let m_a = CsrMatrix::from(&coo_a);
+        // Scale all values: same sparsity, different numbers.
+        let coo_b = CooMatrix::from_triplets(
+            40,
+            40,
+            coo_a.iter().map(|(r, c, v)| (r, c, v * 3.5 + 1.0)),
+        )
+        .unwrap();
+        let m_b = CsrMatrix::from(&coo_b);
+
+        let gust = Gust::new(GustConfig::new(8));
+        let mut schedule = gust.schedule(&m_a);
+        let colors_before = schedule.total_colors();
+        schedule.update_values(&m_b);
+        assert_eq!(schedule.total_colors(), colors_before, "coloring unchanged");
+        schedule.validate_against(&m_b);
+        let x = random_x(40, 4);
+        let run = gust.execute(&schedule, &x);
+        assert_vectors_close(&run.output, &reference_spmv(&m_b, &x), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity pattern mismatch")]
+    fn update_values_rejects_different_pattern() {
+        let m_a = CsrMatrix::from(&gen::uniform(20, 20, 60, 14));
+        let m_b = CsrMatrix::from(&gen::uniform(20, 20, 60, 15));
+        let mut schedule = Gust::new(GustConfig::new(4)).schedule(&m_a);
+        schedule.update_values(&m_b);
+    }
+
+    #[test]
+    fn traffic_scales_with_schedule_size() {
+        let m = CsrMatrix::from(&gen::uniform(64, 64, 256, 10));
+        let gust = Gust::new(GustConfig::new(8));
+        let s = gust.schedule(&m);
+        let run = gust.execute(&s, &random_x(64, 11));
+        let cells = 8 * s.total_colors();
+        assert!(run.report.traffic.off_chip_reads >= 2 * cells);
+        assert_eq!(run.report.traffic.off_chip_writes, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "different GUST length")]
+    fn mismatched_schedule_length_panics() {
+        let m = CsrMatrix::identity(8);
+        let s = Gust::new(GustConfig::new(4)).schedule(&m);
+        let _ = Gust::new(GustConfig::new(8)).execute(&s, &[1.0; 8]);
+    }
+}

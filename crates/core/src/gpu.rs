@@ -1,0 +1,185 @@
+//! The §7 GPU mapping sketch, made concrete.
+//!
+//! The paper's conclusion observes that GUST "is applicable to any hardware
+//! platform that can provide a set of multipliers and adders, and a crossbar
+//! connector. For example, consider GPUs. Each block of threads … has a
+//! shared memory that functions as a crossbar connector by design … the
+//! implementable GUST is a small length-k GUST for each block."
+//!
+//! [`GpuMapping`] models exactly that: `blocks` cooperative thread arrays,
+//! each acting as one length-`threads_per_block` GUST whose "crossbar" is
+//! the block's shared memory. Execution timing reuses the §5.5 parallel
+//! arrangement (windows distribute across blocks); the extra constraint a
+//! GPU adds is the shared-memory budget per block, which this module
+//! checks the same way §4 checks the Alveo's on-chip capacity.
+
+use crate::config::GustConfig;
+use crate::parallel::{ParallelGust, ParallelRun, WindowAssignment};
+use crate::schedule::scheduled::ScheduledMatrix;
+use gust_sparse::CsrMatrix;
+
+/// Shared memory per streaming multiprocessor block on a typical discrete
+/// GPU (48 KB — the portable lower bound the paper's sketch would target).
+pub const TYPICAL_SHARED_MEMORY_BYTES: usize = 48 * 1024;
+
+/// A GUST-on-GPU configuration: `blocks` × length-`threads_per_block`.
+///
+/// # Example
+///
+/// ```
+/// use gust::gpu::GpuMapping;
+///
+/// let mapping = GpuMapping::new(8, 32);
+/// assert_eq!(mapping.total_lanes(), 256);
+/// assert!(mapping.shared_memory_bytes_per_block() < 48 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuMapping {
+    blocks: usize,
+    threads_per_block: usize,
+}
+
+impl GpuMapping {
+    /// Creates a mapping of `blocks` blocks, each a length-`threads`
+    /// GUST.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    #[must_use]
+    pub fn new(blocks: usize, threads_per_block: usize) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        assert!(threads_per_block > 0, "need at least one thread per block");
+        Self {
+            blocks,
+            threads_per_block,
+        }
+    }
+
+    /// Blocks in the grid.
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Threads (= GUST lanes) per block.
+    #[must_use]
+    pub fn threads_per_block(&self) -> usize {
+        self.threads_per_block
+    }
+
+    /// Total lanes across the grid.
+    #[must_use]
+    pub fn total_lanes(&self) -> usize {
+        self.blocks * self.threads_per_block
+    }
+
+    /// Per-block GUST configuration (each block is one engine).
+    #[must_use]
+    pub fn engine_config(&self) -> GustConfig {
+        GustConfig::new(self.threads_per_block)
+    }
+
+    /// Shared memory one block needs for its "crossbar": the per-thread
+    /// partial-product slot, the per-adder accumulator, and a double buffer
+    /// of one timestep of inputs — the Buffer Filler's job, on chip.
+    #[must_use]
+    pub fn shared_memory_bytes_per_block(&self) -> usize {
+        let l = self.threads_per_block;
+        let partial_products = 4 * l; // f32 per lane
+        let accumulators = 4 * l; // f32 per adder
+        let timestep = (l * (64 + usize::BITS as usize)).div_ceil(8); // value+col+row idx
+        partial_products + accumulators + 2 * timestep
+    }
+
+    /// Whether the mapping fits the given shared-memory budget (see
+    /// [`TYPICAL_SHARED_MEMORY_BYTES`]).
+    #[must_use]
+    pub fn fits_shared_memory(&self, budget_bytes: usize) -> bool {
+        self.shared_memory_bytes_per_block() <= budget_bytes
+    }
+
+    /// Largest per-block length that fits the budget.
+    #[must_use]
+    pub fn max_threads_for_budget(budget_bytes: usize) -> usize {
+        let mut l = 1usize;
+        while GpuMapping::new(1, l * 2).shared_memory_bytes_per_block() <= budget_bytes {
+            l *= 2;
+        }
+        l
+    }
+
+    /// Schedules the matrix for the per-block length (one schedule serves
+    /// every block, as in §5.5).
+    #[must_use]
+    pub fn schedule(&self, matrix: &CsrMatrix) -> ScheduledMatrix {
+        ParallelGust::new(self.engine_config(), self.blocks).schedule(matrix)
+    }
+
+    /// Executes one SpMV across the grid: windows distribute over blocks
+    /// least-loaded (a GPU scheduler balances CTAs the same way).
+    ///
+    /// # Panics
+    ///
+    /// Panics on schedule/vector mismatches, as [`ParallelGust::execute`].
+    #[must_use]
+    pub fn execute(&self, schedule: &ScheduledMatrix, x: &[f32]) -> ParallelRun {
+        ParallelGust::new(self.engine_config(), self.blocks)
+            .with_assignment(WindowAssignment::LeastLoaded)
+            .execute(schedule, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gust_sparse::prelude::*;
+
+    #[test]
+    fn paper_sketch_fits_shared_memory() {
+        // "a small length-k GUST for each block": length 32-64 comfortably
+        // fits 48 KB of shared memory.
+        for l in [32usize, 64] {
+            let mapping = GpuMapping::new(16, l);
+            assert!(mapping.fits_shared_memory(TYPICAL_SHARED_MEMORY_BYTES), "l={l}");
+        }
+    }
+
+    #[test]
+    fn max_threads_for_budget_is_maximal() {
+        let l = GpuMapping::max_threads_for_budget(TYPICAL_SHARED_MEMORY_BYTES);
+        assert!(GpuMapping::new(1, l).fits_shared_memory(TYPICAL_SHARED_MEMORY_BYTES));
+        assert!(!GpuMapping::new(1, l * 2).fits_shared_memory(TYPICAL_SHARED_MEMORY_BYTES));
+    }
+
+    #[test]
+    fn grid_execution_is_correct() {
+        let m = CsrMatrix::from(&gen::uniform(128, 128, 900, 3));
+        let x: Vec<f32> = (0..128).map(|i| (i % 9) as f32 - 4.0).collect();
+        let mapping = GpuMapping::new(4, 16);
+        let schedule = mapping.schedule(&m);
+        let run = mapping.execute(&schedule, &x);
+        assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-3);
+        assert_eq!(run.per_engine_cycles.len(), 4);
+    }
+
+    #[test]
+    fn more_blocks_reduce_makespan() {
+        let m = CsrMatrix::from(&gen::uniform(256, 256, 2000, 5));
+        let x: Vec<f32> = (0..256).map(|i| (i % 5) as f32).collect();
+        let small = GpuMapping::new(1, 32);
+        let large = GpuMapping::new(8, 32);
+        let schedule = small.schedule(&m); // same per-block length
+        let t1 = small.execute(&schedule, &x).report.cycles;
+        let t8 = large.execute(&schedule, &x).report.cycles;
+        assert!(t8 < t1, "8 blocks {t8} vs 1 block {t1}");
+    }
+
+    #[test]
+    fn shared_memory_grows_linearly_with_length() {
+        let a = GpuMapping::new(1, 32).shared_memory_bytes_per_block();
+        let b = GpuMapping::new(1, 64).shared_memory_bytes_per_block();
+        let ratio = b as f64 / a as f64;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,236 @@
+//! The Buffer Filler (paper §3.2/§4).
+//!
+//! The off-chip memory cannot feed 18,433 logical inputs directly, so the
+//! paper inserts a Buffer Filler: the input vector is stored in on-chip
+//! memory first, then each scheduled partition streams from HBM into a
+//! double buffer, from which the Buffer Filler fills the per-lane matrix /
+//! vector / index FIFOs (fetching each vector operand by its `Col_sch`
+//! index).
+
+use super::LaneInput;
+use crate::schedule::scheduled::{log2_ceil, ScheduledMatrix};
+use gust_sim::{Fifo, MemoryTraffic, OnChipBuffer};
+
+/// Streams a [`ScheduledMatrix`] into per-lane FIFOs, one color per cycle.
+#[derive(Debug)]
+pub struct BufferFiller<'a> {
+    schedule: &'a ScheduledMatrix,
+    x: &'a [f32],
+    window: usize,
+    color: u32,
+    traffic: MemoryTraffic,
+    on_chip: OnChipBuffer,
+}
+
+impl<'a> BufferFiller<'a> {
+    /// Creates a filler and performs the paper's step one: forwarding the
+    /// input vector to on-chip memory (also reserving the double buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != schedule.cols()` or the vector plus double
+    /// buffer exceed the Alveo U280's 41 MB of on-chip memory (§4 shows the
+    /// budget accommodates vectors up to dimension ~1e7).
+    #[must_use]
+    pub fn new(schedule: &'a ScheduledMatrix, x: &'a [f32]) -> Self {
+        assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
+        let mut on_chip = OnChipBuffer::alveo_u280();
+        let vector_bytes = (x.len() as u64) * 4;
+        // Double buffer: two timesteps of inputs (§4: "twice the size of the
+        // input values in a timestep").
+        let l = schedule.length() as u64;
+        let timestep_bits = l * (64 + u64::from(log2_ceil(schedule.length()))) + 1;
+        let double_buffer_bytes = 2 * timestep_bits.div_ceil(8);
+        on_chip
+            .allocate(vector_bytes + double_buffer_bytes)
+            .expect("vector + double buffer must fit in on-chip memory");
+
+        let mut traffic = MemoryTraffic::default();
+        // Vector: read from HBM, written on chip.
+        traffic.off_chip_reads += x.len() as u64;
+        traffic.on_chip_writes += x.len() as u64;
+
+        // Position on the first window that actually streams data, so a
+        // schedule with no non-zeros reports drained immediately (and the
+        // pipeline runs for zero cycles, matching the fast engine).
+        let mut window = 0usize;
+        while window < schedule.windows().len() && schedule.windows()[window].colors() == 0 {
+            window += 1;
+        }
+
+        Self {
+            schedule,
+            x,
+            window,
+            color: 0,
+            traffic,
+            on_chip,
+        }
+    }
+
+    /// Whether every color of every window has been streamed.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.window >= self.schedule.windows().len()
+    }
+
+    /// Streams one color (one timestep) into the FIFOs. Returns `false`
+    /// when the schedule is drained and nothing was pushed.
+    ///
+    /// `fifos[lane]` receives `Some(LaneInput)` for an occupied slot and
+    /// `None` (a bubble) otherwise, keeping all lanes cycle-aligned.
+    /// `dump_fifo` receives `true` when this timestep is the last color of
+    /// its window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fifos.len()` differs from the schedule's length.
+    pub fn fill_one_color(
+        &mut self,
+        fifos: &mut [Fifo<Option<LaneInput>>],
+        dump_fifo: &mut Fifo<bool>,
+    ) -> bool {
+        let l = self.schedule.length();
+        assert_eq!(fifos.len(), l, "one FIFO per lane required");
+        // Skip over empty windows (they occupy zero cycles).
+        while !self.is_drained() && self.schedule.windows()[self.window].colors() == 0 {
+            self.window += 1;
+        }
+        if self.is_drained() {
+            return false;
+        }
+        let window = &self.schedule.windows()[self.window];
+        let slots = window.color_slots(self.color);
+
+        let mut lane_inputs: Vec<Option<LaneInput>> = vec![None; l];
+        for s in slots {
+            // The Buffer Filler fetches the vector operand from its on-chip
+            // copy using Col_sch.
+            self.traffic.on_chip_reads += 1;
+            lane_inputs[s.lane as usize] = Some(LaneInput {
+                value: s.value,
+                vector: self.x[s.col as usize],
+                row_mod: s.row_mod,
+            });
+        }
+        // The dense timestep (all l cells + indices) moves from HBM through
+        // the double buffer regardless of occupancy.
+        let row_bits = u64::from(log2_ceil(l));
+        let timestep_words = 2 * l as u64 + (l as u64 * row_bits).div_ceil(32);
+        self.traffic.off_chip_reads += timestep_words;
+        self.traffic.on_chip_writes += timestep_words;
+        self.traffic.on_chip_reads += timestep_words;
+
+        for (fifo, input) in fifos.iter_mut().zip(lane_inputs) {
+            fifo.push(input).expect("lane FIFO overflow");
+        }
+        let last_of_window = self.color + 1 == window.colors();
+        dump_fifo
+            .push(last_of_window)
+            .expect("dump FIFO overflow");
+
+        if last_of_window {
+            self.window += 1;
+            self.color = 0;
+        } else {
+            self.color += 1;
+        }
+        true
+    }
+
+    /// Traffic accumulated so far (vector load + streamed partitions).
+    #[must_use]
+    pub fn traffic(&self) -> &MemoryTraffic {
+        &self.traffic
+    }
+
+    /// On-chip allocation state (vector + double buffer).
+    #[must_use]
+    pub fn on_chip(&self) -> &OnChipBuffer {
+        &self.on_chip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GustConfig;
+    use crate::engine::Gust;
+    use gust_sparse::prelude::*;
+
+    fn small_schedule() -> (CsrMatrix, ScheduledMatrix) {
+        let m = CsrMatrix::from(&gen::uniform(12, 12, 40, 3));
+        let s = Gust::new(GustConfig::new(4)).schedule(&m);
+        (m, s)
+    }
+
+    #[test]
+    fn fills_exactly_total_colors_steps() {
+        let (_, s) = small_schedule();
+        let x = vec![1.0f32; 12];
+        let mut filler = BufferFiller::new(&s, &x);
+        let mut fifos: Vec<Fifo<Option<LaneInput>>> =
+            (0..4).map(|_| Fifo::unbounded()).collect();
+        let mut dump = Fifo::unbounded();
+        let mut steps = 0u64;
+        while filler.fill_one_color(&mut fifos, &mut dump) {
+            steps += 1;
+        }
+        assert_eq!(steps, s.total_colors());
+        assert_eq!(dump.len() as u64, steps);
+        assert!(filler.is_drained());
+    }
+
+    #[test]
+    fn dump_markers_match_window_boundaries() {
+        let (_, s) = small_schedule();
+        let x = vec![1.0f32; 12];
+        let mut filler = BufferFiller::new(&s, &x);
+        let mut fifos: Vec<Fifo<Option<LaneInput>>> =
+            (0..4).map(|_| Fifo::unbounded()).collect();
+        let mut dump = Fifo::unbounded();
+        while filler.fill_one_color(&mut fifos, &mut dump) {}
+        let markers: Vec<bool> = std::iter::from_fn(|| dump.pop()).collect();
+        let dumps = markers.iter().filter(|&&b| b).count();
+        let nonempty_windows = s.windows().iter().filter(|w| w.colors() > 0).count();
+        assert_eq!(dumps, nonempty_windows);
+        assert_eq!(markers.last(), Some(&true));
+    }
+
+    #[test]
+    fn vector_operands_are_fetched_by_col_sch() {
+        let coo = CooMatrix::from_triplets(2, 4, vec![(0, 3, 2.0), (1, 1, 5.0)]).unwrap();
+        let m = CsrMatrix::from(&coo);
+        let s = Gust::new(GustConfig::new(2)).schedule(&m);
+        let x = [10.0, 20.0, 30.0, 40.0];
+        let mut filler = BufferFiller::new(&s, &x);
+        let mut fifos: Vec<Fifo<Option<LaneInput>>> =
+            (0..2).map(|_| Fifo::unbounded()).collect();
+        let mut dump = Fifo::unbounded();
+        while filler.fill_one_color(&mut fifos, &mut dump) {}
+        let mut seen: Vec<(f32, f32)> = Vec::new();
+        for fifo in &mut fifos {
+            while let Some(entry) = fifo.pop() {
+                if let Some(input) = entry {
+                    seen.push((input.value, input.vector));
+                }
+            }
+        }
+        seen.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert_eq!(seen, vec![(2.0, 40.0), (5.0, 20.0)]);
+    }
+
+    #[test]
+    fn traffic_includes_vector_load_and_dense_stream() {
+        let (_, s) = small_schedule();
+        let x = vec![1.0f32; 12];
+        let mut filler = BufferFiller::new(&s, &x);
+        let mut fifos: Vec<Fifo<Option<LaneInput>>> =
+            (0..4).map(|_| Fifo::unbounded()).collect();
+        let mut dump = Fifo::unbounded();
+        while filler.fill_one_color(&mut fifos, &mut dump) {}
+        let t = filler.traffic();
+        assert!(t.off_chip_reads >= 12 + 2 * 4 * s.total_colors());
+        assert!(t.on_chip_reads >= s.nnz() as u64);
+    }
+}

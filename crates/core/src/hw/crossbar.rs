@@ -1,0 +1,146 @@
+//! The crossbar connector: `l` partial-product inputs, `l` index inputs,
+//! `l` outputs to the adders (paper §3.2).
+
+use std::error::Error;
+use std::fmt;
+
+/// Two partial products routed to the same adder in one cycle — the
+/// collision the edge-coloring scheduler exists to rule out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossbarCollision {
+    /// The adder both products targeted.
+    pub adder: u32,
+    /// The two offending input lanes.
+    pub lanes: (u32, u32),
+}
+
+impl fmt::Display for CrossbarCollision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crossbar collision: lanes {} and {} both target adder {}",
+            self.lanes.0, self.lanes.1, self.adder
+        )
+    }
+}
+
+impl Error for CrossbarCollision {}
+
+/// A full `l × l` crossbar.
+///
+/// # Example
+///
+/// ```
+/// use gust::hw::Crossbar;
+///
+/// let xbar = Crossbar::new(4);
+/// let routed = xbar
+///     .route(&[Some((1.5, 2)), None, Some((2.5, 0)), None])
+///     .unwrap();
+/// assert_eq!(routed, vec![Some(2.5), None, Some(1.5), None]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    length: usize,
+}
+
+impl Crossbar {
+    /// Creates an `l × l` crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    #[must_use]
+    pub fn new(length: usize) -> Self {
+        assert!(length > 0, "crossbar length must be non-zero");
+        Self { length }
+    }
+
+    /// Port count `l`.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Routes one cycle of partial products. `inputs[lane]` is
+    /// `Some((product, adder_index))` for an occupied lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarCollision`] if two lanes target the same adder —
+    /// in hardware the second product would be lost (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.length()` or an adder index is out
+    /// of range.
+    pub fn route(
+        &self,
+        inputs: &[Option<(f32, u32)>],
+    ) -> Result<Vec<Option<f32>>, CrossbarCollision> {
+        assert_eq!(inputs.len(), self.length, "one input per lane required");
+        let mut outputs: Vec<Option<f32>> = vec![None; self.length];
+        let mut owner: Vec<u32> = vec![u32::MAX; self.length];
+        for (lane, entry) in inputs.iter().enumerate() {
+            if let Some((product, adder)) = entry {
+                let a = *adder as usize;
+                assert!(a < self.length, "adder index {a} out of range");
+                if outputs[a].is_some() {
+                    return Err(CrossbarCollision {
+                        adder: *adder,
+                        lanes: (owner[a], lane as u32),
+                    });
+                }
+                outputs[a] = Some(*product);
+                owner[a] = lane as u32;
+            }
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_index() {
+        let xbar = Crossbar::new(3);
+        let out = xbar
+            .route(&[Some((1.0, 2)), Some((2.0, 0)), Some((3.0, 1))])
+            .unwrap();
+        assert_eq!(out, vec![Some(2.0), Some(3.0), Some(1.0)]);
+    }
+
+    #[test]
+    fn idle_lanes_route_nothing() {
+        let xbar = Crossbar::new(2);
+        let out = xbar.route(&[None, None]).unwrap();
+        assert_eq!(out, vec![None, None]);
+    }
+
+    #[test]
+    fn collision_is_detected_with_both_lanes() {
+        let xbar = Crossbar::new(3);
+        let err = xbar
+            .route(&[Some((1.0, 1)), None, Some((2.0, 1))])
+            .unwrap_err();
+        assert_eq!(err.adder, 1);
+        assert_eq!(err.lanes, (0, 2));
+        assert!(err.to_string().contains("adder 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_adder_index_panics() {
+        let xbar = Crossbar::new(2);
+        let _ = xbar.route(&[Some((1.0, 5)), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per lane")]
+    fn wrong_width_panics() {
+        let xbar = Crossbar::new(2);
+        let _ = xbar.route(&[None]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Structural model of the GUST hardware (paper Fig. 2).
+//!
+//! Where [`crate::engine`] walks the schedule color-by-color for speed, this
+//! module wires up the actual blocks — [`BufferFiller`], per-lane FIFOs,
+//! multipliers, the [`Crossbar`] and the adder bank — and advances them one
+//! clock at a time through [`gust_sim::Clocked`]. Unit tests and the
+//! `pipeline_equivalence` integration test assert it produces exactly the
+//! same output vector and cycle count as the fast engine, which is what
+//! licenses using the fast path in the benchmark sweeps.
+
+mod buffer_filler;
+mod crossbar;
+mod pipeline;
+
+pub use buffer_filler::BufferFiller;
+pub use crossbar::{Crossbar, CrossbarCollision};
+pub use pipeline::GustPipeline;
+
+/// One lane's input bundle for a cycle: the matrix element, the vector
+/// element it multiplies (already fetched by the Buffer Filler via
+/// `Col_sch`), and the destination adder from `Row_sch`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneInput {
+    /// Matrix value (`M_sch` entry).
+    pub value: f32,
+    /// Vector value (`x[Col_sch]`, fetched on chip).
+    pub vector: f32,
+    /// Destination adder (`Row_sch` entry).
+    pub row_mod: u32,
+}

@@ -1,0 +1,348 @@
+//! The three-level GUST pipeline: multipliers → crossbar → adders.
+//!
+//! [`GustPipeline`] is a [`Clocked`] component. Each tick executes one clock
+//! edge for all three levels (in reverse order, as hardware registers do):
+//! the adders consume the crossbar's output registers, the crossbar routes
+//! the multipliers' output registers, and the multipliers pop one entry
+//! from every lane FIFO, which the Buffer Filler refills one color per
+//! cycle. A full run therefore takes exactly `Σ colors + 2` cycles — the
+//! paper's execution-time expression — and the unit tests assert the
+//! pipeline agrees cycle-for-cycle and bit-for-bit with the fast engine.
+
+use super::buffer_filler::BufferFiller;
+use super::crossbar::Crossbar;
+use super::LaneInput;
+use crate::schedule::scheduled::ScheduledMatrix;
+use gust_sim::{Clock, Clocked, Cycle, CycleTrace, ExecutionReport, Fifo, UnitCounter};
+
+/// Structural cycle-accurate GUST model (Fig. 2).
+#[derive(Debug)]
+pub struct GustPipeline<'a> {
+    schedule: &'a ScheduledMatrix,
+    filler: BufferFiller<'a>,
+    lane_fifos: Vec<Fifo<Option<LaneInput>>>,
+    dump_fifo: Fifo<bool>,
+    crossbar: Crossbar,
+
+    // Pipeline registers.
+    mult_out: Vec<Option<(f32, u32)>>, // (partial product, adder index)
+    mult_dump: bool,
+    adder_in: Vec<Option<f32>>, // routed partial products, per adder
+    adder_dump: bool,
+    mult_out_valid: bool,
+    adder_in_valid: bool,
+
+    // Architectural state.
+    adders: Vec<f32>,
+    output: Vec<f32>,
+    windows_dumped: usize,
+
+    // Accounting.
+    mult_counter: UnitCounter,
+    add_counter: UnitCounter,
+    multiplies: u64,
+    trace: Option<CycleTrace>,
+    tick_busy_mults: u32,
+    tick_busy_adds: u32,
+    tick_dumped: bool,
+}
+
+impl<'a> GustPipeline<'a> {
+    /// Wires up the pipeline for one SpMV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != schedule.cols()`.
+    #[must_use]
+    pub fn new(schedule: &'a ScheduledMatrix, x: &'a [f32]) -> Self {
+        let l = schedule.length();
+        Self {
+            schedule,
+            filler: BufferFiller::new(schedule, x),
+            lane_fifos: (0..l).map(|_| Fifo::unbounded()).collect(),
+            dump_fifo: Fifo::unbounded(),
+            crossbar: Crossbar::new(l),
+            mult_out: vec![None; l],
+            mult_dump: false,
+            adder_in: vec![None; l],
+            adder_dump: false,
+            mult_out_valid: false,
+            adder_in_valid: false,
+            adders: vec![0.0; l],
+            output: vec![0.0; schedule.rows()],
+            windows_dumped: 0,
+            mult_counter: UnitCounter::new("multipliers", l),
+            add_counter: UnitCounter::new("adders", l),
+            multiplies: 0,
+            trace: None,
+            tick_busy_mults: 0,
+            tick_busy_adds: 0,
+            tick_dumped: false,
+        }
+    }
+
+    /// Enables per-cycle trace recording (see [`CycleTrace`]).
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(CycleTrace::new());
+        self
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&CycleTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Number of windows whose results have been dumped so far.
+    #[must_use]
+    pub fn windows_dumped(&self) -> usize {
+        self.windows_dumped
+    }
+
+    /// The output vector (complete once [`Clocked::is_idle`] is true).
+    #[must_use]
+    pub fn output(&self) -> &[f32] {
+        &self.output
+    }
+
+    /// Runs the pipeline to quiescence and packages the result.
+    ///
+    /// Returns the output vector and a report identical (modulo the
+    /// `design` string) to the fast engine's.
+    #[must_use]
+    pub fn run(schedule: &'a ScheduledMatrix, x: &'a [f32], frequency_hz: f64) -> (Vec<f32>, ExecutionReport) {
+        let mut pipeline = Self::new(schedule, x);
+        let mut clock = Clock::at_frequency(frequency_hz);
+        let budget = schedule.total_colors() + 16;
+        let cycles = gust_sim::clock::run_to_idle(&mut pipeline, &mut clock, budget);
+
+        let mut report = ExecutionReport::new(
+            format!("gust{}-pipeline", schedule.length()),
+            schedule.length(),
+            2 * schedule.length(),
+        );
+        report.cycles = cycles;
+        report.nnz_processed = schedule.nnz() as u64;
+        report.busy_unit_cycles =
+            pipeline.mult_counter.busy_unit_cycles() + pipeline.add_counter.busy_unit_cycles();
+        report.multiplies = pipeline.multiplies;
+        report.additions = pipeline.multiplies;
+        report.frequency_hz = frequency_hz;
+        report.traffic = *pipeline.filler.traffic();
+        (pipeline.output, report)
+    }
+
+    /// Stage 3: adders consume the crossbar registers, accumulating; on a
+    /// dump marker the window's sums retire to the output vector.
+    fn tick_adders(&mut self) {
+        if !self.adder_in_valid {
+            return;
+        }
+        let mut busy = 0usize;
+        for (adder, slot) in self.adders.iter_mut().zip(self.adder_in.iter_mut()) {
+            if let Some(product) = slot.take() {
+                *adder += product;
+                busy += 1;
+            }
+        }
+        self.add_counter.record_busy(busy);
+        self.tick_busy_adds = busy as u32;
+        if self.adder_dump {
+            // Empty windows occupy no cycles and therefore produce no dump
+            // marker; their output rows stay zero (the vector starts
+            // zeroed), so they are simply skipped when mapping this dump to
+            // its row block.
+            while self.schedule.windows()[self.windows_dumped].colors() == 0 {
+                self.windows_dumped += 1;
+            }
+            let l = self.schedule.length();
+            let base = self.windows_dumped * l;
+            let row_perm = self.schedule.row_perm();
+            for (i, adder) in self.adders.iter_mut().enumerate() {
+                let pos = base + i;
+                if pos < row_perm.len() {
+                    self.output[row_perm[pos] as usize] = *adder;
+                }
+                *adder = 0.0;
+            }
+            self.windows_dumped += 1;
+            self.adder_dump = false;
+            self.tick_dumped = true;
+        }
+        self.adder_in_valid = false;
+    }
+
+    /// Stage 2: crossbar routes the multiplier registers into the adder
+    /// registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a routing collision — a scheduled matrix can never cause
+    /// one; hitting this means the schedule (or this model) is broken.
+    fn tick_crossbar(&mut self) {
+        if !self.mult_out_valid {
+            return;
+        }
+        let routed = self
+            .crossbar
+            .route(&self.mult_out)
+            .expect("edge-colored schedules are collision-free");
+        self.adder_in = routed;
+        self.adder_dump = self.mult_dump;
+        self.adder_in_valid = true;
+        self.mult_out.iter_mut().for_each(|slot| *slot = None);
+        self.mult_dump = false;
+        self.mult_out_valid = false;
+    }
+
+    /// Stage 1: each multiplier pops its FIFO and computes one partial
+    /// product.
+    fn tick_multipliers(&mut self) {
+        if self.lane_fifos[0].is_empty() {
+            return;
+        }
+        let mut busy = 0usize;
+        for (lane, fifo) in self.lane_fifos.iter_mut().enumerate() {
+            let entry = fifo.pop().expect("lanes are cycle-aligned");
+            self.mult_out[lane] = entry.map(|input| {
+                busy += 1;
+                (input.value * input.vector, input.row_mod)
+            });
+        }
+        self.mult_counter.record_busy(busy);
+        self.multiplies += busy as u64;
+        self.tick_busy_mults = busy as u32;
+        self.mult_dump = self.dump_fifo.pop().expect("dump stream aligned");
+        self.mult_out_valid = true;
+    }
+}
+
+impl Clocked for GustPipeline<'_> {
+    fn tick(&mut self, now: Cycle) {
+        self.tick_busy_mults = 0;
+        self.tick_busy_adds = 0;
+        self.tick_dumped = false;
+        // Reverse order models register transfer: each stage consumes what
+        // the previous stage produced on the *previous* edge.
+        self.tick_adders();
+        self.tick_crossbar();
+        // Stage 0: the Buffer Filler's double buffer guarantees the lane
+        // FIFOs always hold the cycle's inputs before the multipliers read
+        // them (§4's two-step pipelined fill).
+        if self.lane_fifos[0].is_empty() && !self.filler.is_drained() {
+            self.filler
+                .fill_one_color(&mut self.lane_fifos, &mut self.dump_fifo);
+        }
+        self.tick_multipliers();
+        if let Some(trace) = &mut self.trace {
+            trace.record(now, self.tick_busy_mults, self.tick_busy_adds, self.tick_dumped);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.filler.is_drained()
+            && self.lane_fifos[0].is_empty()
+            && !self.mult_out_valid
+            && !self.adder_in_valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GustConfig, SchedulingPolicy};
+    use crate::engine::Gust;
+    use gust_sparse::prelude::*;
+
+    fn random_x(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+                ((h % 1000) as f32) / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_matches_fast_engine_exactly() {
+        for seed in 0..4 {
+            let m = CsrMatrix::from(&gen::uniform(24, 24, 160, seed));
+            let x = random_x(24, seed);
+            let gust = Gust::new(GustConfig::new(8));
+            let schedule = gust.schedule(&m);
+            let fast = gust.execute(&schedule, &x);
+            let (out, report) = GustPipeline::run(&schedule, &x, 96.0e6);
+            assert_eq!(out, fast.output, "seed {seed}: outputs differ");
+            assert_eq!(report.cycles, fast.report.cycles, "seed {seed}");
+            assert_eq!(
+                report.busy_unit_cycles, fast.report.busy_unit_cycles,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_is_exactly_two_beyond_streaming() {
+        let m = CsrMatrix::identity(8);
+        let gust = Gust::new(GustConfig::new(4));
+        let schedule = gust.schedule(&m);
+        let (_, report) = GustPipeline::run(&schedule, &[1.0; 8], 96.0e6);
+        assert_eq!(report.cycles, schedule.total_colors() + 2);
+    }
+
+    #[test]
+    fn pipeline_handles_naive_schedules_too() {
+        let m = CsrMatrix::from(&gen::uniform(16, 16, 100, 9));
+        let x = random_x(16, 1);
+        let gust = Gust::new(GustConfig::new(4).with_policy(SchedulingPolicy::Naive));
+        let schedule = gust.schedule(&m);
+        let fast = gust.execute(&schedule, &x);
+        let (out, report) = GustPipeline::run(&schedule, &x, 96.0e6);
+        assert_eq!(out, fast.output);
+        assert_eq!(report.cycles, fast.report.cycles);
+    }
+
+    #[test]
+    fn pipeline_output_matches_reference() {
+        let m = CsrMatrix::from(&gen::power_law(32, 32, 250, 1.9, 2));
+        let x = random_x(32, 3);
+        let schedule = Gust::new(GustConfig::new(8)).schedule(&m);
+        let (out, _) = GustPipeline::run(&schedule, &x, 96.0e6);
+        assert_vectors_close(&out, &reference_spmv(&m, &x), 1e-4);
+    }
+
+    #[test]
+    fn trace_accounts_for_every_cycle_and_dump() {
+        let m = CsrMatrix::from(&gen::uniform(24, 24, 150, 4));
+        let x = random_x(24, 5);
+        let schedule = Gust::new(GustConfig::new(8)).schedule(&m);
+        let mut pipeline = GustPipeline::new(&schedule, &x).with_trace();
+        let mut clock = Clock::new();
+        let cycles =
+            gust_sim::clock::run_to_idle(&mut pipeline, &mut clock, schedule.total_colors() + 16);
+        let trace = pipeline.trace().expect("tracing enabled");
+        assert_eq!(trace.len() as u64, cycles);
+        // Every multiply and accumulate appears in the trace.
+        assert_eq!(trace.total_busy_multipliers(), m.nnz() as u64);
+        assert_eq!(trace.total_busy_adders(), m.nnz() as u64);
+        // One dump per non-empty window.
+        let active = schedule.windows().iter().filter(|w| w.colors() > 0).count();
+        assert_eq!(trace.dumps(), active);
+        // The two pipeline-fill bubbles are the only fully idle cycles at
+        // this density.
+        assert!(trace.idle_cycles() <= 2);
+    }
+
+    #[test]
+    fn empty_trailing_window_rows_are_zeroed() {
+        // 10 rows at l=4: last window has 2 rows; matrix has an empty row.
+        let coo = CooMatrix::from_triplets(10, 10, vec![(0, 0, 1.0), (9, 9, 2.0)]).unwrap();
+        let m = CsrMatrix::from(&coo);
+        let schedule = Gust::new(GustConfig::new(4)).schedule(&m);
+        let (out, _) = GustPipeline::run(&schedule, &[1.0; 10], 96.0e6);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[9], 2.0);
+        assert!(out[1..9].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,219 @@
+//! Parallel GUST arrangement: `k` length-`l` engines (§5.5).
+//!
+//! The crossbar's area grows quadratically and its power superlinearly with
+//! `l` (Table 5), so instead of one long GUST the paper proposes `k`
+//! parallel short ones. Windows (row sets) are independent, so they
+//! distribute naturally; the schedule for a length-`l` GUST is reused
+//! verbatim. The costs the paper predicts — reduced cross-row/column
+//! sharing and imperfect work division — fall out of this model and are
+//! quantified by the `ablation` bench.
+
+use crate::config::GustConfig;
+use crate::engine::{Gust, GustRun};
+use crate::schedule::scheduled::ScheduledMatrix;
+use gust_sim::ExecutionReport;
+
+/// How windows are placed onto the `k` engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowAssignment {
+    /// Window `w` goes to engine `w mod k` (no lookahead — what simple
+    /// hardware would do).
+    #[default]
+    RoundRobin,
+    /// Longest-processing-time first: windows sorted by color count, each
+    /// placed on the least-loaded engine. An upper bound on how much smart
+    /// placement can recover.
+    LeastLoaded,
+}
+
+/// `k` independent length-`l` GUST engines working one SpMV.
+#[derive(Debug, Clone)]
+pub struct ParallelGust {
+    config: GustConfig,
+    k: usize,
+    assignment: WindowAssignment,
+}
+
+/// Result of a parallel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelRun {
+    /// The computed output vector.
+    pub output: Vec<f32>,
+    /// Aggregate report: cycles = the slowest engine (the makespan), unit
+    /// counts summed over all `k` engines.
+    pub report: ExecutionReport,
+    /// Streaming cycles each engine spent (before the +2 pipeline depth).
+    pub per_engine_cycles: Vec<u64>,
+}
+
+impl ParallelGust {
+    /// Creates `k` parallel engines of the given per-engine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(config: GustConfig, k: usize) -> Self {
+        assert!(k > 0, "need at least one engine");
+        Self {
+            config,
+            k,
+            assignment: WindowAssignment::default(),
+        }
+    }
+
+    /// Selects the window-placement strategy.
+    #[must_use]
+    pub fn with_assignment(mut self, assignment: WindowAssignment) -> Self {
+        self.assignment = assignment;
+        self
+    }
+
+    /// Engine count `k`.
+    #[must_use]
+    pub fn engines(&self) -> usize {
+        self.k
+    }
+
+    /// Per-engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &GustConfig {
+        &self.config
+    }
+
+    /// Total arithmetic units across all engines: `k × 2l`.
+    #[must_use]
+    pub fn arithmetic_units(&self) -> usize {
+        self.k * self.config.arithmetic_units()
+    }
+
+    /// Schedules the matrix once (identical to the single-engine schedule —
+    /// §5.5: "the Edge-Coloring schedule would not need to change").
+    #[must_use]
+    pub fn schedule(&self, matrix: &gust_sparse::CsrMatrix) -> ScheduledMatrix {
+        Gust::new(self.config.clone()).schedule(matrix)
+    }
+
+    /// Executes one SpMV across the `k` engines.
+    ///
+    /// The output is identical to the single-engine run (windows write
+    /// disjoint rows); only the timing differs: the makespan is the busiest
+    /// engine's streaming cycles plus the pipeline depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's length mismatches the configuration or
+    /// `x.len() != schedule.cols()`.
+    #[must_use]
+    pub fn execute(&self, schedule: &ScheduledMatrix, x: &[f32]) -> ParallelRun {
+        // Functional result comes from the (equivalent) sequential engine.
+        let single: GustRun = Gust::new(self.config.clone()).execute(schedule, x);
+
+        // Timing: distribute window color counts over k engines.
+        let colors: Vec<u64> = schedule
+            .windows()
+            .iter()
+            .map(|w| u64::from(w.colors()))
+            .collect();
+        let mut per_engine = vec![0u64; self.k];
+        match self.assignment {
+            WindowAssignment::RoundRobin => {
+                for (w, &c) in colors.iter().enumerate() {
+                    per_engine[w % self.k] += c;
+                }
+            }
+            WindowAssignment::LeastLoaded => {
+                let mut order: Vec<usize> = (0..colors.len()).collect();
+                order.sort_unstable_by_key(|&w| std::cmp::Reverse(colors[w]));
+                for w in order {
+                    let engine = per_engine
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &load)| load)
+                        .map(|(i, _)| i)
+                        .expect("k > 0");
+                    per_engine[engine] += colors[w];
+                }
+            }
+        }
+        let makespan = per_engine.iter().copied().max().unwrap_or(0) + 2;
+
+        let mut report = single.report.clone();
+        report.design = format!("{}x{}", self.k, report.design);
+        report.cycles = makespan;
+        report.arithmetic_units = self.arithmetic_units();
+        ParallelRun {
+            output: single.output,
+            report,
+            per_engine_cycles: per_engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GustConfig;
+    use gust_sparse::prelude::*;
+
+    fn setup(seed: u64) -> (CsrMatrix, ScheduledMatrix, Vec<f32>) {
+        let m = CsrMatrix::from(&gen::uniform(64, 64, 512, seed));
+        let schedule = Gust::new(GustConfig::new(8)).schedule(&m);
+        let x: Vec<f32> = (0..64).map(|i| (i % 7) as f32 - 3.0).collect();
+        (m, schedule, x)
+    }
+
+    #[test]
+    fn output_matches_single_engine() {
+        let (m, schedule, x) = setup(1);
+        let parallel = ParallelGust::new(GustConfig::new(8), 4);
+        let run = parallel.execute(&schedule, &x);
+        assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-4);
+    }
+
+    #[test]
+    fn parallelism_reduces_makespan() {
+        let (_, schedule, x) = setup(2);
+        let single = ParallelGust::new(GustConfig::new(8), 1).execute(&schedule, &x);
+        let quad = ParallelGust::new(GustConfig::new(8), 4).execute(&schedule, &x);
+        assert!(quad.report.cycles < single.report.cycles);
+        // But not below the perfect split (total/k + 2).
+        let total = schedule.total_colors();
+        assert!(quad.report.cycles >= total / 4 + 2);
+    }
+
+    #[test]
+    fn k1_equals_sequential_cycles() {
+        let (_, schedule, x) = setup(3);
+        let run = ParallelGust::new(GustConfig::new(8), 1).execute(&schedule, &x);
+        assert_eq!(run.report.cycles, schedule.total_colors() + 2);
+    }
+
+    #[test]
+    fn least_loaded_never_slower_than_round_robin() {
+        let (_, schedule, x) = setup(4);
+        for k in [2, 3, 4] {
+            let rr = ParallelGust::new(GustConfig::new(8), k).execute(&schedule, &x);
+            let ll = ParallelGust::new(GustConfig::new(8), k)
+                .with_assignment(WindowAssignment::LeastLoaded)
+                .execute(&schedule, &x);
+            assert!(ll.report.cycles <= rr.report.cycles, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn per_engine_cycles_sum_to_total() {
+        let (_, schedule, x) = setup(5);
+        let run = ParallelGust::new(GustConfig::new(8), 3).execute(&schedule, &x);
+        let sum: u64 = run.per_engine_cycles.iter().sum();
+        assert_eq!(sum, schedule.total_colors());
+    }
+
+    #[test]
+    fn report_counts_all_engines_units() {
+        let (_, schedule, x) = setup(6);
+        let run = ParallelGust::new(GustConfig::new(8), 4).execute(&schedule, &x);
+        assert_eq!(run.report.arithmetic_units, 4 * 16);
+        assert!(run.report.design.starts_with("4x"));
+    }
+}

@@ -1,0 +1,330 @@
+//! The paper's greedy edge-coloring scheduler (Listing 1).
+//!
+//! Each window is a bipartite multigraph: left vertices are the window's
+//! rows (adders), right vertices the multiplier lanes, and each non-zero an
+//! edge. A *color* is a time slot; a valid coloring never gives two edges at
+//! the same vertex the same color, which is precisely "no two elements of a
+//! row in one cycle" (adder collision) and "no two elements of a column
+//! segment in one cycle" (lane conflict).
+//!
+//! Listing 1 colors by repeated greedy matchings: for each color, scan the
+//! rows in order; each row contributes its first edge whose lane is not yet
+//! matched this color. Two implementations are provided (selected by
+//! [`crate::ColoringAlgorithm`]):
+//!
+//! * [`color_window_verbatim`] — literal Listing 1: scans `E[i]` in stored
+//!   (column) order. O(degree) scan per row per color.
+//! * [`color_window_grouped`] — edges bucketed per lane, buckets visited in
+//!   first-occurrence order. Same greedy matching discipline and, in
+//!   practice, the same color counts, but near-linear on large windows
+//!   (the scan skips whole lanes instead of individual edges).
+
+use super::scheduled::ScheduledSlot;
+use super::windows::Window;
+
+/// Literal Listing 1. Returns slots grouped per color.
+///
+/// For every color pass, each row scans its remaining edges in column order
+/// and yields the first whose lane is free (`E[i][k] mod l not in matching`);
+/// the `break` at Listing 1 line 13 means a row never contributes twice to
+/// one matching.
+#[must_use]
+pub fn color_window_verbatim(window: &Window, l: usize) -> Vec<Vec<ScheduledSlot>> {
+    // Remaining edges per row, in column order (Vec::remove keeps order).
+    let mut remaining: Vec<Vec<(u32, u32, f32)>> = window
+        .per_row
+        .iter()
+        .map(|row| row.iter().map(|e| (e.lane, e.col, e.value)).collect())
+        .collect();
+    let mut live: Vec<usize> = (0..remaining.len())
+        .filter(|&i| !remaining[i].is_empty())
+        .collect();
+
+    let mut per_color: Vec<Vec<ScheduledSlot>> = Vec::new();
+    let mut matched = vec![u32::MAX; l]; // color stamp per lane
+    let mut clr: u32 = 0;
+    while !live.is_empty() {
+        let mut bucket: Vec<ScheduledSlot> = Vec::with_capacity(live.len());
+        live.retain(|&row| {
+            let edges = &mut remaining[row];
+            if let Some(k) = edges.iter().position(|&(lane, _, _)| matched[lane as usize] != clr)
+            {
+                let (lane, col, value) = edges.remove(k);
+                matched[lane as usize] = clr;
+                bucket.push(ScheduledSlot {
+                    lane,
+                    row_mod: row as u32,
+                    col,
+                    value,
+                });
+            }
+            !edges.is_empty()
+        });
+        debug_assert!(!bucket.is_empty(), "a color pass must make progress");
+        per_color.push(bucket);
+        clr += 1;
+    }
+    per_color
+}
+
+/// Lane-grouped greedy coloring: the fast path for large windows.
+///
+/// Each row's edges are bucketed by lane, buckets kept in order of the
+/// lane's first occurrence in the row. A color pass visits buckets instead
+/// of edges, so the per-pass cost is bounded by the number of *distinct
+/// contended lanes*, not the row degree.
+#[must_use]
+pub fn color_window_grouped(window: &Window, l: usize) -> Vec<Vec<ScheduledSlot>> {
+    // Per row: flat edge storage plus lane groups with head cursors.
+    struct Group {
+        lane: u32,
+        /// Indices into the row's edge list, in column order.
+        edges: Vec<u32>,
+        head: u32,
+    }
+    struct Row {
+        edges: Vec<(u32, f32)>, // (col, value)
+        groups: Vec<Group>,
+        remaining: u32,
+    }
+
+    let mut rows: Vec<Row> = Vec::with_capacity(window.per_row.len());
+    let mut lane_group_idx = vec![u32::MAX; l];
+    for row_edges in &window.per_row {
+        let mut row = Row {
+            edges: Vec::with_capacity(row_edges.len()),
+            groups: Vec::new(),
+            remaining: row_edges.len() as u32,
+        };
+        for e in row_edges {
+            let edge_idx = row.edges.len() as u32;
+            row.edges.push((e.col, e.value));
+            let slot = lane_group_idx[e.lane as usize];
+            if slot != u32::MAX && row.groups[slot as usize].lane == e.lane {
+                row.groups[slot as usize].edges.push(edge_idx);
+            } else {
+                lane_group_idx[e.lane as usize] = row.groups.len() as u32;
+                row.groups.push(Group {
+                    lane: e.lane,
+                    edges: vec![edge_idx],
+                    head: 0,
+                });
+            }
+        }
+        // Reset the scratch table for the next row (touch only used lanes).
+        for g in &row.groups {
+            lane_group_idx[g.lane as usize] = u32::MAX;
+        }
+        rows.push(row);
+    }
+
+    let mut live: Vec<usize> = (0..rows.len()).filter(|&i| rows[i].remaining > 0).collect();
+    let mut per_color: Vec<Vec<ScheduledSlot>> = Vec::new();
+    let mut matched = vec![u32::MAX; l];
+    let mut clr: u32 = 0;
+    while !live.is_empty() {
+        let mut bucket: Vec<ScheduledSlot> = Vec::with_capacity(live.len());
+        live.retain(|&row_idx| {
+            let row = &mut rows[row_idx];
+            for g in &mut row.groups {
+                if g.head as usize >= g.edges.len() {
+                    continue; // group exhausted
+                }
+                if matched[g.lane as usize] == clr {
+                    continue; // lane taken this color
+                }
+                let edge_idx = g.edges[g.head as usize] as usize;
+                g.head += 1;
+                row.remaining -= 1;
+                matched[g.lane as usize] = clr;
+                let (col, value) = row.edges[edge_idx];
+                bucket.push(ScheduledSlot {
+                    lane: g.lane,
+                    row_mod: row_idx as u32,
+                    col,
+                    value,
+                });
+                break;
+            }
+            row.remaining > 0
+        });
+        debug_assert!(!bucket.is_empty(), "a color pass must make progress");
+        per_color.push(bucket);
+        clr += 1;
+    }
+    per_color
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::windows::WindowPlan;
+    use gust_sparse::prelude::*;
+
+    fn color_counts(per_color: &[Vec<ScheduledSlot>]) -> usize {
+        per_color.len()
+    }
+
+    fn assert_valid(per_color: &[Vec<ScheduledSlot>], window: &Window, l: usize) {
+        let mut total = 0usize;
+        for bucket in per_color {
+            let mut lanes: Vec<u32> = bucket.iter().map(|s| s.lane).collect();
+            lanes.sort_unstable();
+            assert!(lanes.windows(2).all(|w| w[0] != w[1]), "lane collision");
+            let mut adders: Vec<u32> = bucket.iter().map(|s| s.row_mod).collect();
+            adders.sort_unstable();
+            assert!(adders.windows(2).all(|w| w[0] != w[1]), "adder collision");
+            total += bucket.len();
+        }
+        assert_eq!(total, window.nnz(), "every edge colored exactly once");
+        assert!(
+            color_counts(per_color) >= window.vizing_bound(l),
+            "colors below the Vizing bound"
+        );
+    }
+
+    fn fig5_matrix() -> CsrMatrix {
+        let rows: [&[usize]; 6] = [
+            &[0, 2, 3, 4, 7],
+            &[0, 1, 5, 6, 7],
+            &[1, 2, 3, 8],
+            &[0, 2, 4, 8],
+            &[2, 5, 6, 7],
+            &[0, 1, 3, 7],
+        ];
+        let mut coo = CooMatrix::new(6, 9);
+        for (r, cols) in rows.iter().enumerate() {
+            for &c in cols.iter() {
+                coo.push(r, c, (r * 10 + c) as f32 + 1.0).unwrap();
+            }
+        }
+        CsrMatrix::from(&coo)
+    }
+
+    #[test]
+    fn fig5_windows_color_near_the_paper_counts() {
+        // Paper Fig. 5(c) shows an optimal coloring: 5 colors for the first
+        // window, 4 for the second (11 cycles with the +2 pipeline). The
+        // greedy of Listing 1 is a heuristic — on this example it needs one
+        // extra color on the first window (6) — the optimal counts are
+        // reproduced exactly by the Kőnig scheduler (see konig.rs tests).
+        let m = fig5_matrix();
+        let plan = WindowPlan::new(&m, 3, false);
+        let w0 = plan.window(&m, 0);
+        let w1 = plan.window(&m, 1);
+        assert_eq!(w0.vizing_bound(3), 5);
+        assert_eq!(w1.vizing_bound(3), 4);
+        for color_fn in [color_window_verbatim, color_window_grouped] {
+            let c0 = color_fn(&w0, 3);
+            let c1 = color_fn(&w1, 3);
+            assert_valid(&c0, &w0, 3);
+            assert_valid(&c1, &w1, 3);
+            assert!(
+                (5..=6).contains(&color_counts(&c0)),
+                "first window: {} colors",
+                color_counts(&c0)
+            );
+            assert!(
+                (4..=5).contains(&color_counts(&c1)),
+                "second window: {} colors",
+                color_counts(&c1)
+            );
+        }
+    }
+
+    #[test]
+    fn single_row_serializes_fully() {
+        // One row with 5 edges on one lane: must take 5 colors.
+        let coo = CooMatrix::from_triplets(
+            1,
+            20,
+            vec![(0, 0, 1.0), (0, 4, 2.0), (0, 8, 3.0), (0, 12, 4.0), (0, 16, 5.0)],
+        )
+        .unwrap();
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 4, false);
+        let w = plan.window(&m, 0);
+        for color_fn in [color_window_verbatim, color_window_grouped] {
+            let colored = color_fn(&w, 4);
+            assert_valid(&colored, &w, 4);
+            assert_eq!(color_counts(&colored), 5);
+        }
+    }
+
+    #[test]
+    fn diagonal_window_takes_one_color() {
+        let m = CsrMatrix::identity(8);
+        let plan = WindowPlan::new(&m, 8, false);
+        let w = plan.window(&m, 0);
+        for color_fn in [color_window_verbatim, color_window_grouped] {
+            let colored = color_fn(&w, 8);
+            assert_valid(&colored, &w, 8);
+            assert_eq!(color_counts(&colored), 1);
+        }
+    }
+
+    #[test]
+    fn random_windows_are_validly_colored_by_both_variants() {
+        for seed in 0..5 {
+            let coo = gen::uniform(32, 48, 300, seed);
+            let m = CsrMatrix::from(&coo);
+            for lb in [false, true] {
+                let plan = WindowPlan::new(&m, 8, lb);
+                for wi in 0..plan.window_count() {
+                    let w = plan.window(&m, wi);
+                    let v = color_window_verbatim(&w, 8);
+                    let g = color_window_grouped(&w, 8);
+                    assert_valid(&v, &w, 8);
+                    assert_valid(&g, &w, 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_and_verbatim_agree_on_color_count_for_simple_windows() {
+        // They may differ on adversarial inputs; on typical sparse windows
+        // the matching discipline is identical.
+        for seed in 0..10 {
+            let coo = gen::uniform(16, 16, 60, seed);
+            let m = CsrMatrix::from(&coo);
+            let plan = WindowPlan::new(&m, 4, false);
+            for wi in 0..plan.window_count() {
+                let w = plan.window(&m, wi);
+                let v = color_counts(&color_window_verbatim(&w, 4));
+                let g = color_counts(&color_window_grouped(&w, 4));
+                assert!(
+                    (v as i64 - g as i64).abs() <= 1,
+                    "seed {seed} window {wi}: verbatim {v} vs grouped {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_edges_between_same_pair_are_handled() {
+        // Row 0 hits columns 0 and 4 with l = 4: both map to lane 0 —
+        // a genuine multigraph edge pair.
+        let coo =
+            CooMatrix::from_triplets(2, 8, vec![(0, 0, 1.0), (0, 4, 2.0), (1, 1, 3.0)]).unwrap();
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 4, false);
+        let w = plan.window(&m, 0);
+        for color_fn in [color_window_verbatim, color_window_grouped] {
+            let colored = color_fn(&w, 4);
+            assert_valid(&colored, &w, 4);
+            assert_eq!(color_counts(&colored), 2);
+        }
+    }
+
+    #[test]
+    fn empty_rows_are_skipped() {
+        let coo = CooMatrix::from_triplets(4, 4, vec![(0, 0, 1.0), (3, 3, 2.0)]).unwrap();
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 4, false);
+        let w = plan.window(&m, 0);
+        let colored = color_window_grouped(&w, 4);
+        assert_valid(&colored, &w, 4);
+        assert_eq!(color_counts(&colored), 1);
+    }
+}

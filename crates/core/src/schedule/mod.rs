@@ -1,0 +1,186 @@
+//! The GUST software side: windowing, load balancing and slot assignment.
+//!
+//! [`Scheduler`] ties the pieces together: it builds the [`windows::WindowPlan`]
+//! (row sort + lane assignment, §3.2/§3.5), colors each window with the
+//! configured algorithm (§3.3, Listing 1 or the optimal Kőnig variant) or
+//! arbitrates it naively, and assembles the resulting
+//! [`scheduled::ScheduledMatrix`] — the preprocessed format streamed by the
+//! hardware.
+
+pub mod edge_coloring;
+pub mod konig;
+pub mod naive;
+pub mod scheduled;
+pub mod serialize;
+pub mod stats;
+pub mod windows;
+
+use crate::config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
+use gust_sparse::CsrMatrix;
+use scheduled::{ScheduledMatrix, WindowSchedule};
+use windows::WindowPlan;
+
+/// Produces [`ScheduledMatrix`]es for a given configuration.
+///
+/// # Example
+///
+/// ```
+/// use gust::schedule::Scheduler;
+/// use gust::GustConfig;
+/// use gust_sparse::prelude::*;
+///
+/// let m = CsrMatrix::from(&gen::uniform(32, 32, 128, 1));
+/// let schedule = Scheduler::new(GustConfig::new(8)).schedule(&m);
+/// schedule.validate_against(&m); // collision-free and complete
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    config: GustConfig,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for the given configuration.
+    #[must_use]
+    pub fn new(config: GustConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this scheduler applies.
+    #[must_use]
+    pub fn config(&self) -> &GustConfig {
+        &self.config
+    }
+
+    /// Schedules `matrix`: the paper's preprocessing step.
+    ///
+    /// This is the one-time cost amortized over repeated SpMVs (§5.3); its
+    /// wall-clock time is what Table 4's "Pre." column reports.
+    #[must_use]
+    pub fn schedule(&self, matrix: &CsrMatrix) -> ScheduledMatrix {
+        let l = self.config.length();
+        let lb = self.config.policy() == SchedulingPolicy::EdgeColoringLb;
+        let plan = WindowPlan::new(matrix, l, lb);
+
+        let mut windows = Vec::with_capacity(plan.window_count());
+        for w in 0..plan.window_count() {
+            let window = plan.window(matrix, w);
+            let bound = window.vizing_bound(l) as u32;
+            let schedule = match self.config.policy() {
+                SchedulingPolicy::Naive => {
+                    let arb = naive::arbitrate_window(&window, l);
+                    WindowSchedule::from_colors(arb.per_cycle, bound, arb.stalls)
+                }
+                SchedulingPolicy::EdgeColoring | SchedulingPolicy::EdgeColoringLb => {
+                    let per_color = match self.config.coloring() {
+                        ColoringAlgorithm::Verbatim => {
+                            edge_coloring::color_window_verbatim(&window, l)
+                        }
+                        ColoringAlgorithm::Grouped => {
+                            edge_coloring::color_window_grouped(&window, l)
+                        }
+                        ColoringAlgorithm::Konig => konig::color_window_konig(&window, l),
+                    };
+                    WindowSchedule::from_colors(per_color, bound, 0)
+                }
+            };
+            windows.push(schedule);
+        }
+
+        ScheduledMatrix::from_parts(
+            l,
+            matrix.rows(),
+            matrix.cols(),
+            plan.row_perm().to_vec(),
+            windows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
+    use gust_sparse::prelude::*;
+
+    fn policies() -> [SchedulingPolicy; 3] {
+        [
+            SchedulingPolicy::Naive,
+            SchedulingPolicy::EdgeColoring,
+            SchedulingPolicy::EdgeColoringLb,
+        ]
+    }
+
+    #[test]
+    fn every_policy_produces_a_valid_schedule() {
+        let m = CsrMatrix::from(&gen::uniform(40, 40, 300, 2));
+        for policy in policies() {
+            let schedule = Scheduler::new(GustConfig::new(8).with_policy(policy)).schedule(&m);
+            schedule.validate_against(&m);
+        }
+    }
+
+    #[test]
+    fn every_coloring_algorithm_produces_a_valid_schedule() {
+        let m = CsrMatrix::from(&gen::power_law(60, 60, 400, 2.0, 3));
+        for algo in [
+            ColoringAlgorithm::Verbatim,
+            ColoringAlgorithm::Grouped,
+            ColoringAlgorithm::Konig,
+        ] {
+            let schedule =
+                Scheduler::new(GustConfig::new(16).with_coloring(algo)).schedule(&m);
+            schedule.validate_against(&m);
+        }
+    }
+
+    #[test]
+    fn edge_coloring_uses_no_more_cycles_than_naive() {
+        let m = CsrMatrix::from(&gen::uniform(64, 64, 1024, 4));
+        let naive = Scheduler::new(GustConfig::new(8).with_policy(SchedulingPolicy::Naive))
+            .schedule(&m);
+        let ec = Scheduler::new(GustConfig::new(8).with_policy(SchedulingPolicy::EdgeColoring))
+            .schedule(&m);
+        assert!(ec.total_colors() <= naive.total_colors());
+        assert_eq!(ec.total_stalls(), 0);
+        assert!(naive.total_stalls() > 0, "dense input should stall naive");
+    }
+
+    #[test]
+    fn load_balancing_helps_on_skewed_inputs() {
+        // Power-law matrices are the paper's worst case for GUST; load
+        // balancing should not hurt and usually helps.
+        let m = CsrMatrix::from(&gen::power_law(256, 256, 4000, 1.8, 5));
+        let ec = Scheduler::new(GustConfig::new(16).with_policy(SchedulingPolicy::EdgeColoring))
+            .schedule(&m);
+        let lb =
+            Scheduler::new(GustConfig::new(16).with_policy(SchedulingPolicy::EdgeColoringLb))
+                .schedule(&m);
+        assert!(
+            lb.total_colors() as f64 <= ec.total_colors() as f64 * 1.05,
+            "LB {} vs EC {}",
+            lb.total_colors(),
+            ec.total_colors()
+        );
+    }
+
+    #[test]
+    fn konig_matches_total_vizing_bound() {
+        let m = CsrMatrix::from(&gen::uniform(48, 48, 500, 6));
+        let schedule = Scheduler::new(
+            GustConfig::new(8).with_coloring(ColoringAlgorithm::Konig),
+        )
+        .schedule(&m);
+        assert_eq!(schedule.total_colors(), schedule.total_vizing_bound());
+    }
+
+    #[test]
+    fn schedule_preserves_shape_metadata() {
+        let m = CsrMatrix::from(&gen::uniform(30, 50, 123, 7));
+        let s = Scheduler::new(GustConfig::new(4)).schedule(&m);
+        assert_eq!(s.rows(), 30);
+        assert_eq!(s.cols(), 50);
+        assert_eq!(s.nnz(), 123);
+        assert_eq!(s.length(), 4);
+        assert_eq!(s.windows().len(), 30usize.div_ceil(4));
+    }
+}

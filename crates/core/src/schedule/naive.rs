@@ -1,0 +1,250 @@
+//! The naive collision-stall schedule (§3.3).
+//!
+//! Without edge coloring, the buffers are filled in natural order — each
+//! multiplier lane receives its column segments front to back — and the
+//! buffers advance in lockstep: all lanes present their position-`p` entry
+//! in the same cycle. When any two entries of a position target the same
+//! adder, the hardware "simply \[does\] not forward the values from the
+//! buffers" (§3.3): the collision-free entries of the position go through
+//! in the first cycle, and the colliding ones drain serially, one per
+//! cycle, before the position pointer can advance.
+//!
+//! This is what makes the paper's motivating claim come out: on 16 384²
+//! uniform matrices a position almost always contains a collision beyond
+//! density ≈ 1/l, so naive GUST degenerates to ~1 element/cycle-ish rates
+//! and falls behind even the dense-streaming 1D array past density ≈ 0.008
+//! (reproduced by the `bound` bench's crossover sweep).
+//!
+//! The arbitration assigns every element an issue cycle, which *is* a
+//! (wasteful) coloring: within a cycle all lanes are distinct by
+//! construction and all adders are distinct by the stall rule. The result
+//! therefore reuses [`WindowSchedule`](super::scheduled::WindowSchedule)
+//! and runs on the same engine.
+
+use super::scheduled::ScheduledSlot;
+use super::windows::Window;
+
+/// Outcome of arbitrating one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbitratedWindow {
+    /// Slots grouped per cycle (color).
+    pub per_cycle: Vec<Vec<ScheduledSlot>>,
+    /// Lane-cycles lost to collisions (lanes idle while a position drains).
+    pub stalls: u64,
+}
+
+/// Simulates lockstep head-of-line arbitration for one window.
+///
+/// Lane queues hold the window's elements in column-segment order
+/// (`(col, row)` within the window), the natural fill order of the
+/// unscheduled format.
+#[must_use]
+pub fn arbitrate_window(window: &Window, l: usize) -> ArbitratedWindow {
+    // Build lane queues in (col, row) order.
+    let mut lanes: Vec<Vec<ScheduledSlot>> = vec![Vec::new(); l];
+    for (row_local, edges) in window.per_row.iter().enumerate() {
+        for e in edges {
+            lanes[e.lane as usize].push(ScheduledSlot {
+                lane: e.lane,
+                row_mod: row_local as u32,
+                col: e.col,
+                value: e.value,
+            });
+        }
+    }
+    for q in &mut lanes {
+        q.sort_unstable_by_key(|s| (s.col, s.row_mod));
+    }
+    let positions = lanes.iter().map(Vec::len).max().unwrap_or(0);
+    let n_rows = window.per_row.len();
+
+    let mut per_cycle: Vec<Vec<ScheduledSlot>> = Vec::new();
+    let mut stalls: u64 = 0;
+    // Scratch: per-adder multiplicity within the current position.
+    let mut row_count = vec![0u32; n_rows];
+
+    for p in 0..positions {
+        let entries: Vec<ScheduledSlot> = lanes
+            .iter()
+            .filter_map(|q| q.get(p))
+            .copied()
+            .collect();
+        for s in &entries {
+            row_count[s.row_mod as usize] += 1;
+        }
+
+        // First cycle of the position: forward every entry whose adder is
+        // uncontended. Colliding entries are held back (their partial
+        // products would be lost).
+        let mut first: Vec<ScheduledSlot> = Vec::with_capacity(entries.len());
+        let mut held: Vec<ScheduledSlot> = Vec::new();
+        for s in &entries {
+            if row_count[s.row_mod as usize] == 1 {
+                first.push(*s);
+            } else {
+                held.push(*s);
+            }
+        }
+        stalls += held.len() as u64;
+        if first.is_empty() {
+            // Pure-collision position: the first drained entry uses the
+            // otherwise-wasted first cycle.
+            first.push(held.remove(0));
+        }
+        per_cycle.push(first);
+
+        // Serial drain: one held entry per cycle while every other live
+        // lane waits on the lockstep position pointer.
+        let live_lanes = entries.len() as u64;
+        for s in held {
+            per_cycle.push(vec![s]);
+            stalls += live_lanes - 1;
+        }
+
+        for s in &entries {
+            row_count[s.row_mod as usize] = 0;
+        }
+    }
+
+    ArbitratedWindow { per_cycle, stalls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::windows::WindowPlan;
+    use gust_sparse::prelude::*;
+
+    #[test]
+    fn collision_free_window_issues_at_full_rate() {
+        // Identity: each lane has one element, all distinct adders.
+        let m = CsrMatrix::identity(4);
+        let plan = WindowPlan::new(&m, 4, false);
+        let w = plan.window(&m, 0);
+        let arb = arbitrate_window(&w, 4);
+        assert_eq!(arb.per_cycle.len(), 1);
+        assert_eq!(arb.stalls, 0);
+    }
+
+    #[test]
+    fn dense_row_serializes_the_whole_position() {
+        // One full row of length 4 at l = 4: all four lanes collide on
+        // adder 0 -> first cycle forwards one, then 3 serial drains.
+        let coo = CooMatrix::from_triplets(
+            1,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (0, 2, 3.0), (0, 3, 4.0)],
+        )
+        .unwrap();
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 4, false);
+        let arb = arbitrate_window(&plan.window(&m, 0), 4);
+        assert_eq!(arb.per_cycle.len(), 4);
+        assert!(arb.stalls > 0);
+    }
+
+    #[test]
+    fn mixed_position_forwards_uniques_then_drains() {
+        // l = 4, one window of 3 rows. Position 0 entries: lanes 0,1 hit
+        // row 0 (collide), lane 2 hits row 1, lane 3 hits row 2 (unique).
+        let coo = CooMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0)],
+        )
+        .unwrap();
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 4, false);
+        let arb = arbitrate_window(&plan.window(&m, 0), 4);
+        // Cycle 1: the two uniques; cycles 2-3: the colliding pair drains.
+        assert_eq!(arb.per_cycle.len(), 3);
+        assert_eq!(arb.per_cycle[0].len(), 2);
+        assert_eq!(arb.per_cycle[1].len(), 1);
+        assert_eq!(arb.per_cycle[2].len(), 1);
+    }
+
+    #[test]
+    fn arbitration_covers_every_element_once() {
+        let coo = gen::uniform(24, 24, 150, 3);
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 8, false);
+        let mut total = 0usize;
+        for wi in 0..plan.window_count() {
+            let w = plan.window(&m, wi);
+            let arb = arbitrate_window(&w, 8);
+            let covered: usize = arb.per_cycle.iter().map(Vec::len).sum();
+            assert_eq!(covered, w.nnz());
+            total += covered;
+        }
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn cycles_are_collision_free_despite_no_coloring() {
+        let coo = gen::power_law(32, 32, 200, 1.8, 5);
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 8, false);
+        for wi in 0..plan.window_count() {
+            let arb = arbitrate_window(&plan.window(&m, wi), 8);
+            for bucket in &arb.per_cycle {
+                let mut lanes: Vec<u32> = bucket.iter().map(|s| s.lane).collect();
+                lanes.sort_unstable();
+                assert!(lanes.windows(2).all(|p| p[0] != p[1]));
+                let mut adders: Vec<u32> = bucket.iter().map(|s| s.row_mod).collect();
+                adders.sort_unstable();
+                assert!(adders.windows(2).all(|p| p[0] != p[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_never_beats_the_vizing_bound() {
+        for seed in 0..6 {
+            let coo = gen::uniform(16, 16, 80, seed);
+            let m = CsrMatrix::from(&coo);
+            let plan = WindowPlan::new(&m, 4, false);
+            for wi in 0..plan.window_count() {
+                let w = plan.window(&m, wi);
+                let arb = arbitrate_window(&w, 4);
+                assert!(arb.per_cycle.len() >= w.vizing_bound(4));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_is_much_worse_than_edge_coloring_on_dense_input() {
+        use crate::schedule::edge_coloring::color_window_grouped;
+        let mut naive_total = 0usize;
+        let mut ec_total = 0usize;
+        for seed in 0..4 {
+            let coo = gen::uniform(32, 32, 512, seed);
+            let m = CsrMatrix::from(&coo);
+            let plan = WindowPlan::new(&m, 8, false);
+            for wi in 0..plan.window_count() {
+                let w = plan.window(&m, wi);
+                naive_total += arbitrate_window(&w, 8).per_cycle.len();
+                ec_total += color_window_grouped(&w, 8).len();
+            }
+        }
+        assert!(
+            naive_total as f64 > 2.0 * ec_total as f64,
+            "naive {naive_total} should far exceed EC {ec_total} on dense inputs"
+        );
+    }
+
+    #[test]
+    fn degenerates_toward_serial_at_high_density() {
+        // Fully dense window: every position collides everywhere, so the
+        // cycle count approaches nnz (the §3.3 naive-worse-than-1D regime).
+        let coo = gen::uniform(8, 8, 64, 9);
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 8, false);
+        let w = plan.window(&m, 0);
+        let arb = arbitrate_window(&w, 8);
+        assert!(
+            arb.per_cycle.len() as f64 > 0.75 * 64.0,
+            "expected near-serial drain, got {} cycles",
+            arb.per_cycle.len()
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Binary serialization of the scheduled format — the byte stream the
+//! Buffer Filler consumes from off-chip memory (§3.3 "Streaming the
+//! Inputs").
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "GUST" | version u32 | length u32 | rows u64 | cols u64
+//! | row_perm: rows × u32
+//! | window count u64
+//! | per window: colors u32, vizing u32, stalls u64,
+//!   then colors × l dense cells — each cell:
+//!     occupancy u8 (0 = empty), then value f32, row_mod u32, col u32
+//! ```
+//!
+//! The dense per-color cell grid is deliberate: it is the paper's actual
+//! `M_sch`/`Row_sch`/`Col_sch` stream (empty cells included — the
+//! emptiness *is* the utilization loss), so the byte length of a serialized
+//! schedule matches [`ScheduledMatrix::dense_stream_bytes`] up to the
+//! per-cell bookkeeping this container format adds.
+
+use super::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"GUST";
+const VERSION: u32 = 1;
+
+/// Errors from reading a serialized schedule.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadScheduleError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a schedule stream, or an unsupported version.
+    Format(String),
+}
+
+impl std::fmt::Display for ReadScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadScheduleError {}
+
+impl From<io::Error> for ReadScheduleError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes `schedule` to `writer` in the stream format above.
+///
+/// Accepts any [`Write`]r by value; pass `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_schedule<W: Write>(schedule: &ScheduledMatrix, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(schedule.length() as u32).to_le_bytes())?;
+    writer.write_all(&(schedule.rows() as u64).to_le_bytes())?;
+    writer.write_all(&(schedule.cols() as u64).to_le_bytes())?;
+    for &orig in schedule.row_perm() {
+        writer.write_all(&orig.to_le_bytes())?;
+    }
+    writer.write_all(&(schedule.windows().len() as u64).to_le_bytes())?;
+    let l = schedule.length();
+    for window in schedule.windows() {
+        writer.write_all(&window.colors().to_le_bytes())?;
+        writer.write_all(&window.vizing_bound().to_le_bytes())?;
+        writer.write_all(&window.stalls().to_le_bytes())?;
+        // Dense per-color grid, lane-major within a color.
+        let mut grid: Vec<Option<ScheduledSlot>> = vec![None; l];
+        for c in 0..window.colors() {
+            grid.iter_mut().for_each(|cell| *cell = None);
+            for slot in window.color_slots(c) {
+                grid[slot.lane as usize] = Some(*slot);
+            }
+            for cell in &grid {
+                match cell {
+                    Some(slot) => {
+                        writer.write_all(&[1u8])?;
+                        writer.write_all(&slot.value.to_le_bytes())?;
+                        writer.write_all(&slot.row_mod.to_le_bytes())?;
+                        writer.write_all(&slot.col.to_le_bytes())?;
+                    }
+                    None => writer.write_all(&[0u8])?,
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a schedule previously written with [`write_schedule`].
+///
+/// # Errors
+///
+/// [`ReadScheduleError::Format`] on a bad magic/version or inconsistent
+/// structure, [`ReadScheduleError::Io`] on reader failure.
+pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadScheduleError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadScheduleError::Format("bad magic".into()));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(ReadScheduleError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let length = read_u32(&mut reader)? as usize;
+    if length == 0 {
+        return Err(ReadScheduleError::Format("zero length".into()));
+    }
+    let rows = read_u64(&mut reader)? as usize;
+    let cols = read_u64(&mut reader)? as usize;
+    let mut row_perm = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        row_perm.push(read_u32(&mut reader)?);
+    }
+    let window_count = read_u64(&mut reader)? as usize;
+    if window_count != rows.div_ceil(length) {
+        return Err(ReadScheduleError::Format(format!(
+            "window count {window_count} inconsistent with {rows} rows at length {length}"
+        )));
+    }
+    let mut windows = Vec::with_capacity(window_count);
+    for _ in 0..window_count {
+        let colors = read_u32(&mut reader)?;
+        let vizing = read_u32(&mut reader)?;
+        let stalls = read_u64(&mut reader)?;
+        let mut per_color: Vec<Vec<ScheduledSlot>> = Vec::with_capacity(colors as usize);
+        for _ in 0..colors {
+            let mut bucket = Vec::new();
+            for lane in 0..length {
+                let mut occ = [0u8; 1];
+                reader.read_exact(&mut occ)?;
+                match occ[0] {
+                    0 => {}
+                    1 => {
+                        let value = f32::from_le_bytes(read_array(&mut reader)?);
+                        let row_mod = read_u32(&mut reader)?;
+                        let col = read_u32(&mut reader)?;
+                        if row_mod as usize >= length {
+                            return Err(ReadScheduleError::Format(format!(
+                                "row_mod {row_mod} out of range for length {length}"
+                            )));
+                        }
+                        bucket.push(ScheduledSlot {
+                            lane: lane as u32,
+                            row_mod,
+                            col,
+                            value,
+                        });
+                    }
+                    other => {
+                        return Err(ReadScheduleError::Format(format!(
+                            "bad occupancy byte {other}"
+                        )))
+                    }
+                }
+            }
+            per_color.push(bucket);
+        }
+        windows.push(WindowSchedule::from_colors(per_color, vizing, stalls));
+    }
+    Ok(ScheduledMatrix::from_parts(
+        length, rows, cols, row_perm, windows,
+    ))
+}
+
+fn read_array<R: Read, const N: usize>(reader: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    reader.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(read_array(reader)?))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(read_array(reader)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GustConfig, SchedulingPolicy};
+    use crate::engine::Gust;
+    use gust_sparse::prelude::*;
+
+    fn round_trip(schedule: &ScheduledMatrix) -> ScheduledMatrix {
+        let mut buf = Vec::new();
+        write_schedule(schedule, &mut buf).expect("write to vec");
+        read_schedule(buf.as_slice()).expect("read own output")
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let m = CsrMatrix::from(&gen::uniform(40, 50, 300, 3));
+        let schedule = Gust::new(GustConfig::new(8)).schedule(&m);
+        let back = round_trip(&schedule);
+        assert_eq!(back, schedule);
+    }
+
+    #[test]
+    fn round_trips_naive_schedules_with_stalls() {
+        let m = CsrMatrix::from(&gen::uniform(32, 32, 400, 5));
+        let schedule = Gust::new(GustConfig::new(8).with_policy(SchedulingPolicy::Naive))
+            .schedule(&m);
+        assert!(schedule.total_stalls() > 0);
+        let back = round_trip(&schedule);
+        assert_eq!(back.total_stalls(), schedule.total_stalls());
+        assert_eq!(back, schedule);
+    }
+
+    #[test]
+    fn deserialized_schedule_executes_identically() {
+        let m = CsrMatrix::from(&gen::power_law(64, 64, 500, 1.9, 7));
+        let gust = Gust::new(GustConfig::new(16));
+        let schedule = gust.schedule(&m);
+        let back = round_trip(&schedule);
+        let x: Vec<f32> = (0..64).map(|i| (i % 7) as f32 - 3.0).collect();
+        assert_eq!(gust.execute(&back, &x), gust.execute(&schedule, &x));
+    }
+
+    #[test]
+    fn stream_length_tracks_dense_stream_size() {
+        let m = CsrMatrix::from(&gen::uniform(64, 64, 400, 9));
+        let schedule = Gust::new(GustConfig::new(16)).schedule(&m);
+        let mut buf = Vec::new();
+        write_schedule(&schedule, &mut buf).expect("write");
+        // Cells dominate: colors × l × (1..13 bytes per cell); the payload
+        // must be within the per-cell bounds around the dense-stream model.
+        let cells = schedule.total_colors() * 16;
+        assert!(buf.len() as u64 >= cells, "at least 1 byte per cell");
+        assert!(
+            (buf.len() as u64) < 13 * cells + 4096,
+            "bounded by full cells + header"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let err = read_schedule(&b"NOPE"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GUST");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = read_schedule(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let m = CsrMatrix::identity(8);
+        let schedule = Gust::new(GustConfig::new(4)).schedule(&m);
+        let mut buf = Vec::new();
+        write_schedule(&schedule, &mut buf).expect("write");
+        for cut in [3usize, 10, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                read_schedule(&buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_matrix_schedule_round_trips() {
+        let coo = CooMatrix::from_triplets(6, 6, vec![(0, 0, 1.0)]).unwrap();
+        let m = CsrMatrix::from(&coo);
+        let schedule = Gust::new(GustConfig::new(4)).schedule(&m);
+        assert_eq!(round_trip(&schedule), schedule);
+    }
+}

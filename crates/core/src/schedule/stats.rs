@@ -1,0 +1,189 @@
+//! Schedule quality diagnostics: where do the cycles go, and how far is a
+//! schedule from the Eq. 1 optimum?
+//!
+//! The bench harness and the ablation study use these to explain *why* a
+//! matrix utilizes well or badly: per-window slack over the Vizing bound
+//! (scheduler quality), occupancy distribution (load-balance quality) and
+//! the busiest-window concentration (§3.5's standard-deviation argument).
+
+use super::scheduled::ScheduledMatrix;
+
+/// Aggregated diagnostics over a [`ScheduledMatrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleStats {
+    /// Total streaming cycles (= total colors).
+    pub total_colors: u64,
+    /// Sum of per-window Eq. 1 lower bounds.
+    pub total_vizing_bound: u64,
+    /// Mean colors per (non-empty) window.
+    pub mean_colors: f64,
+    /// Largest window color count.
+    pub max_colors: u32,
+    /// Population standard deviation of window color counts.
+    pub std_colors: f64,
+    /// Mean slot occupancy per color across the schedule, in `[0, 1]`
+    /// (this equals streaming-phase utilization).
+    pub mean_occupancy: f64,
+    /// Fraction of cycles spent in the busiest 10% of windows.
+    pub heavy_window_share: f64,
+    /// Non-empty windows.
+    pub active_windows: usize,
+}
+
+impl ScheduleStats {
+    /// Computes diagnostics for `schedule`. O(windows + nnz).
+    #[must_use]
+    pub fn from_schedule(schedule: &ScheduledMatrix) -> Self {
+        let l = schedule.length() as f64;
+        let mut colors: Vec<u32> = schedule
+            .windows()
+            .iter()
+            .map(|w| w.colors())
+            .filter(|&c| c > 0)
+            .collect();
+        let active_windows = colors.len();
+        let total_colors = schedule.total_colors();
+        let total_vizing_bound = schedule.total_vizing_bound();
+        let mean_colors = if active_windows == 0 {
+            0.0
+        } else {
+            total_colors as f64 / active_windows as f64
+        };
+        let max_colors = colors.iter().copied().max().unwrap_or(0);
+        let var = if active_windows == 0 {
+            0.0
+        } else {
+            colors
+                .iter()
+                .map(|&c| {
+                    let d = f64::from(c) - mean_colors;
+                    d * d
+                })
+                .sum::<f64>()
+                / active_windows as f64
+        };
+        let mean_occupancy = if total_colors == 0 {
+            0.0
+        } else {
+            schedule.nnz() as f64 / (l * total_colors as f64)
+        };
+        // Share of cycles in the top decile of windows.
+        colors.sort_unstable_by(|a, b| b.cmp(a));
+        let top = active_windows.div_ceil(10);
+        let heavy: u64 = colors.iter().take(top).map(|&c| u64::from(c)).sum();
+        let heavy_window_share = if total_colors == 0 {
+            0.0
+        } else {
+            heavy as f64 / total_colors as f64
+        };
+        Self {
+            total_colors,
+            total_vizing_bound,
+            mean_colors,
+            max_colors,
+            std_colors: var.sqrt(),
+            mean_occupancy,
+            heavy_window_share,
+            active_windows,
+        }
+    }
+
+    /// Scheduler slack over the optimum: `total_colors / vizing_bound − 1`
+    /// (0 means every window hit the Eq. 1 bound; `None` for empty
+    /// schedules).
+    #[must_use]
+    pub fn slack_over_bound(&self) -> Option<f64> {
+        if self.total_vizing_bound == 0 {
+            return None;
+        }
+        Some(self.total_colors as f64 / self.total_vizing_bound as f64 - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
+    use crate::engine::Gust;
+    use gust_sparse::prelude::*;
+
+    #[test]
+    fn identity_schedule_is_fully_regular() {
+        let m = CsrMatrix::identity(32);
+        let schedule = Gust::new(GustConfig::new(8)).schedule(&m);
+        let stats = ScheduleStats::from_schedule(&schedule);
+        assert_eq!(stats.active_windows, 4);
+        assert_eq!(stats.max_colors, 1);
+        assert_eq!(stats.std_colors, 0.0);
+        assert!((stats.mean_occupancy - 1.0).abs() < 1e-12);
+        assert_eq!(stats.slack_over_bound(), Some(0.0));
+    }
+
+    #[test]
+    fn occupancy_equals_streaming_utilization() {
+        let m = CsrMatrix::from(&gen::uniform(64, 64, 500, 3));
+        let gust = Gust::new(GustConfig::new(16));
+        let schedule = gust.schedule(&m);
+        let stats = ScheduleStats::from_schedule(&schedule);
+        let expected = 500.0 / (16.0 * schedule.total_colors() as f64);
+        assert!((stats.mean_occupancy - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn konig_has_zero_slack() {
+        let m = CsrMatrix::from(&gen::power_law(80, 80, 600, 1.8, 4));
+        let schedule = Gust::new(GustConfig::new(16).with_coloring(ColoringAlgorithm::Konig))
+            .schedule(&m);
+        let stats = ScheduleStats::from_schedule(&schedule);
+        assert_eq!(stats.slack_over_bound(), Some(0.0));
+    }
+
+    #[test]
+    fn naive_has_more_slack_than_greedy() {
+        let m = CsrMatrix::from(&gen::uniform(64, 64, 1200, 5));
+        let greedy = ScheduleStats::from_schedule(
+            &Gust::new(GustConfig::new(16)).schedule(&m),
+        );
+        let naive = ScheduleStats::from_schedule(
+            &Gust::new(GustConfig::new(16).with_policy(SchedulingPolicy::Naive)).schedule(&m),
+        );
+        assert!(naive.slack_over_bound().unwrap() > greedy.slack_over_bound().unwrap());
+    }
+
+    #[test]
+    fn heavy_window_share_detects_skew() {
+        // Power-law without LB: heavy rows inflate a few windows.
+        let m = CsrMatrix::from(&gen::power_law(256, 256, 3000, 1.6, 6));
+        let no_lb = ScheduleStats::from_schedule(
+            &Gust::new(GustConfig::new(16).with_policy(SchedulingPolicy::EdgeColoring))
+                .schedule(&m),
+        );
+        // A k-regular matrix has near-identical windows.
+        let k = CsrMatrix::from(&gen::k_regular(256, 256, 12, 6));
+        let regular = ScheduleStats::from_schedule(
+            &Gust::new(GustConfig::new(16).with_policy(SchedulingPolicy::EdgeColoring))
+                .schedule(&k),
+        );
+        assert!(
+            no_lb.heavy_window_share > regular.heavy_window_share,
+            "{} vs {}",
+            no_lb.heavy_window_share,
+            regular.heavy_window_share
+        );
+    }
+
+    #[test]
+    fn empty_schedule_stats_are_well_defined() {
+        let coo = CooMatrix::from_triplets(4, 4, vec![(0, 0, 1.0)]).unwrap();
+        let m = CsrMatrix::from(&coo);
+        let schedule = Gust::new(GustConfig::new(4)).schedule(&m);
+        let stats = ScheduleStats::from_schedule(&schedule);
+        assert_eq!(stats.active_windows, 1);
+        // Fully empty case.
+        let empty = ScheduledMatrix::from_parts(4, 4, 4, vec![0, 1, 2, 3], vec![]);
+        let stats = ScheduleStats::from_schedule(&empty);
+        assert_eq!(stats.total_colors, 0);
+        assert_eq!(stats.slack_over_bound(), None);
+        assert_eq!(stats.mean_occupancy, 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Windowing and load balancing: carving the matrix into sets of `l` rows
+//! and assigning columns to multiplier lanes.
+//!
+//! Paper §3.2 "Data Flow": when the matrix is bigger than the accelerator,
+//! SpMV proceeds window by window — a set of `l` rows enters, its non-zeros
+//! stream through, the adders dump, and the next `l` rows enter. Columns map
+//! to multipliers by `col mod l` ("column segments").
+//!
+//! Paper §3.5 "Load Balancing" modifies both mappings with a three-step
+//! sort: (1) sort rows by non-zero count, (2) sort each window's column
+//! segments by non-zero count, (3) reverse every even sorted group
+//! (serpentine), so per-lane loads even out.
+
+use gust_sparse::CsrMatrix;
+
+/// One non-zero within a window, annotated with its lane assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowEdge {
+    /// Multiplier lane (right-side bipartite vertex), `0..l`.
+    pub lane: u32,
+    /// Original column index (used to fetch the vector element).
+    pub col: u32,
+    /// Matrix value.
+    pub value: f32,
+}
+
+/// A window: `l` consecutive scheduled rows and their edges.
+///
+/// `per_row[i]` holds row `i`'s edges in ascending column order — exactly
+/// the `E[i]` edge lists of the paper's Listing 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Window index (row set `w` covers scheduled positions `w*l..(w+1)*l`).
+    pub index: usize,
+    /// Edges per local row (left-side bipartite vertex). Length is the
+    /// number of rows in this window (< `l` only for the final window).
+    pub per_row: Vec<Vec<WindowEdge>>,
+}
+
+impl Window {
+    /// Total edges (non-zeros) in the window.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.per_row.iter().map(Vec::len).sum()
+    }
+
+    /// The Vizing / Eq. 1 lower bound on colors for this window: the maximum
+    /// degree over left vertices (rows) and right vertices (lanes).
+    #[must_use]
+    pub fn vizing_bound(&self, l: usize) -> usize {
+        let row_max = self.per_row.iter().map(Vec::len).max().unwrap_or(0);
+        let mut lane_deg = vec![0usize; l];
+        for row in &self.per_row {
+            for e in row {
+                lane_deg[e.lane as usize] += 1;
+            }
+        }
+        let lane_max = lane_deg.into_iter().max().unwrap_or(0);
+        row_max.max(lane_max)
+    }
+}
+
+/// The windowing plan: a row permutation plus per-window lane assignment.
+///
+/// Windows are materialized one at a time through [`WindowPlan::window`] so
+/// scheduling a 30 M-nnz matrix never holds more than one window's edges
+/// besides the input CSR.
+#[derive(Debug, Clone)]
+pub struct WindowPlan {
+    length: usize,
+    load_balance: bool,
+    /// `row_perm[scheduled_position] = original_row`.
+    row_perm: Vec<u32>,
+}
+
+impl WindowPlan {
+    /// Builds the plan for a length-`l` GUST.
+    ///
+    /// With `load_balance`, rows are sorted by descending non-zero count
+    /// (step 1 of §3.5); otherwise the natural order is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0`.
+    #[must_use]
+    pub fn new(matrix: &CsrMatrix, length: usize, load_balance: bool) -> Self {
+        assert!(length > 0, "GUST length must be non-zero");
+        let mut row_perm: Vec<u32> = (0..matrix.rows() as u32).collect();
+        if load_balance {
+            // Stable sort, descending nnz: heavy rows share windows with
+            // other heavy rows, so the per-window max (which bounds the
+            // color count) is not inflated by a single outlier per window.
+            row_perm.sort_by_key(|&r| std::cmp::Reverse(matrix.row_nnz(r as usize)));
+        }
+        Self {
+            length,
+            load_balance,
+            row_perm,
+        }
+    }
+
+    /// Number of windows: `⌈rows / l⌉`.
+    #[must_use]
+    pub fn window_count(&self) -> usize {
+        self.row_perm.len().div_ceil(self.length)
+    }
+
+    /// The row permutation: `row_perm()[pos]` is the original index of the
+    /// row scheduled at position `pos`.
+    #[must_use]
+    pub fn row_perm(&self) -> &[u32] {
+        &self.row_perm
+    }
+
+    /// Accelerator length `l`.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Materializes window `w`, applying steps 2–3 of the load balancer
+    /// (column-segment sort + serpentine lane assignment) when enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.window_count()`.
+    #[must_use]
+    pub fn window(&self, matrix: &CsrMatrix, w: usize) -> Window {
+        assert!(w < self.window_count(), "window {w} out of range");
+        let l = self.length;
+        let start = w * l;
+        let end = (start + l).min(self.row_perm.len());
+
+        let mut per_row: Vec<Vec<WindowEdge>> = Vec::with_capacity(end - start);
+        if !self.load_balance {
+            for pos in start..end {
+                let orig = self.row_perm[pos] as usize;
+                let (cols, vals) = matrix.row(orig);
+                per_row.push(
+                    cols.iter()
+                        .zip(vals)
+                        .map(|(&c, &v)| WindowEdge {
+                            lane: c % l as u32,
+                            col: c,
+                            value: v,
+                        })
+                        .collect(),
+                );
+            }
+            return Window { index: w, per_row };
+        }
+
+        // Load-balanced lane assignment. Step 2: count this window's nnz per
+        // original column ("column segments") and sort segments by count,
+        // descending. Step 3: serpentine — reverse every even sorted group of
+        // `l` (paper example: 1,2,3,4,5,6,7,8 -> 1,2,4,3,5,6,8,7 for l = 2).
+        // Lane of a segment = its position within its group.
+        let mut seg_count: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for pos in start..end {
+            let orig = self.row_perm[pos] as usize;
+            let (cols, _) = matrix.row(orig);
+            for &c in cols {
+                *seg_count.entry(c).or_insert(0) += 1;
+            }
+        }
+        let mut segments: Vec<(u32, u32)> = seg_count.into_iter().collect();
+        // Sort by count descending; tie-break on column index for
+        // determinism.
+        segments.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        let mut lane_of: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::with_capacity(segments.len());
+        for (group_idx, group) in segments.chunks(l).enumerate() {
+            let group_len = group.len();
+            for (i, &(col, _)) in group.iter().enumerate() {
+                let slot = if group_idx % 2 == 1 {
+                    // Odd (0-based) groups are the "even column segments"
+                    // of the paper's 1-based description: reversed.
+                    group_len - 1 - i
+                } else {
+                    i
+                };
+                lane_of.insert(col, slot as u32);
+            }
+        }
+
+        for pos in start..end {
+            let orig = self.row_perm[pos] as usize;
+            let (cols, vals) = matrix.row(orig);
+            per_row.push(
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| WindowEdge {
+                        lane: lane_of[&c],
+                        col: c,
+                        value: v,
+                    })
+                    .collect(),
+            );
+        }
+        Window { index: w, per_row }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gust_sparse::prelude::*;
+
+    fn matrix_6x9() -> CsrMatrix {
+        // The paper's Fig. 5 example: 6 rows, 9 columns (A..I).
+        // 1: A C D E H   2: A B F G H   3: B C D I
+        // 4: A C E I     5: C F G H     6: A B D H
+        let rows: [&[usize]; 6] = [
+            &[0, 2, 3, 4, 7],
+            &[0, 1, 5, 6, 7],
+            &[1, 2, 3, 8],
+            &[0, 2, 4, 8],
+            &[2, 5, 6, 7],
+            &[0, 1, 3, 7],
+        ];
+        let mut coo = CooMatrix::new(6, 9);
+        for (r, cols) in rows.iter().enumerate() {
+            for &c in cols.iter() {
+                coo.push(r, c, (r * 10 + c) as f32 + 1.0).unwrap();
+            }
+        }
+        CsrMatrix::from(&coo)
+    }
+
+    #[test]
+    fn window_count_rounds_up() {
+        let m = matrix_6x9();
+        let plan = WindowPlan::new(&m, 3, false);
+        assert_eq!(plan.window_count(), 2);
+        let plan4 = WindowPlan::new(&m, 4, false);
+        assert_eq!(plan4.window_count(), 2);
+    }
+
+    #[test]
+    fn unbalanced_lane_is_col_mod_l() {
+        let m = matrix_6x9();
+        let plan = WindowPlan::new(&m, 3, false);
+        let w0 = plan.window(&m, 0);
+        for (i, row) in w0.per_row.iter().enumerate() {
+            for e in row {
+                assert_eq!(e.lane, e.col % 3, "row {i} col {}", e.col);
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_window_edges_match_paper() {
+        // Paper Fig. 5(b): first window (rows 1-3) right vertices group
+        // columns {A,D,G}, {B,E,H}, {C,F,I} = lanes 0,1,2.
+        let m = matrix_6x9();
+        let plan = WindowPlan::new(&m, 3, false);
+        let w0 = plan.window(&m, 0);
+        assert_eq!(w0.per_row.len(), 3);
+        // Row 1 (A C D E H) -> lanes (0, 2, 0, 1, 1).
+        let lanes: Vec<u32> = w0.per_row[0].iter().map(|e| e.lane).collect();
+        assert_eq!(lanes, vec![0, 2, 0, 1, 1]);
+        assert_eq!(w0.nnz(), 14);
+    }
+
+    #[test]
+    fn fig5_vizing_bounds() {
+        // First window: row degrees 5,5,4; lane degrees: lane0 (A,D,G): A×2,
+        // D×2, G×1 = 5; lane1 (B,E,H): B×2,E×1,H×2 = 5; lane2 (C,F,I):
+        // C×2,F×1,I×1 = 4. Bound = 5 — the paper colors it with 5.
+        let m = matrix_6x9();
+        let plan = WindowPlan::new(&m, 3, false);
+        assert_eq!(plan.window(&m, 0).vizing_bound(3), 5);
+        // Second window (rows 4-6): paper colors it with 4.
+        assert_eq!(plan.window(&m, 1).vizing_bound(3), 4);
+    }
+
+    #[test]
+    fn load_balance_sorts_rows_descending() {
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (2, 1, 1.0),
+                (3, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 2, true);
+        // nnz: row0=1, row1=3, row2=2, row3=1 -> order 1, 2, 0, 3.
+        assert_eq!(plan.row_perm(), &[1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn row_perm_is_identity_without_lb() {
+        let m = matrix_6x9();
+        let plan = WindowPlan::new(&m, 3, false);
+        assert_eq!(plan.row_perm(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn serpentine_assignment_balances_lane_loads() {
+        // One window of 2 rows at l = 2, four columns with window loads
+        // col0: 2, col1: 2, col2: 1, col3: 1.
+        let mut coo = CooMatrix::new(2, 4);
+        let mut val = 1.0f32;
+        for c in 0..2 {
+            for r in 0..2 {
+                coo.push(r, c, val).unwrap();
+                val += 1.0;
+            }
+        }
+        coo.push(0, 2, val).unwrap();
+        coo.push(1, 3, val + 1.0).unwrap();
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 2, true);
+        let w = plan.window(&m, 0);
+        // Sorted segments: col0(2), col1(2), col2(1), col3(1).
+        // Groups: (col0,col1), then (col2,col3) reversed -> col3 lane0,
+        // col2 lane1. Lane loads: lane0 = 2+1 = 3; lane1 = 2+1 = 3.
+        let mut lane_load = [0usize; 2];
+        for row in &w.per_row {
+            for e in row {
+                lane_load[e.lane as usize] += 1;
+            }
+        }
+        assert_eq!(lane_load, [3, 3]);
+    }
+
+    #[test]
+    fn ragged_final_window() {
+        let m = matrix_6x9();
+        let plan = WindowPlan::new(&m, 4, false);
+        let w1 = plan.window(&m, 1);
+        assert_eq!(w1.per_row.len(), 2); // rows 4 and 5 only
+    }
+
+    #[test]
+    fn lb_window_covers_all_edges_once() {
+        let m = matrix_6x9();
+        let plan = WindowPlan::new(&m, 3, true);
+        let total: usize = (0..plan.window_count())
+            .map(|w| plan.window(&m, w).nnz())
+            .sum();
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn lb_lane_assignment_is_within_bounds() {
+        let coo = gen::uniform(50, 70, 400, 3);
+        let m = CsrMatrix::from(&coo);
+        let plan = WindowPlan::new(&m, 8, true);
+        for w in 0..plan.window_count() {
+            for row in &plan.window(&m, w).per_row {
+                for e in row {
+                    assert!(e.lane < 8);
+                }
+            }
+        }
+    }
+}

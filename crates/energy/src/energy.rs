@@ -1,0 +1,237 @@
+//! Per-SpMV energy accounting (§4's methodology).
+//!
+//! The paper computes energy "as a result of dynamic power, NZ data
+//! movements, reads, writes, and arithmetic operations". Accordingly the
+//! model charges:
+//!
+//! * dynamic power × execution time (plus, for GUST, the vector-forwarding
+//!   phase at the same power — §4's final clause),
+//! * per non-zero: an off-chip read of the value and index, their 5 mm trip
+//!   to the chip, one on-chip vector-operand read, the partial product's
+//!   on-chip traversal (1 mm for 1D's neighbour hop, 129 mm average across
+//!   GUST's crossbar), and one multiply + one accumulate,
+//! * per input-vector word: an off-chip read, the 5 mm trip and an on-chip
+//!   write (the Buffer Filler stores the vector on chip),
+//! * per output word: an off-chip write and the 5 mm trip back.
+
+use crate::tech::{DesignProfile, TechParams};
+
+/// Energy of one SpMV, broken down by contribution. All values in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Dynamic power × (execution + vector-load) time.
+    pub dynamic_j: f64,
+    /// Off-chip reads (matrix values + indices + input vector).
+    pub off_chip_read_j: f64,
+    /// Off-chip writes (output vector).
+    pub off_chip_write_j: f64,
+    /// On-chip reads/writes (vector store + operand fetches).
+    pub on_chip_j: f64,
+    /// Word movement: HBM↔chip trips and on-chip traversals.
+    pub movement_j: f64,
+    /// Floating-point multiplies and accumulations.
+    pub arithmetic_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j
+            + self.off_chip_read_j
+            + self.off_chip_write_j
+            + self.on_chip_j
+            + self.movement_j
+            + self.arithmetic_j
+    }
+
+    /// Total in millijoules (the unit of Table 4's "Calc." energy).
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.total_j() * 1.0e3
+    }
+}
+
+/// The energy model: technology constants + accounting rules.
+///
+/// # Example
+///
+/// ```
+/// use gust_energy::{EnergyModel, DesignProfile};
+///
+/// let model = EnergyModel::paper();
+/// let e = model.spmv_energy(
+///     1_000_000,            // nnz
+///     16_384, 16_384,       // rows, cols
+///     1.0e-3,               // execution seconds
+///     0.0,                  // vector-load seconds
+///     &DesignProfile::gust_256(),
+/// );
+/// assert!(e.total_j() > 0.0);
+/// // At sub-millisecond runtimes, dynamic power dominates.
+/// assert!(e.dynamic_j > e.arithmetic_j);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyModel {
+    tech: TechParams,
+}
+
+impl EnergyModel {
+    /// A model with the paper's §4 constants.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            tech: TechParams::paper(),
+        }
+    }
+
+    /// A model with custom constants.
+    #[must_use]
+    pub fn with_tech(tech: TechParams) -> Self {
+        Self { tech }
+    }
+
+    /// The technology constants in use.
+    #[must_use]
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// Energy of one SpMV over a matrix with `nnz` non-zeros and shape
+    /// `rows × cols`, taking `exec_seconds` on the accelerator plus
+    /// `vector_load_seconds` forwarding the vector (0 for designs without
+    /// that phase).
+    #[must_use]
+    pub fn spmv_energy(
+        &self,
+        nnz: u64,
+        rows: usize,
+        cols: usize,
+        exec_seconds: f64,
+        vector_load_seconds: f64,
+        profile: &DesignProfile,
+    ) -> EnergyBreakdown {
+        let t = &self.tech;
+        let pj = 1.0e-12;
+        let nnz = nnz as f64;
+        let rows = rows as f64;
+        let cols = cols as f64;
+
+        // Words crossing the HBM boundary: value + index per NZ, plus the
+        // input vector once.
+        let off_chip_read_words = 2.0 * nnz + cols;
+        let off_chip_write_words = rows;
+
+        let dynamic_j = profile.dynamic_watts * (exec_seconds + vector_load_seconds);
+        let off_chip_read_j = off_chip_read_words * t.off_chip_read_pj * pj;
+        let off_chip_write_j = off_chip_write_words * t.off_chip_write_pj * pj;
+        // On chip: store the vector once (write), fetch one operand per NZ
+        // (read).
+        let on_chip_j = (cols * t.on_chip_write_pj + nnz * t.on_chip_read_pj) * pj;
+        // Movement: every HBM word travels the 5 mm package distance; every
+        // partial product traverses the design's on-chip distance.
+        let movement_j = ((off_chip_read_words + off_chip_write_words)
+            * t.off_chip_move_pj_per_mm
+            * t.off_to_on_chip_mm
+            + nnz * t.on_chip_move_pj_per_mm * profile.on_chip_mm)
+            * pj;
+        let arithmetic_j = nnz * (t.fp_mul_pj + t.fp_add_pj) * pj;
+
+        EnergyBreakdown {
+            dynamic_j,
+            off_chip_read_j,
+            off_chip_write_j,
+            on_chip_j,
+            movement_j,
+            arithmetic_j,
+        }
+    }
+
+    /// Preprocessing energy: host power × wall-clock seconds (Table 4's
+    /// "Pre." energy row uses the 45 W i7 figure).
+    #[must_use]
+    pub fn preprocessing_energy_j(&self, seconds: f64) -> f64 {
+        self.tech.host_power_watts * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::paper()
+    }
+
+    #[test]
+    fn dynamic_term_scales_with_time() {
+        let m = model();
+        let p = DesignProfile::one_d_256();
+        let slow = m.spmv_energy(1000, 100, 100, 1.0, 0.0, &p);
+        let fast = m.spmv_energy(1000, 100, 100, 0.001, 0.0, &p);
+        assert!((slow.dynamic_j / fast.dynamic_j - 1000.0).abs() < 1e-6);
+        // Static (per-word) terms are identical.
+        assert_eq!(slow.arithmetic_j, fast.arithmetic_j);
+        assert_eq!(slow.movement_j, fast.movement_j);
+    }
+
+    #[test]
+    fn arithmetic_is_20pj_per_nnz() {
+        let e = model().spmv_energy(1_000_000, 10, 10, 0.0, 0.0, &DesignProfile::gust_256());
+        assert!((e.arithmetic_j - 1.0e6 * 20.0e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gust_movement_costs_more_per_nnz_than_1d() {
+        let m = model();
+        let gust = m.spmv_energy(1000, 100, 100, 0.0, 0.0, &DesignProfile::gust_256());
+        let one_d = m.spmv_energy(1000, 100, 100, 0.0, 0.0, &DesignProfile::one_d_256());
+        assert!(gust.movement_j > one_d.movement_j);
+    }
+
+    #[test]
+    fn long_1d_runtime_dominates_total() {
+        // The energy-efficiency story of Fig. 8: 1D's enormous execution
+        // time makes dynamic energy dwarf everything else.
+        let m = model();
+        // 16 384² at l = 256 and 96 MHz: ~10.9 s.
+        let e = m.spmv_energy(
+            268_435,
+            16_384,
+            16_384,
+            10.9,
+            0.0,
+            &DesignProfile::one_d_256(),
+        );
+        assert!(e.dynamic_j / e.total_j() > 0.99);
+    }
+
+    #[test]
+    fn vector_load_phase_charges_gust_power() {
+        let m = model();
+        let p = DesignProfile::gust_256();
+        let without = m.spmv_energy(1000, 100, 100, 1.0e-3, 0.0, &p);
+        let with = m.spmv_energy(1000, 100, 100, 1.0e-3, 1.0e-3, &p);
+        assert!((with.dynamic_j - 2.0 * without.dynamic_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preprocessing_energy_uses_host_power() {
+        // Table 4 row 1: 4.32 s of preprocessing -> 194 J at 45 W.
+        let e = model().preprocessing_energy_j(4.32);
+        assert!((e - 194.4).abs() < 0.5);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let e = model().spmv_energy(123, 17, 31, 0.5, 0.1, &DesignProfile::serpens());
+        let manual = e.dynamic_j
+            + e.off_chip_read_j
+            + e.off_chip_write_j
+            + e.on_chip_j
+            + e.movement_j
+            + e.arithmetic_j;
+        assert!((e.total_j() - manual).abs() < 1e-15);
+        assert!((e.total_mj() - manual * 1e3).abs() < 1e-12);
+    }
+}

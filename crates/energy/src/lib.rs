@@ -1,0 +1,35 @@
+//! Energy, power and FPGA-resource models for the GUST reproduction.
+//!
+//! Three concerns, mirroring the paper's §4 methodology:
+//!
+//! * [`tech`] — the technology constants: Dally's per-word pJ numbers for
+//!   reads/writes/arithmetic/data movement, the design-specific movement
+//!   distances, and the measured dynamic powers from the paper's FPGA
+//!   synthesis.
+//! * [`energy`] — per-SpMV energy accounting: dynamic power × execution
+//!   time plus NZ-proportional data movement, reads, writes and arithmetic
+//!   (exactly the contributions the paper enumerates). This is what Fig. 8's
+//!   energy-efficiency series and Table 4's energy column are computed from.
+//! * [`resources`] — the FPGA resource/power model, calibrated to pass
+//!   exactly through the paper's published data points at lengths 8, 87 and
+//!   256 (Tables 2 & 5), with log-log interpolation between and beyond
+//!   them. It reproduces both tables and powers the §5.5 scalability
+//!   ablation (crossbar area grows super-quadratically).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod energy;
+pub mod resources;
+pub mod tech;
+
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use resources::{GustResources, PartitionResources, ONE_D_256};
+pub use tech::{DesignProfile, TechParams};
+
+/// Common imports for working with this crate.
+pub mod prelude {
+    pub use crate::energy::{EnergyBreakdown, EnergyModel};
+    pub use crate::resources::{GustResources, PartitionResources, ONE_D_256};
+    pub use crate::tech::{DesignProfile, TechParams};
+}

@@ -1,0 +1,149 @@
+//! Technology constants from the paper's §4 (sourced from Dally [5, 6])
+//! and the measured design powers from the FPGA synthesis.
+
+/// Per-32-bit-word energy and distance constants (§4).
+///
+/// All energies are in picojoules for one 32-bit word; distances in mm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Off-chip (HBM) read: 64 pJ.
+    pub off_chip_read_pj: f64,
+    /// On-chip (BRAM/URAM) read: 11.84 pJ.
+    pub on_chip_read_pj: f64,
+    /// Off-chip write: 64 pJ.
+    pub off_chip_write_pj: f64,
+    /// On-chip write: 16 pJ.
+    pub on_chip_write_pj: f64,
+    /// Floating-point accumulation: 10 pJ.
+    pub fp_add_pj: f64,
+    /// Floating-point multiplication: 10 pJ.
+    pub fp_mul_pj: f64,
+    /// Moving one word 1 mm off-chip: 160 pJ/mm.
+    pub off_chip_move_pj_per_mm: f64,
+    /// Moving one word 1 mm on-chip: 0.95 pJ/mm.
+    pub on_chip_move_pj_per_mm: f64,
+    /// Distance between off-chip memory and on-chip elements: 5 mm.
+    pub off_to_on_chip_mm: f64,
+    /// Preprocessing host power (Intel i7-10750H): 45 W.
+    pub host_power_watts: f64,
+}
+
+impl TechParams {
+    /// The paper's §4 values.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            off_chip_read_pj: 64.0,
+            on_chip_read_pj: 11.84,
+            off_chip_write_pj: 64.0,
+            on_chip_write_pj: 16.0,
+            fp_add_pj: 10.0,
+            fp_mul_pj: 10.0,
+            off_chip_move_pj_per_mm: 160.0,
+            on_chip_move_pj_per_mm: 0.95,
+            off_to_on_chip_mm: 5.0,
+            host_power_watts: 45.0,
+        }
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Power/geometry profile of one accelerator design, as used by the energy
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignProfile {
+    /// Dynamic power in watts (measured from synthesis, §4/§5.3).
+    pub dynamic_watts: f64,
+    /// Average on-chip distance a partial result travels, in mm. §4 gives
+    /// 1 mm between neighbouring PEs in 1D and 129 mm as the average
+    /// distance across GUST's crossbar (the crossbar is what makes GUST's
+    /// per-word movement expensive).
+    pub on_chip_mm: f64,
+}
+
+impl DesignProfile {
+    /// Length-256 1D systolic array: 35.3 W, 1 mm hops.
+    #[must_use]
+    pub fn one_d_256() -> Self {
+        Self {
+            dynamic_watts: 35.3,
+            on_chip_mm: 1.0,
+        }
+    }
+
+    /// Length-256 GUST: 56.9 W, 129 mm average crossbar traversal.
+    #[must_use]
+    pub fn gust_256() -> Self {
+        Self {
+            dynamic_watts: 56.9,
+            on_chip_mm: 129.0,
+        }
+    }
+
+    /// Length-87 GUST: 16.8 W.
+    ///
+    /// The crossbar traversal scales roughly with its physical extent; we
+    /// scale the paper's 129 mm by `87/256`.
+    #[must_use]
+    pub fn gust_87() -> Self {
+        Self {
+            dynamic_watts: 16.8,
+            on_chip_mm: 129.0 * 87.0 / 256.0,
+        }
+    }
+
+    /// Length-8 GUST: 3.4 W.
+    #[must_use]
+    pub fn gust_8() -> Self {
+        Self {
+            dynamic_watts: 3.4,
+            on_chip_mm: 129.0 * 8.0 / 256.0,
+        }
+    }
+
+    /// Serpens: 46.2 W (§5.3); memory-centric engines keep movement local.
+    #[must_use]
+    pub fn serpens() -> Self {
+        Self {
+            dynamic_watts: 46.2,
+            on_chip_mm: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_match_section_4() {
+        let t = TechParams::paper();
+        assert_eq!(t.off_chip_read_pj, 64.0);
+        assert_eq!(t.on_chip_read_pj, 11.84);
+        assert_eq!(t.on_chip_write_pj, 16.0);
+        assert_eq!(t.fp_add_pj, 10.0);
+        assert_eq!(t.off_chip_move_pj_per_mm, 160.0);
+        assert_eq!(t.on_chip_move_pj_per_mm, 0.95);
+        assert_eq!(t.off_to_on_chip_mm, 5.0);
+        assert_eq!(t.host_power_watts, 45.0);
+    }
+
+    #[test]
+    fn design_powers_match_table_2_and_section_5_3() {
+        assert_eq!(DesignProfile::one_d_256().dynamic_watts, 35.3);
+        assert_eq!(DesignProfile::gust_256().dynamic_watts, 56.9);
+        assert_eq!(DesignProfile::gust_87().dynamic_watts, 16.8);
+        assert_eq!(DesignProfile::gust_8().dynamic_watts, 3.4);
+        assert_eq!(DesignProfile::serpens().dynamic_watts, 46.2);
+    }
+
+    #[test]
+    fn gust_crossbar_distance_dwarfs_1d() {
+        assert!(DesignProfile::gust_256().on_chip_mm > 100.0 * DesignProfile::one_d_256().on_chip_mm);
+    }
+}

@@ -1,0 +1,264 @@
+//! Cycle counting and clocked-component plumbing.
+//!
+//! All accelerator models in this workspace are *synchronous* designs: state
+//! advances once per clock cycle. [`Clock`] is the global cycle counter and
+//! converts cycle counts to wall-clock time at a configured frequency (the
+//! paper's §4 setup synthesizes GUST and the 1D baseline at 96 MHz and
+//! Serpens at 223 MHz). [`Clocked`] is implemented by components that are
+//! stepped each cycle.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A cycle index / cycle count.
+pub type Cycle = u64;
+
+/// A monotonically advancing cycle counter with an associated frequency.
+///
+/// # Example
+///
+/// ```
+/// use gust_sim::Clock;
+///
+/// let mut clock = Clock::at_frequency(96.0e6); // the paper's 96 MHz
+/// clock.tick_by(96_000_000);
+/// assert_eq!(clock.elapsed().as_secs(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clock {
+    now: Cycle,
+    frequency_hz: f64,
+}
+
+impl Clock {
+    /// Default frequency used when none is specified: the paper's 96 MHz
+    /// GUST synthesis clock (bounded by the crossbar's longest logic route).
+    pub const DEFAULT_FREQUENCY_HZ: f64 = 96.0e6;
+
+    /// Creates a clock at [`Clock::DEFAULT_FREQUENCY_HZ`], starting at cycle 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::at_frequency(Self::DEFAULT_FREQUENCY_HZ)
+    }
+
+    /// Creates a clock with the given frequency in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not strictly positive and finite.
+    #[must_use]
+    pub fn at_frequency(frequency_hz: f64) -> Self {
+        assert!(
+            frequency_hz.is_finite() && frequency_hz > 0.0,
+            "clock frequency must be positive and finite, got {frequency_hz}"
+        );
+        Self {
+            now: 0,
+            frequency_hz,
+        }
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Clock frequency in Hz.
+    #[must_use]
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Advances by one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    /// Advances by `cycles`.
+    pub fn tick_by(&mut self, cycles: Cycle) {
+        self.now += cycles;
+    }
+
+    /// Wall-clock time elapsed since cycle 0 at this clock's frequency.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_secs_f64(self.now as f64 / self.frequency_hz)
+    }
+
+    /// Converts an arbitrary cycle count to seconds at this frequency.
+    #[must_use]
+    pub fn cycles_to_seconds(&self, cycles: Cycle) -> f64 {
+        cycles as f64 / self.frequency_hz
+    }
+
+    /// Resets the counter to cycle 0, keeping the frequency.
+    pub fn reset(&mut self) {
+        self.now = 0;
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {} @ {:.1} MHz",
+            self.now,
+            self.frequency_hz / 1.0e6
+        )
+    }
+}
+
+/// A synchronous component advanced once per clock cycle.
+///
+/// Implementors perform one cycle of work in [`Clocked::tick`] and report
+/// whether they still have pending work, which lets a driver loop run a
+/// pipeline to quiescence:
+///
+/// ```
+/// use gust_sim::{Clock, Clocked};
+///
+/// struct Countdown(u32);
+/// impl Clocked for Countdown {
+///     fn tick(&mut self, _now: u64) {
+///         self.0 = self.0.saturating_sub(1);
+///     }
+///     fn is_idle(&self) -> bool {
+///         self.0 == 0
+///     }
+/// }
+///
+/// let mut clock = Clock::new();
+/// let mut c = Countdown(3);
+/// while !c.is_idle() {
+///     c.tick(clock.now());
+///     clock.tick();
+/// }
+/// assert_eq!(clock.now(), 3);
+/// ```
+pub trait Clocked {
+    /// Performs one cycle of work. `now` is the cycle being executed.
+    fn tick(&mut self, now: Cycle);
+
+    /// Whether the component has drained all pending work.
+    fn is_idle(&self) -> bool;
+}
+
+/// Runs a [`Clocked`] component until it reports idle, returning the number
+/// of cycles consumed.
+///
+/// # Panics
+///
+/// Panics if the component is still busy after `max_cycles`, which in this
+/// workspace always indicates a deadlocked model (e.g. an unresolved
+/// collision) rather than a long-running but live computation.
+pub fn run_to_idle<C: Clocked>(component: &mut C, clock: &mut Clock, max_cycles: Cycle) -> Cycle {
+    let start = clock.now();
+    while !component.is_idle() {
+        assert!(
+            clock.now() - start < max_cycles,
+            "component failed to go idle within {max_cycles} cycles — model deadlock"
+        );
+        component.tick(clock.now());
+        clock.tick();
+    }
+    clock.now() - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let clock = Clock::new();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn tick_advances_one_cycle() {
+        let mut clock = Clock::new();
+        clock.tick();
+        clock.tick();
+        assert_eq!(clock.now(), 2);
+    }
+
+    #[test]
+    fn elapsed_uses_frequency() {
+        let mut clock = Clock::at_frequency(1000.0);
+        clock.tick_by(500);
+        assert!((clock.elapsed().as_secs_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_seconds_matches_elapsed() {
+        let mut clock = Clock::at_frequency(96.0e6);
+        clock.tick_by(96);
+        assert!((clock.cycles_to_seconds(96) - clock.elapsed().as_secs_f64()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_zeroes_cycle_but_keeps_frequency() {
+        let mut clock = Clock::at_frequency(123.0);
+        clock.tick_by(10);
+        clock.reset();
+        assert_eq!(clock.now(), 0);
+        assert!((clock.frequency_hz() - 123.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_panics() {
+        let _ = Clock::at_frequency(0.0);
+    }
+
+    #[test]
+    fn display_shows_cycle_and_mhz() {
+        let mut clock = Clock::at_frequency(96.0e6);
+        clock.tick_by(7);
+        assert_eq!(clock.to_string(), "cycle 7 @ 96.0 MHz");
+    }
+
+    struct Pipeline {
+        remaining: u32,
+    }
+
+    impl Clocked for Pipeline {
+        fn tick(&mut self, _now: Cycle) {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        fn is_idle(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    #[test]
+    fn run_to_idle_counts_cycles() {
+        let mut clock = Clock::new();
+        let mut p = Pipeline { remaining: 17 };
+        let used = run_to_idle(&mut p, &mut clock, 1000);
+        assert_eq!(used, 17);
+        assert_eq!(clock.now(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "model deadlock")]
+    fn run_to_idle_detects_deadlock() {
+        struct Stuck;
+        impl Clocked for Stuck {
+            fn tick(&mut self, _now: Cycle) {}
+            fn is_idle(&self) -> bool {
+                false
+            }
+        }
+        let mut clock = Clock::new();
+        run_to_idle(&mut Stuck, &mut clock, 10);
+    }
+}

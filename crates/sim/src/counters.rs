@@ -1,0 +1,209 @@
+//! Busy/idle accounting for arithmetic units.
+//!
+//! The paper's headline metric (§1) is *hardware utilization*: "the ratio of
+//! average number of arithmetic units performing NZ operations in each cycle
+//! to total number of arithmetic units". [`UnitCounter`] accumulates exactly
+//! the numerator (useful unit-cycles) so the metric falls out as
+//! `busy_unit_cycles / (units × cycles)`.
+
+/// Accumulates useful (non-zero-operand) work performed by a pool of
+/// identical arithmetic units.
+///
+/// # Example
+///
+/// ```
+/// use gust_sim::UnitCounter;
+///
+/// // 4 multipliers; over 2 cycles they perform 3 and 1 useful ops.
+/// let mut mults = UnitCounter::new("multipliers", 4);
+/// mults.record_busy(3);
+/// mults.record_busy(1);
+/// assert_eq!(mults.busy_unit_cycles(), 4);
+/// assert!((mults.utilization(2) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitCounter {
+    label: &'static str,
+    units: usize,
+    busy_unit_cycles: u64,
+}
+
+impl UnitCounter {
+    /// Creates a counter for `units` identical units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    #[must_use]
+    pub fn new(label: &'static str, units: usize) -> Self {
+        assert!(units > 0, "unit pool must contain at least one unit");
+        Self {
+            label,
+            units,
+            busy_unit_cycles: 0,
+        }
+    }
+
+    /// Records that `busy` units did useful work this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy` exceeds the pool size: a model claiming more busy
+    /// units than exist is always a bug.
+    pub fn record_busy(&mut self, busy: usize) {
+        assert!(
+            busy <= self.units,
+            "{}: {busy} busy units exceeds pool of {}",
+            self.label,
+            self.units
+        );
+        self.busy_unit_cycles += busy as u64;
+    }
+
+    /// Total useful unit-cycles accumulated.
+    #[must_use]
+    pub fn busy_unit_cycles(&self) -> u64 {
+        self.busy_unit_cycles
+    }
+
+    /// Number of units in the pool.
+    #[must_use]
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Label given at construction (e.g. `"multipliers"`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Utilization over `cycles` elapsed cycles, in `[0, 1]`.
+    ///
+    /// Returns 0 for a zero-cycle window (nothing ran, nothing was used).
+    #[must_use]
+    pub fn utilization(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.busy_unit_cycles as f64 / (self.units as f64 * cycles as f64)
+    }
+}
+
+/// Counts floating-point operations, split into multiplies and additions.
+///
+/// SpMV performs one multiply and one accumulate per non-zero, so for a
+/// correct run over a matrix with `nnz` non-zeros both counts equal `nnz`
+/// (minus first-touch accumulations if a model initializes sums by
+/// assignment). The paper's GFLOPS figures (Table 4) count `2 × nnz`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlopCounter {
+    multiplies: u64,
+    additions: u64,
+}
+
+impl FlopCounter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one floating-point multiply.
+    pub fn record_multiply(&mut self) {
+        self.multiplies += 1;
+    }
+
+    /// Records `n` floating-point multiplies.
+    pub fn record_multiplies(&mut self, n: u64) {
+        self.multiplies += n;
+    }
+
+    /// Records one floating-point addition/accumulation.
+    pub fn record_addition(&mut self) {
+        self.additions += 1;
+    }
+
+    /// Records `n` floating-point additions.
+    pub fn record_additions(&mut self, n: u64) {
+        self.additions += n;
+    }
+
+    /// Multiplies performed.
+    #[must_use]
+    pub fn multiplies(&self) -> u64 {
+        self.multiplies
+    }
+
+    /// Additions performed.
+    #[must_use]
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+
+    /// Total floating-point operations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.multiplies + self.additions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let mut c = UnitCounter::new("adders", 8);
+        for _ in 0..10 {
+            c.record_busy(2);
+        }
+        assert!((c.utilization(10) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_zero_cycles_is_zero() {
+        let c = UnitCounter::new("adders", 8);
+        assert_eq!(c.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn fully_busy_is_one() {
+        let mut c = UnitCounter::new("mult", 3);
+        c.record_busy(3);
+        c.record_busy(3);
+        assert!((c.utilization(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pool")]
+    fn overclaiming_busy_units_panics() {
+        let mut c = UnitCounter::new("mult", 2);
+        c.record_busy(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn empty_pool_panics() {
+        let _ = UnitCounter::new("none", 0);
+    }
+
+    #[test]
+    fn flop_counter_accumulates() {
+        let mut f = FlopCounter::new();
+        f.record_multiply();
+        f.record_multiplies(4);
+        f.record_addition();
+        f.record_additions(2);
+        assert_eq!(f.multiplies(), 5);
+        assert_eq!(f.additions(), 3);
+        assert_eq!(f.total(), 8);
+    }
+
+    #[test]
+    fn label_and_units_accessors() {
+        let c = UnitCounter::new("multipliers", 256);
+        assert_eq!(c.label(), "multipliers");
+        assert_eq!(c.units(), 256);
+    }
+}

@@ -1,0 +1,276 @@
+//! Bounded FIFO buffers with occupancy statistics.
+//!
+//! GUST's hardware (paper §3.2, Fig. 2) connects each of its four input
+//! streams — matrix elements, vector elements, row indices and dump signals —
+//! through an individual FIFO buffer per lane. [`Fifo`] models such a buffer:
+//! a bounded queue that records high-water occupancy and push/pop counts so
+//! accelerator models can report buffer pressure.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`Fifo::push`] when the buffer is at capacity.
+///
+/// The rejected element is handed back to the caller so it can be retried on
+/// a later cycle (hardware back-pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError<T>(pub T);
+
+impl<T> fmt::Display for FifoFullError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo is full")
+    }
+}
+
+impl<T: fmt::Debug> Error for FifoFullError<T> {}
+
+/// A bounded FIFO queue modelling a hardware input buffer.
+///
+/// # Example
+///
+/// ```
+/// use gust_sim::Fifo;
+///
+/// let mut f = Fifo::with_capacity(2);
+/// f.push(10u32).unwrap();
+/// f.push(20u32).unwrap();
+/// assert!(f.push(30u32).is_err(), "third push exceeds capacity");
+/// assert_eq!(f.pop(), Some(10));
+/// assert_eq!(f.high_water(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+    pushes: u64,
+    pops: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; a zero-capacity buffer cannot transport
+    /// data and always indicates a configuration bug.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+            pushes: 0,
+            pops: 0,
+        }
+    }
+
+    /// Creates an effectively unbounded FIFO (capacity `usize::MAX`).
+    ///
+    /// Useful when modelling a schedule that is streamed from off-chip memory
+    /// and where back-pressure is accounted for by the bandwidth model rather
+    /// than by buffer capacity.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self {
+            items: VecDeque::new(),
+            capacity: usize::MAX,
+            high_water: 0,
+            pushes: 0,
+            pops: 0,
+        }
+    }
+
+    /// Attempts to enqueue `item`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] containing `item` if the buffer is full.
+    pub fn push(&mut self, item: T) -> Result<(), FifoFullError<T>> {
+        if self.items.len() >= self.capacity {
+            return Err(FifoFullError(item));
+        }
+        self.items.push_back(item);
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest element, or `None` if empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.pops += 1;
+        }
+        item
+    }
+
+    /// Peeks at the oldest element without consuming it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current number of buffered elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer currently holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum occupancy observed since construction.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total number of successful pushes.
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total number of successful pops.
+    #[must_use]
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Removes all elements, keeping statistics.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<T> Default for Fifo<T> {
+    /// An unbounded FIFO, equivalent to [`Fifo::unbounded`].
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl<T> Extend<T> for Fifo<T> {
+    /// Pushes every item; silently drops items once full.
+    ///
+    /// Intended for pre-loading schedules in tests, where capacity is chosen
+    /// large enough that nothing is dropped.
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            if self.push(item).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo_ordered() {
+        let mut f = Fifo::with_capacity(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        let drained: Vec<_> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_full_returns_item_back() {
+        let mut f = Fifo::with_capacity(1);
+        f.push("a").unwrap();
+        let err = f.push("b").unwrap_err();
+        assert_eq!(err.0, "b");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_max_occupancy() {
+        let mut f = Fifo::with_capacity(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.high_water(), 2);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut f = Fifo::with_capacity(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        assert_eq!(f.pushes(), 2);
+        assert_eq!(f.pops(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = Fifo::with_capacity(2);
+        f.push(7).unwrap();
+        assert_eq!(f.peek(), Some(&7));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop(), Some(7));
+    }
+
+    #[test]
+    fn unbounded_accepts_many() {
+        let mut f = Fifo::unbounded();
+        for i in 0..10_000 {
+            f.push(i).unwrap();
+        }
+        assert_eq!(f.len(), 10_000);
+        assert!(!f.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn clear_keeps_statistics() {
+        let mut f = Fifo::with_capacity(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.pushes(), 2);
+        assert_eq!(f.high_water(), 2);
+    }
+
+    #[test]
+    fn extend_stops_at_capacity() {
+        let mut f = Fifo::with_capacity(3);
+        f.extend(0..10);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let err = FifoFullError(42);
+        assert_eq!(err.to_string(), "fifo is full");
+    }
+}

@@ -1,0 +1,47 @@
+//! Cycle-level hardware-simulation kernel for the GUST reproduction.
+//!
+//! This crate is the substrate every accelerator model in the workspace is
+//! built on. It deliberately has no required dependencies: it provides the
+//! small set of mechanisms a cycle-level SpMV accelerator simulator needs —
+//!
+//! * [`Fifo`] — bounded FIFO buffers with occupancy statistics (the paper's
+//!   matrix / vector / row-index / dump-signal input buffers),
+//! * [`Clock`] and [`Clocked`] — a cycle counter and a trait for components
+//!   advanced once per cycle,
+//! * [`UnitCounter`] — per-arithmetic-unit busy accounting, from which the
+//!   paper's *hardware utilization* metric (§1: average number of units doing
+//!   useful non-zero work per cycle over total units) is derived,
+//! * [`ExecutionReport`] — the normalized result every accelerator returns
+//!   (cycles, flops, utilization, traffic),
+//! * [`mem`] — off-chip (HBM2) and on-chip memory traffic/bandwidth models of
+//!   the Alveo U280 card used in the paper's §4 setup.
+//!
+//! # Example
+//!
+//! ```
+//! use gust_sim::{Clock, Fifo};
+//!
+//! let mut clock = Clock::new();
+//! let mut fifo = Fifo::with_capacity(4);
+//! fifo.push(1.0f32).unwrap();
+//! clock.tick();
+//! assert_eq!(fifo.pop(), Some(1.0));
+//! assert_eq!(clock.now(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod counters;
+pub mod fifo;
+pub mod mem;
+pub mod report;
+pub mod trace;
+
+pub use clock::{Clock, Clocked, Cycle};
+pub use counters::{FlopCounter, UnitCounter};
+pub use fifo::{Fifo, FifoFullError};
+pub use mem::{HbmModel, MemoryTraffic, OnChipBuffer};
+pub use report::ExecutionReport;
+pub use trace::{CycleTrace, TraceEntry};

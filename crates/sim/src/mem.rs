@@ -1,0 +1,337 @@
+//! Off-chip (HBM2) and on-chip memory traffic and bandwidth models.
+//!
+//! The paper's §4 setup is an Alveo U280: HBM2-enabled, 460 GB/s peak memory
+//! bandwidth, 41 MB of on-chip memory, 32 physical channels. The energy model
+//! (in `gust-energy`) charges every word counted here with the per-word pJ
+//! numbers of Dally [5, 6]; this module only counts traffic and converts
+//! between bytes, cycles and seconds.
+
+/// Bytes in one 32-bit word, the precision used throughout the paper.
+pub const WORD_BYTES: u64 = 4;
+
+/// Traffic tallies, all in 32-bit words.
+///
+/// `off_chip_*` is HBM traffic; `on_chip_*` is BRAM/URAM traffic (e.g. the
+/// Buffer Filler's double buffer and the stored input vector).
+///
+/// # Example
+///
+/// ```
+/// use gust_sim::MemoryTraffic;
+///
+/// let mut t = MemoryTraffic::default();
+/// t.off_chip_reads += 100;
+/// assert_eq!(t.off_chip_read_bytes(), 400);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryTraffic {
+    /// 32-bit words read from off-chip (HBM) memory.
+    pub off_chip_reads: u64,
+    /// 32-bit words written to off-chip (HBM) memory.
+    pub off_chip_writes: u64,
+    /// 32-bit words read from on-chip memory.
+    pub on_chip_reads: u64,
+    /// 32-bit words written to on-chip memory.
+    pub on_chip_writes: u64,
+}
+
+impl MemoryTraffic {
+    /// Bytes read from off-chip memory.
+    #[must_use]
+    pub fn off_chip_read_bytes(&self) -> u64 {
+        self.off_chip_reads * WORD_BYTES
+    }
+
+    /// Bytes written to off-chip memory.
+    #[must_use]
+    pub fn off_chip_write_bytes(&self) -> u64 {
+        self.off_chip_writes * WORD_BYTES
+    }
+
+    /// Total off-chip bytes moved in either direction.
+    #[must_use]
+    pub fn off_chip_bytes(&self) -> u64 {
+        self.off_chip_read_bytes() + self.off_chip_write_bytes()
+    }
+
+    /// Component-wise sum of two traffic tallies.
+    #[must_use]
+    pub fn combined(&self, other: &Self) -> Self {
+        Self {
+            off_chip_reads: self.off_chip_reads + other.off_chip_reads,
+            off_chip_writes: self.off_chip_writes + other.off_chip_writes,
+            on_chip_reads: self.on_chip_reads + other.on_chip_reads,
+            on_chip_writes: self.on_chip_writes + other.on_chip_writes,
+        }
+    }
+}
+
+/// Peak-bandwidth model of an HBM2 stack.
+///
+/// # Example
+///
+/// ```
+/// use gust_sim::HbmModel;
+///
+/// let hbm = HbmModel::alveo_u280();
+/// // Streaming 460 GB at peak takes one second.
+/// assert!((hbm.seconds_to_stream(460_000_000_000) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmModel {
+    peak_bytes_per_second: f64,
+    channels: u32,
+}
+
+impl HbmModel {
+    /// The Alveo U280 used in §4: 460 GB/s over 32 physical channels.
+    #[must_use]
+    pub fn alveo_u280() -> Self {
+        Self {
+            peak_bytes_per_second: 460.0e9,
+            channels: 32,
+        }
+    }
+
+    /// Creates a model with explicit peak bandwidth and channel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_bytes_per_second` is not positive/finite or
+    /// `channels` is zero.
+    #[must_use]
+    pub fn new(peak_bytes_per_second: f64, channels: u32) -> Self {
+        assert!(
+            peak_bytes_per_second.is_finite() && peak_bytes_per_second > 0.0,
+            "peak bandwidth must be positive"
+        );
+        assert!(channels > 0, "channel count must be non-zero");
+        Self {
+            peak_bytes_per_second,
+            channels,
+        }
+    }
+
+    /// Peak bandwidth in bytes per second.
+    #[must_use]
+    pub fn peak_bytes_per_second(&self) -> f64 {
+        self.peak_bytes_per_second
+    }
+
+    /// Number of physical channels.
+    #[must_use]
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Seconds needed to stream `bytes` at peak bandwidth.
+    #[must_use]
+    pub fn seconds_to_stream(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.peak_bytes_per_second
+    }
+
+    /// Bytes deliverable per cycle at clock frequency `frequency_hz`.
+    #[must_use]
+    pub fn bytes_per_cycle(&self, frequency_hz: f64) -> f64 {
+        self.peak_bytes_per_second / frequency_hz
+    }
+
+    /// Fraction of peak bandwidth consumed when `bytes` are moved over
+    /// `seconds`, clamped to `[0, 1]` only from below (an over-subscribed
+    /// request reports > 1 so callers can detect infeasible configurations).
+    #[must_use]
+    pub fn utilization(&self, bytes: u64, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        (bytes as f64 / seconds) / self.peak_bytes_per_second
+    }
+}
+
+/// A simple on-chip buffer capacity model (BRAM/URAM pool).
+///
+/// The Buffer Filler (§3.2, §4) needs twice the per-timestep input size for
+/// double buffering plus space for the whole input vector; this type checks
+/// such allocations against the card's 41 MB on-chip budget.
+///
+/// # Example
+///
+/// ```
+/// use gust_sim::OnChipBuffer;
+///
+/// let mut buf = OnChipBuffer::alveo_u280();
+/// buf.allocate(4 * 1024 * 1024).expect("4 MB vector fits");
+/// assert!(buf.remaining_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnChipBuffer {
+    capacity_bytes: u64,
+    used_bytes: u64,
+}
+
+/// Error returned when an [`OnChipBuffer`] allocation exceeds capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnChipCapacityError {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes still available at the time of the request.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OnChipCapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "on-chip allocation of {} bytes exceeds remaining capacity of {} bytes",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OnChipCapacityError {}
+
+impl OnChipBuffer {
+    /// The Alveo U280's 41 MB of on-chip memory (§4).
+    #[must_use]
+    pub fn alveo_u280() -> Self {
+        Self::with_capacity(41 * 1024 * 1024)
+    }
+
+    /// Creates a buffer pool with the given capacity in bytes.
+    #[must_use]
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            used_bytes: 0,
+        }
+    }
+
+    /// Reserves `bytes` from the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnChipCapacityError`] if the pool cannot satisfy the request.
+    pub fn allocate(&mut self, bytes: u64) -> Result<(), OnChipCapacityError> {
+        let available = self.remaining_bytes();
+        if bytes > available {
+            return Err(OnChipCapacityError {
+                requested: bytes,
+                available,
+            });
+        }
+        self.used_bytes += bytes;
+        Ok(())
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently reserved.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Bytes still available.
+    #[must_use]
+    pub fn remaining_bytes(&self) -> u64 {
+        self.capacity_bytes - self.used_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_byte_conversions() {
+        let t = MemoryTraffic {
+            off_chip_reads: 10,
+            off_chip_writes: 3,
+            on_chip_reads: 7,
+            on_chip_writes: 2,
+        };
+        assert_eq!(t.off_chip_read_bytes(), 40);
+        assert_eq!(t.off_chip_write_bytes(), 12);
+        assert_eq!(t.off_chip_bytes(), 52);
+    }
+
+    #[test]
+    fn traffic_combines_componentwise() {
+        let a = MemoryTraffic {
+            off_chip_reads: 1,
+            off_chip_writes: 2,
+            on_chip_reads: 3,
+            on_chip_writes: 4,
+        };
+        let b = MemoryTraffic {
+            off_chip_reads: 10,
+            off_chip_writes: 20,
+            on_chip_reads: 30,
+            on_chip_writes: 40,
+        };
+        let c = a.combined(&b);
+        assert_eq!(c.off_chip_reads, 11);
+        assert_eq!(c.on_chip_writes, 44);
+    }
+
+    #[test]
+    fn u280_peak_is_460_gbps() {
+        let hbm = HbmModel::alveo_u280();
+        assert!((hbm.peak_bytes_per_second() - 460.0e9).abs() < 1.0);
+        assert_eq!(hbm.channels(), 32);
+    }
+
+    #[test]
+    fn bytes_per_cycle_at_96mhz() {
+        let hbm = HbmModel::alveo_u280();
+        // 460e9 / 96e6 ≈ 4791.7 bytes per cycle.
+        let bpc = hbm.bytes_per_cycle(96.0e6);
+        assert!((bpc - 4791.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn bandwidth_utilization_detects_oversubscription() {
+        let hbm = HbmModel::new(100.0, 1);
+        assert!(hbm.utilization(200, 1.0) > 1.0);
+        assert!((hbm.utilization(50, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(hbm.utilization(50, 0.0), 0.0);
+    }
+
+    #[test]
+    fn on_chip_allocation_tracks_usage() {
+        let mut buf = OnChipBuffer::with_capacity(100);
+        buf.allocate(60).unwrap();
+        assert_eq!(buf.used_bytes(), 60);
+        assert_eq!(buf.remaining_bytes(), 40);
+        let err = buf.allocate(50).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.available, 40);
+    }
+
+    #[test]
+    fn paper_vector_fits_on_chip() {
+        // §4: 41 MB leaves room for a vector of dimension up to ~1e7 words.
+        let mut buf = OnChipBuffer::alveo_u280();
+        let vector_bytes = 10_000_000u64 * WORD_BYTES;
+        assert!(buf.allocate(vector_bytes).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn invalid_bandwidth_panics() {
+        let _ = HbmModel::new(-1.0, 4);
+    }
+
+    #[test]
+    fn capacity_error_displays() {
+        let err = OnChipCapacityError {
+            requested: 10,
+            available: 5,
+        };
+        assert!(err.to_string().contains("10 bytes"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type shared by the sparse-matrix constructors and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing, converting or parsing sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+    },
+    /// Two entries share the same (row, col) coordinate.
+    DuplicateEntry {
+        /// Row of the duplicated coordinate.
+        row: usize,
+        /// Column of the duplicated coordinate.
+        col: usize,
+    },
+    /// A vector length does not match the matrix dimension it pairs with.
+    DimensionMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the matrix requires.
+        expected: usize,
+        /// Human-readable description of the mismatched object.
+        what: &'static str,
+    },
+    /// A Matrix Market stream could not be parsed.
+    ParseError {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// CSR/CSC structural invariant violated (e.g. non-monotone pointers).
+    InvalidStructure(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape"
+            ),
+            Self::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            Self::DimensionMismatch {
+                got,
+                expected,
+                what,
+            } => write!(f, "{what} has length {got} but {expected} is required"),
+            Self::ParseError { line, message } => {
+                write!(f, "matrix market parse error at line {line}: {message}")
+            }
+            Self::InvalidStructure(message) => write!(f, "invalid structure: {message}"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 2,
+            rows: 4,
+            cols: 4,
+        };
+        assert_eq!(e.to_string(), "entry (5, 2) is outside the 4x4 matrix shape");
+
+        let e = SparseError::DimensionMismatch {
+            got: 3,
+            expected: 4,
+            what: "input vector",
+        };
+        assert_eq!(e.to_string(), "input vector has length 3 but 4 is required");
+
+        let e = SparseError::ParseError {
+            line: 7,
+            message: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

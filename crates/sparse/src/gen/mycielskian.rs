@@ -1,0 +1,142 @@
+//! The exact Mycielski construction.
+//!
+//! The paper's Fig. 7 suite contains `mycielskian11` from SuiteSparse. Unlike
+//! the other real matrices, the Mycielskian is fully deterministic, so this
+//! is not a stand-in: we build the very same graph. `M_2 = K_2`, and
+//! `M_{k+1}` applies the Mycielski transformation to `M_k` (add a shadow
+//! vertex `u_i` per vertex `v_i` adjacent to `N(v_i)`, plus one hub `w`
+//! adjacent to every shadow). `M_11` has 1535 vertices and 67 355 edges —
+//! 134 710 non-zeros as a symmetric adjacency matrix, density ≈ 5.7e-2,
+//! matching the paper's 6e-2 label.
+
+use super::{random_value, seeded_rng};
+use crate::coo::CooMatrix;
+
+/// Builds the adjacency matrix of the Mycielskian `M_k`.
+///
+/// Edge *placement* is the exact construction; edge *values* are seeded
+/// random non-zeros (symmetrically mirrored), since SpMV correctness checks
+/// need non-trivial values but SuiteSparse stores this matrix as a pattern.
+///
+/// # Panics
+///
+/// Panics if `k < 2` (the construction starts from `M_2 = K_2`).
+#[must_use]
+pub fn mycielskian(k: u32, seed: u64) -> CooMatrix {
+    assert!(k >= 2, "Mycielskian is defined for k >= 2");
+    // Edge list of M_2 = K_2.
+    let mut n: usize = 2;
+    let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+
+    for _ in 2..k {
+        // M_{new}: vertices 0..n are the originals, n..2n the shadows,
+        // 2n the hub.
+        let mut next: Vec<(u32, u32)> = Vec::with_capacity(3 * edges.len() + n);
+        for &(a, b) in &edges {
+            next.push((a, b)); // original edge
+            next.push((a, b + n as u32)); // a — shadow(b)
+            next.push((b, a + n as u32)); // b — shadow(a)
+        }
+        let hub = (2 * n) as u32;
+        for i in 0..n {
+            next.push(((n + i) as u32, hub)); // shadow(i) — hub
+        }
+        edges = next;
+        n = 2 * n + 1;
+    }
+
+    let mut rng = seeded_rng(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for &(a, b) in &edges {
+        let v = random_value(&mut rng);
+        coo.push(a as usize, b as usize, v)
+            .expect("construction stays in bounds");
+        coo.push(b as usize, a as usize, v)
+            .expect("construction stays in bounds");
+    }
+    coo
+}
+
+/// Vertex count of `M_k` without building it: `3·2^(k-2) − 1`.
+#[must_use]
+pub fn mycielskian_vertices(k: u32) -> usize {
+    assert!(k >= 2, "Mycielskian is defined for k >= 2");
+    3 * (1usize << (k - 2)) - 1
+}
+
+/// Edge count of `M_k` without building it
+/// (`E_2 = 1`, `E_{k+1} = 3·E_k + n_k`).
+#[must_use]
+pub fn mycielskian_edges(k: u32) -> usize {
+    assert!(k >= 2, "Mycielskian is defined for k >= 2");
+    let mut n = 2usize;
+    let mut e = 1usize;
+    for _ in 2..k {
+        e = 3 * e + n;
+        n = 2 * n + 1;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m2_is_k2() {
+        let m = mycielskian(2, 0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.nnz(), 2); // one symmetric edge
+    }
+
+    #[test]
+    fn m3_is_c5() {
+        // The Mycielskian of K2 is the 5-cycle.
+        let m = mycielskian(3, 0);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.nnz(), 10); // 5 edges, symmetric
+    }
+
+    #[test]
+    fn vertex_and_edge_formulas_match_construction() {
+        for k in 2..=8 {
+            let m = mycielskian(k, 1);
+            assert_eq!(m.rows(), mycielskian_vertices(k), "vertices of M_{k}");
+            assert_eq!(m.nnz(), 2 * mycielskian_edges(k), "edges of M_{k}");
+        }
+    }
+
+    #[test]
+    fn m11_matches_suitesparse_dimensions() {
+        // SuiteSparse mycielskian11: 1535 vertices, 67 355 edges.
+        assert_eq!(mycielskian_vertices(11), 1535);
+        assert_eq!(mycielskian_edges(11), 67_355);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_with_matching_values() {
+        let m = mycielskian(5, 2);
+        let entries: std::collections::HashMap<(usize, usize), f32> =
+            m.iter().map(|(r, c, v)| ((r, c), v)).collect();
+        for (&(r, c), &v) in &entries {
+            assert_eq!(entries.get(&(c, r)), Some(&v), "asymmetric at ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let m = mycielskian(6, 3);
+        m.check_duplicates().unwrap();
+        for (r, c, _) in m.iter() {
+            assert_ne!(r, c, "self loop at {r}");
+        }
+    }
+
+    #[test]
+    fn density_of_m11_is_about_6e_2() {
+        let nnz = 2.0 * mycielskian_edges(11) as f64;
+        let n = mycielskian_vertices(11) as f64;
+        let density = nnz / (n * n);
+        assert!((density - 0.057).abs() < 0.002, "density {density}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Structured families standing in for real SuiteSparse matrices:
+//! banded (FEM), block-diagonal (power flow) and circuit-like.
+
+use super::{random_value, seeded_rng};
+use crate::coo::CooMatrix;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Generates a banded matrix: `target_nnz` entries confined to
+/// `|i - j| <= bandwidth`, always including the main diagonal.
+///
+/// Stands in for FEM discretizations (`poisson3Db`, `nopoly`, `heart1`,
+/// `ML_Laplace`, `PFlow_742` in the paper's suites): locality of the mesh
+/// numbering concentrates non-zeros near the diagonal.
+///
+/// # Panics
+///
+/// Panics if the band cannot host `target_nnz` entries.
+#[must_use]
+pub fn banded(rows: usize, cols: usize, bandwidth: usize, target_nnz: usize, seed: u64) -> CooMatrix {
+    let mut rng = seeded_rng(seed);
+    // Capacity of the band (clipped at the matrix edges).
+    let band_capacity: usize = (0..rows)
+        .map(|i| {
+            let lo = i.saturating_sub(bandwidth);
+            let hi = (i + bandwidth).min(cols.saturating_sub(1));
+            if lo <= hi {
+                hi - lo + 1
+            } else {
+                0
+            }
+        })
+        .sum();
+    assert!(
+        target_nnz <= band_capacity,
+        "band (width {bandwidth}) holds {band_capacity} cells, cannot place {target_nnz}"
+    );
+
+    let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(target_nnz * 2);
+    // Seed the diagonal first (FEM matrices have full diagonals).
+    for i in 0..rows.min(cols).min(target_nnz) {
+        chosen.insert((i as u32, i as u32));
+    }
+    while chosen.len() < target_nnz {
+        let r = rng.gen_range(0..rows);
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth).min(cols - 1);
+        let c = rng.gen_range(lo..=hi);
+        chosen.insert((r as u32, c as u32));
+    }
+
+    let mut keys: Vec<(u32, u32)> = chosen.into_iter().collect();
+    keys.sort_unstable();
+    let mut coo = CooMatrix::new(rows, cols);
+    for (r, c) in keys {
+        coo.push(r as usize, c as usize, random_value(&mut rng))
+            .expect("band cells are in bounds");
+    }
+    coo
+}
+
+/// Generates a block-diagonal matrix: dense-ish `block × block` tiles along
+/// the diagonal, filled until `target_nnz` is reached.
+///
+/// Stands in for power-flow matrices (`TSOPF_RS_b2383`, "TSCOPF-1047"):
+/// those couple generator buses in dense clusters.
+///
+/// # Panics
+///
+/// Panics if `block` is zero or the diagonal blocks cannot host
+/// `target_nnz` entries.
+#[must_use]
+pub fn block_diagonal(
+    rows: usize,
+    cols: usize,
+    block: usize,
+    target_nnz: usize,
+    seed: u64,
+) -> CooMatrix {
+    assert!(block > 0, "block size must be non-zero");
+    let mut rng = seeded_rng(seed);
+    let n_blocks = rows.min(cols).div_ceil(block);
+    let capacity: usize = (0..n_blocks)
+        .map(|b| {
+            let h = block.min(rows - b * block);
+            let w = block.min(cols - b * block);
+            h * w
+        })
+        .sum();
+    assert!(
+        target_nnz <= capacity,
+        "diagonal blocks hold {capacity} cells, cannot place {target_nnz}"
+    );
+
+    // Fill blocks with per-block density target_nnz/capacity.
+    let fill = target_nnz as f64 / capacity as f64;
+    let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(target_nnz * 2);
+    for b in 0..n_blocks {
+        let r0 = b * block;
+        let h = block.min(rows - r0);
+        let w = block.min(cols - r0);
+        for i in 0..h {
+            for j in 0..w {
+                if rng.gen::<f64>() < fill {
+                    chosen.insert(((r0 + i) as u32, (r0 + j) as u32));
+                }
+            }
+        }
+    }
+    // Top up / trim to the exact target.
+    while chosen.len() < target_nnz {
+        let b = rng.gen_range(0..n_blocks);
+        let r0 = b * block;
+        let h = block.min(rows - r0);
+        let w = block.min(cols - r0);
+        let r = r0 + rng.gen_range(0..h);
+        let c = r0 + rng.gen_range(0..w);
+        chosen.insert((r as u32, c as u32));
+    }
+    let mut keys: Vec<(u32, u32)> = chosen.into_iter().collect();
+    keys.sort_unstable();
+    keys.truncate(target_nnz);
+
+    let mut coo = CooMatrix::new(rows, cols);
+    for (r, c) in keys {
+        coo.push(r as usize, c as usize, random_value(&mut rng))
+            .expect("block cells are in bounds");
+    }
+    coo
+}
+
+/// Generates a circuit-simulation-like matrix: full unit diagonal, a few
+/// random off-diagonals per row, plus a handful of high-degree "rail"
+/// columns (supply nets touch a large share of rows).
+///
+/// Stands in for `scircuit`, `bcircuit`, `pre2` in the paper's Fig. 7 suite.
+///
+/// # Panics
+///
+/// Panics if `target_nnz < min(rows, cols)` (the diagonal alone exceeds the
+/// budget) or the shape cannot host the target.
+#[must_use]
+pub fn circuit_like(rows: usize, cols: usize, target_nnz: usize, seed: u64) -> CooMatrix {
+    let diag = rows.min(cols);
+    assert!(
+        target_nnz >= diag,
+        "circuit matrices have a full diagonal: need at least {diag} nnz"
+    );
+    let cells = rows.checked_mul(cols).expect("cell count overflow");
+    assert!(target_nnz <= cells, "target exceeds matrix capacity");
+    let mut rng = seeded_rng(seed);
+
+    let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(target_nnz * 2);
+    for i in 0..diag {
+        chosen.insert((i as u32, i as u32));
+    }
+
+    // ~10% of the remaining budget goes to a few heavy "rail" columns.
+    let remaining = target_nnz - diag;
+    let n_rails = (cols / 2000).clamp(1, 8);
+    let rails: Vec<usize> = (0..n_rails).map(|_| rng.gen_range(0..cols)).collect();
+    let rail_budget = remaining / 10;
+    let mut placed = 0usize;
+    let mut guard = 0usize;
+    while placed < rail_budget && guard < rail_budget * 20 + 100 {
+        let r = rng.gen_range(0..rows);
+        let c = rails[rng.gen_range(0..n_rails)];
+        if chosen.insert((r as u32, c as u32)) {
+            placed += 1;
+        }
+        guard += 1;
+    }
+
+    // The rest: random near-diagonal couplings (components connect to
+    // topologically nearby nodes), with occasional long-range entries.
+    while chosen.len() < target_nnz {
+        let r = rng.gen_range(0..rows);
+        let c = if rng.gen::<f64>() < 0.8 {
+            // Near-diagonal: within a small window around r.
+            let window = (cols / 100).max(8);
+            let lo = r.saturating_sub(window);
+            let hi = (r + window).min(cols - 1);
+            rng.gen_range(lo..=hi)
+        } else {
+            rng.gen_range(0..cols)
+        };
+        chosen.insert((r as u32, c as u32));
+    }
+
+    let mut keys: Vec<(u32, u32)> = chosen.into_iter().collect();
+    keys.sort_unstable();
+    let mut coo = CooMatrix::new(rows, cols);
+    for (r, c) in keys {
+        coo.push(r as usize, c as usize, random_value(&mut rng))
+            .expect("cells are in bounds");
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn banded_respects_bandwidth() {
+        let m = banded(100, 100, 5, 600, 1);
+        assert_eq!(m.nnz(), 600);
+        for (r, c, _) in m.iter() {
+            assert!(r.abs_diff(c) <= 5, "entry ({r},{c}) outside band");
+        }
+    }
+
+    #[test]
+    fn banded_includes_diagonal() {
+        let m = banded(50, 50, 3, 200, 2);
+        let have: std::collections::HashSet<_> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        for i in 0..50 {
+            assert!(have.contains(&(i, i)), "missing diagonal ({i},{i})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn banded_overfull_panics() {
+        let _ = banded(10, 10, 1, 100, 0);
+    }
+
+    #[test]
+    fn block_diagonal_stays_in_blocks() {
+        let m = block_diagonal(64, 64, 8, 300, 3);
+        assert_eq!(m.nnz(), 300);
+        for (r, c, _) in m.iter() {
+            assert_eq!(r / 8, c / 8, "entry ({r},{c}) crosses block boundary");
+        }
+    }
+
+    #[test]
+    fn block_diagonal_handles_ragged_last_block() {
+        // 20 rows with block 8 -> blocks of 8, 8, 4.
+        let m = block_diagonal(20, 20, 8, 100, 4);
+        assert_eq!(m.nnz(), 100);
+        m.check_duplicates().unwrap();
+    }
+
+    #[test]
+    fn circuit_like_has_full_diagonal_and_heavy_columns() {
+        let m = circuit_like(500, 500, 3000, 5);
+        assert_eq!(m.nnz(), 3000);
+        let have: std::collections::HashSet<_> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        for i in 0..500 {
+            assert!(have.contains(&(i, i)));
+        }
+        let stats = MatrixStats::from_csr(&CsrMatrix::from(&m));
+        let cols = stats.col_summary();
+        // The rail columns should be clearly heavier than the mean.
+        assert!(
+            (cols.max as f64) > cols.mean * 3.0,
+            "max {} mean {}",
+            cols.max,
+            cols.mean
+        );
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(banded(30, 30, 4, 100, 9), banded(30, 30, 4, 100, 9));
+        assert_eq!(
+            block_diagonal(30, 30, 5, 80, 9),
+            block_diagonal(30, 30, 5, 80, 9)
+        );
+        assert_eq!(circuit_like(30, 30, 90, 9), circuit_like(30, 30, 90, 9));
+    }
+}

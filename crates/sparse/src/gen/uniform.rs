@@ -1,0 +1,126 @@
+//! Uniformly random non-zero placement.
+
+use super::{random_value, seeded_rng};
+use crate::coo::CooMatrix;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Generates a `rows × cols` matrix with exactly `nnz` non-zeros placed
+/// uniformly at random (without replacement) and values in `[-1, 1]`.
+///
+/// This is the "uniform distribution" synthetic family of the paper's §4.
+/// For dense targets (> 50% of cells) the complement is sampled instead, so
+/// generation stays O(nnz) in expectation at every density.
+///
+/// # Panics
+///
+/// Panics if `nnz > rows × cols`.
+#[must_use]
+pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatrix {
+    let cells = rows
+        .checked_mul(cols)
+        .expect("matrix cell count overflows usize");
+    assert!(
+        nnz <= cells,
+        "cannot place {nnz} non-zeros in a {rows}x{cols} matrix"
+    );
+    let mut rng = seeded_rng(seed);
+    let mut coo = CooMatrix::new(rows, cols);
+
+    let chosen: HashSet<u64> = if nnz * 2 <= cells {
+        // Sparse regime: rejection-sample distinct cells.
+        let mut set = HashSet::with_capacity(nnz * 2);
+        while set.len() < nnz {
+            let r = rng.gen_range(0..rows) as u64;
+            let c = rng.gen_range(0..cols) as u64;
+            set.insert(r * cols as u64 + c);
+        }
+        set
+    } else {
+        // Dense regime: choose the cells to *exclude*.
+        let holes = cells - nnz;
+        let mut excluded = HashSet::with_capacity(holes * 2);
+        while excluded.len() < holes {
+            let r = rng.gen_range(0..rows) as u64;
+            let c = rng.gen_range(0..cols) as u64;
+            excluded.insert(r * cols as u64 + c);
+        }
+        (0..cells as u64)
+            .filter(|k| !excluded.contains(k))
+            .collect()
+    };
+
+    let mut keys: Vec<u64> = chosen.into_iter().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let r = (key / cols as u64) as usize;
+        let c = (key % cols as u64) as usize;
+        coo.push(r, c, random_value(&mut rng))
+            .expect("sampled cell is in bounds");
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz_is_achieved() {
+        let m = uniform(100, 100, 500, 1);
+        assert_eq!(m.nnz(), 500);
+        m.check_duplicates().unwrap();
+    }
+
+    #[test]
+    fn dense_regime_also_exact() {
+        let m = uniform(20, 20, 390, 2);
+        assert_eq!(m.nnz(), 390);
+        m.check_duplicates().unwrap();
+    }
+
+    #[test]
+    fn full_matrix_possible() {
+        let m = uniform(8, 8, 64, 3);
+        assert_eq!(m.nnz(), 64);
+    }
+
+    #[test]
+    fn empty_matrix_possible() {
+        let m = uniform(8, 8, 0, 3);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn values_are_nonzero_and_bounded() {
+        let m = uniform(50, 50, 200, 4);
+        for (_, _, v) in m.iter() {
+            assert!(v != 0.0 && (-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn placement_is_spread_over_rows() {
+        // With 1000 samples over 100 rows, every decile of rows should get
+        // some entries; a catastrophically biased generator would fail this.
+        let m = uniform(100, 100, 1000, 5);
+        let mut deciles = [0usize; 10];
+        for (r, _, _) in m.iter() {
+            deciles[r / 10] += 1;
+        }
+        assert!(deciles.iter().all(|&d| d > 0), "deciles: {deciles:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn overfull_target_panics() {
+        let _ = uniform(2, 2, 5, 0);
+    }
+
+    #[test]
+    fn rectangular_shapes_supported() {
+        let m = uniform(10, 1000, 800, 6);
+        assert_eq!(m.nnz(), 800);
+        assert_eq!((m.rows(), m.cols()), (10, 1000));
+    }
+}

@@ -1,0 +1,277 @@
+//! Matrix Market I/O.
+//!
+//! The paper's real matrices come from the SuiteSparse and SNAP collections,
+//! distributed in the Matrix Market exchange format. The synthetic suite in
+//! [`crate::suite`] stands in for them offline, but when the genuine `.mtx`
+//! files are available this module loads them so every experiment can run on
+//! the true data.
+//!
+//! Supported: `coordinate` storage with `real`, `integer` or `pattern`
+//! fields and `general`, `symmetric` or `skew-symmetric` symmetry. (This
+//! covers every matrix in the paper's evaluation.)
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a Matrix Market stream into a [`CooMatrix`].
+///
+/// Accepts any [`Read`]er by value; pass `&mut reader` to keep ownership
+/// (the `&mut R: Read` blanket impl applies).
+///
+/// # Errors
+///
+/// [`SparseError::ParseError`] on malformed input,
+/// [`SparseError::IndexOutOfBounds`] / [`SparseError::DuplicateEntry`] if the
+/// entries contradict the declared header.
+///
+/// # Example
+///
+/// ```
+/// use gust_sparse::io::read_matrix_market;
+///
+/// let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.5\n2 2 2.5\n";
+/// let m = read_matrix_market(text.as_bytes())?;
+/// assert_eq!(m.nnz(), 2);
+/// # Ok::<(), gust_sparse::SparseError>(())
+/// ```
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // Header line.
+    let (idx, header) = next_line(&mut lines)?;
+    let header_lc = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header_lc.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(idx, "expected '%%MatrixMarket matrix …' header"));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err(
+            idx,
+            format!("unsupported storage '{}': only 'coordinate' is supported", fields[2]),
+        ));
+    }
+    let field_kind = fields[3];
+    if !matches!(field_kind, "real" | "integer" | "pattern") {
+        return Err(parse_err(
+            idx,
+            format!("unsupported field '{field_kind}': use real/integer/pattern"),
+        ));
+    }
+    let symmetry = fields[4];
+    if !matches!(symmetry, "general" | "symmetric" | "skew-symmetric") {
+        return Err(parse_err(
+            idx,
+            format!("unsupported symmetry '{symmetry}'"),
+        ));
+    }
+
+    // Size line (first non-comment line).
+    let (idx, size_line) = next_content_line(&mut lines)?;
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(parse_err(idx, "size line must be 'rows cols nnz'"));
+    }
+    let rows: usize = parse_num(dims[0], idx, "rows")?;
+    let cols: usize = parse_num(dims[1], idx, "cols")?;
+    let nnz: usize = parse_num(dims[2], idx, "nnz")?;
+
+    let mut coo = CooMatrix::new(rows, cols);
+    let mut seen = 0usize;
+    while seen < nnz {
+        let (idx, line) = next_content_line(&mut lines)?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let expected_parts = if field_kind == "pattern" { 2 } else { 3 };
+        if parts.len() < expected_parts {
+            return Err(parse_err(
+                idx,
+                format!("entry needs {expected_parts} fields, found {}", parts.len()),
+            ));
+        }
+        let r: usize = parse_num(parts[0], idx, "row index")?;
+        let c: usize = parse_num(parts[1], idx, "column index")?;
+        if r == 0 || c == 0 {
+            return Err(parse_err(idx, "matrix market indices are 1-based"));
+        }
+        let value: f32 = if field_kind == "pattern" {
+            1.0
+        } else {
+            parts[2].parse::<f32>().map_err(|e| {
+                parse_err(idx, format!("bad value '{}': {e}", parts[2]))
+            })?
+        };
+        coo.push(r - 1, c - 1, value)?;
+        if symmetry != "general" && r != c {
+            let mirrored = if symmetry == "skew-symmetric" { -value } else { value };
+            coo.push(c - 1, r - 1, mirrored)?;
+        }
+        seen += 1;
+    }
+    coo.check_duplicates()?;
+    Ok(coo)
+}
+
+/// Reads a Matrix Market file from `path`.
+///
+/// # Errors
+///
+/// Any [`SparseError`] from parsing, or a [`SparseError::ParseError`] at line
+/// 0 wrapping the I/O failure.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CooMatrix, SparseError> {
+    let file = std::fs::File::open(path.as_ref()).map_err(|e| SparseError::ParseError {
+        line: 0,
+        message: format!("cannot open {}: {e}", path.as_ref().display()),
+    })?;
+    read_matrix_market(file)
+}
+
+/// Writes `matrix` as `coordinate real general` Matrix Market text.
+///
+/// Accepts any [`Write`]r by value; pass `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_matrix_market<W: Write>(matrix: &CooMatrix, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by gust-sparse")?;
+    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+type Lines<R> = std::iter::Enumerate<std::io::Lines<BufReader<R>>>;
+
+fn next_line<R: Read>(lines: &mut Lines<R>) -> Result<(usize, String), SparseError> {
+    match lines.next() {
+        Some((i, Ok(line))) => Ok((i + 1, line)),
+        Some((i, Err(e))) => Err(parse_err(i + 1, format!("io error: {e}"))),
+        None => Err(parse_err(0, "unexpected end of file")),
+    }
+}
+
+fn next_content_line<R: Read>(lines: &mut Lines<R>) -> Result<(usize, String), SparseError> {
+    loop {
+        let (idx, line) = next_line(lines)?;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('%') {
+            return Ok((idx, trimmed.to_string()));
+        }
+    }
+}
+
+fn parse_num(token: &str, line: usize, what: &str) -> Result<usize, SparseError> {
+    token
+        .parse::<usize>()
+        .map_err(|e| parse_err(line, format!("bad {what} '{token}': {e}")))
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> SparseError {
+    SparseError::ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    3 3 2\n\
+                    1 2 1.5\n\
+                    3 1 -2\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (3, 3, 2));
+        let entries: Vec<_> = m.iter().collect();
+        assert!(entries.contains(&(0, 1, 1.5)));
+        assert!(entries.contains(&(2, 0, -2.0)));
+    }
+
+    #[test]
+    fn parses_symmetric_and_mirrors() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 5\n\
+                    2 1 3\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3); // diagonal not mirrored
+        let entries: Vec<_> = m.iter().collect();
+        assert!(entries.contains(&(0, 1, 3.0)));
+        assert!(entries.contains(&(1, 0, 3.0)));
+    }
+
+    #[test]
+    fn parses_skew_symmetric_with_negation() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 4\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        let entries: Vec<_> = m.iter().collect();
+        assert!(entries.contains(&(1, 0, 4.0)));
+        assert!(entries.contains(&(0, 1, -4.0)));
+    }
+
+    #[test]
+    fn parses_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 1\n\
+                    2 2\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert!(m.iter().all(|(_, _, v)| v == 1.0));
+    }
+
+    #[test]
+    fn rejects_array_storage() {
+        let text = "%%MatrixMarket matrix array real general\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("coordinate"));
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n1 1 1\n0 1 2.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("1-based"));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("end of file"));
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let text = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 abc\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad value"));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let m = CooMatrix::from_triplets(3, 4, vec![(0, 0, 1.25), (2, 3, -0.5)]).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!((back.rows(), back.cols(), back.nnz()), (3, 4, 2));
+        let entries: Vec<_> = back.iter().collect();
+        assert!(entries.contains(&(0, 0, 1.25)));
+        assert!(entries.contains(&(2, 3, -0.5)));
+    }
+
+    #[test]
+    fn header_is_case_insensitive() {
+        let text = "%%matrixmarket MATRIX Coordinate Real General\n1 1 1\n1 1 2.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+}

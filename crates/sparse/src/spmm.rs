@@ -1,0 +1,109 @@
+//! Sparse-matrix × dense-matrix multiplication (SpMM).
+//!
+//! The multi-vector generalization of SpMV — what Sextans \[30\] accelerates,
+//! and the workload `Gust::execute_batch` maps onto the scheduled format.
+//! This reference implementation is the correctness oracle for that path.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+
+/// Reference SpMM: `C = A·B` with `f64` accumulation.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use gust_sparse::{CsrMatrix, DenseMatrix, spmm::spmm};
+///
+/// let a = CsrMatrix::identity(2);
+/// let b = DenseMatrix::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// let c = spmm(&a, &b);
+/// assert_eq!(c.row(1), &[4.0, 5.0, 6.0]);
+/// ```
+#[must_use]
+pub fn spmm(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions must agree: {} vs {}",
+        a.cols(),
+        b.rows()
+    );
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        for j in 0..b.cols() {
+            let mut acc = 0.0f64;
+            for (&k, &v) in cols.iter().zip(vals) {
+                acc += f64::from(v) * f64::from(b.get(k as usize, j));
+            }
+            c.set(r, j, acc as f32);
+        }
+    }
+    c
+}
+
+/// SpMM as a sequence of column SpMVs — the layout `execute_batch` uses.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn spmm_by_columns(a: &CsrMatrix, b: &DenseMatrix) -> Vec<Vec<f32>> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    (0..b.cols())
+        .map(|j| {
+            let column: Vec<f32> = (0..b.rows()).map(|i| b.get(i, j)).collect();
+            a.spmv(&column)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::ops::max_relative_error;
+
+    #[test]
+    fn identity_times_anything_is_itself() {
+        let a = CsrMatrix::identity(3);
+        let b = DenseMatrix::from_row_major(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(spmm(&a, &b), b);
+    }
+
+    #[test]
+    fn matches_column_by_column_spmv() {
+        let a = CsrMatrix::from(&gen::uniform(20, 30, 150, 1));
+        let b = DenseMatrix::from_row_major(
+            30,
+            4,
+            (0..120).map(|i| (i % 13) as f32 - 6.0).collect(),
+        );
+        let c = spmm(&a, &b);
+        let cols = spmm_by_columns(&a, &b);
+        for (j, col) in cols.iter().enumerate() {
+            let via_dense: Vec<f32> = (0..20).map(|i| c.get(i, j)).collect();
+            assert!(max_relative_error(&via_dense, col) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = CsrMatrix::from(&gen::uniform(5, 40, 60, 2));
+        let b = DenseMatrix::from_row_major(40, 7, vec![0.5; 280]);
+        let c = spmm(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = CsrMatrix::identity(3);
+        let b = DenseMatrix::zeros(4, 2);
+        let _ = spmm(&a, &b);
+    }
+}

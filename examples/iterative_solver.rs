@@ -1,0 +1,83 @@
+//! Conjugate-gradient solver running its SpMVs on the GUST engine — the
+//! paper's §5.3 amortization story made concrete: schedule once, then
+//! iterate thousands of SpMVs against the same matrix.
+//!
+//! Solves the 2D Poisson equation on an n×n grid (the classic five-point
+//! stencil, symmetric positive definite).
+//!
+//! ```sh
+//! cargo run --release --example iterative_solver
+//! ```
+
+use gust_repro::prelude::*;
+use gust_sparse::ops::{axpy, dot, norm2};
+use std::time::Instant;
+
+fn main() {
+    let grid = 64;
+    let a = CsrMatrix::from(&gen::laplacian_2d(grid));
+    let n = a.rows();
+    println!(
+        "Poisson {grid}x{grid}: {n} unknowns, {} non-zeros (density {:.2e})",
+        a.nnz(),
+        a.density()
+    );
+
+    // Preprocess once — this cost amortizes over every CG iteration.
+    let gust = Gust::new(GustConfig::new(128));
+    let t0 = Instant::now();
+    let schedule = gust.schedule(&a);
+    println!(
+        "scheduled in {:.2} ms ({} colors, predicted utilization {:.1}%)\n",
+        t0.elapsed().as_secs_f64() * 1.0e3,
+        schedule.total_colors(),
+        schedule.predicted_utilization() * 100.0
+    );
+
+    // Conjugate gradients on Ax = b with b = A·ones (so x* = ones).
+    let ones = vec![1.0f32; n];
+    let b = gust.execute(&schedule, &ones).output;
+
+    let mut x = vec![0.0f32; n];
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut rs_old = dot(&r, &r);
+    let mut accel_cycles: u64 = 0;
+    let mut iterations = 0u32;
+
+    for k in 0..1000 {
+        // The solver's only matrix operation runs on the accelerator model.
+        let run = gust.execute(&schedule, &p);
+        accel_cycles += run.report.cycles;
+        let ap = run.output;
+
+        let alpha = (rs_old / dot(&p, &ap)) as f32;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rs_new = dot(&r, &r);
+        iterations = k + 1;
+        if rs_new.sqrt() < 1.0e-4 {
+            break;
+        }
+        let beta = (rs_new / rs_old) as f32;
+        for (pi, &ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs_old = rs_new;
+    }
+
+    let err = x
+        .iter()
+        .map(|&v| (f64::from(v) - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "CG converged in {iterations} iterations; max |x - 1| = {err:.2e}; residual {:.2e}",
+        norm2(&r)
+    );
+    println!(
+        "accelerator time: {accel_cycles} cycles = {:.2} ms at 96 MHz across all SpMVs",
+        accel_cycles as f64 / 96.0e6 * 1.0e3
+    );
+    assert!(err < 1.0e-2, "CG failed to reach the known solution");
+    println!("solution verified.");
+}

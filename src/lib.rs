@@ -1,0 +1,29 @@
+//! Umbrella crate for the GUST reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so examples and downstream
+//! users can depend on a single crate:
+//!
+//! ```
+//! use gust_repro::prelude::*;
+//!
+//! let matrix = CsrMatrix::identity(4);
+//! let y = matrix.spmv(&[1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+pub use gust;
+pub use gust_accel;
+pub use gust_energy;
+pub use gust_sim;
+pub use gust_sparse;
+
+/// Convenient glob-import surface covering the common workflow:
+/// build/generate a matrix, schedule it, execute it on a model, account
+/// energy.
+pub mod prelude {
+    pub use gust::prelude::*;
+    pub use gust_accel::prelude::*;
+    pub use gust_energy::prelude::*;
+    pub use gust_sim::{Clock, ExecutionReport, Fifo};
+    pub use gust_sparse::prelude::*;
+}

@@ -1,0 +1,181 @@
+//! Integration checks of the paper-suite stand-ins, the energy/resource
+//! models and the headline shape claims at reduced scale.
+
+use gust_accel::prelude::*;
+use gust_energy::prelude::*;
+use gust_repro::prelude::*;
+
+#[test]
+fn suite_stand_ins_schedule_and_execute() {
+    for entry in suite::figure7() {
+        let matrix = CsrMatrix::from(&entry.generate_scaled(0.02));
+        let x: Vec<f32> = (0..matrix.cols()).map(|i| (i % 7) as f32).collect();
+        let run = Gust::new(GustConfig::new(32)).spmv(&matrix, &x);
+        assert_vectors_close(&run.output, &reference_spmv(&matrix, &x), 1e-3);
+    }
+}
+
+#[test]
+fn serpens_nine_have_paper_shapes_at_full_scale_metadata() {
+    let nine = suite::serpens_nine();
+    assert_eq!(nine.len(), 9);
+    let crankseg = &nine[0];
+    assert_eq!(crankseg.rows, 63_800);
+    assert_eq!(crankseg.nnz, 14_100_000);
+    let pokec = nine.iter().find(|e| e.name == "soc_pokec").expect("present");
+    assert_eq!(pokec.rows, 1_630_000);
+}
+
+#[test]
+fn utilization_ordering_matches_figure_7() {
+    // The paper's core shape: GUST EC/LB > Fafnir > FlexTPU > 1D ~= AT,
+    // on the geometric mean across the suite.
+    let mut utils: std::collections::HashMap<&str, Vec<f64>> = Default::default();
+    for entry in suite::figure7() {
+        let matrix = CsrMatrix::from(&entry.generate_scaled(0.02));
+        utils
+            .entry("1d")
+            .or_default()
+            .push(Systolic1d::new(256).report(&matrix).utilization());
+        utils
+            .entry("at")
+            .or_default()
+            .push(AdderTree::new(256).report(&matrix).utilization());
+        utils
+            .entry("ftpu")
+            .or_default()
+            .push(FlexTpu::with_units(256).report(&matrix).utilization());
+        let x: Vec<f32> = (0..matrix.cols()).map(|i| (i % 5) as f32 + 1.0).collect();
+        utils.entry("gust").or_default().push(
+            Gust::new(GustConfig::new(256))
+                .spmv(&matrix, &x)
+                .report
+                .utilization(),
+        );
+    }
+    let gmean = |v: &[f64]| -> f64 {
+        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+    };
+    let gust = gmean(&utils["gust"]);
+    let ftpu = gmean(&utils["ftpu"]);
+    let one_d = gmean(&utils["1d"]);
+    let at = gmean(&utils["at"]);
+    assert!(gust > ftpu, "GUST {gust} vs FlexTPU {ftpu}");
+    assert!(ftpu > one_d, "FlexTPU {ftpu} vs 1D {one_d}");
+    // 1D and AT coincide at paper scale (both stream the dense matrix);
+    // at this reduced scale their skew/drain tails differ, so only a
+    // same-order check is meaningful.
+    let ratio = one_d / at;
+    assert!((0.1..10.0).contains(&ratio), "1D ~= AT, got ratio {ratio}");
+}
+
+#[test]
+fn speedup_follows_one_over_density() {
+    // §5.4: GUST's speedup over 1D scales like O(1/density).
+    let n = 1024;
+    let mut speedups = Vec::new();
+    for (i, d) in [1.0e-3, 4.0e-3, 1.6e-2].into_iter().enumerate() {
+        let nnz = (n as f64 * n as f64 * d) as usize;
+        let matrix = CsrMatrix::from(&gen::uniform(n, n, nnz, 50 + i as u64));
+        let x: Vec<f32> = (0..n).map(|i| (i % 3) as f32).collect();
+        let gust = Gust::new(GustConfig::new(256)).spmv(&matrix, &x).report;
+        let one_d = Systolic1d::new(256).report(&matrix);
+        speedups.push(one_d.seconds() / gust.seconds());
+    }
+    // Quadrupling density should roughly quarter the speedup (within 2x).
+    for pair in speedups.windows(2) {
+        let ratio = pair[0] / pair[1];
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "speedup should fall ~4x per density step, got {ratio} ({speedups:?})"
+        );
+    }
+}
+
+#[test]
+fn energy_gain_over_1d_is_large_and_positive() {
+    let n = 2048;
+    let matrix = CsrMatrix::from(&gen::uniform(n, n, 16_384, 3));
+    let x: Vec<f32> = (0..n).map(|i| (i % 9) as f32).collect();
+    let model = EnergyModel::paper();
+
+    let gust = Gust::new(GustConfig::new(256)).spmv(&matrix, &x).report;
+    let gust_e = model
+        .spmv_energy(
+            gust.nnz_processed,
+            n,
+            n,
+            gust.seconds(),
+            n as f64 * 4.0 / 460.0e9,
+            &DesignProfile::gust_256(),
+        )
+        .total_j();
+    let one_d = Systolic1d::new(256).report(&matrix);
+    let one_d_e = model
+        .spmv_energy(
+            one_d.nnz_processed,
+            n,
+            n,
+            one_d.seconds(),
+            0.0,
+            &DesignProfile::one_d_256(),
+        )
+        .total_j();
+    let gain = one_d_e / gust_e;
+    assert!(gain > 10.0, "energy gain {gain} should be order(s) of magnitude");
+}
+
+#[test]
+fn gust_87_more_energy_efficient_than_256_despite_slower() {
+    // §5.5's observation: the shorter GUST wins on energy efficiency
+    // because crossbar power grows superlinearly.
+    let n = 2048;
+    let matrix = CsrMatrix::from(&gen::uniform(n, n, 32_768, 5));
+    let x: Vec<f32> = (0..n).map(|i| (i % 11) as f32).collect();
+    let model = EnergyModel::paper();
+
+    let run = |l: usize, profile: DesignProfile| {
+        let r = Gust::new(GustConfig::new(l)).spmv(&matrix, &x).report;
+        let e = model
+            .spmv_energy(r.nnz_processed, n, n, r.seconds(), 0.0, &profile)
+            .total_j();
+        (r.seconds(), e)
+    };
+    let (t256, e256) = run(256, DesignProfile::gust_256());
+    let (t87, e87) = run(87, DesignProfile::gust_87());
+    assert!(t256 < t87, "longer GUST is faster");
+    assert!(e87 < e256, "shorter GUST uses less energy");
+}
+
+#[test]
+fn serpens_cycle_count_lands_between_gust_and_1d() {
+    let n = 2048;
+    let matrix = CsrMatrix::from(&gen::banded(n, n, 40, 120_000, 9));
+    let x: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
+    let gust = Gust::new(GustConfig::new(256)).spmv(&matrix, &x).report;
+    let serpens = Serpens::new().report(&matrix);
+    let one_d = Systolic1d::new(256).report(&matrix);
+    assert!(serpens.seconds() < one_d.seconds());
+    // The paper's Table 4: Serpens within ~0.5-4x of GUST wall-clock.
+    let ratio = serpens.seconds() / gust.seconds();
+    assert!(
+        (0.2..10.0).contains(&ratio),
+        "Serpens/GUST wall-clock ratio {ratio} out of plausible range"
+    );
+}
+
+#[test]
+fn end_to_end_breaks_even_against_dense_streaming() {
+    // §5.3: against a dense matvec bounded by HBM bandwidth, GUST's
+    // preprocessing amortizes within a handful of iterations.
+    let matrix = CsrMatrix::from(&suite::by_name("crankseg_2").unwrap().generate_scaled(0.05));
+    let x: Vec<f32> = (0..matrix.cols()).map(|i| (i % 7) as f32).collect();
+    let e2e = gust::pipeline::EndToEnd::measure(GustConfig::new(256), &matrix, &x, 460.0e9);
+    let dense_seconds =
+        matrix.rows() as f64 * matrix.rows() as f64 * 2.0 * 4.0 / 460.0e9;
+    let break_even = e2e.break_even_spmvs(dense_seconds);
+    assert!(
+        break_even.is_some(),
+        "GUST per-iteration must beat dense streaming"
+    );
+}
