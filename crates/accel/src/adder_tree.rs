@@ -66,8 +66,7 @@ impl AdderTree {
         let cycles = m * chunks_per_row + self.log2_depth() + 1;
         let nnz = a.nnz() as u64;
 
-        let mut report =
-            ExecutionReport::new(self.name(), self.length, self.arithmetic_units());
+        let mut report = ExecutionReport::new(self.name(), self.length, self.arithmetic_units());
         report.cycles = cycles;
         report.nnz_processed = nnz;
         report.busy_unit_cycles = 2 * nnz; // multiply + its reduction
@@ -187,7 +186,11 @@ mod tests {
     fn utilization_tracks_density_like_1d() {
         let a = CsrMatrix::from(&gen::uniform(512, 512, 2621, 4));
         let r = AdderTree::new(256).report(&a);
-        assert!((r.utilization() - 0.01).abs() < 0.003, "{}", r.utilization());
+        assert!(
+            (r.utilization() - 0.01).abs() < 0.003,
+            "{}",
+            r.utilization()
+        );
     }
 
     #[test]

@@ -82,8 +82,7 @@ impl Fafnir {
         let cycles = max_load + self.depth() + 1;
         let nnz = a.nnz() as u64;
 
-        let mut report =
-            ExecutionReport::new(self.name(), self.length, self.arithmetic_units());
+        let mut report = ExecutionReport::new(self.name(), self.length, self.arithmetic_units());
         report.cycles = cycles;
         report.nnz_processed = nnz;
         report.busy_unit_cycles = 2 * nnz; // leaf multiply + one reduction

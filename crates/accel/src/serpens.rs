@@ -93,7 +93,10 @@ impl Serpens {
     /// Panics if `factor < 1.0`.
     #[must_use]
     pub fn with_dependency_factor(mut self, factor: f64) -> Self {
-        assert!(factor >= 1.0, "dependency factor cannot beat the raw stream");
+        assert!(
+            factor >= 1.0,
+            "dependency factor cannot beat the raw stream"
+        );
         self.dependency_factor = factor;
         self
     }
@@ -145,12 +148,7 @@ impl Serpens {
     /// flit count, inflated by the dependency factor, plus a drain.
     #[must_use]
     pub fn cycles(&self, format: &SerpensFormat) -> u64 {
-        let max_flits = format
-            .per_channel_flits
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0);
+        let max_flits = format.per_channel_flits.iter().copied().max().unwrap_or(0);
         ((max_flits as f64) * self.dependency_factor).ceil() as u64 + 32
     }
 
@@ -159,8 +157,7 @@ impl Serpens {
         let cycles = self.cycles(&format);
         let nnz = a.nnz() as u64;
 
-        let mut report =
-            ExecutionReport::new(self.name(), self.length(), self.arithmetic_units());
+        let mut report = ExecutionReport::new(self.name(), self.length(), self.arithmetic_units());
         report.cycles = cycles;
         report.nnz_processed = nnz;
         report.busy_unit_cycles = 2 * nnz;
@@ -246,12 +243,8 @@ mod tests {
     #[test]
     fn padding_rounds_rows_to_flits() {
         // One row of 9 nnz -> 2 flits -> 16 padded elements.
-        let coo = CooMatrix::from_triplets(
-            1,
-            16,
-            (0..9).map(|c| (0, c, 1.0)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let coo = CooMatrix::from_triplets(1, 16, (0..9).map(|c| (0, c, 1.0)).collect::<Vec<_>>())
+            .unwrap();
         let a = CsrMatrix::from(&coo);
         let fmt = Serpens::new().preprocess(&a);
         assert_eq!(fmt.padded_elements, 16);

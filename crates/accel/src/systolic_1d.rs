@@ -64,8 +64,7 @@ impl Systolic1d {
         let cycles = passes * n + l + 1;
         let nnz = a.nnz() as u64;
 
-        let mut report =
-            ExecutionReport::new(self.name(), self.length, self.arithmetic_units());
+        let mut report = ExecutionReport::new(self.name(), self.length, self.arithmetic_units());
         report.cycles = cycles;
         report.nnz_processed = nnz;
         // Useful work: one multiply + one accumulate per non-zero; all other

@@ -61,7 +61,9 @@ pub fn simulate_1d(a: &CsrMatrix, x: &[f32], l: usize) -> WavefrontRun {
             let mut busy_now = 0usize;
             for (j, pe_row) in pe_rows.iter().enumerate() {
                 let Some(row) = pe_row else { continue };
-                let Some(col) = t.checked_sub(j) else { continue };
+                let Some(col) = t.checked_sub(j) else {
+                    continue;
+                };
                 if col >= n {
                     continue;
                 }

@@ -61,7 +61,13 @@ fn execution(c: &mut Criterion) {
         b.iter(|| black_box(gust.execute(black_box(&schedule), black_box(&x))));
     });
     group.bench_function("structural-pipeline", |b| {
-        b.iter(|| black_box(GustPipeline::run(black_box(&schedule), black_box(&x), 96.0e6)));
+        b.iter(|| {
+            black_box(GustPipeline::run(
+                black_box(&schedule),
+                black_box(&x),
+                96.0e6,
+            ))
+        });
     });
     group.finish();
 }
@@ -74,5 +80,11 @@ fn reference_spmv(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, scheduling, load_balancing, execution, reference_spmv);
+criterion_group!(
+    benches,
+    scheduling,
+    load_balancing,
+    execution,
+    reference_spmv
+);
 criterion_main!(benches);

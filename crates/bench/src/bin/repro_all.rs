@@ -2,8 +2,8 @@
 //! report — convenient for regenerating EXPERIMENTS.md's numbers.
 //!
 //! ```sh
-//! cargo run --release -p gust-bench --bin repro_all            # default scale
-//! GUST_SCALE=1 cargo run --release -p gust-bench --bin repro_all
+//! cargo run --release -p gust_bench --bin repro_all            # default scale
+//! GUST_SCALE=1 cargo run --release -p gust_bench --bin repro_all
 //! ```
 
 use gust_bench::runners;
@@ -25,6 +25,10 @@ fn main() {
         ("bound", runners::bound::run(scale)),
         ("ablation", runners::ablation::run(scale)),
         ("scaling", runners::scaling::run(scale)),
+        (
+            "schedule_throughput",
+            runners::schedule_throughput::run(scale),
+        ),
     ];
 
     for (name, body) in &sections {

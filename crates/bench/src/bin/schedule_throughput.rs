@@ -1,0 +1,5 @@
+//! Preprocessing-throughput benchmark: legacy vs. flat pipeline shapes.
+
+fn main() {
+    println!("{}", gust_bench::runners::schedule_throughput::run_cli());
+}

@@ -126,10 +126,7 @@ mod tests {
 
     #[test]
     fn lineup_matches_figure_7_legend() {
-        let labels: Vec<String> = Design::figure7_lineup()
-            .iter()
-            .map(Design::label)
-            .collect();
+        let labels: Vec<String> = Design::figure7_lineup().iter().map(Design::label).collect();
         assert_eq!(
             labels,
             vec![

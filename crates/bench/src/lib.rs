@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod designs;
+pub mod legacy;
 pub mod runners;
 pub mod table;
 pub mod workloads;

@@ -16,7 +16,10 @@ use std::time::Instant;
 /// Runs all three ablations.
 #[must_use]
 pub fn run(scale: f64) -> String {
-    let mut out = super::header("Ablations — coloring optimality, load balancing, parallel GUST", scale);
+    let mut out = super::header(
+        "Ablations — coloring optimality, load balancing, parallel GUST",
+        scale,
+    );
     out.push_str(&coloring_ablation(scale));
     out.push('\n');
     out.push_str(&load_balance_ablation(scale));
@@ -69,12 +72,7 @@ fn coloring_ablation(scale: f64) -> String {
 fn load_balance_ablation(scale: f64) -> String {
     let n = workloads::synthetic_dimension(scale * 0.5);
     let l = 256usize;
-    let mut table = TextTable::new([
-        "structure",
-        "EC cycles",
-        "EC/LB cycles",
-        "LB improvement",
-    ]);
+    let mut table = TextTable::new(["structure", "EC cycles", "EC/LB cycles", "LB improvement"]);
     for kind in [
         SyntheticKind::Uniform,
         SyntheticKind::PowerLaw,
@@ -128,8 +126,8 @@ fn parallel_ablation(scale: f64) -> String {
     // k parallel length-(256/k).
     for k in [2usize, 4, 8] {
         let l = 256 / k;
-        let engine = ParallelGust::new(GustConfig::new(l), k)
-            .with_assignment(WindowAssignment::RoundRobin);
+        let engine =
+            ParallelGust::new(GustConfig::new(l), k).with_assignment(WindowAssignment::RoundRobin);
         let schedule = engine.schedule(&m);
         let run = engine.execute(&schedule, &x);
         table.push_row([

@@ -25,14 +25,11 @@ pub fn run(scale: f64) -> String {
 
     for (i, density) in [1.0e-3, 3.0e-3, 1.0e-2].into_iter().enumerate() {
         let m = workloads::synthetic(SyntheticKind::Uniform, n, density, 400 + i as u64);
-        let gust = Gust::new(
-            GustConfig::new(l).with_policy(SchedulingPolicy::EdgeColoring),
-        );
+        let gust = Gust::new(GustConfig::new(l).with_policy(SchedulingPolicy::EdgeColoring));
         let schedule = gust.schedule(&m);
         let x = workloads::test_vector(n);
         let run = gust.execute(&schedule, &x);
-        let mean_colors =
-            schedule.total_colors() as f64 / schedule.windows().len() as f64;
+        let mean_colors = schedule.total_colors() as f64 / schedule.windows().len() as f64;
         validation.push_row([
             format!("{density:.0e}"),
             sig3(bound::expected_colors(n, density, l)),

@@ -12,12 +12,10 @@ pub fn run(scale: f64) -> String {
     let lineup = Design::figure7_lineup();
 
     let mut util_table = TextTable::new(
-        std::iter::once("matrix (density)".to_string())
-            .chain(lineup.iter().map(Design::label)),
+        std::iter::once("matrix (density)".to_string()).chain(lineup.iter().map(Design::label)),
     );
     let mut cycle_table = TextTable::new(
-        std::iter::once("matrix (density)".to_string())
-            .chain(lineup.iter().map(Design::label)),
+        std::iter::once("matrix (density)".to_string()).chain(lineup.iter().map(Design::label)),
     );
     let mut per_design_utils: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
 
@@ -42,7 +40,10 @@ pub fn run(scale: f64) -> String {
     }
     util_table.push_row(gmean_row);
 
-    let mut out = super::header("Figure 7 — utilization & execution time across designs", scale);
+    let mut out = super::header(
+        "Figure 7 — utilization & execution time across designs",
+        scale,
+    );
     out.push_str("(a) Hardware utilization [paper G-Means: 1D 0.08%, AT 0.08%, FlexTPU 1.45%, Fafnir 4.67%, GUST EC/LB 33.67%]\n");
     out.push_str(&util_table.render());
     out.push_str("\n(b) Execution time in cycles\n");

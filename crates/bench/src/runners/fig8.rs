@@ -8,9 +8,9 @@
 //! beats Naive by ~88× and EC by ~1.8×; both gains follow O(1/density).
 
 use crate::designs::Design;
+use crate::geo_mean;
 use crate::table::{sig3, TextTable};
 use crate::workloads::{self, SyntheticKind};
-use crate::geo_mean;
 use gust_energy::EnergyModel;
 use gust_sim::ExecutionReport;
 use gust_sparse::CsrMatrix;
@@ -41,11 +41,7 @@ fn gains(
     (speedup, baseline_energy_j / e)
 }
 
-fn baseline_energy(
-    matrix: &CsrMatrix,
-    baseline: &ExecutionReport,
-    energy: &EnergyModel,
-) -> f64 {
+fn baseline_energy(matrix: &CsrMatrix, baseline: &ExecutionReport, energy: &EnergyModel) -> f64 {
     energy
         .spmv_energy(
             baseline.nnz_processed,
@@ -99,11 +95,7 @@ fn panel_row(label: String, matrix: &CsrMatrix, energy: &EnergyModel) -> (Vec<St
     (cells, values)
 }
 
-fn render_panel(
-    title: &str,
-    rows: Vec<(String, CsrMatrix)>,
-    energy: &EnergyModel,
-) -> String {
+fn render_panel(title: &str, rows: Vec<(String, CsrMatrix)>, energy: &EnergyModel) -> String {
     let mut table = TextTable::new(panel_header());
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); 6];
     for (label, matrix) in rows {
@@ -125,10 +117,7 @@ fn render_panel(
 #[must_use]
 pub fn run(scale: f64) -> String {
     let energy = EnergyModel::paper();
-    let mut out = super::header(
-        "Figure 8 — speedup & energy gain over length-256 1D",
-        scale,
-    );
+    let mut out = super::header("Figure 8 — speedup & energy gain over length-256 1D", scale);
     out.push_str("paper averages (real): GUST256-EC/LB 411x speedup / 137x energy; GUST87-EC/LB 108x / 148x\n\n");
 
     // (a) Real matrices.

@@ -36,7 +36,10 @@ pub fn run(scale: f64) -> String {
         let g87 = Design::GustEcLb(87).report(matrix);
         table.push_row([
             format!("{} ({})", entry.name, entry.density_label),
-            format!("{:.2}", one_d_useful_gbps(one_d.nnz_processed, one_d.seconds())),
+            format!(
+                "{:.2}",
+                one_d_useful_gbps(one_d.nnz_processed, one_d.seconds())
+            ),
             format!(
                 "{:.2}",
                 bandwidth::achieved_bytes_per_second(
@@ -89,13 +92,10 @@ mod tests {
         let (_, matrix) = &matrices[5];
         let one_d = Design::OneD(256).report(matrix);
         let g256 = Design::GustEcLb(256).report(matrix);
-        let one_d_frac = one_d_useful_gbps(one_d.nnz_processed, one_d.seconds())
-            / one_d_max_gbps(256, 96.0e6);
-        let gust_frac = bandwidth::stream_utilization(
-            g256.nnz_processed,
-            256,
-            g256.cycles.saturating_sub(2),
-        );
+        let one_d_frac =
+            one_d_useful_gbps(one_d.nnz_processed, one_d.seconds()) / one_d_max_gbps(256, 96.0e6);
+        let gust_frac =
+            bandwidth::stream_utilization(g256.nnz_processed, 256, g256.cycles.saturating_sub(2));
         assert!(
             gust_frac > one_d_frac * 5.0,
             "gust {gust_frac} vs 1d {one_d_frac}"

@@ -1,0 +1,245 @@
+//! Preprocessing-throughput benchmark: the seed's `Vec<Vec<_>>` scheduling
+//! pipeline versus the flat-buffer pipeline, sequential and multi-threaded.
+//!
+//! The paper amortizes a one-time scheduling cost over repeated SpMVs
+//! (§5.3, Table 4 "Pre."), which makes scheduler throughput the software
+//! hot path of the whole system. This runner measures it directly: for
+//! uniform, power-law and R-MAT matrices it times
+//!
+//! * `legacy` — the seed pipeline preserved in [`crate::legacy`]
+//!   (per-window nested allocations, hashed lane tables),
+//! * `flat-seq` — the production pipeline pinned to one worker
+//!   (`with_parallelism(Some(1))`): the pure data-layout win,
+//! * `flat-mt` — the production pipeline at the host's available
+//!   parallelism: layout + `std::thread::scope` fan-out,
+//!
+//! and reports wall time, nnz/s, speedup over legacy and peak RSS. Output
+//! is the usual text table plus a JSON array ([`TextTable::to_json`]) so
+//! future PRs can track the trajectory mechanically.
+//!
+//! Scale: `GUST_SCALE` as everywhere (dimensions ×s, non-zeros ×s²);
+//! `GUST_SCALE=1` runs the full 16 384² / 1.25 M-nnz matrices the
+//! acceptance numbers are quoted at. Reps: `GUST_THROUGHPUT_REPS`
+//! (default 3, median reported).
+//!
+//! Peak-RSS caveat: all pipelines run in one process, and resetting the
+//! `VmHWM` high-water mark (`clear_refs`) can only lower it to the
+//! *current* RSS — heap pages the allocator retains from earlier runs
+//! (notably legacy's millions of small vectors) stay counted. The
+//! `peak_rss_mb` column is therefore an upper bound for the later rows
+//! and comparable across PRs, but not a strict per-pipeline footprint;
+//! a fresh process per pipeline would be needed for that.
+
+use crate::legacy;
+use crate::table::TextTable;
+use gust::{Gust, GustConfig};
+use gust_sparse::{gen, CsrMatrix};
+use std::time::{Duration, Instant};
+
+/// Full-size workload parameters (scale 1).
+const FULL_DIM: usize = 16_384;
+const FULL_NNZ: usize = 1_250_000;
+/// GUST length the paper reports headline numbers for.
+const LENGTH: usize = 256;
+
+/// One measured pipeline run.
+struct Measurement {
+    pipeline: &'static str,
+    threads: usize,
+    wall: Duration,
+    peak_rss_kb: Option<u64>,
+    total_colors: u64,
+}
+
+/// Entry point for the `schedule_throughput` binary: full scale unless
+/// `GUST_SCALE` says otherwise.
+#[must_use]
+pub fn run_cli() -> String {
+    run(crate::env_scale(1.0))
+}
+
+/// Runs the sweep at the given scale and renders the report.
+///
+/// # Panics
+///
+/// Panics if any pipeline disagrees with the others on the schedule
+/// contents — the benchmark refuses to time wrong answers.
+#[must_use]
+pub fn run(scale: f64) -> String {
+    let dim = ((FULL_DIM as f64 * scale) as usize).max(64);
+    let nnz = ((FULL_NNZ as f64 * scale * scale) as usize).max(1000);
+    let reps: usize = std::env::var("GUST_THROUGHPUT_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    let workloads: [(&str, CsrMatrix); 3] = [
+        ("uniform", CsrMatrix::from(&gen::uniform(dim, dim, nnz, 11))),
+        (
+            "power-law",
+            CsrMatrix::from(&gen::power_law(dim, dim, nnz, 1.9, 12)),
+        ),
+        ("rmat", CsrMatrix::from(&gen::rmat(dim, dim, nnz, 13))),
+    ];
+
+    let auto_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let config = GustConfig::new(LENGTH);
+
+    let mut out = super::header("schedule_throughput — preprocessing nnz/s", scale);
+    out.push_str(&format!(
+        "l = {LENGTH}, EC/LB grouped coloring, {reps} reps (median), host parallelism {auto_threads}\n\n"
+    ));
+
+    let mut table = TextTable::new([
+        "matrix",
+        "pipeline",
+        "threads",
+        "nnz",
+        "windows",
+        "colors",
+        "wall_ms",
+        "nnz_per_s",
+        "speedup_vs_legacy",
+        "peak_rss_mb",
+    ]);
+
+    for (name, matrix) in &workloads {
+        let measurements = measure_pipelines(matrix, &config, reps, auto_threads);
+        let legacy_wall = measurements[0].wall;
+        let windows = matrix.rows().div_ceil(LENGTH);
+        for m in &measurements {
+            let wall_s = m.wall.as_secs_f64();
+            table.push_row([
+                (*name).to_string(),
+                m.pipeline.to_string(),
+                m.threads.to_string(),
+                matrix.nnz().to_string(),
+                windows.to_string(),
+                m.total_colors.to_string(),
+                format!("{:.3}", wall_s * 1e3),
+                format!("{:.0}", matrix.nnz() as f64 / wall_s),
+                format!("{:.2}", legacy_wall.as_secs_f64() / wall_s),
+                m.peak_rss_kb.map_or_else(
+                    || "n/a".to_string(),
+                    |kb| format!("{:.1}", kb as f64 / 1024.0),
+                ),
+            ]);
+        }
+    }
+
+    out.push_str(&table.render());
+    out.push_str("\nJSON:\n");
+    out.push_str(&table.to_json());
+    out.push('\n');
+    out
+}
+
+/// Measures the three pipeline shapes on one matrix, asserting they agree.
+fn measure_pipelines(
+    matrix: &CsrMatrix,
+    config: &GustConfig,
+    reps: usize,
+    auto_threads: usize,
+) -> Vec<Measurement> {
+    // Correctness gate first: all pipelines must produce identical windows.
+    let reference = Gust::new(config.clone().with_parallelism(Some(1))).schedule(matrix);
+    let legacy_windows = legacy::legacy_schedule_windows(matrix, config);
+    assert_eq!(
+        legacy_windows.as_slice(),
+        reference.windows(),
+        "legacy baseline diverged from the flat pipeline"
+    );
+    let parallel =
+        Gust::new(config.clone().with_parallelism(Some(auto_threads.max(2)))).schedule(matrix);
+    assert_eq!(parallel, reference, "parallel schedule diverged");
+    let total_colors = reference.total_colors();
+
+    let mut results = Vec::with_capacity(3);
+    {
+        let (wall, rss) = timed(reps, || {
+            std::hint::black_box(legacy::legacy_schedule_windows(matrix, config));
+        });
+        results.push(Measurement {
+            pipeline: "legacy",
+            threads: 1,
+            wall,
+            peak_rss_kb: rss,
+            total_colors,
+        });
+    }
+    {
+        let gust = Gust::new(config.clone().with_parallelism(Some(1)));
+        let (wall, rss) = timed(reps, || {
+            std::hint::black_box(gust.schedule(matrix));
+        });
+        results.push(Measurement {
+            pipeline: "flat-seq",
+            threads: 1,
+            wall,
+            peak_rss_kb: rss,
+            total_colors,
+        });
+    }
+    {
+        let gust = Gust::new(config.clone());
+        let (wall, rss) = timed(reps, || {
+            std::hint::black_box(gust.schedule(matrix));
+        });
+        results.push(Measurement {
+            pipeline: "flat-mt",
+            threads: auto_threads,
+            wall,
+            peak_rss_kb: rss,
+            total_colors,
+        });
+    }
+    results
+}
+
+/// Runs `f` `reps` times; returns the median wall time and the peak RSS
+/// high-water mark observed across the runs.
+fn timed<F: FnMut()>(reps: usize, mut f: F) -> (Duration, Option<u64>) {
+    let mut walls = Vec::with_capacity(reps);
+    let mut rss = None;
+    for _ in 0..reps {
+        reset_peak_rss();
+        let start = Instant::now();
+        f();
+        walls.push(start.elapsed());
+        rss = rss.max(peak_rss_kb());
+    }
+    walls.sort_unstable();
+    (walls[walls.len() / 2], rss)
+}
+
+/// Peak resident set (`VmHWM`) in kB, when the OS exposes it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Resets the peak-RSS counter so each measurement sees its own high-water
+/// mark (Linux `clear_refs`; harmless no-op elsewhere).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_tiny_scale_and_emits_json() {
+        let report = run(0.02);
+        assert!(report.contains("schedule_throughput"));
+        assert!(report.contains("legacy"));
+        assert!(report.contains("flat-seq"));
+        assert!(report.contains("flat-mt"));
+        assert!(report.contains("JSON:"));
+        assert!(report.contains("\"nnz_per_s\":"));
+        // Three workloads × three pipelines.
+        assert_eq!(report.matches("\"matrix\":").count(), 9);
+    }
+}

@@ -18,11 +18,7 @@ pub fn run(scale: f64) -> String {
             "grid of sqrt(l) x sqrt(l) PEs (2D systolic)",
             "~3 * #NZ / l",
         ),
-        (
-            Design::OneD(256),
-            "strip of l PEs",
-            "m*n/l + l + 1",
-        ),
+        (Design::OneD(256), "strip of l PEs", "m*n/l + l + 1"),
         (
             Design::AdderTree(256),
             "binary tree: l multipliers + l-1 adders",

@@ -17,7 +17,10 @@ fn fmt_units(v: f64) -> String {
 #[must_use]
 pub fn run(_scale: f64) -> String {
     let lengths = [8usize, 87, 256];
-    let gust: Vec<GustResources> = lengths.iter().map(|&l| GustResources::at_length(l)).collect();
+    let gust: Vec<GustResources> = lengths
+        .iter()
+        .map(|&l| GustResources::at_length(l))
+        .collect();
     let power: Vec<GustPowerBreakdown> = lengths
         .iter()
         .map(|&l| GustPowerBreakdown::at_length(l))

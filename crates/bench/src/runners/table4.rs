@@ -26,7 +26,10 @@ pub fn run(scale: f64) -> String {
             entry.name.to_string(),
             format!("{}", matrix.rows()),
             format!("{}", matrix.nnz()),
-            format!("{:.1e}", matrix.nnz() as f64 / (matrix.rows() as f64).powi(2)),
+            format!(
+                "{:.1e}",
+                matrix.nnz() as f64 / (matrix.rows() as f64).powi(2)
+            ),
         ]);
     }
 

@@ -18,20 +18,19 @@ fn fmt(v: f64) -> String {
 #[must_use]
 pub fn run(_scale: f64) -> String {
     let lengths = [8usize, 87, 256];
-    let mut table = TextTable::new([
-        "segment",
-        "metric",
-        "length 8",
-        "length 87",
-        "length 256",
-    ]);
+    let mut table = TextTable::new(["segment", "metric", "length 8", "length 87", "length 256"]);
 
-    let rs: Vec<GustResources> = lengths.iter().map(|&l| GustResources::at_length(l)).collect();
+    let rs: Vec<GustResources> = lengths
+        .iter()
+        .map(|&l| GustResources::at_length(l))
+        .collect();
     let rows: Vec<(&str, &str, Vec<String>)> = vec![
         (
             "Arithmetic",
             "Power (W)",
-            rs.iter().map(|r| format!("{:.1}", r.arithmetic.power_watts)).collect(),
+            rs.iter()
+                .map(|r| format!("{:.1}", r.arithmetic.power_watts))
+                .collect(),
         ),
         (
             "Arithmetic",
@@ -56,7 +55,9 @@ pub fn run(_scale: f64) -> String {
         (
             "Crossbar",
             "Power (W)",
-            rs.iter().map(|r| format!("{:.1}", r.crossbar.power_watts)).collect(),
+            rs.iter()
+                .map(|r| format!("{:.1}", r.crossbar.power_watts))
+                .collect(),
         ),
         (
             "Crossbar",
@@ -71,7 +72,9 @@ pub fn run(_scale: f64) -> String {
         (
             "IO",
             "Power (W)",
-            rs.iter().map(|r| format!("{:.1}", r.io.power_watts)).collect(),
+            rs.iter()
+                .map(|r| format!("{:.1}", r.io.power_watts))
+                .collect(),
         ),
         (
             "IO",

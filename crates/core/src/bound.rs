@@ -123,8 +123,7 @@ mod tests {
         // E[util] ≈ (N²p/l) / E[exe] (Eq. 11's derivation), up to the +2.
         let (n, p, l) = (8_192, 2.0e-3, 128);
         let util = expected_utilization(n, p, l);
-        let via_cycles =
-            (n as f64 * n as f64 * p / l as f64) / expected_execution_cycles(n, p, l);
+        let via_cycles = (n as f64 * n as f64 * p / l as f64) / expected_execution_cycles(n, p, l);
         assert!((util - via_cycles).abs() < 0.01, "{util} vs {via_cycles}");
     }
 

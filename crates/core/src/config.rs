@@ -79,6 +79,7 @@ pub struct GustConfig {
     frequency_hz: f64,
     policy: SchedulingPolicy,
     coloring: ColoringAlgorithm,
+    parallelism: Option<usize>,
 }
 
 impl GustConfig {
@@ -100,6 +101,7 @@ impl GustConfig {
             frequency_hz: Self::PAPER_FREQUENCY_HZ,
             policy: SchedulingPolicy::EdgeColoringLb,
             coloring: ColoringAlgorithm::default(),
+            parallelism: None,
         }
     }
 
@@ -115,6 +117,25 @@ impl GustConfig {
     #[must_use]
     pub fn with_coloring(mut self, coloring: ColoringAlgorithm) -> Self {
         self.coloring = coloring;
+        self
+    }
+
+    /// Sets the scheduler's worker-thread count: `Some(1)` forces the
+    /// sequential path, `Some(n)` uses exactly `n` workers, and `None`
+    /// (default) lets the scheduler match the host's available parallelism.
+    /// Windows are independent (§3.2), so the schedule is bit-identical for
+    /// every setting; only preprocessing wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is `Some(0)`.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        assert!(
+            parallelism != Some(0),
+            "parallelism must be at least 1 (or None for auto)"
+        );
+        self.parallelism = parallelism;
         self
     }
 
@@ -163,6 +184,13 @@ impl GustConfig {
         self.coloring
     }
 
+    /// Scheduler worker-thread setting (see
+    /// [`GustConfig::with_parallelism`]).
+    #[must_use]
+    pub fn parallelism(&self) -> Option<usize> {
+        self.parallelism
+    }
+
     /// Design name used in reports, e.g. `"gust256-EC/LB"`.
     #[must_use]
     pub fn design_name(&self) -> String {
@@ -188,10 +216,25 @@ mod tests {
         let c = GustConfig::new(8)
             .with_policy(SchedulingPolicy::Naive)
             .with_coloring(ColoringAlgorithm::Konig)
-            .with_frequency(1.0e6);
+            .with_frequency(1.0e6)
+            .with_parallelism(Some(4));
         assert_eq!(c.policy(), SchedulingPolicy::Naive);
         assert_eq!(c.coloring(), ColoringAlgorithm::Konig);
         assert!((c.frequency_hz() - 1.0e6).abs() < f64::EPSILON);
+        assert_eq!(c.parallelism(), Some(4));
+    }
+
+    #[test]
+    fn parallelism_defaults_to_auto() {
+        assert_eq!(GustConfig::new(8).parallelism(), None);
+        let seq = GustConfig::new(8).with_parallelism(Some(1));
+        assert_eq!(seq.parallelism(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be at least 1")]
+    fn zero_parallelism_panics() {
+        let _ = GustConfig::new(8).with_parallelism(Some(0));
     }
 
     #[test]

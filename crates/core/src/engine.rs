@@ -128,11 +128,8 @@ impl Gust {
         };
         let nnz = schedule.nnz() as u64;
 
-        let mut report = ExecutionReport::new(
-            self.config.design_name(),
-            l,
-            self.config.arithmetic_units(),
-        );
+        let mut report =
+            ExecutionReport::new(self.config.design_name(), l, self.config.arithmetic_units());
         report.cycles = cycles;
         report.nnz_processed = nnz;
         report.busy_unit_cycles = mults.busy_unit_cycles() + adds.busy_unit_cycles();
@@ -362,12 +359,9 @@ mod tests {
         let coo_a = gen::uniform(40, 40, 250, 13);
         let m_a = CsrMatrix::from(&coo_a);
         // Scale all values: same sparsity, different numbers.
-        let coo_b = CooMatrix::from_triplets(
-            40,
-            40,
-            coo_a.iter().map(|(r, c, v)| (r, c, v * 3.5 + 1.0)),
-        )
-        .unwrap();
+        let coo_b =
+            CooMatrix::from_triplets(40, 40, coo_a.iter().map(|(r, c, v)| (r, c, v * 3.5 + 1.0)))
+                .unwrap();
         let m_b = CsrMatrix::from(&coo_b);
 
         let gust = Gust::new(GustConfig::new(8));

@@ -141,7 +141,10 @@ mod tests {
         // fits 48 KB of shared memory.
         for l in [32usize, 64] {
             let mapping = GpuMapping::new(16, l);
-            assert!(mapping.fits_shared_memory(TYPICAL_SHARED_MEMORY_BYTES), "l={l}");
+            assert!(
+                mapping.fits_shared_memory(TYPICAL_SHARED_MEMORY_BYTES),
+                "l={l}"
+            );
         }
     }
 

@@ -125,9 +125,7 @@ impl<'a> BufferFiller<'a> {
             fifo.push(input).expect("lane FIFO overflow");
         }
         let last_of_window = self.color + 1 == window.colors();
-        dump_fifo
-            .push(last_of_window)
-            .expect("dump FIFO overflow");
+        dump_fifo.push(last_of_window).expect("dump FIFO overflow");
 
         if last_of_window {
             self.window += 1;
@@ -169,8 +167,7 @@ mod tests {
         let (_, s) = small_schedule();
         let x = vec![1.0f32; 12];
         let mut filler = BufferFiller::new(&s, &x);
-        let mut fifos: Vec<Fifo<Option<LaneInput>>> =
-            (0..4).map(|_| Fifo::unbounded()).collect();
+        let mut fifos: Vec<Fifo<Option<LaneInput>>> = (0..4).map(|_| Fifo::unbounded()).collect();
         let mut dump = Fifo::unbounded();
         let mut steps = 0u64;
         while filler.fill_one_color(&mut fifos, &mut dump) {
@@ -186,8 +183,7 @@ mod tests {
         let (_, s) = small_schedule();
         let x = vec![1.0f32; 12];
         let mut filler = BufferFiller::new(&s, &x);
-        let mut fifos: Vec<Fifo<Option<LaneInput>>> =
-            (0..4).map(|_| Fifo::unbounded()).collect();
+        let mut fifos: Vec<Fifo<Option<LaneInput>>> = (0..4).map(|_| Fifo::unbounded()).collect();
         let mut dump = Fifo::unbounded();
         while filler.fill_one_color(&mut fifos, &mut dump) {}
         let markers: Vec<bool> = std::iter::from_fn(|| dump.pop()).collect();
@@ -204,8 +200,7 @@ mod tests {
         let s = Gust::new(GustConfig::new(2)).schedule(&m);
         let x = [10.0, 20.0, 30.0, 40.0];
         let mut filler = BufferFiller::new(&s, &x);
-        let mut fifos: Vec<Fifo<Option<LaneInput>>> =
-            (0..2).map(|_| Fifo::unbounded()).collect();
+        let mut fifos: Vec<Fifo<Option<LaneInput>>> = (0..2).map(|_| Fifo::unbounded()).collect();
         let mut dump = Fifo::unbounded();
         while filler.fill_one_color(&mut fifos, &mut dump) {}
         let mut seen: Vec<(f32, f32)> = Vec::new();
@@ -225,8 +220,7 @@ mod tests {
         let (_, s) = small_schedule();
         let x = vec![1.0f32; 12];
         let mut filler = BufferFiller::new(&s, &x);
-        let mut fifos: Vec<Fifo<Option<LaneInput>>> =
-            (0..4).map(|_| Fifo::unbounded()).collect();
+        let mut fifos: Vec<Fifo<Option<LaneInput>>> = (0..4).map(|_| Fifo::unbounded()).collect();
         let mut dump = Fifo::unbounded();
         while filler.fill_one_color(&mut fifos, &mut dump) {}
         let t = filler.traffic();

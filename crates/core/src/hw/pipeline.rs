@@ -111,7 +111,11 @@ impl<'a> GustPipeline<'a> {
     /// Returns the output vector and a report identical (modulo the
     /// `design` string) to the fast engine's.
     #[must_use]
-    pub fn run(schedule: &'a ScheduledMatrix, x: &'a [f32], frequency_hz: f64) -> (Vec<f32>, ExecutionReport) {
+    pub fn run(
+        schedule: &'a ScheduledMatrix,
+        x: &'a [f32],
+        frequency_hz: f64,
+    ) -> (Vec<f32>, ExecutionReport) {
         let mut pipeline = Self::new(schedule, x);
         let mut clock = Clock::at_frequency(frequency_hz);
         let budget = schedule.total_colors() + 16;
@@ -236,7 +240,12 @@ impl Clocked for GustPipeline<'_> {
         }
         self.tick_multipliers();
         if let Some(trace) = &mut self.trace {
-            trace.record(now, self.tick_busy_mults, self.tick_busy_adds, self.tick_dumped);
+            trace.record(
+                now,
+                self.tick_busy_mults,
+                self.tick_busy_adds,
+                self.tick_dumped,
+            );
         }
     }
 

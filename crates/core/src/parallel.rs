@@ -88,7 +88,11 @@ impl ParallelGust {
     }
 
     /// Schedules the matrix once (identical to the single-engine schedule —
-    /// §5.5: "the Edge-Coloring schedule would not need to change").
+    /// §5.5: "the Edge-Coloring schedule would not need to change"). The
+    /// flat format and preprocessing parallelism of
+    /// [`crate::schedule::Scheduler`] apply unchanged; set
+    /// [`crate::GustConfig::with_parallelism`] on this arrangement's config
+    /// to control the scheduling workers.
     #[must_use]
     pub fn schedule(&self, matrix: &gust_sparse::CsrMatrix) -> ScheduledMatrix {
         Gust::new(self.config.clone()).schedule(matrix)

@@ -124,7 +124,9 @@ mod tests {
         let e2e = EndToEnd::measure(GustConfig::new(16), &m, &x, 460.0e9);
         // An alternative 100x slower than GUST's per-iteration cost.
         let other = (e2e.vector_load_seconds + e2e.calc_seconds()) * 100.0;
-        let n = e2e.break_even_spmvs(other).expect("GUST per-iter is faster");
+        let n = e2e
+            .break_even_spmvs(other)
+            .expect("GUST per-iter is faster");
         assert!(e2e.total_seconds(n) <= n as f64 * other * 1.01);
     }
 

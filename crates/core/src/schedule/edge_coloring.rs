@@ -18,53 +18,82 @@
 //!   first-occurrence order. Same greedy matching discipline and, in
 //!   practice, the same color counts, but near-linear on large windows
 //!   (the scan skips whole lanes instead of individual edges).
+//!
+//! Both write a color per edge into the caller's [`ColorScratch`] — no
+//! allocation happens here; [`ColorScratch::assemble`] turns the flat
+//! assignment into a [`crate::schedule::scheduled::WindowSchedule`].
 
-use super::scheduled::ScheduledSlot;
 use super::windows::Window;
+use super::workspace::{ColorScratch, GroupState, GROUP_BLOCK, NONE};
 
-/// Literal Listing 1. Returns slots grouped per color.
+/// Literal Listing 1. Writes a color per edge into `scratch.edge_color`
+/// and returns the number of colors used.
 ///
 /// For every color pass, each row scans its remaining edges in column order
 /// and yields the first whose lane is free (`E[i][k] mod l not in matching`);
 /// the `break` at Listing 1 line 13 means a row never contributes twice to
 /// one matching.
-#[must_use]
-pub fn color_window_verbatim(window: &Window, l: usize) -> Vec<Vec<ScheduledSlot>> {
-    // Remaining edges per row, in column order (Vec::remove keeps order).
-    let mut remaining: Vec<Vec<(u32, u32, f32)>> = window
-        .per_row
-        .iter()
-        .map(|row| row.iter().map(|e| (e.lane, e.col, e.value)).collect())
-        .collect();
-    let mut live: Vec<usize> = (0..remaining.len())
-        .filter(|&i| !remaining[i].is_empty())
-        .collect();
+pub fn color_window_verbatim(window: &Window, l: usize, scratch: &mut ColorScratch) -> u32 {
+    let nnz = window.nnz();
+    let n_rows = window.rows();
+    let row_ptr = window.row_ptr();
+    let edges = window.edges();
+    scratch.begin_window(nnz, l);
 
-    let mut per_color: Vec<Vec<ScheduledSlot>> = Vec::new();
-    let mut matched = vec![u32::MAX; l]; // color stamp per lane
+    scratch.taken.clear();
+    scratch.taken.resize(nnz, false);
+    scratch.row_cursor.clear();
+    scratch.row_cursor.extend_from_slice(&row_ptr[..n_rows]);
+    scratch.row_remaining.clear();
+    scratch
+        .row_remaining
+        .extend((0..n_rows).map(|i| row_ptr[i + 1] - row_ptr[i]));
+    scratch.live.clear();
+    scratch
+        .live
+        .extend((0..n_rows as u32).filter(|&i| scratch.row_remaining[i as usize] > 0));
+
     let mut clr: u32 = 0;
-    while !live.is_empty() {
-        let mut bucket: Vec<ScheduledSlot> = Vec::with_capacity(live.len());
+    while !scratch.live.is_empty() {
+        let mut progressed = false;
+        // Split-borrow the scratch fields so `live.retain` can update the
+        // others.
+        let ColorScratch {
+            live,
+            taken,
+            row_cursor,
+            row_remaining,
+            matched,
+            edge_color,
+            ..
+        } = scratch;
         live.retain(|&row| {
-            let edges = &mut remaining[row];
-            if let Some(k) = edges.iter().position(|&(lane, _, _)| matched[lane as usize] != clr)
-            {
-                let (lane, col, value) = edges.remove(k);
-                matched[lane as usize] = clr;
-                bucket.push(ScheduledSlot {
-                    lane,
-                    row_mod: row as u32,
-                    col,
-                    value,
-                });
+            let row = row as usize;
+            // Advance the cursor past edges colored in earlier passes, then
+            // scan the remaining edges in stored (column) order.
+            let mut k = row_cursor[row] as usize;
+            let end = row_ptr[row + 1] as usize;
+            while k < end && taken[k] {
+                k += 1;
             }
-            !edges.is_empty()
+            row_cursor[row] = k as u32;
+            while k < end {
+                if !taken[k] && matched[edges[k].lane as usize] != clr {
+                    taken[k] = true;
+                    matched[edges[k].lane as usize] = clr;
+                    edge_color[k] = clr;
+                    row_remaining[row] -= 1;
+                    progressed = true;
+                    break;
+                }
+                k += 1;
+            }
+            row_remaining[row] > 0
         });
-        debug_assert!(!bucket.is_empty(), "a color pass must make progress");
-        per_color.push(bucket);
+        debug_assert!(progressed, "a color pass must make progress");
         clr += 1;
     }
-    per_color
+    clr
 }
 
 /// Lane-grouped greedy coloring: the fast path for large windows.
@@ -72,102 +101,221 @@ pub fn color_window_verbatim(window: &Window, l: usize) -> Vec<Vec<ScheduledSlot
 /// Each row's edges are bucketed by lane, buckets kept in order of the
 /// lane's first occurrence in the row. A color pass visits buckets instead
 /// of edges, so the per-pass cost is bounded by the number of *distinct
-/// contended lanes*, not the row degree.
-#[must_use]
-pub fn color_window_grouped(window: &Window, l: usize) -> Vec<Vec<ScheduledSlot>> {
-    // Per row: flat edge storage plus lane groups with head cursors.
-    struct Group {
-        lane: u32,
-        /// Indices into the row's edge list, in column order.
-        edges: Vec<u32>,
-        head: u32,
-    }
-    struct Row {
-        edges: Vec<(u32, f32)>, // (col, value)
-        groups: Vec<Group>,
-        remaining: u32,
-    }
+/// contended lanes*, not the row degree. Writes a color per edge into
+/// `scratch.edge_color` and returns the number of colors used.
+pub fn color_window_grouped(window: &Window, l: usize, scratch: &mut ColorScratch) -> u32 {
+    let nnz = window.nnz();
+    let n_rows = window.rows();
+    let row_ptr = window.row_ptr();
+    let edges = window.edges();
+    scratch.begin_window(nnz, l);
 
-    let mut rows: Vec<Row> = Vec::with_capacity(window.per_row.len());
-    let mut lane_group_idx = vec![u32::MAX; l];
-    for row_edges in &window.per_row {
-        let mut row = Row {
-            edges: Vec::with_capacity(row_edges.len()),
-            groups: Vec::new(),
-            remaining: row_edges.len() as u32,
-        };
-        for e in row_edges {
-            let edge_idx = row.edges.len() as u32;
-            row.edges.push((e.col, e.value));
-            let slot = lane_group_idx[e.lane as usize];
-            if slot != u32::MAX && row.groups[slot as usize].lane == e.lane {
-                row.groups[slot as usize].edges.push(edge_idx);
-            } else {
-                lane_group_idx[e.lane as usize] = row.groups.len() as u32;
-                row.groups.push(Group {
-                    lane: e.lane,
-                    edges: vec![edge_idx],
+    // Build the per-row lane groups into flat arrays:
+    //   row_group_ptr[r]..row_group_ptr[r+1] indexes the row's groups;
+    //   group g owns group_edges[g.head..g.end], edge ids in stored
+    //   (column) order.
+    scratch.lane_slot.clear();
+    scratch.lane_slot.resize(l, NONE);
+    scratch.groups.clear();
+    scratch.row_group_ptr.clear();
+    scratch.row_group_ptr.push(0);
+    scratch.edge_group.clear();
+    scratch.edge_group.resize(nnz, 0);
+    scratch.row_remaining.clear();
+
+    for row in 0..n_rows {
+        let lo = row_ptr[row] as usize;
+        let hi = row_ptr[row + 1] as usize;
+        let row_group_base = scratch.groups.len();
+        // Pass 1: discover groups in first-occurrence order; count sizes
+        // into `end` (converted to offsets below).
+        for (k, edge) in edges[lo..hi].iter().enumerate() {
+            let lane = edge.lane as usize;
+            let g = scratch.lane_slot[lane];
+            let g = if g == NONE {
+                let g = scratch.groups.len() as u32;
+                scratch.lane_slot[lane] = g;
+                scratch.groups.push(GroupState {
+                    lane: lane as u32,
                     head: 0,
+                    end: 0,
                 });
-            }
+                g
+            } else {
+                g
+            };
+            scratch.edge_group[lo + k] = g;
+            scratch.groups[g as usize].end += 1;
         }
-        // Reset the scratch table for the next row (touch only used lanes).
-        for g in &row.groups {
-            lane_group_idx[g.lane as usize] = u32::MAX;
+        // Reset the lane table by touching only this row's lanes.
+        for group in &scratch.groups[row_group_base..] {
+            scratch.lane_slot[group.lane as usize] = NONE;
         }
-        rows.push(row);
+        scratch.row_group_ptr.push(scratch.groups.len() as u32);
+        scratch.row_remaining.push((hi - lo) as u32);
     }
 
-    let mut live: Vec<usize> = (0..rows.len()).filter(|&i| rows[i].remaining > 0).collect();
-    let mut per_color: Vec<Vec<ScheduledSlot>> = Vec::new();
-    let mut matched = vec![u32::MAX; l];
+    // Lengths -> global [head, end) ranges (exclusive prefix sum).
+    let mut running = 0u32;
+    for g in &mut scratch.groups {
+        let len = g.end;
+        g.head = running;
+        running += len;
+        g.end = running;
+    }
+    debug_assert_eq!(running as usize, nnz);
+
+    // Pass 2: place edge ids, preserving stored order within each group.
+    scratch.group_head.clear();
+    scratch
+        .group_head
+        .extend(scratch.groups.iter().map(|g| g.head));
+    scratch.group_edges.clear();
+    scratch.group_edges.resize(nnz, 0);
+    for k in 0..nnz {
+        let g = scratch.edge_group[k] as usize;
+        let at = scratch.group_head[g] as usize;
+        scratch.group_head[g] += 1;
+        scratch.group_edges[at] = k as u32;
+    }
+
+    scratch.row_group_start.clear();
+    scratch
+        .row_group_start
+        .extend_from_slice(&scratch.row_group_ptr[..n_rows]);
+
+    // Block-skip index: each row's groups chunked into GROUP_BLOCK-sized
+    // blocks (blocks never span rows); per block, a lane bitmask over its
+    // non-exhausted groups. A pass can then discard a whole block with a
+    // few word operations when every remaining lane in it is matched —
+    // without this, heavy windows (256 live rows contending for 256 lanes
+    // over thousands of colors) make the pass scan quadratic.
+    let words = l.div_ceil(64);
+    scratch.row_block_ptr.clear();
+    scratch.row_block_ptr.push(0);
+    let mut total_blocks = 0u32;
+    for row in 0..n_rows {
+        let n_groups_row = (scratch.row_group_ptr[row + 1] - scratch.row_group_ptr[row]) as usize;
+        total_blocks += n_groups_row.div_ceil(GROUP_BLOCK) as u32;
+        scratch.row_block_ptr.push(total_blocks);
+    }
+    scratch.block_mask.clear();
+    scratch.block_mask.resize(total_blocks as usize * words, 0);
+    for row in 0..n_rows {
+        let g_base = scratch.row_group_ptr[row] as usize;
+        let g_hi = scratch.row_group_ptr[row + 1] as usize;
+        let first_block = scratch.row_block_ptr[row] as usize;
+        for g in g_base..g_hi {
+            let lane = scratch.groups[g].lane as usize;
+            let block = first_block + (g - g_base) / GROUP_BLOCK;
+            scratch.block_mask[block * words + (lane >> 6)] |= 1u64 << (lane & 63);
+        }
+    }
+    scratch.matched_mask.clear();
+    scratch.matched_mask.resize(words, 0);
+
+    scratch.live.clear();
+    scratch
+        .live
+        .extend((0..n_rows as u32).filter(|&i| scratch.row_remaining[i as usize] > 0));
+
     let mut clr: u32 = 0;
-    while !live.is_empty() {
-        let mut bucket: Vec<ScheduledSlot> = Vec::with_capacity(live.len());
-        live.retain(|&row_idx| {
-            let row = &mut rows[row_idx];
-            for g in &mut row.groups {
-                if g.head as usize >= g.edges.len() {
-                    continue; // group exhausted
-                }
-                if matched[g.lane as usize] == clr {
-                    continue; // lane taken this color
-                }
-                let edge_idx = g.edges[g.head as usize] as usize;
-                g.head += 1;
-                row.remaining -= 1;
-                matched[g.lane as usize] = clr;
-                let (col, value) = row.edges[edge_idx];
-                bucket.push(ScheduledSlot {
-                    lane: g.lane,
-                    row_mod: row_idx as u32,
-                    col,
-                    value,
-                });
-                break;
+    while !scratch.live.is_empty() {
+        let mut progressed = false;
+        let ColorScratch {
+            live,
+            matched_mask,
+            edge_color,
+            row_remaining,
+            groups,
+            group_edges,
+            row_group_ptr,
+            row_group_start,
+            row_block_ptr,
+            block_mask,
+            ..
+        } = scratch;
+        matched_mask.fill(0);
+        live.retain(|&row| {
+            let row = row as usize;
+            let g_base = row_group_ptr[row] as usize;
+            let g_hi = row_group_ptr[row + 1] as usize;
+            let mut g = row_group_start[row] as usize;
+            // Advance past leading exhausted groups once and for all —
+            // they can never contribute again, and heavy rows otherwise
+            // rescan them every pass.
+            while g < g_hi && groups[g].head == groups[g].end {
+                g += 1;
             }
-            row.remaining > 0
+            row_group_start[row] = g as u32;
+            let first_block = row_block_ptr[row] as usize;
+            'scan: while g < g_hi {
+                let local = g - g_base;
+                let block = first_block + local / GROUP_BLOCK;
+                let bm = &block_mask[block * words..(block + 1) * words];
+                let candidate = (0..words).any(|w| bm[w] & !matched_mask[w] != 0);
+                let block_end = (g_base + (local / GROUP_BLOCK + 1) * GROUP_BLOCK).min(g_hi);
+                if !candidate {
+                    // Every non-exhausted lane in this block is matched
+                    // this pass; skip it whole.
+                    g = block_end;
+                    continue 'scan;
+                }
+                while g < block_end {
+                    let group = groups[g];
+                    let lane = group.lane as usize;
+                    if group.head < group.end
+                        && matched_mask[lane >> 6] & (1u64 << (lane & 63)) == 0
+                    {
+                        let eid = group_edges[group.head as usize] as usize;
+                        groups[g].head += 1;
+                        if groups[g].head == groups[g].end {
+                            // Group exhausted: remove its lane from the
+                            // block index for all future passes.
+                            block_mask[block * words + (lane >> 6)] &= !(1u64 << (lane & 63));
+                        }
+                        row_remaining[row] -= 1;
+                        matched_mask[lane >> 6] |= 1u64 << (lane & 63);
+                        edge_color[eid] = clr;
+                        progressed = true;
+                        break 'scan;
+                    }
+                    g += 1;
+                }
+            }
+            row_remaining[row] > 0
         });
-        debug_assert!(!bucket.is_empty(), "a color pass must make progress");
-        per_color.push(bucket);
+        debug_assert!(progressed, "a color pass must make progress");
         clr += 1;
     }
-    per_color
+    clr
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::scheduled::WindowSchedule;
     use crate::schedule::windows::WindowPlan;
+    use crate::schedule::workspace::ColoringWorkspace;
     use gust_sparse::prelude::*;
 
-    fn color_counts(per_color: &[Vec<ScheduledSlot>]) -> usize {
-        per_color.len()
+    type ColorFn = fn(&Window, usize, &mut ColorScratch) -> u32;
+    const COLOR_FNS: [(&str, ColorFn); 2] = [
+        ("verbatim", color_window_verbatim),
+        ("grouped", color_window_grouped),
+    ];
+
+    fn color_to_schedule(color_fn: ColorFn, window: &Window, l: usize) -> WindowSchedule {
+        let mut ws = ColoringWorkspace::new();
+        let colors = color_fn(window, l, &mut ws.scratch);
+        ws.scratch
+            .assemble(window, colors, window.vizing_bound(l) as u32, 0)
     }
 
-    fn assert_valid(per_color: &[Vec<ScheduledSlot>], window: &Window, l: usize) {
+    fn assert_valid(schedule: &WindowSchedule, window: &Window, l: usize) {
         let mut total = 0usize;
-        for bucket in per_color {
+        for c in 0..schedule.colors() {
+            let bucket = schedule.color_slots(c);
             let mut lanes: Vec<u32> = bucket.iter().map(|s| s.lane).collect();
             lanes.sort_unstable();
             assert!(lanes.windows(2).all(|w| w[0] != w[1]), "lane collision");
@@ -178,7 +326,7 @@ mod tests {
         }
         assert_eq!(total, window.nnz(), "every edge colored exactly once");
         assert!(
-            color_counts(per_color) >= window.vizing_bound(l),
+            schedule.colors() as usize >= window.vizing_bound(l),
             "colors below the Vizing bound"
         );
     }
@@ -214,20 +362,20 @@ mod tests {
         let w1 = plan.window(&m, 1);
         assert_eq!(w0.vizing_bound(3), 5);
         assert_eq!(w1.vizing_bound(3), 4);
-        for color_fn in [color_window_verbatim, color_window_grouped] {
-            let c0 = color_fn(&w0, 3);
-            let c1 = color_fn(&w1, 3);
+        for (name, color_fn) in COLOR_FNS {
+            let c0 = color_to_schedule(color_fn, &w0, 3);
+            let c1 = color_to_schedule(color_fn, &w1, 3);
             assert_valid(&c0, &w0, 3);
             assert_valid(&c1, &w1, 3);
             assert!(
-                (5..=6).contains(&color_counts(&c0)),
-                "first window: {} colors",
-                color_counts(&c0)
+                (5..=6).contains(&c0.colors()),
+                "{name} first window: {} colors",
+                c0.colors()
             );
             assert!(
-                (4..=5).contains(&color_counts(&c1)),
-                "second window: {} colors",
-                color_counts(&c1)
+                (4..=5).contains(&c1.colors()),
+                "{name} second window: {} colors",
+                c1.colors()
             );
         }
     }
@@ -238,16 +386,22 @@ mod tests {
         let coo = CooMatrix::from_triplets(
             1,
             20,
-            vec![(0, 0, 1.0), (0, 4, 2.0), (0, 8, 3.0), (0, 12, 4.0), (0, 16, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 4, 2.0),
+                (0, 8, 3.0),
+                (0, 12, 4.0),
+                (0, 16, 5.0),
+            ],
         )
         .unwrap();
         let m = CsrMatrix::from(&coo);
         let plan = WindowPlan::new(&m, 4, false);
         let w = plan.window(&m, 0);
-        for color_fn in [color_window_verbatim, color_window_grouped] {
-            let colored = color_fn(&w, 4);
+        for (name, color_fn) in COLOR_FNS {
+            let colored = color_to_schedule(color_fn, &w, 4);
             assert_valid(&colored, &w, 4);
-            assert_eq!(color_counts(&colored), 5);
+            assert_eq!(colored.colors(), 5, "{name}");
         }
     }
 
@@ -256,10 +410,10 @@ mod tests {
         let m = CsrMatrix::identity(8);
         let plan = WindowPlan::new(&m, 8, false);
         let w = plan.window(&m, 0);
-        for color_fn in [color_window_verbatim, color_window_grouped] {
-            let colored = color_fn(&w, 8);
+        for (name, color_fn) in COLOR_FNS {
+            let colored = color_to_schedule(color_fn, &w, 8);
             assert_valid(&colored, &w, 8);
-            assert_eq!(color_counts(&colored), 1);
+            assert_eq!(colored.colors(), 1, "{name}");
         }
     }
 
@@ -272,10 +426,10 @@ mod tests {
                 let plan = WindowPlan::new(&m, 8, lb);
                 for wi in 0..plan.window_count() {
                     let w = plan.window(&m, wi);
-                    let v = color_window_verbatim(&w, 8);
-                    let g = color_window_grouped(&w, 8);
-                    assert_valid(&v, &w, 8);
-                    assert_valid(&g, &w, 8);
+                    for (_, color_fn) in COLOR_FNS {
+                        let colored = color_to_schedule(color_fn, &w, 8);
+                        assert_valid(&colored, &w, 8);
+                    }
                 }
             }
         }
@@ -289,12 +443,13 @@ mod tests {
             let coo = gen::uniform(16, 16, 60, seed);
             let m = CsrMatrix::from(&coo);
             let plan = WindowPlan::new(&m, 4, false);
+            let mut ws = ColoringWorkspace::new();
             for wi in 0..plan.window_count() {
                 let w = plan.window(&m, wi);
-                let v = color_counts(&color_window_verbatim(&w, 4));
-                let g = color_counts(&color_window_grouped(&w, 4));
+                let v = color_window_verbatim(&w, 4, &mut ws.scratch);
+                let g = color_window_grouped(&w, 4, &mut ws.scratch);
                 assert!(
-                    (v as i64 - g as i64).abs() <= 1,
+                    (i64::from(v) - i64::from(g)).abs() <= 1,
                     "seed {seed} window {wi}: verbatim {v} vs grouped {g}"
                 );
             }
@@ -310,10 +465,10 @@ mod tests {
         let m = CsrMatrix::from(&coo);
         let plan = WindowPlan::new(&m, 4, false);
         let w = plan.window(&m, 0);
-        for color_fn in [color_window_verbatim, color_window_grouped] {
-            let colored = color_fn(&w, 4);
+        for (name, color_fn) in COLOR_FNS {
+            let colored = color_to_schedule(color_fn, &w, 4);
             assert_valid(&colored, &w, 4);
-            assert_eq!(color_counts(&colored), 2);
+            assert_eq!(colored.colors(), 2, "{name}");
         }
     }
 
@@ -323,8 +478,35 @@ mod tests {
         let m = CsrMatrix::from(&coo);
         let plan = WindowPlan::new(&m, 4, false);
         let w = plan.window(&m, 0);
-        let colored = color_window_grouped(&w, 4);
+        let colored = color_to_schedule(color_window_grouped, &w, 4);
         assert_valid(&colored, &w, 4);
-        assert_eq!(color_counts(&colored), 1);
+        assert_eq!(colored.colors(), 1);
+    }
+
+    #[test]
+    fn scratch_reuse_across_windows_is_clean() {
+        // Color dissimilar windows back-to-back through one scratch and
+        // compare against a fresh scratch each time.
+        let matrices = [
+            CsrMatrix::from(&gen::uniform(32, 48, 300, 1)),
+            CsrMatrix::from(&gen::power_law(40, 40, 250, 1.9, 2)),
+            CsrMatrix::identity(16),
+        ];
+        let mut shared = ColoringWorkspace::new();
+        for m in &matrices {
+            let plan = WindowPlan::new(m, 8, true);
+            for wi in 0..plan.window_count() {
+                let w = plan.window(m, wi);
+                for (name, color_fn) in COLOR_FNS {
+                    let shared_colors = color_fn(&w, 8, &mut shared.scratch);
+                    let shared_schedule =
+                        shared
+                            .scratch
+                            .assemble(&w, shared_colors, w.vizing_bound(8) as u32, 0);
+                    let fresh_schedule = color_to_schedule(color_fn, &w, 8);
+                    assert_eq!(shared_schedule, fresh_schedule, "{name} window {wi}");
+                }
+            }
+        }
     }
 }

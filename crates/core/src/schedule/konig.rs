@@ -14,42 +14,34 @@
 //! a bipartite graph, by parity), after which `a` is free at both ends.
 //! O(E·Δ) with the simple free-color scan used here — fine for the ablation
 //! sizes; the production scheduler remains the greedy.
+//!
+//! Like the greedy colorers, this writes a color per edge into the caller's
+//! [`ColorScratch`]; the color tables are flat `vertex × Δ` arrays reused
+//! across windows.
 
-use super::scheduled::ScheduledSlot;
 use super::windows::Window;
+use super::workspace::{ColorScratch, NONE};
 
-/// Colors a window with exactly its Vizing/Eq. 1 bound of colors.
-///
-/// Returns slots grouped per color, like the greedy colorers.
-#[must_use]
-pub fn color_window_konig(window: &Window, l: usize) -> Vec<Vec<ScheduledSlot>> {
-    let delta = window.vizing_bound(l);
+/// Colors a window with exactly its Vizing/Eq. 1 bound of colors. Writes a
+/// color per edge into `scratch.edge_color` and returns the color count
+/// (which can be below Δ only when trailing colors end up empty).
+pub fn color_window_konig(window: &Window, l: usize, scratch: &mut ColorScratch) -> u32 {
+    let nnz = window.nnz();
+    scratch.begin_window(nnz, l);
+    let delta = scratch.vizing_bound(window, l);
     if delta == 0 {
-        return Vec::new();
+        return 0;
     }
-    let n_rows = window.per_row.len();
+    let n_rows = window.rows();
+    let edges = window.edges();
+    scratch.fill_edge_rows(window);
 
-    // color_at_row[u][c] / color_at_lane[v][c] = edge id using color c at
-    // that vertex, or NONE.
-    const NONE: u32 = u32::MAX;
-    let mut color_at_row = vec![vec![NONE; delta]; n_rows];
-    let mut color_at_lane = vec![vec![NONE; delta]; l];
-
-    // Flat edge arrays.
-    let mut e_row: Vec<u32> = Vec::new();
-    let mut e_lane: Vec<u32> = Vec::new();
-    let mut e_col: Vec<u32> = Vec::new();
-    let mut e_val: Vec<f32> = Vec::new();
-    let mut e_color: Vec<u32> = Vec::new();
-    for (row, edges) in window.per_row.iter().enumerate() {
-        for e in edges {
-            e_row.push(row as u32);
-            e_lane.push(e.lane);
-            e_col.push(e.col);
-            e_val.push(e.value);
-            e_color.push(NONE);
-        }
-    }
+    // color_at_row[u * delta + c] / color_at_lane[v * delta + c] = edge id
+    // using color c at that vertex, or NONE.
+    scratch.color_at_row.clear();
+    scratch.color_at_row.resize(n_rows * delta, NONE);
+    scratch.color_at_lane.clear();
+    scratch.color_at_lane.resize(l * delta, NONE);
 
     let free_color = |table: &[u32]| -> usize {
         table
@@ -58,15 +50,15 @@ pub fn color_window_konig(window: &Window, l: usize) -> Vec<Vec<ScheduledSlot>> 
             .expect("degree <= delta guarantees a free color")
     };
 
-    for eid in 0..e_row.len() {
-        let u = e_row[eid] as usize;
-        let v = e_lane[eid] as usize;
-        let a = free_color(&color_at_row[u]); // free at the row
-        let b = free_color(&color_at_lane[v]); // free at the lane
+    for eid in 0..nnz {
+        let u = scratch.edge_row[eid] as usize;
+        let v = edges[eid].lane as usize;
+        let a = free_color(&scratch.color_at_row[u * delta..(u + 1) * delta]);
+        let b = free_color(&scratch.color_at_lane[v * delta..(v + 1) * delta]);
         if a == b {
-            e_color[eid] = a as u32;
-            color_at_row[u][a] = eid as u32;
-            color_at_lane[v][a] = eid as u32;
+            scratch.edge_color[eid] = a as u32;
+            scratch.color_at_row[u * delta + a] = eid as u32;
+            scratch.color_at_lane[v * delta + a] = eid as u32;
             continue;
         }
         // Flip the a/b alternating path starting at lane v with color a.
@@ -76,77 +68,89 @@ pub fn color_window_konig(window: &Window, l: usize) -> Vec<Vec<ScheduledSlot>> 
         // First walk and collect the path, then rewrite all its colors —
         // flipping in place while walking would clobber table entries of
         // path edges not yet visited.
-        let mut path: Vec<usize> = Vec::new();
+        scratch.path.clear();
         let mut at_lane_side = true;
         let mut vertex = v;
         let mut want = a; // color of the edge being followed
         loop {
             let cur = if at_lane_side {
-                color_at_lane[vertex][want]
+                scratch.color_at_lane[vertex * delta + want]
             } else {
-                color_at_row[vertex][want]
+                scratch.color_at_row[vertex * delta + want]
             };
             if cur == NONE {
                 break;
             }
             let edge = cur as usize;
-            path.push(edge);
+            scratch.path.push(cur);
             vertex = if at_lane_side {
-                e_row[edge] as usize
+                scratch.edge_row[edge] as usize
             } else {
-                e_lane[edge] as usize
+                edges[edge].lane as usize
             };
             at_lane_side = !at_lane_side;
             want = if want == a { b } else { a };
         }
         // The a/b component containing v is exactly this path (v misses b),
         // so clearing both colors at path endpoints touches only path edges.
-        for &edge in &path {
-            let c = e_color[edge] as usize;
-            color_at_row[e_row[edge] as usize][c] = NONE;
-            color_at_lane[e_lane[edge] as usize][c] = NONE;
+        for i in 0..scratch.path.len() {
+            let edge = scratch.path[i] as usize;
+            let c = scratch.edge_color[edge] as usize;
+            scratch.color_at_row[scratch.edge_row[edge] as usize * delta + c] = NONE;
+            scratch.color_at_lane[edges[edge].lane as usize * delta + c] = NONE;
         }
-        for &edge in &path {
-            let old = e_color[edge] as usize;
+        for i in 0..scratch.path.len() {
+            let edge = scratch.path[i] as usize;
+            let old = scratch.edge_color[edge] as usize;
             let new = if old == a { b } else { a };
-            e_color[edge] = new as u32;
-            color_at_row[e_row[edge] as usize][new] = edge as u32;
-            color_at_lane[e_lane[edge] as usize][new] = edge as u32;
+            scratch.edge_color[edge] = new as u32;
+            scratch.color_at_row[scratch.edge_row[edge] as usize * delta + new] = edge as u32;
+            scratch.color_at_lane[edges[edge].lane as usize * delta + new] = edge as u32;
         }
-        debug_assert_eq!(color_at_row[u][a], NONE, "path flip freed color a at u");
-        debug_assert_eq!(color_at_lane[v][a], NONE, "path flip freed color a at v");
-        e_color[eid] = a as u32;
-        color_at_row[u][a] = eid as u32;
-        color_at_lane[v][a] = eid as u32;
+        debug_assert_eq!(
+            scratch.color_at_row[u * delta + a],
+            NONE,
+            "path flip freed color a at u"
+        );
+        debug_assert_eq!(
+            scratch.color_at_lane[v * delta + a],
+            NONE,
+            "path flip freed color a at v"
+        );
+        scratch.edge_color[eid] = a as u32;
+        scratch.color_at_row[u * delta + a] = eid as u32;
+        scratch.color_at_lane[v * delta + a] = eid as u32;
     }
 
-    let mut per_color: Vec<Vec<ScheduledSlot>> = vec![Vec::new(); delta];
-    for eid in 0..e_row.len() {
-        let c = e_color[eid] as usize;
-        per_color[c].push(ScheduledSlot {
-            lane: e_lane[eid],
-            row_mod: e_row[eid],
-            col: e_col[eid],
-            value: e_val[eid],
-        });
-    }
     // Drop trailing empty colors (can occur when Δ comes from a vertex whose
-    // edges all packed early) — cycle count must reflect reality.
-    while per_color.last().is_some_and(Vec::is_empty) {
-        per_color.pop();
-    }
-    per_color
+    // edges all packed early) — cycle count must reflect reality. A color
+    // below a used one can never be empty: the insertion always prefers the
+    // lowest free color at the row, so count the highest used color instead
+    // of materializing buckets.
+    let max_used = scratch.edge_color.iter().map(|&c| c + 1).max().unwrap_or(0);
+    debug_assert!(max_used as usize <= delta);
+    max_used
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::scheduled::WindowSchedule;
     use crate::schedule::windows::WindowPlan;
+    use crate::schedule::workspace::ColoringWorkspace;
     use gust_sparse::prelude::*;
 
-    fn assert_valid(per_color: &[Vec<ScheduledSlot>], window: &Window) {
+    fn color_to_schedule(window: &Window, l: usize) -> WindowSchedule {
+        let mut ws = ColoringWorkspace::new();
+        let colors = color_window_konig(window, l, &mut ws.scratch);
+        ws.scratch
+            .assemble(window, colors, window.vizing_bound(l) as u32, 0)
+    }
+
+    fn assert_valid(schedule: &WindowSchedule, window: &Window) {
         let mut total = 0usize;
-        for bucket in per_color {
+        for c in 0..schedule.colors() {
+            let bucket = schedule.color_slots(c);
             let mut lanes: Vec<u32> = bucket.iter().map(|s| s.lane).collect();
             lanes.sort_unstable();
             assert!(lanes.windows(2).all(|w| w[0] != w[1]), "lane collision");
@@ -183,31 +187,36 @@ mod tests {
         let plan = WindowPlan::new(&m, 3, false);
         let w0 = plan.window(&m, 0);
         let w1 = plan.window(&m, 1);
-        let c0 = color_window_konig(&w0, 3);
-        let c1 = color_window_konig(&w1, 3);
+        let c0 = color_to_schedule(&w0, 3);
+        let c1 = color_to_schedule(&w1, 3);
         assert_valid(&c0, &w0);
         assert_valid(&c1, &w1);
-        assert_eq!(c0.len(), 5);
-        assert_eq!(c1.len(), 4);
-        assert_eq!(c0.len() + c1.len() + 2, 11, "paper's total cycle count");
+        assert_eq!(c0.colors(), 5);
+        assert_eq!(c1.colors(), 4);
+        assert_eq!(
+            c0.colors() + c1.colors() + 2,
+            11,
+            "paper's total cycle count"
+        );
     }
 
     #[test]
     fn always_achieves_the_vizing_bound() {
+        let mut ws = ColoringWorkspace::new();
         for seed in 0..8 {
             let coo = gen::uniform(24, 40, 240, seed);
             let m = CsrMatrix::from(&coo);
             for lb in [false, true] {
                 let plan = WindowPlan::new(&m, 8, lb);
                 for wi in 0..plan.window_count() {
-                    let w = plan.window(&m, wi);
-                    let colored = color_window_konig(&w, 8);
-                    assert_valid(&colored, &w);
-                    assert_eq!(
-                        colored.len(),
-                        w.vizing_bound(8),
-                        "seed {seed} lb {lb} window {wi}"
-                    );
+                    // Reuse one workspace across every window to exercise
+                    // scratch reuse on the optimal colorer too.
+                    plan.fill_window(&m, wi, &mut ws.window, &mut ws.lanes);
+                    let colors = color_window_konig(&ws.window, 8, &mut ws.scratch);
+                    let bound = ws.window.vizing_bound(8);
+                    let schedule = ws.scratch.assemble(&ws.window, colors, bound as u32, 0);
+                    assert_valid(&schedule, &ws.window);
+                    assert_eq!(colors as usize, bound, "seed {seed} lb {lb} window {wi}");
                 }
             }
         }
@@ -216,16 +225,17 @@ mod tests {
     #[test]
     fn never_beaten_by_greedy() {
         use crate::schedule::edge_coloring::color_window_grouped;
+        let mut ws = ColoringWorkspace::new();
         for seed in 20..26 {
             let coo = gen::power_law(60, 60, 500, 1.8, seed);
             let m = CsrMatrix::from(&coo);
             let plan = WindowPlan::new(&m, 16, false);
             for wi in 0..plan.window_count() {
                 let w = plan.window(&m, wi);
-                let optimal = color_window_konig(&w, 16).len();
-                let greedy = color_window_grouped(&w, 16).len();
+                let optimal = color_window_konig(&w, 16, &mut ws.scratch);
+                let greedy = color_window_grouped(&w, 16, &mut ws.scratch);
                 assert!(optimal <= greedy, "optimal {optimal} > greedy {greedy}");
-                assert_eq!(optimal, w.vizing_bound(16));
+                assert_eq!(optimal as usize, w.vizing_bound(16));
             }
         }
     }
@@ -237,20 +247,20 @@ mod tests {
         let plan = WindowPlan::new(&m, 4, false);
         // Window 1 (rows 4..8) is empty.
         let w1 = plan.window(&m, 1);
-        assert_eq!(color_window_konig(&w1, 4).len(), 0);
+        let mut ws = ColoringWorkspace::new();
+        assert_eq!(color_window_konig(&w1, 4, &mut ws.scratch), 0);
     }
 
     #[test]
     fn multigraph_edges_colored_correctly() {
         // Two parallel edges row0->lane0 force 2 colors even though the
         // simple-graph degree is 1.
-        let coo =
-            CooMatrix::from_triplets(1, 8, vec![(0, 0, 1.0), (0, 4, 2.0)]).unwrap();
+        let coo = CooMatrix::from_triplets(1, 8, vec![(0, 0, 1.0), (0, 4, 2.0)]).unwrap();
         let m = CsrMatrix::from(&coo);
         let plan = WindowPlan::new(&m, 4, false);
         let w = plan.window(&m, 0);
-        let colored = color_window_konig(&w, 4);
-        assert_valid(&colored, &w);
-        assert_eq!(colored.len(), 2);
+        let schedule = color_to_schedule(&w, 4);
+        assert_valid(&schedule, &w);
+        assert_eq!(schedule.colors(), 2);
     }
 }

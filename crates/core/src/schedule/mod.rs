@@ -6,6 +6,23 @@
 //! arbitrates it naively, and assembles the resulting
 //! [`scheduled::ScheduledMatrix`] — the preprocessed format streamed by the
 //! hardware.
+//!
+//! # Throughput
+//!
+//! Scheduling is the paper's one-time preprocessing cost (§5.3, Table 4
+//! "Pre."), so this module is the software hot path. Two structural choices
+//! keep it fast:
+//!
+//! * **Flat, reusable buffers** — every per-window intermediate (the window
+//!   itself, lane groups, per-edge colors) lives in a
+//!   [`workspace::ColoringWorkspace`] arena that is reused across windows,
+//!   so the steady state performs no allocation besides each window's
+//!   exactly-sized output.
+//! * **Per-window parallelism** — windows are independent by construction
+//!   (§3.2: disjoint row sets), so [`Scheduler::schedule`] fans them out
+//!   over `std::thread::scope` workers. Results merge in window order,
+//!   making the output bit-identical to the sequential result; see
+//!   [`crate::GustConfig::with_parallelism`].
 
 pub mod edge_coloring;
 pub mod konig;
@@ -14,11 +31,14 @@ pub mod scheduled;
 pub mod serialize;
 pub mod stats;
 pub mod windows;
+pub mod workspace;
 
 use crate::config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
 use gust_sparse::CsrMatrix;
 use scheduled::{ScheduledMatrix, WindowSchedule};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use windows::WindowPlan;
+use workspace::ColoringWorkspace;
 
 /// Produces [`ScheduledMatrix`]es for a given configuration.
 ///
@@ -54,37 +74,22 @@ impl Scheduler {
     /// Schedules `matrix`: the paper's preprocessing step.
     ///
     /// This is the one-time cost amortized over repeated SpMVs (§5.3); its
-    /// wall-clock time is what Table 4's "Pre." column reports.
+    /// wall-clock time is what Table 4's "Pre." column reports. Windows are
+    /// processed in parallel per [`GustConfig::with_parallelism`]; the
+    /// result is identical for every thread count.
     #[must_use]
     pub fn schedule(&self, matrix: &CsrMatrix) -> ScheduledMatrix {
         let l = self.config.length();
         let lb = self.config.policy() == SchedulingPolicy::EdgeColoringLb;
         let plan = WindowPlan::new(matrix, l, lb);
+        let window_count = plan.window_count();
+        let threads = self.worker_count(window_count);
 
-        let mut windows = Vec::with_capacity(plan.window_count());
-        for w in 0..plan.window_count() {
-            let window = plan.window(matrix, w);
-            let bound = window.vizing_bound(l) as u32;
-            let schedule = match self.config.policy() {
-                SchedulingPolicy::Naive => {
-                    let arb = naive::arbitrate_window(&window, l);
-                    WindowSchedule::from_colors(arb.per_cycle, bound, arb.stalls)
-                }
-                SchedulingPolicy::EdgeColoring | SchedulingPolicy::EdgeColoringLb => {
-                    let per_color = match self.config.coloring() {
-                        ColoringAlgorithm::Verbatim => {
-                            edge_coloring::color_window_verbatim(&window, l)
-                        }
-                        ColoringAlgorithm::Grouped => {
-                            edge_coloring::color_window_grouped(&window, l)
-                        }
-                        ColoringAlgorithm::Konig => konig::color_window_konig(&window, l),
-                    };
-                    WindowSchedule::from_colors(per_color, bound, 0)
-                }
-            };
-            windows.push(schedule);
-        }
+        let windows = if threads <= 1 {
+            self.schedule_sequential(matrix, &plan, window_count)
+        } else {
+            self.schedule_parallel(matrix, &plan, window_count, threads)
+        };
 
         ScheduledMatrix::from_parts(
             l,
@@ -93,6 +98,102 @@ impl Scheduler {
             plan.row_perm().to_vec(),
             windows,
         )
+    }
+
+    /// Worker threads to use for `window_count` windows: the configured
+    /// count, or the host's available parallelism, never more than one per
+    /// window.
+    fn worker_count(&self, window_count: usize) -> usize {
+        let requested = self.config.parallelism().unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        requested.max(1).min(window_count.max(1))
+    }
+
+    fn schedule_sequential(
+        &self,
+        matrix: &CsrMatrix,
+        plan: &WindowPlan,
+        window_count: usize,
+    ) -> Vec<WindowSchedule> {
+        let mut ws = ColoringWorkspace::new();
+        (0..window_count)
+            .map(|w| self.schedule_one_window(matrix, plan, w, &mut ws))
+            .collect()
+    }
+
+    /// Fans the windows out over `threads` scoped workers. Work is
+    /// distributed dynamically (an atomic cursor) so a few heavy windows
+    /// cannot serialize the run; each worker tags its outputs with the
+    /// window index and the merge sorts by index, so the result is
+    /// bit-identical to [`Scheduler::schedule_sequential`].
+    fn schedule_parallel(
+        &self,
+        matrix: &CsrMatrix,
+        plan: &WindowPlan,
+        window_count: usize,
+        threads: usize,
+    ) -> Vec<WindowSchedule> {
+        let next = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, WindowSchedule)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut ws = ColoringWorkspace::new();
+                        let mut local = Vec::with_capacity(window_count / threads + 1);
+                        loop {
+                            let w = next.fetch_add(1, Ordering::Relaxed);
+                            if w >= window_count {
+                                break;
+                            }
+                            local.push((w, self.schedule_one_window(matrix, plan, w, &mut ws)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scheduler worker panicked"))
+                .collect()
+        });
+        tagged.sort_unstable_by_key(|&(w, _)| w);
+        debug_assert!(tagged.iter().enumerate().all(|(i, &(w, _))| i == w));
+        tagged.into_iter().map(|(_, schedule)| schedule).collect()
+    }
+
+    /// The per-window pipeline: materialize → color/arbitrate → assemble.
+    fn schedule_one_window(
+        &self,
+        matrix: &CsrMatrix,
+        plan: &WindowPlan,
+        w: usize,
+        ws: &mut ColoringWorkspace,
+    ) -> WindowSchedule {
+        let l = self.config.length();
+        plan.fill_window(matrix, w, &mut ws.window, &mut ws.lanes);
+        let bound = ws.scratch.vizing_bound(&ws.window, l) as u32;
+        let (colors, stalls) = match self.config.policy() {
+            SchedulingPolicy::Naive => {
+                let outcome = naive::arbitrate_window(&ws.window, l, &mut ws.scratch);
+                (outcome.cycles, outcome.stalls)
+            }
+            SchedulingPolicy::EdgeColoring | SchedulingPolicy::EdgeColoringLb => {
+                let colors = match self.config.coloring() {
+                    ColoringAlgorithm::Verbatim => {
+                        edge_coloring::color_window_verbatim(&ws.window, l, &mut ws.scratch)
+                    }
+                    ColoringAlgorithm::Grouped => {
+                        edge_coloring::color_window_grouped(&ws.window, l, &mut ws.scratch)
+                    }
+                    ColoringAlgorithm::Konig => {
+                        konig::color_window_konig(&ws.window, l, &mut ws.scratch)
+                    }
+                };
+                (colors, 0)
+            }
+        };
+        ws.scratch.assemble(&ws.window, colors, bound, stalls)
     }
 }
 
@@ -127,8 +228,7 @@ mod tests {
             ColoringAlgorithm::Grouped,
             ColoringAlgorithm::Konig,
         ] {
-            let schedule =
-                Scheduler::new(GustConfig::new(16).with_coloring(algo)).schedule(&m);
+            let schedule = Scheduler::new(GustConfig::new(16).with_coloring(algo)).schedule(&m);
             schedule.validate_against(&m);
         }
     }
@@ -136,8 +236,8 @@ mod tests {
     #[test]
     fn edge_coloring_uses_no_more_cycles_than_naive() {
         let m = CsrMatrix::from(&gen::uniform(64, 64, 1024, 4));
-        let naive = Scheduler::new(GustConfig::new(8).with_policy(SchedulingPolicy::Naive))
-            .schedule(&m);
+        let naive =
+            Scheduler::new(GustConfig::new(8).with_policy(SchedulingPolicy::Naive)).schedule(&m);
         let ec = Scheduler::new(GustConfig::new(8).with_policy(SchedulingPolicy::EdgeColoring))
             .schedule(&m);
         assert!(ec.total_colors() <= naive.total_colors());
@@ -152,9 +252,8 @@ mod tests {
         let m = CsrMatrix::from(&gen::power_law(256, 256, 4000, 1.8, 5));
         let ec = Scheduler::new(GustConfig::new(16).with_policy(SchedulingPolicy::EdgeColoring))
             .schedule(&m);
-        let lb =
-            Scheduler::new(GustConfig::new(16).with_policy(SchedulingPolicy::EdgeColoringLb))
-                .schedule(&m);
+        let lb = Scheduler::new(GustConfig::new(16).with_policy(SchedulingPolicy::EdgeColoringLb))
+            .schedule(&m);
         assert!(
             lb.total_colors() as f64 <= ec.total_colors() as f64 * 1.05,
             "LB {} vs EC {}",
@@ -166,10 +265,8 @@ mod tests {
     #[test]
     fn konig_matches_total_vizing_bound() {
         let m = CsrMatrix::from(&gen::uniform(48, 48, 500, 6));
-        let schedule = Scheduler::new(
-            GustConfig::new(8).with_coloring(ColoringAlgorithm::Konig),
-        )
-        .schedule(&m);
+        let schedule =
+            Scheduler::new(GustConfig::new(8).with_coloring(ColoringAlgorithm::Konig)).schedule(&m);
         assert_eq!(schedule.total_colors(), schedule.total_vizing_bound());
     }
 
@@ -182,5 +279,26 @@ mod tests {
         assert_eq!(s.nnz(), 123);
         assert_eq!(s.length(), 4);
         assert_eq!(s.windows().len(), 30usize.div_ceil(4));
+    }
+
+    #[test]
+    fn parallel_schedule_is_identical_to_sequential() {
+        let m = CsrMatrix::from(&gen::power_law(300, 300, 5000, 1.9, 8));
+        for policy in policies() {
+            let base = GustConfig::new(16).with_policy(policy);
+            let sequential = Scheduler::new(base.clone().with_parallelism(Some(1))).schedule(&m);
+            for threads in [2, 3, 8] {
+                let parallel =
+                    Scheduler::new(base.clone().with_parallelism(Some(threads))).schedule(&m);
+                assert_eq!(parallel, sequential, "{policy:?} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_windows_is_fine() {
+        let m = CsrMatrix::from(&gen::uniform(8, 8, 20, 1)); // 1 window at l=8
+        let schedule = Scheduler::new(GustConfig::new(8).with_parallelism(Some(64))).schedule(&m);
+        schedule.validate_against(&m);
     }
 }

@@ -18,102 +18,159 @@
 //! The arbitration assigns every element an issue cycle, which *is* a
 //! (wasteful) coloring: within a cycle all lanes are distinct by
 //! construction and all adders are distinct by the stall rule. The result
-//! therefore reuses [`WindowSchedule`](super::scheduled::WindowSchedule)
-//! and runs on the same engine.
+//! therefore writes cycle indices into the shared [`ColorScratch`] like the
+//! edge colorers and assembles into the same
+//! [`WindowSchedule`](super::scheduled::WindowSchedule) running on the same
+//! engine.
 
-use super::scheduled::ScheduledSlot;
 use super::windows::Window;
+use super::workspace::ColorScratch;
 
-/// Outcome of arbitrating one window.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ArbitratedWindow {
-    /// Slots grouped per cycle (color).
-    pub per_cycle: Vec<Vec<ScheduledSlot>>,
+/// Cycle count and stall count of one arbitrated window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaiveOutcome {
+    /// Cycles (colors) the window occupies under lockstep arbitration.
+    pub cycles: u32,
     /// Lane-cycles lost to collisions (lanes idle while a position drains).
     pub stalls: u64,
 }
 
-/// Simulates lockstep head-of-line arbitration for one window.
+/// Simulates lockstep head-of-line arbitration for one window. Writes the
+/// issue cycle of every edge into `scratch.edge_color` and returns the
+/// cycle/stall totals.
 ///
 /// Lane queues hold the window's elements in column-segment order
 /// (`(col, row)` within the window), the natural fill order of the
 /// unscheduled format.
-#[must_use]
-pub fn arbitrate_window(window: &Window, l: usize) -> ArbitratedWindow {
-    // Build lane queues in (col, row) order.
-    let mut lanes: Vec<Vec<ScheduledSlot>> = vec![Vec::new(); l];
-    for (row_local, edges) in window.per_row.iter().enumerate() {
-        for e in edges {
-            lanes[e.lane as usize].push(ScheduledSlot {
-                lane: e.lane,
-                row_mod: row_local as u32,
-                col: e.col,
-                value: e.value,
-            });
+pub fn arbitrate_window(window: &Window, l: usize, scratch: &mut ColorScratch) -> NaiveOutcome {
+    let nnz = window.nnz();
+    let n_rows = window.rows();
+    let edges = window.edges();
+    scratch.begin_window(nnz, l);
+    scratch.fill_edge_rows(window);
+
+    // Bucket edge ids per lane (counting sort), then order each lane's
+    // queue by (col, row) — the natural fill order.
+    scratch.lane_ptr.clear();
+    scratch.lane_ptr.resize(l + 1, 0);
+    for e in edges {
+        scratch.lane_ptr[e.lane as usize + 1] += 1;
+    }
+    for lane in 0..l {
+        scratch.lane_ptr[lane + 1] += scratch.lane_ptr[lane];
+    }
+    scratch.lane_edges.clear();
+    scratch.lane_edges.resize(nnz, 0);
+    {
+        // Reuse `group_head` as the per-lane write cursor.
+        scratch.group_head.clear();
+        scratch.group_head.extend_from_slice(&scratch.lane_ptr[..l]);
+        for (eid, e) in edges.iter().enumerate() {
+            let lane = e.lane as usize;
+            let at = scratch.group_head[lane] as usize;
+            scratch.group_head[lane] += 1;
+            scratch.lane_edges[at] = eid as u32;
         }
     }
-    for q in &mut lanes {
-        q.sort_unstable_by_key(|s| (s.col, s.row_mod));
+    for lane in 0..l {
+        let lo = scratch.lane_ptr[lane] as usize;
+        let hi = scratch.lane_ptr[lane + 1] as usize;
+        let edge_row = &scratch.edge_row;
+        scratch.lane_edges[lo..hi]
+            .sort_unstable_by_key(|&eid| (edges[eid as usize].col, edge_row[eid as usize]));
     }
-    let positions = lanes.iter().map(Vec::len).max().unwrap_or(0);
-    let n_rows = window.per_row.len();
 
-    let mut per_cycle: Vec<Vec<ScheduledSlot>> = Vec::new();
+    let positions = (0..l)
+        .map(|lane| (scratch.lane_ptr[lane + 1] - scratch.lane_ptr[lane]) as usize)
+        .max()
+        .unwrap_or(0);
+
+    scratch.row_count.clear();
+    scratch.row_count.resize(n_rows, 0);
+
+    let mut cycles: u32 = 0;
     let mut stalls: u64 = 0;
-    // Scratch: per-adder multiplicity within the current position.
-    let mut row_count = vec![0u32; n_rows];
-
     for p in 0..positions {
-        let entries: Vec<ScheduledSlot> = lanes
-            .iter()
-            .filter_map(|q| q.get(p))
-            .copied()
-            .collect();
-        for s in &entries {
-            row_count[s.row_mod as usize] += 1;
+        // The position's entries, in lane order.
+        let first_cycle = cycles;
+        cycles += 1;
+
+        let mut live_lanes: u64 = 0;
+        for lane in 0..l {
+            let lo = scratch.lane_ptr[lane] as usize;
+            let hi = scratch.lane_ptr[lane + 1] as usize;
+            if lo + p < hi {
+                let eid = scratch.lane_edges[lo + p] as usize;
+                scratch.row_count[scratch.edge_row[eid] as usize] += 1;
+                live_lanes += 1;
+            }
         }
 
         // First cycle of the position: forward every entry whose adder is
         // uncontended. Colliding entries are held back (their partial
-        // products would be lost).
-        let mut first: Vec<ScheduledSlot> = Vec::with_capacity(entries.len());
-        let mut held: Vec<ScheduledSlot> = Vec::new();
-        for s in &entries {
-            if row_count[s.row_mod as usize] == 1 {
-                first.push(*s);
-            } else {
-                held.push(*s);
+        // products would be lost) and drain serially, one per cycle, while
+        // every other live lane waits on the lockstep position pointer.
+        scratch.held.clear();
+        for lane in 0..l {
+            let lo = scratch.lane_ptr[lane] as usize;
+            let hi = scratch.lane_ptr[lane + 1] as usize;
+            if lo + p < hi {
+                let eid = scratch.lane_edges[lo + p] as usize;
+                if scratch.row_count[scratch.edge_row[eid] as usize] == 1 {
+                    scratch.edge_color[eid] = first_cycle;
+                } else {
+                    scratch.held.push(eid as u32);
+                }
             }
         }
-        stalls += held.len() as u64;
-        if first.is_empty() {
+        stalls += scratch.held.len() as u64;
+
+        let mut drain_from = 0usize;
+        if scratch.held.len() as u64 == live_lanes && live_lanes > 0 {
             // Pure-collision position: the first drained entry uses the
             // otherwise-wasted first cycle.
-            first.push(held.remove(0));
+            scratch.edge_color[scratch.held[0] as usize] = first_cycle;
+            drain_from = 1;
         }
-        per_cycle.push(first);
-
-        // Serial drain: one held entry per cycle while every other live
-        // lane waits on the lockstep position pointer.
-        let live_lanes = entries.len() as u64;
-        for s in held {
-            per_cycle.push(vec![s]);
+        for &eid in &scratch.held[drain_from..] {
+            scratch.edge_color[eid as usize] = cycles;
+            cycles += 1;
             stalls += live_lanes - 1;
         }
 
-        for s in &entries {
-            row_count[s.row_mod as usize] = 0;
+        // Reset the adder multiplicities touched by this position.
+        for lane in 0..l {
+            let lo = scratch.lane_ptr[lane] as usize;
+            let hi = scratch.lane_ptr[lane + 1] as usize;
+            if lo + p < hi {
+                let eid = scratch.lane_edges[lo + p] as usize;
+                scratch.row_count[scratch.edge_row[eid] as usize] = 0;
+            }
         }
     }
 
-    ArbitratedWindow { per_cycle, stalls }
+    NaiveOutcome { cycles, stalls }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::scheduled::WindowSchedule;
     use crate::schedule::windows::WindowPlan;
+    use crate::schedule::workspace::ColoringWorkspace;
     use gust_sparse::prelude::*;
+
+    fn arbitrate_to_schedule(window: &Window, l: usize) -> (WindowSchedule, NaiveOutcome) {
+        let mut ws = ColoringWorkspace::new();
+        let outcome = arbitrate_window(window, l, &mut ws.scratch);
+        let schedule = ws.scratch.assemble(
+            window,
+            outcome.cycles,
+            window.vizing_bound(l) as u32,
+            outcome.stalls,
+        );
+        (schedule, outcome)
+    }
 
     #[test]
     fn collision_free_window_issues_at_full_rate() {
@@ -121,9 +178,9 @@ mod tests {
         let m = CsrMatrix::identity(4);
         let plan = WindowPlan::new(&m, 4, false);
         let w = plan.window(&m, 0);
-        let arb = arbitrate_window(&w, 4);
-        assert_eq!(arb.per_cycle.len(), 1);
-        assert_eq!(arb.stalls, 0);
+        let (_, outcome) = arbitrate_to_schedule(&w, 4);
+        assert_eq!(outcome.cycles, 1);
+        assert_eq!(outcome.stalls, 0);
     }
 
     #[test]
@@ -138,9 +195,9 @@ mod tests {
         .unwrap();
         let m = CsrMatrix::from(&coo);
         let plan = WindowPlan::new(&m, 4, false);
-        let arb = arbitrate_window(&plan.window(&m, 0), 4);
-        assert_eq!(arb.per_cycle.len(), 4);
-        assert!(arb.stalls > 0);
+        let (_, outcome) = arbitrate_to_schedule(&plan.window(&m, 0), 4);
+        assert_eq!(outcome.cycles, 4);
+        assert!(outcome.stalls > 0);
     }
 
     #[test]
@@ -155,12 +212,12 @@ mod tests {
         .unwrap();
         let m = CsrMatrix::from(&coo);
         let plan = WindowPlan::new(&m, 4, false);
-        let arb = arbitrate_window(&plan.window(&m, 0), 4);
+        let (schedule, outcome) = arbitrate_to_schedule(&plan.window(&m, 0), 4);
         // Cycle 1: the two uniques; cycles 2-3: the colliding pair drains.
-        assert_eq!(arb.per_cycle.len(), 3);
-        assert_eq!(arb.per_cycle[0].len(), 2);
-        assert_eq!(arb.per_cycle[1].len(), 1);
-        assert_eq!(arb.per_cycle[2].len(), 1);
+        assert_eq!(outcome.cycles, 3);
+        assert_eq!(schedule.color_slots(0).len(), 2);
+        assert_eq!(schedule.color_slots(1).len(), 1);
+        assert_eq!(schedule.color_slots(2).len(), 1);
     }
 
     #[test]
@@ -171,10 +228,9 @@ mod tests {
         let mut total = 0usize;
         for wi in 0..plan.window_count() {
             let w = plan.window(&m, wi);
-            let arb = arbitrate_window(&w, 8);
-            let covered: usize = arb.per_cycle.iter().map(Vec::len).sum();
-            assert_eq!(covered, w.nnz());
-            total += covered;
+            let (schedule, _) = arbitrate_to_schedule(&w, 8);
+            assert_eq!(schedule.nnz(), w.nnz());
+            total += schedule.nnz();
         }
         assert_eq!(total, m.nnz());
     }
@@ -185,8 +241,9 @@ mod tests {
         let m = CsrMatrix::from(&coo);
         let plan = WindowPlan::new(&m, 8, false);
         for wi in 0..plan.window_count() {
-            let arb = arbitrate_window(&plan.window(&m, wi), 8);
-            for bucket in &arb.per_cycle {
+            let (schedule, _) = arbitrate_to_schedule(&plan.window(&m, wi), 8);
+            for c in 0..schedule.colors() {
+                let bucket = schedule.color_slots(c);
                 let mut lanes: Vec<u32> = bucket.iter().map(|s| s.lane).collect();
                 lanes.sort_unstable();
                 assert!(lanes.windows(2).all(|p| p[0] != p[1]));
@@ -205,8 +262,8 @@ mod tests {
             let plan = WindowPlan::new(&m, 4, false);
             for wi in 0..plan.window_count() {
                 let w = plan.window(&m, wi);
-                let arb = arbitrate_window(&w, 4);
-                assert!(arb.per_cycle.len() >= w.vizing_bound(4));
+                let (_, outcome) = arbitrate_to_schedule(&w, 4);
+                assert!(outcome.cycles as usize >= w.vizing_bound(4));
             }
         }
     }
@@ -214,16 +271,17 @@ mod tests {
     #[test]
     fn naive_is_much_worse_than_edge_coloring_on_dense_input() {
         use crate::schedule::edge_coloring::color_window_grouped;
-        let mut naive_total = 0usize;
-        let mut ec_total = 0usize;
+        let mut ws = ColoringWorkspace::new();
+        let mut naive_total = 0u64;
+        let mut ec_total = 0u64;
         for seed in 0..4 {
             let coo = gen::uniform(32, 32, 512, seed);
             let m = CsrMatrix::from(&coo);
             let plan = WindowPlan::new(&m, 8, false);
             for wi in 0..plan.window_count() {
                 let w = plan.window(&m, wi);
-                naive_total += arbitrate_window(&w, 8).per_cycle.len();
-                ec_total += color_window_grouped(&w, 8).len();
+                naive_total += u64::from(arbitrate_window(&w, 8, &mut ws.scratch).cycles);
+                ec_total += u64::from(color_window_grouped(&w, 8, &mut ws.scratch));
             }
         }
         assert!(
@@ -240,11 +298,11 @@ mod tests {
         let m = CsrMatrix::from(&coo);
         let plan = WindowPlan::new(&m, 8, false);
         let w = plan.window(&m, 0);
-        let arb = arbitrate_window(&w, 8);
+        let (_, outcome) = arbitrate_to_schedule(&w, 8);
         assert!(
-            arb.per_cycle.len() as f64 > 0.75 * 64.0,
+            f64::from(outcome.cycles) > 0.75 * 64.0,
             "expected near-serial drain, got {} cycles",
-            arb.per_cycle.len()
+            outcome.cycles
         );
     }
 }

@@ -42,41 +42,44 @@ pub struct WindowSchedule {
 }
 
 impl WindowSchedule {
-    /// Assembles a window schedule from per-color slot lists.
+    /// Assembles a window schedule directly from the flat representation:
+    /// `color_ptr[c]..color_ptr[c+1]` must index `slots` for color `c`,
+    /// with slots sorted by lane within each color. This is the zero-copy
+    /// constructor used by the scheduling pipeline
+    /// ([`crate::schedule::workspace::ColorScratch::assemble`]) and the
+    /// binary reader.
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) if any color contains two slots on the same
-    /// lane or two slots for the same adder — those are exactly the
-    /// collisions the scheduler exists to prevent.
+    /// Panics (in debug builds) if the pointers are inconsistent, a color's
+    /// slots are not sorted by lane, or any color contains two slots on one
+    /// lane or one adder — those are exactly the collisions the scheduler
+    /// exists to prevent.
     #[must_use]
-    pub fn from_colors(
-        per_color: Vec<Vec<ScheduledSlot>>,
+    pub fn from_flat(
+        colors: u32,
         vizing_bound: u32,
         stalls: u64,
+        color_ptr: Vec<u32>,
+        slots: Vec<ScheduledSlot>,
     ) -> Self {
-        let colors = per_color.len() as u32;
-        let total: usize = per_color.iter().map(Vec::len).sum();
-        let mut color_ptr = Vec::with_capacity(per_color.len() + 1);
-        let mut slots = Vec::with_capacity(total);
-        color_ptr.push(0u32);
-        for mut bucket in per_color {
-            bucket.sort_unstable_by_key(|s| s.lane);
+        debug_assert_eq!(color_ptr.len(), colors as usize + 1);
+        debug_assert_eq!(color_ptr.first().copied(), Some(0));
+        debug_assert_eq!(color_ptr.last().copied(), Some(slots.len() as u32));
+        #[cfg(debug_assertions)]
+        for c in 0..colors as usize {
+            debug_assert!(color_ptr[c] <= color_ptr[c + 1], "color_ptr must be sorted");
+            let bucket = &slots[color_ptr[c] as usize..color_ptr[c + 1] as usize];
             debug_assert!(
-                bucket.windows(2).all(|w| w[0].lane != w[1].lane),
-                "two slots share a lane within one color"
+                bucket.windows(2).all(|w| w[0].lane < w[1].lane),
+                "slots of one color must be lane-sorted and never share a lane"
             );
-            #[cfg(debug_assertions)]
-            {
-                let mut adders: Vec<u32> = bucket.iter().map(|s| s.row_mod).collect();
-                adders.sort_unstable();
-                debug_assert!(
-                    adders.windows(2).all(|w| w[0] != w[1]),
-                    "two slots target the same adder within one color"
-                );
-            }
-            slots.extend_from_slice(&bucket);
-            color_ptr.push(slots.len() as u32);
+            let mut adders: Vec<u32> = bucket.iter().map(|s| s.row_mod).collect();
+            adders.sort_unstable();
+            debug_assert!(
+                adders.windows(2).all(|w| w[0] != w[1]),
+                "two slots target the same adder within one color"
+            );
         }
         Self {
             colors,
@@ -85,6 +88,24 @@ impl WindowSchedule {
             color_ptr,
             slots,
         }
+    }
+
+    /// Assembles a window schedule from per-color slot lists. Convenience
+    /// constructor for tests and small examples; the pipeline itself builds
+    /// the flat form directly (see [`WindowSchedule::from_flat`]).
+    #[must_use]
+    pub fn from_colors(per_color: Vec<Vec<ScheduledSlot>>, vizing_bound: u32, stalls: u64) -> Self {
+        let colors = per_color.len() as u32;
+        let total: usize = per_color.iter().map(Vec::len).sum();
+        let mut color_ptr = Vec::with_capacity(per_color.len() + 1);
+        let mut slots = Vec::with_capacity(total);
+        color_ptr.push(0u32);
+        for mut bucket in per_color {
+            bucket.sort_unstable_by_key(|s| s.lane);
+            slots.append(&mut bucket);
+            color_ptr.push(slots.len() as u32);
+        }
+        Self::from_flat(colors, vizing_bound, stalls, color_ptr, slots)
     }
 
     /// Colors (cycles) this window occupies.
@@ -324,14 +345,12 @@ impl ScheduledMatrix {
                 debug_assert!(pos < self.rows);
                 let orig_row = self.row_perm[pos] as usize;
                 let (cols, vals) = matrix.row(orig_row);
-                let k = cols
-                    .binary_search(&slot.col)
-                    .unwrap_or_else(|_| {
-                        panic!(
-                            "sparsity pattern mismatch: ({orig_row}, {}) not in matrix",
-                            slot.col
-                        )
-                    });
+                let k = cols.binary_search(&slot.col).unwrap_or_else(|_| {
+                    panic!(
+                        "sparsity pattern mismatch: ({orig_row}, {}) not in matrix",
+                        slot.col
+                    )
+                });
                 slot.value = vals[k];
             }
         }
@@ -433,22 +452,16 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "share a lane")]
     fn lane_collision_is_detected() {
-        let _ = WindowSchedule::from_colors(
-            vec![vec![slot(0, 0, 0, 1.0), slot(0, 1, 1, 2.0)]],
-            1,
-            0,
-        );
+        let _ =
+            WindowSchedule::from_colors(vec![vec![slot(0, 0, 0, 1.0), slot(0, 1, 1, 2.0)]], 1, 0);
     }
 
     #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "same adder")]
     fn adder_collision_is_detected() {
-        let _ = WindowSchedule::from_colors(
-            vec![vec![slot(0, 3, 0, 1.0), slot(1, 3, 1, 2.0)]],
-            1,
-            0,
-        );
+        let _ =
+            WindowSchedule::from_colors(vec![vec![slot(0, 3, 0, 1.0), slot(1, 3, 1, 2.0)]], 1, 0);
     }
 
     #[test]

@@ -136,9 +136,12 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
         let colors = read_u32(&mut reader)?;
         let vizing = read_u32(&mut reader)?;
         let stalls = read_u64(&mut reader)?;
-        let mut per_color: Vec<Vec<ScheduledSlot>> = Vec::with_capacity(colors as usize);
+        // The stream stores each color's cells in lane order, which is
+        // exactly the flat format's slot order — build it directly.
+        let mut slots: Vec<ScheduledSlot> = Vec::new();
+        let mut color_ptr: Vec<u32> = Vec::with_capacity(colors as usize + 1);
+        color_ptr.push(0);
         for _ in 0..colors {
-            let mut bucket = Vec::new();
             for lane in 0..length {
                 let mut occ = [0u8; 1];
                 reader.read_exact(&mut occ)?;
@@ -153,7 +156,7 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
                                 "row_mod {row_mod} out of range for length {length}"
                             )));
                         }
-                        bucket.push(ScheduledSlot {
+                        slots.push(ScheduledSlot {
                             lane: lane as u32,
                             row_mod,
                             col,
@@ -167,9 +170,11 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
                     }
                 }
             }
-            per_color.push(bucket);
+            color_ptr.push(slots.len() as u32);
         }
-        windows.push(WindowSchedule::from_colors(per_color, vizing, stalls));
+        windows.push(WindowSchedule::from_flat(
+            colors, vizing, stalls, color_ptr, slots,
+        ));
     }
     Ok(ScheduledMatrix::from_parts(
         length, rows, cols, row_perm, windows,
@@ -214,8 +219,8 @@ mod tests {
     #[test]
     fn round_trips_naive_schedules_with_stalls() {
         let m = CsrMatrix::from(&gen::uniform(32, 32, 400, 5));
-        let schedule = Gust::new(GustConfig::new(8).with_policy(SchedulingPolicy::Naive))
-            .schedule(&m);
+        let schedule =
+            Gust::new(GustConfig::new(8).with_policy(SchedulingPolicy::Naive)).schedule(&m);
         assert!(schedule.total_stalls() > 0);
         let back = round_trip(&schedule);
         assert_eq!(back.total_stalls(), schedule.total_stalls());

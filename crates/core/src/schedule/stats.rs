@@ -132,8 +132,8 @@ mod tests {
     #[test]
     fn konig_has_zero_slack() {
         let m = CsrMatrix::from(&gen::power_law(80, 80, 600, 1.8, 4));
-        let schedule = Gust::new(GustConfig::new(16).with_coloring(ColoringAlgorithm::Konig))
-            .schedule(&m);
+        let schedule =
+            Gust::new(GustConfig::new(16).with_coloring(ColoringAlgorithm::Konig)).schedule(&m);
         let stats = ScheduleStats::from_schedule(&schedule);
         assert_eq!(stats.slack_over_bound(), Some(0.0));
     }
@@ -141,9 +141,7 @@ mod tests {
     #[test]
     fn naive_has_more_slack_than_greedy() {
         let m = CsrMatrix::from(&gen::uniform(64, 64, 1200, 5));
-        let greedy = ScheduleStats::from_schedule(
-            &Gust::new(GustConfig::new(16)).schedule(&m),
-        );
+        let greedy = ScheduleStats::from_schedule(&Gust::new(GustConfig::new(16)).schedule(&m));
         let naive = ScheduleStats::from_schedule(
             &Gust::new(GustConfig::new(16).with_policy(SchedulingPolicy::Naive)).schedule(&m),
         );

@@ -10,6 +10,16 @@
 //! sort: (1) sort rows by non-zero count, (2) sort each window's column
 //! segments by non-zero count, (3) reverse every even sorted group
 //! (serpentine), so per-lane loads even out.
+//!
+//! # Storage
+//!
+//! A [`Window`] stores its edges as one flat, row-major array with CSR-style
+//! per-row offsets (`row_ptr`), not as per-row `Vec<Vec<_>>`: the scheduler
+//! visits millions of windows on large matrices and the flat layout lets
+//! [`WindowPlan::fill_window`] reuse one allocation for all of them (and
+//! keeps the row scan cache-friendly). The load balancer's column-segment
+//! table is likewise flat and sorted instead of hashed, so lane lookup is a
+//! binary search over a reused buffer ([`LaneScratch`]).
 
 use gust_sparse::CsrMatrix;
 
@@ -24,46 +34,155 @@ pub struct WindowEdge {
     pub value: f32,
 }
 
-/// A window: `l` consecutive scheduled rows and their edges.
+/// A window: up to `l` consecutive scheduled rows and their edges, stored
+/// flat (see the module docs).
 ///
-/// `per_row[i]` holds row `i`'s edges in ascending column order — exactly
+/// `row_edges(i)` holds row `i`'s edges in ascending column order — exactly
 /// the `E[i]` edge lists of the paper's Listing 1.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Window {
     /// Window index (row set `w` covers scheduled positions `w*l..(w+1)*l`).
     pub index: usize,
-    /// Edges per local row (left-side bipartite vertex). Length is the
-    /// number of rows in this window (< `l` only for the final window).
-    pub per_row: Vec<Vec<WindowEdge>>,
+    /// All edges of the window, row-major, in ascending column order within
+    /// each row.
+    edges: Vec<WindowEdge>,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes `edges` for local row `i`.
+    /// Length is `rows() + 1`.
+    row_ptr: Vec<u32>,
 }
 
 impl Window {
+    /// An empty window buffer, ready for [`WindowPlan::fill_window`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows in this window (< `l` only for the final window).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len().saturating_sub(1)
+    }
+
+    /// Edges of local row `i`, in ascending column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[must_use]
+    pub fn row_edges(&self, i: usize) -> &[WindowEdge] {
+        &self.edges[self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize]
+    }
+
+    /// All edges, row-major.
+    #[must_use]
+    pub fn edges(&self) -> &[WindowEdge] {
+        &self.edges
+    }
+
+    /// The CSR-style row offsets into [`Window::edges`].
+    #[must_use]
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Iterates the per-row edge slices in local row order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[WindowEdge]> + '_ {
+        (0..self.rows()).map(move |i| self.row_edges(i))
+    }
+
     /// Total edges (non-zeros) in the window.
     #[must_use]
     pub fn nnz(&self) -> usize {
-        self.per_row.iter().map(Vec::len).sum()
+        self.edges.len()
     }
 
     /// The Vizing / Eq. 1 lower bound on colors for this window: the maximum
     /// degree over left vertices (rows) and right vertices (lanes).
     #[must_use]
     pub fn vizing_bound(&self, l: usize) -> usize {
-        let row_max = self.per_row.iter().map(Vec::len).max().unwrap_or(0);
+        let row_max = (0..self.rows())
+            .map(|i| (self.row_ptr[i + 1] - self.row_ptr[i]) as usize)
+            .max()
+            .unwrap_or(0);
         let mut lane_deg = vec![0usize; l];
-        for row in &self.per_row {
-            for e in row {
-                lane_deg[e.lane as usize] += 1;
-            }
+        for e in &self.edges {
+            lane_deg[e.lane as usize] += 1;
         }
         let lane_max = lane_deg.into_iter().max().unwrap_or(0);
         row_max.max(lane_max)
+    }
+
+    fn clear(&mut self, index: usize) {
+        self.index = index;
+        self.edges.clear();
+        self.row_ptr.clear();
+        self.row_ptr.push(0);
+    }
+
+    fn push_edge(&mut self, edge: WindowEdge) {
+        self.edges.push(edge);
+    }
+
+    fn finish_row(&mut self) {
+        self.row_ptr.push(self.edges.len() as u32);
+    }
+}
+
+/// Column count up to which the load balancer uses dense (direct-mapped)
+/// per-column tables: 4 Mi columns × two `u32` tables = 32 MiB per worker.
+/// Wider matrices fall back to sorted tables with binary-search lookup.
+const DENSE_COLS_LIMIT: usize = 1 << 22;
+
+/// Reusable scratch for the load balancer's lane assignment (§3.5 steps
+/// 2–3). One instance per worker thread; contents are meaningless between
+/// [`WindowPlan::fill_window`] calls.
+#[derive(Debug, Clone, Default)]
+pub struct LaneScratch {
+    /// Dense per-column nnz counts (all-zero between windows). Used when
+    /// the matrix has at most [`DENSE_COLS_LIMIT`] columns.
+    col_count: Vec<u32>,
+    /// Dense column → lane table. Only entries for the current window's
+    /// columns are meaningful, and fill always writes them before any
+    /// read, so no reset pass is needed.
+    lane_of_col: Vec<u32>,
+    /// Sorted scratch copy of this window's column indices (fallback).
+    cols: Vec<u32>,
+    /// `(column, nnz in window)` segment table, in ascending column order.
+    segments: Vec<(u32, u32)>,
+    /// Segment table ordered by (count desc, col asc) — the §3.5 step-2
+    /// order — produced by a counting sort over `segments`.
+    segments_by_count: Vec<(u32, u32)>,
+    /// Histogram/offset scratch for that counting sort.
+    count_hist: Vec<u32>,
+    /// `(column, lane)`, sorted by column for binary-search lookup
+    /// (fallback).
+    lane_by_col: Vec<(u32, u32)>,
+}
+
+impl LaneScratch {
+    /// A fresh scratch buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lane of `col` under the current window's serpentine assignment
+    /// (fallback path).
+    fn lane_of(&self, col: u32) -> u32 {
+        let idx = self
+            .lane_by_col
+            .binary_search_by_key(&col, |&(c, _)| c)
+            .expect("every window column has a lane");
+        self.lane_by_col[idx].1
     }
 }
 
 /// The windowing plan: a row permutation plus per-window lane assignment.
 ///
-/// Windows are materialized one at a time through [`WindowPlan::window`] so
-/// scheduling a 30 M-nnz matrix never holds more than one window's edges
+/// Windows are materialized one at a time through [`WindowPlan::window`] (or
+/// allocation-free via [`WindowPlan::fill_window`]), so scheduling a
+/// 30 M-nnz matrix never holds more than one window's edges per worker
 /// besides the input CSR.
 #[derive(Debug, Clone)]
 pub struct WindowPlan {
@@ -118,36 +237,57 @@ impl WindowPlan {
         self.length
     }
 
-    /// Materializes window `w`, applying steps 2–3 of the load balancer
-    /// (column-segment sort + serpentine lane assignment) when enabled.
+    /// Materializes window `w` into a fresh allocation. Convenience wrapper
+    /// over [`WindowPlan::fill_window`] for tests and one-off inspection;
+    /// the scheduler's hot loop reuses buffers instead.
     ///
     /// # Panics
     ///
     /// Panics if `w >= self.window_count()`.
     #[must_use]
     pub fn window(&self, matrix: &CsrMatrix, w: usize) -> Window {
+        let mut window = Window::new();
+        let mut scratch = LaneScratch::new();
+        self.fill_window(matrix, w, &mut window, &mut scratch);
+        window
+    }
+
+    /// Materializes window `w` into `window`, reusing its buffers (and
+    /// `scratch` for the load balancer's segment table), applying steps 2–3
+    /// of the load balancer (column-segment sort + serpentine lane
+    /// assignment) when enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.window_count()`.
+    pub fn fill_window(
+        &self,
+        matrix: &CsrMatrix,
+        w: usize,
+        window: &mut Window,
+        scratch: &mut LaneScratch,
+    ) {
         assert!(w < self.window_count(), "window {w} out of range");
         let l = self.length;
         let start = w * l;
         let end = (start + l).min(self.row_perm.len());
 
-        let mut per_row: Vec<Vec<WindowEdge>> = Vec::with_capacity(end - start);
+        window.clear(w);
         if !self.load_balance {
+            let l32 = l as u32;
             for pos in start..end {
                 let orig = self.row_perm[pos] as usize;
                 let (cols, vals) = matrix.row(orig);
-                per_row.push(
-                    cols.iter()
-                        .zip(vals)
-                        .map(|(&c, &v)| WindowEdge {
-                            lane: c % l as u32,
-                            col: c,
-                            value: v,
-                        })
-                        .collect(),
-                );
+                for (&c, &v) in cols.iter().zip(vals) {
+                    window.push_edge(WindowEdge {
+                        lane: c % l32,
+                        col: c,
+                        value: v,
+                    });
+                }
+                window.finish_row();
             }
-            return Window { index: w, per_row };
+            return;
         }
 
         // Load-balanced lane assignment. Step 2: count this window's nnz per
@@ -155,22 +295,81 @@ impl WindowPlan {
         // descending. Step 3: serpentine — reverse every even sorted group of
         // `l` (paper example: 1,2,3,4,5,6,7,8 -> 1,2,4,3,5,6,8,7 for l = 2).
         // Lane of a segment = its position within its group.
-        let mut seg_count: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-        for pos in start..end {
-            let orig = self.row_perm[pos] as usize;
-            let (cols, _) = matrix.row(orig);
-            for &c in cols {
-                *seg_count.entry(c).or_insert(0) += 1;
+        //
+        // Deterministic and hash-free. Narrow matrices (the common case)
+        // use dense per-column tables: O(1) counting and lane lookup, with
+        // the touched columns recorded during the counting pass so the
+        // segment build is O(unique columns log unique columns) — never a
+        // sweep over all matrix columns, which would make many-window
+        // matrices O(windows × cols). Wider matrices collect and sort the
+        // window's columns instead.
+        let dense = matrix.cols() <= DENSE_COLS_LIMIT;
+        scratch.segments.clear();
+        if dense {
+            scratch.col_count.resize(matrix.cols(), 0);
+            scratch.cols.clear();
+            for pos in start..end {
+                let orig = self.row_perm[pos] as usize;
+                let (cols, _) = matrix.row(orig);
+                for &c in cols {
+                    if scratch.col_count[c as usize] == 0 {
+                        scratch.cols.push(c); // first touch of this column
+                    }
+                    scratch.col_count[c as usize] += 1;
+                }
+            }
+            scratch.cols.sort_unstable();
+            for &c in &scratch.cols {
+                scratch.segments.push((c, scratch.col_count[c as usize]));
+                scratch.col_count[c as usize] = 0; // restore the all-zero invariant
+            }
+        } else {
+            scratch.cols.clear();
+            for pos in start..end {
+                let orig = self.row_perm[pos] as usize;
+                let (cols, _) = matrix.row(orig);
+                scratch.cols.extend_from_slice(cols);
+            }
+            scratch.cols.sort_unstable();
+            for &c in &scratch.cols {
+                match scratch.segments.last_mut() {
+                    Some((col, count)) if *col == c => *count += 1,
+                    _ => scratch.segments.push((c, 1)),
+                }
             }
         }
-        let mut segments: Vec<(u32, u32)> = seg_count.into_iter().collect();
-        // Sort by count descending; tie-break on column index for
-        // determinism.
-        segments.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Order by count descending, tie-break on column index ascending
+        // for determinism. `segments` is already in ascending column
+        // order, so a counting sort over the count value keeps the column
+        // tie-break for free and avoids a comparison sort per window.
+        let max_count = scratch.segments.iter().map(|s| s.1).max().unwrap_or(0) as usize;
+        scratch.count_hist.clear();
+        scratch.count_hist.resize(max_count + 1, 0);
+        for &(_, count) in &scratch.segments {
+            scratch.count_hist[count as usize] += 1;
+        }
+        let mut offset = 0u32;
+        for count in (1..=max_count).rev() {
+            let h = scratch.count_hist[count];
+            scratch.count_hist[count] = offset;
+            offset += h;
+        }
+        scratch.segments_by_count.clear();
+        scratch
+            .segments_by_count
+            .resize(scratch.segments.len(), (0, 0));
+        for &(col, count) in &scratch.segments {
+            let at = scratch.count_hist[count as usize] as usize;
+            scratch.count_hist[count as usize] += 1;
+            scratch.segments_by_count[at] = (col, count);
+        }
 
-        let mut lane_of: std::collections::HashMap<u32, u32> =
-            std::collections::HashMap::with_capacity(segments.len());
-        for (group_idx, group) in segments.chunks(l).enumerate() {
+        if dense {
+            scratch.lane_of_col.resize(matrix.cols(), 0);
+        } else {
+            scratch.lane_by_col.clear();
+        }
+        for (group_idx, group) in scratch.segments_by_count.chunks(l).enumerate() {
             let group_len = group.len();
             for (i, &(col, _)) in group.iter().enumerate() {
                 let slot = if group_idx % 2 == 1 {
@@ -180,25 +379,37 @@ impl WindowPlan {
                 } else {
                     i
                 };
-                lane_of.insert(col, slot as u32);
+                if dense {
+                    // Stale entries from earlier windows are harmless: a
+                    // column is only ever read in the window that just
+                    // wrote it.
+                    scratch.lane_of_col[col as usize] = slot as u32;
+                } else {
+                    scratch.lane_by_col.push((col, slot as u32));
+                }
             }
+        }
+        if !dense {
+            scratch.lane_by_col.sort_unstable_by_key(|&(c, _)| c);
         }
 
         for pos in start..end {
             let orig = self.row_perm[pos] as usize;
             let (cols, vals) = matrix.row(orig);
-            per_row.push(
-                cols.iter()
-                    .zip(vals)
-                    .map(|(&c, &v)| WindowEdge {
-                        lane: lane_of[&c],
-                        col: c,
-                        value: v,
-                    })
-                    .collect(),
-            );
+            for (&c, &v) in cols.iter().zip(vals) {
+                let lane = if dense {
+                    scratch.lane_of_col[c as usize]
+                } else {
+                    scratch.lane_of(c)
+                };
+                window.push_edge(WindowEdge {
+                    lane,
+                    col: c,
+                    value: v,
+                });
+            }
+            window.finish_row();
         }
-        Window { index: w, per_row }
     }
 }
 
@@ -242,7 +453,7 @@ mod tests {
         let m = matrix_6x9();
         let plan = WindowPlan::new(&m, 3, false);
         let w0 = plan.window(&m, 0);
-        for (i, row) in w0.per_row.iter().enumerate() {
+        for (i, row) in w0.iter_rows().enumerate() {
             for e in row {
                 assert_eq!(e.lane, e.col % 3, "row {i} col {}", e.col);
             }
@@ -256,9 +467,9 @@ mod tests {
         let m = matrix_6x9();
         let plan = WindowPlan::new(&m, 3, false);
         let w0 = plan.window(&m, 0);
-        assert_eq!(w0.per_row.len(), 3);
+        assert_eq!(w0.rows(), 3);
         // Row 1 (A C D E H) -> lanes (0, 2, 0, 1, 1).
-        let lanes: Vec<u32> = w0.per_row[0].iter().map(|e| e.lane).collect();
+        let lanes: Vec<u32> = w0.row_edges(0).iter().map(|e| e.lane).collect();
         assert_eq!(lanes, vec![0, 2, 0, 1, 1]);
         assert_eq!(w0.nnz(), 14);
     }
@@ -325,10 +536,8 @@ mod tests {
         // Groups: (col0,col1), then (col2,col3) reversed -> col3 lane0,
         // col2 lane1. Lane loads: lane0 = 2+1 = 3; lane1 = 2+1 = 3.
         let mut lane_load = [0usize; 2];
-        for row in &w.per_row {
-            for e in row {
-                lane_load[e.lane as usize] += 1;
-            }
+        for e in w.edges() {
+            lane_load[e.lane as usize] += 1;
         }
         assert_eq!(lane_load, [3, 3]);
     }
@@ -338,7 +547,7 @@ mod tests {
         let m = matrix_6x9();
         let plan = WindowPlan::new(&m, 4, false);
         let w1 = plan.window(&m, 1);
-        assert_eq!(w1.per_row.len(), 2); // rows 4 and 5 only
+        assert_eq!(w1.rows(), 2); // rows 4 and 5 only
     }
 
     #[test]
@@ -357,11 +566,35 @@ mod tests {
         let m = CsrMatrix::from(&coo);
         let plan = WindowPlan::new(&m, 8, true);
         for w in 0..plan.window_count() {
-            for row in &plan.window(&m, w).per_row {
-                for e in row {
-                    assert!(e.lane < 8);
-                }
+            for e in plan.window(&m, w).edges() {
+                assert!(e.lane < 8);
             }
         }
+    }
+
+    #[test]
+    fn fill_window_reuses_buffers_and_matches_fresh_window() {
+        let coo = gen::uniform(40, 40, 300, 11);
+        let m = CsrMatrix::from(&coo);
+        for lb in [false, true] {
+            let plan = WindowPlan::new(&m, 8, lb);
+            let mut reused = Window::new();
+            let mut scratch = LaneScratch::new();
+            for w in 0..plan.window_count() {
+                plan.fill_window(&m, w, &mut reused, &mut scratch);
+                assert_eq!(reused, plan.window(&m, w), "lb {lb} window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_ptr_is_consistent() {
+        let m = matrix_6x9();
+        let plan = WindowPlan::new(&m, 4, false);
+        let w = plan.window(&m, 0);
+        assert_eq!(w.row_ptr().len(), w.rows() + 1);
+        assert_eq!(*w.row_ptr().last().unwrap() as usize, w.nnz());
+        let concatenated: Vec<_> = w.iter_rows().flatten().copied().collect();
+        assert_eq!(concatenated, w.edges().to_vec());
     }
 }

@@ -144,6 +144,8 @@ mod tests {
 
     #[test]
     fn gust_crossbar_distance_dwarfs_1d() {
-        assert!(DesignProfile::gust_256().on_chip_mm > 100.0 * DesignProfile::one_d_256().on_chip_mm);
+        assert!(
+            DesignProfile::gust_256().on_chip_mm > 100.0 * DesignProfile::one_d_256().on_chip_mm
+        );
     }
 }

@@ -89,7 +89,10 @@ impl CycleTrace {
     /// Sum of busy multipliers across the trace.
     #[must_use]
     pub fn total_busy_multipliers(&self) -> u64 {
-        self.entries.iter().map(|e| u64::from(e.busy_multipliers)).sum()
+        self.entries
+            .iter()
+            .map(|e| u64::from(e.busy_multipliers))
+            .sum()
     }
 
     /// Sum of busy adders across the trace.

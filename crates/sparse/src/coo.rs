@@ -231,8 +231,12 @@ mod tests {
         // [[1, 0, 2],
         //  [0, 0, 0],
         //  [3, 4, 0]]
-        CooMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
-            .unwrap()
+        CooMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -264,7 +268,10 @@ mod tests {
     #[test]
     fn duplicate_entry_is_rejected() {
         let err = CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap_err();
-        assert!(matches!(err, SparseError::DuplicateEntry { row: 0, col: 0 }));
+        assert!(matches!(
+            err,
+            SparseError::DuplicateEntry { row: 0, col: 0 }
+        ));
     }
 
     #[test]

@@ -97,7 +97,9 @@ impl CscMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.cols).flat_map(move |j| {
             let (rows, vals) = self.col(j);
-            rows.iter().zip(vals).map(move |(&r, &v)| (r as usize, j, v))
+            rows.iter()
+                .zip(vals)
+                .map(move |(&r, &v)| (r as usize, j, v))
         })
     }
 
@@ -213,7 +215,13 @@ mod tests {
         let coo = CooMatrix::from_triplets(
             4,
             3,
-            vec![(0, 1, 1.0), (1, 0, 2.0), (2, 2, 3.0), (3, 1, 4.0), (3, 2, 5.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 0, 2.0),
+                (2, 2, 3.0),
+                (3, 1, 4.0),
+                (3, 2, 5.0),
+            ],
         )
         .unwrap();
         let csr = CsrMatrix::from(&coo);

@@ -421,8 +421,7 @@ mod tests {
 
     #[test]
     fn try_new_validates_monotonicity() {
-        let err =
-            CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
+        let err = CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::InvalidStructure(_)));
     }
 
@@ -434,15 +433,14 @@ mod tests {
 
     #[test]
     fn try_new_rejects_duplicate_columns_in_row() {
-        let err =
-            CsrMatrix::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        let err = CsrMatrix::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::InvalidStructure(_)));
     }
 
     #[test]
     fn try_new_accepts_valid_input() {
-        let m = CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
-            .unwrap();
+        let m =
+            CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
         assert_eq!(m.nnz(), 3);
     }
 }

@@ -87,7 +87,10 @@ mod tests {
             rows: 4,
             cols: 4,
         };
-        assert_eq!(e.to_string(), "entry (5, 2) is outside the 4x4 matrix shape");
+        assert_eq!(
+            e.to_string(),
+            "entry (5, 2) is outside the 4x4 matrix shape"
+        );
 
         let e = SparseError::DimensionMismatch {
             got: 3,

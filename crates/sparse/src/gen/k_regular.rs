@@ -32,9 +32,7 @@ pub fn k_regular(rows: usize, cols: usize, k: usize, seed: u64) -> CooMatrix {
     for _round in 0..k {
         // A balanced column supply: repeat the column list enough times to
         // cover all rows, shuffle, then deal one per row.
-        let mut supply: Vec<u32> = (0..rows)
-            .map(|i| (i % cols) as u32)
-            .collect();
+        let mut supply: Vec<u32> = (0..rows).map(|i| (i % cols) as u32).collect();
         supply.shuffle(&mut rng);
 
         for r in 0..rows {

@@ -119,10 +119,7 @@ mod tests {
         let m = rmat(1024, 1024, 10_000, 2);
         // Quadrant (0,0) has probability 0.57 at every level, so far more
         // than a quarter of entries land in the top-left quadrant.
-        let top_left = m
-            .iter()
-            .filter(|&(r, c, _)| r < 512 && c < 512)
-            .count();
+        let top_left = m.iter().filter(|&(r, c, _)| r < 512 && c < 512).count();
         assert!(
             top_left as f64 > 0.4 * m.nnz() as f64,
             "top-left fraction {}",

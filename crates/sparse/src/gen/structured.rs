@@ -17,7 +17,13 @@ use std::collections::HashSet;
 ///
 /// Panics if the band cannot host `target_nnz` entries.
 #[must_use]
-pub fn banded(rows: usize, cols: usize, bandwidth: usize, target_nnz: usize, seed: u64) -> CooMatrix {
+pub fn banded(
+    rows: usize,
+    cols: usize,
+    bandwidth: usize,
+    target_nnz: usize,
+    seed: u64,
+) -> CooMatrix {
     let mut rng = seeded_rng(seed);
     // Capacity of the band (clipped at the matrix edges).
     let band_capacity: usize = (0..rows)

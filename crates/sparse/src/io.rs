@@ -49,7 +49,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
     if fields[2] != "coordinate" {
         return Err(parse_err(
             idx,
-            format!("unsupported storage '{}': only 'coordinate' is supported", fields[2]),
+            format!(
+                "unsupported storage '{}': only 'coordinate' is supported",
+                fields[2]
+            ),
         ));
     }
     let field_kind = fields[3];
@@ -61,10 +64,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
     }
     let symmetry = fields[4];
     if !matches!(symmetry, "general" | "symmetric" | "skew-symmetric") {
-        return Err(parse_err(
-            idx,
-            format!("unsupported symmetry '{symmetry}'"),
-        ));
+        return Err(parse_err(idx, format!("unsupported symmetry '{symmetry}'")));
     }
 
     // Size line (first non-comment line).
@@ -97,13 +97,17 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, SparseError> 
         let value: f32 = if field_kind == "pattern" {
             1.0
         } else {
-            parts[2].parse::<f32>().map_err(|e| {
-                parse_err(idx, format!("bad value '{}': {e}", parts[2]))
-            })?
+            parts[2]
+                .parse::<f32>()
+                .map_err(|e| parse_err(idx, format!("bad value '{}': {e}", parts[2])))?
         };
         coo.push(r - 1, c - 1, value)?;
         if symmetry != "general" && r != c {
-            let mirrored = if symmetry == "skew-symmetric" { -value } else { value };
+            let mirrored = if symmetry == "skew-symmetric" {
+                -value
+            } else {
+                value
+            };
             coo.push(c - 1, r - 1, mirrored)?;
         }
         seen += 1;
@@ -136,7 +140,13 @@ pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CooMatrix, Spar
 pub fn write_matrix_market<W: Write>(matrix: &CooMatrix, mut writer: W) -> std::io::Result<()> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(writer, "% written by gust-sparse")?;
-    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz()
+    )?;
     for (r, c, v) in matrix.iter() {
         writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
     }

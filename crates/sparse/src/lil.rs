@@ -110,9 +110,10 @@ impl LilMatrix {
 
     /// Iterates `(row, col, value)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
-        self.data.iter().enumerate().flat_map(|(r, list)| {
-            list.iter().map(move |&(c, v)| (r, c as usize, v))
-        })
+        self.data
+            .iter()
+            .enumerate()
+            .flat_map(|(r, list)| list.iter().map(move |&(c, v)| (r, c as usize, v)))
     }
 }
 
@@ -169,7 +170,10 @@ mod tests {
         let mut m = LilMatrix::new(2, 2);
         m.insert(1, 1, 1.0).unwrap();
         let err = m.insert(1, 1, 2.0).unwrap_err();
-        assert!(matches!(err, SparseError::DuplicateEntry { row: 1, col: 1 }));
+        assert!(matches!(
+            err,
+            SparseError::DuplicateEntry { row: 1, col: 1 }
+        ));
     }
 
     #[test]

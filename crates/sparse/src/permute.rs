@@ -310,8 +310,7 @@ mod tests {
         // A banded matrix with shuffled labels has huge bandwidth; RCM
         // recovers a narrow band.
         let banded = CsrMatrix::from(&gen::banded(200, 200, 3, 1200, 3));
-        let shuffle =
-            Permutation::from_vec(gen_shuffle(200, 17)).expect("valid shuffle");
+        let shuffle = Permutation::from_vec(gen_shuffle(200, 17)).expect("valid shuffle");
         let shuffled = permute_matrix(&banded, &shuffle, &shuffle);
         assert!(bandwidth(&shuffled) > 50, "shuffle should destroy the band");
         let rcm = reverse_cuthill_mckee(&shuffled);
@@ -338,7 +337,9 @@ mod tests {
         let mut v: Vec<u32> = (0..n as u32).collect();
         let mut state = seed | 1;
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             v.swap(i, j);
         }

@@ -78,11 +78,8 @@ mod tests {
     #[test]
     fn matches_column_by_column_spmv() {
         let a = CsrMatrix::from(&gen::uniform(20, 30, 150, 1));
-        let b = DenseMatrix::from_row_major(
-            30,
-            4,
-            (0..120).map(|i| (i % 13) as f32 - 6.0).collect(),
-        );
+        let b =
+            DenseMatrix::from_row_major(30, 4, (0..120).map(|i| (i % 13) as f32 - 6.0).collect());
         let c = spmm(&a, &b);
         let cols = spmm_by_columns(&a, &b);
         for (j, col) in cols.iter().enumerate() {

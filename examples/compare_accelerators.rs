@@ -18,14 +18,19 @@ fn load(arg: &str) -> (String, CsrMatrix) {
         let entry = suite::by_name(arg)
             .unwrap_or_else(|| panic!("unknown matrix '{arg}'; see gust_sparse::suite"));
         // A 10% stand-in keeps this example interactive; raise for fidelity.
-        (entry.name.to_string(), CsrMatrix::from(&entry.generate_scaled(0.1)))
+        (
+            entry.name.to_string(),
+            CsrMatrix::from(&entry.generate_scaled(0.1)),
+        )
     }
 }
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "scircuit".into());
     let (name, matrix) = load(&arg);
-    let x: Vec<f32> = (0..matrix.cols()).map(|i| ((i % 31) as f32) / 31.0).collect();
+    let x: Vec<f32> = (0..matrix.cols())
+        .map(|i| ((i % 31) as f32) / 31.0)
+        .collect();
     let expected = reference_spmv(&matrix, &x);
     println!(
         "{name}: {}x{}, {} nnz (density {:.2e})\n",
@@ -70,7 +75,11 @@ fn main() {
     ] {
         let gust = Gust::new(GustConfig::new(256).with_policy(policy));
         let run = gust.spmv(&matrix, &x);
-        rows.push((format!("GUST256-{}", policy.label()), run.report, run.output));
+        rows.push((
+            format!("GUST256-{}", policy.label()),
+            run.report,
+            run.output,
+        ));
     }
 
     for (label, report, output) in rows {

@@ -45,7 +45,10 @@ fn main() {
         "\n{:>16} {:>10} {:>14} {:>12}",
         "configuration", "cycles", "crossbar LUT", "speed vs 1x"
     );
-    let mono = Gust::new(GustConfig::new(256)).spmv(&matrix, &x).report.cycles;
+    let mono = Gust::new(GustConfig::new(256))
+        .spmv(&matrix, &x)
+        .report
+        .cycles;
     println!(
         "{:>16} {mono:>10} {:>14.0} {:>12}",
         "1 x 256",

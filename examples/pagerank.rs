@@ -28,8 +28,8 @@ fn main() {
     println!("graph: {n} pages, {} links", a.nnz());
 
     // Schedule once on four parallel length-64 GUSTs.
-    let engine = ParallelGust::new(GustConfig::new(64), 4)
-        .with_assignment(WindowAssignment::LeastLoaded);
+    let engine =
+        ParallelGust::new(GustConfig::new(64), 4).with_assignment(WindowAssignment::LeastLoaded);
     let schedule = engine.schedule(&a);
     println!(
         "schedule: {} windows over {} engines\n",
@@ -53,11 +53,7 @@ fn main() {
         // Renormalize (dangling pages leak mass).
         let sum: f32 = next.iter().sum();
         next.iter_mut().for_each(|v| *v /= sum);
-        let delta: f32 = next
-            .iter()
-            .zip(&rank)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f32 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
         rank = next;
         iterations = k + 1;
         if delta < 1.0e-7 {

@@ -113,8 +113,8 @@ fn main() {
 
     // The greedy of Listing 1 is a heuristic; on this example it spends one
     // extra color on the first window.
-    let greedy = Gust::new(GustConfig::new(3).with_policy(SchedulingPolicy::EdgeColoring))
-        .schedule(&m);
+    let greedy =
+        Gust::new(GustConfig::new(3).with_policy(SchedulingPolicy::EdgeColoring)).schedule(&m);
     println!(
         "  Listing-1 greedy: {:?} colors (Vizing bounds {:?})",
         greedy

@@ -1,0 +1,315 @@
+//! Workspace-local, dependency-free stand-in for the subset of the
+//! `criterion` bench harness this repository uses.
+//!
+//! The build environment has no network registry, so `cargo bench` targets
+//! link against this shim instead of the real criterion. It provides the
+//! same authoring API — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`criterion_group!`]/[`criterion_main!`] — with a simple but honest
+//! measurement loop: per sample, run a timed batch sized to a target
+//! duration and keep the per-iteration mean; report the median, minimum
+//! and maximum across samples.
+//!
+//! Command-line flags understood (everything else is ignored so arbitrary
+//! criterion invocations don't fail): `--quick` shrinks samples and the
+//! per-sample time budget for CI smoke runs, and a bare positional
+//! argument filters benchmarks by substring, as criterion does.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named by a single parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// A function/parameter pair, rendered `function/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure under test; drives the timed iterations.
+pub struct Bencher<'a> {
+    samples: usize,
+    sample_budget: Duration,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running enough iterations per sample to fill the
+    /// sample budget. Stores per-iteration means for the caller to report.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: time single iterations until the budget
+        // is spent or the estimate stabilizes.
+        let calibrate_start = Instant::now();
+        let mut one = Duration::ZERO;
+        let mut calibration_runs = 0u32;
+        while calibration_runs < 5 && calibrate_start.elapsed() < self.sample_budget {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            one = t.elapsed().max(Duration::from_nanos(1));
+            calibration_runs += 1;
+        }
+        let per_sample = (self.sample_budget.as_nanos() / one.as_nanos().max(1)) as u64;
+        let iters = per_sample.clamp(1, 1_000_000);
+
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.results.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+/// Re-export point mirroring criterion's `black_box` (std's is used).
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    samples: usize,
+    sample_budget: Duration,
+    current_group: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            samples: 10,
+            sample_budget: Duration::from_millis(100),
+            current_group: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from `std::env::args`: `--quick` shrinks the run,
+    /// a positional argument becomes a substring filter, criterion's other
+    /// flags are accepted and ignored.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    c.samples = 3;
+                    c.sample_budget = Duration::from_millis(20);
+                }
+                "--bench" | "--test" | "--noplot" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        c.samples = n;
+                    }
+                }
+                other if other.starts_with("--") => {
+                    // Accept and ignore the rest of criterion's CLI.
+                    // Flags documented as taking a value consume it.
+                    if matches!(
+                        other,
+                        "--measurement-time" | "--warm-up-time" | "--save-baseline" | "--baseline"
+                    ) {
+                        let _ = args.next();
+                    }
+                }
+                positional => c.filter = Some(positional.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Caps the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: None,
+            parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(None, name, self.samples, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, group: Option<&str>, name: &str, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = match group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.current_group.as_deref() != group {
+            if let Some(g) = group {
+                println!("\n{g}");
+            }
+            self.current_group = group.map(String::from);
+        }
+        let mut results = Vec::with_capacity(samples);
+        let mut bencher = Bencher {
+            samples,
+            sample_budget: self.sample_budget,
+            results: &mut results,
+        };
+        f(&mut bencher);
+        results.sort_unstable();
+        let median = results.get(results.len() / 2).copied().unwrap_or_default();
+        let lo = results.first().copied().unwrap_or_default();
+        let hi = results.last().copied().unwrap_or_default();
+        println!(
+            "{full:<60} time: [{} {} {}]",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi)
+        );
+    }
+
+    /// Criterion prints a summary at the end of `criterion_main!`; the shim
+    /// has nothing buffered, so this only terminates the report cleanly.
+    pub fn final_summary(&mut self) {
+        println!();
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: Option<usize>,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = Some(samples.max(1));
+        self
+    }
+
+    /// Runs one benchmark of this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let samples = self.samples.unwrap_or(self.parent.samples);
+        // --quick overrides per-group sample requests downward.
+        let samples = samples.min(self.parent.samples.max(3));
+        let name = self.name.clone();
+        self.parent
+            .run_one(Some(&name), &id.to_string(), samples, f);
+        self
+    }
+
+    /// Ends the group (criterion renders summaries here; the shim prints
+    /// incrementally, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as criterion does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0, "the routine must actually execute");
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0u32;
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -22,8 +22,14 @@ fn generator_zoo(seed: u64) -> Vec<(&'static str, CsrMatrix)> {
             "power-law",
             CsrMatrix::from(&gen::power_law(60, 60, 500, 1.8, seed)),
         ),
-        ("k-regular", CsrMatrix::from(&gen::k_regular(60, 60, 6, seed))),
-        ("banded", CsrMatrix::from(&gen::banded(60, 60, 5, 300, seed))),
+        (
+            "k-regular",
+            CsrMatrix::from(&gen::k_regular(60, 60, 6, seed)),
+        ),
+        (
+            "banded",
+            CsrMatrix::from(&gen::banded(60, 60, 5, 300, seed)),
+        ),
         (
             "blocks",
             CsrMatrix::from(&gen::block_diagonal(60, 60, 10, 350, seed)),

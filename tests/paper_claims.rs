@@ -119,8 +119,7 @@ fn bandwidth_utilization_gap() {
     let entry = suite::by_name("poisson3Db").expect("suite entry");
     let m = CsrMatrix::from(&entry.generate_scaled(0.05));
     let gust = Design::GustEcLb(256).report(&m);
-    let gust_frac =
-        gust::bandwidth::stream_utilization(gust.nnz_processed, 256, gust.cycles - 2);
+    let gust_frac = gust::bandwidth::stream_utilization(gust.nnz_processed, 256, gust.cycles - 2);
     // 1D's useful fraction is its utilization ≈ density.
     let one_d_frac = Design::OneD(256).report(&m).utilization();
     assert!(

@@ -32,13 +32,18 @@ fn arb_length() -> impl Strategy<Value = usize> {
 }
 
 fn arb_vector(cols: usize) -> Vec<f32> {
-    (0..cols).map(|i| ((i * 37 + 11) % 23) as f32 / 7.0 - 1.5).collect()
+    (0..cols)
+        .map(|i| ((i * 37 + 11) % 23) as f32 / 7.0 - 1.5)
+        .collect()
 }
 
 /// A deterministic pseudo-random permutation of `0..n` from a seed.
 fn pseudo_permutation(n: usize, seed: u64) -> gust_sparse::permute::Permutation {
     let mut v: Vec<u32> = (0..n as u32).collect();
-    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) | 1;
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493)
+        | 1;
     for i in (1..n).rev() {
         state = state
             .wrapping_mul(6364136223846793005)

@@ -22,7 +22,10 @@ fn serpens_nine_have_paper_shapes_at_full_scale_metadata() {
     let crankseg = &nine[0];
     assert_eq!(crankseg.rows, 63_800);
     assert_eq!(crankseg.nnz, 14_100_000);
-    let pokec = nine.iter().find(|e| e.name == "soc_pokec").expect("present");
+    let pokec = nine
+        .iter()
+        .find(|e| e.name == "soc_pokec")
+        .expect("present");
     assert_eq!(pokec.rows, 1_630_000);
 }
 
@@ -53,9 +56,8 @@ fn utilization_ordering_matches_figure_7() {
                 .utilization(),
         );
     }
-    let gmean = |v: &[f64]| -> f64 {
-        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
-    };
+    let gmean =
+        |v: &[f64]| -> f64 { (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp() };
     let gust = gmean(&utils["gust"]);
     let ftpu = gmean(&utils["ftpu"]);
     let one_d = gmean(&utils["1d"]);
@@ -122,7 +124,10 @@ fn energy_gain_over_1d_is_large_and_positive() {
         )
         .total_j();
     let gain = one_d_e / gust_e;
-    assert!(gain > 10.0, "energy gain {gain} should be order(s) of magnitude");
+    assert!(
+        gain > 10.0,
+        "energy gain {gain} should be order(s) of magnitude"
+    );
 }
 
 #[test]
@@ -171,8 +176,7 @@ fn end_to_end_breaks_even_against_dense_streaming() {
     let matrix = CsrMatrix::from(&suite::by_name("crankseg_2").unwrap().generate_scaled(0.05));
     let x: Vec<f32> = (0..matrix.cols()).map(|i| (i % 7) as f32).collect();
     let e2e = gust::pipeline::EndToEnd::measure(GustConfig::new(256), &matrix, &x, 460.0e9);
-    let dense_seconds =
-        matrix.rows() as f64 * matrix.rows() as f64 * 2.0 * 4.0 / 460.0e9;
+    let dense_seconds = matrix.rows() as f64 * matrix.rows() as f64 * 2.0 * 4.0 / 460.0e9;
     let break_even = e2e.break_even_spmvs(dense_seconds);
     assert!(
         break_even.is_some(),
