@@ -1,13 +1,17 @@
 //! Criterion micro-benchmarks of the reproduction's software components:
 //! the scheduler (the paper's "Pre." cost), its three coloring algorithms,
-//! the load balancer and the execution engines.
+//! the load balancer, the execution engines (seed array-of-structs layout
+//! vs. the structure-of-arrays fast path, single and batched) and the
+//! reference SpMV kernels (seed scalar chain vs. the unrolled ones) — so
+//! every speedup this repo claims is measured, not asserted.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gust::hw::GustPipeline;
 use gust::schedule::windows::WindowPlan;
 use gust::{ColoringAlgorithm, Gust, GustConfig, SchedulingPolicy};
+use gust_bench::legacy;
 use gust_bench::workloads::{synthetic, test_vector, SyntheticKind};
-use gust_sparse::CsrMatrix;
+use gust_sparse::{CscMatrix, CsrMatrix};
 use std::hint::black_box;
 
 fn bench_matrix() -> CsrMatrix {
@@ -55,10 +59,26 @@ fn execution(c: &mut Criterion) {
     let gust = Gust::new(GustConfig::new(256));
     let schedule = gust.schedule(&m);
     let x = test_vector(m.cols());
+    let legacy_windows = legacy::legacy_slot_windows(&schedule);
+    let batch = Gust::REG_BLOCK;
+    let panel = gust_bench::workloads::shifted_panel(&x, batch, 0.125);
     let mut group = c.benchmark_group("execute-4096x4096-d1e-3-l256");
     group.sample_size(20);
+    group.bench_function("legacy-aos-engine", |b| {
+        b.iter(|| {
+            black_box(legacy::legacy_execute(
+                black_box(&schedule),
+                black_box(&legacy_windows),
+                black_box(&x),
+            ))
+        });
+    });
     group.bench_function("fast-engine", |b| {
         b.iter(|| black_box(gust.execute(black_box(&schedule), black_box(&x))));
+    });
+    group.bench_function("fast-engine-batch8", |b| {
+        let seq = Gust::new(GustConfig::new(256).with_parallelism(Some(1)));
+        b.iter(|| black_box(seq.execute_batch(black_box(&schedule), black_box(&panel), batch)));
     });
     group.bench_function("structural-pipeline", |b| {
         b.iter(|| {
@@ -74,10 +94,25 @@ fn execution(c: &mut Criterion) {
 
 fn reference_spmv(c: &mut Criterion) {
     let m = bench_matrix();
+    let csc = CscMatrix::from(&m);
     let x = test_vector(m.cols());
-    c.bench_function("reference-csr-spmv-4096", |b| {
+    let mut group = c.benchmark_group("reference-spmv-4096");
+    group.bench_function("csr-legacy-scalar", |b| {
+        b.iter(|| black_box(legacy::legacy_csr_spmv(black_box(&m), black_box(&x))));
+    });
+    group.bench_function("csr-unrolled", |b| {
         b.iter(|| black_box(black_box(&m).spmv(black_box(&x))));
     });
+    group.bench_function("csr-f64-legacy-scalar", |b| {
+        b.iter(|| black_box(legacy::legacy_csr_spmv_f64(black_box(&m), black_box(&x))));
+    });
+    group.bench_function("csr-f64-unrolled", |b| {
+        b.iter(|| black_box(black_box(&m).spmv_f64(black_box(&x))));
+    });
+    group.bench_function("csc-unrolled", |b| {
+        b.iter(|| black_box(black_box(&csc).spmv(black_box(&x))));
+    });
+    group.finish();
 }
 
 criterion_group!(

@@ -29,6 +29,10 @@ fn main() {
             "schedule_throughput",
             runners::schedule_throughput::run(scale),
         ),
+        (
+            "spmv_throughput",
+            runners::spmv_throughput::run(scale).report,
+        ),
     ];
 
     for (name, body) in &sections {

@@ -1,0 +1,15 @@
+//! Execution-throughput benchmark: seed array-of-structs engine vs. the
+//! structure-of-arrays engine, single-vector and batched. Prints the
+//! report and archives the JSON rows (default `BENCH_spmv.json`, override
+//! with `GUST_BENCH_JSON`) for the CI perf trajectory.
+
+fn main() {
+    let out = gust_bench::runners::spmv_throughput::run_cli();
+    print!("{}", out.report);
+    let path = std::env::var("GUST_BENCH_JSON").unwrap_or_else(|_| "BENCH_spmv.json".to_string());
+    if let Err(e) = std::fs::write(&path, format!("{}\n", out.json)) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}

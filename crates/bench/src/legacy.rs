@@ -1,19 +1,24 @@
-//! The seed scheduler's `Vec<Vec<_>>` pipeline, preserved verbatim as the
-//! performance baseline for the `schedule_throughput` runner.
+//! The seed implementation's performance baselines, preserved verbatim:
+//! the `Vec<Vec<_>>` scheduling pipeline (for `schedule_throughput`) and
+//! the array-of-structs slot-at-a-time execution engine plus the scalar
+//! reference SpMV (for `spmv_throughput` and the micro benches).
 //!
 //! The production scheduler in `gust::schedule` now colors windows into
-//! reusable flat buffers; this module keeps the original shape — one
-//! `Vec<Vec<WindowEdge>>` per window, a fresh `Vec<Vec<ScheduledSlot>>` per
-//! coloring, `HashMap`-based lane assignment — so every future PR can
-//! measure the flat pipeline against the allocation-heavy one on identical
+//! reusable flat buffers, and the production engine streams a
+//! structure-of-arrays layout; this module keeps the original shapes — one
+//! `Vec<Vec<WindowEdge>>` per window, `HashMap`-based lane assignment, an
+//! array-of-structs `ScheduledSlot` walk with per-cycle counter
+//! bookkeeping, a scalar accumulation chain per CSR row — so every future
+//! PR can measure the current pipeline against the seed one on identical
 //! inputs. It intentionally trades speed for fidelity to the seed code; do
 //! not "optimize" it.
 
 // Fidelity over lints: this file mirrors the seed implementation verbatim.
 #![allow(clippy::needless_range_loop)]
 
-use gust::schedule::scheduled::{ScheduledSlot, WindowSchedule};
+use gust::schedule::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
 use gust::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
+use gust_sim::UnitCounter;
 use gust_sparse::CsrMatrix;
 use std::collections::HashMap;
 
@@ -278,11 +283,154 @@ fn legacy_color_grouped(window: &LegacyWindow, l: usize) -> Vec<Vec<ScheduledSlo
     per_color
 }
 
+/// One window of the seed engine's scheduled layout: a flat array of
+/// structs (`ScheduledSlot` records) with per-color offsets — the
+/// representation `gust::WindowSchedule` stored before the
+/// structure-of-arrays refactor.
+#[derive(Debug, Clone)]
+pub struct LegacySlotWindow {
+    /// `color_ptr[c]..color_ptr[c+1]` indexes `slots` for color `c`.
+    pub color_ptr: Vec<u32>,
+    /// Slot records, color-major, lane-sorted within each color.
+    pub slots: Vec<ScheduledSlot>,
+}
+
+/// Converts a schedule into the seed engine's array-of-structs layout.
+/// Done once per schedule (mirroring how the seed stored it), outside any
+/// timed region.
+#[must_use]
+pub fn legacy_slot_windows(schedule: &ScheduledMatrix) -> Vec<LegacySlotWindow> {
+    schedule
+        .windows()
+        .iter()
+        .map(|w| LegacySlotWindow {
+            color_ptr: w.color_ptr().to_vec(),
+            slots: w.iter_slots().collect(),
+        })
+        .collect()
+}
+
+/// The seed `Gust::execute` hot loop, verbatim: walk each window color by
+/// color over array-of-structs slots, with live [`UnitCounter`] busy
+/// bookkeeping per cycle, zeroing and dumping all `l` adder lanes every
+/// window. Returns the output vector and the measured busy unit-cycles.
+///
+/// Output is bit-identical to `gust::Gust::execute` — the baseline only
+/// differs in data layout and bookkeeping, which is exactly what
+/// `spmv_throughput` measures.
+///
+/// # Panics
+///
+/// Panics if `x.len() != schedule.cols()` or `windows` was built from a
+/// different schedule.
+#[must_use]
+pub fn legacy_execute(
+    schedule: &ScheduledMatrix,
+    windows: &[LegacySlotWindow],
+    x: &[f32],
+) -> (Vec<f32>, u64) {
+    assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
+    assert_eq!(windows.len(), schedule.windows().len(), "window mismatch");
+    let l = schedule.length();
+    let mut y = vec![0.0f32; schedule.rows()];
+    let mut adders = vec![0.0f32; l];
+    let mut mults = UnitCounter::new("multipliers", l);
+    let mut adds = UnitCounter::new("adders", l);
+
+    let row_perm = schedule.row_perm();
+    for (w, window) in windows.iter().enumerate() {
+        adders.iter_mut().for_each(|a| *a = 0.0);
+        for c in 0..window.color_ptr.len() - 1 {
+            let slots =
+                &window.slots[window.color_ptr[c] as usize..window.color_ptr[c + 1] as usize];
+            for s in slots {
+                let product = s.value * x[s.col as usize];
+                adders[s.row_mod as usize] += product;
+            }
+            mults.record_busy(slots.len());
+            adds.record_busy(slots.len());
+        }
+        let base = w * l;
+        for (i, &acc) in adders.iter().enumerate() {
+            let pos = base + i;
+            if pos < row_perm.len() {
+                y[row_perm[pos] as usize] = acc;
+            }
+        }
+    }
+    (y, mults.busy_unit_cycles() + adds.busy_unit_cycles())
+}
+
+/// The seed `CsrMatrix::spmv`, verbatim: one scalar accumulation chain per
+/// row. The micro benches measure the unrolled production kernel against
+/// this.
+#[must_use]
+pub fn legacy_csr_spmv(matrix: &CsrMatrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), matrix.cols(), "input vector length mismatch");
+    (0..matrix.rows())
+        .map(|r| {
+            let (cols, vals) = matrix.row(r);
+            let mut acc = 0.0f32;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// The seed `CsrMatrix::spmv_f64`, verbatim (scalar `f64` chain per row).
+#[must_use]
+pub fn legacy_csr_spmv_f64(matrix: &CsrMatrix, x: &[f32]) -> Vec<f64> {
+    assert_eq!(x.len(), matrix.cols(), "input vector length mismatch");
+    (0..matrix.rows())
+        .map(|r| {
+            let (cols, vals) = matrix.row(r);
+            let mut acc = 0.0f64;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += f64::from(v) * f64::from(x[c as usize]);
+            }
+            acc
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use gust::Gust;
     use gust_sparse::prelude::*;
+
+    #[test]
+    fn legacy_executor_is_bit_identical_to_soa_engine() {
+        for (name, coo) in [
+            ("uniform", gen::uniform(100, 100, 900, 5)),
+            ("power-law", gen::power_law(90, 90, 700, 1.9, 6)), // 90 % 16 != 0
+        ] {
+            let m = CsrMatrix::from(&coo);
+            let gust = Gust::new(GustConfig::new(16));
+            let schedule = gust.schedule(&m);
+            let windows = legacy_slot_windows(&schedule);
+            let x: Vec<f32> = (0..m.cols()).map(|i| (i % 11) as f32 / 3.0 - 1.5).collect();
+            let (y, busy) = legacy_execute(&schedule, &windows, &x);
+            let run = gust.execute(&schedule, &x);
+            assert_eq!(y, run.output, "{name}");
+            assert_eq!(busy, run.report.busy_unit_cycles, "{name}");
+        }
+    }
+
+    #[test]
+    fn legacy_reference_kernels_match_unrolled_ones() {
+        let m = CsrMatrix::from(&gen::uniform(80, 70, 600, 9));
+        let x: Vec<f32> = (0..70).map(|i| (i % 7) as f32 - 3.0).collect();
+        // Reassociated sums: equal within tolerance, not necessarily bits.
+        assert_vectors_close(&m.spmv(&x), &legacy_csr_spmv(&m, &x), 1e-5);
+        let f64_new = m.spmv_f64(&x);
+        let f64_old = legacy_csr_spmv_f64(&m, &x);
+        for (a, b) in f64_new.iter().zip(&f64_old) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
 
     #[test]
     fn legacy_matches_the_flat_pipeline() {

@@ -1,0 +1,263 @@
+//! Execution-throughput benchmark: the seed's array-of-structs
+//! slot-at-a-time engine versus the structure-of-arrays engine, single
+//! vector and batched.
+//!
+//! PR 1's `schedule_throughput` tracks the one-time preprocessing cost;
+//! this runner tracks the thing the schedule exists to accelerate — the
+//! per-SpMV execution path the paper amortizes that cost over (§5.3). For
+//! uniform, power-law and R-MAT matrices it times
+//!
+//! * `legacy-slots` — the seed execution engine preserved in
+//!   [`crate::legacy`]: array-of-structs slots, per-cycle counter
+//!   bookkeeping, all-`l` adder dumps,
+//! * `soa-single` — the production [`Gust::execute`]: one contiguous
+//!   structure-of-arrays pass per window, analytic accounting,
+//! * `soa-batch8-seq` — [`Gust::execute_batch`] with a register block of
+//!   8 right-hand sides, pinned to one thread: the pure one-pass batching
+//!   win (one register block, so no threading is involved),
+//! * `soa-batch32-mt` — the batched kernel over 32 right-hand sides
+//!   (four register blocks) with its `with_parallelism` fan-out at host
+//!   parallelism — the row a multi-core runner moves,
+//! * `reference-csr` — the unrolled [`CsrMatrix::spmv`] baseline kernel,
+//!   for context against the engine models,
+//!
+//! and reports wall time, nnz/s (batched kernels process `batch × nnz`
+//! useful non-zeros per pass) and speedup over the seed layout. Output is
+//! the usual text table plus a JSON array ([`TextTable::to_json`]); the
+//! `spmv_throughput` binary also writes the JSON to `BENCH_spmv.json` so
+//! CI can archive the perf trajectory per PR.
+//!
+//! Every kernel is checked bit-for-bit against the fast engine before it
+//! is timed — the benchmark refuses to time wrong answers.
+//!
+//! Scale: `GUST_SCALE` as everywhere (dimensions ×s, non-zeros ×s²);
+//! `GUST_SCALE=1` runs the full 16 384² / 1.25 M-nnz matrices the
+//! acceptance numbers are quoted at. Reps: `GUST_THROUGHPUT_REPS`
+//! (default 3, median reported).
+
+use crate::legacy;
+use crate::table::TextTable;
+use gust::{Gust, GustConfig};
+use gust_sparse::{gen, CsrMatrix};
+use std::time::{Duration, Instant};
+
+/// Full-size workload parameters (scale 1).
+const FULL_DIM: usize = 16_384;
+const FULL_NNZ: usize = 1_250_000;
+/// GUST length the paper reports headline numbers for.
+const LENGTH: usize = 256;
+/// Right-hand sides per batched pass (one register block).
+const BATCH: usize = Gust::REG_BLOCK;
+/// Right-hand sides for the threaded row: four register blocks, so the
+/// `std::thread::scope` fan-out has work to split on multi-core hosts.
+const BATCH_MT: usize = 4 * Gust::REG_BLOCK;
+
+/// Rendered report plus the bare JSON rows (for `BENCH_spmv.json`).
+pub struct ThroughputOutput {
+    /// Human-readable report, JSON section included.
+    pub report: String,
+    /// The JSON array alone.
+    pub json: String,
+}
+
+/// One measured kernel run.
+struct Measurement {
+    kernel: &'static str,
+    batch: usize,
+    wall: Duration,
+    /// Useful non-zeros processed per pass (`batch × nnz`).
+    work: u64,
+}
+
+/// Entry point for the `spmv_throughput` binary: full scale unless
+/// `GUST_SCALE` (or a `--quick` argument, meaning scale 0.05) says
+/// otherwise.
+#[must_use]
+pub fn run_cli() -> ThroughputOutput {
+    let quick = std::env::args().any(|a| a == "--quick");
+    run(crate::env_scale(if quick { 0.05 } else { 1.0 }))
+}
+
+/// Runs the sweep at the given scale and renders the report.
+///
+/// # Panics
+///
+/// Panics if any kernel disagrees with the fast engine on the output
+/// vector — the benchmark refuses to time wrong answers.
+#[must_use]
+pub fn run(scale: f64) -> ThroughputOutput {
+    let dim = ((FULL_DIM as f64 * scale) as usize).max(64);
+    let nnz = ((FULL_NNZ as f64 * scale * scale) as usize).max(1000);
+    let reps: usize = std::env::var("GUST_THROUGHPUT_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    let workloads: [(&str, CsrMatrix); 3] = [
+        ("uniform", CsrMatrix::from(&gen::uniform(dim, dim, nnz, 11))),
+        (
+            "power-law",
+            CsrMatrix::from(&gen::power_law(dim, dim, nnz, 1.9, 12)),
+        ),
+        ("rmat", CsrMatrix::from(&gen::rmat(dim, dim, nnz, 13))),
+    ];
+
+    let auto_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = super::header("spmv_throughput — execution nnz/s", scale);
+    out.push_str(&format!(
+        "l = {LENGTH}, EC/LB schedule, batch = {BATCH} (mt: {BATCH_MT}), {reps} reps (median), host parallelism {auto_threads}\n\n"
+    ));
+
+    let mut table = TextTable::new([
+        "matrix",
+        "kernel",
+        "batch",
+        "nnz",
+        "wall_ms",
+        "nnz_per_s",
+        "speedup_vs_legacy",
+    ]);
+
+    for (name, matrix) in &workloads {
+        let measurements = measure_kernels(matrix, reps);
+        let legacy_rate = measurements[0].work as f64 / measurements[0].wall.as_secs_f64();
+        for m in &measurements {
+            let wall_s = m.wall.as_secs_f64();
+            let rate = m.work as f64 / wall_s;
+            table.push_row([
+                (*name).to_string(),
+                m.kernel.to_string(),
+                m.batch.to_string(),
+                matrix.nnz().to_string(),
+                format!("{:.3}", wall_s * 1e3),
+                format!("{rate:.0}"),
+                format!("{:.2}", rate / legacy_rate),
+            ]);
+        }
+    }
+
+    out.push_str(&table.render());
+    out.push_str("\nJSON:\n");
+    let json = table.to_json();
+    out.push_str(&json);
+    out.push('\n');
+    ThroughputOutput { report: out, json }
+}
+
+/// Measures the five kernel shapes on one matrix, asserting they agree
+/// with the fast engine bit for bit first.
+fn measure_kernels(matrix: &CsrMatrix, reps: usize) -> Vec<Measurement> {
+    let nnz = matrix.nnz() as u64;
+    let seq = Gust::new(GustConfig::new(LENGTH).with_parallelism(Some(1)));
+    let mt = Gust::new(GustConfig::new(LENGTH));
+    let schedule = seq.schedule(matrix);
+    let x = crate::test_vector(matrix.cols());
+    let panel = crate::workloads::shifted_panel(&x, BATCH, 0.25);
+    let panel_mt = crate::workloads::shifted_panel(&x, BATCH_MT, 0.25);
+
+    // Correctness gate: every timed kernel must agree with the fast engine.
+    let reference = seq.execute(&schedule, &x);
+    let slot_windows = legacy::legacy_slot_windows(&schedule);
+    let (legacy_y, _) = legacy::legacy_execute(&schedule, &slot_windows, &x);
+    assert_eq!(legacy_y, reference.output, "legacy executor diverged");
+    let (batched, _) = seq.execute_batch(&schedule, &panel, BATCH);
+    let (batched_mt, _) = mt.execute_batch(&schedule, &panel_mt, BATCH_MT);
+    let rows = schedule.rows();
+    for j in 0..BATCH_MT {
+        let col = &panel_mt[j * matrix.cols()..(j + 1) * matrix.cols()];
+        let single = seq.execute(&schedule, col);
+        assert_eq!(
+            &batched_mt[j * rows..(j + 1) * rows],
+            single.output.as_slice(),
+            "threaded batched column {j} diverged from the scalar path"
+        );
+        if j < BATCH {
+            assert_eq!(
+                &batched[j * rows..(j + 1) * rows],
+                single.output.as_slice(),
+                "batched column {j} diverged from the scalar path"
+            );
+        }
+    }
+
+    let mut results = Vec::with_capacity(5);
+    results.push(Measurement {
+        kernel: "legacy-slots",
+        batch: 1,
+        wall: timed(reps, || {
+            std::hint::black_box(legacy::legacy_execute(&schedule, &slot_windows, &x));
+        }),
+        work: nnz,
+    });
+    results.push(Measurement {
+        kernel: "soa-single",
+        batch: 1,
+        wall: timed(reps, || {
+            std::hint::black_box(seq.execute(&schedule, &x));
+        }),
+        work: nnz,
+    });
+    results.push(Measurement {
+        kernel: "soa-batch8-seq",
+        batch: BATCH,
+        wall: timed(reps, || {
+            std::hint::black_box(seq.execute_batch(&schedule, &panel, BATCH));
+        }),
+        work: BATCH as u64 * nnz,
+    });
+    results.push(Measurement {
+        kernel: "soa-batch32-mt",
+        batch: BATCH_MT,
+        wall: timed(reps, || {
+            std::hint::black_box(mt.execute_batch(&schedule, &panel_mt, BATCH_MT));
+        }),
+        work: BATCH_MT as u64 * nnz,
+    });
+    results.push(Measurement {
+        kernel: "reference-csr",
+        batch: 1,
+        wall: timed(reps, || {
+            std::hint::black_box(matrix.spmv(&x));
+        }),
+        work: nnz,
+    });
+    results
+}
+
+/// Runs `f` `reps` times and returns the median wall time.
+fn timed<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut walls = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        walls.push(start.elapsed());
+    }
+    walls.sort_unstable();
+    walls[walls.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_tiny_scale_and_emits_json() {
+        let out = run(0.02);
+        assert!(out.report.contains("spmv_throughput"));
+        for kernel in [
+            "legacy-slots",
+            "soa-single",
+            "soa-batch8-seq",
+            "soa-batch32-mt",
+            "reference-csr",
+        ] {
+            assert!(out.report.contains(kernel), "missing {kernel}");
+        }
+        assert!(out.report.contains("JSON:"));
+        assert!(out.json.contains("\"nnz_per_s\":"));
+        assert!(out.json.contains("\"speedup_vs_legacy\":"));
+        // Three workloads × five kernels.
+        assert_eq!(out.json.matches("\"matrix\":").count(), 15);
+    }
+}

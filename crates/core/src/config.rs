@@ -191,6 +191,18 @@ impl GustConfig {
         self.parallelism
     }
 
+    /// Worker threads to use for `items` independent work units (schedule
+    /// windows, batched-execution register blocks): the configured
+    /// [`GustConfig::with_parallelism`] count, or the host's available
+    /// parallelism, never more than one per item and never zero.
+    #[must_use]
+    pub fn effective_workers(&self, items: usize) -> usize {
+        let requested = self.parallelism.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        requested.max(1).min(items.max(1))
+    }
+
     /// Design name used in reports, e.g. `"gust256-EC/LB"`.
     #[must_use]
     pub fn design_name(&self) -> String {

@@ -7,9 +7,34 @@
 //! named by `Row_sch`, the adder accumulates; at each window boundary the
 //! adders dump into the output vector through the row permutation.
 //!
-//! This is the fast path used by benchmarks. The structurally faithful
-//! FIFO/Buffer-Filler pipeline of Fig. 2 lives in [`crate::hw`]; tests
-//! assert the two produce identical outputs and cycle counts.
+//! # Fast path vs. instrumented path
+//!
+//! [`Gust::execute`] is the *fast path*: a single contiguous pass over the
+//! structure-of-arrays schedule (`values`/`cols`/`row_mods`) per window,
+//! with no per-cycle counter bookkeeping. Because the slot arrays are
+//! color-major and each adder receives at most one product per color, the
+//! flat pass accumulates every adder in exactly the per-color order the
+//! hardware uses — the outputs are bit-identical to the cycle-accurate
+//! model while the multiply-gather loop stays free of bookkeeping and
+//! unrolls. All accounting (busy unit-cycles, multiplies, cycles) is
+//! derived analytically from the schedule: every slot is one multiply and
+//! one accumulate, so no counter has to watch the loop.
+//!
+//! [`Gust::execute_instrumented`] keeps the literal color-by-color walk
+//! with live [`UnitCounter`]s; the `hw::pipeline` equivalence tests pin the
+//! fast path to it (and to the structurally faithful Fig. 2 pipeline in
+//! [`crate::hw`]) bit for bit.
+//!
+//! # Batched execution
+//!
+//! [`Gust::execute_batch`] streams the schedule **once** for a whole panel
+//! of right-hand sides (the §5.3 multi-RHS amortization): the batch is cut
+//! into register blocks of [`Gust::REG_BLOCK`] columns, each block's
+//! operands are interleaved so one slot's `B` multiply-accumulates are
+//! contiguous (and vectorize), and blocks can fan out across threads via
+//! [`crate::config::GustConfig::with_parallelism`]. Per output column the
+//! arithmetic order equals the per-vector scalar path, so batched outputs
+//! are bit-identical to `B` independent [`Gust::execute`] calls.
 
 use crate::config::{GustConfig, SchedulingPolicy};
 use crate::schedule::scheduled::{log2_ceil, ScheduledMatrix};
@@ -47,6 +72,11 @@ pub struct Gust {
 }
 
 impl Gust {
+    /// Columns per register block of the batched kernel: one slot's
+    /// multiply-accumulates against 8 right-hand sides fit a 256-bit SIMD
+    /// register (f32×8), the layout the batch panel is interleaved for.
+    pub const REG_BLOCK: usize = 8;
+
     /// Creates an engine with the given configuration.
     #[must_use]
     pub fn new(config: GustConfig) -> Self {
@@ -66,7 +96,8 @@ impl Gust {
         Scheduler::new(self.config.clone()).schedule(matrix)
     }
 
-    /// Runs one SpMV: streams the schedule through the engine.
+    /// Runs one SpMV: streams the schedule through the engine (fast,
+    /// uninstrumented path — see the module docs).
     ///
     /// The schedule can be reused across calls with different vectors —
     /// that reuse is the paper's §5.3 amortization argument.
@@ -87,37 +118,240 @@ impl Gust {
 
         let mut y = vec![0.0f32; schedule.rows()];
         let mut adders = vec![0.0f32; l];
+
+        let row_perm = schedule.row_perm();
+        for (w, window) in schedule.windows().iter().enumerate() {
+            // Only the lanes this window's rows occupy are live: the final
+            // window of a matrix with `rows % l != 0` is ragged, and lanes
+            // past its row count are never scheduled (row_mod < active) nor
+            // dumped.
+            let active = schedule.window_rows(w);
+            adders[..active].fill(0.0);
+
+            // The streaming pass: color-major slot order means each adder
+            // sees its products in color order, so this flat loop is
+            // bit-identical to the per-cycle walk. Four-way unrolling keeps
+            // the multiply-gathers independent (the scatter into `adders`
+            // stays in slot order).
+            let values = window.values();
+            let cols = window.cols();
+            let row_mods = window.row_mods();
+            let mut chunks_v = values.chunks_exact(4);
+            let mut chunks_c = cols.chunks_exact(4);
+            let mut chunks_r = row_mods.chunks_exact(4);
+            for ((v, c), r) in (&mut chunks_v).zip(&mut chunks_c).zip(&mut chunks_r) {
+                let p0 = v[0] * x[c[0] as usize];
+                let p1 = v[1] * x[c[1] as usize];
+                let p2 = v[2] * x[c[2] as usize];
+                let p3 = v[3] * x[c[3] as usize];
+                adders[r[0] as usize] += p0;
+                adders[r[1] as usize] += p1;
+                adders[r[2] as usize] += p2;
+                adders[r[3] as usize] += p3;
+            }
+            for ((&v, &c), &r) in chunks_v
+                .remainder()
+                .iter()
+                .zip(chunks_c.remainder())
+                .zip(chunks_r.remainder())
+            {
+                adders[r as usize] += v * x[c as usize];
+            }
+
+            // Dump: adder `i` holds the row scheduled at position w*l + i.
+            let base = w * l;
+            for (i, &acc) in adders[..active].iter().enumerate() {
+                y[row_perm[base + i] as usize] = acc;
+            }
+        }
+
+        GustRun {
+            output: y,
+            report: self.analytic_report(schedule, 1),
+        }
+    }
+
+    /// Runs one SpMV with live per-cycle unit counters — the literal
+    /// color-by-color walk the seed engine performed. Slower than
+    /// [`Gust::execute`]; kept so the `hw::pipeline` equivalence tests can
+    /// pin the fast path's outputs *and* analytic accounting to a measured
+    /// run, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// As [`Gust::execute`].
+    #[must_use]
+    pub fn execute_instrumented(&self, schedule: &ScheduledMatrix, x: &[f32]) -> GustRun {
+        let l = self.config.length();
+        assert_eq!(
+            schedule.length(),
+            l,
+            "schedule was produced for a different GUST length"
+        );
+        assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
+
+        let mut y = vec![0.0f32; schedule.rows()];
+        let mut adders = vec![0.0f32; l];
         let mut mults = UnitCounter::new("multipliers", l);
         let mut adds = UnitCounter::new("adders", l);
         let mut multiplies: u64 = 0;
 
         let row_perm = schedule.row_perm();
         for (w, window) in schedule.windows().iter().enumerate() {
-            adders.iter_mut().for_each(|a| *a = 0.0);
+            let active = schedule.window_rows(w);
+            adders[..active].fill(0.0);
             for c in 0..window.colors() {
-                let slots = window.color_slots(c);
                 // One cycle: every occupied lane multiplies, the crossbar
                 // routes, the named adder accumulates. Lane/adder uniqueness
                 // within a color was checked at schedule assembly.
-                for s in slots {
-                    let product = s.value * x[s.col as usize];
-                    adders[s.row_mod as usize] += product;
+                let bucket = window.color_range(c);
+                let busy = bucket.len();
+                for i in bucket {
+                    let product = window.values()[i] * x[window.cols()[i] as usize];
+                    adders[window.row_mods()[i] as usize] += product;
                 }
-                mults.record_busy(slots.len());
-                adds.record_busy(slots.len());
-                multiplies += slots.len() as u64;
+                mults.record_busy(busy);
+                adds.record_busy(busy);
+                multiplies += busy as u64;
             }
-            // Dump: each adder's value belongs to the row scheduled at
-            // position w*l + adder_index.
             let base = w * l;
-            for (i, &acc) in adders.iter().enumerate() {
-                let pos = base + i;
-                if pos < row_perm.len() {
-                    y[row_perm[pos] as usize] = acc;
-                }
+            for (i, &acc) in adders[..active].iter().enumerate() {
+                y[row_perm[base + i] as usize] = acc;
             }
         }
 
+        let mut report = self.analytic_report(schedule, 1);
+        // Overwrite the analytic numbers with the measured ones; the
+        // equivalence tests assert they agree.
+        report.busy_unit_cycles = mults.busy_unit_cycles() + adds.busy_unit_cycles();
+        report.multiplies = multiplies;
+        report.additions = multiplies;
+        GustRun { output: y, report }
+    }
+
+    /// Schedules and executes in one call.
+    #[must_use]
+    pub fn spmv(&self, matrix: &gust_sparse::CsrMatrix, x: &[f32]) -> GustRun {
+        let schedule = self.schedule(matrix);
+        self.execute(&schedule, x)
+    }
+
+    /// Sparse-matrix × dense-panel product by schedule reuse: `batch`
+    /// right-hand sides against one preprocessed schedule (the
+    /// iterative-solver / multi-right-hand-side pattern of §5.3, and the
+    /// SpMM direction §7 names as future work for a 2D GUST).
+    ///
+    /// `b` is a flat **column-major** panel: vector `j` occupies
+    /// `b[j * schedule.cols() .. (j + 1) * schedule.cols()]`. The result is
+    /// the column-major `rows × batch` output panel plus one folded report
+    /// (per-vector quantities × `batch` — the accelerator still charges
+    /// `batch` pipeline passes; the host-side win is that the schedule is
+    /// streamed once).
+    ///
+    /// Unlike `batch` separate [`Gust::execute`] calls, the schedule is
+    /// walked **once**: each slot performs a register block of up to
+    /// [`Gust::REG_BLOCK`] multiply-accumulates against interleaved panel
+    /// operands. Blocks split across threads when
+    /// [`GustConfig::with_parallelism`] allows. Outputs are bit-identical
+    /// to the per-vector scalar path.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gust::{Gust, GustConfig};
+    /// use gust_sparse::prelude::*;
+    ///
+    /// let m = CsrMatrix::identity(4);
+    /// let gust = Gust::new(GustConfig::new(2));
+    /// let schedule = gust.schedule(&m);
+    /// // Two right-hand sides, column-major: [x0 | x1].
+    /// let panel: Vec<f32> = (1..=8).map(|v| v as f32).collect();
+    /// let (y, report) = gust.execute_batch(&schedule, &panel, 2);
+    /// assert_eq!(y, panel); // identity matrix
+    /// assert_eq!(report.nnz_processed, 2 * 4);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`, `b.len() != schedule.cols() * batch`, or the
+    /// schedule's length does not match this engine's configuration.
+    #[must_use]
+    pub fn execute_batch(
+        &self,
+        schedule: &ScheduledMatrix,
+        b: &[f32],
+        batch: usize,
+    ) -> (Vec<f32>, ExecutionReport) {
+        let l = self.config.length();
+        assert_eq!(
+            schedule.length(),
+            l,
+            "schedule was produced for a different GUST length"
+        );
+        assert!(batch > 0, "batch must contain at least one vector");
+        let cols = schedule.cols();
+        assert_eq!(
+            b.len(),
+            cols * batch,
+            "panel must hold batch × cols values (column-major)"
+        );
+
+        let rows = schedule.rows();
+        let mut y = vec![0.0f32; rows * batch];
+        let blocks = batch.div_ceil(Self::REG_BLOCK);
+        let workers = self.batch_workers(blocks);
+
+        if workers <= 1 {
+            let mut scratch = BlockScratch::default();
+            for (blk, y_block) in y.chunks_mut(rows * Self::REG_BLOCK).enumerate() {
+                let j0 = blk * Self::REG_BLOCK;
+                let bb = (batch - j0).min(Self::REG_BLOCK);
+                run_block(schedule, b, j0, bb, y_block, &mut scratch);
+            }
+        } else {
+            // Fan the register blocks out over `workers` threads. Each
+            // thread owns a contiguous run of output columns (disjoint
+            // chunks of the column-major panel), so no merge is needed and
+            // the result is identical to the sequential pass.
+            let per_worker = blocks.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut rest = y.as_mut_slice();
+                let mut blk = 0usize;
+                while blk < blocks {
+                    let take = per_worker.min(blocks - blk);
+                    let first_col = blk * Self::REG_BLOCK;
+                    let cols_here = (batch - first_col).min(take * Self::REG_BLOCK);
+                    let (chunk, tail) = rest.split_at_mut(rows * cols_here);
+                    rest = tail;
+                    let start_blk = blk;
+                    scope.spawn(move || {
+                        let mut scratch = BlockScratch::default();
+                        for (i, y_block) in chunk.chunks_mut(rows * Self::REG_BLOCK).enumerate() {
+                            let j0 = (start_blk + i) * Self::REG_BLOCK;
+                            let bb = (batch - j0).min(Self::REG_BLOCK);
+                            run_block(schedule, b, j0, bb, y_block, &mut scratch);
+                        }
+                    });
+                    blk += take;
+                }
+            });
+        }
+
+        (y, self.analytic_report(schedule, batch as u64))
+    }
+
+    /// Worker threads for a batched run over `blocks` register blocks
+    /// (see [`GustConfig::effective_workers`]).
+    fn batch_workers(&self, blocks: usize) -> usize {
+        self.config.effective_workers(blocks)
+    }
+
+    /// The accounting of `batch` SpMVs over `schedule`, derived from the
+    /// schedule alone: every slot is one multiply plus one accumulate, so
+    /// per-color busy counts are the slot counts the scheduler already
+    /// recorded — no counters need to watch the hot loop.
+    fn analytic_report(&self, schedule: &ScheduledMatrix, batch: u64) -> ExecutionReport {
+        let l = self.config.length();
         let streaming_cycles = schedule.total_colors();
         // Three pipeline levels add 2 cycles of fill; an empty schedule
         // (no non-zeros anywhere) never starts the pipeline at all.
@@ -130,62 +364,21 @@ impl Gust {
 
         let mut report =
             ExecutionReport::new(self.config.design_name(), l, self.config.arithmetic_units());
-        report.cycles = cycles;
-        report.nnz_processed = nnz;
-        report.busy_unit_cycles = mults.busy_unit_cycles() + adds.busy_unit_cycles();
-        report.stall_cycles = schedule.total_stalls();
-        report.multiplies = multiplies;
-        report.additions = multiplies; // one accumulate per product
+        report.cycles = batch * cycles;
+        report.nnz_processed = batch * nnz;
+        report.busy_unit_cycles = batch * 2 * nnz; // one multiply + one add per slot
+        report.stall_cycles = batch * schedule.total_stalls();
+        report.multiplies = batch * nnz;
+        report.additions = batch * nnz; // one accumulate per product
         report.frequency_hz = self.config.frequency_hz();
-        report.traffic = self.traffic(schedule);
-        GustRun { output: y, report }
-    }
-
-    /// Schedules and executes in one call.
-    #[must_use]
-    pub fn spmv(&self, matrix: &gust_sparse::CsrMatrix, x: &[f32]) -> GustRun {
-        let schedule = self.schedule(matrix);
-        self.execute(&schedule, x)
-    }
-
-    /// Sparse-matrix × dense-matrix product by schedule reuse: one SpMV per
-    /// column of `b`, all against the same preprocessed schedule (the
-    /// iterative-solver / multi-right-hand-side pattern of §5.3, and the
-    /// SpMM direction §7 names as future work for a 2D GUST).
-    ///
-    /// Returns the dense product `A·B` (column per input column) and a
-    /// combined report whose cycle count is the sum over the batch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any column of `b` has the wrong length, or `b` is empty.
-    #[must_use]
-    pub fn execute_batch(
-        &self,
-        schedule: &ScheduledMatrix,
-        b: &[Vec<f32>],
-    ) -> (Vec<Vec<f32>>, ExecutionReport) {
-        assert!(!b.is_empty(), "batch must contain at least one vector");
-        let mut outputs = Vec::with_capacity(b.len());
-        let mut combined: Option<ExecutionReport> = None;
-        for x in b {
-            let run = self.execute(schedule, x);
-            outputs.push(run.output);
-            combined = Some(match combined {
-                None => run.report,
-                Some(mut acc) => {
-                    acc.cycles += run.report.cycles;
-                    acc.nnz_processed += run.report.nnz_processed;
-                    acc.busy_unit_cycles += run.report.busy_unit_cycles;
-                    acc.stall_cycles += run.report.stall_cycles;
-                    acc.multiplies += run.report.multiplies;
-                    acc.additions += run.report.additions;
-                    acc.traffic = acc.traffic.combined(&run.report.traffic);
-                    acc
-                }
-            });
-        }
-        (outputs, combined.expect("batch is non-empty"))
+        let per_vector = self.traffic(schedule);
+        report.traffic = MemoryTraffic {
+            off_chip_reads: batch * per_vector.off_chip_reads,
+            off_chip_writes: batch * per_vector.off_chip_writes,
+            on_chip_reads: batch * per_vector.on_chip_reads,
+            on_chip_writes: batch * per_vector.on_chip_writes,
+        };
+        report
     }
 
     /// Memory-traffic model for one SpMV over `schedule` (§3.3 "Streaming
@@ -212,6 +405,109 @@ impl Gust {
             // it back out, plus one vector read per multiply.
             on_chip_reads: stream_words + nnz,
             on_chip_writes: stream_words + vector_words,
+        }
+    }
+}
+
+/// Reusable per-thread scratch of the batched kernel: the interleaved
+/// operand panel and the per-window accumulator block.
+#[derive(Debug, Default)]
+struct BlockScratch {
+    /// `xb[col * bb + j]` = panel value of column `col`, RHS `j0 + j`.
+    xb: Vec<f32>,
+    /// `acc[row_mod * bb + j]` = running sum for adder `row_mod`, RHS `j`.
+    acc: Vec<f32>,
+}
+
+/// Executes the whole schedule against one register block of `bb` ≤
+/// [`Gust::REG_BLOCK`] right-hand sides starting at panel column `j0`,
+/// writing the column-major `rows × bb` output block.
+fn run_block(
+    schedule: &ScheduledMatrix,
+    b: &[f32],
+    j0: usize,
+    bb: usize,
+    y_block: &mut [f32],
+    scratch: &mut BlockScratch,
+) {
+    let cols = schedule.cols();
+    let rows = schedule.rows();
+    let l = schedule.length();
+
+    // Interleave the block's operands: one slot's `bb` vector elements
+    // become contiguous, so the kernel's inner loop is a unit-stride
+    // multiply-accumulate. Plain resize (no clear): the interleave loop
+    // overwrites every cell, and the accumulator is zeroed per window, so
+    // stale contents from a previous block are never read.
+    scratch.xb.resize(cols * bb, 0.0);
+    for j in 0..bb {
+        let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
+        for (i, &v) in src.iter().enumerate() {
+            scratch.xb[i * bb + j] = v;
+        }
+    }
+    scratch.acc.resize(l * bb, 0.0);
+
+    let row_perm = schedule.row_perm();
+    for (w, window) in schedule.windows().iter().enumerate() {
+        let active = schedule.window_rows(w);
+        scratch.acc[..active * bb].fill(0.0);
+        if bb == Gust::REG_BLOCK {
+            window_pass::<{ Gust::REG_BLOCK }>(window, &scratch.xb, &mut scratch.acc);
+        } else {
+            window_pass_dyn(window, bb, &scratch.xb, &mut scratch.acc);
+        }
+        // Dump the active lanes through the row permutation into each
+        // output column.
+        let base = w * l;
+        for (i, acc_row) in scratch.acc[..active * bb].chunks_exact(bb).enumerate() {
+            let orig = row_perm[base + i] as usize;
+            for (j, &v) in acc_row.iter().enumerate() {
+                y_block[j * rows + orig] = v;
+            }
+        }
+    }
+}
+
+/// One window's streaming pass at a compile-time block width: the inner
+/// loop is a fixed-length array FMA, which the autovectorizer lowers to
+/// full-width SIMD.
+fn window_pass<const B: usize>(
+    window: &crate::schedule::scheduled::WindowSchedule,
+    xb: &[f32],
+    acc: &mut [f32],
+) {
+    let values = window.values();
+    let cols = window.cols();
+    let row_mods = window.row_mods();
+    for ((&v, &c), &r) in values.iter().zip(cols).zip(row_mods) {
+        let x: &[f32; B] = xb[c as usize * B..c as usize * B + B]
+            .try_into()
+            .expect("block-sized panel slice");
+        let a: &mut [f32; B] = (&mut acc[r as usize * B..r as usize * B + B])
+            .try_into()
+            .expect("block-sized accumulator slice");
+        for j in 0..B {
+            a[j] += v * x[j];
+        }
+    }
+}
+
+/// Remainder-block variant of [`window_pass`] for a runtime width `bb`.
+fn window_pass_dyn(
+    window: &crate::schedule::scheduled::WindowSchedule,
+    bb: usize,
+    xb: &[f32],
+    acc: &mut [f32],
+) {
+    let values = window.values();
+    let cols = window.cols();
+    let row_mods = window.row_mods();
+    for ((&v, &c), &r) in values.iter().zip(cols).zip(row_mods) {
+        let x = &xb[c as usize * bb..c as usize * bb + bb];
+        let a = &mut acc[r as usize * bb..r as usize * bb + bb];
+        for (aj, &xj) in a.iter_mut().zip(x) {
+            *aj += v * xj;
         }
     }
 }
@@ -256,6 +552,15 @@ mod tests {
                 ((h % 1000) as f32) / 500.0 - 1.0
             })
             .collect()
+    }
+
+    /// Column-major panel of `batch` deterministic vectors.
+    fn random_panel(n: usize, batch: usize, seed: u64) -> Vec<f32> {
+        let mut panel = Vec::with_capacity(n * batch);
+        for j in 0..batch {
+            panel.extend(random_x(n, seed + j as u64));
+        }
+        panel
     }
 
     #[test]
@@ -337,20 +642,95 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_path_is_bit_identical_to_fast_path() {
+        for (name, coo) in [
+            ("uniform", gen::uniform(48, 48, 400, 21)),
+            ("power-law", gen::power_law(48, 48, 350, 1.8, 22)),
+            ("ragged", gen::uniform(45, 45, 300, 23)), // 45 % 8 != 0
+        ] {
+            let m = CsrMatrix::from(&coo);
+            let x = random_x(m.cols(), 5);
+            let gust = Gust::new(GustConfig::new(8));
+            let s = gust.schedule(&m);
+            let fast = gust.execute(&s, &x);
+            let slow = gust.execute_instrumented(&s, &x);
+            assert_eq!(fast.output, slow.output, "{name}: outputs differ");
+            assert_eq!(fast.report, slow.report, "{name}: reports differ");
+        }
+    }
+
+    #[test]
+    fn ragged_final_window_dumps_only_live_lanes() {
+        // 10 rows at l = 4: the final window covers 2 rows. A heavy first
+        // window leaves stale sums in lanes 2..4, which must never leak
+        // into the output.
+        let m = CsrMatrix::from(&gen::uniform(10, 10, 60, 31));
+        let x = random_x(10, 6);
+        let gust = Gust::new(GustConfig::new(4));
+        let s = gust.schedule(&m);
+        assert_eq!(s.rows() % 4, 2, "test needs a ragged final window");
+        let run = gust.execute(&s, &x);
+        assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-4);
+        // And the batched kernel agrees bit for bit on the same shape.
+        let (panel_out, _) = gust.execute_batch(&s, &x, 1);
+        assert_eq!(panel_out, run.output);
+    }
+
+    #[test]
     fn execute_batch_matches_per_vector_runs() {
         let m = CsrMatrix::from(&gen::uniform(48, 48, 300, 12));
         let gust = Gust::new(GustConfig::new(8));
         let schedule = gust.schedule(&m);
-        let batch: Vec<Vec<f32>> = (0..4).map(|s| random_x(48, s)).collect();
-        let (outputs, report) = gust.execute_batch(&schedule, &batch);
+        let batch = 4usize;
+        let panel = random_panel(48, batch, 0);
+        let (outputs, report) = gust.execute_batch(&schedule, &panel, batch);
+        assert_eq!(outputs.len(), 48 * batch);
         let mut cycles = 0u64;
-        for (x, out) in batch.iter().zip(&outputs) {
+        for j in 0..batch {
+            let x = &panel[j * 48..(j + 1) * 48];
             let single = gust.execute(&schedule, x);
-            assert_eq!(out, &single.output);
+            assert_eq!(
+                &outputs[j * 48..(j + 1) * 48],
+                single.output.as_slice(),
+                "column {j} must be bit-identical to the scalar path"
+            );
             cycles += single.report.cycles;
         }
         assert_eq!(report.cycles, cycles);
         assert_eq!(report.nnz_processed, 4 * 300);
+        assert_eq!(report.busy_unit_cycles, 4 * 2 * 300);
+    }
+
+    #[test]
+    fn execute_batch_is_identical_across_worker_counts() {
+        let m = CsrMatrix::from(&gen::power_law(64, 64, 600, 1.9, 13));
+        let batch = 19usize; // 3 blocks: 8 + 8 + 3
+        let panel = random_panel(64, batch, 7);
+        let sequential = Gust::new(GustConfig::new(8).with_parallelism(Some(1)));
+        let threaded = Gust::new(GustConfig::new(8).with_parallelism(Some(4)));
+        let schedule = sequential.schedule(&m);
+        let (seq, seq_report) = sequential.execute_batch(&schedule, &panel, batch);
+        let (par, par_report) = threaded.execute_batch(&schedule, &panel, batch);
+        assert_eq!(seq, par, "thread fan-out must not change a single bit");
+        assert_eq!(seq_report, par_report);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vector")]
+    fn empty_batch_panics() {
+        let m = CsrMatrix::identity(4);
+        let gust = Gust::new(GustConfig::new(2));
+        let s = gust.schedule(&m);
+        let _ = gust.execute_batch(&s, &[], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-major")]
+    fn wrong_panel_shape_panics() {
+        let m = CsrMatrix::identity(4);
+        let gust = Gust::new(GustConfig::new(2));
+        let s = gust.schedule(&m);
+        let _ = gust.execute_batch(&s, &[1.0; 7], 2);
     }
 
     #[test]

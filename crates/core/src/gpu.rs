@@ -128,6 +128,26 @@ impl GpuMapping {
             .with_assignment(WindowAssignment::LeastLoaded)
             .execute(schedule, x)
     }
+
+    /// Executes a column-major panel of `batch` right-hand sides across
+    /// the grid (the multi-RHS pattern a GPU would batch per CTA). Panel
+    /// layout and one-pass kernel as [`crate::Gust::execute_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on schedule/panel mismatches, as
+    /// [`ParallelGust::execute_batch`].
+    #[must_use]
+    pub fn execute_batch(
+        &self,
+        schedule: &ScheduledMatrix,
+        b: &[f32],
+        batch: usize,
+    ) -> (Vec<f32>, gust_sim::ExecutionReport) {
+        ParallelGust::new(self.engine_config(), self.blocks)
+            .with_assignment(WindowAssignment::LeastLoaded)
+            .execute_batch(schedule, b, batch)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +184,21 @@ mod tests {
         let run = mapping.execute(&schedule, &x);
         assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-3);
         assert_eq!(run.per_engine_cycles.len(), 4);
+    }
+
+    #[test]
+    fn grid_batched_execution_matches_per_vector_columns() {
+        let m = CsrMatrix::from(&gen::uniform(96, 96, 700, 7));
+        let mapping = GpuMapping::new(4, 16);
+        let schedule = mapping.schedule(&m);
+        let batch = 3usize;
+        let panel: Vec<f32> = (0..96 * batch).map(|i| (i % 13) as f32 - 6.0).collect();
+        let (y, report) = mapping.execute_batch(&schedule, &panel, batch);
+        for j in 0..batch {
+            let single = mapping.execute(&schedule, &panel[j * 96..(j + 1) * 96]);
+            assert_eq!(&y[j * 96..(j + 1) * 96], single.output.as_slice());
+            assert_eq!(report.cycles, single.report.cycles * batch as u64);
+        }
     }
 
     #[test]

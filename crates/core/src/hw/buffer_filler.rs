@@ -100,10 +100,9 @@ impl<'a> BufferFiller<'a> {
             return false;
         }
         let window = &self.schedule.windows()[self.window];
-        let slots = window.color_slots(self.color);
 
         let mut lane_inputs: Vec<Option<LaneInput>> = vec![None; l];
-        for s in slots {
+        for s in window.iter_color(self.color) {
             // The Buffer Filler fetches the vector operand from its on-chip
             // copy using Col_sch.
             self.traffic.on_chip_reads += 1;

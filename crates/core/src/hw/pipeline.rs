@@ -288,6 +288,11 @@ mod tests {
                 report.busy_unit_cycles, fast.report.busy_unit_cycles,
                 "seed {seed}"
             );
+            // And the instrumented walk, whose counters measure what the
+            // fast path derives analytically, agrees with both.
+            let instrumented = gust.execute_instrumented(&schedule, &x);
+            assert_eq!(instrumented.output, fast.output, "seed {seed}");
+            assert_eq!(instrumented.report, fast.report, "seed {seed}");
         }
     }
 

@@ -113,7 +113,53 @@ impl ParallelGust {
         // Functional result comes from the (equivalent) sequential engine.
         let single: GustRun = Gust::new(self.config.clone()).execute(schedule, x);
 
-        // Timing: distribute window color counts over k engines.
+        let per_engine = self.assign_windows(schedule);
+        let makespan = per_engine.iter().copied().max().unwrap_or(0) + 2;
+
+        let mut report = single.report.clone();
+        report.design = format!("{}x{}", self.k, report.design);
+        report.cycles = makespan;
+        report.arithmetic_units = self.arithmetic_units();
+        ParallelRun {
+            output: single.output,
+            report,
+            per_engine_cycles: per_engine,
+        }
+    }
+
+    /// Executes a whole column-major panel of `batch` right-hand sides
+    /// across the `k` engines (see [`crate::Gust::execute_batch`] for the
+    /// panel layout and the one-pass batched kernel).
+    ///
+    /// The functional result is the single-engine batched run; timing
+    /// models each engine streaming its window assignment once per
+    /// register pass, i.e. the makespan scales with `batch` exactly as the
+    /// sequential batched report does.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::Gust::execute_batch`].
+    #[must_use]
+    pub fn execute_batch(
+        &self,
+        schedule: &ScheduledMatrix,
+        b: &[f32],
+        batch: usize,
+    ) -> (Vec<f32>, ExecutionReport) {
+        let (output, mut report) = Gust::new(self.config.clone()).execute_batch(schedule, b, batch);
+        // Every engine repeats its window set once per right-hand side, so
+        // the batched makespan is the single-vector makespan × batch.
+        let per_engine = self.assign_windows(schedule);
+        let makespan = per_engine.iter().copied().max().unwrap_or(0) + 2;
+        report.design = format!("{}x{}", self.k, report.design);
+        report.arithmetic_units = self.arithmetic_units();
+        report.cycles = makespan * batch as u64;
+        (output, report)
+    }
+
+    /// Streaming cycles each engine carries under the configured window
+    /// assignment (before the +2 pipeline depth).
+    fn assign_windows(&self, schedule: &ScheduledMatrix) -> Vec<u64> {
         let colors: Vec<u64> = schedule
             .windows()
             .iter()
@@ -140,17 +186,7 @@ impl ParallelGust {
                 }
             }
         }
-        let makespan = per_engine.iter().copied().max().unwrap_or(0) + 2;
-
-        let mut report = single.report.clone();
-        report.design = format!("{}x{}", self.k, report.design);
-        report.cycles = makespan;
-        report.arithmetic_units = self.arithmetic_units();
-        ParallelRun {
-            output: single.output,
-            report,
-            per_engine_cycles: per_engine,
-        }
+        per_engine
     }
 }
 
@@ -211,6 +247,28 @@ mod tests {
         let run = ParallelGust::new(GustConfig::new(8), 3).execute(&schedule, &x);
         let sum: u64 = run.per_engine_cycles.iter().sum();
         assert_eq!(sum, schedule.total_colors());
+    }
+
+    #[test]
+    fn batched_run_matches_sequential_batched_kernel() {
+        let (_, schedule, x) = setup(7);
+        let batch = 5usize;
+        let mut panel = Vec::with_capacity(64 * batch);
+        for j in 0..batch {
+            panel.extend(x.iter().map(|&v| v + j as f32));
+        }
+        let parallel = ParallelGust::new(GustConfig::new(8), 3);
+        let (output, report) = parallel.execute_batch(&schedule, &panel, batch);
+        let (expected, _) = Gust::new(GustConfig::new(8)).execute_batch(&schedule, &panel, batch);
+        assert_eq!(
+            output, expected,
+            "functional result is engine-count invariant"
+        );
+        // Makespan scales with the batch and with engine count.
+        let single = parallel.execute(&schedule, &x);
+        assert_eq!(report.cycles, single.report.cycles * batch as u64);
+        assert!(report.design.starts_with("3x"));
+        assert_eq!(report.arithmetic_units, 3 * 16);
     }
 
     #[test]

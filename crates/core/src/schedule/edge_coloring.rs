@@ -315,7 +315,7 @@ mod tests {
     fn assert_valid(schedule: &WindowSchedule, window: &Window, l: usize) {
         let mut total = 0usize;
         for c in 0..schedule.colors() {
-            let bucket = schedule.color_slots(c);
+            let bucket: Vec<_> = schedule.iter_color(c).collect();
             let mut lanes: Vec<u32> = bucket.iter().map(|s| s.lane).collect();
             lanes.sort_unstable();
             assert!(lanes.windows(2).all(|w| w[0] != w[1]), "lane collision");

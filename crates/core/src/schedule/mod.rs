@@ -100,14 +100,10 @@ impl Scheduler {
         )
     }
 
-    /// Worker threads to use for `window_count` windows: the configured
-    /// count, or the host's available parallelism, never more than one per
-    /// window.
+    /// Worker threads to use for `window_count` windows (see
+    /// [`GustConfig::effective_workers`]).
     fn worker_count(&self, window_count: usize) -> usize {
-        let requested = self.config.parallelism().unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        });
-        requested.max(1).min(window_count.max(1))
+        self.config.effective_workers(window_count)
     }
 
     fn schedule_sequential(

@@ -215,9 +215,9 @@ mod tests {
         let (schedule, outcome) = arbitrate_to_schedule(&plan.window(&m, 0), 4);
         // Cycle 1: the two uniques; cycles 2-3: the colliding pair drains.
         assert_eq!(outcome.cycles, 3);
-        assert_eq!(schedule.color_slots(0).len(), 2);
-        assert_eq!(schedule.color_slots(1).len(), 1);
-        assert_eq!(schedule.color_slots(2).len(), 1);
+        assert_eq!(schedule.color_len(0), 2);
+        assert_eq!(schedule.color_len(1), 1);
+        assert_eq!(schedule.color_len(2), 1);
     }
 
     #[test]
@@ -243,7 +243,7 @@ mod tests {
         for wi in 0..plan.window_count() {
             let (schedule, _) = arbitrate_to_schedule(&plan.window(&m, wi), 8);
             for c in 0..schedule.colors() {
-                let bucket = schedule.color_slots(c);
+                let bucket: Vec<_> = schedule.iter_color(c).collect();
                 let mut lanes: Vec<u32> = bucket.iter().map(|s| s.lane).collect();
                 lanes.sort_unstable();
                 assert!(lanes.windows(2).all(|p| p[0] != p[1]));

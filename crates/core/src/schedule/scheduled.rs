@@ -5,12 +5,30 @@
 //! lanes with their value, destination adder and original column — which is
 //! O(nnz) memory at any utilization. [`ScheduledMatrix::dense_m_sch`] and
 //! friends materialize the paper's dense arrays on demand (Listing 2).
+//!
+//! # Layout
+//!
+//! A [`WindowSchedule`] is a structure of arrays: four parallel flat arrays
+//! (`values`, `cols`, `row_mods`, `lanes`) indexed by slot id, plus
+//! CSR-style per-color offsets (`color_ptr`). The arrays are color-major
+//! (all slots of color 0, then color 1, …) and lane-sorted within each
+//! color, so the execution engine streams each window as one contiguous
+//! pass: the multiply-gather loop reads `values`/`cols` sequentially and
+//! the per-adder accumulation order equals the per-color order the
+//! hardware pipeline uses — which is what makes the fast engine bit-exact
+//! against [`crate::hw::GustPipeline`] while staying autovectorizable.
+//! [`ScheduledSlot`] remains as a by-value view for call sites that want
+//! one record per slot (serialization, tests, the structural pipeline).
 
 use gust_sparse::CsrMatrix;
+use std::ops::Range;
 
 /// One occupied slot of the schedule: at some cycle, lane `lane` multiplies
 /// `value` by vector element `col` and the crossbar routes the product to
 /// adder `row_mod`.
+///
+/// This is a *view* assembled on demand from the structure-of-arrays
+/// storage of [`WindowSchedule`]; it is not how slots are stored.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScheduledSlot {
@@ -25,7 +43,8 @@ pub struct ScheduledSlot {
     pub value: f32,
 }
 
-/// The schedule of one window (one set of `l` rows).
+/// The schedule of one window (one set of `l` rows), stored as a structure
+/// of arrays (see the module docs).
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WindowSchedule {
@@ -35,46 +54,59 @@ pub struct WindowSchedule {
     vizing_bound: u32,
     /// Stalled lane-cycles (non-zero only under naive scheduling).
     stalls: u64,
-    /// `color_ptr[c]..color_ptr[c+1]` indexes `slots` for color `c`.
+    /// `color_ptr[c]..color_ptr[c+1]` indexes the slot arrays for color `c`.
     color_ptr: Vec<u32>,
-    /// Slots grouped by color, sorted by lane within each color.
-    slots: Vec<ScheduledSlot>,
+    /// Multiplier lane per slot, ascending within each color.
+    lanes: Vec<u32>,
+    /// Destination adder (`Row_sch`) per slot.
+    row_mods: Vec<u32>,
+    /// Original column (`Col_sch`) per slot.
+    cols: Vec<u32>,
+    /// Matrix value (`M_sch`) per slot.
+    values: Vec<f32>,
 }
 
 impl WindowSchedule {
-    /// Assembles a window schedule directly from the flat representation:
-    /// `color_ptr[c]..color_ptr[c+1]` must index `slots` for color `c`,
-    /// with slots sorted by lane within each color. This is the zero-copy
-    /// constructor used by the scheduling pipeline
-    /// ([`crate::schedule::workspace::ColorScratch::assemble`]) and the
-    /// binary reader.
+    /// Assembles a window schedule directly from the structure-of-arrays
+    /// representation: `color_ptr[c]..color_ptr[c+1]` must index the four
+    /// slot arrays for color `c`, with slots sorted by lane within each
+    /// color. This is the zero-copy constructor used by the scheduling
+    /// pipeline ([`crate::schedule::workspace::ColorScratch::assemble`])
+    /// and the binary reader.
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) if the pointers are inconsistent, a color's
-    /// slots are not sorted by lane, or any color contains two slots on one
-    /// lane or one adder — those are exactly the collisions the scheduler
-    /// exists to prevent.
+    /// Panics (in debug builds) if the arrays disagree in length, the
+    /// pointers are inconsistent, a color's slots are not sorted by lane,
+    /// or any color contains two slots on one lane or one adder — those
+    /// are exactly the collisions the scheduler exists to prevent.
     #[must_use]
-    pub fn from_flat(
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_soa(
         colors: u32,
         vizing_bound: u32,
         stalls: u64,
         color_ptr: Vec<u32>,
-        slots: Vec<ScheduledSlot>,
+        lanes: Vec<u32>,
+        row_mods: Vec<u32>,
+        cols: Vec<u32>,
+        values: Vec<f32>,
     ) -> Self {
         debug_assert_eq!(color_ptr.len(), colors as usize + 1);
         debug_assert_eq!(color_ptr.first().copied(), Some(0));
-        debug_assert_eq!(color_ptr.last().copied(), Some(slots.len() as u32));
+        debug_assert_eq!(color_ptr.last().copied(), Some(lanes.len() as u32));
+        debug_assert_eq!(lanes.len(), row_mods.len());
+        debug_assert_eq!(lanes.len(), cols.len());
+        debug_assert_eq!(lanes.len(), values.len());
         #[cfg(debug_assertions)]
         for c in 0..colors as usize {
             debug_assert!(color_ptr[c] <= color_ptr[c + 1], "color_ptr must be sorted");
-            let bucket = &slots[color_ptr[c] as usize..color_ptr[c + 1] as usize];
+            let bucket = color_ptr[c] as usize..color_ptr[c + 1] as usize;
             debug_assert!(
-                bucket.windows(2).all(|w| w[0].lane < w[1].lane),
+                lanes[bucket.clone()].windows(2).all(|w| w[0] < w[1]),
                 "slots of one color must be lane-sorted and never share a lane"
             );
-            let mut adders: Vec<u32> = bucket.iter().map(|s| s.row_mod).collect();
+            let mut adders: Vec<u32> = row_mods[bucket].to_vec();
             adders.sort_unstable();
             debug_assert!(
                 adders.windows(2).all(|w| w[0] != w[1]),
@@ -86,13 +118,47 @@ impl WindowSchedule {
             vizing_bound,
             stalls,
             color_ptr,
-            slots,
+            lanes,
+            row_mods,
+            cols,
+            values,
         }
+    }
+
+    /// Assembles a window schedule from a flat array-of-structs slot list
+    /// (color-major, lane-sorted within each color). Compatibility
+    /// constructor: splits the records into the structure-of-arrays form.
+    ///
+    /// # Panics
+    ///
+    /// Same (debug-build) validation as [`WindowSchedule::from_soa`].
+    #[must_use]
+    pub fn from_flat(
+        colors: u32,
+        vizing_bound: u32,
+        stalls: u64,
+        color_ptr: Vec<u32>,
+        slots: Vec<ScheduledSlot>,
+    ) -> Self {
+        let lanes = slots.iter().map(|s| s.lane).collect();
+        let row_mods = slots.iter().map(|s| s.row_mod).collect();
+        let cols = slots.iter().map(|s| s.col).collect();
+        let values = slots.iter().map(|s| s.value).collect();
+        Self::from_soa(
+            colors,
+            vizing_bound,
+            stalls,
+            color_ptr,
+            lanes,
+            row_mods,
+            cols,
+            values,
+        )
     }
 
     /// Assembles a window schedule from per-color slot lists. Convenience
     /// constructor for tests and small examples; the pipeline itself builds
-    /// the flat form directly (see [`WindowSchedule::from_flat`]).
+    /// the flat form directly (see [`WindowSchedule::from_soa`]).
     #[must_use]
     pub fn from_colors(per_color: Vec<Vec<ScheduledSlot>>, vizing_bound: u32, stalls: u64) -> Self {
         let colors = per_color.len() as u32;
@@ -129,25 +195,86 @@ impl WindowSchedule {
     /// Non-zeros scheduled in this window.
     #[must_use]
     pub fn nnz(&self) -> usize {
-        self.slots.len()
+        self.values.len()
     }
 
-    /// Slots of color `c`, sorted by lane.
+    /// The slot-id range of color `c`.
     ///
     /// # Panics
     ///
     /// Panics if `c >= self.colors()`.
     #[must_use]
-    pub fn color_slots(&self, c: u32) -> &[ScheduledSlot] {
-        let lo = self.color_ptr[c as usize] as usize;
-        let hi = self.color_ptr[c as usize + 1] as usize;
-        &self.slots[lo..hi]
+    pub fn color_range(&self, c: u32) -> Range<usize> {
+        self.color_ptr[c as usize] as usize..self.color_ptr[c as usize + 1] as usize
     }
 
-    /// All slots, grouped by color.
+    /// Number of occupied slots in color `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.colors()`.
     #[must_use]
-    pub fn slots(&self) -> &[ScheduledSlot] {
-        &self.slots
+    pub fn color_len(&self, c: u32) -> usize {
+        self.color_range(c).len()
+    }
+
+    /// The CSR-style per-color offsets into the slot arrays.
+    #[must_use]
+    pub fn color_ptr(&self) -> &[u32] {
+        &self.color_ptr
+    }
+
+    /// Multiplier lane per slot (color-major, lane-sorted within a color).
+    #[must_use]
+    pub fn lanes(&self) -> &[u32] {
+        &self.lanes
+    }
+
+    /// Destination adder (`Row_sch`) per slot.
+    #[must_use]
+    pub fn row_mods(&self) -> &[u32] {
+        &self.row_mods
+    }
+
+    /// Original column (`Col_sch`) per slot.
+    #[must_use]
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Matrix value (`M_sch`) per slot.
+    #[must_use]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The slot record at flat index `i` (color-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.nnz()`.
+    #[must_use]
+    pub fn slot(&self, i: usize) -> ScheduledSlot {
+        ScheduledSlot {
+            lane: self.lanes[i],
+            row_mod: self.row_mods[i],
+            col: self.cols[i],
+            value: self.values[i],
+        }
+    }
+
+    /// Iterates the slots of color `c`, in ascending lane order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.colors()`.
+    pub fn iter_color(&self, c: u32) -> impl ExactSizeIterator<Item = ScheduledSlot> + '_ {
+        self.color_range(c).map(move |i| self.slot(i))
+    }
+
+    /// Iterates all slots, color-major (the streaming order).
+    pub fn iter_slots(&self) -> impl ExactSizeIterator<Item = ScheduledSlot> + '_ {
+        (0..self.nnz()).map(move |i| self.slot(i))
     }
 }
 
@@ -225,6 +352,18 @@ impl ScheduledMatrix {
         &self.row_perm
     }
 
+    /// Rows covered by window `w`: `min(l, rows - w·l)`. Equal to `l` for
+    /// every window except possibly the ragged final one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[must_use]
+    pub fn window_rows(&self, w: usize) -> usize {
+        assert!(w < self.windows.len(), "window {w} out of range");
+        (self.rows - w * self.length).min(self.length)
+    }
+
     /// Total colors across windows — the streaming cycle count, to which
     /// the engine adds the pipeline depth of 2 (paper: "execution time …
     /// is the sum of the number of colors for all of the edge sets plus 2").
@@ -290,20 +429,21 @@ impl ScheduledMatrix {
         let mut rebuilt: Vec<(u32, u32, u32)> = Vec::with_capacity(self.nnz);
         for (w, window) in self.windows.iter().enumerate() {
             for c in 0..window.colors() {
-                let slots = window.color_slots(c);
-                for pair in slots.windows(2) {
-                    assert_ne!(pair[0].lane, pair[1].lane, "lane collision");
+                let bucket = window.color_range(c);
+                let lanes = &window.lanes[bucket.clone()];
+                for pair in lanes.windows(2) {
+                    assert_ne!(pair[0], pair[1], "lane collision");
                 }
-                let mut adders: Vec<u32> = slots.iter().map(|s| s.row_mod).collect();
+                let mut adders: Vec<u32> = window.row_mods[bucket.clone()].to_vec();
                 adders.sort_unstable();
                 for pair in adders.windows(2) {
                     assert_ne!(pair[0], pair[1], "adder collision");
                 }
-                for s in slots {
-                    let pos = w * self.length + s.row_mod as usize;
+                for i in bucket {
+                    let pos = w * self.length + window.row_mods[i] as usize;
                     assert!(pos < self.rows, "adder index outside window rows");
                     let orig_row = self.row_perm[pos];
-                    rebuilt.push((orig_row, s.col, s.value.to_bits()));
+                    rebuilt.push((orig_row, window.cols[i], window.values[i].to_bits()));
                 }
             }
             assert!(
@@ -340,18 +480,16 @@ impl ScheduledMatrix {
         assert_eq!(self.nnz, matrix.nnz(), "sparsity pattern mismatch");
         let l = self.length;
         for (w, window) in self.windows.iter_mut().enumerate() {
-            for slot in &mut window.slots {
-                let pos = w * l + slot.row_mod as usize;
+            for i in 0..window.values.len() {
+                let pos = w * l + window.row_mods[i] as usize;
                 debug_assert!(pos < self.rows);
                 let orig_row = self.row_perm[pos] as usize;
                 let (cols, vals) = matrix.row(orig_row);
-                let k = cols.binary_search(&slot.col).unwrap_or_else(|_| {
-                    panic!(
-                        "sparsity pattern mismatch: ({orig_row}, {}) not in matrix",
-                        slot.col
-                    )
+                let col = window.cols[i];
+                let k = cols.binary_search(&col).unwrap_or_else(|_| {
+                    panic!("sparsity pattern mismatch: ({orig_row}, {col}) not in matrix")
                 });
-                slot.value = vals[k];
+                window.values[i] = vals[k];
             }
         }
     }
@@ -393,12 +531,12 @@ impl ScheduledMatrix {
     fn dense_window<T: Copy>(
         &self,
         window: usize,
-        f: impl Fn(&ScheduledSlot) -> T,
+        f: impl Fn(ScheduledSlot) -> T,
     ) -> Vec<Vec<Option<T>>> {
         let w = &self.windows[window];
         let mut grid = vec![vec![None; self.length]; w.colors() as usize];
         for c in 0..w.colors() {
-            for s in w.color_slots(c) {
+            for s in w.iter_color(c) {
                 grid[c as usize][s.lane as usize] = Some(f(s));
             }
         }
@@ -443,9 +581,39 @@ mod tests {
         );
         assert_eq!(w.colors(), 2);
         assert_eq!(w.nnz(), 3);
-        let c0: Vec<u32> = w.color_slots(0).iter().map(|s| s.lane).collect();
+        let c0: Vec<u32> = w.iter_color(0).map(|s| s.lane).collect();
         assert_eq!(c0, vec![0, 2]);
-        assert_eq!(w.color_slots(1).len(), 1);
+        assert_eq!(w.color_len(1), 1);
+    }
+
+    #[test]
+    fn soa_arrays_are_parallel_and_color_major() {
+        let w = WindowSchedule::from_colors(
+            vec![
+                vec![slot(0, 0, 4, 1.5), slot(1, 1, 3, 2.5)],
+                vec![slot(1, 0, 1, 3.5)],
+            ],
+            2,
+            0,
+        );
+        assert_eq!(w.lanes(), &[0, 1, 1]);
+        assert_eq!(w.row_mods(), &[0, 1, 0]);
+        assert_eq!(w.cols(), &[4, 3, 1]);
+        assert_eq!(w.values(), &[1.5, 2.5, 3.5]);
+        assert_eq!(w.color_ptr(), &[0, 2, 3]);
+        assert_eq!(w.color_range(1), 2..3);
+        assert_eq!(w.slot(2), slot(1, 0, 1, 3.5));
+        let all: Vec<ScheduledSlot> = w.iter_slots().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], slot(0, 0, 4, 1.5));
+    }
+
+    #[test]
+    fn from_flat_round_trips_through_soa() {
+        let slots = vec![slot(0, 1, 7, 1.0), slot(3, 0, 2, 2.0), slot(1, 2, 9, 3.0)];
+        let w = WindowSchedule::from_flat(2, 2, 0, vec![0, 2, 3], slots.clone());
+        let back: Vec<ScheduledSlot> = w.iter_slots().collect();
+        assert_eq!(back, slots);
     }
 
     #[test]
@@ -479,6 +647,16 @@ mod tests {
         assert_eq!(s.nnz(), 3);
         // 3 nnz over (2 lanes × 5 cycles).
         assert!((s.predicted_utilization() - 3.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_rows_handles_ragged_final_window() {
+        let w1 = WindowSchedule::from_colors(vec![vec![slot(0, 0, 0, 1.0)]], 1, 0);
+        let w2 = WindowSchedule::from_colors(vec![vec![slot(0, 0, 0, 2.0)]], 1, 0);
+        // 5 rows at l = 3: windows cover 3 and 2 rows.
+        let s = ScheduledMatrix::from_parts(3, 5, 5, vec![0, 1, 2, 3, 4], vec![w1, w2]);
+        assert_eq!(s.window_rows(0), 3);
+        assert_eq!(s.window_rows(1), 2);
     }
 
     #[test]

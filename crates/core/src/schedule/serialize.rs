@@ -19,7 +19,7 @@
 //! schedule matches [`ScheduledMatrix::dense_stream_bytes`] up to the
 //! per-cell bookkeeping this container format adds.
 
-use super::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
+use super::scheduled::{ScheduledMatrix, WindowSchedule};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"GUST";
@@ -74,24 +74,29 @@ pub fn write_schedule<W: Write>(schedule: &ScheduledMatrix, mut writer: W) -> io
         writer.write_all(&window.colors().to_le_bytes())?;
         writer.write_all(&window.vizing_bound().to_le_bytes())?;
         writer.write_all(&window.stalls().to_le_bytes())?;
-        // Dense per-color grid, lane-major within a color.
-        let mut grid: Vec<Option<ScheduledSlot>> = vec![None; l];
+        // Dense per-color grid, lane-major within a color. The SoA slots of
+        // one color are already lane-sorted, so a merge against `0..l`
+        // produces the dense cells without any scratch grid.
         for c in 0..window.colors() {
-            grid.iter_mut().for_each(|cell| *cell = None);
-            for slot in window.color_slots(c) {
-                grid[slot.lane as usize] = Some(*slot);
-            }
-            for cell in &grid {
-                match cell {
-                    Some(slot) => {
+            let mut slots = window.iter_color(c).peekable();
+            for lane in 0..l as u32 {
+                match slots.peek() {
+                    Some(slot) if slot.lane == lane => {
                         writer.write_all(&[1u8])?;
                         writer.write_all(&slot.value.to_le_bytes())?;
                         writer.write_all(&slot.row_mod.to_le_bytes())?;
                         writer.write_all(&slot.col.to_le_bytes())?;
+                        slots.next();
                     }
-                    None => writer.write_all(&[0u8])?,
+                    _ => writer.write_all(&[0u8])?,
                 }
             }
+            // A slot whose lane is outside 0..l can never merge; dropping
+            // it silently would serialize a wrong schedule.
+            assert!(
+                slots.peek().is_none(),
+                "slot lane out of range for schedule length {l}"
+            );
         }
     }
     Ok(())
@@ -137,8 +142,12 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
         let vizing = read_u32(&mut reader)?;
         let stalls = read_u64(&mut reader)?;
         // The stream stores each color's cells in lane order, which is
-        // exactly the flat format's slot order — build it directly.
-        let mut slots: Vec<ScheduledSlot> = Vec::new();
+        // exactly the structure-of-arrays slot order — fill the four
+        // parallel arrays directly.
+        let mut lanes: Vec<u32> = Vec::new();
+        let mut row_mods: Vec<u32> = Vec::new();
+        let mut cols_arr: Vec<u32> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
         let mut color_ptr: Vec<u32> = Vec::with_capacity(colors as usize + 1);
         color_ptr.push(0);
         for _ in 0..colors {
@@ -156,12 +165,10 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
                                 "row_mod {row_mod} out of range for length {length}"
                             )));
                         }
-                        slots.push(ScheduledSlot {
-                            lane: lane as u32,
-                            row_mod,
-                            col,
-                            value,
-                        });
+                        lanes.push(lane as u32);
+                        row_mods.push(row_mod);
+                        cols_arr.push(col);
+                        values.push(value);
                     }
                     other => {
                         return Err(ReadScheduleError::Format(format!(
@@ -170,10 +177,10 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
                     }
                 }
             }
-            color_ptr.push(slots.len() as u32);
+            color_ptr.push(lanes.len() as u32);
         }
-        windows.push(WindowSchedule::from_flat(
-            colors, vizing, stalls, color_ptr, slots,
+        windows.push(WindowSchedule::from_soa(
+            colors, vizing, stalls, color_ptr, lanes, row_mods, cols_arr, values,
         ));
     }
     Ok(ScheduledMatrix::from_parts(

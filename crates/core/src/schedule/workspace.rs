@@ -21,7 +21,7 @@
 //!    tight, exactly-sized [`WindowSchedule`] (the only allocation that
 //!    survives the window).
 
-use super::scheduled::{ScheduledSlot, WindowSchedule};
+use super::scheduled::WindowSchedule;
 use super::windows::{LaneScratch, Window};
 
 /// Sentinel for "no color assigned yet" in scratch tables.
@@ -168,15 +168,17 @@ impl ColorScratch {
     /// [`WindowSchedule`]: slots grouped by color, sorted by lane within
     /// each color. Edges are visited in lane-major order (a second
     /// counting sort), so every color bucket comes out lane-sorted without
-    /// any comparison sort. The only allocations are the two exactly-sized
-    /// output arrays.
+    /// any comparison sort. The output is written straight into the
+    /// structure-of-arrays layout the execution engine streams
+    /// (`values`/`cols`/`row_mods`/`lanes`); the only allocations are the
+    /// exactly-sized output arrays.
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) if an edge is uncolored or a color holds
     /// two slots on one lane or one adder — the collisions the scheduler
     /// exists to prevent (checked by
-    /// [`WindowSchedule::from_flat`]).
+    /// [`WindowSchedule::from_soa`]).
     #[must_use]
     pub fn assemble(
         &mut self,
@@ -236,30 +238,32 @@ impl ColorScratch {
         self.color_cursor
             .extend_from_slice(&color_ptr[..colors as usize]);
 
-        let mut slots = vec![
-            ScheduledSlot {
-                lane: 0,
-                row_mod: 0,
-                col: 0,
-                value: 0.0,
-            };
-            nnz
-        ];
+        let mut lanes = vec![0u32; nnz];
+        let mut row_mods = vec![0u32; nnz];
+        let mut cols = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
         for &eid in &self.lane_edges {
             let eid = eid as usize;
             let e = edges[eid];
             let c = self.edge_color[eid] as usize;
             let at = self.color_cursor[c] as usize;
             self.color_cursor[c] += 1;
-            slots[at] = ScheduledSlot {
-                lane: e.lane,
-                row_mod: self.edge_row[eid],
-                col: e.col,
-                value: e.value,
-            };
+            lanes[at] = e.lane;
+            row_mods[at] = self.edge_row[eid];
+            cols[at] = e.col;
+            values[at] = e.value;
         }
 
-        WindowSchedule::from_flat(colors, vizing_bound, stalls, color_ptr, slots)
+        WindowSchedule::from_soa(
+            colors,
+            vizing_bound,
+            stalls,
+            color_ptr,
+            lanes,
+            row_mods,
+            cols,
+            values,
+        )
     }
 }
 
@@ -287,6 +291,7 @@ impl ColoringWorkspace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::scheduled::ScheduledSlot;
     use crate::schedule::windows::WindowPlan;
     use gust_sparse::prelude::*;
 
@@ -313,7 +318,7 @@ mod tests {
             let assembled = ws.scratch.assemble(window, nnz as u32, bound, 0);
 
             let per_color: Vec<Vec<ScheduledSlot>> = (0..nnz)
-                .map(|c| vec![assembled.color_slots(c as u32)[0]])
+                .map(|c| vec![assembled.iter_color(c as u32).next().expect("one slot")])
                 .collect();
             let reference = WindowSchedule::from_colors(per_color, bound, 0);
             assert_eq!(assembled, reference);

@@ -105,6 +105,11 @@ impl CscMatrix {
 
     /// SpMV (`y = A·x`) by scattering columns, `f32` accumulation.
     ///
+    /// The per-column scatter is unrolled four-wide: row indices within a
+    /// column are strictly increasing, so the four scaled products are
+    /// independent stores and the multiply side keeps no loop-carried
+    /// dependency.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
@@ -117,7 +122,19 @@ impl CscMatrix {
                 continue;
             }
             let (rows, vals) = self.col(j);
-            for (&r, &v) in rows.iter().zip(vals) {
+            let mut chunks_r = rows.chunks_exact(4);
+            let mut chunks_v = vals.chunks_exact(4);
+            for (r, v) in (&mut chunks_r).zip(&mut chunks_v) {
+                let p0 = v[0] * xj;
+                let p1 = v[1] * xj;
+                let p2 = v[2] * xj;
+                let p3 = v[3] * xj;
+                y[r[0] as usize] += p0;
+                y[r[1] as usize] += p1;
+                y[r[2] as usize] += p2;
+                y[r[3] as usize] += p3;
+            }
+            for (&r, &v) in chunks_r.remainder().iter().zip(chunks_v.remainder()) {
                 y[r as usize] += v * xj;
             }
         }

@@ -67,7 +67,9 @@ pub mod prelude {
     pub use crate::error::SparseError;
     pub use crate::gen::{self, MatrixKind};
     pub use crate::lil::LilMatrix;
-    pub use crate::ops::{assert_vectors_close, max_relative_error, reference_spmv};
+    pub use crate::ops::{
+        assert_vectors_close, max_relative_error, reference_spmm_panel, reference_spmv,
+    };
     pub use crate::permute::Permutation;
     pub use crate::stats::MatrixStats;
     pub use crate::suite;

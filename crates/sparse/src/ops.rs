@@ -27,6 +27,31 @@ pub fn reference_spmv(a: &CsrMatrix, x: &[f32]) -> Vec<f32> {
     a.spmv_f64(x).into_iter().map(|v| v as f32).collect()
 }
 
+/// Reference `Y = A·B` over a flat column-major panel: vector `j` of `b`
+/// occupies `b[j * a.cols() .. (j + 1) * a.cols()]`, and the result is the
+/// `a.rows() × batch` output panel in the same layout. Each column is
+/// computed with [`reference_spmv`]'s `f64` accumulation. This is the
+/// numerical reference for batched engines (`gust::Gust::execute_batch`).
+///
+/// # Panics
+///
+/// Panics if `batch == 0` or `b.len() != a.cols() * batch`.
+#[must_use]
+pub fn reference_spmm_panel(a: &CsrMatrix, b: &[f32], batch: usize) -> Vec<f32> {
+    assert!(batch > 0, "batch must contain at least one vector");
+    assert_eq!(
+        b.len(),
+        a.cols() * batch,
+        "panel must hold batch × cols values (column-major)"
+    );
+    let mut y = Vec::with_capacity(a.rows() * batch);
+    for j in 0..batch {
+        let x = &b[j * a.cols()..(j + 1) * a.cols()];
+        y.extend(reference_spmv(a, x));
+    }
+    y
+}
+
 /// Largest relative error between two vectors:
 /// `max_i |a_i - b_i| / max(1, |a_i|, |b_i|)`.
 ///
@@ -117,6 +142,24 @@ mod tests {
             CooMatrix::from_triplets(2, 2, vec![(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)]).unwrap();
         let a = CsrMatrix::from(&coo);
         assert_eq!(reference_spmv(&a, &[1.0, 2.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn reference_panel_is_per_column_spmv() {
+        let coo =
+            CooMatrix::from_triplets(2, 2, vec![(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)]).unwrap();
+        let a = CsrMatrix::from(&coo);
+        let panel = [1.0, 2.0, 0.5, 4.0]; // two columns
+        let y = reference_spmm_panel(&a, &panel, 2);
+        assert_eq!(&y[..2], reference_spmv(&a, &panel[..2]).as_slice());
+        assert_eq!(&y[2..], reference_spmv(&a, &panel[2..]).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "column-major")]
+    fn reference_panel_rejects_bad_shape() {
+        let a = CsrMatrix::identity(3);
+        let _ = reference_spmm_panel(&a, &[1.0; 5], 2);
     }
 
     #[test]

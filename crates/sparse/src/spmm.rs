@@ -46,7 +46,10 @@ pub fn spmm(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
     c
 }
 
-/// SpMM as a sequence of column SpMVs — the layout `execute_batch` uses.
+/// SpMM as a sequence of column SpMVs — one `Vec` per output column
+/// (concatenated, this is the flat column-major panel
+/// `Gust::execute_batch` produces; see also
+/// [`crate::ops::reference_spmm_panel`]).
 ///
 /// # Panics
 ///

@@ -191,23 +191,30 @@ proptest! {
         prop_assert!(max_relative_error(&run.output, &expected) < 1e-3);
     }
 
-    /// Batch execution equals column-by-column SpMM.
+    /// Batch execution over a flat column-major panel equals
+    /// column-by-column SpMM.
     #[test]
     fn batch_execution_matches_spmm(matrix in arb_matrix(), l in 2usize..10) {
         use gust_sparse::spmm::spmm_by_columns;
         use gust_sparse::DenseMatrix;
         let cols = matrix.cols();
+        let rows = matrix.rows();
         let b_cols = 3usize;
         let data: Vec<f32> = (0..cols * b_cols).map(|i| ((i % 11) as f32) / 3.0 - 1.5).collect();
         let b = DenseMatrix::from_row_major(cols, b_cols, data);
         let gust = Gust::new(GustConfig::new(l));
         let schedule = gust.schedule(&matrix);
-        let batch: Vec<Vec<f32>> = (0..b_cols)
-            .map(|j| (0..cols).map(|i| b.get(i, j)).collect())
-            .collect();
-        let (outputs, _) = gust.execute_batch(&schedule, &batch);
+        // Column-major panel: vector j occupies panel[j*cols..(j+1)*cols].
+        let mut panel: Vec<f32> = Vec::with_capacity(cols * b_cols);
+        for j in 0..b_cols {
+            panel.extend((0..cols).map(|i| b.get(i, j)));
+        }
+        let (outputs, report) = gust.execute_batch(&schedule, &panel, b_cols);
+        prop_assert_eq!(outputs.len(), rows * b_cols);
+        prop_assert_eq!(report.nnz_processed, (b_cols * matrix.nnz()) as u64);
         let expected = spmm_by_columns(&matrix, &b);
-        for (got, want) in outputs.iter().zip(&expected) {
+        for (j, want) in expected.iter().enumerate() {
+            let got = &outputs[j * rows..(j + 1) * rows];
             prop_assert!(max_relative_error(got, want) < 1e-3);
         }
     }
