@@ -60,7 +60,9 @@ fn execution(c: &mut Criterion) {
     let schedule = gust.schedule(&m);
     let x = test_vector(m.cols());
     let legacy_windows = legacy::legacy_slot_windows(&schedule);
-    let batch = Gust::REG_BLOCK;
+    // One register block of the engine's selected backend (a backend
+    // property, currently 8 on both): the pure one-pass batching shape.
+    let batch = gust.reg_block();
     let panel = gust_bench::workloads::shifted_panel(&x, batch, 0.125);
     let mut group = c.benchmark_group("execute-4096x4096-d1e-3-l256");
     group.sample_size(20);
@@ -76,7 +78,7 @@ fn execution(c: &mut Criterion) {
     group.bench_function("fast-engine", |b| {
         b.iter(|| black_box(gust.execute(black_box(&schedule), black_box(&x))));
     });
-    group.bench_function("fast-engine-batch8", |b| {
+    group.bench_function("fast-engine-batch-block", |b| {
         let seq = Gust::new(GustConfig::new(256).with_parallelism(Some(1)));
         b.iter(|| black_box(seq.execute_batch(black_box(&schedule), black_box(&panel), batch)));
     });

@@ -1,34 +1,46 @@
 //! Execution-throughput benchmark: the seed's array-of-structs
 //! slot-at-a-time engine versus the structure-of-arrays engine, single
-//! vector and batched.
+//! vector and batched, under every kernel backend the host can run.
 //!
 //! PR 1's `schedule_throughput` tracks the one-time preprocessing cost;
 //! this runner tracks the thing the schedule exists to accelerate — the
 //! per-SpMV execution path the paper amortizes that cost over (§5.3). For
-//! uniform, power-law and R-MAT matrices it times
+//! uniform, power-law and R-MAT matrices — plus a wide hub-concentrated
+//! matrix that exercises the engine's window-local operand staging — it
+//! times
 //!
 //! * `legacy-slots` — the seed execution engine preserved in
 //!   [`crate::legacy`]: array-of-structs slots, per-cycle counter
 //!   bookkeeping, all-`l` adder dumps,
-//! * `soa-single` — the production [`Gust::execute`]: one contiguous
-//!   structure-of-arrays pass per window, analytic accounting,
-//! * `soa-batch8-seq` — [`Gust::execute_batch`] with a register block of
-//!   8 right-hand sides, pinned to one thread: the pure one-pass batching
-//!   win (one register block, so no threading is involved),
-//! * `soa-batch32-mt` — the batched kernel over 32 right-hand sides
-//!   (four register blocks) with its `with_parallelism` fan-out at host
-//!   parallelism — the row a multi-core runner moves,
-//! * `reference-csr` — the unrolled [`CsrMatrix::spmv`] baseline kernel,
-//!   for context against the engine models,
+//! * `soa-single` — the production [`Gust::execute`] (one contiguous
+//!   structure-of-arrays pass per window, analytic accounting), once per
+//!   available backend — outputs are bit-identical across backends, only
+//!   the wall clock moves,
+//! * `soa-batch-seq` — [`Gust::execute_batch`] over exactly one register
+//!   block (the backend's `reg_block()` width), pinned to one
+//!   thread: the pure one-pass batching win, once per available backend,
+//! * `soa-batch-mt` — the batched kernel over four register blocks with
+//!   its `with_parallelism` fan-out at host parallelism, on the
+//!   best-available backend — the row a multi-core runner moves,
+//! * `reference-csr` — the [`CsrMatrix::spmv`] baseline kernel, once per
+//!   available backend, for context against the engine models,
 //!
 //! and reports wall time, nnz/s (batched kernels process `batch × nnz`
-//! useful non-zeros per pass) and speedup over the seed layout. Output is
-//! the usual text table plus a JSON array ([`TextTable::to_json`]); the
-//! `spmv_throughput` binary also writes the JSON to `BENCH_spmv.json` so
-//! CI can archive the perf trajectory per PR.
+//! useful non-zeros per pass) and speedup over the seed layout. Every row
+//! records the **backend name**, the **detected CPU features** and the
+//! **register-block width**, so `BENCH_spmv.json` entries are comparable
+//! across runners (a scalar-only CI box and an AVX2 desktop produce
+//! distinguishable rows, not silently different numbers under one name).
+//! Output is the usual text table plus a JSON array
+//! ([`TextTable::to_json`]); the `spmv_throughput` binary also writes the
+//! JSON to `BENCH_spmv.json` so CI can archive the perf trajectory per
+//! PR.
 //!
-//! Every kernel is checked bit-for-bit against the fast engine before it
-//! is timed — the benchmark refuses to time wrong answers.
+//! Every kernel is checked against the scalar-backend engine before it is
+//! timed — bit for bit where the contract is bit-identity (legacy engine,
+//! `soa-single` on every backend, scalar batch columns), within the
+//! documented FMA-contraction bound for AVX2 batch columns. The benchmark
+//! refuses to time wrong answers.
 //!
 //! Scale: `GUST_SCALE` as everywhere (dimensions ×s, non-zeros ×s²);
 //! `GUST_SCALE=1` runs the full 16 384² / 1.25 M-nnz matrices the
@@ -37,7 +49,9 @@
 
 use crate::legacy;
 use crate::table::TextTable;
+use gust::kernels::{cpu_features, Backend};
 use gust::{Gust, GustConfig};
+use gust_sparse::ops::max_relative_error;
 use gust_sparse::{gen, CsrMatrix};
 use std::time::{Duration, Instant};
 
@@ -46,11 +60,9 @@ const FULL_DIM: usize = 16_384;
 const FULL_NNZ: usize = 1_250_000;
 /// GUST length the paper reports headline numbers for.
 const LENGTH: usize = 256;
-/// Right-hand sides per batched pass (one register block).
-const BATCH: usize = Gust::REG_BLOCK;
-/// Right-hand sides for the threaded row: four register blocks, so the
+/// Register blocks for the threaded row: four, so the
 /// `std::thread::scope` fan-out has work to split on multi-core hosts.
-const BATCH_MT: usize = 4 * Gust::REG_BLOCK;
+const MT_BLOCKS: usize = 4;
 
 /// Rendered report plus the bare JSON rows (for `BENCH_spmv.json`).
 pub struct ThroughputOutput {
@@ -63,10 +75,23 @@ pub struct ThroughputOutput {
 /// One measured kernel run.
 struct Measurement {
     kernel: &'static str,
+    backend: &'static str,
+    /// Register-block width of the batched kernels; 1 for single-vector
+    /// rows.
+    reg_block: usize,
     batch: usize,
     wall: Duration,
     /// Useful non-zeros processed per pass (`batch × nnz`).
     work: u64,
+}
+
+/// The backends worth measuring on this host, scalar first.
+fn available_backends() -> Vec<Backend> {
+    let mut backends = vec![Backend::Scalar];
+    if Backend::Avx2.is_available() {
+        backends.push(Backend::Avx2);
+    }
+    backends
 }
 
 /// Entry point for the `spmv_throughput` binary: full scale unless
@@ -82,8 +107,8 @@ pub fn run_cli() -> ThroughputOutput {
 ///
 /// # Panics
 ///
-/// Panics if any kernel disagrees with the fast engine on the output
-/// vector — the benchmark refuses to time wrong answers.
+/// Panics if any kernel disagrees with the scalar engine beyond its
+/// contract — the benchmark refuses to time wrong answers.
 #[must_use]
 pub fn run(scale: f64) -> ThroughputOutput {
     let dim = ((FULL_DIM as f64 * scale) as usize).max(64);
@@ -94,24 +119,48 @@ pub fn run(scale: f64) -> ThroughputOutput {
         .unwrap_or(3)
         .max(1);
 
-    let workloads: [(&str, CsrMatrix); 3] = [
+    // The fourth workload is the window-local staging showcase: a wide
+    // hub-concentrated matrix whose input vector dwarfs on-chip cache
+    // while each window touches only the hub columns (see
+    // [`crate::workloads::hub_matrix`]). The square generators keep the
+    // whole operand block cache-resident, so they exercise the
+    // interleave path instead.
+    let hubs = (dim / 16).max(per_row_hubs_floor(dim, nnz));
+    let workloads: [(&str, CsrMatrix); 4] = [
         ("uniform", CsrMatrix::from(&gen::uniform(dim, dim, nnz, 11))),
         (
             "power-law",
             CsrMatrix::from(&gen::power_law(dim, dim, nnz, 1.9, 12)),
         ),
         ("rmat", CsrMatrix::from(&gen::rmat(dim, dim, nnz, 13))),
+        (
+            "hub-reuse",
+            crate::workloads::hub_matrix(dim, dim * 16, nnz, hubs, 14),
+        ),
     ];
 
+    let features = cpu_features();
+    let backends = available_backends();
+    let best = *backends.last().expect("scalar is always present");
     let auto_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = super::header("spmv_throughput — execution nnz/s", scale);
     out.push_str(&format!(
-        "l = {LENGTH}, EC/LB schedule, batch = {BATCH} (mt: {BATCH_MT}), {reps} reps (median), host parallelism {auto_threads}\n\n"
+        "l = {LENGTH}, EC/LB schedule, {reps} reps (median), host parallelism {auto_threads}\n\
+         backends: {} (features: {features}); batch = one register block per backend (mt: {MT_BLOCKS} blocks on {})\n\n",
+        backends
+            .iter()
+            .map(|b| format!("{} (reg_block {})", b.name(), b.reg_block()))
+            .collect::<Vec<_>>()
+            .join(", "),
+        best.name(),
     ));
 
     let mut table = TextTable::new([
         "matrix",
         "kernel",
+        "backend",
+        "features",
+        "reg_block",
         "batch",
         "nnz",
         "wall_ms",
@@ -120,7 +169,7 @@ pub fn run(scale: f64) -> ThroughputOutput {
     ]);
 
     for (name, matrix) in &workloads {
-        let measurements = measure_kernels(matrix, reps);
+        let measurements = measure_kernels(matrix, &backends, best, reps);
         let legacy_rate = measurements[0].work as f64 / measurements[0].wall.as_secs_f64();
         for m in &measurements {
             let wall_s = m.wall.as_secs_f64();
@@ -128,6 +177,9 @@ pub fn run(scale: f64) -> ThroughputOutput {
             table.push_row([
                 (*name).to_string(),
                 m.kernel.to_string(),
+                m.backend.to_string(),
+                features.clone(),
+                m.reg_block.to_string(),
                 m.batch.to_string(),
                 matrix.nnz().to_string(),
                 format!("{:.3}", wall_s * 1e3),
@@ -145,83 +197,153 @@ pub fn run(scale: f64) -> ThroughputOutput {
     ThroughputOutput { report: out, json }
 }
 
-/// Measures the five kernel shapes on one matrix, asserting they agree
-/// with the fast engine bit for bit first.
-fn measure_kernels(matrix: &CsrMatrix, reps: usize) -> Vec<Measurement> {
-    let nnz = matrix.nnz() as u64;
-    let seq = Gust::new(GustConfig::new(LENGTH).with_parallelism(Some(1)));
-    let mt = Gust::new(GustConfig::new(LENGTH));
-    let schedule = seq.schedule(matrix);
-    let x = crate::test_vector(matrix.cols());
-    let panel = crate::workloads::shifted_panel(&x, BATCH, 0.25);
-    let panel_mt = crate::workloads::shifted_panel(&x, BATCH_MT, 0.25);
+/// Smallest hub count that keeps `hub_matrix` rows collision-free.
+fn per_row_hubs_floor(rows: usize, nnz: usize) -> usize {
+    nnz.div_ceil(rows) + 1
+}
 
-    // Correctness gate: every timed kernel must agree with the fast engine.
-    let reference = seq.execute(&schedule, &x);
+/// Builds a single-threaded engine pinned to `backend`.
+fn engine(backend: Backend) -> Gust {
+    Gust::new(
+        GustConfig::new(LENGTH)
+            .with_parallelism(Some(1))
+            .with_backend(Some(backend)),
+    )
+}
+
+/// Measures the kernel shapes on one matrix, asserting each agrees with
+/// the scalar engine (bit for bit or within the FMA bound, per contract)
+/// first.
+fn measure_kernels(
+    matrix: &CsrMatrix,
+    backends: &[Backend],
+    best: Backend,
+    reps: usize,
+) -> Vec<Measurement> {
+    let nnz = matrix.nnz() as u64;
+    let scalar = engine(Backend::Scalar);
+    let schedule = scalar.schedule(matrix);
+    let rows = schedule.rows();
+    let x = crate::test_vector(matrix.cols());
+
+    // Correctness gates. The scalar single-vector engine is the anchor.
+    let reference = scalar.execute(&schedule, &x);
     let slot_windows = legacy::legacy_slot_windows(&schedule);
     let (legacy_y, _) = legacy::legacy_execute(&schedule, &slot_windows, &x);
     assert_eq!(legacy_y, reference.output, "legacy executor diverged");
-    let (batched, _) = seq.execute_batch(&schedule, &panel, BATCH);
-    let (batched_mt, _) = mt.execute_batch(&schedule, &panel_mt, BATCH_MT);
-    let rows = schedule.rows();
-    for j in 0..BATCH_MT {
-        let col = &panel_mt[j * matrix.cols()..(j + 1) * matrix.cols()];
-        let single = seq.execute(&schedule, col);
-        assert_eq!(
-            &batched_mt[j * rows..(j + 1) * rows],
-            single.output.as_slice(),
-            "threaded batched column {j} diverged from the scalar path"
-        );
-        if j < BATCH {
-            assert_eq!(
-                &batched[j * rows..(j + 1) * rows],
-                single.output.as_slice(),
-                "batched column {j} diverged from the scalar path"
-            );
-        }
-    }
+    let f64_reference: Vec<f32> = matrix.spmv_f64(&x).iter().map(|&v| v as f32).collect();
 
-    let mut results = Vec::with_capacity(5);
+    let mut results = Vec::new();
     results.push(Measurement {
         kernel: "legacy-slots",
+        backend: Backend::Scalar.name(),
+        reg_block: 1,
         batch: 1,
         wall: timed(reps, || {
             std::hint::black_box(legacy::legacy_execute(&schedule, &slot_windows, &x));
         }),
         work: nnz,
     });
+
+    for &backend in backends {
+        let gust = engine(backend);
+        let rb = backend.reg_block();
+        let panel = crate::workloads::shifted_panel(&x, rb, 0.25);
+
+        // Single vector: bit-identical across backends, by contract.
+        let single = gust.execute(&schedule, &x);
+        assert_eq!(
+            single.output,
+            reference.output,
+            "{} single-vector engine diverged from scalar",
+            backend.name()
+        );
+        // Batched: scalar columns bit-identical to the scalar path, AVX2
+        // columns within the FMA-contraction bound.
+        let (batched, _) = gust.execute_batch(&schedule, &panel, rb);
+        for j in 0..rb {
+            let col = &panel[j * matrix.cols()..(j + 1) * matrix.cols()];
+            let expect = scalar.execute(&schedule, col);
+            let got = &batched[j * rows..(j + 1) * rows];
+            if backend == Backend::Scalar {
+                assert_eq!(
+                    got,
+                    expect.output.as_slice(),
+                    "scalar batched column {j} diverged from the scalar path"
+                );
+            } else {
+                let err = max_relative_error(got, &expect.output);
+                assert!(
+                    err < 1e-3,
+                    "{} batched column {j} beyond the FMA bound: {err}",
+                    backend.name()
+                );
+            }
+        }
+        // Reference CSR kernel against the f64 oracle.
+        let y_ref = matrix.spmv_with(backend, &x);
+        let err = max_relative_error(&y_ref, &f64_reference);
+        assert!(
+            err < 1e-3,
+            "{} reference CSR diverged: {err}",
+            backend.name()
+        );
+
+        results.push(Measurement {
+            kernel: "soa-single",
+            backend: backend.name(),
+            reg_block: 1,
+            batch: 1,
+            wall: timed(reps, || {
+                std::hint::black_box(gust.execute(&schedule, &x));
+            }),
+            work: nnz,
+        });
+        results.push(Measurement {
+            kernel: "soa-batch-seq",
+            backend: backend.name(),
+            reg_block: rb,
+            batch: rb,
+            wall: timed(reps, || {
+                std::hint::black_box(gust.execute_batch(&schedule, &panel, rb));
+            }),
+            work: rb as u64 * nnz,
+        });
+        results.push(Measurement {
+            kernel: "reference-csr",
+            backend: backend.name(),
+            reg_block: 1,
+            batch: 1,
+            wall: timed(reps, || {
+                std::hint::black_box(matrix.spmv_with(backend, &x));
+            }),
+            work: nnz,
+        });
+    }
+
+    // Threaded row: best backend, four register blocks.
+    let mt = Gust::new(GustConfig::new(LENGTH).with_backend(Some(best)));
+    let rb = best.reg_block();
+    let batch_mt = MT_BLOCKS * rb;
+    let panel_mt = crate::workloads::shifted_panel(&x, batch_mt, 0.25);
+    let (batched_mt, _) = mt.execute_batch(&schedule, &panel_mt, batch_mt);
+    for j in 0..batch_mt {
+        let col = &panel_mt[j * matrix.cols()..(j + 1) * matrix.cols()];
+        let expect = scalar.execute(&schedule, col);
+        let err = max_relative_error(&batched_mt[j * rows..(j + 1) * rows], &expect.output);
+        assert!(err < 1e-3, "threaded batched column {j} diverged: {err}");
+    }
     results.push(Measurement {
-        kernel: "soa-single",
-        batch: 1,
+        kernel: "soa-batch-mt",
+        backend: best.name(),
+        reg_block: rb,
+        batch: batch_mt,
         wall: timed(reps, || {
-            std::hint::black_box(seq.execute(&schedule, &x));
+            std::hint::black_box(mt.execute_batch(&schedule, &panel_mt, batch_mt));
         }),
-        work: nnz,
+        work: batch_mt as u64 * nnz,
     });
-    results.push(Measurement {
-        kernel: "soa-batch8-seq",
-        batch: BATCH,
-        wall: timed(reps, || {
-            std::hint::black_box(seq.execute_batch(&schedule, &panel, BATCH));
-        }),
-        work: BATCH as u64 * nnz,
-    });
-    results.push(Measurement {
-        kernel: "soa-batch32-mt",
-        batch: BATCH_MT,
-        wall: timed(reps, || {
-            std::hint::black_box(mt.execute_batch(&schedule, &panel_mt, BATCH_MT));
-        }),
-        work: BATCH_MT as u64 * nnz,
-    });
-    results.push(Measurement {
-        kernel: "reference-csr",
-        batch: 1,
-        wall: timed(reps, || {
-            std::hint::black_box(matrix.spmv(&x));
-        }),
-        work: nnz,
-    });
+
     results
 }
 
@@ -248,8 +370,8 @@ mod tests {
         for kernel in [
             "legacy-slots",
             "soa-single",
-            "soa-batch8-seq",
-            "soa-batch32-mt",
+            "soa-batch-seq",
+            "soa-batch-mt",
             "reference-csr",
         ] {
             assert!(out.report.contains(kernel), "missing {kernel}");
@@ -257,7 +379,15 @@ mod tests {
         assert!(out.report.contains("JSON:"));
         assert!(out.json.contains("\"nnz_per_s\":"));
         assert!(out.json.contains("\"speedup_vs_legacy\":"));
-        // Three workloads × five kernels.
-        assert_eq!(out.json.matches("\"matrix\":").count(), 15);
+        assert!(out.json.contains("\"backend\": \"scalar\""));
+        assert!(out.json.contains("\"features\":"));
+        assert!(out.json.contains("\"reg_block\":"));
+        // Four workloads × (legacy + mt + 3 rows per available backend).
+        let rows_per_matrix = 2 + 3 * available_backends().len();
+        assert_eq!(out.json.matches("\"matrix\":").count(), 4 * rows_per_matrix);
+        assert!(out.json.contains("\"hub-reuse\""));
+        if Backend::Avx2.is_available() {
+            assert!(out.json.contains("\"backend\": \"avx2\""));
+        }
     }
 }

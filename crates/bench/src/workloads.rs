@@ -50,6 +50,60 @@ pub fn shifted_panel(x: &[f32], batch: usize, shift: f32) -> Vec<f32> {
     panel
 }
 
+/// A hub-concentrated wide matrix: `rows × cols` with all non-zeros
+/// drawn from `hubs` distinct columns spread evenly across the (much
+/// wider) column range. This is the shape where the engine's
+/// window-local operand staging pays: the input vector is far larger
+/// than on-chip cache, but each window touches only the hub columns, so
+/// gathering them once into a dense stage turns the inner loop's
+/// scattered reads into cache-resident ones. Deterministic in `seed`;
+/// within each row, hub choices step by a stride coprime to `hubs`, so a
+/// row never repeats a column.
+///
+/// # Panics
+///
+/// Panics if `hubs` is zero, exceeds `cols`, or `nnz / rows > hubs`.
+#[must_use]
+pub fn hub_matrix(rows: usize, cols: usize, nnz: usize, hubs: usize, seed: u64) -> CsrMatrix {
+    assert!(hubs > 0 && hubs <= cols, "hubs must be in 1..=cols");
+    let per_row = nnz.div_ceil(rows);
+    assert!(per_row <= hubs, "rows would repeat a hub column");
+    let spread = cols / hubs;
+    // A stride coprime to `hubs` visits every hub before repeating, so
+    // `per_row ≤ hubs` entries stay distinct. Offsetting the start per
+    // row by the seed keeps different seeds producing different patterns.
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let stride = [7usize, 11, 13, 17, 19, 23, 29, 1]
+        .into_iter()
+        .find(|&s| gcd(s, hubs) == 1)
+        .expect("1 is coprime to everything");
+    let mut coo = gust_sparse::CooMatrix::new(rows, cols);
+    let mut placed = 0usize;
+    'outer: for r in 0..rows {
+        let start = (r as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(seed) as usize
+            % hubs;
+        for k in 0..per_row {
+            if placed == nnz {
+                break 'outer;
+            }
+            let hub = (start + k * stride) % hubs;
+            let col = hub * spread;
+            let value = ((placed % 17) as f32) / 8.0 - 1.0;
+            coo.push(r, col, value).expect("hub column in bounds");
+            placed += 1;
+        }
+    }
+    CsrMatrix::from(&coo)
+}
+
 /// The Fig. 7–9 suite at the given scale: `(entry, matrix)` pairs in the
 /// paper's density order.
 #[must_use]
@@ -176,5 +230,27 @@ mod tests {
     fn env_scale_default_applies() {
         std::env::remove_var("GUST_SCALE");
         assert_eq!(env_scale(0.3), 0.3);
+    }
+
+    #[test]
+    fn hub_matrix_concentrates_columns() {
+        let m = hub_matrix(100, 10_000, 2_000, 64, 9);
+        assert_eq!(m.rows(), 100);
+        assert_eq!(m.cols(), 10_000);
+        assert_eq!(m.nnz(), 2_000);
+        // All columns land on at most `hubs` distinct values.
+        let mut cols: Vec<u32> = m.iter().map(|(_, c, _)| c as u32).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        assert!(cols.len() <= 64, "{} distinct columns", cols.len());
+        // Deterministic in the seed.
+        assert_eq!(m, hub_matrix(100, 10_000, 2_000, 64, 9));
+        assert_ne!(m, hub_matrix(100, 10_000, 2_000, 64, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat a hub")]
+    fn hub_matrix_rejects_overfull_rows() {
+        let _ = hub_matrix(10, 1_000, 500, 16, 1);
     }
 }

@@ -1,4 +1,6 @@
-//! GUST configuration: length, clock, scheduling policy.
+//! GUST configuration: length, clock, scheduling policy, kernel backend.
+
+use gust_sparse::kernels::Backend;
 
 /// How non-zeros are assigned to time slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +82,7 @@ pub struct GustConfig {
     policy: SchedulingPolicy,
     coloring: ColoringAlgorithm,
     parallelism: Option<usize>,
+    backend: Option<Backend>,
 }
 
 impl GustConfig {
@@ -102,6 +105,7 @@ impl GustConfig {
             policy: SchedulingPolicy::EdgeColoringLb,
             coloring: ColoringAlgorithm::default(),
             parallelism: None,
+            backend: None,
         }
     }
 
@@ -136,6 +140,22 @@ impl GustConfig {
             "parallelism must be at least 1 (or None for auto)"
         );
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the execution-kernel backend: `Some(backend)` pins the
+    /// engine's hot loops to that implementation, `None` (default)
+    /// selects at runtime — the `GUST_BACKEND` environment variable if
+    /// set, otherwise the fastest backend the host CPU supports (see
+    /// [`gust_sparse::kernels::default_backend`]).
+    ///
+    /// A pinned backend the host cannot run falls back to
+    /// [`Backend::Scalar`] rather than executing unsupported
+    /// instructions, so schedules stay runnable (and crates stay
+    /// portable) on any target.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Option<Backend>) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -191,6 +211,26 @@ impl GustConfig {
         self.parallelism
     }
 
+    /// Configured kernel backend (see [`GustConfig::with_backend`]);
+    /// `None` means runtime selection.
+    #[must_use]
+    pub fn backend(&self) -> Option<Backend> {
+        self.backend
+    }
+
+    /// The backend the engine will actually run: the configured one when
+    /// it is available on this host, otherwise the process default
+    /// (`GUST_BACKEND` override or best available), which is always
+    /// runnable.
+    #[must_use]
+    pub fn effective_backend(&self) -> Backend {
+        match self.backend {
+            Some(b) if b.is_available() => b,
+            Some(_) => Backend::Scalar,
+            None => gust_sparse::kernels::default_backend(),
+        }
+    }
+
     /// Worker threads to use for `items` independent work units (schedule
     /// windows, batched-execution register blocks): the configured
     /// [`GustConfig::with_parallelism`] count, or the host's available
@@ -229,11 +269,32 @@ mod tests {
             .with_policy(SchedulingPolicy::Naive)
             .with_coloring(ColoringAlgorithm::Konig)
             .with_frequency(1.0e6)
-            .with_parallelism(Some(4));
+            .with_parallelism(Some(4))
+            .with_backend(Some(Backend::Scalar));
         assert_eq!(c.policy(), SchedulingPolicy::Naive);
         assert_eq!(c.coloring(), ColoringAlgorithm::Konig);
         assert!((c.frequency_hz() - 1.0e6).abs() < f64::EPSILON);
         assert_eq!(c.parallelism(), Some(4));
+        assert_eq!(c.backend(), Some(Backend::Scalar));
+    }
+
+    #[test]
+    fn effective_backend_is_always_runnable() {
+        // Default: runtime selection, whatever it picks must be available.
+        assert!(GustConfig::new(8).effective_backend().is_available());
+        // Pinned scalar stays scalar everywhere.
+        let scalar = GustConfig::new(8).with_backend(Some(Backend::Scalar));
+        assert_eq!(scalar.effective_backend(), Backend::Scalar);
+        // Pinned AVX2 resolves to AVX2 on hosts that have it, scalar
+        // elsewhere — never an unrunnable backend.
+        let simd = GustConfig::new(8).with_backend(Some(Backend::Avx2));
+        let effective = simd.effective_backend();
+        assert!(effective.is_available());
+        if Backend::Avx2.is_available() {
+            assert_eq!(effective, Backend::Avx2);
+        } else {
+            assert_eq!(effective, Backend::Scalar);
+        }
     }
 
     #[test]

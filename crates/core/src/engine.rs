@@ -25,18 +25,40 @@
 //! fast path to it (and to the structurally faithful Fig. 2 pipeline in
 //! [`crate::hw`]) bit for bit.
 //!
+//! # Kernel backends and operand staging
+//!
+//! Every hot loop below dispatches through a runtime-selected
+//! [`Backend`] (see [`crate::kernels`]): a safe scalar implementation
+//! that reproduces the PR 2 arithmetic bit for bit, and an AVX2+FMA
+//! implementation gated by `is_x86_feature_detected!`. Selection is
+//! automatic, overridable with [`GustConfig::with_backend`] or the
+//! `GUST_BACKEND` environment variable. Windows whose columns are reused
+//! (≥ 2× mean reuse,
+//! [`crate::schedule::scheduled::WindowSchedule::has_column_reuse`]) and
+//! whose source operand block exceeds cache additionally gather
+//! their distinct `x` entries **once** into a window-local stage buffer —
+//! the software analog of the paper's on-chip input buffer — and the
+//! inner loops then index that dense, cache-resident array through the
+//! schedule's compacted `local_cols`.
+//!
 //! # Batched execution
 //!
 //! [`Gust::execute_batch`] streams the schedule **once** for a whole panel
 //! of right-hand sides (the §5.3 multi-RHS amortization): the batch is cut
-//! into register blocks of [`Gust::REG_BLOCK`] columns, each block's
-//! operands are interleaved so one slot's `B` multiply-accumulates are
-//! contiguous (and vectorize), and blocks can fan out across threads via
-//! [`crate::config::GustConfig::with_parallelism`]. Per output column the
-//! arithmetic order equals the per-vector scalar path, so batched outputs
-//! are bit-identical to `B` independent [`Gust::execute`] calls.
+//! into register blocks of [`Gust::reg_block`] columns (a backend
+//! property; currently 8), each block's operands are staged/interleaved so one slot's `B`
+//! multiply-accumulates are contiguous, and blocks can fan out across
+//! threads via [`crate::config::GustConfig::with_parallelism`]. Under the
+//! scalar backend, per-column arithmetic order equals the per-vector
+//! scalar path, so batched outputs are bit-identical to `B` independent
+//! [`Gust::execute`] calls; the AVX2 backend fuses each accumulate into
+//! an FMA and matches within the one-ULP-per-step contraction bound (see
+//! `tests/backend_equivalence.rs`). [`Gust::execute`] itself is
+//! bit-identical across *all* backends: its SIMD path vectorizes only the
+//! multiply-gathers and keeps the scatter adds in slot order.
 
 use crate::config::{GustConfig, SchedulingPolicy};
+use crate::kernels::{self, Backend};
 use crate::schedule::scheduled::{log2_ceil, ScheduledMatrix};
 use crate::schedule::Scheduler;
 use gust_sim::{ExecutionReport, MemoryTraffic, UnitCounter};
@@ -71,12 +93,33 @@ pub struct Gust {
     config: GustConfig,
 }
 
-impl Gust {
-    /// Columns per register block of the batched kernel: one slot's
-    /// multiply-accumulates against 8 right-hand sides fit a 256-bit SIMD
-    /// register (f32×8), the layout the batch panel is interleaved for.
-    pub const REG_BLOCK: usize = 8;
+/// Source-operand footprint (bytes) above which window-local staging can
+/// pay: roughly the L2 slice a core can keep hot. Below it the whole
+/// input block is cache-resident anyway and the extra staging pass only
+/// costs (measured at the paper's 16 384-column shape: the 512 KB
+/// interleaved panel is L2-resident and staging *lost* ~20%; at
+/// million-column shapes the panel spills and staging wins).
+const STAGE_SOURCE_BYTES: usize = 512 * 1024;
 
+/// Whether the engine stages `window`'s operands for a pass whose source
+/// operand block covers `cols` columns at `bb` values per column: the
+/// window must have ≥ 2× column reuse
+/// ([`crate::schedule::scheduled::WindowSchedule::has_column_reuse`]),
+/// the source block must exceed [`STAGE_SOURCE_BYTES`], and the stage
+/// must compact it at least 4×. Staging never changes results — the
+/// staged values are bit-copies — so this predicate is purely a
+/// performance decision.
+fn window_staged(
+    window: &crate::schedule::scheduled::WindowSchedule,
+    cols: usize,
+    bb: usize,
+) -> bool {
+    window.has_column_reuse()
+        && cols * bb * std::mem::size_of::<f32>() > STAGE_SOURCE_BYTES
+        && 4 * window.gather_cols().len() <= cols
+}
+
+impl Gust {
     /// Creates an engine with the given configuration.
     #[must_use]
     pub fn new(config: GustConfig) -> Self {
@@ -87,6 +130,23 @@ impl Gust {
     #[must_use]
     pub fn config(&self) -> &GustConfig {
         &self.config
+    }
+
+    /// The kernel backend this engine's hot loops will run
+    /// ([`GustConfig::with_backend`] / `GUST_BACKEND` override, otherwise
+    /// the fastest the host supports).
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.config.effective_backend()
+    }
+
+    /// Columns per register block of the batched kernel — a property of
+    /// the selected [`Backend`] (see [`Backend::reg_block`]; currently 8
+    /// on both backends, one 256-bit register of f32 per slot), not a
+    /// hardcoded constant.
+    #[must_use]
+    pub fn reg_block(&self) -> usize {
+        self.backend().reg_block()
     }
 
     /// Preprocesses `matrix` (the paper's scheduling step). Delegates to
@@ -116,8 +176,10 @@ impl Gust {
         );
         assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
 
+        let backend = self.backend();
         let mut y = vec![0.0f32; schedule.rows()];
         let mut adders = vec![0.0f32; l];
+        let mut stage: Vec<f32> = Vec::new();
 
         let row_perm = schedule.row_perm();
         for (w, window) in schedule.windows().iter().enumerate() {
@@ -129,34 +191,29 @@ impl Gust {
             adders[..active].fill(0.0);
 
             // The streaming pass: color-major slot order means each adder
-            // sees its products in color order, so this flat loop is
-            // bit-identical to the per-cycle walk. Four-way unrolling keeps
-            // the multiply-gathers independent (the scatter into `adders`
-            // stays in slot order).
-            let values = window.values();
-            let cols = window.cols();
-            let row_mods = window.row_mods();
-            let mut chunks_v = values.chunks_exact(4);
-            let mut chunks_c = cols.chunks_exact(4);
-            let mut chunks_r = row_mods.chunks_exact(4);
-            for ((v, c), r) in (&mut chunks_v).zip(&mut chunks_c).zip(&mut chunks_r) {
-                let p0 = v[0] * x[c[0] as usize];
-                let p1 = v[1] * x[c[1] as usize];
-                let p2 = v[2] * x[c[2] as usize];
-                let p3 = v[3] * x[c[3] as usize];
-                adders[r[0] as usize] += p0;
-                adders[r[1] as usize] += p1;
-                adders[r[2] as usize] += p2;
-                adders[r[3] as usize] += p3;
-            }
-            for ((&v, &c), &r) in chunks_v
-                .remainder()
-                .iter()
-                .zip(chunks_c.remainder())
-                .zip(chunks_r.remainder())
-            {
-                adders[r as usize] += v * x[c as usize];
-            }
+            // sees its products in color order, so this flat walk is
+            // bit-identical to the per-cycle walk — under every backend,
+            // because the kernels only vectorize the multiply-gathers and
+            // keep the scatter into `adders` in slot order. Windows whose
+            // reused columns compact a larger-than-cache `x` first gather
+            // their distinct entries into a dense window-local stage
+            // (same values, so still bit-identical) and index it through
+            // the compacted `local_cols`.
+            let (idx, operands): (&[u32], &[f32]) = if window_staged(window, x.len(), 1) {
+                stage.resize(window.gather_cols().len(), 0.0);
+                kernels::gather(backend, x, window.gather_cols(), &mut stage);
+                (window.local_cols(), &stage)
+            } else {
+                (window.cols(), x)
+            };
+            kernels::window_walk(
+                backend,
+                window.values(),
+                idx,
+                window.row_mods(),
+                operands,
+                &mut adders,
+            );
 
             // Dump: adder `i` holds the row scheduled at position w*l + i.
             let base = w * l;
@@ -250,10 +307,12 @@ impl Gust {
     ///
     /// Unlike `batch` separate [`Gust::execute`] calls, the schedule is
     /// walked **once**: each slot performs a register block of up to
-    /// [`Gust::REG_BLOCK`] multiply-accumulates against interleaved panel
-    /// operands. Blocks split across threads when
-    /// [`GustConfig::with_parallelism`] allows. Outputs are bit-identical
-    /// to the per-vector scalar path.
+    /// [`Gust::reg_block`] multiply-accumulates against staged (or, for
+    /// windows without column reuse, whole-panel interleaved) operands.
+    /// Blocks split across threads when [`GustConfig::with_parallelism`]
+    /// allows. Under the scalar backend, outputs are bit-identical to the
+    /// per-vector scalar path; under AVX2 each accumulate fuses into an
+    /// FMA and matches within the documented ULP bound.
     ///
     /// # Example
     ///
@@ -296,17 +355,43 @@ impl Gust {
             "panel must hold batch × cols values (column-major)"
         );
 
+        let backend = self.backend();
+        let rb = backend.reg_block();
         let rows = schedule.rows();
         let mut y = vec![0.0f32; rows * batch];
-        let blocks = batch.div_ceil(Self::REG_BLOCK);
+        let blocks = batch.div_ceil(rb);
         let workers = self.batch_workers(blocks);
+        // Decide staging once per window, at the full register-block
+        // width, so every block (ragged tails included) takes the same
+        // path and the interleave is built exactly when some window
+        // reads it.
+        let stage_flags: Vec<bool> = schedule
+            .windows()
+            .iter()
+            .map(|w| window_staged(w, cols, rb.min(batch)))
+            .collect();
+        let needs_interleave = schedule
+            .windows()
+            .iter()
+            .zip(&stage_flags)
+            .any(|(w, &staged)| w.nnz() > 0 && !staged);
 
         if workers <= 1 {
             let mut scratch = BlockScratch::default();
-            for (blk, y_block) in y.chunks_mut(rows * Self::REG_BLOCK).enumerate() {
-                let j0 = blk * Self::REG_BLOCK;
-                let bb = (batch - j0).min(Self::REG_BLOCK);
-                run_block(schedule, b, j0, bb, y_block, &mut scratch);
+            for (blk, y_block) in y.chunks_mut(rows * rb).enumerate() {
+                let j0 = blk * rb;
+                let bb = (batch - j0).min(rb);
+                run_block(
+                    backend,
+                    schedule,
+                    b,
+                    j0,
+                    bb,
+                    &stage_flags,
+                    needs_interleave,
+                    y_block,
+                    &mut scratch,
+                );
             }
         } else {
             // Fan the register blocks out over `workers` threads. Each
@@ -319,17 +404,28 @@ impl Gust {
                 let mut blk = 0usize;
                 while blk < blocks {
                     let take = per_worker.min(blocks - blk);
-                    let first_col = blk * Self::REG_BLOCK;
-                    let cols_here = (batch - first_col).min(take * Self::REG_BLOCK);
+                    let first_col = blk * rb;
+                    let cols_here = (batch - first_col).min(take * rb);
                     let (chunk, tail) = rest.split_at_mut(rows * cols_here);
                     rest = tail;
                     let start_blk = blk;
+                    let stage_flags = &stage_flags;
                     scope.spawn(move || {
                         let mut scratch = BlockScratch::default();
-                        for (i, y_block) in chunk.chunks_mut(rows * Self::REG_BLOCK).enumerate() {
-                            let j0 = (start_blk + i) * Self::REG_BLOCK;
-                            let bb = (batch - j0).min(Self::REG_BLOCK);
-                            run_block(schedule, b, j0, bb, y_block, &mut scratch);
+                        for (i, y_block) in chunk.chunks_mut(rows * rb).enumerate() {
+                            let j0 = (start_blk + i) * rb;
+                            let bb = (batch - j0).min(rb);
+                            run_block(
+                                backend,
+                                schedule,
+                                b,
+                                j0,
+                                bb,
+                                stage_flags,
+                                needs_interleave,
+                                y_block,
+                                &mut scratch,
+                            );
                         }
                     });
                     blk += take;
@@ -409,24 +505,36 @@ impl Gust {
     }
 }
 
-/// Reusable per-thread scratch of the batched kernel: the interleaved
-/// operand panel and the per-window accumulator block.
+/// Reusable per-thread scratch of the batched kernel: the (optional)
+/// whole-panel interleave, the window-local operand stage, and the
+/// per-window accumulator block.
 #[derive(Debug, Default)]
 struct BlockScratch {
-    /// `xb[col * bb + j]` = panel value of column `col`, RHS `j0 + j`.
+    /// `xb[col * bb + j]` = panel value of column `col`, RHS `j0 + j`
+    /// (only filled when some window skips staging).
     xb: Vec<f32>,
+    /// `stage[i * bb + j]` = panel value of the window's i-th distinct
+    /// column, RHS `j0 + j` (staged windows).
+    stage: Vec<f32>,
     /// `acc[row_mod * bb + j]` = running sum for adder `row_mod`, RHS `j`.
     acc: Vec<f32>,
 }
 
 /// Executes the whole schedule against one register block of `bb` ≤
-/// [`Gust::REG_BLOCK`] right-hand sides starting at panel column `j0`,
-/// writing the column-major `rows × bb` output block.
+/// [`Gust::reg_block`] right-hand sides starting at panel column `j0`,
+/// writing the column-major `rows × bb` output block. Full blocks and
+/// ragged tails run the same backend kernel ([`kernels::panel_walk`]) —
+/// the tail is just a smaller `bb` — and follow the same per-window
+/// staging decisions (`stage_flags`, one per window).
+#[allow(clippy::too_many_arguments)]
 fn run_block(
+    backend: Backend,
     schedule: &ScheduledMatrix,
     b: &[f32],
     j0: usize,
     bb: usize,
+    stage_flags: &[bool],
+    needs_interleave: bool,
     y_block: &mut [f32],
     scratch: &mut BlockScratch,
 ) {
@@ -434,17 +542,15 @@ fn run_block(
     let rows = schedule.rows();
     let l = schedule.length();
 
-    // Interleave the block's operands: one slot's `bb` vector elements
-    // become contiguous, so the kernel's inner loop is a unit-stride
-    // multiply-accumulate. Plain resize (no clear): the interleave loop
-    // overwrites every cell, and the accumulator is zeroed per window, so
-    // stale contents from a previous block are never read.
-    scratch.xb.resize(cols * bb, 0.0);
-    for j in 0..bb {
-        let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
-        for (i, &v) in src.iter().enumerate() {
-            scratch.xb[i * bb + j] = v;
-        }
+    // Interleave the block's operands for windows that read the whole
+    // panel: one slot's `bb` vector elements become contiguous, so the
+    // kernel's inner loop is a unit-stride multiply-accumulate. Plain
+    // resize (no clear): the interleave loop overwrites every cell, and
+    // the accumulator is zeroed per window, so stale contents from a
+    // previous block are never read.
+    if needs_interleave {
+        scratch.xb.resize(cols * bb, 0.0);
+        kernels::interleave_panel(b, cols, j0, bb, &mut scratch.xb);
     }
     scratch.acc.resize(l * bb, 0.0);
 
@@ -452,11 +558,33 @@ fn run_block(
     for (w, window) in schedule.windows().iter().enumerate() {
         let active = schedule.window_rows(w);
         scratch.acc[..active * bb].fill(0.0);
-        if bb == Gust::REG_BLOCK {
-            window_pass::<{ Gust::REG_BLOCK }>(window, &scratch.xb, &mut scratch.acc);
+        // Staged windows gather their distinct columns once per block
+        // into a dense `u × bb` stage (same values as the interleave —
+        // the numerical contract does not depend on staging).
+        let (idx, operands): (&[u32], &[f32]) = if stage_flags[w] {
+            scratch.stage.resize(window.gather_cols().len() * bb, 0.0);
+            kernels::stage_panel(
+                backend,
+                b,
+                cols,
+                j0,
+                bb,
+                window.gather_cols(),
+                &mut scratch.stage,
+            );
+            (window.local_cols(), &scratch.stage)
         } else {
-            window_pass_dyn(window, bb, &scratch.xb, &mut scratch.acc);
-        }
+            (window.cols(), &scratch.xb)
+        };
+        kernels::panel_walk(
+            backend,
+            window.values(),
+            idx,
+            window.row_mods(),
+            operands,
+            &mut scratch.acc,
+            bb,
+        );
         // Dump the active lanes through the row permutation into each
         // output column.
         let base = w * l;
@@ -465,49 +593,6 @@ fn run_block(
             for (j, &v) in acc_row.iter().enumerate() {
                 y_block[j * rows + orig] = v;
             }
-        }
-    }
-}
-
-/// One window's streaming pass at a compile-time block width: the inner
-/// loop is a fixed-length array FMA, which the autovectorizer lowers to
-/// full-width SIMD.
-fn window_pass<const B: usize>(
-    window: &crate::schedule::scheduled::WindowSchedule,
-    xb: &[f32],
-    acc: &mut [f32],
-) {
-    let values = window.values();
-    let cols = window.cols();
-    let row_mods = window.row_mods();
-    for ((&v, &c), &r) in values.iter().zip(cols).zip(row_mods) {
-        let x: &[f32; B] = xb[c as usize * B..c as usize * B + B]
-            .try_into()
-            .expect("block-sized panel slice");
-        let a: &mut [f32; B] = (&mut acc[r as usize * B..r as usize * B + B])
-            .try_into()
-            .expect("block-sized accumulator slice");
-        for j in 0..B {
-            a[j] += v * x[j];
-        }
-    }
-}
-
-/// Remainder-block variant of [`window_pass`] for a runtime width `bb`.
-fn window_pass_dyn(
-    window: &crate::schedule::scheduled::WindowSchedule,
-    bb: usize,
-    xb: &[f32],
-    acc: &mut [f32],
-) {
-    let values = window.values();
-    let cols = window.cols();
-    let row_mods = window.row_mods();
-    for ((&v, &c), &r) in values.iter().zip(cols).zip(row_mods) {
-        let x = &xb[c as usize * bb..c as usize * bb + bb];
-        let a = &mut acc[r as usize * bb..r as usize * bb + bb];
-        for (aj, &xj) in a.iter_mut().zip(x) {
-            *aj += v * xj;
         }
     }
 }
@@ -671,15 +756,26 @@ mod tests {
         assert_eq!(s.rows() % 4, 2, "test needs a ragged final window");
         let run = gust.execute(&s, &x);
         assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-4);
-        // And the batched kernel agrees bit for bit on the same shape.
-        let (panel_out, _) = gust.execute_batch(&s, &x, 1);
+        // And the batched kernel agrees bit for bit on the same shape
+        // (scalar backend: the AVX2 panel walk fuses into FMA, which the
+        // backend-equivalence tests cover with a ULP bound instead).
+        let scalar = Gust::new(GustConfig::new(4).with_backend(Some(Backend::Scalar)));
+        let scalar_run = scalar.execute(&s, &x);
+        assert_eq!(
+            scalar_run.output, run.output,
+            "execute is backend-invariant"
+        );
+        let (panel_out, _) = scalar.execute_batch(&s, &x, 1);
         assert_eq!(panel_out, run.output);
     }
 
     #[test]
     fn execute_batch_matches_per_vector_runs() {
         let m = CsrMatrix::from(&gen::uniform(48, 48, 300, 12));
-        let gust = Gust::new(GustConfig::new(8));
+        // Scalar backend: batched columns are bit-identical to the scalar
+        // per-vector path. (Under AVX2 the batched kernel fuses into FMA;
+        // tests/backend_equivalence.rs pins that to scalar within ULPs.)
+        let gust = Gust::new(GustConfig::new(8).with_backend(Some(Backend::Scalar)));
         let schedule = gust.schedule(&m);
         let batch = 4usize;
         let panel = random_panel(48, batch, 0);

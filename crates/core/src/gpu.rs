@@ -196,7 +196,12 @@ mod tests {
         let (y, report) = mapping.execute_batch(&schedule, &panel, batch);
         for j in 0..batch {
             let single = mapping.execute(&schedule, &panel[j * 96..(j + 1) * 96]);
-            assert_eq!(&y[j * 96..(j + 1) * 96], single.output.as_slice());
+            // The grid runs the auto-selected backend: under AVX2 the
+            // batched panel walk fuses into FMA, so columns match the
+            // per-vector path within the contraction bound (bit-exact
+            // equality under a pinned scalar backend is covered by
+            // tests/backend_equivalence.rs).
+            assert_vectors_close(&y[j * 96..(j + 1) * 96], &single.output, 1e-5);
             assert_eq!(report.cycles, single.report.cycles * batch as u64);
         }
     }

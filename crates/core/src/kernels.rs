@@ -1,0 +1,567 @@
+//! Runtime-dispatched backends for the execution engine's hot loops.
+//!
+//! [`crate::engine::Gust`] runs three inner loops per SpMV: the operand
+//! gather (stage `x[col]` into a window-local buffer), the single-vector
+//! window walk (multiply–crossbar–accumulate per slot), and the batched
+//! panel walk (one slot × a register block of right-hand sides). Each is
+//! implemented here twice — a safe scalar version that reproduces the
+//! PR 2 arithmetic bit for bit, and an `std::arch::x86_64` AVX2+FMA
+//! version — and dispatched per window through
+//! [`Backend`] (re-exported from [`gust_sparse::kernels`], where detection
+//! and the `GUST_BACKEND` override live).
+//!
+//! # Numerical contract
+//!
+//! * [`gather`] and [`stage_panel`] copy values; they are exact under
+//!   every backend.
+//! * [`window_walk`] is **bit-identical across backends**: SIMD only
+//!   widens the multiplies (IEEE-exact), the scatter adds stay scalar and
+//!   in slot order — which is what keeps `Gust::execute` pinned to the
+//!   instrumented walk and the `hw::GustPipeline` regardless of backend.
+//! * [`panel_walk`] is bit-identical to the scalar path under
+//!   [`Backend::Scalar`]; under [`Backend::Avx2`] each accumulate is an
+//!   FMA (one rounding instead of two), so outputs differ from scalar by
+//!   at most one ULP per accumulation step — the bound
+//!   `tests/backend_equivalence.rs` enforces.
+//!
+//! # Safety
+//!
+//! The only `unsafe` in this crate lives in this module's `avx2`
+//! submodule (the crate root carries `#![deny(unsafe_code)]`). Every
+//! unsafe block is either a call to a `#[target_feature(enable =
+//! "avx2,fma")]` function guarded by [`Backend::is_available`], or a
+//! gather/load intrinsic whose indices were validated when the schedule
+//! was built: [`crate::ScheduledMatrix`] asserts at construction (release
+//! builds included) that every slot column is `< cols`, every `row_mod`
+//! is `< length`, and `local_cols` indexes its own gather list by
+//! construction — and the engine asserts `x.len() == cols` /
+//! `stage.len() == gather_cols.len() · bb` before any kernel runs.
+
+#![allow(unsafe_code)]
+
+pub use gust_sparse::kernels::{best_available, cpu_features, default_backend, Backend};
+
+/// Gathers `dst[i] = src[idx[i]]` — the single-vector operand staging
+/// pass. Exact under every backend.
+///
+/// # Panics
+///
+/// Panics if `dst.len() != idx.len()` or (scalar path) an index is out of
+/// bounds. The AVX2 path requires every `idx` to be in bounds for `src`;
+/// the engine only passes schedule gather lists validated at
+/// construction.
+pub(crate) fn gather(backend: Backend, src: &[f32], idx: &[u32], dst: &mut [f32]) {
+    assert_eq!(dst.len(), idx.len(), "gather output length mismatch");
+    debug_assert!(idx.iter().all(|&i| (i as usize) < src.len()));
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 && Backend::Avx2.is_available() {
+        // SAFETY: avx2+fma verified; indices validated at schedule build
+        // (`ScheduledMatrix::from_parts`) against `cols == src.len()`.
+        unsafe { avx2::gather_avx2(src, idx, dst) };
+        return;
+    }
+    let _ = backend;
+    for (d, &i) in dst.iter_mut().zip(idx) {
+        *d = src[i as usize];
+    }
+}
+
+/// The single-vector window walk: for each slot `i`,
+/// `adders[row_mods[i]] += values[i] * operands[idx[i]]`, in slot order.
+///
+/// `(idx, operands)` is either `(local_cols, stage)` for a staged window
+/// or `(cols, x)` for a direct one. Bit-identical across backends (see
+/// the module docs).
+///
+/// # Panics
+///
+/// Panics if the slot arrays disagree in length or (scalar path) an index
+/// is out of bounds; the AVX2 path bounds-checks the scatter adds and
+/// requires in-bounds gather indices, which the schedule guarantees.
+pub(crate) fn window_walk(
+    backend: Backend,
+    values: &[f32],
+    idx: &[u32],
+    row_mods: &[u32],
+    operands: &[f32],
+    adders: &mut [f32],
+) {
+    assert_eq!(values.len(), idx.len(), "slot array length mismatch");
+    assert_eq!(values.len(), row_mods.len(), "slot array length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 && Backend::Avx2.is_available() {
+        // SAFETY: avx2+fma verified; gather indices validated at schedule
+        // build against the operand array the engine sized to match.
+        unsafe { avx2::window_walk_avx2(values, idx, row_mods, operands, adders) };
+        return;
+    }
+    let _ = backend;
+    window_walk_scalar(values, idx, row_mods, operands, adders);
+}
+
+/// The batched panel walk: for each slot `i` and each right-hand side
+/// `j < bb`,
+/// `acc[row_mods[i]·bb + j] += values[i] * operands[idx[i]·bb + j]`.
+///
+/// One code path serves full register blocks and ragged tails alike: the
+/// scalar backend monomorphizes its shared per-slot kernel at the
+/// register-block width and falls back to the same kernel with a runtime
+/// width for tails, and the AVX2 backend strides any `bb` in 8-lane FMA
+/// steps plus a fused scalar remainder — so a tail cannot drift from the
+/// main path.
+///
+/// # Panics
+///
+/// Panics if the slot arrays disagree in length or a slot's operand or
+/// accumulator block would fall outside its array.
+pub(crate) fn panel_walk(
+    backend: Backend,
+    values: &[f32],
+    idx: &[u32],
+    row_mods: &[u32],
+    operands: &[f32],
+    acc: &mut [f32],
+    bb: usize,
+) {
+    assert_eq!(values.len(), idx.len(), "slot array length mismatch");
+    assert_eq!(values.len(), row_mods.len(), "slot array length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 && Backend::Avx2.is_available() {
+        debug_assert!(idx.iter().all(|&c| (c as usize + 1) * bb <= operands.len()));
+        debug_assert!(row_mods.iter().all(|&r| (r as usize + 1) * bb <= acc.len()));
+        // SAFETY: avx2+fma verified. The per-slot block offsets are
+        // schedule invariants validated at construction
+        // (`ScheduledMatrix::from_parts`): every `idx` is < the operand
+        // row count and every `row_mod` < the accumulator row count, and
+        // the engine sized both arrays as `rows × bb`. Full register
+        // blocks take the monomorphized straight-line kernel; any other
+        // width takes the runtime-striding one — same arithmetic.
+        unsafe {
+            match bb {
+                8 => avx2::panel_walk_avx2_const::<1>(values, idx, row_mods, operands, acc),
+                16 => avx2::panel_walk_avx2_const::<2>(values, idx, row_mods, operands, acc),
+                32 => avx2::panel_walk_avx2_const::<4>(values, idx, row_mods, operands, acc),
+                _ => avx2::panel_walk_avx2(values, idx, row_mods, operands, acc, bb),
+            }
+        }
+        return;
+    }
+    let _ = backend;
+    if bb == Backend::Scalar.reg_block() {
+        panel_walk_scalar_const::<8>(values, idx, row_mods, operands, acc);
+    } else {
+        panel_walk_scalar_dyn(values, idx, row_mods, operands, acc, bb);
+    }
+}
+
+/// Interleaves one register block of the column-major panel:
+/// `xb[i·bb + j] = b[(j0+j)·cols + i]` for all columns `i` — the PR 2
+/// whole-panel transpose, used for windows that are not staged.
+///
+/// # Panics
+///
+/// Panics if `xb.len() != cols·bb` or the panel slice is too short.
+pub(crate) fn interleave_panel(b: &[f32], cols: usize, j0: usize, bb: usize, xb: &mut [f32]) {
+    assert_eq!(xb.len(), cols * bb, "interleave buffer length mismatch");
+    for j in 0..bb {
+        let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
+        for (i, &v) in src.iter().enumerate() {
+            xb[i * bb + j] = v;
+        }
+    }
+}
+
+/// Stages one register block of a window's distinct columns from the
+/// column-major panel: `stage[i·bb + j] = b[(j0+j)·cols + gather[i]]`.
+/// The gather list is ascending, so each `j` pass reads its panel column
+/// monotonically. Exact under every backend.
+///
+/// # Panics
+///
+/// Panics if `stage.len() != gather.len()·bb` or (scalar path) an index
+/// is out of bounds; the AVX2 path requires in-bounds gather indices,
+/// which the schedule guarantees.
+pub(crate) fn stage_panel(
+    backend: Backend,
+    b: &[f32],
+    cols: usize,
+    j0: usize,
+    bb: usize,
+    gather_cols: &[u32],
+    stage: &mut [f32],
+) {
+    assert_eq!(
+        stage.len(),
+        gather_cols.len() * bb,
+        "stage buffer length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 && Backend::Avx2.is_available() {
+        for j in 0..bb {
+            let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
+            // SAFETY: avx2+fma verified; gather indices validated at
+            // schedule build against `cols == src.len()`.
+            unsafe { avx2::gather_strided_avx2(src, gather_cols, stage, bb, j) };
+        }
+        return;
+    }
+    let _ = backend;
+    for j in 0..bb {
+        let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
+        for (i, &g) in gather_cols.iter().enumerate() {
+            stage[i * bb + j] = src[g as usize];
+        }
+    }
+}
+
+/// The PR 2 single-vector inner loop, verbatim: four independent
+/// multiply-gathers per step, scatter adds in slot order.
+fn window_walk_scalar(
+    values: &[f32],
+    idx: &[u32],
+    row_mods: &[u32],
+    operands: &[f32],
+    adders: &mut [f32],
+) {
+    let mut chunks_v = values.chunks_exact(4);
+    let mut chunks_c = idx.chunks_exact(4);
+    let mut chunks_r = row_mods.chunks_exact(4);
+    for ((v, c), r) in (&mut chunks_v).zip(&mut chunks_c).zip(&mut chunks_r) {
+        let p0 = v[0] * operands[c[0] as usize];
+        let p1 = v[1] * operands[c[1] as usize];
+        let p2 = v[2] * operands[c[2] as usize];
+        let p3 = v[3] * operands[c[3] as usize];
+        adders[r[0] as usize] += p0;
+        adders[r[1] as usize] += p1;
+        adders[r[2] as usize] += p2;
+        adders[r[3] as usize] += p3;
+    }
+    for ((&v, &c), &r) in chunks_v
+        .remainder()
+        .iter()
+        .zip(chunks_c.remainder())
+        .zip(chunks_r.remainder())
+    {
+        adders[r as usize] += v * operands[c as usize];
+    }
+}
+
+/// The shared per-slot panel kernel: `a[j] += v · x[j]` for `j < len`.
+/// Both scalar panel paths (full block and ragged tail) funnel through
+/// this one body, so the arithmetic cannot drift between them.
+#[inline(always)]
+fn slot_axpy(v: f32, x: &[f32], a: &mut [f32]) {
+    for (aj, &xj) in a.iter_mut().zip(x) {
+        *aj += v * xj;
+    }
+}
+
+/// Full-register-block scalar panel walk, monomorphized at the block
+/// width so the fixed-length [`slot_axpy`] lowers to full-width SIMD.
+fn panel_walk_scalar_const<const B: usize>(
+    values: &[f32],
+    idx: &[u32],
+    row_mods: &[u32],
+    operands: &[f32],
+    acc: &mut [f32],
+) {
+    for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+        let x: &[f32; B] = operands[c as usize * B..c as usize * B + B]
+            .try_into()
+            .expect("block-sized operand slice");
+        let a: &mut [f32; B] = (&mut acc[r as usize * B..r as usize * B + B])
+            .try_into()
+            .expect("block-sized accumulator slice");
+        slot_axpy(v, x, a);
+    }
+}
+
+/// Ragged-tail scalar panel walk at a runtime width — same
+/// [`slot_axpy`] body as the full-block path.
+fn panel_walk_scalar_dyn(
+    values: &[f32],
+    idx: &[u32],
+    row_mods: &[u32],
+    operands: &[f32],
+    acc: &mut [f32],
+    bb: usize,
+) {
+    for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+        let x = &operands[c as usize * bb..c as usize * bb + bb];
+        let a = &mut acc[r as usize * bb..r as usize * bb + bb];
+        slot_axpy(v, x, a);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2+FMA engine kernels. Every function is
+    //! `#[target_feature(enable = "avx2,fma")]` and only called after
+    //! [`super::Backend::is_available`] returned `true`; gather indices
+    //! are schedule invariants validated at construction (see the module
+    //! docs).
+
+    use std::arch::x86_64::{
+        _mm256_fmadd_ps, _mm256_i32gather_ps, _mm256_loadu_ps, _mm256_loadu_si256, _mm256_mul_ps,
+        _mm256_set1_ps, _mm256_storeu_ps,
+    };
+
+    /// 8-wide `dst[i] = src[idx[i]]`.
+    ///
+    /// # Safety
+    ///
+    /// Caller verified avx2+fma and that every index is `< src.len()`;
+    /// `dst.len() == idx.len()` is asserted by the dispatcher.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn gather_avx2(src: &[f32], idx: &[u32], dst: &mut [f32]) {
+        let mut chunks_i = idx.chunks_exact(8);
+        let mut chunks_d = dst.chunks_exact_mut(8);
+        for (i, d) in (&mut chunks_i).zip(&mut chunks_d) {
+            let iv = _mm256_loadu_si256(i.as_ptr().cast());
+            let g = _mm256_i32gather_ps::<4>(src.as_ptr(), iv);
+            _mm256_storeu_ps(d.as_mut_ptr(), g);
+        }
+        for (&i, d) in chunks_i.remainder().iter().zip(chunks_d.into_remainder()) {
+            *d = src[i as usize];
+        }
+    }
+
+    /// Strided gather for the panel stage: `stage[i·bb + j] =
+    /// src[gather[i]]` for all `i`, one right-hand side `j` at a time.
+    /// The vector gather hides the latency of the scattered reads; the
+    /// strided stores stay scalar (AVX2 has no scatter).
+    ///
+    /// # Safety
+    ///
+    /// Caller verified avx2+fma, every gather index `< src.len()`, and
+    /// `stage.len() == gather.len()·bb` with `j < bb`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn gather_strided_avx2(
+        src: &[f32],
+        gather: &[u32],
+        stage: &mut [f32],
+        bb: usize,
+        j: usize,
+    ) {
+        let mut buf = [0.0f32; 8];
+        let mut chunks = gather.chunks_exact(8);
+        let mut i = 0usize;
+        for g in &mut chunks {
+            let iv = _mm256_loadu_si256(g.as_ptr().cast());
+            let vals = _mm256_i32gather_ps::<4>(src.as_ptr(), iv);
+            _mm256_storeu_ps(buf.as_mut_ptr(), vals);
+            for (k, &v) in buf.iter().enumerate() {
+                stage[(i + k) * bb + j] = v;
+            }
+            i += 8;
+        }
+        for &g in chunks.remainder() {
+            stage[i * bb + j] = src[g as usize];
+            i += 1;
+        }
+    }
+
+    /// 8-slot single-vector walk: gather + multiply vectorized, scatter
+    /// adds scalar and in slot order — bit-identical to the scalar path.
+    ///
+    /// # Safety
+    ///
+    /// Caller verified avx2+fma and that every gather index is
+    /// `< operands.len()`. Scatter adds use bounds-checked indexing.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn window_walk_avx2(
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[f32],
+        adders: &mut [f32],
+    ) {
+        let mut buf = [0.0f32; 8];
+        let mut chunks_v = values.chunks_exact(8);
+        let mut chunks_c = idx.chunks_exact(8);
+        let mut chunks_r = row_mods.chunks_exact(8);
+        for ((v, c), r) in (&mut chunks_v).zip(&mut chunks_c).zip(&mut chunks_r) {
+            let iv = _mm256_loadu_si256(c.as_ptr().cast());
+            let xs = _mm256_i32gather_ps::<4>(operands.as_ptr(), iv);
+            let p = _mm256_mul_ps(_mm256_loadu_ps(v.as_ptr()), xs);
+            _mm256_storeu_ps(buf.as_mut_ptr(), p);
+            for (k, &rm) in r.iter().enumerate() {
+                adders[rm as usize] += buf[k];
+            }
+        }
+        for ((&v, &c), &r) in chunks_v
+            .remainder()
+            .iter()
+            .zip(chunks_c.remainder())
+            .zip(chunks_r.remainder())
+        {
+            adders[r as usize] += v * operands[c as usize];
+        }
+    }
+
+    /// Panel walk at a compile-time width of `NREG` 256-bit registers
+    /// (`bb = 8·NREG`): per slot, `NREG` straight-line FMAs with no
+    /// per-lane branching — the full-register-block fast path.
+    ///
+    /// # Safety
+    ///
+    /// Caller verified avx2+fma and that for every slot,
+    /// `(idx[i]+1)·8·NREG ≤ operands.len()` and
+    /// `(row_mods[i]+1)·8·NREG ≤ acc.len()` (schedule invariants,
+    /// debug-asserted by the dispatcher).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn panel_walk_avx2_const<const NREG: usize>(
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[f32],
+        acc: &mut [f32],
+    ) {
+        let op = operands.as_ptr();
+        let ac = acc.as_mut_ptr();
+        for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+            let vv = _mm256_set1_ps(v);
+            let xp = op.add(c as usize * (NREG * 8));
+            let ap = ac.add(r as usize * (NREG * 8));
+            for k in 0..NREG {
+                let av = _mm256_loadu_ps(ap.add(8 * k));
+                let xv = _mm256_loadu_ps(xp.add(8 * k));
+                _mm256_storeu_ps(ap.add(8 * k), _mm256_fmadd_ps(vv, xv, av));
+            }
+        }
+    }
+
+    /// Panel walk at any width `bb`: per slot, 8-lane FMA strides plus a
+    /// fused scalar remainder — one path for ragged tails of any size.
+    ///
+    /// # Safety
+    ///
+    /// Caller verified avx2+fma. Per-slot operand/accumulator blocks are
+    /// obtained with bounds-checked slicing before any raw load, so the
+    /// pointer arithmetic below stays inside those blocks.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn panel_walk_avx2(
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[f32],
+        acc: &mut [f32],
+        bb: usize,
+    ) {
+        for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+            let x = &operands[c as usize * bb..c as usize * bb + bb];
+            let a = &mut acc[r as usize * bb..r as usize * bb + bb];
+            let vv = _mm256_set1_ps(v);
+            let xp = x.as_ptr();
+            let ap = a.as_mut_ptr();
+            let mut j = 0usize;
+            while j + 8 <= bb {
+                let av = _mm256_loadu_ps(ap.add(j));
+                let xv = _mm256_loadu_ps(xp.add(j));
+                _mm256_storeu_ps(ap.add(j), _mm256_fmadd_ps(vv, xv, av));
+                j += 8;
+            }
+            while j < bb {
+                a[j] = v.mul_add(x[j], a[j]);
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both_backends() -> Vec<Backend> {
+        let mut v = vec![Backend::Scalar];
+        if Backend::Avx2.is_available() {
+            v.push(Backend::Avx2);
+        }
+        v
+    }
+
+    #[test]
+    fn gather_copies_by_index_under_every_backend() {
+        let src: Vec<f32> = (0..40).map(|i| i as f32 * 0.5).collect();
+        let idx: Vec<u32> = vec![3, 0, 39, 17, 17, 8, 21, 30, 5, 1, 2];
+        for backend in both_backends() {
+            let mut dst = vec![0.0f32; idx.len()];
+            gather(backend, &src, &idx, &mut dst);
+            let expected: Vec<f32> = idx.iter().map(|&i| src[i as usize]).collect();
+            assert_eq!(dst, expected, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn window_walk_is_bit_identical_across_backends() {
+        let n = 37;
+        let values: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let idx: Vec<u32> = (0..n as u32).map(|i| (i * 13) % 29).collect();
+        let row_mods: Vec<u32> = (0..n as u32).map(|i| (i * 7) % 16).collect();
+        let operands: Vec<f32> = (0..29).map(|i| (i as f32).cos()).collect();
+        let mut expected = vec![0.0f32; 16];
+        window_walk(
+            Backend::Scalar,
+            &values,
+            &idx,
+            &row_mods,
+            &operands,
+            &mut expected,
+        );
+        for backend in both_backends() {
+            let mut adders = vec![0.0f32; 16];
+            window_walk(backend, &values, &idx, &row_mods, &operands, &mut adders);
+            assert_eq!(adders, expected, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn panel_walk_full_block_and_tail_agree_with_naive() {
+        for backend in both_backends() {
+            for bb in [1usize, 3, 7, 8, 11, 16, 17] {
+                let slots = 23;
+                let u = 9;
+                let l = 6;
+                let values: Vec<f32> = (0..slots).map(|i| 0.25 + i as f32 * 0.125).collect();
+                let idx: Vec<u32> = (0..slots as u32).map(|i| (i * 5) % u as u32).collect();
+                let row_mods: Vec<u32> = (0..slots as u32).map(|i| (i * 3) % l as u32).collect();
+                let operands: Vec<f32> = (0..u * bb).map(|i| (i as f32 * 0.375).sin()).collect();
+                let mut acc = vec![0.0f32; l * bb];
+                panel_walk(backend, &values, &idx, &row_mods, &operands, &mut acc, bb);
+
+                // Naive double-precision oracle with a loose bound (FMA
+                // contraction under AVX2 stays well inside it).
+                let mut oracle = vec![0.0f64; l * bb];
+                for s in 0..slots {
+                    for j in 0..bb {
+                        oracle[row_mods[s] as usize * bb + j] +=
+                            f64::from(values[s]) * f64::from(operands[idx[s] as usize * bb + j]);
+                    }
+                }
+                for (a, o) in acc.iter().zip(&oracle) {
+                    assert!(
+                        (f64::from(*a) - o).abs() < 1e-4,
+                        "{} bb={bb}: {a} vs {o}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_panel_matches_interleave_on_identity_gather() {
+        let cols = 13;
+        let bb = 5;
+        let b: Vec<f32> = (0..cols * (bb + 2)).map(|i| i as f32 * 0.25).collect();
+        let gather_all: Vec<u32> = (0..cols as u32).collect();
+        for backend in both_backends() {
+            let mut stage = vec![0.0f32; cols * bb];
+            stage_panel(backend, &b, cols, 1, bb, &gather_all, &mut stage);
+            let mut xb = vec![0.0f32; cols * bb];
+            interleave_panel(&b, cols, 1, bb, &mut xb);
+            assert_eq!(stage, xb, "{}", backend.name());
+        }
+    }
+}

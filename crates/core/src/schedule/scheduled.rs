@@ -64,6 +64,15 @@ pub struct WindowSchedule {
     cols: Vec<u32>,
     /// Matrix value (`M_sch`) per slot.
     values: Vec<f32>,
+    /// The window's distinct original columns, ascending — the gather list
+    /// of the window-local operand staging (the software analog of the
+    /// paper's on-chip input buffer): executing a window may first gather
+    /// `x[gather_cols[i]]` into a dense stage array.
+    gather_cols: Vec<u32>,
+    /// Per-slot index into [`WindowSchedule::gather_cols`] (and therefore
+    /// into the staged operand array): `gather_cols[local_cols[i]] ==
+    /// cols[i]` for every slot `i`.
+    local_cols: Vec<u32>,
 }
 
 impl WindowSchedule {
@@ -113,6 +122,7 @@ impl WindowSchedule {
                 "two slots target the same adder within one color"
             );
         }
+        let (gather_cols, local_cols) = build_staging_index(&cols);
         Self {
             colors,
             vizing_bound,
@@ -122,6 +132,8 @@ impl WindowSchedule {
             row_mods,
             cols,
             values,
+            gather_cols,
+            local_cols,
         }
     }
 
@@ -248,6 +260,39 @@ impl WindowSchedule {
         &self.values
     }
 
+    /// The window's distinct original columns, ascending: the gather list
+    /// of window-local operand staging. `gather_cols()[local_cols()[i]] ==
+    /// cols()[i]` for every slot.
+    #[must_use]
+    pub fn gather_cols(&self) -> &[u32] {
+        &self.gather_cols
+    }
+
+    /// Per-slot compacted column index into the staged operand array (and
+    /// into [`WindowSchedule::gather_cols`]). Always in
+    /// `0..gather_cols().len()`.
+    #[must_use]
+    pub fn local_cols(&self) -> &[u32] {
+        &self.local_cols
+    }
+
+    /// Whether this window's operand set is compact enough that
+    /// window-local staging *can* pay: each distinct column is read at
+    /// least twice on average (`distinct ≤ nnz / 2`), so gathering it
+    /// once into a dense stage array saves scattered reads.
+    ///
+    /// This is the schedule-side half of the staging decision. The engine
+    /// combines it with a footprint test (the source operand block must
+    /// exceed on-chip cache, and the stage must compact it ≥ 4×) — see
+    /// `gust::engine`: when the whole input block already sits in L2,
+    /// staging is pure overhead, which is exactly the paper's observation
+    /// that the on-chip input buffer matters once inputs stream from
+    /// off-chip.
+    #[must_use]
+    pub fn has_column_reuse(&self) -> bool {
+        !self.gather_cols.is_empty() && 2 * self.gather_cols.len() <= self.nnz()
+    }
+
     /// The slot record at flat index `i` (color-major order).
     ///
     /// # Panics
@@ -296,7 +341,19 @@ pub struct ScheduledMatrix {
 
 impl ScheduledMatrix {
     /// Assembles a schedule from its parts. Crate-internal: produced by
-    /// [`crate::schedule::Scheduler`].
+    /// [`crate::schedule::Scheduler`] and the binary reader.
+    ///
+    /// Validates — in release builds too — the index bounds the SIMD
+    /// execution kernels rely on for memory safety: every slot's column is
+    /// `< cols`, every destination adder is `< length`, and every row-perm
+    /// entry is `< rows`. The engine's `unsafe` gather paths treat these
+    /// as type invariants of `ScheduledMatrix` (fields are private and no
+    /// later mutation touches indices), so they must hold for *every*
+    /// construction path, including deserialized streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
     #[must_use]
     pub(crate) fn from_parts(
         length: usize,
@@ -306,6 +363,22 @@ impl ScheduledMatrix {
         windows: Vec<WindowSchedule>,
     ) -> Self {
         let nnz = windows.iter().map(WindowSchedule::nnz).sum();
+        for (w, window) in windows.iter().enumerate() {
+            let max_col = window.gather_cols.last().copied().unwrap_or(0);
+            assert!(
+                window.gather_cols.is_empty() || (max_col as usize) < cols,
+                "window {w}: column {max_col} out of range for {cols} columns"
+            );
+            let max_adder = window.row_mods.iter().copied().max().unwrap_or(0);
+            assert!(
+                window.row_mods.is_empty() || (max_adder as usize) < length,
+                "window {w}: adder {max_adder} out of range for length {length}"
+            );
+        }
+        assert!(
+            row_perm.iter().all(|&r| (r as usize) < rows),
+            "row permutation entry out of range for {rows} rows"
+        );
         Self {
             length,
             rows,
@@ -542,6 +615,26 @@ impl ScheduledMatrix {
         }
         grid
     }
+}
+
+/// Builds the window-local operand-staging index from the per-slot column
+/// array: the sorted distinct columns (`gather_cols`) and, per slot, its
+/// position in that list (`local_cols`). O(nnz log nnz); runs once per
+/// window at schedule assembly (and at deserialization), never on the
+/// execution path.
+fn build_staging_index(cols: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut gather: Vec<u32> = cols.to_vec();
+    gather.sort_unstable();
+    gather.dedup();
+    let local = cols
+        .iter()
+        .map(|c| {
+            gather
+                .binary_search(c)
+                .expect("every slot column is in the gather list") as u32
+        })
+        .collect();
+    (gather, local)
 }
 
 /// `⌈log₂ l⌉` with the convention `log2_ceil(1) = 1` (one bit still needs a

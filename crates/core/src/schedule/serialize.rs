@@ -165,6 +165,16 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
                                 "row_mod {row_mod} out of range for length {length}"
                             )));
                         }
+                        // The execution engine's SIMD gathers treat
+                        // in-bounds columns as a schedule invariant
+                        // (`ScheduledMatrix::from_parts` re-asserts it);
+                        // a corrupt stream must surface as a format
+                        // error here, not a panic there.
+                        if col as usize >= cols {
+                            return Err(ReadScheduleError::Format(format!(
+                                "column {col} out of range for {cols} columns"
+                            )));
+                        }
                         lanes.push(lane as u32);
                         row_mods.push(row_mod);
                         cols_arr.push(col);
@@ -282,6 +292,41 @@ mod tests {
                 read_schedule(&buf[..cut]).is_err(),
                 "truncation at {cut} must fail"
             );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_columns() {
+        // Serialize a valid schedule, then corrupt the first occupied
+        // cell's column index to point past the matrix.
+        let m = CsrMatrix::identity(8);
+        let schedule = Gust::new(GustConfig::new(4)).schedule(&m);
+        let mut buf = Vec::new();
+        write_schedule(&schedule, &mut buf).expect("write");
+        // Stream layout: magic 4 + version 4 + length 4 + rows 8 + cols 8
+        // + row_perm 8×4 + window count 8 + first window header (colors 4
+        // + vizing 4 + stalls 8) = 84 bytes, then the first cell. Lane 0
+        // of the identity's first window is occupied.
+        let occupied = 84;
+        assert_eq!(buf[occupied], 1, "expected an occupied first cell");
+        // Cell layout: occupancy u8, value f32, row_mod u32, col u32.
+        let col_at = occupied + 1 + 4 + 4;
+        buf[col_at..col_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_schedule(buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("out of range"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_staging_index() {
+        let m = CsrMatrix::from(&gen::power_law(64, 64, 500, 1.9, 7));
+        let schedule = Gust::new(GustConfig::new(16)).schedule(&m);
+        let back = round_trip(&schedule);
+        for (a, b) in schedule.windows().iter().zip(back.windows()) {
+            assert_eq!(a.gather_cols(), b.gather_cols());
+            assert_eq!(a.local_cols(), b.local_cols());
         }
     }
 

@@ -105,16 +105,27 @@ impl CscMatrix {
 
     /// SpMV (`y = A·x`) by scattering columns, `f32` accumulation.
     ///
-    /// The per-column scatter is unrolled four-wide: row indices within a
-    /// column are strictly increasing, so the four scaled products are
-    /// independent stores and the multiply side keeps no loop-carried
-    /// dependency.
+    /// Dispatches through the process-default
+    /// [`crate::kernels::Backend`]. The scatter adds stay scalar and in
+    /// stored row order under every backend (the accumulation order is
+    /// observable in the output), so the result is bit-identical across
+    /// backends; AVX2 only widens the product computation.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
     #[must_use]
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        self.spmv_with(crate::kernels::default_backend(), x)
+    }
+
+    /// [`CscMatrix::spmv`] under an explicit kernel backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn spmv_with(&self, backend: crate::kernels::Backend, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "input vector length mismatch");
         let mut y = vec![0.0f32; self.rows];
         for (j, &xj) in x.iter().enumerate() {
@@ -122,21 +133,7 @@ impl CscMatrix {
                 continue;
             }
             let (rows, vals) = self.col(j);
-            let mut chunks_r = rows.chunks_exact(4);
-            let mut chunks_v = vals.chunks_exact(4);
-            for (r, v) in (&mut chunks_r).zip(&mut chunks_v) {
-                let p0 = v[0] * xj;
-                let p1 = v[1] * xj;
-                let p2 = v[2] * xj;
-                let p3 = v[3] * xj;
-                y[r[0] as usize] += p0;
-                y[r[1] as usize] += p1;
-                y[r[2] as usize] += p2;
-                y[r[3] as usize] += p3;
-            }
-            for (&r, &v) in chunks_r.remainder().iter().zip(chunks_v.remainder()) {
-                y[r as usize] += v * xj;
-            }
+            crate::kernels::csc_scatter_column(backend, rows, vals, xj, &mut y);
         }
         y
     }

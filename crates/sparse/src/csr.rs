@@ -179,79 +179,55 @@ impl CsrMatrix {
 
     /// SpMV with `f32` accumulation, the precision the accelerators use.
     ///
-    /// The row loop runs four independent partial sums (combined at row
-    /// end), so the multiply-gather chain has no loop-carried dependency
-    /// and unrolls/vectorizes — the baseline side of every accelerator
-    /// comparison is not allowed to be bottlenecked on a scalar add chain.
+    /// Dispatches through the process-default
+    /// [`crate::kernels::Backend`] (see
+    /// [`crate::kernels::default_backend`]): the scalar backend runs four
+    /// independent partial sums per row (the seed arithmetic, bit for
+    /// bit), the AVX2 backend runs 8-wide `x[col]` gathers fused into FMA
+    /// accumulators. Use [`CsrMatrix::spmv_with`] to pin a backend.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
     #[must_use]
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "input vector length mismatch");
+        self.spmv_with(crate::kernels::default_backend(), x)
+    }
+
+    /// [`CsrMatrix::spmv`] under an explicit kernel backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn spmv_with(&self, backend: crate::kernels::Backend, x: &[f32]) -> Vec<f32> {
         let mut y = vec![0.0f32; self.rows];
-        self.spmv_into(x, &mut y);
+        crate::kernels::csr_spmv_into(backend, self, x, &mut y);
         y
     }
 
     /// SpMV into a caller-provided output slice (no allocation): the
     /// kernel behind [`CsrMatrix::spmv`], reusable by panel/batch loops.
+    /// Backend-dispatched like [`CsrMatrix::spmv`].
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
     pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
-        assert_eq!(x.len(), self.cols, "input vector length mismatch");
-        assert_eq!(y.len(), self.rows, "output vector length mismatch");
-        for (r, out) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(r);
-            let mut acc = [0.0f32; 4];
-            let mut chunks_c = cols.chunks_exact(4);
-            let mut chunks_v = vals.chunks_exact(4);
-            for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
-                acc[0] += v[0] * x[c[0] as usize];
-                acc[1] += v[1] * x[c[1] as usize];
-                acc[2] += v[2] * x[c[2] as usize];
-                acc[3] += v[3] * x[c[3] as usize];
-            }
-            let mut tail = 0.0f32;
-            for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
-                tail += v * x[c as usize];
-            }
-            *out = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
-        }
+        crate::kernels::csr_spmv_into(crate::kernels::default_backend(), self, x, y);
     }
 
     /// SpMV with `f64` accumulation — the numerical reference the cycle
-    /// simulators are checked against. Unrolled like [`CsrMatrix::spmv`],
-    /// with four independent `f64` partial sums per row.
+    /// simulators are checked against. Backend-dispatched like
+    /// [`CsrMatrix::spmv`]: four independent `f64` partial sums per row on
+    /// the scalar path, 4-wide widened FMAs under AVX2.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
     #[must_use]
     pub fn spmv_f64(&self, x: &[f32]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "input vector length mismatch");
-        (0..self.rows)
-            .map(|r| {
-                let (cols, vals) = self.row(r);
-                let mut acc = [0.0f64; 4];
-                let mut chunks_c = cols.chunks_exact(4);
-                let mut chunks_v = vals.chunks_exact(4);
-                for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
-                    acc[0] += f64::from(v[0]) * f64::from(x[c[0] as usize]);
-                    acc[1] += f64::from(v[1]) * f64::from(x[c[1] as usize]);
-                    acc[2] += f64::from(v[2]) * f64::from(x[c[2] as usize]);
-                    acc[3] += f64::from(v[3]) * f64::from(x[c[3] as usize]);
-                }
-                let mut tail = 0.0f64;
-                for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
-                    tail += f64::from(v) * f64::from(x[c as usize]);
-                }
-                (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
-            })
-            .collect()
+        crate::kernels::csr_spmv_f64(crate::kernels::default_backend(), self, x)
     }
 
     /// Returns the transpose as a new CSR matrix.

@@ -1,0 +1,517 @@
+//! Runtime-dispatched SIMD kernel backends for the reference SpMV loops.
+//!
+//! Every hot inner loop in this workspace — the engine's window walks in
+//! `gust::engine` and the reference kernels here ([`crate::CsrMatrix::spmv`]
+//! and friends) — dispatches through a [`Backend`]: a safe scalar
+//! implementation that reproduces the seed arithmetic bit for bit, and an
+//! `std::arch::x86_64` AVX2+FMA implementation selected at runtime with
+//! `is_x86_feature_detected!`. The selection can be forced with the
+//! `GUST_BACKEND` environment variable (`scalar`, `avx2`, or `auto`) so CI
+//! legs and benchmarks can pin a backend regardless of host.
+//!
+//! # Numerical contract
+//!
+//! * **Scalar** is the seed arithmetic, unchanged: four independent partial
+//!   sums per CSR row combined as `(a0+a1)+(a2+a3)+tail`, four-wide product
+//!   batches with in-order scatter adds for CSC. Forcing
+//!   [`Backend::Scalar`] reproduces pre-backend outputs bit for bit.
+//! * **Avx2** keeps every *product* exactly (SIMD multiplies are IEEE-exact
+//!   like scalar ones) but folds multiply and accumulate into FMA where the
+//!   accumulation order is already backend-private (the CSR row reductions
+//!   here, the engine's batched register blocks). One fused op rounds once
+//!   instead of twice, so each accumulation step differs from scalar by at
+//!   most one ULP; over a row of `k` non-zeros without catastrophic
+//!   cancellation the relative divergence is bounded by roughly
+//!   `k · 2⁻²³` (see `tests/backend_equivalence.rs`, which enforces the
+//!   bound on cancellation-free inputs). Kernels whose accumulation order
+//!   is observable (the CSC column scatter, the engine's single-vector
+//!   walk) keep scalar in-order adds and stay bit-identical under every
+//!   backend.
+//!
+//! # Safety
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the crate
+//! root carries `#![deny(unsafe_code)]`). Every unsafe block is one of:
+//!
+//! * a call to a `#[target_feature(enable = "avx2,fma")]` function, guarded
+//!   by [`Backend::is_available`] (which wraps
+//!   `is_x86_feature_detected!`) — the only precondition those functions
+//!   have is that the features exist;
+//! * an intrinsic gather/load inside such a function whose indices are
+//!   bounds-checked against the operand slice *before* the unsafe region
+//!   (CSR/CSC constructors validate indices at build time; the engine
+//!   validates schedules at assembly — see the per-function comments).
+
+#![allow(unsafe_code)]
+
+use crate::csr::CsrMatrix;
+
+/// A kernel backend: which implementation of the hot inner loops to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Backend {
+    /// Safe scalar loops — the seed arithmetic, bit for bit. Always
+    /// available, on every target.
+    #[default]
+    Scalar,
+    /// 256-bit AVX2 gathers + FMA (`std::arch::x86_64`). Only available on
+    /// x86-64 hosts whose CPU reports `avx2` and `fma`.
+    Avx2,
+}
+
+impl Backend {
+    /// Short name used in reports, JSON rows and the `GUST_BACKEND` value.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a `GUST_BACKEND`-style name (`"scalar"`, `"avx2"`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "scalar" => Some(Self::Scalar),
+            "avx2" => Some(Self::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current host. [`Backend::Scalar`]
+    /// always can; [`Backend::Avx2`] requires a runtime
+    /// `is_x86_feature_detected!` check for both `avx2` and `fma`.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            Self::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+            #[cfg(not(target_arch = "x86_64"))]
+            Self::Avx2 => false,
+        }
+    }
+
+    /// Register-block width of the batched engine kernels under this
+    /// backend: how many right-hand sides one scheduled slot processes per
+    /// inner-loop step — a backend property, not a hardcoded engine
+    /// constant. 8 `f32` lanes fill one 256-bit register on both current
+    /// backends: the scalar path autovectorizes a fixed-8 array FMA, the
+    /// AVX2 path issues one explicit `vfmadd` per slot. Measurements at
+    /// the paper's 16 384² / 1.25 M-nnz shape showed that doubling the
+    /// AVX2 width to 16 doubles the interleaved operand panel to ~1 MB
+    /// and falls out of L2 — costing ~1.5× more wall clock than the
+    /// single-register block despite halving slot overhead — so wider
+    /// blocks are reserved for backends whose targets have the cache for
+    /// them (the engine kernels are monomorphized for 16- and 32-lane
+    /// blocks already).
+    #[must_use]
+    pub fn reg_block(self) -> usize {
+        match self {
+            Self::Scalar => 8,
+            Self::Avx2 => 8,
+        }
+    }
+}
+
+/// The process-wide default backend: the `GUST_BACKEND` environment
+/// variable if set (`scalar` / `avx2` / `auto`), otherwise the fastest
+/// available backend. Read once and cached; a forced backend that the host
+/// cannot run falls back to [`Backend::Scalar`] rather than executing
+/// unsupported instructions.
+///
+/// # Panics
+///
+/// Panics (once, at first use) if `GUST_BACKEND` is set to an unknown
+/// value — a misspelled CI matrix leg must fail loudly, not silently
+/// benchmark the wrong kernel.
+#[must_use]
+pub fn default_backend() -> Backend {
+    static DEFAULT: std::sync::OnceLock<Backend> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("GUST_BACKEND") {
+        Ok(name) if !name.is_empty() && name != "auto" => {
+            let requested = Backend::from_name(&name).unwrap_or_else(|| {
+                panic!("unknown GUST_BACKEND value {name:?} (scalar|avx2|auto)")
+            });
+            if requested.is_available() {
+                requested
+            } else {
+                Backend::Scalar
+            }
+        }
+        _ => best_available(),
+    })
+}
+
+/// The fastest backend the host supports, ignoring `GUST_BACKEND`.
+#[must_use]
+pub fn best_available() -> Backend {
+    if Backend::Avx2.is_available() {
+        Backend::Avx2
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// Detected CPU SIMD features relevant to the kernels, as a stable `+`
+/// separated string (e.g. `"avx2+fma+avx512f"`), `"none"` when the host
+/// supports none of them, `"portable"` off x86-64. Recorded in benchmark
+/// JSON so numbers are comparable across runners.
+#[must_use]
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats = Vec::new();
+        if is_x86_feature_detected!("avx") {
+            feats.push("avx");
+        }
+        if is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if is_x86_feature_detected!("fma") {
+            feats.push("fma");
+        }
+        if is_x86_feature_detected!("avx512f") {
+            feats.push("avx512f");
+        }
+        if feats.is_empty() {
+            "none".to_string()
+        } else {
+            feats.join("+")
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "portable".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSR y = A·x (f32 accumulation)
+// ---------------------------------------------------------------------------
+
+/// CSR SpMV into a caller-provided output under an explicit backend. The
+/// kernel behind [`CsrMatrix::spmv_into`].
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
+pub fn csr_spmv_into(backend: Backend, a: &CsrMatrix, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), a.cols(), "input vector length mismatch");
+    assert_eq!(y.len(), a.rows(), "output vector length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 && Backend::Avx2.is_available() {
+        // SAFETY: `is_available` proved avx2+fma; row column indices are
+        // `< cols == x.len()` by the CSR construction invariant.
+        unsafe { csr_spmv_avx2(a, x, y) };
+        return;
+    }
+    let _ = backend;
+    csr_spmv_scalar(a, x, y);
+}
+
+/// CSR SpMV with `f64` accumulation under an explicit backend. The kernel
+/// behind [`CsrMatrix::spmv_f64`].
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+#[must_use]
+pub fn csr_spmv_f64(backend: Backend, a: &CsrMatrix, x: &[f32]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "input vector length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 && Backend::Avx2.is_available() {
+        // SAFETY: as `csr_spmv_into`.
+        return unsafe { csr_spmv_f64_avx2(a, x) };
+    }
+    let _ = backend;
+    csr_spmv_f64_scalar(a, x)
+}
+
+/// CSC SpMV under an explicit backend: per input column, scale the stored
+/// column and scatter-add into `y`. Scatter adds stay scalar and in stored
+/// row order under every backend (the accumulation order is observable),
+/// so the output is bit-identical across backends; AVX2 only widens the
+/// product computation.
+///
+/// # Panics
+///
+/// Panics if `y.len() != rows` implied by `col_rows` entries (checked by
+/// the caller, [`crate::CscMatrix::spmv`]).
+pub fn csc_scatter_column(backend: Backend, rows: &[u32], vals: &[f32], xj: f32, y: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 && Backend::Avx2.is_available() {
+        // SAFETY: `is_available` proved avx2+fma; row indices are
+        // bounds-checked scalar stores inside.
+        unsafe { csc_scatter_avx2(rows, vals, xj, y) };
+        return;
+    }
+    let _ = backend;
+    csc_scatter_scalar(rows, vals, xj, y);
+}
+
+/// The seed CSR kernel, verbatim: four independent partial sums per row,
+/// combined at row end as `(a0+a1)+(a2+a3)+tail`.
+fn csr_spmv_scalar(a: &CsrMatrix, x: &[f32], y: &mut [f32]) {
+    for (r, out) in y.iter_mut().enumerate() {
+        let (cols, vals) = a.row(r);
+        let mut acc = [0.0f32; 4];
+        let mut chunks_c = cols.chunks_exact(4);
+        let mut chunks_v = vals.chunks_exact(4);
+        for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
+            acc[0] += v[0] * x[c[0] as usize];
+            acc[1] += v[1] * x[c[1] as usize];
+            acc[2] += v[2] * x[c[2] as usize];
+            acc[3] += v[3] * x[c[3] as usize];
+        }
+        let mut tail = 0.0f32;
+        for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
+            tail += v * x[c as usize];
+        }
+        *out = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
+    }
+}
+
+/// The seed `f64`-accumulation CSR kernel, verbatim.
+fn csr_spmv_f64_scalar(a: &CsrMatrix, x: &[f32]) -> Vec<f64> {
+    (0..a.rows())
+        .map(|r| {
+            let (cols, vals) = a.row(r);
+            let mut acc = [0.0f64; 4];
+            let mut chunks_c = cols.chunks_exact(4);
+            let mut chunks_v = vals.chunks_exact(4);
+            for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
+                acc[0] += f64::from(v[0]) * f64::from(x[c[0] as usize]);
+                acc[1] += f64::from(v[1]) * f64::from(x[c[1] as usize]);
+                acc[2] += f64::from(v[2]) * f64::from(x[c[2] as usize]);
+                acc[3] += f64::from(v[3]) * f64::from(x[c[3] as usize]);
+            }
+            let mut tail = 0.0f64;
+            for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
+                tail += f64::from(v) * f64::from(x[c as usize]);
+            }
+            (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+        })
+        .collect()
+}
+
+/// The seed CSC column scatter, verbatim: four products at a time, adds in
+/// stored row order.
+fn csc_scatter_scalar(rows: &[u32], vals: &[f32], xj: f32, y: &mut [f32]) {
+    let mut chunks_r = rows.chunks_exact(4);
+    let mut chunks_v = vals.chunks_exact(4);
+    for (r, v) in (&mut chunks_r).zip(&mut chunks_v) {
+        let p0 = v[0] * xj;
+        let p1 = v[1] * xj;
+        let p2 = v[2] * xj;
+        let p3 = v[3] * xj;
+        y[r[0] as usize] += p0;
+        y[r[1] as usize] += p1;
+        y[r[2] as usize] += p2;
+        y[r[3] as usize] += p3;
+    }
+    for (&r, &v) in chunks_r.remainder().iter().zip(chunks_v.remainder()) {
+        y[r as usize] += v * xj;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The AVX2+FMA implementations. Every function here carries
+    //! `#[target_feature(enable = "avx2,fma")]` and is therefore `unsafe`
+    //! to call; the dispatchers above only do so after
+    //! [`super::Backend::is_available`] returned `true`.
+
+    use super::CsrMatrix;
+    use std::arch::x86_64::{
+        __m256, _mm256_castpd256_pd128, _mm256_castps256_ps128, _mm256_cvtps_pd,
+        _mm256_extractf128_pd, _mm256_extractf128_ps, _mm256_fmadd_pd, _mm256_fmadd_ps,
+        _mm256_i32gather_ps, _mm256_loadu_ps, _mm256_loadu_si256, _mm256_mul_ps, _mm256_set1_ps,
+        _mm256_setzero_pd, _mm256_setzero_ps, _mm256_storeu_ps, _mm_add_pd, _mm_add_ps, _mm_add_ss,
+        _mm_cvtsd_f64, _mm_cvtss_f32, _mm_i32gather_ps, _mm_loadu_ps, _mm_loadu_si128,
+        _mm_movehdup_ps, _mm_movehl_ps, _mm_unpackhi_pd,
+    };
+
+    /// Horizontal sum of one 256-bit register, pairwise:
+    /// `(lo + hi)` then 4→2→1 lane reduction.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn hsum_ps(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps::<1>(v);
+        let s4 = _mm_add_ps(lo, hi);
+        let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+        let s1 = _mm_add_ss(s2, _mm_movehdup_ps(s2));
+        _mm_cvtss_f32(s1)
+    }
+
+    /// CSR SpMV, f32: per row, 8-wide gather of `x[col]` fused into a
+    /// single FMA accumulator, horizontal-summed at row end.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified avx2+fma support. Gather indices are the
+    /// matrix's column indices, which [`CsrMatrix`] guarantees are
+    /// `< cols`; the caller asserted `x.len() == cols`, so every gather
+    /// lane reads in bounds.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn csr_spmv_avx2(a: &CsrMatrix, x: &[f32], y: &mut [f32]) {
+        for (r, out) in y.iter_mut().enumerate() {
+            let (cols, vals) = a.row(r);
+            let mut acc = _mm256_setzero_ps();
+            let mut chunks_c = cols.chunks_exact(8);
+            let mut chunks_v = vals.chunks_exact(8);
+            for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
+                let idx = _mm256_loadu_si256(c.as_ptr().cast());
+                let xs = _mm256_i32gather_ps::<4>(x.as_ptr(), idx);
+                let vv = _mm256_loadu_ps(v.as_ptr());
+                acc = _mm256_fmadd_ps(vv, xs, acc);
+            }
+            let mut tail = 0.0f32;
+            for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
+                tail = v.mul_add(x[c as usize], tail);
+            }
+            *out = hsum_ps(acc) + tail;
+        }
+    }
+
+    /// CSR SpMV, f64 accumulation: 4-wide gathers widened to `f64` FMAs.
+    ///
+    /// # Safety
+    ///
+    /// As [`csr_spmv_avx2`].
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn csr_spmv_f64_avx2(a: &CsrMatrix, x: &[f32]) -> Vec<f64> {
+        (0..a.rows())
+            .map(|r| {
+                let (cols, vals) = a.row(r);
+                let mut acc = _mm256_setzero_pd();
+                let mut chunks_c = cols.chunks_exact(4);
+                let mut chunks_v = vals.chunks_exact(4);
+                for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
+                    let idx = _mm_loadu_si128(c.as_ptr().cast());
+                    let xs = _mm256_cvtps_pd(_mm_i32gather_ps::<4>(x.as_ptr(), idx));
+                    let vv = _mm256_cvtps_pd(_mm_loadu_ps(v.as_ptr()));
+                    acc = _mm256_fmadd_pd(vv, xs, acc);
+                }
+                let mut tail = 0.0f64;
+                for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
+                    tail = f64::from(v).mul_add(f64::from(x[c as usize]), tail);
+                }
+                let lo = _mm256_castpd256_pd128(acc);
+                let hi = _mm256_extractf128_pd::<1>(acc);
+                let s2 = _mm_add_pd(lo, hi);
+                let s1 = _mm_add_pd(s2, _mm_unpackhi_pd(s2, s2));
+                _mm_cvtsd_f64(s1) + tail
+            })
+            .collect()
+    }
+
+    /// CSC column scatter: products computed 8-wide, stored to a spill
+    /// buffer, then added in stored row order — bit-identical to the
+    /// scalar path (SIMD multiplies are IEEE-exact, no FMA is used, and
+    /// add order is unchanged).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified avx2+fma support. All stores go through
+    /// bounds-checked slice indexing.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn csc_scatter_avx2(rows: &[u32], vals: &[f32], xj: f32, y: &mut [f32]) {
+        let xv = _mm256_set1_ps(xj);
+        let mut buf = [0.0f32; 8];
+        let mut chunks_r = rows.chunks_exact(8);
+        let mut chunks_v = vals.chunks_exact(8);
+        for (r, v) in (&mut chunks_r).zip(&mut chunks_v) {
+            let p = _mm256_mul_ps(_mm256_loadu_ps(v.as_ptr()), xv);
+            _mm256_storeu_ps(buf.as_mut_ptr(), p);
+            for (k, &row) in r.iter().enumerate() {
+                y[row as usize] += buf[k];
+            }
+        }
+        for (&r, &v) in chunks_r.remainder().iter().zip(chunks_v.remainder()) {
+            y[r as usize] += v * xj;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{csc_scatter_avx2, csr_spmv_avx2, csr_spmv_f64_avx2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn vector(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+                ((h % 1000) as f32) / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [Backend::Scalar, Backend::Avx2] {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("neon"), None);
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(Backend::Scalar.is_available());
+        assert_eq!(Backend::Scalar.reg_block(), 8);
+        assert_eq!(Backend::Avx2.reg_block(), 8);
+    }
+
+    #[test]
+    fn default_backend_is_available() {
+        assert!(default_backend().is_available());
+        assert!(best_available().is_available());
+        assert!(!cpu_features().is_empty());
+    }
+
+    #[test]
+    fn csr_backends_agree_within_ulp_bound() {
+        let m = crate::CsrMatrix::from(&gen::uniform(80, 90, 900, 3));
+        let x = vector(90, 5);
+        let mut y_scalar = vec![0.0f32; 80];
+        csr_spmv_into(Backend::Scalar, &m, &x, &mut y_scalar);
+        if Backend::Avx2.is_available() {
+            let mut y_avx2 = vec![0.0f32; 80];
+            csr_spmv_into(Backend::Avx2, &m, &x, &mut y_avx2);
+            let err = crate::ops::max_relative_error(&y_avx2, &y_scalar);
+            assert!(err < 1e-4, "avx2 diverged from scalar: {err}");
+        }
+    }
+
+    #[test]
+    fn csr_f64_backends_agree() {
+        let m = crate::CsrMatrix::from(&gen::power_law(60, 60, 700, 1.8, 4));
+        let x = vector(60, 6);
+        let scalar = csr_spmv_f64(Backend::Scalar, &m, &x);
+        if Backend::Avx2.is_available() {
+            let simd = csr_spmv_f64(Backend::Avx2, &m, &x);
+            for (a, b) in scalar.iter().zip(&simd) {
+                assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn csc_scatter_is_bit_identical_across_backends() {
+        let rows: Vec<u32> = (0..37).map(|i| (i * 7) % 50).collect();
+        let vals = vector(37, 9);
+        let mut y_scalar = vec![0.0f32; 50];
+        csc_scatter_column(Backend::Scalar, &rows, &vals, 1.375, &mut y_scalar);
+        if Backend::Avx2.is_available() {
+            let mut y_avx2 = vec![0.0f32; 50];
+            csc_scatter_column(Backend::Avx2, &rows, &vals, 1.375, &mut y_avx2);
+            assert_eq!(y_scalar, y_avx2, "CSC scatter must not depend on backend");
+        }
+    }
+}

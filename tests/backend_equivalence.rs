@@ -1,0 +1,299 @@
+//! Backend-equivalence properties: the numerical contract of the
+//! runtime-dispatched kernel backends.
+//!
+//! Three tiers, from strictest to loosest:
+//!
+//! 1. **Forced scalar is the seed, bit for bit.** `Backend::Scalar`
+//!    reproduces the pre-backend arithmetic exactly: the engine's fast
+//!    path equals the instrumented per-cycle walk, batched columns equal
+//!    per-vector runs, and the reference CSR kernel equals the seed
+//!    4-wide unrolled loop (re-implemented here as an independent
+//!    oracle).
+//! 2. **Order-preserving kernels are backend-invariant.** Kernels whose
+//!    accumulation order is observable — the single-vector engine walk
+//!    and the CSC column scatter — vectorize only their multiplies (which
+//!    are IEEE-exact), so their outputs are bit-identical under *every*
+//!    backend.
+//! 3. **FMA kernels match scalar within a documented ULP bound.** The
+//!    AVX2 batched panel walk and CSR row reduction fuse multiply and add
+//!    (one rounding instead of two) and re-associate row sums. Each
+//!    accumulation step can shift the partial sum by at most 1 ULP, so on
+//!    cancellation-free inputs a row of `k` non-zeros diverges from the
+//!    scalar result by a relative error of at most about `k · 2⁻²³`; the
+//!    tests below enforce `4 · k_max · ε_f32` (the factor 4 covers both
+//!    paths' distance from the exact sum) across uniform / power-law /
+//!    R-MAT matrices and batch sizes 1, 8, 16 and 17.
+//!
+//! On hosts without AVX2+FMA the SIMD assertions skip gracefully (the
+//! scalar tier still runs), so the suite passes on every target — which
+//! is exactly what the `GUST_BACKEND` CI matrix leg relies on.
+
+use gust::prelude::*;
+use gust_repro::prelude::*;
+
+/// Deterministic strictly positive vector (cancellation-free inputs make
+/// the ULP bound of tier 3 rigorous).
+fn positive_vector(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+            0.125 + ((h % 1000) as f32) / 400.0
+        })
+        .collect()
+}
+
+/// Column-major panel of positive vectors.
+fn positive_panel(cols: usize, batch: usize, seed: u64) -> Vec<f32> {
+    (0..batch)
+        .flat_map(|j| positive_vector(cols, seed.wrapping_add(j as u64 * 7919)))
+        .collect()
+}
+
+/// The three generator families, with all values made strictly positive.
+fn positive_matrix(kind: usize, rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+    let coo = match kind {
+        0 => gen::uniform(rows, cols, nnz, seed),
+        1 => gen::power_law(rows, cols, nnz, 1.9, seed),
+        _ => gen::rmat(rows, cols, nnz, seed),
+    };
+    let positive = CooMatrix::from_triplets(
+        rows,
+        cols,
+        coo.iter().map(|(r, c, v)| (r, c, v.abs() + 0.0625)),
+    )
+    .expect("triplets stay in bounds");
+    CsrMatrix::from(&positive)
+}
+
+/// Largest row length — the `k` of the tier-3 ULP bound.
+fn max_row_nnz(m: &CsrMatrix) -> usize {
+    (0..m.rows()).map(|r| m.row_nnz(r)).max().unwrap_or(0)
+}
+
+/// Tier-3 bound: `4 · k_max · ε_f32`.
+fn ulp_bound(m: &CsrMatrix) -> f64 {
+    4.0 * max_row_nnz(m) as f64 * f64::from(f32::EPSILON)
+}
+
+#[test]
+fn forced_scalar_engine_is_bit_identical_to_seed_paths() {
+    for kind in 0..3usize {
+        let matrix = positive_matrix(kind, 70, 75, 560, 41 + kind as u64);
+        let scalar = Gust::new(GustConfig::new(8).with_backend(Some(Backend::Scalar)));
+        let schedule = scalar.schedule(&matrix);
+        let x = positive_vector(75, 5);
+        // The instrumented engine is the seed's literal per-cycle walk.
+        let fast = scalar.execute(&schedule, &x);
+        let seed_walk = scalar.execute_instrumented(&schedule, &x);
+        assert_eq!(
+            fast.output, seed_walk.output,
+            "kind {kind}: scalar != seed walk"
+        );
+        assert_eq!(fast.report, seed_walk.report, "kind {kind}: reports differ");
+        // Batched columns equal per-vector runs, bit for bit.
+        for batch in [1usize, 3, 8] {
+            let panel = positive_panel(75, batch, 17);
+            let (y, _) = scalar.execute_batch(&schedule, &panel, batch);
+            for j in 0..batch {
+                let single = scalar.execute(&schedule, &panel[j * 75..(j + 1) * 75]);
+                assert_eq!(
+                    &y[j * 70..(j + 1) * 70],
+                    single.output.as_slice(),
+                    "kind {kind} batch {batch} column {j}"
+                );
+            }
+        }
+    }
+}
+
+/// A wide hub-concentrated matrix that forces the engine's window-local
+/// operand staging: the 160 000-column input block exceeds the staging
+/// footprint threshold, and every window's non-zeros land on 96 hub
+/// columns (reuse far above 2×, compaction far above 4×).
+fn staging_matrix() -> CsrMatrix {
+    let rows = 64;
+    let cols = 160_000;
+    let hubs = 96;
+    let per_row = 48;
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        for k in 0..per_row {
+            // Stride 11 is coprime to 96, so a row never repeats a hub.
+            let hub = (r * 31 + k * 11) % hubs;
+            let col = hub * (cols / hubs);
+            let value = 0.0625 + ((r * per_row + k) % 23) as f32 / 16.0;
+            coo.push(r, col, value).expect("in bounds");
+        }
+    }
+    CsrMatrix::from(&coo)
+}
+
+#[test]
+fn staged_windows_are_bit_identical_to_the_unstaged_walk() {
+    let matrix = staging_matrix();
+    let x = positive_vector(matrix.cols(), 19);
+    for backend in [Backend::Scalar, Backend::Avx2] {
+        if !backend.is_available() {
+            continue;
+        }
+        let gust = Gust::new(GustConfig::new(16).with_backend(Some(backend)));
+        let schedule = gust.schedule(&matrix);
+        // The staging predicate must actually engage on this shape.
+        assert!(
+            schedule.windows().iter().all(|w| w.nnz() == 0
+                || (w.has_column_reuse() && 4 * w.gather_cols().len() <= matrix.cols())),
+            "test matrix must put every window on the staged path"
+        );
+        // The instrumented engine never stages; staged fast paths must
+        // match it bit for bit (staging copies values, it cannot round).
+        let fast = gust.execute(&schedule, &x);
+        let unstaged = gust.execute_instrumented(&schedule, &x);
+        assert_eq!(fast.output, unstaged.output, "{}", backend.name());
+        assert_vectors_close(&fast.output, &reference_spmv(&matrix, &x), 1e-4);
+        // Batched staging under the scalar backend stays bit-identical
+        // to per-vector runs; under AVX2 it matches within the FMA bound.
+        for batch in [1usize, 5, 8] {
+            let panel = positive_panel(matrix.cols(), batch, 37);
+            let (y, _) = gust.execute_batch(&schedule, &panel, batch);
+            for j in 0..batch {
+                let col = &panel[j * matrix.cols()..(j + 1) * matrix.cols()];
+                let single = gust.execute(&schedule, col);
+                let got = &y[j * matrix.rows()..(j + 1) * matrix.rows()];
+                if backend == Backend::Scalar {
+                    assert_eq!(got, single.output.as_slice(), "batch {batch} column {j}");
+                } else {
+                    let err = max_relative_error(got, &single.output);
+                    assert!(err <= ulp_bound(&matrix), "batch {batch} column {j}: {err}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_scalar_csr_kernel_matches_seed_arithmetic() {
+    let matrix = positive_matrix(0, 60, 64, 700, 77);
+    let x = positive_vector(64, 9);
+    let got = matrix.spmv_with(Backend::Scalar, &x);
+    // Independent re-implementation of the seed loop: four partial sums,
+    // combined as (a0+a1)+(a2+a3)+tail.
+    let oracle: Vec<f32> = (0..matrix.rows())
+        .map(|r| {
+            let (cols, vals) = matrix.row(r);
+            let mut acc = [0.0f32; 4];
+            for (k, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                if k < cols.len() / 4 * 4 {
+                    acc[k % 4] += v * x[c as usize];
+                }
+            }
+            let mut tail = 0.0f32;
+            for (&c, &v) in cols.iter().zip(vals).skip(cols.len() / 4 * 4) {
+                tail += v * x[c as usize];
+            }
+            (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+        })
+        .collect();
+    assert_eq!(
+        got, oracle,
+        "scalar CSR kernel drifted from the seed arithmetic"
+    );
+}
+
+#[test]
+fn single_vector_engine_is_backend_invariant() {
+    if !Backend::Avx2.is_available() {
+        eprintln!("AVX2 unavailable on this host; scalar-only run, skipping");
+        return;
+    }
+    for kind in 0..3usize {
+        // 45 rows at l = 8 forces a ragged final window too.
+        let matrix = positive_matrix(kind, 45, 45, 500, 23 + kind as u64);
+        let x = positive_vector(45, 3);
+        let scalar = Gust::new(GustConfig::new(8).with_backend(Some(Backend::Scalar)));
+        let simd = Gust::new(GustConfig::new(8).with_backend(Some(Backend::Avx2)));
+        let schedule = scalar.schedule(&matrix);
+        let a = scalar.execute(&schedule, &x);
+        let b = simd.execute(&schedule, &x);
+        assert_eq!(
+            a.output, b.output,
+            "kind {kind}: single-vector walk must be bit-identical across backends"
+        );
+        assert_eq!(a.report, b.report);
+    }
+}
+
+#[test]
+fn csc_spmv_is_backend_invariant() {
+    if !Backend::Avx2.is_available() {
+        eprintln!("AVX2 unavailable on this host; scalar-only run, skipping");
+        return;
+    }
+    let matrix = positive_matrix(1, 80, 70, 900, 31);
+    let csc = CscMatrix::from(&matrix);
+    let x = positive_vector(70, 13);
+    assert_eq!(
+        csc.spmv_with(Backend::Scalar, &x),
+        csc.spmv_with(Backend::Avx2, &x),
+        "CSC scatter order is observable; backends must agree bit for bit"
+    );
+}
+
+#[test]
+fn simd_batched_engine_matches_scalar_within_ulp_bound() {
+    if !Backend::Avx2.is_available() {
+        eprintln!("AVX2 unavailable on this host; scalar-only run, skipping");
+        return;
+    }
+    for kind in 0..3usize {
+        let matrix = positive_matrix(kind, 90, 90, 1100, 57 + kind as u64);
+        let bound = ulp_bound(&matrix);
+        let scalar = Gust::new(GustConfig::new(16).with_backend(Some(Backend::Scalar)));
+        let simd = Gust::new(GustConfig::new(16).with_backend(Some(Backend::Avx2)));
+        let schedule = scalar.schedule(&matrix);
+        // 1 and 17 exercise the fused scalar remainder, 8 a half-register
+        // tail, 16 the full AVX2 register block.
+        for batch in [1usize, 8, 16, 17] {
+            let panel = positive_panel(90, batch, 71);
+            let (y_scalar, report_scalar) = scalar.execute_batch(&schedule, &panel, batch);
+            let (y_simd, report_simd) = simd.execute_batch(&schedule, &panel, batch);
+            let err = max_relative_error(&y_simd, &y_scalar);
+            assert!(
+                err <= bound,
+                "kind {kind} batch {batch}: relative divergence {err} exceeds \
+                 the FMA bound {bound} (k_max = {})",
+                max_row_nnz(&matrix)
+            );
+            assert_eq!(report_scalar, report_simd, "accounting is backend-free");
+        }
+    }
+}
+
+#[test]
+fn simd_csr_kernels_match_scalar_within_ulp_bound() {
+    if !Backend::Avx2.is_available() {
+        eprintln!("AVX2 unavailable on this host; scalar-only run, skipping");
+        return;
+    }
+    for kind in 0..3usize {
+        let matrix = positive_matrix(kind, 100, 110, 1300, 83 + kind as u64);
+        let bound = ulp_bound(&matrix);
+        let x = positive_vector(110, 29);
+        let err = max_relative_error(
+            &matrix.spmv_with(Backend::Avx2, &x),
+            &matrix.spmv_with(Backend::Scalar, &x),
+        );
+        assert!(
+            err <= bound,
+            "kind {kind}: CSR f32 divergence {err} > {bound}"
+        );
+        let scalar64 = gust_sparse::kernels::csr_spmv_f64(Backend::Scalar, &matrix, &x);
+        let simd64 = gust_sparse::kernels::csr_spmv_f64(Backend::Avx2, &matrix, &x);
+        for (a, b) in scalar64.iter().zip(&simd64) {
+            let denom = a.abs().max(1.0);
+            assert!(
+                ((a - b) / denom).abs() <= f64::from(f32::EPSILON),
+                "kind {kind}: f64 kernels diverged beyond reason: {a} vs {b}"
+            );
+        }
+    }
+}

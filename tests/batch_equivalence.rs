@@ -1,16 +1,18 @@
 //! Property tests pinning the batched structure-of-arrays engine to the
-//! per-vector scalar path, bit for bit.
+//! per-vector scalar path, bit for bit — under the **scalar backend**.
 //!
 //! The batched kernel walks the schedule once for a whole panel of
-//! right-hand sides, interleaving operands into register blocks and
-//! optionally fanning blocks out over threads. None of that is allowed to
-//! change a single bit: per output column, products and per-adder
-//! accumulation order must equal the scalar `Gust::execute` walk. These
-//! properties sweep the three matrix generators (uniform, power-law,
-//! R-MAT), all three scheduling policies, and batch sizes around the
-//! register-block width (1, 3, 8, 17), so every remainder-block and
-//! multi-block shape is exercised — including ragged final windows
-//! whenever `rows % l != 0`.
+//! right-hand sides, staging/interleaving operands into register blocks
+//! and optionally fanning blocks out over threads. Under
+//! `Backend::Scalar`, none of that is allowed to change a single bit: per
+//! output column, products and per-adder accumulation order must equal
+//! the scalar `Gust::execute` walk. (SIMD backends fuse the batched
+//! accumulates into FMAs; their agreement-within-ULPs contract is pinned
+//! by `tests/backend_equivalence.rs`.) These properties sweep the three
+//! matrix generators (uniform, power-law, R-MAT), all three scheduling
+//! policies, and batch sizes around the register-block width (1, 3, 8,
+//! 17), so every remainder-block and multi-block shape is exercised —
+//! including ragged final windows whenever `rows % l != 0`.
 
 use gust::prelude::*;
 use gust_repro::prelude::*;
@@ -67,7 +69,10 @@ proptest! {
                     // the sequential path elsewhere.
                     let workers = if batch > 8 { Some(2) } else { Some(1) };
                     let engine = Gust::new(
-                        GustConfig::new(l).with_policy(policy).with_parallelism(workers),
+                        GustConfig::new(l)
+                            .with_policy(policy)
+                            .with_parallelism(workers)
+                            .with_backend(Some(Backend::Scalar)),
                     );
                     let b = panel(matrix.cols(), batch, seed);
                     let (y, report) = engine.execute_batch(&schedule, &b, batch);
