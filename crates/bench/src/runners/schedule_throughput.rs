@@ -11,7 +11,7 @@
 //! * `flat-seq` — the production pipeline pinned to one worker
 //!   (`with_parallelism(Some(1))`): the pure data-layout win,
 //! * `flat-mt` — the production pipeline at the host's available
-//!   parallelism: layout + `std::thread::scope` fan-out,
+//!   parallelism: layout + the persistent worker-pool fan-out,
 //!
 //! and reports wall time, nnz/s, speedup over legacy and peak RSS. Output
 //! is the usual text table plus a JSON array ([`TextTable::to_json`]) so

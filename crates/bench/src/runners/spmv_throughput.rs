@@ -1,13 +1,15 @@
 //! Execution-throughput benchmark: the seed's array-of-structs
 //! slot-at-a-time engine versus the structure-of-arrays engine, single
-//! vector and batched, under every kernel backend the host can run.
+//! vector and batched, under every kernel backend the host can run —
+//! plus the cache-blocked (banded) schedules on LLC-exceeding workloads.
 //!
 //! PR 1's `schedule_throughput` tracks the one-time preprocessing cost;
 //! this runner tracks the thing the schedule exists to accelerate — the
 //! per-SpMV execution path the paper amortizes that cost over (§5.3). For
 //! uniform, power-law and R-MAT matrices — plus a wide hub-concentrated
-//! matrix that exercises the engine's window-local operand staging — it
-//! times
+//! matrix that exercises the engine's window-local operand staging, and
+//! two **LLC-exceeding** shapes (2²⁰ rows, 4× as many columns at full
+//! scale) whose operand vector is 16× the forced cache budget — it times
 //!
 //! * `legacy-slots` — the seed execution engine preserved in
 //!   [`crate::legacy`]: array-of-structs slots, per-cycle counter
@@ -19,28 +21,34 @@
 //! * `soa-batch-seq` — [`Gust::execute_batch`] over exactly one register
 //!   block (the backend's `reg_block()` width), pinned to one
 //!   thread: the pure one-pass batching win, once per available backend,
-//! * `soa-batch-mt` — the batched kernel over four register blocks with
-//!   its `with_parallelism` fan-out at host parallelism, on the
-//!   best-available backend — the row a multi-core runner moves,
+//! * `soa-single-banded` / `soa-batch-banded` — the cache-blocked
+//!   [`Gust::execute_banded`] / [`Gust::execute_batch_banded`] over a
+//!   [`gust::BandedSchedule`], once per available backend. Cache-resident
+//!   shapes run under the auto-detected budget (usually one band — the
+//!   ≤ 5 % no-regression check); the LLC shapes force a small budget so
+//!   every gather hits an L2-resident band slice,
+//! * `soa-batch-mt` — the batched kernel over four register blocks
+//!   fanned out on the persistent worker pool at host parallelism, on
+//!   the best-available backend — the row a multi-core runner moves,
 //! * `reference-csr` — the [`CsrMatrix::spmv`] baseline kernel, once per
 //!   available backend, for context against the engine models,
 //!
 //! and reports wall time, nnz/s (batched kernels process `batch × nnz`
 //! useful non-zeros per pass) and speedup over the seed layout. Every row
-//! records the **backend name**, the **detected CPU features** and the
-//! **register-block width**, so `BENCH_spmv.json` entries are comparable
-//! across runners (a scalar-only CI box and an AVX2 desktop produce
-//! distinguishable rows, not silently different numbers under one name).
-//! Output is the usual text table plus a JSON array
-//! ([`TextTable::to_json`]); the `spmv_throughput` binary also writes the
-//! JSON to `BENCH_spmv.json` so CI can archive the perf trajectory per
-//! PR.
+//! records the **backend name**, the **detected CPU features**, the
+//! **register-block width**, the **real nnz of the matrix it ran on**
+//! (shapes differ now — a constant column was a PR 3 reporting bug), the
+//! **band count** (`banded`, 0 for unbanded rows) and the **cache
+//! budget** the banded schedule was built with (`cache_budget`, bytes; 0
+//! for unbanded rows), so `BENCH_spmv.json` entries are comparable
+//! across runners.
 //!
 //! Every kernel is checked against the scalar-backend engine before it is
 //! timed — bit for bit where the contract is bit-identity (legacy engine,
-//! `soa-single` on every backend, scalar batch columns), within the
-//! documented FMA-contraction bound for AVX2 batch columns. The benchmark
-//! refuses to time wrong answers.
+//! `soa-single` on every backend, scalar batch columns, banded vs. its
+//! own flattened schedule on *every* backend), within the documented
+//! FMA-contraction bound for AVX2 batch columns. The benchmark refuses
+//! to time wrong answers.
 //!
 //! Scale: `GUST_SCALE` as everywhere (dimensions ×s, non-zeros ×s²);
 //! `GUST_SCALE=1` runs the full 16 384² / 1.25 M-nnz matrices the
@@ -60,8 +68,8 @@ const FULL_DIM: usize = 16_384;
 const FULL_NNZ: usize = 1_250_000;
 /// GUST length the paper reports headline numbers for.
 const LENGTH: usize = 256;
-/// Register blocks for the threaded row: four, so the
-/// `std::thread::scope` fan-out has work to split on multi-core hosts.
+/// Register blocks for the threaded row: four, so the worker-pool
+/// fan-out has work to split on multi-core hosts.
 const MT_BLOCKS: usize = 4;
 
 /// Rendered report plus the bare JSON rows (for `BENCH_spmv.json`).
@@ -80,9 +88,22 @@ struct Measurement {
     /// rows.
     reg_block: usize,
     batch: usize,
+    /// Band count of the banded rows; 0 for unbanded kernels.
+    banded: usize,
+    /// Cache budget (bytes) the banded schedule targeted; 0 for
+    /// unbanded kernels.
+    cache_budget: usize,
     wall: Duration,
     /// Useful non-zeros processed per pass (`batch × nnz`).
     work: u64,
+}
+
+/// One benchmarked matrix: label, data, and the cache budget its banded
+/// rows force (`None` = the auto-detected budget).
+struct Workload {
+    name: &'static str,
+    matrix: CsrMatrix,
+    banded_budget: Option<usize>,
 }
 
 /// The backends worth measuring on this host, scalar first.
@@ -124,20 +145,39 @@ pub fn run(scale: f64) -> ThroughputOutput {
     // while each window touches only the hub columns (see
     // [`crate::workloads::hub_matrix`]). The square generators keep the
     // whole operand block cache-resident, so they exercise the
-    // interleave path instead.
+    // interleave path instead. The trailing two are the LLC-exceeding
+    // banded-schedule acceptance shapes ([`crate::workloads::llc_workloads`]):
+    // operand vector = 16× the forced cache budget.
     let hubs = (dim / 16).max(per_row_hubs_floor(dim, nnz));
-    let workloads: [(&str, CsrMatrix); 4] = [
-        ("uniform", CsrMatrix::from(&gen::uniform(dim, dim, nnz, 11))),
-        (
-            "power-law",
-            CsrMatrix::from(&gen::power_law(dim, dim, nnz, 1.9, 12)),
-        ),
-        ("rmat", CsrMatrix::from(&gen::rmat(dim, dim, nnz, 13))),
-        (
-            "hub-reuse",
-            crate::workloads::hub_matrix(dim, dim * 16, nnz, hubs, 14),
-        ),
+    let mut workloads = vec![
+        Workload {
+            name: "uniform",
+            matrix: CsrMatrix::from(&gen::uniform(dim, dim, nnz, 11)),
+            banded_budget: None,
+        },
+        Workload {
+            name: "power-law",
+            matrix: CsrMatrix::from(&gen::power_law(dim, dim, nnz, 1.9, 12)),
+            banded_budget: None,
+        },
+        Workload {
+            name: "rmat",
+            matrix: CsrMatrix::from(&gen::rmat(dim, dim, nnz, 13)),
+            banded_budget: None,
+        },
+        Workload {
+            name: "hub-reuse",
+            matrix: crate::workloads::hub_matrix(dim, dim * 16, nnz, hubs, 14),
+            banded_budget: None,
+        },
     ];
+    for llc in crate::workloads::llc_workloads(scale) {
+        workloads.push(Workload {
+            name: llc.name,
+            matrix: llc.matrix,
+            banded_budget: Some(llc.cache_budget),
+        });
+    }
 
     let features = cpu_features();
     let backends = available_backends();
@@ -146,7 +186,8 @@ pub fn run(scale: f64) -> ThroughputOutput {
     let mut out = super::header("spmv_throughput — execution nnz/s", scale);
     out.push_str(&format!(
         "l = {LENGTH}, EC/LB schedule, {reps} reps (median), host parallelism {auto_threads}\n\
-         backends: {} (features: {features}); batch = one register block per backend (mt: {MT_BLOCKS} blocks on {})\n\n",
+         backends: {} (features: {features}); batch = one register block per backend (mt: {MT_BLOCKS} blocks on {})\n\
+         banded rows: auto budget on cache-resident shapes, forced budget on llc-* (operand vector = 16x budget)\n\n",
         backends
             .iter()
             .map(|b| format!("{} (reg_block {})", b.name(), b.reg_block()))
@@ -162,26 +203,30 @@ pub fn run(scale: f64) -> ThroughputOutput {
         "features",
         "reg_block",
         "batch",
+        "banded",
+        "cache_budget",
         "nnz",
         "wall_ms",
         "nnz_per_s",
         "speedup_vs_legacy",
     ]);
 
-    for (name, matrix) in &workloads {
-        let measurements = measure_kernels(matrix, &backends, best, reps);
+    for workload in &workloads {
+        let measurements = measure_kernels(workload, &backends, best, reps);
         let legacy_rate = measurements[0].work as f64 / measurements[0].wall.as_secs_f64();
         for m in &measurements {
             let wall_s = m.wall.as_secs_f64();
             let rate = m.work as f64 / wall_s;
             table.push_row([
-                (*name).to_string(),
+                workload.name.to_string(),
                 m.kernel.to_string(),
                 m.backend.to_string(),
                 features.clone(),
                 m.reg_block.to_string(),
                 m.batch.to_string(),
-                matrix.nnz().to_string(),
+                m.banded.to_string(),
+                m.cache_budget.to_string(),
+                workload.matrix.nnz().to_string(),
                 format!("{:.3}", wall_s * 1e3),
                 format!("{rate:.0}"),
                 format!("{:.2}", rate / legacy_rate),
@@ -202,12 +247,14 @@ fn per_row_hubs_floor(rows: usize, nnz: usize) -> usize {
     nnz.div_ceil(rows) + 1
 }
 
-/// Builds a single-threaded engine pinned to `backend`.
-fn engine(backend: Backend) -> Gust {
+/// Builds a single-threaded engine pinned to `backend` (and, for banded
+/// schedules, to `budget`).
+fn engine(backend: Backend, budget: Option<usize>) -> Gust {
     Gust::new(
         GustConfig::new(LENGTH)
             .with_parallelism(Some(1))
-            .with_backend(Some(backend)),
+            .with_backend(Some(backend))
+            .with_cache_budget(budget),
     )
 }
 
@@ -215,16 +262,27 @@ fn engine(backend: Backend) -> Gust {
 /// the scalar engine (bit for bit or within the FMA bound, per contract)
 /// first.
 fn measure_kernels(
-    matrix: &CsrMatrix,
+    workload: &Workload,
     backends: &[Backend],
     best: Backend,
     reps: usize,
 ) -> Vec<Measurement> {
+    let matrix = &workload.matrix;
     let nnz = matrix.nnz() as u64;
-    let scalar = engine(Backend::Scalar);
+    let scalar = engine(Backend::Scalar, None);
     let schedule = scalar.schedule(matrix);
     let rows = schedule.rows();
     let x = crate::test_vector(matrix.cols());
+
+    // The banded schedule: forced budget on the LLC shapes, auto budget
+    // (usually a single band) on cache-resident ones. Its flattened form
+    // anchors the bit-identity gates below.
+    let banded = engine(best, workload.banded_budget).schedule_banded(matrix);
+    let band_count = banded.bands().count();
+    let budget_used = workload
+        .banded_budget
+        .unwrap_or_else(gust::config::default_cache_budget);
+    let banded_flat = banded.to_unbanded();
 
     // Correctness gates. The scalar single-vector engine is the anchor.
     let reference = scalar.execute(&schedule, &x);
@@ -239,6 +297,8 @@ fn measure_kernels(
         backend: Backend::Scalar.name(),
         reg_block: 1,
         batch: 1,
+        banded: 0,
+        cache_budget: 0,
         wall: timed(reps, || {
             std::hint::black_box(legacy::legacy_execute(&schedule, &slot_windows, &x));
         }),
@@ -246,7 +306,7 @@ fn measure_kernels(
     });
 
     for &backend in backends {
-        let gust = engine(backend);
+        let gust = engine(backend, workload.banded_budget);
         let rb = backend.reg_block();
         let panel = crate::workloads::shifted_panel(&x, rb, 0.25);
 
@@ -280,6 +340,26 @@ fn measure_kernels(
                 );
             }
         }
+        // Banded: bit-identical to the unbanded engine on its own
+        // flattened schedule, under every backend — the banded contract.
+        let banded_single = gust.execute_banded(&banded, &x);
+        let flat_single = gust.execute(&banded_flat, &x);
+        assert_eq!(
+            banded_single.output,
+            flat_single.output,
+            "{} banded single-vector walk diverged from its flattened schedule",
+            backend.name()
+        );
+        let err = max_relative_error(&banded_single.output, &f64_reference);
+        assert!(err < 1e-3, "{} banded diverged: {err}", backend.name());
+        let (banded_batch, _) = gust.execute_batch_banded(&banded, &panel, rb);
+        let (flat_batch, _) = gust.execute_batch(&banded_flat, &panel, rb);
+        assert_eq!(
+            banded_batch,
+            flat_batch,
+            "{} banded batch diverged from its flattened schedule",
+            backend.name()
+        );
         // Reference CSR kernel against the f64 oracle.
         let y_ref = matrix.spmv_with(backend, &x);
         let err = max_relative_error(&y_ref, &f64_reference);
@@ -294,6 +374,8 @@ fn measure_kernels(
             backend: backend.name(),
             reg_block: 1,
             batch: 1,
+            banded: 0,
+            cache_budget: 0,
             wall: timed(reps, || {
                 std::hint::black_box(gust.execute(&schedule, &x));
             }),
@@ -304,8 +386,34 @@ fn measure_kernels(
             backend: backend.name(),
             reg_block: rb,
             batch: rb,
+            banded: 0,
+            cache_budget: 0,
             wall: timed(reps, || {
                 std::hint::black_box(gust.execute_batch(&schedule, &panel, rb));
+            }),
+            work: rb as u64 * nnz,
+        });
+        results.push(Measurement {
+            kernel: "soa-single-banded",
+            backend: backend.name(),
+            reg_block: 1,
+            batch: 1,
+            banded: band_count,
+            cache_budget: budget_used,
+            wall: timed(reps, || {
+                std::hint::black_box(gust.execute_banded(&banded, &x));
+            }),
+            work: nnz,
+        });
+        results.push(Measurement {
+            kernel: "soa-batch-banded",
+            backend: backend.name(),
+            reg_block: rb,
+            batch: rb,
+            banded: band_count,
+            cache_budget: budget_used,
+            wall: timed(reps, || {
+                std::hint::black_box(gust.execute_batch_banded(&banded, &panel, rb));
             }),
             work: rb as u64 * nnz,
         });
@@ -314,6 +422,8 @@ fn measure_kernels(
             backend: backend.name(),
             reg_block: 1,
             batch: 1,
+            banded: 0,
+            cache_budget: 0,
             wall: timed(reps, || {
                 std::hint::black_box(matrix.spmv_with(backend, &x));
             }),
@@ -321,7 +431,7 @@ fn measure_kernels(
         });
     }
 
-    // Threaded row: best backend, four register blocks.
+    // Threaded row: best backend, four register blocks on the pool.
     let mt = Gust::new(GustConfig::new(LENGTH).with_backend(Some(best)));
     let rb = best.reg_block();
     let batch_mt = MT_BLOCKS * rb;
@@ -338,6 +448,8 @@ fn measure_kernels(
         backend: best.name(),
         reg_block: rb,
         batch: batch_mt,
+        banded: 0,
+        cache_budget: 0,
         wall: timed(reps, || {
             std::hint::black_box(mt.execute_batch(&schedule, &panel_mt, batch_mt));
         }),
@@ -371,6 +483,8 @@ mod tests {
             "legacy-slots",
             "soa-single",
             "soa-batch-seq",
+            "soa-single-banded",
+            "soa-batch-banded",
             "soa-batch-mt",
             "reference-csr",
         ] {
@@ -382,10 +496,37 @@ mod tests {
         assert!(out.json.contains("\"backend\": \"scalar\""));
         assert!(out.json.contains("\"features\":"));
         assert!(out.json.contains("\"reg_block\":"));
-        // Four workloads × (legacy + mt + 3 rows per available backend).
-        let rows_per_matrix = 2 + 3 * available_backends().len();
-        assert_eq!(out.json.matches("\"matrix\":").count(), 4 * rows_per_matrix);
+        assert!(out.json.contains("\"banded\":"));
+        assert!(out.json.contains("\"cache_budget\":"));
+        // Six workloads × (legacy + mt + 5 rows per available backend).
+        let rows_per_matrix = 2 + 5 * available_backends().len();
+        assert_eq!(out.json.matches("\"matrix\":").count(), 6 * rows_per_matrix);
         assert!(out.json.contains("\"hub-reuse\""));
+        assert!(out.json.contains("\"llc-uniform\""));
+        assert!(out.json.contains("\"llc-power-law\""));
+        // The nnz column records the real per-matrix count: the LLC
+        // shapes are denser than the square ones, so the column cannot
+        // be constant (the PR 3 bug this run fixes).
+        let nnz_values: std::collections::BTreeSet<&str> = out
+            .json
+            .split("\"nnz\": ")
+            .skip(1)
+            .map(|rest| rest.split(',').next().unwrap())
+            .collect();
+        assert!(
+            nnz_values.len() > 1,
+            "per-shape nnz must differ, got {nnz_values:?}"
+        );
+        // LLC rows are banded into multiple bands under the forced
+        // budget (operand vector = 16× budget → > 1 band at any scale).
+        let max_bands = out
+            .json
+            .split("\"banded\": ")
+            .skip(1)
+            .filter_map(|rest| rest.split(',').next().unwrap().parse::<usize>().ok())
+            .max()
+            .unwrap();
+        assert!(max_bands > 1, "LLC rows must split into bands");
         if Backend::Avx2.is_available() {
             assert!(out.json.contains("\"backend\": \"avx2\""));
         }

@@ -1,4 +1,5 @@
-//! GUST configuration: length, clock, scheduling policy, kernel backend.
+//! GUST configuration: length, clock, scheduling policy, kernel backend,
+//! worker parallelism and the cache budget that sizes column bands.
 
 use gust_sparse::kernels::Backend;
 
@@ -83,6 +84,7 @@ pub struct GustConfig {
     coloring: ColoringAlgorithm,
     parallelism: Option<usize>,
     backend: Option<Backend>,
+    cache_budget: Option<usize>,
 }
 
 impl GustConfig {
@@ -106,6 +108,7 @@ impl GustConfig {
             coloring: ColoringAlgorithm::default(),
             parallelism: None,
             backend: None,
+            cache_budget: None,
         }
     }
 
@@ -156,6 +159,30 @@ impl GustConfig {
     #[must_use]
     pub fn with_backend(mut self, backend: Option<Backend>) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the cache budget in bytes that column-band schedules target
+    /// (see [`crate::schedule::banded::BandedSchedule`]): bands are sized
+    /// so one band's *batched* operand slice — `band_cols ×
+    /// reg_block × 4` bytes — fits the budget, so every gather in a
+    /// band walk hits a cache-resident slice of the input vector.
+    ///
+    /// `None` (default) selects at runtime: the `GUST_CACHE_BUDGET`
+    /// environment variable if set (plain bytes, or with a `k`/`m`/`g`
+    /// suffix), otherwise the host's detected last-level cache size
+    /// (32 MiB when detection fails).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_budget` is `Some(0)`.
+    #[must_use]
+    pub fn with_cache_budget(mut self, cache_budget: Option<usize>) -> Self {
+        assert!(
+            cache_budget != Some(0),
+            "cache budget must be at least 1 byte (or None for auto)"
+        );
+        self.cache_budget = cache_budget;
         self
     }
 
@@ -231,15 +258,34 @@ impl GustConfig {
         }
     }
 
+    /// Configured cache budget in bytes (see
+    /// [`GustConfig::with_cache_budget`]); `None` means runtime selection.
+    #[must_use]
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.cache_budget
+    }
+
+    /// The cache budget band partitioning will actually use: the
+    /// configured one, else the `GUST_CACHE_BUDGET` environment variable,
+    /// else the detected last-level cache size (32 MiB fallback).
+    #[must_use]
+    pub fn effective_cache_budget(&self) -> usize {
+        self.cache_budget.unwrap_or_else(default_cache_budget)
+    }
+
     /// Worker threads to use for `items` independent work units (schedule
     /// windows, batched-execution register blocks): the configured
-    /// [`GustConfig::with_parallelism`] count, or the host's available
-    /// parallelism, never more than one per item and never zero.
+    /// [`GustConfig::with_parallelism`] count, else the `GUST_PARALLELISM`
+    /// environment variable, else the host's available parallelism —
+    /// never more than one per item and never zero.
     #[must_use]
     pub fn effective_workers(&self, items: usize) -> usize {
-        let requested = self.parallelism.unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        });
+        let requested = self
+            .parallelism
+            .or_else(env_parallelism)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
         requested.max(1).min(items.max(1))
     }
 
@@ -248,6 +294,79 @@ impl GustConfig {
     pub fn design_name(&self) -> String {
         format!("gust{}-{}", self.length, self.policy.label())
     }
+}
+
+/// The `GUST_PARALLELISM` environment override, parsed once per process.
+/// `0` or a non-number fails loudly: a misspelled CI leg must not
+/// silently run a different worker count than it claims.
+fn env_parallelism() -> Option<usize> {
+    static ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("GUST_PARALLELISM") {
+        Ok(raw) if !raw.is_empty() => {
+            let n: usize = raw
+                .parse()
+                .unwrap_or_else(|_| panic!("GUST_PARALLELISM must be a number, got '{raw}'"));
+            assert!(n > 0, "GUST_PARALLELISM must be at least 1");
+            Some(n)
+        }
+        _ => None,
+    })
+}
+
+/// The process-wide default cache budget: `GUST_CACHE_BUDGET` (plain
+/// bytes or `k`/`m`/`g` suffixed) if set, otherwise the host's detected
+/// last-level cache size, otherwise 32 MiB. Read once and cached.
+#[must_use]
+pub fn default_cache_budget() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("GUST_CACHE_BUDGET") {
+        Ok(raw) if !raw.is_empty() => parse_byte_size(&raw).unwrap_or_else(|| {
+            panic!("GUST_CACHE_BUDGET must be bytes (e.g. 262144, 256k, 4m), got '{raw}'")
+        }),
+        _ => detect_llc_bytes().unwrap_or(32 * 1024 * 1024),
+    })
+}
+
+/// Parses `"262144"`, `"256k"`, `"4M"`, `"1g"` into bytes. `None` on
+/// malformed input or a zero size.
+fn parse_byte_size(raw: &str) -> Option<usize> {
+    let raw = raw.trim();
+    let (digits, multiplier) = match raw.chars().last()? {
+        'k' | 'K' => (&raw[..raw.len() - 1], 1024usize),
+        'm' | 'M' => (&raw[..raw.len() - 1], 1024 * 1024),
+        'g' | 'G' => (&raw[..raw.len() - 1], 1024 * 1024 * 1024),
+        _ => (raw, 1),
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    n.checked_mul(multiplier).filter(|&b| b > 0)
+}
+
+/// Detects the host's last-level data/unified cache size from Linux
+/// sysfs (`/sys/devices/system/cpu/cpu0/cache/index*/size`). `None` off
+/// Linux or when the hierarchy is unreadable.
+fn detect_llc_bytes() -> Option<usize> {
+    let dir = std::fs::read_dir("/sys/devices/system/cpu/cpu0/cache").ok()?;
+    let mut best: Option<(u32, usize)> = None;
+    for entry in dir.flatten() {
+        let path = entry.path();
+        let read = |name: &str| std::fs::read_to_string(path.join(name)).ok();
+        let Some(kind) = read("type") else { continue };
+        if !matches!(kind.trim(), "Data" | "Unified") {
+            continue;
+        }
+        // A malformed entry skips itself, not the whole scan: the real
+        // LLC may still be readable in a later index.
+        let Some(level) = read("level").and_then(|s| s.trim().parse::<u32>().ok()) else {
+            continue;
+        };
+        let Some(size) = read("size").and_then(|s| parse_byte_size(s.trim())) else {
+            continue;
+        };
+        if best.is_none_or(|(l, _)| level > l) {
+            best = Some((level, size));
+        }
+    }
+    best.map(|(_, size)| size)
 }
 
 #[cfg(test)]
@@ -328,5 +447,33 @@ mod tests {
     #[should_panic(expected = "length must be non-zero")]
     fn zero_length_panics() {
         let _ = GustConfig::new(0);
+    }
+
+    #[test]
+    fn cache_budget_defaults_to_auto_and_pins() {
+        let auto = GustConfig::new(8);
+        assert_eq!(auto.cache_budget(), None);
+        // Auto-detection always lands on something positive.
+        assert!(auto.effective_cache_budget() > 0);
+        let pinned = GustConfig::new(8).with_cache_budget(Some(1 << 20));
+        assert_eq!(pinned.cache_budget(), Some(1 << 20));
+        assert_eq!(pinned.effective_cache_budget(), 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 byte")]
+    fn zero_cache_budget_panics() {
+        let _ = GustConfig::new(8).with_cache_budget(Some(0));
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_byte_size("262144"), Some(262_144));
+        assert_eq!(parse_byte_size("256k"), Some(256 * 1024));
+        assert_eq!(parse_byte_size("4M"), Some(4 * 1024 * 1024));
+        assert_eq!(parse_byte_size("1g"), Some(1 << 30));
+        assert_eq!(parse_byte_size("266240K"), Some(266_240 * 1024));
+        assert_eq!(parse_byte_size("0"), None);
+        assert_eq!(parse_byte_size("lots"), None);
     }
 }

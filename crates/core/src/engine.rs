@@ -59,6 +59,8 @@
 
 use crate::config::{GustConfig, SchedulingPolicy};
 use crate::kernels::{self, Backend};
+use crate::parallel::Pool;
+use crate::schedule::banded::BandedSchedule;
 use crate::schedule::scheduled::{log2_ceil, ScheduledMatrix};
 use crate::schedule::Scheduler;
 use gust_sim::{ExecutionReport, MemoryTraffic, UnitCounter};
@@ -376,11 +378,13 @@ impl Gust {
             .zip(&stage_flags)
             .any(|(w, &staged)| w.nnz() > 0 && !staged);
 
-        if workers <= 1 {
-            let mut scratch = BlockScratch::default();
-            for (blk, y_block) in y.chunks_mut(rows * rb).enumerate() {
-                let j0 = blk * rb;
-                let bb = (batch - j0).min(rb);
+        run_blocks(
+            workers,
+            &mut y,
+            rows,
+            rb,
+            batch,
+            |j0, bb, y_block, scratch| {
                 run_block(
                     backend,
                     schedule,
@@ -390,50 +394,208 @@ impl Gust {
                     &stage_flags,
                     needs_interleave,
                     y_block,
-                    &mut scratch,
+                    scratch,
                 );
-            }
-        } else {
-            // Fan the register blocks out over `workers` threads. Each
-            // thread owns a contiguous run of output columns (disjoint
-            // chunks of the column-major panel), so no merge is needed and
-            // the result is identical to the sequential pass.
-            let per_worker = blocks.div_ceil(workers);
-            std::thread::scope(|scope| {
-                let mut rest = y.as_mut_slice();
-                let mut blk = 0usize;
-                while blk < blocks {
-                    let take = per_worker.min(blocks - blk);
-                    let first_col = blk * rb;
-                    let cols_here = (batch - first_col).min(take * rb);
-                    let (chunk, tail) = rest.split_at_mut(rows * cols_here);
-                    rest = tail;
-                    let start_blk = blk;
-                    let stage_flags = &stage_flags;
-                    scope.spawn(move || {
-                        let mut scratch = BlockScratch::default();
-                        for (i, y_block) in chunk.chunks_mut(rows * rb).enumerate() {
-                            let j0 = (start_blk + i) * rb;
-                            let bb = (batch - j0).min(rb);
-                            run_block(
-                                backend,
-                                schedule,
-                                b,
-                                j0,
-                                bb,
-                                stage_flags,
-                                needs_interleave,
-                                y_block,
-                                &mut scratch,
-                            );
-                        }
-                    });
-                    blk += take;
-                }
-            });
-        }
+            },
+        );
 
         (y, self.analytic_report(schedule, batch as u64))
+    }
+
+    /// Preprocesses `matrix` into a cache-blocked [`BandedSchedule`]:
+    /// columns are partitioned into bands sized by
+    /// [`GustConfig::effective_cache_budget`] so one band's operand slice
+    /// stays cache-resident during execution. Delegates to
+    /// [`Scheduler::schedule_banded`].
+    #[must_use]
+    pub fn schedule_banded(&self, matrix: &gust_sparse::CsrMatrix) -> BandedSchedule {
+        Scheduler::new(self.config.clone()).schedule_banded(matrix)
+    }
+
+    /// Runs one SpMV over a cache-blocked [`BandedSchedule`]: bands are
+    /// walked back to back (bands outer, windows inner), every window's
+    /// adders **carrying** their partial sums across bands, so each
+    /// gather hits the current band's cache-resident slice of `x` while
+    /// the result stays **bit-identical** to
+    /// `self.execute(&schedule.to_unbanded(), x)` under every backend —
+    /// per adder, the product order is the merged window's slot order
+    /// either way (see [`crate::schedule::banded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != schedule.cols()` or the schedule's length
+    /// does not match this engine's configuration.
+    #[must_use]
+    pub fn execute_banded(&self, schedule: &BandedSchedule, x: &[f32]) -> GustRun {
+        let l = self.config.length();
+        assert_eq!(
+            schedule.length(),
+            l,
+            "schedule was produced for a different GUST length"
+        );
+        assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
+
+        let backend = self.backend();
+        let window_count = schedule.windows().len();
+        let mut y = vec![0.0f32; schedule.rows()];
+        let row_perm = schedule.row_perm();
+
+        if schedule.bands().count() == 1 {
+            // Single band (cache-resident shapes under the auto budget):
+            // banding is vacuous, so take the unbanded [`Gust::execute`]
+            // shape — one hot adder bank reused across windows, dump as
+            // each window finishes, and the same per-window staging
+            // decisions. Staging copies values and the per-window slot
+            // order is unchanged, so the output stays bit-identical to
+            // the multi-band walk.
+            let mut adders = vec![0.0f32; l];
+            let mut stage: Vec<f32> = Vec::new();
+            for (w, banded) in schedule.windows().iter().enumerate() {
+                let window = banded.window();
+                let active = schedule.window_rows(w);
+                adders[..active].fill(0.0);
+                let (idx, operands): (&[u32], &[f32]) = if window_staged(window, x.len(), 1) {
+                    stage.resize(window.gather_cols().len(), 0.0);
+                    kernels::gather(backend, x, window.gather_cols(), &mut stage);
+                    (window.local_cols(), &stage)
+                } else {
+                    (window.cols(), x)
+                };
+                kernels::window_walk(
+                    backend,
+                    window.values(),
+                    idx,
+                    window.row_mods(),
+                    operands,
+                    &mut adders,
+                );
+                let base = w * l;
+                for (i, &acc) in adders[..active].iter().enumerate() {
+                    y[row_perm[base + i] as usize] = acc;
+                }
+            }
+            return GustRun {
+                output: y,
+                report: self.banded_report(schedule, 1),
+            };
+        }
+
+        // One adder bank per window, all carried across the band sweep.
+        let mut adders = vec![0.0f32; window_count * l];
+        for b in 0..schedule.bands().count() {
+            let range = schedule.bands().range(b);
+            let xs = &x[range.start as usize..range.end as usize];
+            for (w, window) in schedule.windows().iter().enumerate() {
+                let slots = window.band_slots(b);
+                if slots.is_empty() {
+                    continue;
+                }
+                kernels::window_walk(
+                    backend,
+                    &window.window().values()[slots.clone()],
+                    &window.local_cols()[slots.clone()],
+                    &window.window().row_mods()[slots],
+                    xs,
+                    &mut adders[w * l..(w + 1) * l],
+                );
+            }
+        }
+
+        for w in 0..window_count {
+            let active = schedule.window_rows(w);
+            let base = w * l;
+            for (i, &acc) in adders[base..base + active].iter().enumerate() {
+                y[row_perm[base + i] as usize] = acc;
+            }
+        }
+
+        GustRun {
+            output: y,
+            report: self.banded_report(schedule, 1),
+        }
+    }
+
+    /// Batched SpMV over a cache-blocked [`BandedSchedule`] — the
+    /// composition of the §5.3 one-pass multi-vector walk with 2D cache
+    /// blocking. Work is cut into band × register-block tiles: each
+    /// register block of right-hand sides (a pool task, see
+    /// [`crate::parallel::Pool`]) sweeps the bands in order, interleaving
+    /// one band's operand slice (sized by the cache budget to stay
+    /// resident) and walking every window's slots of that band, with all
+    /// windows' accumulators carried across the sweep.
+    ///
+    /// Outputs are bit-identical to
+    /// `self.execute_batch(&schedule.to_unbanded(), b, batch)` for the
+    /// same backend, for every worker count.
+    ///
+    /// # Panics
+    ///
+    /// As [`Gust::execute_batch`].
+    #[must_use]
+    pub fn execute_batch_banded(
+        &self,
+        schedule: &BandedSchedule,
+        b: &[f32],
+        batch: usize,
+    ) -> (Vec<f32>, ExecutionReport) {
+        let l = self.config.length();
+        assert_eq!(
+            schedule.length(),
+            l,
+            "schedule was produced for a different GUST length"
+        );
+        assert!(batch > 0, "batch must contain at least one vector");
+        let cols = schedule.cols();
+        assert_eq!(
+            b.len(),
+            cols * batch,
+            "panel must hold batch × cols values (column-major)"
+        );
+
+        let backend = self.backend();
+        let rb = backend.reg_block();
+        let rows = schedule.rows();
+        let mut y = vec![0.0f32; rows * batch];
+        let workers = self.batch_workers(batch.div_ceil(rb));
+        // With a single band, banding is vacuous and the walk takes the
+        // unbanded per-window path, including its staging decisions
+        // (decided once, at full register-block width, exactly as
+        // [`Gust::execute_batch`] does).
+        let single_band = schedule.bands().count() == 1;
+        let stage_flags: Vec<bool> = schedule
+            .windows()
+            .iter()
+            .map(|w| single_band && window_staged(w.window(), cols, rb.min(batch)))
+            .collect();
+        let needs_interleave = single_band
+            && schedule
+                .windows()
+                .iter()
+                .zip(&stage_flags)
+                .any(|(w, &staged)| w.nnz() > 0 && !staged);
+
+        run_blocks(
+            workers,
+            &mut y,
+            rows,
+            rb,
+            batch,
+            |j0, bb, y_block, scratch| {
+                run_block_banded(
+                    backend,
+                    schedule,
+                    b,
+                    j0,
+                    bb,
+                    &stage_flags,
+                    needs_interleave,
+                    y_block,
+                    scratch,
+                );
+            },
+        );
+
+        (y, self.banded_report(schedule, batch as u64))
     }
 
     /// Worker threads for a batched run over `blocks` register blocks
@@ -447,8 +609,41 @@ impl Gust {
     /// per-color busy counts are the slot counts the scheduler already
     /// recorded — no counters need to watch the hot loop.
     fn analytic_report(&self, schedule: &ScheduledMatrix, batch: u64) -> ExecutionReport {
+        self.report_from_counts(
+            schedule.total_colors(),
+            schedule.total_stalls(),
+            schedule.nnz() as u64,
+            schedule.rows() as u64,
+            schedule.cols() as u64,
+            batch,
+        )
+    }
+
+    /// The banded counterpart of [`Gust::analytic_report`]: identical
+    /// derivation, with the banded color total (`Σ` over windows *and*
+    /// bands — banding trades modeled cycles for host locality).
+    fn banded_report(&self, schedule: &BandedSchedule, batch: u64) -> ExecutionReport {
+        self.report_from_counts(
+            schedule.total_colors(),
+            schedule.total_stalls(),
+            schedule.nnz() as u64,
+            schedule.rows() as u64,
+            schedule.cols() as u64,
+            batch,
+        )
+    }
+
+    /// Shared analytic accounting over the schedule's aggregate counts.
+    fn report_from_counts(
+        &self,
+        streaming_cycles: u64,
+        stalls: u64,
+        nnz: u64,
+        rows: u64,
+        cols: u64,
+        batch: u64,
+    ) -> ExecutionReport {
         let l = self.config.length();
-        let streaming_cycles = schedule.total_colors();
         // Three pipeline levels add 2 cycles of fill; an empty schedule
         // (no non-zeros anywhere) never starts the pipeline at all.
         let cycles = if streaming_cycles == 0 {
@@ -456,18 +651,17 @@ impl Gust {
         } else {
             streaming_cycles + 2
         };
-        let nnz = schedule.nnz() as u64;
 
         let mut report =
             ExecutionReport::new(self.config.design_name(), l, self.config.arithmetic_units());
         report.cycles = batch * cycles;
         report.nnz_processed = batch * nnz;
         report.busy_unit_cycles = batch * 2 * nnz; // one multiply + one add per slot
-        report.stall_cycles = batch * schedule.total_stalls();
+        report.stall_cycles = batch * stalls;
         report.multiplies = batch * nnz;
         report.additions = batch * nnz; // one accumulate per product
         report.frequency_hz = self.config.frequency_hz();
-        let per_vector = self.traffic(schedule);
+        let per_vector = self.traffic(streaming_cycles, nnz, rows, cols);
         report.traffic = MemoryTraffic {
             off_chip_reads: batch * per_vector.off_chip_reads,
             off_chip_writes: batch * per_vector.off_chip_writes,
@@ -477,8 +671,8 @@ impl Gust {
         report
     }
 
-    /// Memory-traffic model for one SpMV over `schedule` (§3.3 "Streaming
-    /// the Inputs" and §4's Buffer Filler pipeline):
+    /// Memory-traffic model for one SpMV (§3.3 "Streaming the Inputs"
+    /// and §4's Buffer Filler pipeline):
     ///
     /// * off-chip reads — the dense `M_sch`/`Col_sch` stream (two 32-bit
     ///   words per cell, empty cells included: that waste is the utilization
@@ -486,21 +680,19 @@ impl Gust {
     /// * on-chip — double-buffer writes/reads in the Buffer Filler plus one
     ///   vector-element read per non-zero;
     /// * off-chip writes — the output vector.
-    fn traffic(&self, schedule: &ScheduledMatrix) -> MemoryTraffic {
-        let l = schedule.length() as u64;
-        let cells = l * schedule.total_colors();
-        let row_bits = u64::from(log2_ceil(schedule.length()));
+    fn traffic(&self, total_colors: u64, nnz: u64, rows: u64, cols: u64) -> MemoryTraffic {
+        let l = self.config.length() as u64;
+        let cells = l * total_colors;
+        let row_bits = u64::from(log2_ceil(self.config.length()));
         let row_words = (cells * row_bits).div_ceil(32);
         let stream_words = 2 * cells + row_words;
-        let vector_words = schedule.cols() as u64;
-        let nnz = schedule.nnz() as u64;
         MemoryTraffic {
-            off_chip_reads: stream_words + vector_words,
-            off_chip_writes: schedule.rows() as u64,
+            off_chip_reads: stream_words + cols,
+            off_chip_writes: rows,
             // Buffer Filler: write the partition into on-chip memory, read
             // it back out, plus one vector read per multiply.
             on_chip_reads: stream_words + nnz,
-            on_chip_writes: stream_words + vector_words,
+            on_chip_writes: stream_words + cols,
         }
     }
 }
@@ -508,6 +700,10 @@ impl Gust {
 /// Reusable per-thread scratch of the batched kernel: the (optional)
 /// whole-panel interleave, the window-local operand stage, and the
 /// per-window accumulator block.
+///
+/// Pool workers are never reaped, so their thread-local scratch lives
+/// for the process; [`BlockScratch::trim`] bounds what a parked worker
+/// keeps pinned after a huge matrix passes through.
 #[derive(Debug, Default)]
 struct BlockScratch {
     /// `xb[col * bb + j]` = panel value of column `col`, RHS `j0 + j`
@@ -518,6 +714,27 @@ struct BlockScratch {
     stage: Vec<f32>,
     /// `acc[row_mod * bb + j]` = running sum for adder `row_mod`, RHS `j`.
     acc: Vec<f32>,
+}
+
+impl BlockScratch {
+    /// Retained capacity ceiling per buffer: 2²² f32 = 16 MiB. Below it,
+    /// buffers amortize across pool tasks and `execute_batch` calls (the
+    /// repeated-solve pattern); above it — the multi-GB LLC shapes —
+    /// the memory is released so a parked worker does not pin
+    /// matrix-sized buffers for the process lifetime.
+    const MAX_RETAINED: usize = 1 << 22;
+
+    /// Releases oversized buffers (see [`BlockScratch::MAX_RETAINED`]).
+    /// Called after each pool task; contents never carry meaning between
+    /// tasks, only capacity.
+    fn trim(&mut self) {
+        for buf in [&mut self.xb, &mut self.stage, &mut self.acc] {
+            if buf.capacity() > Self::MAX_RETAINED {
+                buf.clear();
+                buf.shrink_to(Self::MAX_RETAINED);
+            }
+        }
+    }
 }
 
 /// Executes the whole schedule against one register block of `bb` ≤
@@ -595,6 +812,190 @@ fn run_block(
             }
         }
     }
+}
+
+/// Executes a cache-blocked schedule against one register block of `bb`
+/// right-hand sides starting at panel column `j0` — the banded
+/// counterpart of [`run_block`]. Bands are swept in order: each band's
+/// operand slice is interleaved once (cache-budget-sized, so the
+/// following walks gather from a resident block) and every window's
+/// slots of that band accumulate into that window's bank of the carried
+/// accumulator panel. Per (window, adder, right-hand side) the
+/// accumulation order equals the merged window's slot order, which keeps
+/// the output bit-identical to [`run_block`] on
+/// [`BandedSchedule::to_unbanded`].
+#[allow(clippy::too_many_arguments)]
+fn run_block_banded(
+    backend: Backend,
+    schedule: &BandedSchedule,
+    b: &[f32],
+    j0: usize,
+    bb: usize,
+    stage_flags: &[bool],
+    needs_interleave: bool,
+    y_block: &mut [f32],
+    scratch: &mut BlockScratch,
+) {
+    let cols = schedule.cols();
+    let rows = schedule.rows();
+    let l = schedule.length();
+    let window_count = schedule.windows().len();
+    let row_perm = schedule.row_perm();
+
+    // Single band (cache-resident shapes under the auto budget): the
+    // carry is vacuous, so take the unbanded [`run_block`] shape — one
+    // small hot accumulator bank, per-window staging per `stage_flags`,
+    // dump each window as it finishes. Slot order per window is
+    // unchanged and staging copies values, so the output stays
+    // bit-identical to the multi-band walk.
+    if schedule.bands().count() == 1 {
+        if needs_interleave {
+            scratch.xb.resize(cols * bb, 0.0);
+            kernels::interleave_panel_band(b, cols, 0, cols, j0, bb, &mut scratch.xb);
+        }
+        scratch.acc.resize(l * bb, 0.0);
+        for (w, banded) in schedule.windows().iter().enumerate() {
+            let window = banded.window();
+            let active = schedule.window_rows(w);
+            scratch.acc[..active * bb].fill(0.0);
+            let (idx, operands): (&[u32], &[f32]) = if stage_flags[w] {
+                scratch.stage.resize(window.gather_cols().len() * bb, 0.0);
+                kernels::stage_panel(
+                    backend,
+                    b,
+                    cols,
+                    j0,
+                    bb,
+                    window.gather_cols(),
+                    &mut scratch.stage,
+                );
+                (window.local_cols(), &scratch.stage)
+            } else {
+                (window.cols(), &scratch.xb)
+            };
+            kernels::panel_walk(
+                backend,
+                window.values(),
+                idx,
+                window.row_mods(),
+                operands,
+                &mut scratch.acc,
+                bb,
+            );
+            let base = w * l;
+            for (i, acc_row) in scratch.acc[..active * bb].chunks_exact(bb).enumerate() {
+                let orig = row_perm[base + i] as usize;
+                for (j, &v) in acc_row.iter().enumerate() {
+                    y_block[j * rows + orig] = v;
+                }
+            }
+        }
+        return;
+    }
+
+    // One accumulator bank per window, all carried across the band
+    // sweep. The fill is mandatory: banks persist from the previous
+    // block in the thread-local scratch.
+    scratch.acc.resize(window_count * l * bb, 0.0);
+    scratch.acc.fill(0.0);
+
+    for band in 0..schedule.bands().count() {
+        let range = schedule.bands().range(band);
+        let (col0, width) = (range.start as usize, range.len());
+        if width == 0 {
+            continue;
+        }
+        scratch.xb.resize(width * bb, 0.0);
+        kernels::interleave_panel_band(b, cols, col0, width, j0, bb, &mut scratch.xb);
+        for (w, window) in schedule.windows().iter().enumerate() {
+            let slots = window.band_slots(band);
+            if slots.is_empty() {
+                continue;
+            }
+            kernels::panel_walk(
+                backend,
+                &window.window().values()[slots.clone()],
+                &window.local_cols()[slots.clone()],
+                &window.window().row_mods()[slots],
+                &scratch.xb,
+                &mut scratch.acc[w * l * bb..(w + 1) * l * bb],
+                bb,
+            );
+        }
+    }
+
+    // Dump every window's active lanes through the row permutation into
+    // each output column.
+    for w in 0..window_count {
+        let active = schedule.window_rows(w);
+        let base = w * l;
+        let bank = &scratch.acc[base * bb..(base + active) * bb];
+        for (i, acc_row) in bank.chunks_exact(bb).enumerate() {
+            let orig = row_perm[base + i] as usize;
+            for (j, &v) in acc_row.iter().enumerate() {
+                y_block[j * rows + orig] = v;
+            }
+        }
+    }
+}
+
+std::thread_local! {
+    /// Per-thread batched-execution scratch. Thread-local rather than
+    /// per-call because the worker threads are the persistent
+    /// [`Pool`]'s: the interleave/stage/accumulator buffers amortize
+    /// across `execute_batch` calls, which is exactly the repeated-solve
+    /// pattern the pool exists for.
+    static BLOCK_SCRATCH: std::cell::RefCell<BlockScratch> =
+        std::cell::RefCell::new(BlockScratch::default());
+}
+
+/// Runs `f(j0, bb, y_block, scratch)` for every register block of the
+/// batch, either sequentially or fanned out over the persistent worker
+/// [`Pool`]. Each block owns a disjoint chunk of the column-major output
+/// panel (claimed exactly once through its own slot), so the result is
+/// bit-identical for every worker count regardless of the pool's dynamic
+/// task order.
+fn run_blocks(
+    workers: usize,
+    y: &mut [f32],
+    rows: usize,
+    rb: usize,
+    batch: usize,
+    f: impl Fn(usize, usize, &mut [f32], &mut BlockScratch) + Sync,
+) {
+    // A zero-row schedule has no output to chunk (and `chunks_mut(0)`
+    // would panic); every block's dump would be empty anyway.
+    if y.is_empty() {
+        return;
+    }
+    let blocks = batch.div_ceil(rb);
+    if workers <= 1 {
+        let mut scratch = BlockScratch::default();
+        for (blk, y_block) in y.chunks_mut(rows * rb).enumerate() {
+            let j0 = blk * rb;
+            let bb = (batch - j0).min(rb);
+            f(j0, bb, y_block, &mut scratch);
+        }
+        return;
+    }
+    let chunks: Vec<std::sync::Mutex<Option<&mut [f32]>>> = y
+        .chunks_mut(rows * rb)
+        .map(|chunk| std::sync::Mutex::new(Some(chunk)))
+        .collect();
+    Pool::global().run(workers, blocks, |blk| {
+        let y_block = chunks[blk]
+            .lock()
+            .expect("output block lock")
+            .take()
+            .expect("each block runs exactly once");
+        let j0 = blk * rb;
+        let bb = (batch - j0).min(rb);
+        BLOCK_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            f(j0, bb, y_block, &mut scratch);
+            scratch.trim();
+        });
+    });
 }
 
 impl Default for Gust {
@@ -877,5 +1278,99 @@ mod tests {
         let m = CsrMatrix::identity(8);
         let s = Gust::new(GustConfig::new(4)).schedule(&m);
         let _ = Gust::new(GustConfig::new(8)).execute(&s, &[1.0; 8]);
+    }
+
+    #[test]
+    fn zero_row_matrices_execute_to_empty_outputs() {
+        let m = CsrMatrix::try_new(0, 5, vec![0], vec![], vec![]).expect("0×5 is valid");
+        let gust = Gust::new(GustConfig::new(4));
+        let s = gust.schedule(&m);
+        assert_eq!(gust.execute(&s, &[1.0; 5]).output, Vec::<f32>::new());
+        let (y, _) = gust.execute_batch(&s, &[1.0; 40], 8);
+        assert_eq!(y, Vec::<f32>::new());
+        let banded = gust.schedule_banded(&m);
+        let (y, _) = gust.execute_batch_banded(&banded, &[1.0; 40], 8);
+        assert_eq!(y, Vec::<f32>::new());
+    }
+
+    #[test]
+    fn banded_execution_is_bit_identical_to_the_unbanded_walk() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::power_law(60, 60, 500, 1.8, 17));
+        let x = random_x(60, 3);
+        let gust = Gust::new(GustConfig::new(8));
+        for bands in [1usize, 2, 7] {
+            let banded = Scheduler::new(gust.config().clone())
+                .schedule_banded_with(&m, ColumnBands::with_count(60, bands));
+            let flat = banded.to_unbanded();
+            let from_banded = gust.execute_banded(&banded, &x);
+            let from_flat = gust.execute(&flat, &x);
+            assert_eq!(
+                from_banded.output, from_flat.output,
+                "{bands} bands: banded walk must be bit-identical"
+            );
+            assert_eq!(from_banded.report, from_flat.report);
+            // And correct against the reference kernel.
+            assert_vectors_close(&from_banded.output, &reference_spmv(&m, &x), 1e-4);
+        }
+    }
+
+    #[test]
+    fn single_band_schedule_equals_the_flat_schedule() {
+        let m = CsrMatrix::from(&gen::uniform(40, 40, 300, 9));
+        // A budget covering the whole operand vector → one band → the
+        // banded scheduler must reproduce the flat schedule exactly,
+        // coloring and all.
+        let gust = Gust::new(GustConfig::new(8).with_cache_budget(Some(1 << 30)));
+        let banded = gust.schedule_banded(&m);
+        assert_eq!(banded.bands().count(), 1);
+        assert_eq!(banded.to_unbanded(), gust.schedule(&m));
+    }
+
+    #[test]
+    fn banded_batch_matches_unbanded_batch_bit_for_bit() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::uniform(48, 64, 400, 23));
+        let gust = Gust::new(GustConfig::new(8).with_parallelism(Some(1)));
+        let banded = Scheduler::new(gust.config().clone())
+            .schedule_banded_with(&m, ColumnBands::with_count(64, 5));
+        let flat = banded.to_unbanded();
+        for batch in [1usize, 8, 17] {
+            let panel = random_panel(64, batch, 7);
+            let (y_banded, r_banded) = gust.execute_batch_banded(&banded, &panel, batch);
+            let (y_flat, r_flat) = gust.execute_batch(&flat, &panel, batch);
+            assert_eq!(y_banded, y_flat, "batch {batch}");
+            assert_eq!(r_banded, r_flat);
+        }
+    }
+
+    #[test]
+    fn banded_batch_is_identical_across_worker_counts() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::power_law(64, 64, 600, 1.9, 29));
+        let batch = 19usize; // 3 blocks: 8 + 8 + 3
+        let panel = random_panel(64, batch, 11);
+        let sequential = Gust::new(GustConfig::new(8).with_parallelism(Some(1)));
+        let threaded = Gust::new(GustConfig::new(8).with_parallelism(Some(4)));
+        let schedule = Scheduler::new(sequential.config().clone())
+            .schedule_banded_with(&m, ColumnBands::with_count(64, 3));
+        let (seq, seq_report) = sequential.execute_batch_banded(&schedule, &panel, batch);
+        let (par, par_report) = threaded.execute_batch_banded(&schedule, &panel, batch);
+        assert_eq!(seq, par, "pool fan-out must not change a single bit");
+        assert_eq!(seq_report, par_report);
+    }
+
+    #[test]
+    fn banded_cycles_are_at_least_unbanded_cycles() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::uniform(64, 64, 700, 31));
+        let gust = Gust::new(GustConfig::new(8));
+        let flat = gust.schedule(&m);
+        let banded = Scheduler::new(gust.config().clone())
+            .schedule_banded_with(&m, ColumnBands::with_count(64, 4));
+        // Banding trades modeled cycles for host locality; it can never
+        // reduce the color total below the flat schedule's.
+        assert!(banded.total_colors() >= flat.total_colors());
+        assert_eq!(banded.nnz(), flat.nnz());
     }
 }

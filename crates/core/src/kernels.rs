@@ -162,9 +162,33 @@ pub(crate) fn panel_walk(
 ///
 /// Panics if `xb.len() != cols·bb` or the panel slice is too short.
 pub(crate) fn interleave_panel(b: &[f32], cols: usize, j0: usize, bb: usize, xb: &mut [f32]) {
-    assert_eq!(xb.len(), cols * bb, "interleave buffer length mismatch");
+    interleave_panel_band(b, cols, 0, cols, j0, bb, xb);
+}
+
+/// Interleaves one register block of a **column band** of the panel:
+/// `xb[i·bb + j] = b[(j0+j)·cols + col0 + i]` for `i < width` — the
+/// banded engine's per-band operand slice, sized by the cache budget so
+/// the following band walk gathers from a cache-resident block. Reads
+/// are sequential per right-hand side, so the transpose streams at
+/// memory bandwidth. Exact under every backend (a copy).
+///
+/// # Panics
+///
+/// Panics if `xb.len() != width·bb` or the band falls outside a panel
+/// column.
+pub(crate) fn interleave_panel_band(
+    b: &[f32],
+    cols: usize,
+    col0: usize,
+    width: usize,
+    j0: usize,
+    bb: usize,
+    xb: &mut [f32],
+) {
+    assert_eq!(xb.len(), width * bb, "interleave buffer length mismatch");
+    assert!(col0 + width <= cols, "band outside the panel columns");
     for j in 0..bb {
-        let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
+        let src = &b[(j0 + j) * cols + col0..(j0 + j) * cols + col0 + width];
         for (i, &v) in src.iter().enumerate() {
             xb[i * bb + j] = v;
         }
@@ -547,6 +571,22 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn band_interleave_matches_whole_panel_slice() {
+        let cols = 20;
+        let bb = 3;
+        let b: Vec<f32> = (0..cols * (bb + 1)).map(|i| i as f32 * 0.5).collect();
+        let mut whole = vec![0.0f32; cols * bb];
+        interleave_panel(&b, cols, 1, bb, &mut whole);
+        // Two bands [0, 7) and [7, 20): each band buffer equals the
+        // corresponding rows of the whole-panel interleave.
+        for (col0, width) in [(0usize, 7usize), (7, 13)] {
+            let mut band = vec![0.0f32; width * bb];
+            interleave_panel_band(&b, cols, col0, width, 1, bb, &mut band);
+            assert_eq!(band, whole[col0 * bb..(col0 + width) * bb]);
         }
     }
 

@@ -64,6 +64,8 @@ pub mod schedule;
 pub use config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
 pub use engine::{Gust, GustRun};
 pub use kernels::Backend;
+pub use parallel::Pool;
+pub use schedule::banded::{BandedSchedule, BandedWindow, ColumnBands};
 pub use schedule::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
 
 /// Common imports for working with this crate.
@@ -73,7 +75,8 @@ pub mod prelude {
     pub use crate::config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
     pub use crate::engine::{Gust, GustRun};
     pub use crate::kernels::Backend;
-    pub use crate::parallel::ParallelGust;
+    pub use crate::parallel::{ParallelGust, Pool};
     pub use crate::pipeline::EndToEnd;
+    pub use crate::schedule::banded::{BandedSchedule, BandedWindow, ColumnBands};
     pub use crate::schedule::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
 }

@@ -1,4 +1,6 @@
-//! Parallel GUST arrangement: `k` length-`l` engines (§5.5).
+//! Parallel GUST arrangement: `k` length-`l` engines (§5.5) — plus the
+//! host-side persistent worker [`Pool`] the engine and scheduler fan
+//! work out on.
 //!
 //! The crossbar's area grows quadratically and its power superlinearly with
 //! `l` (Table 5), so instead of one long GUST the paper proposes `k`
@@ -7,6 +9,8 @@
 //! verbatim. The costs the paper predicts — reduced cross-row/column
 //! sharing and imperfect work division — fall out of this model and are
 //! quantified by the `ablation` bench.
+
+pub use pool::Pool;
 
 use crate::config::GustConfig;
 use crate::engine::{Gust, GustRun};
@@ -187,6 +191,353 @@ impl ParallelGust {
             }
         }
         per_engine
+    }
+}
+
+mod pool {
+    //! A lazily-spawned, process-wide worker pool.
+    //!
+    //! PR 1–3 fanned per-call work (schedule windows, batched-execution
+    //! register blocks) out over `std::thread::scope`, paying thread
+    //! spawn + join on *every* call — noise for one SpMV, a real tax for
+    //! iterative solvers that call [`crate::Gust::execute_batch`]
+    //! thousands of times against one schedule. [`Pool`] keeps the
+    //! workers alive across calls: threads are spawned on first demand
+    //! (and grown if a later caller asks for more), then parked on a
+    //! condition variable between runs, so repeated pool-backed calls
+    //! spawn no new threads after warm-up (`tests` pin this via
+    //! [`Pool::threads_spawned`]).
+    //!
+    //! # How a run works
+    //!
+    //! [`Pool::run`] executes `f(0..tasks)` with up to `workers` threads:
+    //! the caller hands `workers - 1` *job tickets* to the pool and then
+    //! drains the shared atomic task cursor itself, so the calling thread
+    //! always participates and a `workers == 1` run never touches the
+    //! pool at all. Each ticket-holding worker drains the same cursor
+    //! until the tasks run out. Task distribution is dynamic, so a few
+    //! heavy tasks cannot serialize the run; callers that need
+    //! deterministic output make each task write to its own slot, which
+    //! keeps results independent of which thread ran what.
+    //!
+    //! # Safety
+    //!
+    //! This module is the one place in the crate besides `kernels` that
+    //! uses `unsafe`: job tickets carry a type-erased pointer to a
+    //! [`RunCtx`] on the **caller's stack**. The safety argument is a
+    //! strict completion protocol: every ticket handed to the pool
+    //! decrements the context's `outstanding` counter exactly once, after
+    //! its last access to the context, and [`Pool::run`] does not return
+    //! (or unwind) until `outstanding` reaches zero — so no worker can
+    //! touch the context after the caller's frame dies. Worker panics are
+    //! caught, recorded in the context and re-raised on the caller.
+
+    #![allow(unsafe_code)]
+
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// Hard ceiling on pool threads, far above any sane
+    /// `with_parallelism` setting — a runaway-config backstop, not a
+    /// tuning knob.
+    const MAX_THREADS: usize = 512;
+
+    /// The shared state of one run, living on the caller's stack for the
+    /// duration of [`Pool::run`].
+    struct RunCtx {
+        /// Next task index to hand out.
+        next: AtomicUsize,
+        /// One past the last task index.
+        tasks: usize,
+        /// The caller's closure, type-erased (`*const F`).
+        f: *const (),
+        /// Monomorphized trampoline that re-types `f` and calls it.
+        call: unsafe fn(*const (), usize),
+        /// Job tickets handed to the pool that have not yet finished.
+        outstanding: Mutex<usize>,
+        /// Signalled when `outstanding` reaches zero.
+        finished: Condvar,
+        /// Set if any task panicked (on any thread).
+        panicked: AtomicBool,
+    }
+
+    /// A type-erased job ticket: one pool worker drains the run's task
+    /// cursor. The raw pointer is valid until the ticket decrements
+    /// `outstanding` (see the module safety argument).
+    struct Job(*const RunCtx);
+    // SAFETY: the pointee is Sync (atomics, mutex, condvar, and a
+    // `*const F` only dereferenced through the Sync-bounded trampoline),
+    // and its lifetime is enforced by the completion protocol above.
+    unsafe impl Send for Job {}
+
+    unsafe fn trampoline<F: Fn(usize) + Sync>(f: *const (), task: usize) {
+        // SAFETY: `f` is the `&F` that `run` erased; `run` keeps it alive
+        // until every ticket completed.
+        let f = unsafe { &*f.cast::<F>() };
+        f(task);
+    }
+
+    /// Drains the run's task cursor, then retires the ticket. Called on
+    /// pool workers (and, sans ticket accounting, inlined by the caller).
+    ///
+    /// # Safety
+    ///
+    /// `ctx` must point to a live [`RunCtx`] whose `outstanding` count
+    /// covers this call.
+    unsafe fn drain_and_retire(ctx: *const RunCtx) {
+        // SAFETY: liveness guaranteed by the caller (completion protocol).
+        let ctx = unsafe { &*ctx };
+        loop {
+            let task = ctx.next.fetch_add(1, Ordering::Relaxed);
+            if task >= ctx.tasks {
+                break;
+            }
+            // SAFETY: `call`/`f` pair was erased from a live `&F`.
+            if catch_unwind(AssertUnwindSafe(|| unsafe { (ctx.call)(ctx.f, task) })).is_err() {
+                ctx.panicked.store(true, Ordering::SeqCst);
+            }
+        }
+        let mut outstanding = ctx.outstanding.lock().expect("pool run mutex");
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            ctx.finished.notify_all();
+        }
+        // `ctx` must not be touched past this point.
+    }
+
+    std::thread_local! {
+        /// Whether the current thread is a pool worker. Nested
+        /// [`Pool::run`] calls from inside a task run inline instead of
+        /// queueing tickets they would then deadlock waiting on.
+        static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    /// The persistent worker pool. Use [`Pool::global`]; the engine and
+    /// scheduler share one pool so a process never holds more parked
+    /// threads than its widest run asked for.
+    pub struct Pool {
+        queue: Mutex<VecDeque<Job>>,
+        work_available: Condvar,
+        /// Worker threads alive (spawned lazily, never reaped).
+        threads: AtomicUsize,
+        /// Total spawns ever — the warm-up assertion counter.
+        spawned: AtomicUsize,
+    }
+
+    impl Pool {
+        /// The process-wide pool.
+        #[must_use]
+        pub fn global() -> &'static Pool {
+            static GLOBAL: OnceLock<Pool> = OnceLock::new();
+            GLOBAL.get_or_init(|| Pool {
+                queue: Mutex::new(VecDeque::new()),
+                work_available: Condvar::new(),
+                threads: AtomicUsize::new(0),
+                spawned: AtomicUsize::new(0),
+            })
+        }
+
+        /// Worker threads spawned over the pool's lifetime. After a
+        /// warm-up call at a given width, further same-width runs leave
+        /// this unchanged — the property the persistent pool exists for.
+        #[must_use]
+        pub fn threads_spawned(&self) -> usize {
+            self.spawned.load(Ordering::SeqCst)
+        }
+
+        /// Runs `f(0)`, `f(1)`, …, `f(tasks - 1)`, using up to `workers`
+        /// threads (the caller plus `workers - 1` pool workers). Returns
+        /// only after every task completed. `workers <= 1`, `tasks <= 1`
+        /// and nested calls from inside a pool task run entirely inline.
+        ///
+        /// Tasks are handed out dynamically; callers needing
+        /// deterministic results should give each task its own output
+        /// slot.
+        ///
+        /// # Panics
+        ///
+        /// Re-raises (as a panic on the caller) any panic from `f`.
+        pub fn run<F: Fn(usize) + Sync>(&self, workers: usize, tasks: usize, f: F) {
+            let helpers = workers
+                .saturating_sub(1)
+                .min(tasks.saturating_sub(1))
+                .min(MAX_THREADS);
+            if helpers == 0 || IS_POOL_WORKER.with(std::cell::Cell::get) {
+                for task in 0..tasks {
+                    f(task);
+                }
+                return;
+            }
+            self.ensure_threads(helpers);
+
+            let ctx = RunCtx {
+                next: AtomicUsize::new(0),
+                tasks,
+                f: std::ptr::from_ref(&f).cast(),
+                call: trampoline::<F>,
+                outstanding: Mutex::new(helpers),
+                finished: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            };
+            {
+                let mut queue = self.queue.lock().expect("pool queue mutex");
+                for _ in 0..helpers {
+                    queue.push_back(Job(&raw const ctx));
+                }
+            }
+            self.work_available.notify_all();
+
+            // The caller participates: drain the same cursor, but catch a
+            // task panic so the frame survives until every ticket retired.
+            let caller_result = catch_unwind(AssertUnwindSafe(|| loop {
+                let task = ctx.next.fetch_add(1, Ordering::Relaxed);
+                if task >= ctx.tasks {
+                    break;
+                }
+                f(task);
+            }));
+
+            // Reclaim our tickets that no worker has popped yet: by now
+            // the cursor is exhausted (or the caller is unwinding), so a
+            // queued ticket would only drain zero tasks — but leaving it
+            // queued would block this run's completion behind whatever
+            // long tasks *other* concurrent runs have the workers busy
+            // with. Each removed ticket is retired here instead of on a
+            // worker; a ticket is either popped by a worker or reclaimed,
+            // never both, so `outstanding` stays exact.
+            {
+                let mut queue = self.queue.lock().expect("pool queue mutex");
+                let before = queue.len();
+                queue.retain(|job| !std::ptr::eq(job.0, &raw const ctx));
+                let reclaimed = before - queue.len();
+                drop(queue);
+                if reclaimed > 0 {
+                    let mut outstanding = ctx.outstanding.lock().expect("pool run mutex");
+                    *outstanding -= reclaimed;
+                }
+            }
+
+            let mut outstanding = ctx.outstanding.lock().expect("pool run mutex");
+            while *outstanding > 0 {
+                outstanding = ctx
+                    .finished
+                    .wait(outstanding)
+                    .expect("pool completion wait");
+            }
+            drop(outstanding);
+            // Every ticket retired; `ctx` is no longer referenced anywhere.
+            match caller_result {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(()) if ctx.panicked.load(Ordering::SeqCst) => {
+                    panic!("a pool task panicked (see worker backtrace above)")
+                }
+                Ok(()) => {}
+            }
+        }
+
+        /// Grows the pool to at least `want` parked workers.
+        fn ensure_threads(&self, want: usize) {
+            let want = want.min(MAX_THREADS);
+            while self.threads.load(Ordering::SeqCst) < want {
+                // Racy check-then-spawn is fine: an extra thread parked on
+                // the queue is harmless, and `fetch_add` keeps the count
+                // honest.
+                self.threads.fetch_add(1, Ordering::SeqCst);
+                self.spawned.fetch_add(1, Ordering::SeqCst);
+                std::thread::Builder::new()
+                    .name("gust-pool".into())
+                    .spawn(move || {
+                        IS_POOL_WORKER.with(|flag| flag.set(true));
+                        let pool = Pool::global();
+                        loop {
+                            let job = {
+                                let mut queue = pool.queue.lock().expect("pool queue mutex");
+                                loop {
+                                    if let Some(job) = queue.pop_front() {
+                                        break job;
+                                    }
+                                    queue =
+                                        pool.work_available.wait(queue).expect("pool worker wait");
+                                }
+                            };
+                            // SAFETY: the ticket's context is alive until
+                            // this call retires it (completion protocol).
+                            unsafe { drain_and_retire(job.0) };
+                        }
+                    })
+                    .expect("spawn gust-pool worker");
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn runs_every_task_exactly_once() {
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            Pool::global().run(4, hits.len(), |t| {
+                hits[t].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        }
+
+        #[test]
+        fn single_worker_runs_inline() {
+            let before = Pool::global().threads_spawned();
+            let count = AtomicUsize::new(0);
+            Pool::global().run(1, 50, |_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(count.load(Ordering::SeqCst), 50);
+            assert_eq!(
+                Pool::global().threads_spawned(),
+                before,
+                "workers == 1 must not touch the pool"
+            );
+        }
+
+        #[test]
+        fn warm_pool_spawns_no_new_threads() {
+            let pool = Pool::global();
+            pool.run(3, 16, |_| {}); // warm-up
+            let after_warmup = pool.threads_spawned();
+            for _ in 0..10 {
+                pool.run(3, 16, |_| {});
+            }
+            assert_eq!(pool.threads_spawned(), after_warmup);
+        }
+
+        #[test]
+        fn nested_runs_complete_inline() {
+            let count = AtomicUsize::new(0);
+            Pool::global().run(2, 4, |_| {
+                Pool::global().run(2, 4, |_| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(count.load(Ordering::SeqCst), 16);
+        }
+
+        #[test]
+        fn task_panics_propagate_to_the_caller() {
+            let result = std::panic::catch_unwind(|| {
+                Pool::global().run(3, 8, |t| {
+                    assert!(t != 5, "task 5 fails");
+                });
+            });
+            assert!(result.is_err());
+            // And the pool still works afterwards.
+            let count = AtomicUsize::new(0);
+            Pool::global().run(3, 8, |_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(count.load(Ordering::SeqCst), 8);
+        }
     }
 }
 

@@ -1,0 +1,491 @@
+//! Cache-blocked column-band schedules: 2D blocking composed with the
+//! edge-coloring schedule.
+//!
+//! On matrices whose operand vector exceeds the last-level cache, the
+//! random `x[col]` gathers dominate execution and the window-local
+//! staging heuristic of PR 3 only rescues hub-concentrated shapes. The
+//! RACE line of work shows the fix: compose the coloring with
+//! **cache-aware column blocking**. This module partitions the columns
+//! into [`ColumnBands`] sized so one band's operand slice fits a
+//! configurable cache budget ([`crate::GustConfig::with_cache_budget`]),
+//! colors each window × band sub-graph independently, and stores the
+//! result as a [`BandedSchedule`]: per window, one structure-of-arrays
+//! slot stream ordered **band-major** with CSR-style band offsets
+//! ([`BandedWindow::band_slots`]) and a parallel **band-local** column
+//! array ([`BandedWindow::local_cols`]), so a band walk can index
+//! straight into the band's slice of `x`.
+//!
+//! # Bit-identity
+//!
+//! Concatenating the per-band colorings of one window yields a *valid*
+//! ordinary [`WindowSchedule`] (each color bucket still came from one
+//! collision-free band coloring), exposed by
+//! [`BandedSchedule::to_unbanded`]. Within one color every adder receives
+//! at most one product, so an adder's accumulation order is exactly the
+//! slot order of the slots that target it — which is the same whether
+//! the engine walks the merged window flat (unbanded) or band by band
+//! with accumulator carry (banded). Banded execution is therefore
+//! **bit-identical** to unbanded execution of [`BandedSchedule::to_unbanded`]
+//! under every backend (the SIMD kernels vectorize multiplies, which are
+//! IEEE-exact, and keep per-accumulator add order); with a single band
+//! the banded schedule *is* the ordinary schedule, coloring and all.
+//! `tests/banded_equivalence.rs` pins both properties.
+//!
+//! # Cost model
+//!
+//! Banding trades colors for locality: `Σ_b colors(w, b) ≥ colors(w)`,
+//! so the modeled accelerator cycle count can only grow (the per-band
+//! Vizing bounds still hold). The host-side win is that every gather in
+//! a band pass hits a cache-resident slice — the software analog of
+//! streaming the input vector through an on-chip buffer one partition at
+//! a time.
+
+use super::scheduled::{ScheduledMatrix, WindowSchedule};
+use std::ops::Range;
+
+/// A partition of the column range into contiguous bands.
+///
+/// Band `b` covers columns `starts[b]..starts[b + 1]`; bands are
+/// non-empty except for the degenerate `cols == 0` case, which gets one
+/// empty band so every matrix has at least one band.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ColumnBands {
+    starts: Vec<u32>,
+}
+
+impl ColumnBands {
+    /// Partitions `cols` columns so that one band's *batched* operand
+    /// slice — `band_cols × reg_block` f32 values — fits in
+    /// `budget_bytes`. The single-vector slice is `reg_block×` smaller,
+    /// so it always fits too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_bytes` or `reg_block` is zero.
+    #[must_use]
+    pub fn for_budget(cols: usize, budget_bytes: usize, reg_block: usize) -> Self {
+        assert!(budget_bytes > 0, "cache budget must be non-zero");
+        assert!(reg_block > 0, "register block must be non-zero");
+        let band_cols = (budget_bytes / (std::mem::size_of::<f32>() * reg_block)).max(1);
+        let count = cols.div_ceil(band_cols).max(1);
+        Self::with_count(cols, count)
+    }
+
+    /// Partitions `cols` columns into exactly `count` near-equal bands
+    /// (used by tests and tuning sweeps; production sizing goes through
+    /// [`ColumnBands::for_budget`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds `max(cols, 1)`.
+    #[must_use]
+    pub fn with_count(cols: usize, count: usize) -> Self {
+        assert!(count > 0, "need at least one band");
+        assert!(
+            count <= cols.max(1),
+            "cannot split {cols} columns into {count} non-empty bands"
+        );
+        let starts = (0..=count).map(|b| (b * cols / count) as u32).collect();
+        Self { starts }
+    }
+
+    /// Rebuilds a partition from explicit boundaries (the serializer's
+    /// path; boundaries were validated by the reader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two boundaries or a descending pair.
+    #[must_use]
+    pub(crate) fn from_starts(starts: Vec<u32>) -> Self {
+        assert!(starts.len() >= 2, "need at least one band");
+        assert!(
+            starts.windows(2).all(|w| w[0] <= w[1]) && starts[0] == 0,
+            "band boundaries must ascend from 0"
+        );
+        Self { starts }
+    }
+
+    /// Number of bands.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The band boundaries: `starts()[b]..starts()[b + 1]` is band `b`.
+    #[must_use]
+    pub fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// The column range of band `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= self.count()`.
+    #[must_use]
+    pub fn range(&self, b: usize) -> Range<u32> {
+        self.starts[b]..self.starts[b + 1]
+    }
+
+    /// Total columns covered.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        *self.starts.last().expect("at least one boundary") as usize
+    }
+}
+
+/// One window of a [`BandedSchedule`]: the merged (band-major)
+/// [`WindowSchedule`] plus the band offsets and band-local columns the
+/// banded walk indexes with.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BandedWindow {
+    /// The bands' schedules concatenated band-major: colors summed, slot
+    /// arrays appended, global column indices. A valid ordinary window.
+    window: WindowSchedule,
+    /// `band_slot_ptr[b]..band_slot_ptr[b + 1]` indexes the slot arrays
+    /// for band `b` (CSR-style, length `bands + 1`).
+    band_slot_ptr: Vec<u32>,
+    /// Per slot, the column rebased to its band:
+    /// `local_cols[i] = cols[i] - band_start(band of i)`. What the band
+    /// walk feeds the gather kernels, so indices stay inside the band's
+    /// operand slice.
+    local_cols: Vec<u32>,
+}
+
+impl BandedWindow {
+    /// Merges per-band window schedules (global columns, one per band —
+    /// possibly empty) into the band-major layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands.len() + 1 != band_starts.len()` or a band's
+    /// columns fall outside its range.
+    #[must_use]
+    pub(crate) fn from_bands(bands: &[WindowSchedule], band_starts: &[u32]) -> Self {
+        assert_eq!(bands.len() + 1, band_starts.len(), "band count mismatch");
+        let nnz: usize = bands.iter().map(WindowSchedule::nnz).sum();
+        let colors: u32 = bands.iter().map(WindowSchedule::colors).sum();
+        let stalls: u64 = bands.iter().map(WindowSchedule::stalls).sum();
+        // The merged window's bound: any band's bound is a valid lower
+        // bound on its own colors, so the max is a valid (if loose, for
+        // multiple bands) bound on the sum. With one band it is exact.
+        let vizing = bands
+            .iter()
+            .map(WindowSchedule::vizing_bound)
+            .max()
+            .unwrap_or(0);
+
+        let mut color_ptr = Vec::with_capacity(colors as usize + 1);
+        let mut lanes = Vec::with_capacity(nnz);
+        let mut row_mods = Vec::with_capacity(nnz);
+        let mut cols = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        let mut local_cols = Vec::with_capacity(nnz);
+        let mut band_slot_ptr = Vec::with_capacity(bands.len() + 1);
+        color_ptr.push(0u32);
+        band_slot_ptr.push(0u32);
+        for (b, band) in bands.iter().enumerate() {
+            let base = lanes.len() as u32;
+            let start = band_starts[b];
+            let end = band_starts[b + 1];
+            for &ptr in &band.color_ptr()[1..] {
+                color_ptr.push(base + ptr);
+            }
+            lanes.extend_from_slice(band.lanes());
+            row_mods.extend_from_slice(band.row_mods());
+            values.extend_from_slice(band.values());
+            for &c in band.cols() {
+                assert!(
+                    c >= start && c < end,
+                    "band {b}: column {c} outside [{start}, {end})"
+                );
+                cols.push(c);
+                local_cols.push(c - start);
+            }
+            band_slot_ptr.push(lanes.len() as u32);
+        }
+        let window = WindowSchedule::from_soa(
+            colors, vizing, stalls, color_ptr, lanes, row_mods, cols, values,
+        );
+        Self {
+            window,
+            band_slot_ptr,
+            local_cols,
+        }
+    }
+
+    /// Rebuilds a banded window from a merged window plus its band slot
+    /// offsets (the serializer's path), revalidating that every slot's
+    /// column sits inside its band. Returns a description of the first
+    /// violation instead of a window.
+    pub(crate) fn from_merged(
+        window: WindowSchedule,
+        band_slot_ptr: Vec<u32>,
+        band_starts: &[u32],
+    ) -> Result<Self, String> {
+        if band_slot_ptr.len() != band_starts.len() {
+            return Err(format!(
+                "band pointer length {} inconsistent with {} bands",
+                band_slot_ptr.len(),
+                band_starts.len() - 1
+            ));
+        }
+        if band_slot_ptr.first() != Some(&0)
+            || band_slot_ptr.last().copied() != Some(window.nnz() as u32)
+            || band_slot_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("band slot pointers must ascend from 0 to nnz".into());
+        }
+        let mut local_cols = Vec::with_capacity(window.nnz());
+        for b in 0..band_slot_ptr.len() - 1 {
+            let (start, end) = (band_starts[b], band_starts[b + 1]);
+            for i in band_slot_ptr[b] as usize..band_slot_ptr[b + 1] as usize {
+                let c = window.cols()[i];
+                if c < start || c >= end {
+                    return Err(format!("band {b}: column {c} outside [{start}, {end})"));
+                }
+                local_cols.push(c - start);
+            }
+        }
+        Ok(Self {
+            window,
+            band_slot_ptr,
+            local_cols,
+        })
+    }
+
+    /// The merged band-major window (global columns) — what
+    /// [`BandedSchedule::to_unbanded`] collects.
+    #[must_use]
+    pub fn window(&self) -> &WindowSchedule {
+        &self.window
+    }
+
+    /// The slot range of band `b` into the window's slot arrays (and
+    /// into [`BandedWindow::local_cols`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn band_slots(&self, b: usize) -> Range<usize> {
+        self.band_slot_ptr[b] as usize..self.band_slot_ptr[b + 1] as usize
+    }
+
+    /// The CSR-style per-band slot offsets (length `bands + 1`).
+    #[must_use]
+    pub fn band_slot_ptr(&self) -> &[u32] {
+        &self.band_slot_ptr
+    }
+
+    /// Per-slot band-local column indices (see the struct docs).
+    #[must_use]
+    pub fn local_cols(&self) -> &[u32] {
+        &self.local_cols
+    }
+
+    /// Non-zeros scheduled in this window.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.window.nnz()
+    }
+}
+
+/// A fully scheduled matrix with cache-blocked column bands — the banded
+/// counterpart of [`ScheduledMatrix`], produced by
+/// [`crate::schedule::Scheduler::schedule_banded`] and executed by
+/// [`crate::Gust::execute_banded`] / [`crate::Gust::execute_batch_banded`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BandedSchedule {
+    length: usize,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    row_perm: Vec<u32>,
+    bands: ColumnBands,
+    windows: Vec<BandedWindow>,
+}
+
+impl BandedSchedule {
+    /// Assembles a banded schedule from its parts. Crate-internal:
+    /// produced by the scheduler and the binary reader, both of which
+    /// guarantee (or validate) the band invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band partition does not cover `cols`, a window's
+    /// band count disagrees with the partition, an adder index reaches
+    /// `length`, or a row-permutation entry reaches `rows` — the bounds
+    /// the SIMD execution kernels rely on.
+    #[must_use]
+    pub(crate) fn from_parts(
+        length: usize,
+        rows: usize,
+        cols: usize,
+        row_perm: Vec<u32>,
+        bands: ColumnBands,
+        windows: Vec<BandedWindow>,
+    ) -> Self {
+        assert_eq!(bands.cols(), cols, "band partition must cover all columns");
+        let nnz = windows.iter().map(BandedWindow::nnz).sum();
+        for (w, window) in windows.iter().enumerate() {
+            assert_eq!(
+                window.band_slot_ptr.len(),
+                bands.count() + 1,
+                "window {w}: band count mismatch"
+            );
+            let max_adder = window.window.row_mods().iter().copied().max().unwrap_or(0);
+            assert!(
+                window.window.row_mods().is_empty() || (max_adder as usize) < length,
+                "window {w}: adder {max_adder} out of range for length {length}"
+            );
+        }
+        assert!(
+            row_perm.iter().all(|&r| (r as usize) < rows),
+            "row permutation entry out of range for {rows} rows"
+        );
+        Self {
+            length,
+            rows,
+            cols,
+            nnz,
+            row_perm,
+            bands,
+            windows,
+        }
+    }
+
+    /// Accelerator length `l` the schedule targets.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Rows of the original matrix.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the original matrix.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Scheduled non-zeros (equals the source matrix's nnz).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The column-band partition.
+    #[must_use]
+    pub fn bands(&self) -> &ColumnBands {
+        &self.bands
+    }
+
+    /// Per-window banded schedules, in execution order.
+    #[must_use]
+    pub fn windows(&self) -> &[BandedWindow] {
+        &self.windows
+    }
+
+    /// The row permutation (`scheduled position → original row`).
+    #[must_use]
+    pub fn row_perm(&self) -> &[u32] {
+        &self.row_perm
+    }
+
+    /// Rows covered by window `w` (as [`ScheduledMatrix::window_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[must_use]
+    pub fn window_rows(&self, w: usize) -> usize {
+        assert!(w < self.windows.len(), "window {w} out of range");
+        (self.rows - w * self.length).min(self.length)
+    }
+
+    /// Total colors across windows and bands — the banded streaming cycle
+    /// count. At least [`ScheduledMatrix::total_colors`] of the unbanded
+    /// schedule: banding trades modeled cycles for host cache locality.
+    #[must_use]
+    pub fn total_colors(&self) -> u64 {
+        self.windows
+            .iter()
+            .map(|w| u64::from(w.window.colors()))
+            .sum()
+    }
+
+    /// Total stalled lane-cycles (naive scheduling only).
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.windows.iter().map(|w| w.window.stalls()).sum()
+    }
+
+    /// Strips the band metadata: the merged windows as an ordinary
+    /// [`ScheduledMatrix`], executable by the unbanded engine. Banded
+    /// execution is bit-identical to unbanded execution of this schedule
+    /// (see the module docs); with one band this *is* the schedule
+    /// [`crate::schedule::Scheduler::schedule`] would have produced.
+    #[must_use]
+    pub fn to_unbanded(&self) -> ScheduledMatrix {
+        ScheduledMatrix::from_parts(
+            self.length,
+            self.rows,
+            self.cols,
+            self.row_perm.clone(),
+            self.windows.iter().map(|w| w.window.clone()).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_count_covers_all_columns_in_order() {
+        for (cols, count) in [(9usize, 2usize), (100, 7), (5, 5), (1, 1), (64, 1)] {
+            let bands = ColumnBands::with_count(cols, count);
+            assert_eq!(bands.count(), count);
+            assert_eq!(bands.cols(), cols);
+            assert_eq!(bands.starts()[0], 0);
+            for b in 0..count {
+                let r = bands.range(b);
+                assert!(r.start < r.end, "{cols} cols / {count}: empty band {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_budget_sizes_the_batched_slice() {
+        // 1 KiB budget, reg_block 8 → 32 columns per band.
+        let bands = ColumnBands::for_budget(100, 1024, 8);
+        assert_eq!(bands.count(), 4); // ceil(100 / 32)
+        for b in 0..bands.count() {
+            let width = bands.range(b).len();
+            assert!(width * 8 * 4 <= 1024 + 8 * 4, "band {b} width {width}");
+        }
+        // A budget covering everything yields one band.
+        assert_eq!(ColumnBands::for_budget(100, 1 << 20, 8).count(), 1);
+    }
+
+    #[test]
+    fn zero_cols_gets_one_empty_band() {
+        let bands = ColumnBands::for_budget(0, 1024, 8);
+        assert_eq!(bands.count(), 1);
+        assert_eq!(bands.cols(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty bands")]
+    fn more_bands_than_columns_panics() {
+        let _ = ColumnBands::with_count(3, 4);
+    }
+}

@@ -20,10 +20,17 @@
 //!   exactly-sized output.
 //! * **Per-window parallelism** — windows are independent by construction
 //!   (§3.2: disjoint row sets), so [`Scheduler::schedule`] fans them out
-//!   over `std::thread::scope` workers. Results merge in window order,
-//!   making the output bit-identical to the sequential result; see
-//!   [`crate::GustConfig::with_parallelism`].
+//!   over the persistent worker pool ([`crate::parallel::Pool`]; threads
+//!   are spawned once per process, not once per call). Each window's
+//!   result lands in its own slot, making the output bit-identical to
+//!   the sequential result; see [`crate::GustConfig::with_parallelism`].
+//!
+//! [`Scheduler::schedule_banded`] additionally composes the coloring
+//! with cache-aware column blocking (see [`banded`]): each window × band
+//! sub-graph is colored independently so the execution engine can walk
+//! one cache-resident operand slice at a time.
 
+pub mod banded;
 pub mod edge_coloring;
 pub mod konig;
 pub mod naive;
@@ -34,9 +41,11 @@ pub mod windows;
 pub mod workspace;
 
 use crate::config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
+use crate::parallel::Pool;
+use banded::{BandedSchedule, BandedWindow, ColumnBands};
 use gust_sparse::CsrMatrix;
 use scheduled::{ScheduledMatrix, WindowSchedule};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use windows::WindowPlan;
 use workspace::ColoringWorkspace;
 
@@ -85,11 +94,9 @@ impl Scheduler {
         let window_count = plan.window_count();
         let threads = self.worker_count(window_count);
 
-        let windows = if threads <= 1 {
-            self.schedule_sequential(matrix, &plan, window_count)
-        } else {
-            self.schedule_parallel(matrix, &plan, window_count, threads)
-        };
+        let windows = self.schedule_windows(window_count, threads, |ws, w| {
+            self.schedule_one_window(matrix, &plan, w, ws)
+        });
 
         ScheduledMatrix::from_parts(
             l,
@@ -100,62 +107,98 @@ impl Scheduler {
         )
     }
 
+    /// Schedules `matrix` with cache-blocked column bands (see
+    /// [`banded`]): columns are partitioned by
+    /// [`GustConfig::effective_cache_budget`] (and the backend's register
+    /// block, so a band's *batched* operand slice fits the budget), each
+    /// window × band sub-graph is colored independently, and the result
+    /// executes via [`crate::Gust::execute_banded`] /
+    /// [`crate::Gust::execute_batch_banded`]. With a budget that covers
+    /// the whole operand vector this degenerates to a single band and the
+    /// exact schedule [`Scheduler::schedule`] produces.
+    #[must_use]
+    pub fn schedule_banded(&self, matrix: &CsrMatrix) -> BandedSchedule {
+        let budget = self.config.effective_cache_budget();
+        let reg_block = self.config.effective_backend().reg_block();
+        let bands = ColumnBands::for_budget(matrix.cols(), budget, reg_block);
+        self.schedule_banded_with(matrix, bands)
+    }
+
+    /// As [`Scheduler::schedule_banded`], with an explicit band
+    /// partition (tests and tuning sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands` does not cover exactly `matrix.cols()` columns.
+    #[must_use]
+    pub fn schedule_banded_with(&self, matrix: &CsrMatrix, bands: ColumnBands) -> BandedSchedule {
+        assert_eq!(
+            bands.cols(),
+            matrix.cols(),
+            "band partition must cover the matrix columns"
+        );
+        let l = self.config.length();
+        let lb = self.config.policy() == SchedulingPolicy::EdgeColoringLb;
+        let plan = WindowPlan::new(matrix, l, lb);
+        let window_count = plan.window_count();
+        let threads = self.worker_count(window_count);
+
+        let windows = self.schedule_windows(window_count, threads, |ws, w| {
+            self.schedule_one_window_banded(matrix, &plan, &bands, w, ws)
+        });
+
+        BandedSchedule::from_parts(
+            l,
+            matrix.rows(),
+            matrix.cols(),
+            plan.row_perm().to_vec(),
+            bands,
+            windows,
+        )
+    }
+
     /// Worker threads to use for `window_count` windows (see
     /// [`GustConfig::effective_workers`]).
     fn worker_count(&self, window_count: usize) -> usize {
         self.config.effective_workers(window_count)
     }
 
-    fn schedule_sequential(
+    /// Runs `one(workspace, w)` for every window, sequentially or fanned
+    /// out over the persistent worker [`Pool`]. Window results land in
+    /// per-window slots, so the output is bit-identical for every thread
+    /// count regardless of the pool's dynamic task order.
+    ///
+    /// Workspaces live for the *run*, not the worker: parallel tasks
+    /// check one out of a run-local pool (so each worker reuses one
+    /// arena across its windows) and everything is dropped when the call
+    /// returns — a persistent pool worker never pins the tens of MiB a
+    /// wide matrix's lane tables can grow to.
+    fn schedule_windows<T: Send + Sync>(
         &self,
-        matrix: &CsrMatrix,
-        plan: &WindowPlan,
-        window_count: usize,
-    ) -> Vec<WindowSchedule> {
-        let mut ws = ColoringWorkspace::new();
-        (0..window_count)
-            .map(|w| self.schedule_one_window(matrix, plan, w, &mut ws))
-            .collect()
-    }
-
-    /// Fans the windows out over `threads` scoped workers. Work is
-    /// distributed dynamically (an atomic cursor) so a few heavy windows
-    /// cannot serialize the run; each worker tags its outputs with the
-    /// window index and the merge sorts by index, so the result is
-    /// bit-identical to [`Scheduler::schedule_sequential`].
-    fn schedule_parallel(
-        &self,
-        matrix: &CsrMatrix,
-        plan: &WindowPlan,
         window_count: usize,
         threads: usize,
-    ) -> Vec<WindowSchedule> {
-        let next = AtomicUsize::new(0);
-        let mut tagged: Vec<(usize, WindowSchedule)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut ws = ColoringWorkspace::new();
-                        let mut local = Vec::with_capacity(window_count / threads + 1);
-                        loop {
-                            let w = next.fetch_add(1, Ordering::Relaxed);
-                            if w >= window_count {
-                                break;
-                            }
-                            local.push((w, self.schedule_one_window(matrix, plan, w, &mut ws)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("scheduler worker panicked"))
-                .collect()
+        one: impl Fn(&mut ColoringWorkspace, usize) -> T + Sync,
+    ) -> Vec<T> {
+        if threads <= 1 {
+            let mut ws = ColoringWorkspace::new();
+            return (0..window_count).map(|w| one(&mut ws, w)).collect();
+        }
+        let slots: Vec<OnceLock<T>> = (0..window_count).map(|_| OnceLock::new()).collect();
+        let workspaces: Mutex<Vec<ColoringWorkspace>> = Mutex::new(Vec::new());
+        Pool::global().run(threads, window_count, |w| {
+            let mut ws = workspaces
+                .lock()
+                .expect("workspace pool lock")
+                .pop()
+                .unwrap_or_default();
+            let window = one(&mut ws, w);
+            assert!(slots[w].set(window).is_ok(), "window {w} scheduled twice");
+            workspaces.lock().expect("workspace pool lock").push(ws);
         });
-        tagged.sort_unstable_by_key(|&(w, _)| w);
-        debug_assert!(tagged.iter().enumerate().all(|(i, &(w, _))| i == w));
-        tagged.into_iter().map(|(_, schedule)| schedule).collect()
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every window scheduled"))
+            .collect()
     }
 
     /// The per-window pipeline: materialize → color/arbitrate → assemble.
@@ -169,27 +212,63 @@ impl Scheduler {
         let l = self.config.length();
         plan.fill_window(matrix, w, &mut ws.window, &mut ws.lanes);
         let bound = ws.scratch.vizing_bound(&ws.window, l) as u32;
-        let (colors, stalls) = match self.config.policy() {
+        let (colors, stalls) = self.color_or_arbitrate(&ws.window, l, &mut ws.scratch);
+        ws.scratch.assemble(&ws.window, colors, bound, stalls)
+    }
+
+    /// The banded per-window pipeline: materialize the full window once,
+    /// then per band carve the sub-window
+    /// ([`windows::Window::fill_band_from`]), color/arbitrate it
+    /// independently, assemble a [`WindowSchedule`] per band, and merge
+    /// band-major into a [`BandedWindow`].
+    fn schedule_one_window_banded(
+        &self,
+        matrix: &CsrMatrix,
+        plan: &WindowPlan,
+        bands: &ColumnBands,
+        w: usize,
+        ws: &mut ColoringWorkspace,
+    ) -> BandedWindow {
+        let l = self.config.length();
+        plan.fill_window(matrix, w, &mut ws.window, &mut ws.lanes);
+        let mut per_band = Vec::with_capacity(bands.count());
+        for b in 0..bands.count() {
+            // Carve band `b` into the workspace's band window, preserving
+            // row structure and lane assignment.
+            ws.band_window.fill_band_from(&ws.window, bands.range(b));
+            let bound = ws.scratch.vizing_bound(&ws.band_window, l) as u32;
+            let (colors, stalls) = self.color_or_arbitrate(&ws.band_window, l, &mut ws.scratch);
+            per_band.push(ws.scratch.assemble(&ws.band_window, colors, bound, stalls));
+        }
+        BandedWindow::from_bands(&per_band, bands.starts())
+    }
+
+    /// Colors (or naively arbitrates) `window` under the configured
+    /// policy, returning `(colors, stalls)`.
+    fn color_or_arbitrate(
+        &self,
+        window: &windows::Window,
+        l: usize,
+        scratch: &mut workspace::ColorScratch,
+    ) -> (u32, u64) {
+        match self.config.policy() {
             SchedulingPolicy::Naive => {
-                let outcome = naive::arbitrate_window(&ws.window, l, &mut ws.scratch);
+                let outcome = naive::arbitrate_window(window, l, scratch);
                 (outcome.cycles, outcome.stalls)
             }
             SchedulingPolicy::EdgeColoring | SchedulingPolicy::EdgeColoringLb => {
                 let colors = match self.config.coloring() {
                     ColoringAlgorithm::Verbatim => {
-                        edge_coloring::color_window_verbatim(&ws.window, l, &mut ws.scratch)
+                        edge_coloring::color_window_verbatim(window, l, scratch)
                     }
                     ColoringAlgorithm::Grouped => {
-                        edge_coloring::color_window_grouped(&ws.window, l, &mut ws.scratch)
+                        edge_coloring::color_window_grouped(window, l, scratch)
                     }
-                    ColoringAlgorithm::Konig => {
-                        konig::color_window_konig(&ws.window, l, &mut ws.scratch)
-                    }
+                    ColoringAlgorithm::Konig => konig::color_window_konig(window, l, scratch),
                 };
                 (colors, 0)
             }
-        };
-        ws.scratch.assemble(&ws.window, colors, bound, stalls)
+        }
     }
 }
 

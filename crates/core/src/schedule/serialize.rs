@@ -19,10 +19,14 @@
 //! schedule matches [`ScheduledMatrix::dense_stream_bytes`] up to the
 //! per-cell bookkeeping this container format adds.
 
+use super::banded::{BandedSchedule, BandedWindow, ColumnBands};
 use super::scheduled::{ScheduledMatrix, WindowSchedule};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"GUST";
+/// Banded-schedule container magic: the band partition and per-window
+/// band offsets wrap the same per-window cell grid as the flat format.
+const BANDED_MAGIC: &[u8; 4] = b"GUSB";
 const VERSION: u32 = 1;
 
 /// Errors from reading a serialized schedule.
@@ -71,32 +75,80 @@ pub fn write_schedule<W: Write>(schedule: &ScheduledMatrix, mut writer: W) -> io
     writer.write_all(&(schedule.windows().len() as u64).to_le_bytes())?;
     let l = schedule.length();
     for window in schedule.windows() {
-        writer.write_all(&window.colors().to_le_bytes())?;
-        writer.write_all(&window.vizing_bound().to_le_bytes())?;
-        writer.write_all(&window.stalls().to_le_bytes())?;
-        // Dense per-color grid, lane-major within a color. The SoA slots of
-        // one color are already lane-sorted, so a merge against `0..l`
-        // produces the dense cells without any scratch grid.
-        for c in 0..window.colors() {
-            let mut slots = window.iter_color(c).peekable();
-            for lane in 0..l as u32 {
-                match slots.peek() {
-                    Some(slot) if slot.lane == lane => {
-                        writer.write_all(&[1u8])?;
-                        writer.write_all(&slot.value.to_le_bytes())?;
-                        writer.write_all(&slot.row_mod.to_le_bytes())?;
-                        writer.write_all(&slot.col.to_le_bytes())?;
-                        slots.next();
-                    }
-                    _ => writer.write_all(&[0u8])?,
+        write_window(window, l, &mut writer)?;
+    }
+    Ok(())
+}
+
+/// Writes one window's header and dense per-color cell grid (the shared
+/// payload of the flat and banded containers).
+fn write_window<W: Write>(window: &WindowSchedule, l: usize, writer: &mut W) -> io::Result<()> {
+    writer.write_all(&window.colors().to_le_bytes())?;
+    writer.write_all(&window.vizing_bound().to_le_bytes())?;
+    writer.write_all(&window.stalls().to_le_bytes())?;
+    // Dense per-color grid, lane-major within a color. The SoA slots of
+    // one color are already lane-sorted, so a merge against `0..l`
+    // produces the dense cells without any scratch grid.
+    for c in 0..window.colors() {
+        let mut slots = window.iter_color(c).peekable();
+        for lane in 0..l as u32 {
+            match slots.peek() {
+                Some(slot) if slot.lane == lane => {
+                    writer.write_all(&[1u8])?;
+                    writer.write_all(&slot.value.to_le_bytes())?;
+                    writer.write_all(&slot.row_mod.to_le_bytes())?;
+                    writer.write_all(&slot.col.to_le_bytes())?;
+                    slots.next();
                 }
+                _ => writer.write_all(&[0u8])?,
             }
-            // A slot whose lane is outside 0..l can never merge; dropping
-            // it silently would serialize a wrong schedule.
-            assert!(
-                slots.peek().is_none(),
-                "slot lane out of range for schedule length {l}"
-            );
+        }
+        // A slot whose lane is outside 0..l can never merge; dropping
+        // it silently would serialize a wrong schedule.
+        assert!(
+            slots.peek().is_none(),
+            "slot lane out of range for schedule length {l}"
+        );
+    }
+    Ok(())
+}
+
+/// Writes `schedule` — a cache-blocked banded schedule — to `writer`.
+///
+/// Layout: the flat header with the [`BANDED_MAGIC`], then the band
+/// boundaries, then per window the merged band-major cell grid followed
+/// by its CSR-style band slot offsets:
+///
+/// ```text
+/// magic "GUSB" | version u32 | length u32 | rows u64 | cols u64
+/// | band count u64 | band_starts: (bands + 1) × u32
+/// | row_perm: rows × u32
+/// | window count u64
+/// | per window: the flat per-window block, then (bands + 1) × u32 offsets
+/// ```
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_banded_schedule<W: Write>(schedule: &BandedSchedule, mut writer: W) -> io::Result<()> {
+    writer.write_all(BANDED_MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(schedule.length() as u32).to_le_bytes())?;
+    writer.write_all(&(schedule.rows() as u64).to_le_bytes())?;
+    writer.write_all(&(schedule.cols() as u64).to_le_bytes())?;
+    writer.write_all(&(schedule.bands().count() as u64).to_le_bytes())?;
+    for &start in schedule.bands().starts() {
+        writer.write_all(&start.to_le_bytes())?;
+    }
+    for &orig in schedule.row_perm() {
+        writer.write_all(&orig.to_le_bytes())?;
+    }
+    writer.write_all(&(schedule.windows().len() as u64).to_le_bytes())?;
+    let l = schedule.length();
+    for window in schedule.windows() {
+        write_window(window.window(), l, &mut writer)?;
+        for &ptr in window.band_slot_ptr() {
+            writer.write_all(&ptr.to_le_bytes())?;
         }
     }
     Ok(())
@@ -126,10 +178,7 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
     }
     let rows = read_u64(&mut reader)? as usize;
     let cols = read_u64(&mut reader)? as usize;
-    let mut row_perm = Vec::with_capacity(rows);
-    for _ in 0..rows {
-        row_perm.push(read_u32(&mut reader)?);
-    }
+    let row_perm = read_row_perm(&mut reader, rows)?;
     let window_count = read_u64(&mut reader)? as usize;
     if window_count != rows.div_ceil(length) {
         return Err(ReadScheduleError::Format(format!(
@@ -138,63 +187,176 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
     }
     let mut windows = Vec::with_capacity(window_count);
     for _ in 0..window_count {
-        let colors = read_u32(&mut reader)?;
-        let vizing = read_u32(&mut reader)?;
-        let stalls = read_u64(&mut reader)?;
-        // The stream stores each color's cells in lane order, which is
-        // exactly the structure-of-arrays slot order — fill the four
-        // parallel arrays directly.
-        let mut lanes: Vec<u32> = Vec::new();
-        let mut row_mods: Vec<u32> = Vec::new();
-        let mut cols_arr: Vec<u32> = Vec::new();
-        let mut values: Vec<f32> = Vec::new();
-        let mut color_ptr: Vec<u32> = Vec::with_capacity(colors as usize + 1);
-        color_ptr.push(0);
-        for _ in 0..colors {
-            for lane in 0..length {
-                let mut occ = [0u8; 1];
-                reader.read_exact(&mut occ)?;
-                match occ[0] {
-                    0 => {}
-                    1 => {
-                        let value = f32::from_le_bytes(read_array(&mut reader)?);
-                        let row_mod = read_u32(&mut reader)?;
-                        let col = read_u32(&mut reader)?;
-                        if row_mod as usize >= length {
-                            return Err(ReadScheduleError::Format(format!(
-                                "row_mod {row_mod} out of range for length {length}"
-                            )));
-                        }
-                        // The execution engine's SIMD gathers treat
-                        // in-bounds columns as a schedule invariant
-                        // (`ScheduledMatrix::from_parts` re-asserts it);
-                        // a corrupt stream must surface as a format
-                        // error here, not a panic there.
-                        if col as usize >= cols {
-                            return Err(ReadScheduleError::Format(format!(
-                                "column {col} out of range for {cols} columns"
-                            )));
-                        }
-                        lanes.push(lane as u32);
-                        row_mods.push(row_mod);
-                        cols_arr.push(col);
-                        values.push(value);
-                    }
-                    other => {
-                        return Err(ReadScheduleError::Format(format!(
-                            "bad occupancy byte {other}"
-                        )))
-                    }
-                }
-            }
-            color_ptr.push(lanes.len() as u32);
-        }
-        windows.push(WindowSchedule::from_soa(
-            colors, vizing, stalls, color_ptr, lanes, row_mods, cols_arr, values,
-        ));
+        windows.push(read_window(&mut reader, length, cols)?);
     }
     Ok(ScheduledMatrix::from_parts(
         length, rows, cols, row_perm, windows,
+    ))
+}
+
+/// Reads a row permutation, validating every entry is `< rows` so a
+/// corrupt stream surfaces as a format error rather than a construction
+/// panic.
+fn read_row_perm<R: Read>(reader: &mut R, rows: usize) -> Result<Vec<u32>, ReadScheduleError> {
+    let mut row_perm = Vec::with_capacity(rows.min(1 << 20));
+    for _ in 0..rows {
+        let orig = read_u32(reader)?;
+        if orig as usize >= rows {
+            return Err(ReadScheduleError::Format(format!(
+                "row permutation entry {orig} out of range for {rows} rows"
+            )));
+        }
+        row_perm.push(orig);
+    }
+    Ok(row_perm)
+}
+
+/// Reads one window block (header + dense cell grid), validating the
+/// engine's bounds invariants so a corrupt stream surfaces as a format
+/// error rather than a panic in the SIMD kernels.
+fn read_window<R: Read>(
+    reader: &mut R,
+    length: usize,
+    cols: usize,
+) -> Result<WindowSchedule, ReadScheduleError> {
+    let colors = read_u32(reader)?;
+    let vizing = read_u32(reader)?;
+    let stalls = read_u64(reader)?;
+    // The stream stores each color's cells in lane order, which is
+    // exactly the structure-of-arrays slot order — fill the four
+    // parallel arrays directly.
+    let mut lanes: Vec<u32> = Vec::new();
+    let mut row_mods: Vec<u32> = Vec::new();
+    let mut cols_arr: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    // Cap the pre-allocation: `colors` is an untrusted header field, and
+    // a corrupt stream should fail on its next read, not on a giant
+    // up-front reservation.
+    let mut color_ptr: Vec<u32> = Vec::with_capacity((colors as usize).min(1 << 20) + 1);
+    color_ptr.push(0);
+    for _ in 0..colors {
+        for lane in 0..length {
+            let mut occ = [0u8; 1];
+            reader.read_exact(&mut occ)?;
+            match occ[0] {
+                0 => {}
+                1 => {
+                    let value = f32::from_le_bytes(read_array(reader)?);
+                    let row_mod = read_u32(reader)?;
+                    let col = read_u32(reader)?;
+                    if row_mod as usize >= length {
+                        return Err(ReadScheduleError::Format(format!(
+                            "row_mod {row_mod} out of range for length {length}"
+                        )));
+                    }
+                    // The execution engine's SIMD gathers treat
+                    // in-bounds columns as a schedule invariant
+                    // (`ScheduledMatrix::from_parts` re-asserts it);
+                    // a corrupt stream must surface as a format
+                    // error here, not a panic there.
+                    if col as usize >= cols {
+                        return Err(ReadScheduleError::Format(format!(
+                            "column {col} out of range for {cols} columns"
+                        )));
+                    }
+                    lanes.push(lane as u32);
+                    row_mods.push(row_mod);
+                    cols_arr.push(col);
+                    values.push(value);
+                }
+                other => {
+                    return Err(ReadScheduleError::Format(format!(
+                        "bad occupancy byte {other}"
+                    )))
+                }
+            }
+        }
+        color_ptr.push(lanes.len() as u32);
+    }
+    Ok(WindowSchedule::from_soa(
+        colors, vizing, stalls, color_ptr, lanes, row_mods, cols_arr, values,
+    ))
+}
+
+/// Reads a banded schedule previously written with
+/// [`write_banded_schedule`].
+///
+/// # Errors
+///
+/// [`ReadScheduleError::Format`] on a bad magic/version, an inconsistent
+/// band partition, or a slot whose column falls outside its band;
+/// [`ReadScheduleError::Io`] on reader failure.
+pub fn read_banded_schedule<R: Read>(mut reader: R) -> Result<BandedSchedule, ReadScheduleError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != BANDED_MAGIC {
+        return Err(ReadScheduleError::Format("bad banded magic".into()));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(ReadScheduleError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let length = read_u32(&mut reader)? as usize;
+    if length == 0 {
+        return Err(ReadScheduleError::Format("zero length".into()));
+    }
+    let rows = read_u64(&mut reader)? as usize;
+    let cols = read_u64(&mut reader)? as usize;
+    // Band boundaries are u32, so a stream claiming more columns than
+    // u32 can address is corrupt by construction — reject it before the
+    // `cols as u32` comparison below could truncate.
+    if u32::try_from(cols).is_err() {
+        return Err(ReadScheduleError::Format(format!(
+            "column count {cols} exceeds the u32 band-boundary range"
+        )));
+    }
+    let band_count = read_u64(&mut reader)? as usize;
+    if band_count == 0 {
+        return Err(ReadScheduleError::Format("zero bands".into()));
+    }
+    // Bands partition u32 column indices, so a count past the column
+    // range is corrupt by construction — reject before trusting it for
+    // an allocation (a truncated stream then errors on the next read).
+    if band_count > cols.max(1) {
+        return Err(ReadScheduleError::Format(format!(
+            "band count {band_count} exceeds {cols} columns"
+        )));
+    }
+    let mut band_starts = Vec::with_capacity(band_count + 1);
+    for _ in 0..=band_count {
+        band_starts.push(read_u32(&mut reader)?);
+    }
+    if band_starts[0] != 0
+        || band_starts.last().copied() != Some(cols as u32)
+        || band_starts.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(ReadScheduleError::Format(format!(
+            "band boundaries must ascend from 0 to {cols}"
+        )));
+    }
+    let bands = ColumnBands::from_starts(band_starts);
+    let row_perm = read_row_perm(&mut reader, rows)?;
+    let window_count = read_u64(&mut reader)? as usize;
+    if window_count != rows.div_ceil(length) {
+        return Err(ReadScheduleError::Format(format!(
+            "window count {window_count} inconsistent with {rows} rows at length {length}"
+        )));
+    }
+    let mut windows = Vec::with_capacity(window_count);
+    for _ in 0..window_count {
+        let window = read_window(&mut reader, length, cols)?;
+        let mut band_slot_ptr = Vec::with_capacity(bands.count() + 1);
+        for _ in 0..=bands.count() {
+            band_slot_ptr.push(read_u32(&mut reader)?);
+        }
+        let banded = BandedWindow::from_merged(window, band_slot_ptr, bands.starts())
+            .map_err(ReadScheduleError::Format)?;
+        windows.push(banded);
+    }
+    Ok(BandedSchedule::from_parts(
+        length, rows, cols, row_perm, bands, windows,
     ))
 }
 
@@ -336,5 +498,90 @@ mod tests {
         let m = CsrMatrix::from(&coo);
         let schedule = Gust::new(GustConfig::new(4)).schedule(&m);
         assert_eq!(round_trip(&schedule), schedule);
+    }
+
+    fn banded_round_trip(schedule: &BandedSchedule) -> BandedSchedule {
+        let mut buf = Vec::new();
+        write_banded_schedule(schedule, &mut buf).expect("write to vec");
+        read_banded_schedule(buf.as_slice()).expect("read own output")
+    }
+
+    #[test]
+    fn banded_schedules_round_trip_exactly() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::power_law(60, 70, 500, 1.9, 21));
+        for bands in [1usize, 2, 7] {
+            let schedule = Scheduler::new(GustConfig::new(8))
+                .schedule_banded_with(&m, ColumnBands::with_count(70, bands));
+            let back = banded_round_trip(&schedule);
+            assert_eq!(back, schedule, "{bands} bands");
+            // And the round-tripped schedule executes identically.
+            let gust = Gust::new(GustConfig::new(8));
+            let x: Vec<f32> = (0..70).map(|i| (i % 5) as f32 - 2.0).collect();
+            assert_eq!(
+                gust.execute_banded(&back, &x),
+                gust.execute_banded(&schedule, &x)
+            );
+        }
+    }
+
+    #[test]
+    fn banded_reader_rejects_flat_streams_and_vice_versa() {
+        let m = CsrMatrix::identity(8);
+        let gust = Gust::new(GustConfig::new(4));
+        let flat = gust.schedule(&m);
+        let mut flat_buf = Vec::new();
+        write_schedule(&flat, &mut flat_buf).expect("write");
+        assert!(read_banded_schedule(flat_buf.as_slice()).is_err());
+
+        let banded = gust.schedule_banded(&m);
+        let mut banded_buf = Vec::new();
+        write_banded_schedule(&banded, &mut banded_buf).expect("write");
+        assert!(read_schedule(banded_buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn banded_reader_rejects_out_of_band_columns() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::uniform(16, 16, 80, 3));
+        let schedule = Scheduler::new(GustConfig::new(4))
+            .schedule_banded_with(&m, ColumnBands::with_count(16, 2));
+        let mut buf = Vec::new();
+        write_banded_schedule(&schedule, &mut buf).expect("write");
+        // Header: magic 4 + version 4 + length 4 + rows 8 + cols 8 +
+        // band count 8 + 3 × u32 boundaries + 16 × u32 row_perm + window
+        // count 8 = 120 bytes, then the first window (colors 4 + vizing 4
+        // + stalls 8), then the first cell.
+        let first_cell = 120 + 16;
+        let occupied = buf[first_cell..]
+            .iter()
+            .position(|&b| b == 1)
+            .expect("an occupied cell")
+            + first_cell;
+        // Corrupt the cell's column to sit in the wrong band's range: the
+        // flat validation (col < cols) passes, the band check must not.
+        let col_at = occupied + 1 + 4 + 4;
+        let col = u32::from_le_bytes(buf[col_at..col_at + 4].try_into().unwrap());
+        let wrong = if col < 8 { col + 8 } else { col - 8 };
+        buf[col_at..col_at + 4].copy_from_slice(&wrong.to_le_bytes());
+        let err = read_banded_schedule(buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("outside"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn banded_round_trip_handles_truncation() {
+        let m = CsrMatrix::from(&gen::uniform(12, 12, 50, 5));
+        let schedule = Gust::new(GustConfig::new(4)).schedule_banded(&m);
+        let mut buf = Vec::new();
+        write_banded_schedule(&schedule, &mut buf).expect("write");
+        for cut in [3usize, 20, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                read_banded_schedule(&buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
     }
 }

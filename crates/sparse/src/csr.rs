@@ -230,6 +230,28 @@ impl CsrMatrix {
         crate::kernels::csr_spmv_f64(crate::kernels::default_backend(), self, x)
     }
 
+    /// Cache-blocked SpMV: columns are walked in bands of `band_cols`,
+    /// so every `x` gather of one pass stays inside a band-sized slice
+    /// (see [`crate::kernels::csr_spmv_banded`]). Bit-identical to
+    /// [`CsrMatrix::spmv`] when a single band covers all columns;
+    /// otherwise the per-row reduction is regrouped by band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `band_cols == 0`.
+    #[must_use]
+    pub fn spmv_banded(&self, x: &[f32], band_cols: usize) -> Vec<f32> {
+        let mut y = vec![0.0f32; self.rows];
+        crate::kernels::csr_spmv_banded(
+            crate::kernels::default_backend(),
+            self,
+            x,
+            &mut y,
+            band_cols,
+        );
+        y
+    }
+
     /// Returns the transpose as a new CSR matrix.
     #[must_use]
     pub fn transpose(&self) -> Self {

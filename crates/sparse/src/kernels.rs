@@ -251,26 +251,88 @@ pub fn csc_scatter_column(backend: Backend, rows: &[u32], vals: &[f32], xj: f32,
     csc_scatter_scalar(rows, vals, xj, y);
 }
 
+/// Cache-blocked CSR SpMV under an explicit backend: the columns are cut
+/// into bands of `band_cols`, and bands are walked outermost so every
+/// `x[col]` gather of one pass stays inside a `band_cols × 4`-byte slice
+/// — the reference-kernel counterpart of the engine's banded schedules
+/// (`gust::schedule::banded`). Each row accumulates `y[r] += partial`
+/// per band; with a single band (`band_cols >= a.cols()`) the partial
+/// *is* the row sum added to zero, so the result is bit-identical to
+/// [`csr_spmv_into`]. Multiple bands regroup the row reduction (band
+/// partials are combined left to right), which stays within the usual
+/// FMA/reassociation bound on cancellation-free inputs.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`, `y.len() != a.rows()`, or
+/// `band_cols == 0`.
+pub fn csr_spmv_banded(
+    backend: Backend,
+    a: &CsrMatrix,
+    x: &[f32],
+    y: &mut [f32],
+    band_cols: usize,
+) {
+    assert_eq!(x.len(), a.cols(), "input vector length mismatch");
+    assert_eq!(y.len(), a.rows(), "output vector length mismatch");
+    assert!(band_cols > 0, "band width must be non-zero");
+    y.fill(0.0);
+    let mut band_start = 0usize;
+    while band_start < a.cols() {
+        let band_end = (band_start + band_cols).min(a.cols());
+        for (r, out) in y.iter_mut().enumerate() {
+            let (cols, vals) = a.row(r);
+            // Columns are sorted within a row: the band is one
+            // contiguous run, found by binary search.
+            let lo = cols.partition_point(|&c| (c as usize) < band_start);
+            let hi = lo + cols[lo..].partition_point(|&c| (c as usize) < band_end);
+            if lo == hi {
+                continue;
+            }
+            *out += row_sum(backend, &cols[lo..hi], &vals[lo..hi], x);
+        }
+        band_start = band_end;
+    }
+}
+
+/// One row's (or row slice's) dot product against `x` under `backend` —
+/// the shared body of [`csr_spmv_into`] and [`csr_spmv_banded`].
+fn row_sum(backend: Backend, cols: &[u32], vals: &[f32], x: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 && Backend::Avx2.is_available() {
+        // SAFETY: `is_available` proved avx2+fma; column indices are
+        // `< cols == x.len()` by the CSR construction invariant.
+        return unsafe { avx2::row_sum_avx2(cols, vals, x) };
+    }
+    let _ = backend;
+    row_sum_scalar(cols, vals, x)
+}
+
 /// The seed CSR kernel, verbatim: four independent partial sums per row,
 /// combined at row end as `(a0+a1)+(a2+a3)+tail`.
 fn csr_spmv_scalar(a: &CsrMatrix, x: &[f32], y: &mut [f32]) {
     for (r, out) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(r);
-        let mut acc = [0.0f32; 4];
-        let mut chunks_c = cols.chunks_exact(4);
-        let mut chunks_v = vals.chunks_exact(4);
-        for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
-            acc[0] += v[0] * x[c[0] as usize];
-            acc[1] += v[1] * x[c[1] as usize];
-            acc[2] += v[2] * x[c[2] as usize];
-            acc[3] += v[3] * x[c[3] as usize];
-        }
-        let mut tail = 0.0f32;
-        for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
-            tail += v * x[c as usize];
-        }
-        *out = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
+        *out = row_sum_scalar(cols, vals, x);
     }
+}
+
+/// The seed per-row reduction, verbatim (see [`csr_spmv_scalar`]).
+fn row_sum_scalar(cols: &[u32], vals: &[f32], x: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut chunks_c = cols.chunks_exact(4);
+    let mut chunks_v = vals.chunks_exact(4);
+    for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
+        acc[0] += v[0] * x[c[0] as usize];
+        acc[1] += v[1] * x[c[1] as usize];
+        acc[2] += v[2] * x[c[2] as usize];
+        acc[3] += v[3] * x[c[3] as usize];
+    }
+    let mut tail = 0.0f32;
+    for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
+        tail += v * x[c as usize];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// The seed `f64`-accumulation CSR kernel, verbatim.
@@ -359,21 +421,34 @@ mod avx2 {
     pub(super) unsafe fn csr_spmv_avx2(a: &CsrMatrix, x: &[f32], y: &mut [f32]) {
         for (r, out) in y.iter_mut().enumerate() {
             let (cols, vals) = a.row(r);
-            let mut acc = _mm256_setzero_ps();
-            let mut chunks_c = cols.chunks_exact(8);
-            let mut chunks_v = vals.chunks_exact(8);
-            for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
-                let idx = _mm256_loadu_si256(c.as_ptr().cast());
-                let xs = _mm256_i32gather_ps::<4>(x.as_ptr(), idx);
-                let vv = _mm256_loadu_ps(v.as_ptr());
-                acc = _mm256_fmadd_ps(vv, xs, acc);
-            }
-            let mut tail = 0.0f32;
-            for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
-                tail = v.mul_add(x[c as usize], tail);
-            }
-            *out = hsum_ps(acc) + tail;
+            // SAFETY: as above — indices in bounds for `x`.
+            *out = unsafe { row_sum_avx2(cols, vals, x) };
         }
+    }
+
+    /// One row slice's dot product against `x` — the AVX2 body shared by
+    /// the full and cache-blocked CSR kernels.
+    ///
+    /// # Safety
+    ///
+    /// As [`csr_spmv_avx2`]: avx2+fma verified, every `cols` entry
+    /// `< x.len()`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn row_sum_avx2(cols: &[u32], vals: &[f32], x: &[f32]) -> f32 {
+        let mut acc = _mm256_setzero_ps();
+        let mut chunks_c = cols.chunks_exact(8);
+        let mut chunks_v = vals.chunks_exact(8);
+        for (c, v) in (&mut chunks_c).zip(&mut chunks_v) {
+            let idx = _mm256_loadu_si256(c.as_ptr().cast());
+            let xs = _mm256_i32gather_ps::<4>(x.as_ptr(), idx);
+            let vv = _mm256_loadu_ps(v.as_ptr());
+            acc = _mm256_fmadd_ps(vv, xs, acc);
+        }
+        let mut tail = 0.0f32;
+        for (&c, &v) in chunks_c.remainder().iter().zip(chunks_v.remainder()) {
+            tail = v.mul_add(x[c as usize], tail);
+        }
+        hsum_ps(acc) + tail
     }
 
     /// CSR SpMV, f64 accumulation: 4-wide gathers widened to `f64` FMAs.
@@ -498,6 +573,38 @@ mod tests {
             let simd = csr_spmv_f64(Backend::Avx2, &m, &x);
             for (a, b) in scalar.iter().zip(&simd) {
                 assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn banded_csr_matches_flat_csr() {
+        let m = crate::CsrMatrix::from(&gen::uniform(70, 90, 1200, 8));
+        let x = vector(90, 11);
+        let mut flat = vec![0.0f32; 70];
+        csr_spmv_into(Backend::Scalar, &m, &x, &mut flat);
+        for backend in [Backend::Scalar, Backend::Avx2] {
+            if !backend.is_available() {
+                continue;
+            }
+            // One covering band: bit-identical to the flat kernel (the
+            // partial is the whole row sum, added to zero).
+            let mut single = vec![0.0f32; 70];
+            csr_spmv_banded(backend, &m, &x, &mut single, 90);
+            if backend == Backend::Scalar {
+                assert_eq!(single, flat);
+            }
+            // Narrow bands regroup the reduction: equal within the
+            // reassociation bound.
+            for band_cols in [1usize, 13, 32, 64] {
+                let mut banded = vec![0.0f32; 70];
+                csr_spmv_banded(backend, &m, &x, &mut banded, band_cols);
+                let err = crate::ops::max_relative_error(&banded, &flat);
+                assert!(
+                    err < 1e-4,
+                    "{} band_cols={band_cols}: error {err}",
+                    backend.name()
+                );
             }
         }
     }

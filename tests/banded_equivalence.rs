@@ -1,0 +1,171 @@
+//! Property tests pinning cache-blocked (banded) execution to the
+//! unbanded engine, bit for bit, per backend — plus the persistent
+//! worker pool's no-respawn warranty.
+//!
+//! A [`BandedSchedule`] colors every window × column-band sub-graph
+//! independently and walks bands back to back with accumulator carry.
+//! Because an adder's accumulation order is the merged window's slot
+//! order either way, banded outputs must equal unbanded execution of
+//! [`BandedSchedule::to_unbanded`] **bit for bit under every backend**,
+//! FMA paths included — not within a tolerance. These properties sweep
+//! the three matrix generators (uniform, power-law, R-MAT), band counts
+//! {1, 2, 7} and batch sizes {1, 8, 17} (single vector, one register
+//! block, multi-block with a ragged tail), so remainder blocks, ragged
+//! final windows and empty bands are all exercised. With one band the
+//! banded schedule must *be* the flat schedule, coloring and all.
+
+use gust::prelude::*;
+use gust_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Column-major panel of `batch` deterministic, distinct vectors.
+fn panel(cols: usize, batch: usize, seed: u64) -> Vec<f32> {
+    (0..batch)
+        .flat_map(|j| {
+            (0..cols).map(move |i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(seed ^ (j as u64) << 17)
+                    .rotate_left(23);
+                ((h % 2000) as f32) / 500.0 - 2.0
+            })
+        })
+        .collect()
+}
+
+/// The three generator families the acceptance numbers are quoted on.
+fn generate(kind: usize, rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+    let coo = match kind {
+        0 => gen::uniform(rows, cols, nnz, seed),
+        1 => gen::power_law(rows, cols, nnz, 1.9, seed),
+        _ => gen::rmat(rows, cols, nnz, seed),
+    };
+    CsrMatrix::from(&coo)
+}
+
+/// The backends runnable on this host, scalar always included.
+fn backends() -> Vec<Backend> {
+    let mut v = vec![Backend::Scalar];
+    if Backend::Avx2.is_available() {
+        v.push(Backend::Avx2);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Banded execution — single vector and batched — is bit-identical
+    /// to the unbanded engine on the flattened schedule, per backend,
+    /// across generators × band counts × batch sizes.
+    #[test]
+    fn banded_execution_is_bit_identical_per_backend(
+        seed in 0u64..512,
+        rows in 20usize..80,
+        l in 3usize..12,
+    ) {
+        let cols = rows + 7;
+        let nnz = rows * 6;
+        for kind in 0..3usize {
+            let matrix = generate(kind, rows, cols, nnz, seed);
+            for bands in [1usize, 2, 7] {
+                let scheduler = gust::schedule::Scheduler::new(GustConfig::new(l));
+                let banded = scheduler.schedule_banded_with(
+                    &matrix,
+                    ColumnBands::with_count(cols, bands),
+                );
+                let flat = banded.to_unbanded();
+                for backend in backends() {
+                    let engine = Gust::new(
+                        GustConfig::new(l)
+                            .with_backend(Some(backend))
+                            .with_parallelism(Some(1)),
+                    );
+                    // Single vector.
+                    let x = &panel(cols, 1, seed)[..];
+                    let banded_run = engine.execute_banded(&banded, x);
+                    let flat_run = engine.execute(&flat, x);
+                    prop_assert_eq!(
+                        &banded_run.output, &flat_run.output,
+                        "kind {} bands {} backend {}: single-vector walk diverged",
+                        kind, bands, backend.name()
+                    );
+                    prop_assert_eq!(&banded_run.report, &flat_run.report);
+                    // Batched, including a multi-block ragged batch.
+                    for batch in [1usize, 8, 17] {
+                        let b = panel(cols, batch, seed.wrapping_add(batch as u64));
+                        let (y_banded, _) = engine.execute_batch_banded(&banded, &b, batch);
+                        let (y_flat, _) = engine.execute_batch(&flat, &b, batch);
+                        prop_assert_eq!(
+                            &y_banded, &y_flat,
+                            "kind {} bands {} backend {} batch {}: batched walk diverged",
+                            kind, bands, backend.name(), batch
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A single band degenerates to the flat scheduler's exact output.
+    #[test]
+    fn single_band_schedule_is_the_flat_schedule(
+        seed in 0u64..256,
+        rows in 16usize..64,
+        l in 3usize..10,
+    ) {
+        for kind in 0..3usize {
+            let matrix = generate(kind, rows, rows, rows * 5, seed);
+            let config = GustConfig::new(l);
+            let banded = gust::schedule::Scheduler::new(config.clone())
+                .schedule_banded_with(&matrix, ColumnBands::with_count(rows, 1));
+            let flat = gust::schedule::Scheduler::new(config).schedule(&matrix);
+            prop_assert_eq!(banded.to_unbanded(), flat, "kind {}", kind);
+        }
+    }
+}
+
+/// A banded schedule round-trips through the binary serializer exactly
+/// (the `GUSB` container), band offsets and band-local columns included.
+#[test]
+fn banded_schedule_round_trips_through_the_serializer() {
+    use gust::schedule::serialize::{read_banded_schedule, write_banded_schedule};
+    for (bands, seed) in [(1usize, 3u64), (2, 4), (7, 5)] {
+        let matrix = generate(1, 60, 67, 400, seed);
+        let schedule = gust::schedule::Scheduler::new(GustConfig::new(8))
+            .schedule_banded_with(&matrix, ColumnBands::with_count(67, bands));
+        let mut buf = Vec::new();
+        write_banded_schedule(&schedule, &mut buf).expect("write to vec");
+        let back = read_banded_schedule(buf.as_slice()).expect("read own output");
+        assert_eq!(back, schedule, "{bands} bands");
+    }
+}
+
+/// Repeated pool-backed `execute_batch` calls spawn no new threads after
+/// warm-up — the persistent pool's whole point: iterative solvers pay
+/// thread startup once per process, not once per SpMV.
+#[test]
+fn warm_pool_spawns_no_threads_across_execute_batch_calls() {
+    let matrix = generate(0, 64, 64, 500, 42);
+    let engine = Gust::new(GustConfig::new(8).with_parallelism(Some(4)));
+    let schedule = engine.schedule(&matrix);
+    let banded = engine.schedule_banded(&matrix);
+    let batch = 33usize; // 5 register blocks: real fan-out work
+    let b = panel(64, batch, 9);
+
+    // Warm-up: the pool lazily spawns its workers here.
+    let (warm, _) = engine.execute_batch(&schedule, &b, batch);
+    let spawned_after_warmup = Pool::global().threads_spawned();
+    assert!(spawned_after_warmup > 0, "fan-out must engage the pool");
+
+    for _ in 0..8 {
+        let (again, _) = engine.execute_batch(&schedule, &b, batch);
+        assert_eq!(again, warm, "results stay bit-identical run to run");
+        let (_banded_y, _) = engine.execute_batch_banded(&banded, &b, batch);
+    }
+    assert_eq!(
+        Pool::global().threads_spawned(),
+        spawned_after_warmup,
+        "a warm pool must not spawn new threads"
+    );
+}
