@@ -1,15 +1,18 @@
 //! Execution-throughput benchmark: the seed's array-of-structs
 //! slot-at-a-time engine versus the structure-of-arrays engine, single
 //! vector and batched, under every kernel backend the host can run —
-//! plus the cache-blocked (banded) schedules on LLC-exceeding workloads.
+//! plus the cache-blocked (banded) and 2D row×column tiled schedules on
+//! LLC-exceeding workloads.
 //!
 //! PR 1's `schedule_throughput` tracks the one-time preprocessing cost;
 //! this runner tracks the thing the schedule exists to accelerate — the
 //! per-SpMV execution path the paper amortizes that cost over (§5.3). For
 //! uniform, power-law and R-MAT matrices — plus a wide hub-concentrated
-//! matrix that exercises the engine's window-local operand staging, and
-//! two **LLC-exceeding** shapes (2²⁰ rows, 4× as many columns at full
-//! scale) whose operand vector is 16× the forced cache budget — it times
+//! matrix that exercises the engine's window-local operand staging, two
+//! **LLC-exceeding-operand** shapes (2²⁰ rows, 4× as many columns at
+//! full scale) whose input vector is 16× the forced cache budget, and an
+//! **LLC-exceeding-output** shape (`llc-tall-out`, 2²² rows at full
+//! scale) whose output vector is 16× the forced row budget — it times
 //!
 //! * `legacy-slots` — the seed execution engine preserved in
 //!   [`crate::legacy`]: array-of-structs slots, per-cycle counter
@@ -26,7 +29,14 @@
 //!   [`gust::BandedSchedule`], once per available backend. Cache-resident
 //!   shapes run under the auto-detected budget (usually one band — the
 //!   ≤ 5 % no-regression check); the LLC shapes force a small budget so
-//!   every gather hits an L2-resident band slice,
+//!   every gather hits an L2-resident band slice. Band plans are sized
+//!   per call since PR 5: single rows at batch width 1, batch rows at
+//!   the register block, both capped by the matrix's nnz/row density,
+//! * `soa-batch-tiled` — the 2D [`Gust::execute_batch_tiled`] over a
+//!   [`gust::TiledSchedule`], once per available backend: row tiles
+//!   sized by the (forced, on `llc-tall-out`) row budget, each tile
+//!   independently banded, so the accumulator carry stays confined to a
+//!   cache-resident output slice,
 //! * `soa-batch-mt` — the batched kernel over four register blocks
 //!   fanned out on the persistent worker pool at host parallelism, on
 //!   the best-available backend — the row a multi-core runner moves,
@@ -38,16 +48,19 @@
 //! records the **backend name**, the **detected CPU features**, the
 //! **register-block width**, the **real nnz of the matrix it ran on**
 //! (shapes differ now — a constant column was a PR 3 reporting bug), the
-//! **band count** (`banded`, 0 for unbanded rows) and the **cache
-//! budget** the banded schedule was built with (`cache_budget`, bytes; 0
-//! for unbanded rows), so `BENCH_spmv.json` entries are comparable
-//! across runners.
+//! **band count** (`banded`, 0 for unbanded rows; the max over tiles for
+//! tiled rows), the **cache budget** the blocked schedule was built with
+//! (`cache_budget`, bytes; 0 for unblocked rows), and the **row-tile
+//! count** and **row budget** of the tiled rows (`row_tiles` /
+//! `row_budget`, 0 for untiled rows), so `BENCH_spmv.json` entries are
+//! comparable across runners.
 //!
 //! Every kernel is checked against the scalar-backend engine before it is
 //! timed — bit for bit where the contract is bit-identity (legacy engine,
 //! `soa-single` on every backend, scalar batch columns, banded vs. its
-//! own flattened schedule on *every* backend), within the documented
-//! FMA-contraction bound for AVX2 batch columns. The benchmark refuses
+//! own flattened schedule and tiled vs. its per-tile flattened schedules
+//! on *every* backend), within the documented FMA-contraction bound for
+//! AVX2 batch columns. The benchmark refuses
 //! to time wrong answers.
 //!
 //! Scale: `GUST_SCALE` as everywhere (dimensions ×s, non-zeros ×s²);
@@ -88,22 +101,29 @@ struct Measurement {
     /// rows.
     reg_block: usize,
     batch: usize,
-    /// Band count of the banded rows; 0 for unbanded kernels.
+    /// Band count of the banded/tiled rows (for tiled rows, the maximum
+    /// over tiles); 0 for unblocked kernels.
     banded: usize,
-    /// Cache budget (bytes) the banded schedule targeted; 0 for
-    /// unbanded kernels.
+    /// Cache budget (bytes) the banded/tiled schedule targeted; 0 for
+    /// unblocked kernels.
     cache_budget: usize,
+    /// Row-tile count of the tiled rows; 0 for untiled kernels.
+    row_tiles: usize,
+    /// Row budget (bytes) the tiled schedule targeted; 0 for untiled
+    /// kernels.
+    row_budget: usize,
     wall: Duration,
     /// Useful non-zeros processed per pass (`batch × nnz`).
     work: u64,
 }
 
-/// One benchmarked matrix: label, data, and the cache budget its banded
-/// rows force (`None` = the auto-detected budget).
+/// One benchmarked matrix: label, data, and the budgets its blocked
+/// rows force (`None` = the auto-detected budgets).
 struct Workload {
     name: &'static str,
     matrix: CsrMatrix,
     banded_budget: Option<usize>,
+    row_budget: Option<usize>,
 }
 
 /// The backends worth measuring on this host, scalar first.
@@ -145,30 +165,36 @@ pub fn run(scale: f64) -> ThroughputOutput {
     // while each window touches only the hub columns (see
     // [`crate::workloads::hub_matrix`]). The square generators keep the
     // whole operand block cache-resident, so they exercise the
-    // interleave path instead. The trailing two are the LLC-exceeding
-    // banded-schedule acceptance shapes ([`crate::workloads::llc_workloads`]):
-    // operand vector = 16× the forced cache budget.
+    // interleave path instead. The trailing three are the LLC-exceeding
+    // cache-blocking acceptance shapes ([`crate::workloads::llc_workloads`]):
+    // input vector = 16× the forced cache budget (llc-uniform /
+    // llc-power-law), output vector = 16× the forced row budget
+    // (llc-tall-out).
     let hubs = (dim / 16).max(per_row_hubs_floor(dim, nnz));
     let mut workloads = vec![
         Workload {
             name: "uniform",
             matrix: CsrMatrix::from(&gen::uniform(dim, dim, nnz, 11)),
             banded_budget: None,
+            row_budget: None,
         },
         Workload {
             name: "power-law",
             matrix: CsrMatrix::from(&gen::power_law(dim, dim, nnz, 1.9, 12)),
             banded_budget: None,
+            row_budget: None,
         },
         Workload {
             name: "rmat",
             matrix: CsrMatrix::from(&gen::rmat(dim, dim, nnz, 13)),
             banded_budget: None,
+            row_budget: None,
         },
         Workload {
             name: "hub-reuse",
             matrix: crate::workloads::hub_matrix(dim, dim * 16, nnz, hubs, 14),
             banded_budget: None,
+            row_budget: None,
         },
     ];
     for llc in crate::workloads::llc_workloads(scale) {
@@ -176,6 +202,7 @@ pub fn run(scale: f64) -> ThroughputOutput {
             name: llc.name,
             matrix: llc.matrix,
             banded_budget: Some(llc.cache_budget),
+            row_budget: llc.row_budget,
         });
     }
 
@@ -187,7 +214,7 @@ pub fn run(scale: f64) -> ThroughputOutput {
     out.push_str(&format!(
         "l = {LENGTH}, EC/LB schedule, {reps} reps (median), host parallelism {auto_threads}\n\
          backends: {} (features: {features}); batch = one register block per backend (mt: {MT_BLOCKS} blocks on {})\n\
-         banded rows: auto budget on cache-resident shapes, forced budget on llc-* (operand vector = 16x budget)\n\n",
+         banded/tiled rows: auto budgets on cache-resident shapes, forced budgets on llc-* (spilling vector = 16x its budget)\n\n",
         backends
             .iter()
             .map(|b| format!("{} (reg_block {})", b.name(), b.reg_block()))
@@ -205,6 +232,8 @@ pub fn run(scale: f64) -> ThroughputOutput {
         "batch",
         "banded",
         "cache_budget",
+        "row_tiles",
+        "row_budget",
         "nnz",
         "wall_ms",
         "nnz_per_s",
@@ -226,6 +255,8 @@ pub fn run(scale: f64) -> ThroughputOutput {
                 m.batch.to_string(),
                 m.banded.to_string(),
                 m.cache_budget.to_string(),
+                m.row_tiles.to_string(),
+                m.row_budget.to_string(),
                 workload.matrix.nnz().to_string(),
                 format!("{:.3}", wall_s * 1e3),
                 format!("{rate:.0}"),
@@ -248,13 +279,14 @@ fn per_row_hubs_floor(rows: usize, nnz: usize) -> usize {
 }
 
 /// Builds a single-threaded engine pinned to `backend` (and, for banded
-/// schedules, to `budget`).
-fn engine(backend: Backend, budget: Option<usize>) -> Gust {
+/// and tiled schedules, to the forced budgets).
+fn engine(backend: Backend, budget: Option<usize>, row_budget: Option<usize>) -> Gust {
     Gust::new(
         GustConfig::new(LENGTH)
             .with_parallelism(Some(1))
             .with_backend(Some(backend))
-            .with_cache_budget(budget),
+            .with_cache_budget(budget)
+            .with_row_budget(row_budget),
     )
 }
 
@@ -269,20 +301,41 @@ fn measure_kernels(
 ) -> Vec<Measurement> {
     let matrix = &workload.matrix;
     let nnz = matrix.nnz() as u64;
-    let scalar = engine(Backend::Scalar, None);
+    let scalar = engine(Backend::Scalar, None, None);
     let schedule = scalar.schedule(matrix);
     let rows = schedule.rows();
     let x = crate::test_vector(matrix.cols());
 
-    // The banded schedule: forced budget on the LLC shapes, auto budget
-    // (usually a single band) on cache-resident ones. Its flattened form
-    // anchors the bit-identity gates below.
-    let banded = engine(best, workload.banded_budget).schedule_banded(matrix);
-    let band_count = banded.bands().count();
+    // The blocked schedules: forced budgets on the LLC shapes, auto
+    // budgets (usually a single band / tile) on cache-resident ones.
+    // Single-vector rows get a single-width band plan and batch rows a
+    // register-block-width plan — the per-call sizing this PR fixes —
+    // and the tiled rows compose row tiles with per-tile bands. Each
+    // schedule's flattened form anchors the bit-identity gates below.
+    let rb_best = best.reg_block();
+    let blocked = engine(best, workload.banded_budget, workload.row_budget);
+    let banded_single = blocked.schedule_banded(matrix);
+    let banded_batch = blocked.schedule_banded_for_batch(matrix, rb_best);
+    let tiled = blocked.schedule_tiled_for_batch(matrix, rb_best);
     let budget_used = workload
         .banded_budget
         .unwrap_or_else(gust::config::default_cache_budget);
-    let banded_flat = banded.to_unbanded();
+    let row_budget_used = workload
+        .row_budget
+        .unwrap_or_else(gust::config::default_row_budget);
+    let single_flat = banded_single.to_unbanded();
+    let batch_flat = banded_batch.to_unbanded();
+    let tiled_flats: Vec<_> = tiled
+        .tiles()
+        .iter()
+        .map(gust::BandedSchedule::to_unbanded)
+        .collect();
+    let tile_bands = tiled
+        .tiles()
+        .iter()
+        .map(|t| t.bands().count())
+        .max()
+        .unwrap_or(1);
 
     // Correctness gates. The scalar single-vector engine is the anchor.
     let reference = scalar.execute(&schedule, &x);
@@ -299,6 +352,8 @@ fn measure_kernels(
         batch: 1,
         banded: 0,
         cache_budget: 0,
+        row_tiles: 0,
+        row_budget: 0,
         wall: timed(reps, || {
             std::hint::black_box(legacy::legacy_execute(&schedule, &slot_windows, &x));
         }),
@@ -306,7 +361,7 @@ fn measure_kernels(
     });
 
     for &backend in backends {
-        let gust = engine(backend, workload.banded_budget);
+        let gust = engine(backend, workload.banded_budget, workload.row_budget);
         let rb = backend.reg_block();
         let panel = crate::workloads::shifted_panel(&x, rb, 0.25);
 
@@ -340,24 +395,45 @@ fn measure_kernels(
                 );
             }
         }
-        // Banded: bit-identical to the unbanded engine on its own
-        // flattened schedule, under every backend — the banded contract.
-        let banded_single = gust.execute_banded(&banded, &x);
-        let flat_single = gust.execute(&banded_flat, &x);
+        // Banded/tiled: bit-identical to the unbanded engine on their
+        // own flattened schedules, under every backend — the blocking
+        // contract. Single and batch rows use differently-sized band
+        // plans, so each is gated against its own flattening.
+        let banded_run = gust.execute_banded(&banded_single, &x);
+        let flat_run = gust.execute(&single_flat, &x);
         assert_eq!(
-            banded_single.output,
-            flat_single.output,
+            banded_run.output,
+            flat_run.output,
             "{} banded single-vector walk diverged from its flattened schedule",
             backend.name()
         );
-        let err = max_relative_error(&banded_single.output, &f64_reference);
+        let err = max_relative_error(&banded_run.output, &f64_reference);
         assert!(err < 1e-3, "{} banded diverged: {err}", backend.name());
-        let (banded_batch, _) = gust.execute_batch_banded(&banded, &panel, rb);
-        let (flat_batch, _) = gust.execute_batch(&banded_flat, &panel, rb);
+        let (banded_batch_y, _) = gust.execute_batch_banded(&banded_batch, &panel, rb);
+        let (flat_batch_y, _) = gust.execute_batch(&batch_flat, &panel, rb);
         assert_eq!(
-            banded_batch,
-            flat_batch,
+            banded_batch_y,
+            flat_batch_y,
             "{} banded batch diverged from its flattened schedule",
+            backend.name()
+        );
+        // Tiled: per-tile bit-identity — the tiled panel must equal the
+        // unbanded engine run on every tile's flattened schedule,
+        // stitched over the row tiles.
+        let (tiled_y, _) = gust.execute_batch_tiled(&tiled, &panel, rb);
+        let mut tiled_expected = vec![0.0f32; rows * rb];
+        for (t, flat) in tiled_flats.iter().enumerate() {
+            let (y_flat, _) = gust.execute_batch(flat, &panel, rb);
+            let range = tiled.tile_range(t);
+            for j in 0..rb {
+                tiled_expected[j * rows + range.start..j * rows + range.end]
+                    .copy_from_slice(&y_flat[j * range.len()..(j + 1) * range.len()]);
+            }
+        }
+        assert_eq!(
+            tiled_y,
+            tiled_expected,
+            "{} tiled batch diverged from its per-tile flattened schedules",
             backend.name()
         );
         // Reference CSR kernel against the f64 oracle.
@@ -376,6 +452,8 @@ fn measure_kernels(
             batch: 1,
             banded: 0,
             cache_budget: 0,
+            row_tiles: 0,
+            row_budget: 0,
             wall: timed(reps, || {
                 std::hint::black_box(gust.execute(&schedule, &x));
             }),
@@ -388,6 +466,8 @@ fn measure_kernels(
             batch: rb,
             banded: 0,
             cache_budget: 0,
+            row_tiles: 0,
+            row_budget: 0,
             wall: timed(reps, || {
                 std::hint::black_box(gust.execute_batch(&schedule, &panel, rb));
             }),
@@ -398,10 +478,12 @@ fn measure_kernels(
             backend: backend.name(),
             reg_block: 1,
             batch: 1,
-            banded: band_count,
+            banded: banded_single.bands().count(),
             cache_budget: budget_used,
+            row_tiles: 0,
+            row_budget: 0,
             wall: timed(reps, || {
-                std::hint::black_box(gust.execute_banded(&banded, &x));
+                std::hint::black_box(gust.execute_banded(&banded_single, &x));
             }),
             work: nnz,
         });
@@ -410,10 +492,26 @@ fn measure_kernels(
             backend: backend.name(),
             reg_block: rb,
             batch: rb,
-            banded: band_count,
+            banded: banded_batch.bands().count(),
             cache_budget: budget_used,
+            row_tiles: 0,
+            row_budget: 0,
             wall: timed(reps, || {
-                std::hint::black_box(gust.execute_batch_banded(&banded, &panel, rb));
+                std::hint::black_box(gust.execute_batch_banded(&banded_batch, &panel, rb));
+            }),
+            work: rb as u64 * nnz,
+        });
+        results.push(Measurement {
+            kernel: "soa-batch-tiled",
+            backend: backend.name(),
+            reg_block: rb,
+            batch: rb,
+            banded: tile_bands,
+            cache_budget: budget_used,
+            row_tiles: tiled.tile_count(),
+            row_budget: row_budget_used,
+            wall: timed(reps, || {
+                std::hint::black_box(gust.execute_batch_tiled(&tiled, &panel, rb));
             }),
             work: rb as u64 * nnz,
         });
@@ -424,6 +522,8 @@ fn measure_kernels(
             batch: 1,
             banded: 0,
             cache_budget: 0,
+            row_tiles: 0,
+            row_budget: 0,
             wall: timed(reps, || {
                 std::hint::black_box(matrix.spmv_with(backend, &x));
             }),
@@ -450,6 +550,8 @@ fn measure_kernels(
         batch: batch_mt,
         banded: 0,
         cache_budget: 0,
+        row_tiles: 0,
+        row_budget: 0,
         wall: timed(reps, || {
             std::hint::black_box(mt.execute_batch(&schedule, &panel_mt, batch_mt));
         }),
@@ -485,6 +587,7 @@ mod tests {
             "soa-batch-seq",
             "soa-single-banded",
             "soa-batch-banded",
+            "soa-batch-tiled",
             "soa-batch-mt",
             "reference-csr",
         ] {
@@ -498,12 +601,25 @@ mod tests {
         assert!(out.json.contains("\"reg_block\":"));
         assert!(out.json.contains("\"banded\":"));
         assert!(out.json.contains("\"cache_budget\":"));
-        // Six workloads × (legacy + mt + 5 rows per available backend).
-        let rows_per_matrix = 2 + 5 * available_backends().len();
-        assert_eq!(out.json.matches("\"matrix\":").count(), 6 * rows_per_matrix);
+        assert!(out.json.contains("\"row_tiles\":"));
+        assert!(out.json.contains("\"row_budget\":"));
+        // Seven workloads × (legacy + mt + 6 rows per available backend).
+        let rows_per_matrix = 2 + 6 * available_backends().len();
+        assert_eq!(out.json.matches("\"matrix\":").count(), 7 * rows_per_matrix);
         assert!(out.json.contains("\"hub-reuse\""));
         assert!(out.json.contains("\"llc-uniform\""));
         assert!(out.json.contains("\"llc-power-law\""));
+        assert!(out.json.contains("\"llc-tall-out\""));
+        // The forced row budget must split the tall shape into several
+        // row tiles.
+        let max_tiles = out
+            .json
+            .split("\"row_tiles\": ")
+            .skip(1)
+            .filter_map(|rest| rest.split(',').next().unwrap().parse::<usize>().ok())
+            .max()
+            .unwrap();
+        assert!(max_tiles > 1, "llc-tall-out rows must split into tiles");
         // The nnz column records the real per-matrix count: the LLC
         // shapes are denser than the square ones, so the column cannot
         // be constant (the PR 3 bug this run fixes).

@@ -104,44 +104,79 @@ pub fn hub_matrix(rows: usize, cols: usize, nnz: usize, hubs: usize, seed: u64) 
     CsrMatrix::from(&coo)
 }
 
-/// An LLC-exceeding workload for the cache-blocked (banded) schedules:
-/// the matrix, plus the cache budget its banded rows should force.
+/// An LLC-exceeding workload for the cache-blocked (banded/tiled)
+/// schedules: the matrix, plus the budgets its blocked rows should
+/// force.
 pub struct LlcWorkload {
-    /// Workload label (`llc-uniform`, `llc-power-law`).
+    /// Workload label (`llc-uniform`, `llc-power-law`, `llc-tall-out`).
     pub name: &'static str,
-    /// The matrix. Full scale: 2²⁰ rows, 4× as many columns.
+    /// The matrix. Full scale: 2²⁰ rows × 2²² columns (operand-heavy
+    /// shapes) or 2²² rows × 2¹⁸ columns (`llc-tall-out`).
     pub matrix: CsrMatrix,
     /// Cache budget (bytes) forced for the banded rows: sized so the
-    /// operand vector is 16× the budget, i.e. comfortably past the
-    /// ISSUE's "≥ 8×" line at any scale.
+    /// operand vector is a large multiple of the budget at any scale.
     pub cache_budget: usize,
+    /// Row budget (bytes) forced for the tiled rows: `Some` on shapes
+    /// whose *output* vector exceeds the LLC (`llc-tall-out`), `None`
+    /// where tiling should run under the auto budget (usually one tile).
+    pub row_budget: Option<usize>,
 }
 
-/// The LLC-exceeding workloads of the banded-schedule acceptance run:
-/// `scale = 1` is 2²⁰ rows × 2²² columns with 24 non-zeros per row, so
-/// the operand vector is 16 MiB — far past any per-core cache — while
-/// the forced budget of 1 MiB keeps each band's batched operand slice
-/// L2-resident. Uniform columns are the banding worst case (no reuse
-/// inside a band beyond density); power-law columns are the
-/// representative case (shuffled hubs concentrate reuse in every band).
+/// The LLC-exceeding workloads of the cache-blocking acceptance runs.
+///
+/// `llc-uniform` / `llc-power-law` (`scale = 1`: 2²⁰ rows × 2²² columns,
+/// 24 nnz/row) exceed the LLC on the **operand** side: the input vector
+/// is 16 MiB — far past any per-core cache — while the forced budget of
+/// 1 MiB keeps each band's operand slice L2-resident. Uniform columns
+/// are the banding worst case (no reuse inside a band beyond density);
+/// power-law columns are the representative case (shuffled hubs
+/// concentrate reuse in every band).
+///
+/// `llc-tall-out` (`scale = 1`: 2²² rows × 2¹⁸ columns, 6 nnz/row)
+/// exceeds the LLC on the **output** side: the 16 MiB output vector —
+/// and with it the banded batch walk's carried accumulator panel, which
+/// is `reg_block×` larger still — thrashes under column bands alone.
+/// Its forced row budget (output = 16× budget) makes the 2D tiled
+/// schedules confine each band sweep to a cache-resident row tile.
 #[must_use]
 pub fn llc_workloads(scale: f64) -> Vec<LlcWorkload> {
-    let rows = ((1usize << 20) as f64 * scale) as usize;
-    let rows = rows.max(4096);
+    let rows = (((1usize << 20) as f64 * scale) as usize).max(4096);
     let cols = rows * 4;
     let nnz = rows * 24;
     // x = cols × 4 bytes = 16 × budget.
     let cache_budget = (cols * std::mem::size_of::<f32>() / 16).max(4096);
+    // The tall shape inverts the aspect ratio hard: 4× the rows of the
+    // wide shapes but 16× fewer columns than rows, sparser rows so nnz
+    // stays comparable. The skew is the point — a row-tile walk re-reads
+    // the (small) operand side once per tile while a column-band walk
+    // re-streams the (huge) accumulator side once per band, so the
+    // output-dominated regime is where 2D tiling has to win.
+    let tall_rows = (((1usize << 22) as f64 * scale) as usize).max(16384);
+    let tall_cols = (tall_rows / 16).max(1024);
+    let tall_nnz = tall_rows * 6;
+    // y = tall_rows × 4 bytes = 16 × row budget; the operand vector is
+    // 1 MiB at full scale, and the ¼-sized cache budget still forces
+    // bands on the banded comparison rows.
+    let tall_row_budget = (tall_rows * std::mem::size_of::<f32>() / 16).max(4096);
+    let tall_cache_budget = (tall_cols * std::mem::size_of::<f32>() / 4).max(4096);
     vec![
         LlcWorkload {
             name: "llc-uniform",
             matrix: CsrMatrix::from(&gen::uniform(rows, cols, nnz, 51)),
             cache_budget,
+            row_budget: None,
         },
         LlcWorkload {
             name: "llc-power-law",
             matrix: CsrMatrix::from(&gen::power_law(rows, cols, nnz, 1.9, 52)),
             cache_budget,
+            row_budget: None,
+        },
+        LlcWorkload {
+            name: "llc-tall-out",
+            matrix: CsrMatrix::from(&gen::uniform(tall_rows, tall_cols, tall_nnz, 53)),
+            cache_budget: tall_cache_budget,
+            row_budget: Some(tall_row_budget),
         },
     ]
 }
@@ -294,5 +329,25 @@ mod tests {
     #[should_panic(expected = "repeat a hub")]
     fn hub_matrix_rejects_overfull_rows() {
         let _ = hub_matrix(10, 1_000, 500, 16, 1);
+    }
+
+    #[test]
+    fn llc_workloads_force_the_right_budgets() {
+        let ws = llc_workloads(0.01);
+        assert_eq!(ws.len(), 3);
+        for w in &ws[..2] {
+            // Operand vector a large multiple of the forced cache budget
+            // on the wide (operand-heavy) shapes.
+            assert!(w.matrix.cols() * 4 >= 4 * w.cache_budget, "{}", w.name);
+        }
+        let tall = &ws[2];
+        assert_eq!(tall.name, "llc-tall-out");
+        assert!(
+            tall.matrix.rows() > tall.matrix.cols(),
+            "output-heavy shape"
+        );
+        let row_budget = tall.row_budget.expect("tall shape forces a row budget");
+        assert_eq!(row_budget, (tall.matrix.rows() * 4 / 16).max(4096));
+        assert!(ws[0].row_budget.is_none() && ws[1].row_budget.is_none());
     }
 }

@@ -85,6 +85,7 @@ pub struct GustConfig {
     parallelism: Option<usize>,
     backend: Option<Backend>,
     cache_budget: Option<usize>,
+    row_budget: Option<usize>,
 }
 
 impl GustConfig {
@@ -109,6 +110,7 @@ impl GustConfig {
             parallelism: None,
             backend: None,
             cache_budget: None,
+            row_budget: None,
         }
     }
 
@@ -164,9 +166,12 @@ impl GustConfig {
 
     /// Sets the cache budget in bytes that column-band schedules target
     /// (see [`crate::schedule::banded::BandedSchedule`]): bands are sized
-    /// so one band's *batched* operand slice — `band_cols ×
-    /// reg_block × 4` bytes — fits the budget, so every gather in a
-    /// band walk hits a cache-resident slice of the input vector.
+    /// so one band's operand slice at the walk's **effective batch
+    /// width** — `band_cols × width × 4` bytes, where the width is 1 for
+    /// single-vector schedules and the register block for batched ones
+    /// (see [`crate::schedule::banded::BandPlan`]) — fits the budget, so
+    /// every gather in a band walk hits a cache-resident slice of the
+    /// input vector.
     ///
     /// `None` (default) selects at runtime: the `GUST_CACHE_BUDGET`
     /// environment variable if set (plain bytes, or with a `k`/`m`/`g`
@@ -183,6 +188,32 @@ impl GustConfig {
             "cache budget must be at least 1 byte (or None for auto)"
         );
         self.cache_budget = cache_budget;
+        self
+    }
+
+    /// Sets the row budget in bytes that 2D tiled schedules target (see
+    /// [`crate::schedule::tiled::TiledSchedule`]): row tiles are sized so
+    /// one tile's output slice — `tile_rows × batch × 4` bytes at the
+    /// effective batch width — fits the budget, so the `y[row]`
+    /// accumulations of a tile walk stay cache-resident even when the
+    /// whole output vector does not.
+    ///
+    /// `None` (default) selects at runtime: the `GUST_ROW_BUDGET`
+    /// environment variable if set (plain bytes, or with a `k`/`m`/`g`
+    /// suffix), otherwise the host's detected last-level cache size
+    /// (32 MiB when detection fails) — the same resolution rules as
+    /// [`GustConfig::with_cache_budget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_budget` is `Some(0)`.
+    #[must_use]
+    pub fn with_row_budget(mut self, row_budget: Option<usize>) -> Self {
+        assert!(
+            row_budget != Some(0),
+            "row budget must be at least 1 byte (or None for auto)"
+        );
+        self.row_budget = row_budget;
         self
     }
 
@@ -273,6 +304,21 @@ impl GustConfig {
         self.cache_budget.unwrap_or_else(default_cache_budget)
     }
 
+    /// Configured row budget in bytes (see
+    /// [`GustConfig::with_row_budget`]); `None` means runtime selection.
+    #[must_use]
+    pub fn row_budget(&self) -> Option<usize> {
+        self.row_budget
+    }
+
+    /// The row budget tile partitioning will actually use: the configured
+    /// one, else the `GUST_ROW_BUDGET` environment variable, else the
+    /// detected last-level cache size (32 MiB fallback).
+    #[must_use]
+    pub fn effective_row_budget(&self) -> usize {
+        self.row_budget.unwrap_or_else(default_row_budget)
+    }
+
     /// Worker threads to use for `items` independent work units (schedule
     /// windows, batched-execution register blocks): the configured
     /// [`GustConfig::with_parallelism`] count, else the `GUST_PARALLELISM`
@@ -319,16 +365,35 @@ fn env_parallelism() -> Option<usize> {
 #[must_use]
 pub fn default_cache_budget() -> usize {
     static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *DEFAULT.get_or_init(|| match std::env::var("GUST_CACHE_BUDGET") {
-        Ok(raw) if !raw.is_empty() => parse_byte_size(&raw).unwrap_or_else(|| {
-            panic!("GUST_CACHE_BUDGET must be bytes (e.g. 262144, 256k, 4m), got '{raw}'")
-        }),
+    *DEFAULT.get_or_init(|| env_byte_budget("GUST_CACHE_BUDGET"))
+}
+
+/// The process-wide default row budget for 2D tiled schedules:
+/// `GUST_ROW_BUDGET` (plain bytes or `k`/`m`/`g` suffixed) if set,
+/// otherwise the host's detected last-level cache size, otherwise
+/// 32 MiB. Read once and cached.
+#[must_use]
+pub fn default_row_budget() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| env_byte_budget("GUST_ROW_BUDGET"))
+}
+
+/// Resolves one byte-budget environment variable: the parsed value when
+/// set (a malformed or overflowing value fails loudly — a misspelled CI
+/// leg must not silently run a different budget than it claims), the
+/// detected LLC size otherwise, 32 MiB as the last resort.
+fn env_byte_budget(var: &str) -> usize {
+    match std::env::var(var) {
+        Ok(raw) if !raw.is_empty() => parse_byte_size(&raw)
+            .unwrap_or_else(|| panic!("{var} must be bytes (e.g. 262144, 256k, 4m), got '{raw}'")),
         _ => detect_llc_bytes().unwrap_or(32 * 1024 * 1024),
-    })
+    }
 }
 
 /// Parses `"262144"`, `"256k"`, `"4M"`, `"1g"` into bytes. `None` on
-/// malformed input or a zero size.
+/// malformed input, a zero size, or a product that overflows `usize`
+/// (`checked_mul`: `99999999999g` must hit the caller's panic path, not
+/// wrap to a tiny budget in release builds).
 fn parse_byte_size(raw: &str) -> Option<usize> {
     let raw = raw.trim();
     let (digits, multiplier) = match raw.chars().last()? {
@@ -475,5 +540,40 @@ mod tests {
         assert_eq!(parse_byte_size("266240K"), Some(266_240 * 1024));
         assert_eq!(parse_byte_size("0"), None);
         assert_eq!(parse_byte_size("lots"), None);
+    }
+
+    #[test]
+    fn byte_sizes_reject_overflowing_suffix_products() {
+        // A suffix product past usize::MAX must be rejected (checked_mul),
+        // not wrap to a tiny budget in release builds — the env resolver
+        // then panics with its "must be bytes" message instead of
+        // silently running a different budget than the variable claims.
+        assert_eq!(parse_byte_size("99999999999g"), None);
+        assert_eq!(parse_byte_size(&format!("{}k", usize::MAX)), None);
+        // The largest representable products still parse.
+        assert_eq!(
+            parse_byte_size(&format!("{}", usize::MAX)),
+            Some(usize::MAX)
+        );
+        assert_eq!(
+            parse_byte_size(&format!("{}k", usize::MAX >> 10)),
+            Some((usize::MAX >> 10) << 10)
+        );
+    }
+
+    #[test]
+    fn row_budget_defaults_to_auto_and_pins() {
+        let auto = GustConfig::new(8);
+        assert_eq!(auto.row_budget(), None);
+        assert!(auto.effective_row_budget() > 0);
+        let pinned = GustConfig::new(8).with_row_budget(Some(1 << 16));
+        assert_eq!(pinned.row_budget(), Some(1 << 16));
+        assert_eq!(pinned.effective_row_budget(), 1 << 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 byte")]
+    fn zero_row_budget_panics() {
+        let _ = GustConfig::new(8).with_row_budget(Some(0));
     }
 }

@@ -57,11 +57,24 @@
 //! bit-identical across *all* backends: its SIMD path vectorizes only the
 //! multiply-gathers and keeps the scatter adds in slot order.
 
+//!
+//! # Cache-blocked execution
+//!
+//! [`Gust::execute_banded`] / [`Gust::execute_batch_banded`] walk a
+//! [`BandedSchedule`] band by band with accumulator carry so the
+//! `x[col]` gathers stay inside a budget-sized column slice, and
+//! [`Gust::execute_tiled`] / [`Gust::execute_batch_tiled`] walk a
+//! [`TiledSchedule`] row tile by row tile so the `y[row]` side stays
+//! resident too. Both are bit-identical per backend to the unbanded
+//! engine on the corresponding flattened schedule(s) — see
+//! [`crate::schedule::banded`] and [`crate::schedule::tiled`].
+
 use crate::config::{GustConfig, SchedulingPolicy};
 use crate::kernels::{self, Backend};
 use crate::parallel::Pool;
 use crate::schedule::banded::BandedSchedule;
 use crate::schedule::scheduled::{log2_ceil, ScheduledMatrix};
+use crate::schedule::tiled::TiledSchedule;
 use crate::schedule::Scheduler;
 use gust_sim::{ExecutionReport, MemoryTraffic, UnitCounter};
 
@@ -119,6 +132,21 @@ fn window_staged(
     window.has_column_reuse()
         && cols * bb * std::mem::size_of::<f32>() > STAGE_SOURCE_BYTES
         && 4 * window.gather_cols().len() <= cols
+}
+
+/// How the single-band path of [`run_block_banded`] obtains the
+/// interleaved whole panel in `BlockScratch::xb`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PanelSource {
+    /// Interleave it from the source panel inside the call (the untiled
+    /// banded walk: one interleave per register block).
+    Interleave,
+    /// `scratch.xb` already holds this block's interleaved panel — the
+    /// tiled walk hoists the interleave out of its tile loop so all
+    /// tiles share one transpose per register block.
+    Ready,
+    /// No window reads it (every non-empty window is staged).
+    Unused,
 }
 
 impl Gust {
@@ -402,14 +430,60 @@ impl Gust {
         (y, self.analytic_report(schedule, batch as u64))
     }
 
-    /// Preprocesses `matrix` into a cache-blocked [`BandedSchedule`]:
-    /// columns are partitioned into bands sized by
-    /// [`GustConfig::effective_cache_budget`] so one band's operand slice
-    /// stays cache-resident during execution. Delegates to
-    /// [`Scheduler::schedule_banded`].
+    /// Preprocesses `matrix` into a cache-blocked [`BandedSchedule`]
+    /// sized for **single-vector** execution ([`Gust::execute_banded`]):
+    /// the density-aware band plan partitions the columns so one band's
+    /// single-vector operand slice fits
+    /// [`GustConfig::effective_cache_budget`]. Delegates to
+    /// [`Scheduler::schedule_banded`]; schedules meant for
+    /// [`Gust::execute_batch_banded`] should come from
+    /// [`Gust::schedule_banded_for_batch`], whose bands are sized for the
+    /// register-block slice instead.
     #[must_use]
     pub fn schedule_banded(&self, matrix: &gust_sparse::CsrMatrix) -> BandedSchedule {
         Scheduler::new(self.config.clone()).schedule_banded(matrix)
+    }
+
+    /// As [`Gust::schedule_banded`], sized for batched execution of
+    /// `batch` right-hand sides. Delegates to
+    /// [`Scheduler::schedule_banded_for_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn schedule_banded_for_batch(
+        &self,
+        matrix: &gust_sparse::CsrMatrix,
+        batch: usize,
+    ) -> BandedSchedule {
+        Scheduler::new(self.config.clone()).schedule_banded_for_batch(matrix, batch)
+    }
+
+    /// Preprocesses `matrix` into a 2D row×column [`TiledSchedule`]
+    /// sized for single-vector execution ([`Gust::execute_tiled`]): rows
+    /// are partitioned by [`GustConfig::effective_row_budget`] and each
+    /// tile is independently banded. Delegates to
+    /// [`Scheduler::schedule_tiled`].
+    #[must_use]
+    pub fn schedule_tiled(&self, matrix: &gust_sparse::CsrMatrix) -> TiledSchedule {
+        Scheduler::new(self.config.clone()).schedule_tiled(matrix)
+    }
+
+    /// As [`Gust::schedule_tiled`], sized for batched execution of
+    /// `batch` right-hand sides. Delegates to
+    /// [`Scheduler::schedule_tiled_for_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn schedule_tiled_for_batch(
+        &self,
+        matrix: &gust_sparse::CsrMatrix,
+        batch: usize,
+    ) -> TiledSchedule {
+        Scheduler::new(self.config.clone()).schedule_tiled_for_batch(matrix, batch)
     }
 
     /// Runs one SpMV over a cache-blocked [`BandedSchedule`]: bands are
@@ -435,83 +509,48 @@ impl Gust {
         );
         assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
 
-        let backend = self.backend();
-        let window_count = schedule.windows().len();
         let mut y = vec![0.0f32; schedule.rows()];
-        let row_perm = schedule.row_perm();
-
-        if schedule.bands().count() == 1 {
-            // Single band (cache-resident shapes under the auto budget):
-            // banding is vacuous, so take the unbanded [`Gust::execute`]
-            // shape — one hot adder bank reused across windows, dump as
-            // each window finishes, and the same per-window staging
-            // decisions. Staging copies values and the per-window slot
-            // order is unchanged, so the output stays bit-identical to
-            // the multi-band walk.
-            let mut adders = vec![0.0f32; l];
-            let mut stage: Vec<f32> = Vec::new();
-            for (w, banded) in schedule.windows().iter().enumerate() {
-                let window = banded.window();
-                let active = schedule.window_rows(w);
-                adders[..active].fill(0.0);
-                let (idx, operands): (&[u32], &[f32]) = if window_staged(window, x.len(), 1) {
-                    stage.resize(window.gather_cols().len(), 0.0);
-                    kernels::gather(backend, x, window.gather_cols(), &mut stage);
-                    (window.local_cols(), &stage)
-                } else {
-                    (window.cols(), x)
-                };
-                kernels::window_walk(
-                    backend,
-                    window.values(),
-                    idx,
-                    window.row_mods(),
-                    operands,
-                    &mut adders,
-                );
-                let base = w * l;
-                for (i, &acc) in adders[..active].iter().enumerate() {
-                    y[row_perm[base + i] as usize] = acc;
-                }
-            }
-            return GustRun {
-                output: y,
-                report: self.banded_report(schedule, 1),
-            };
-        }
-
-        // One adder bank per window, all carried across the band sweep.
-        let mut adders = vec![0.0f32; window_count * l];
-        for b in 0..schedule.bands().count() {
-            let range = schedule.bands().range(b);
-            let xs = &x[range.start as usize..range.end as usize];
-            for (w, window) in schedule.windows().iter().enumerate() {
-                let slots = window.band_slots(b);
-                if slots.is_empty() {
-                    continue;
-                }
-                kernels::window_walk(
-                    backend,
-                    &window.window().values()[slots.clone()],
-                    &window.local_cols()[slots.clone()],
-                    &window.window().row_mods()[slots],
-                    xs,
-                    &mut adders[w * l..(w + 1) * l],
-                );
-            }
-        }
-
-        for w in 0..window_count {
-            let active = schedule.window_rows(w);
-            let base = w * l;
-            for (i, &acc) in adders[base..base + active].iter().enumerate() {
-                y[row_perm[base + i] as usize] = acc;
-            }
-        }
-
+        banded_walk_single(self.backend(), schedule, x, &mut y);
         GustRun {
             output: y,
             report: self.banded_report(schedule, 1),
+        }
+    }
+
+    /// Runs one SpMV over a 2D row×column [`TiledSchedule`]: row tiles
+    /// are walked outermost, each tile performing the full banded band
+    /// sweep of [`Gust::execute_banded`] with its accumulator carry
+    /// confined to the tile's slice of `y` — so the `x[col]` gathers
+    /// *and* the `y[row]` accumulations stay cache-resident even when
+    /// both vectors exceed the last-level cache.
+    ///
+    /// Each tile is a stand-alone [`BandedSchedule`], so the tile's
+    /// output slice is **bit-identical** to
+    /// `self.execute(&tile.to_unbanded(), x)` under every backend, and a
+    /// single-tile schedule reproduces [`Gust::execute_banded`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != schedule.cols()` or the schedule's length
+    /// does not match this engine's configuration.
+    #[must_use]
+    pub fn execute_tiled(&self, schedule: &TiledSchedule, x: &[f32]) -> GustRun {
+        let l = self.config.length();
+        assert_eq!(
+            schedule.length(),
+            l,
+            "schedule was produced for a different GUST length"
+        );
+        assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
+
+        let backend = self.backend();
+        let mut y = vec![0.0f32; schedule.rows()];
+        for (t, tile) in schedule.tiles().iter().enumerate() {
+            banded_walk_single(backend, tile, x, &mut y[schedule.tile_range(t)]);
+        }
+        GustRun {
+            output: y,
+            report: self.tiled_report(schedule, 1),
         }
     }
 
@@ -588,7 +627,13 @@ impl Gust {
                     j0,
                     bb,
                     &stage_flags,
-                    needs_interleave,
+                    if needs_interleave {
+                        PanelSource::Interleave
+                    } else {
+                        PanelSource::Unused
+                    },
+                    0,
+                    rows,
                     y_block,
                     scratch,
                 );
@@ -596,6 +641,114 @@ impl Gust {
         );
 
         (y, self.banded_report(schedule, batch as u64))
+    }
+
+    /// Batched SpMV over a 2D row×column [`TiledSchedule`] — the full 2D
+    /// composition: each register block of right-hand sides (a pool
+    /// task) walks the row tiles outermost, and within a tile performs
+    /// the banded band sweep of [`Gust::execute_batch_banded`] with the
+    /// accumulator panel confined to the tile's rows. Both the per-band
+    /// operand slice and the per-tile accumulator panel are sized by
+    /// their budgets to stay cache-resident.
+    ///
+    /// Per tile, outputs are bit-identical to
+    /// `self.execute_batch(&tile.to_unbanded(), b, batch)` for the same
+    /// backend, for every worker count; a single-tile schedule
+    /// reproduces [`Gust::execute_batch_banded`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// As [`Gust::execute_batch`].
+    #[must_use]
+    pub fn execute_batch_tiled(
+        &self,
+        schedule: &TiledSchedule,
+        b: &[f32],
+        batch: usize,
+    ) -> (Vec<f32>, ExecutionReport) {
+        let l = self.config.length();
+        assert_eq!(
+            schedule.length(),
+            l,
+            "schedule was produced for a different GUST length"
+        );
+        assert!(batch > 0, "batch must contain at least one vector");
+        let cols = schedule.cols();
+        assert_eq!(
+            b.len(),
+            cols * batch,
+            "panel must hold batch × cols values (column-major)"
+        );
+
+        let backend = self.backend();
+        let rb = backend.reg_block();
+        let rows = schedule.rows();
+        let mut y = vec![0.0f32; rows * batch];
+        let workers = self.batch_workers(batch.div_ceil(rb));
+        // Per-tile staging decisions, mirroring [`Gust::execute_batch_banded`]:
+        // a single-band tile takes the unbanded per-window path with the
+        // same staging heuristics. The whole-panel interleave those
+        // unstaged windows read depends only on the register block, not
+        // the tile, so it is hoisted out of the tile loop — one
+        // transpose per block shared by every tile, exactly the
+        // amortization the untiled walk gets (multi-band tiles use a
+        // separate band-slice buffer and cannot clobber it).
+        let tile_flags: Vec<(Vec<bool>, bool)> = schedule
+            .tiles()
+            .iter()
+            .map(|tile| {
+                let single_band = tile.bands().count() == 1;
+                let flags: Vec<bool> = tile
+                    .windows()
+                    .iter()
+                    .map(|w| single_band && window_staged(w.window(), cols, rb.min(batch)))
+                    .collect();
+                let reads_panel = single_band
+                    && tile
+                        .windows()
+                        .iter()
+                        .zip(&flags)
+                        .any(|(w, &staged)| w.nnz() > 0 && !staged);
+                (flags, reads_panel)
+            })
+            .collect();
+        let needs_panel = tile_flags.iter().any(|&(_, reads)| reads);
+
+        run_blocks(
+            workers,
+            &mut y,
+            rows,
+            rb,
+            batch,
+            |j0, bb, y_block, scratch| {
+                if needs_panel {
+                    scratch.xb.resize(cols * bb, 0.0);
+                    kernels::interleave_panel(b, cols, j0, bb, &mut scratch.xb);
+                }
+                for (t, tile) in schedule.tiles().iter().enumerate() {
+                    let (flags, reads_panel) = &tile_flags[t];
+                    run_block_banded(
+                        backend,
+                        tile,
+                        b,
+                        j0,
+                        bb,
+                        flags,
+                        if *reads_panel {
+                            PanelSource::Ready
+                        } else {
+                            PanelSource::Unused
+                        },
+                        schedule.tile_range(t).start,
+                        rows,
+                        y_block,
+                        scratch,
+                    );
+                }
+            },
+        );
+
+        (y, self.tiled_report(schedule, batch as u64))
     }
 
     /// Worker threads for a batched run over `blocks` register blocks
@@ -623,6 +776,20 @@ impl Gust {
     /// derivation, with the banded color total (`Σ` over windows *and*
     /// bands — banding trades modeled cycles for host locality).
     fn banded_report(&self, schedule: &BandedSchedule, batch: u64) -> ExecutionReport {
+        self.report_from_counts(
+            schedule.total_colors(),
+            schedule.total_stalls(),
+            schedule.nnz() as u64,
+            schedule.rows() as u64,
+            schedule.cols() as u64,
+            batch,
+        )
+    }
+
+    /// The tiled counterpart of [`Gust::analytic_report`]: identical
+    /// derivation over the tile × window × band color total (tiling, like
+    /// banding, trades modeled cycles for host locality).
+    fn tiled_report(&self, schedule: &TiledSchedule, batch: u64) -> ExecutionReport {
         self.report_from_counts(
             schedule.total_colors(),
             schedule.total_stalls(),
@@ -707,8 +874,13 @@ impl Gust {
 #[derive(Debug, Default)]
 struct BlockScratch {
     /// `xb[col * bb + j]` = panel value of column `col`, RHS `j0 + j`
-    /// (only filled when some window skips staging).
+    /// (only filled when some window skips staging). The tiled walk
+    /// fills it once per register block and shares it across tiles.
     xb: Vec<f32>,
+    /// Per-band operand slice of the multi-band walks (kept separate
+    /// from `xb` so a multi-band tile cannot clobber the shared
+    /// whole-panel interleave of its sibling tiles).
+    band_xb: Vec<f32>,
     /// `stage[i * bb + j]` = panel value of the window's i-th distinct
     /// column, RHS `j0 + j` (staged windows).
     stage: Vec<f32>,
@@ -728,11 +900,97 @@ impl BlockScratch {
     /// Called after each pool task; contents never carry meaning between
     /// tasks, only capacity.
     fn trim(&mut self) {
-        for buf in [&mut self.xb, &mut self.stage, &mut self.acc] {
+        for buf in [
+            &mut self.xb,
+            &mut self.band_xb,
+            &mut self.stage,
+            &mut self.acc,
+        ] {
             if buf.capacity() > Self::MAX_RETAINED {
                 buf.clear();
                 buf.shrink_to(Self::MAX_RETAINED);
             }
+        }
+    }
+}
+
+/// The single-vector banded band sweep: walks `schedule` (a whole
+/// matrix's banded schedule, or one tile of a [`TiledSchedule`]) against
+/// `x`, writing the permuted outputs into `y` (`schedule.rows()` long —
+/// for a tile, the tile's slice of the full output). Bands outer,
+/// windows inner, every window's adders carrying partial sums across
+/// bands; per adder the product order is the merged window's slot order,
+/// which keeps the output bit-identical to the unbanded engine on
+/// [`BandedSchedule::to_unbanded`] (see [`crate::schedule::banded`]).
+fn banded_walk_single(backend: Backend, schedule: &BandedSchedule, x: &[f32], y: &mut [f32]) {
+    let l = schedule.length();
+    let window_count = schedule.windows().len();
+    debug_assert_eq!(y.len(), schedule.rows());
+    let row_perm = schedule.row_perm();
+
+    if schedule.bands().count() == 1 {
+        // Single band (cache-resident shapes under the auto budget):
+        // banding is vacuous, so take the unbanded [`Gust::execute`]
+        // shape — one hot adder bank reused across windows, dump as
+        // each window finishes, and the same per-window staging
+        // decisions. Staging copies values and the per-window slot
+        // order is unchanged, so the output stays bit-identical to
+        // the multi-band walk.
+        let mut adders = vec![0.0f32; l];
+        let mut stage: Vec<f32> = Vec::new();
+        for (w, banded) in schedule.windows().iter().enumerate() {
+            let window = banded.window();
+            let active = schedule.window_rows(w);
+            adders[..active].fill(0.0);
+            let (idx, operands): (&[u32], &[f32]) = if window_staged(window, x.len(), 1) {
+                stage.resize(window.gather_cols().len(), 0.0);
+                kernels::gather(backend, x, window.gather_cols(), &mut stage);
+                (window.local_cols(), &stage)
+            } else {
+                (window.cols(), x)
+            };
+            kernels::window_walk(
+                backend,
+                window.values(),
+                idx,
+                window.row_mods(),
+                operands,
+                &mut adders,
+            );
+            let base = w * l;
+            for (i, &acc) in adders[..active].iter().enumerate() {
+                y[row_perm[base + i] as usize] = acc;
+            }
+        }
+        return;
+    }
+
+    // One adder bank per window, all carried across the band sweep.
+    let mut adders = vec![0.0f32; window_count * l];
+    for b in 0..schedule.bands().count() {
+        let range = schedule.bands().range(b);
+        let xs = &x[range.start as usize..range.end as usize];
+        for (w, window) in schedule.windows().iter().enumerate() {
+            let slots = window.band_slots(b);
+            if slots.is_empty() {
+                continue;
+            }
+            kernels::window_walk(
+                backend,
+                &window.window().values()[slots.clone()],
+                &window.local_cols()[slots.clone()],
+                &window.window().row_mods()[slots],
+                xs,
+                &mut adders[w * l..(w + 1) * l],
+            );
+        }
+    }
+
+    for w in 0..window_count {
+        let active = schedule.window_rows(w);
+        let base = w * l;
+        for (i, &acc) in adders[base..base + active].iter().enumerate() {
+            y[row_perm[base + i] as usize] = acc;
         }
     }
 }
@@ -805,12 +1063,14 @@ fn run_block(
         // Dump the active lanes through the row permutation into each
         // output column.
         let base = w * l;
-        for (i, acc_row) in scratch.acc[..active * bb].chunks_exact(bb).enumerate() {
-            let orig = row_perm[base + i] as usize;
-            for (j, &v) in acc_row.iter().enumerate() {
-                y_block[j * rows + orig] = v;
-            }
-        }
+        kernels::scatter_panel(
+            &scratch.acc[..active * bb],
+            &row_perm[base..base + active],
+            0,
+            rows,
+            bb,
+            y_block,
+        );
     }
 }
 
@@ -824,6 +1084,10 @@ fn run_block(
 /// accumulation order equals the merged window's slot order, which keeps
 /// the output bit-identical to [`run_block`] on
 /// [`BandedSchedule::to_unbanded`].
+///
+/// `schedule` may be one tile of a [`TiledSchedule`]: `row0` rebases the
+/// tile-local row permutation into the `rows_total`-row output block
+/// (0 and `schedule.rows()` for an untiled banded schedule).
 #[allow(clippy::too_many_arguments)]
 fn run_block_banded(
     backend: Backend,
@@ -832,12 +1096,13 @@ fn run_block_banded(
     j0: usize,
     bb: usize,
     stage_flags: &[bool],
-    needs_interleave: bool,
+    panel: PanelSource,
+    row0: usize,
+    rows_total: usize,
     y_block: &mut [f32],
     scratch: &mut BlockScratch,
 ) {
     let cols = schedule.cols();
-    let rows = schedule.rows();
     let l = schedule.length();
     let window_count = schedule.windows().len();
     let row_perm = schedule.row_perm();
@@ -849,7 +1114,7 @@ fn run_block_banded(
     // unchanged and staging copies values, so the output stays
     // bit-identical to the multi-band walk.
     if schedule.bands().count() == 1 {
-        if needs_interleave {
+        if panel == PanelSource::Interleave {
             scratch.xb.resize(cols * bb, 0.0);
             kernels::interleave_panel_band(b, cols, 0, cols, j0, bb, &mut scratch.xb);
         }
@@ -883,12 +1148,14 @@ fn run_block_banded(
                 bb,
             );
             let base = w * l;
-            for (i, acc_row) in scratch.acc[..active * bb].chunks_exact(bb).enumerate() {
-                let orig = row_perm[base + i] as usize;
-                for (j, &v) in acc_row.iter().enumerate() {
-                    y_block[j * rows + orig] = v;
-                }
-            }
+            kernels::scatter_panel(
+                &scratch.acc[..active * bb],
+                &row_perm[base..base + active],
+                row0,
+                rows_total,
+                bb,
+                y_block,
+            );
         }
         return;
     }
@@ -905,8 +1172,8 @@ fn run_block_banded(
         if width == 0 {
             continue;
         }
-        scratch.xb.resize(width * bb, 0.0);
-        kernels::interleave_panel_band(b, cols, col0, width, j0, bb, &mut scratch.xb);
+        scratch.band_xb.resize(width * bb, 0.0);
+        kernels::interleave_panel_band(b, cols, col0, width, j0, bb, &mut scratch.band_xb);
         for (w, window) in schedule.windows().iter().enumerate() {
             let slots = window.band_slots(band);
             if slots.is_empty() {
@@ -917,7 +1184,7 @@ fn run_block_banded(
                 &window.window().values()[slots.clone()],
                 &window.local_cols()[slots.clone()],
                 &window.window().row_mods()[slots],
-                &scratch.xb,
+                &scratch.band_xb,
                 &mut scratch.acc[w * l * bb..(w + 1) * l * bb],
                 bb,
             );
@@ -929,13 +1196,14 @@ fn run_block_banded(
     for w in 0..window_count {
         let active = schedule.window_rows(w);
         let base = w * l;
-        let bank = &scratch.acc[base * bb..(base + active) * bb];
-        for (i, acc_row) in bank.chunks_exact(bb).enumerate() {
-            let orig = row_perm[base + i] as usize;
-            for (j, &v) in acc_row.iter().enumerate() {
-                y_block[j * rows + orig] = v;
-            }
-        }
+        kernels::scatter_panel(
+            &scratch.acc[base * bb..(base + active) * bb],
+            &row_perm[base..base + active],
+            row0,
+            rows_total,
+            bb,
+            y_block,
+        );
     }
 }
 
@@ -1291,6 +1559,14 @@ mod tests {
         let banded = gust.schedule_banded(&m);
         let (y, _) = gust.execute_batch_banded(&banded, &[1.0; 40], 8);
         assert_eq!(y, Vec::<f32>::new());
+        let tiled = gust.schedule_tiled(&m);
+        assert_eq!(tiled.tile_count(), 1);
+        assert_eq!(
+            gust.execute_tiled(&tiled, &[1.0; 5]).output,
+            Vec::<f32>::new()
+        );
+        let (y, _) = gust.execute_batch_tiled(&tiled, &[1.0; 40], 8);
+        assert_eq!(y, Vec::<f32>::new());
     }
 
     #[test]
@@ -1358,6 +1634,112 @@ mod tests {
         let (par, par_report) = threaded.execute_batch_banded(&schedule, &panel, batch);
         assert_eq!(seq, par, "pool fan-out must not change a single bit");
         assert_eq!(seq_report, par_report);
+    }
+
+    #[test]
+    fn single_tile_schedule_is_the_banded_schedule() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::power_law(60, 60, 500, 1.8, 41));
+        let x = random_x(60, 13);
+        let gust = Gust::new(GustConfig::new(8));
+        let scheduler = Scheduler::new(gust.config().clone());
+        let bands = ColumnBands::with_count(60, 3);
+        let tiled = scheduler.schedule_tiled_with(&m, 1, bands.clone());
+        let banded = scheduler.schedule_banded_with(&m, bands);
+        assert_eq!(tiled.tile_count(), 1);
+        assert_eq!(
+            &tiled.tiles()[0],
+            &banded,
+            "one tile IS the banded schedule"
+        );
+        let from_tiled = gust.execute_tiled(&tiled, &x);
+        let from_banded = gust.execute_banded(&banded, &x);
+        assert_eq!(from_tiled.output, from_banded.output);
+        assert_eq!(from_tiled.report, from_banded.report);
+        let panel = random_panel(60, 17, 5);
+        assert_eq!(
+            gust.execute_batch_tiled(&tiled, &panel, 17),
+            gust.execute_batch_banded(&banded, &panel, 17)
+        );
+        // The auto path under all-covering budgets also degenerates to
+        // one tile of one band — the flat schedule, banded-walked.
+        let generous = Gust::new(
+            GustConfig::new(8)
+                .with_cache_budget(Some(1 << 30))
+                .with_row_budget(Some(1 << 30)),
+        );
+        let auto = generous.schedule_tiled(&m);
+        assert_eq!(auto.tile_count(), 1);
+        assert_eq!(auto.tiles()[0].bands().count(), 1);
+        assert_eq!(auto.tiles()[0].to_unbanded(), generous.schedule(&m));
+    }
+
+    #[test]
+    fn tiled_execution_is_bit_identical_to_per_tile_unbanded_walks() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::uniform(50, 64, 450, 27));
+        let x = random_x(64, 19);
+        let gust = Gust::new(GustConfig::new(8).with_parallelism(Some(1)));
+        for tiles in [1usize, 3] {
+            let tiled = Scheduler::new(gust.config().clone()).schedule_tiled_with(
+                &m,
+                tiles,
+                ColumnBands::with_count(64, 5),
+            );
+            let run = gust.execute_tiled(&tiled, &x);
+            for (t, tile) in tiled.tiles().iter().enumerate() {
+                let flat = gust.execute(&tile.to_unbanded(), &x);
+                assert_eq!(
+                    &run.output[tiled.tile_range(t)],
+                    flat.output.as_slice(),
+                    "{tiles} tiles: tile {t} diverged from its flattened schedule"
+                );
+            }
+            assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-4);
+        }
+    }
+
+    #[test]
+    fn tiled_batch_is_identical_across_worker_counts() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::power_law(64, 64, 600, 1.9, 37));
+        let batch = 19usize; // 3 blocks: 8 + 8 + 3
+        let panel = random_panel(64, batch, 23);
+        let sequential = Gust::new(GustConfig::new(8).with_parallelism(Some(1)));
+        let threaded = Gust::new(GustConfig::new(8).with_parallelism(Some(4)));
+        let schedule = Scheduler::new(sequential.config().clone()).schedule_tiled_with(
+            &m,
+            3,
+            ColumnBands::with_count(64, 2),
+        );
+        let (seq, seq_report) = sequential.execute_batch_tiled(&schedule, &panel, batch);
+        let (par, par_report) = threaded.execute_batch_tiled(&schedule, &panel, batch);
+        assert_eq!(seq, par, "pool fan-out must not change a single bit");
+        assert_eq!(seq_report, par_report);
+    }
+
+    #[test]
+    fn auto_tiled_schedule_respects_the_row_budget() {
+        // 64 rows at l = 4 under a 64-byte single-vector row budget:
+        // 64 B / 4 B = 16 rows per tile (already a multiple of l), so
+        // the 64-row matrix splits into 4 tiles.
+        let m = CsrMatrix::from(&gen::uniform(64, 32, 300, 15));
+        let gust = Gust::new(
+            GustConfig::new(4)
+                .with_row_budget(Some(64))
+                .with_cache_budget(Some(1 << 20)),
+        );
+        let tiled = gust.schedule_tiled(&m);
+        assert_eq!(tiled.tile_count(), 4);
+        for t in 0..4 {
+            assert_eq!(tiled.tile_range(t).len(), 16);
+        }
+        let x = random_x(32, 3);
+        assert_vectors_close(
+            &gust.execute_tiled(&tiled, &x).output,
+            &reference_spmv(&m, &x),
+            1e-4,
+        );
     }
 
     #[test]

@@ -238,6 +238,42 @@ pub(crate) fn stage_panel(
     }
 }
 
+/// Dumps one window's active accumulator rows into the column-major
+/// output block through the row permutation:
+/// `y_block[j·rows_total + row0 + row_perm[i]] = acc[i·bb + j]` for every
+/// active local row `i` and right-hand side `j < bb`.
+///
+/// `row_perm` is the window's slice of the schedule's permutation
+/// (tile-local for 2D tiled schedules — `row0` rebases it to the global
+/// output rows; 0 for untiled walks). A copy, exact under every backend;
+/// one body serves the flat, banded and tiled batch walks so the dump
+/// cannot drift between them.
+///
+/// # Panics
+///
+/// Panics if `acc` is not `row_perm.len()·bb` long or a permuted row
+/// falls outside a `rows_total`-row output column.
+pub(crate) fn scatter_panel(
+    acc: &[f32],
+    row_perm: &[u32],
+    row0: usize,
+    rows_total: usize,
+    bb: usize,
+    y_block: &mut [f32],
+) {
+    assert_eq!(
+        acc.len(),
+        row_perm.len() * bb,
+        "accumulator block length mismatch"
+    );
+    for (acc_row, &perm) in acc.chunks_exact(bb).zip(row_perm) {
+        let orig = row0 + perm as usize;
+        for (j, &v) in acc_row.iter().enumerate() {
+            y_block[j * rows_total + orig] = v;
+        }
+    }
+}
+
 /// The PR 2 single-vector inner loop, verbatim: four independent
 /// multiply-gathers per step, scatter adds in slot order.
 fn window_walk_scalar(
@@ -588,6 +624,22 @@ mod tests {
             interleave_panel_band(&b, cols, col0, width, 1, bb, &mut band);
             assert_eq!(band, whole[col0 * bb..(col0 + width) * bb]);
         }
+    }
+
+    #[test]
+    fn scatter_panel_places_rows_through_the_permutation() {
+        let bb = 3;
+        let rows_total = 10;
+        let acc: Vec<f32> = (0..2 * bb).map(|i| i as f32).collect();
+        let row_perm = [4u32, 1];
+        let mut y = vec![-1.0f32; rows_total * bb];
+        scatter_panel(&acc, &row_perm, 3, rows_total, bb, &mut y);
+        for j in 0..bb {
+            assert_eq!(y[j * rows_total + 7], acc[j], "local row 0 → row 7");
+            assert_eq!(y[j * rows_total + 4], acc[bb + j], "local row 1 → row 4");
+        }
+        // Exactly 2·bb cells written.
+        assert_eq!(y.iter().filter(|&&v| v != -1.0).count(), 2 * bb);
     }
 
     #[test]

@@ -65,8 +65,9 @@ pub use config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
 pub use engine::{Gust, GustRun};
 pub use kernels::Backend;
 pub use parallel::Pool;
-pub use schedule::banded::{BandedSchedule, BandedWindow, ColumnBands};
+pub use schedule::banded::{BandPlan, BandedSchedule, BandedWindow, ColumnBands};
 pub use schedule::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
+pub use schedule::tiled::TiledSchedule;
 
 /// Common imports for working with this crate.
 pub mod prelude {
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::kernels::Backend;
     pub use crate::parallel::{ParallelGust, Pool};
     pub use crate::pipeline::EndToEnd;
-    pub use crate::schedule::banded::{BandedSchedule, BandedWindow, ColumnBands};
+    pub use crate::schedule::banded::{BandPlan, BandedSchedule, BandedWindow, ColumnBands};
     pub use crate::schedule::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
+    pub use crate::schedule::tiled::TiledSchedule;
 }

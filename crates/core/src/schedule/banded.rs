@@ -55,19 +55,28 @@ pub struct ColumnBands {
 }
 
 impl ColumnBands {
-    /// Partitions `cols` columns so that one band's *batched* operand
-    /// slice — `band_cols × reg_block` f32 values — fits in
-    /// `budget_bytes`. The single-vector slice is `reg_block×` smaller,
-    /// so it always fits too.
+    /// Partitions `cols` columns so that one band's operand slice at the
+    /// **effective batch width** — `band_cols × batch` f32 values — fits
+    /// in `budget_bytes`.
+    ///
+    /// `batch` is the number of right-hand sides a band walk streams per
+    /// pass: **1** for single-vector [`crate::Gust::execute`] walks, the
+    /// backend's register block (or the batch size, whichever is
+    /// smaller) for [`crate::Gust::execute_batch`]. Earlier revisions
+    /// always divided the budget by the register block, which handed
+    /// single-vector walks bands `reg_block×` narrower than the budget
+    /// allows and cost ~35 % to accumulator re-streaming on uniform
+    /// LLC-exceeding shapes — sizing is now a per-call decision threaded
+    /// from the scheduling entry points.
     ///
     /// # Panics
     ///
-    /// Panics if `budget_bytes` or `reg_block` is zero.
+    /// Panics if `budget_bytes` or `batch` is zero.
     #[must_use]
-    pub fn for_budget(cols: usize, budget_bytes: usize, reg_block: usize) -> Self {
+    pub fn for_budget(cols: usize, budget_bytes: usize, batch: usize) -> Self {
         assert!(budget_bytes > 0, "cache budget must be non-zero");
-        assert!(reg_block > 0, "register block must be non-zero");
-        let band_cols = (budget_bytes / (std::mem::size_of::<f32>() * reg_block)).max(1);
+        assert!(batch > 0, "effective batch width must be non-zero");
+        let band_cols = (budget_bytes / (std::mem::size_of::<f32>() * batch)).max(1);
         let count = cols.div_ceil(band_cols).max(1);
         Self::with_count(cols, count)
     }
@@ -132,6 +141,122 @@ impl ColumnBands {
     #[must_use]
     pub fn cols(&self) -> usize {
         *self.starts.last().expect("at least one boundary") as usize
+    }
+}
+
+/// A density-aware band-count decision for one (sub-)matrix.
+///
+/// The cache budget alone gives a **lower** bound on the band count
+/// (narrower bands keep a band's operand slice resident), but it is not
+/// the whole story: a row with `d` non-zeros touches at most `d`
+/// distinct bands, so once the band count passes the average row degree,
+/// extra bands stop making any gather cheaper while every additional
+/// band re-streams each window's accumulator bank one more time. RACE
+/// (Alappat et al.) makes the same observation for coloring-based SpMV:
+/// the blocking must be chosen per matrix from its structure, not from
+/// the cache geometry alone.
+///
+/// [`BandPlan::choose`] therefore takes the budget-implied count
+/// ([`BandPlan::budget_bands`]) and caps it at the nnz/row density
+/// ([`BandPlan::density_cap`]): per window of `l` rows, a band then
+/// averages at least `l` scheduled slots — one useful multiply–accumulate
+/// per accumulator value the band sweep re-streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandPlan {
+    bands: ColumnBands,
+    budget_bands: usize,
+    density_cap: usize,
+}
+
+impl BandPlan {
+    /// Chooses a band partition for a `rows × cols` matrix with `nnz`
+    /// non-zeros, walked at effective batch width `batch` (1 for
+    /// single-vector walks, the per-block panel width for batched ones)
+    /// under a cache budget of `budget_bytes`.
+    ///
+    /// The count is the budget-implied band count capped at the average
+    /// row degree (and always within `1..=max(cols, 1)`); degenerate
+    /// shapes (`cols == 0`, empty matrices, budgets below one column
+    /// slice) all resolve to a valid partition rather than panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_bytes` or `batch` is zero.
+    #[must_use]
+    pub fn choose(rows: usize, cols: usize, nnz: usize, batch: usize, budget_bytes: usize) -> Self {
+        assert!(budget_bytes > 0, "cache budget must be non-zero");
+        assert!(batch > 0, "effective batch width must be non-zero");
+        let band_cols = (budget_bytes / (std::mem::size_of::<f32>() * batch)).max(1);
+        let budget_bands = cols.div_ceil(band_cols).max(1);
+        let density_cap = (nnz / rows.max(1)).max(1);
+        let count = budget_bands.min(density_cap).min(cols.max(1)).max(1);
+        Self {
+            bands: ColumnBands::with_count(cols, count),
+            budget_bands,
+            density_cap,
+        }
+    }
+
+    /// As [`BandPlan::choose`], for one **row tile** of a 2D tiled
+    /// schedule: additionally caps the band count at the tile's
+    /// per-column gather count, `max(1, nnz / cols)`.
+    ///
+    /// The extra cap matters because a tile walks only a slice of the
+    /// matrix: banding pays when the *tile itself* re-gathers a band's
+    /// columns, and a hyper-sparse tile (fewer non-zeros than columns)
+    /// touches each operand at most about once — its band sweeps would
+    /// re-stream band-sized operand slices per tile with no reuse to
+    /// show for it. The untiled [`BandPlan::choose`] deliberately skips
+    /// this cap: a whole-matrix band sweep amortizes each band slice
+    /// across every window of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_bytes` or `batch` is zero.
+    #[must_use]
+    pub fn choose_for_tile(
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+        batch: usize,
+        budget_bytes: usize,
+    ) -> Self {
+        let mut plan = Self::choose(rows, cols, nnz, batch, budget_bytes);
+        let reuse_cap = (nnz / cols.max(1)).max(1);
+        if plan.count() > reuse_cap {
+            plan.bands = ColumnBands::with_count(cols, reuse_cap.min(cols.max(1)));
+        }
+        plan
+    }
+
+    /// The chosen partition.
+    #[must_use]
+    pub fn bands(&self) -> &ColumnBands {
+        &self.bands
+    }
+
+    /// Consumes the plan, yielding the partition.
+    #[must_use]
+    pub fn into_bands(self) -> ColumnBands {
+        self.bands
+    }
+
+    /// Bands chosen (equals `self.bands().count()`).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.bands.count()
+    }
+
+    /// The band count the cache budget alone would have demanded.
+    #[must_use]
+    pub fn budget_bands(&self) -> usize {
+        self.budget_bands
+    }
+
+    /// The nnz/row density cap applied to [`BandPlan::budget_bands`].
+    #[must_use]
+    pub fn density_cap(&self) -> usize {
+        self.density_cap
     }
 }
 
@@ -487,5 +612,97 @@ mod tests {
     #[should_panic(expected = "non-empty bands")]
     fn more_bands_than_columns_panics() {
         let _ = ColumnBands::with_count(3, 4);
+    }
+
+    #[test]
+    fn for_budget_takes_the_effective_batch_width() {
+        // Single-vector sizing (batch = 1) must not divide the budget by
+        // the register block: 1 KiB covers 256 single-vector columns but
+        // only 32 batched ones.
+        let single = ColumnBands::for_budget(1000, 1024, 1);
+        let batched = ColumnBands::for_budget(1000, 1024, 8);
+        assert_eq!(single.count(), 4); // ceil(1000 / 256)
+        assert_eq!(batched.count(), 32); // ceil(1000 / 32)
+        assert!(single.count() <= batched.count());
+    }
+
+    #[test]
+    fn for_budget_handles_degenerate_budgets() {
+        // A budget smaller than one column slice degenerates to one
+        // column per band, never zero-width bands.
+        let bands = ColumnBands::for_budget(5, 1, 8);
+        assert_eq!(bands.count(), 5);
+        for b in 0..bands.count() {
+            assert_eq!(bands.range(b).len(), 1);
+        }
+        assert_eq!(ColumnBands::for_budget(0, 1, 8).count(), 1);
+    }
+
+    #[test]
+    fn band_plan_caps_the_band_count_at_the_row_density() {
+        // 1024 rows × 4096 cols × 8 nnz/row under a budget that would
+        // demand 64 batched bands: the density cap wins at 8.
+        let plan = BandPlan::choose(1024, 4096, 8 * 1024, 8, 4096 * 4 * 8 / 64);
+        assert_eq!(plan.budget_bands(), 64);
+        assert_eq!(plan.density_cap(), 8);
+        assert_eq!(plan.count(), 8);
+        // A generous budget keeps one band regardless of density.
+        assert_eq!(
+            BandPlan::choose(1024, 4096, 8 * 1024, 8, 1 << 30).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn band_plan_handles_degenerate_shapes() {
+        // cols == 0: one empty band.
+        let plan = BandPlan::choose(10, 0, 0, 8, 1024);
+        assert_eq!(plan.count(), 1);
+        assert_eq!(plan.bands().cols(), 0);
+        // Empty matrix: density cap clamps to one band.
+        assert_eq!(BandPlan::choose(0, 64, 0, 1, 1024).count(), 1);
+        // Budget below one column slice: never more bands than columns
+        // (with_count would panic otherwise), still density-capped.
+        let tiny = BandPlan::choose(2, 7, 1000, 8, 1);
+        assert!(tiny.count() <= 7);
+        assert_eq!(tiny.bands().cols(), 7);
+    }
+
+    #[test]
+    fn tile_plans_cap_bands_at_the_per_column_gather_count() {
+        // A hyper-sparse tile (fewer non-zeros than columns) gains
+        // nothing from bands: one band, regardless of what the budget
+        // would demand.
+        let tile = BandPlan::choose_for_tile(32 * 1024, 1 << 20, 6 * 32 * 1024, 8, 1 << 20);
+        assert_eq!(tile.count(), 1);
+        // The same shape untiled keeps its density-capped budget count.
+        let whole = BandPlan::choose(32 * 1024, 1 << 20, 6 * 32 * 1024, 8, 1 << 20);
+        assert!(whole.count() > 1);
+        // A dense tile keeps the ordinary plan.
+        let dense = BandPlan::choose_for_tile(1024, 512, 64 * 1024, 8, 1024);
+        assert_eq!(
+            dense.count(),
+            BandPlan::choose(1024, 512, 64 * 1024, 8, 1024).count()
+        );
+        // Degenerate columns stay valid.
+        assert_eq!(BandPlan::choose_for_tile(10, 0, 0, 8, 1024).count(), 1);
+    }
+
+    #[test]
+    fn band_plan_single_vector_needs_no_more_bands_than_batched() {
+        // The PR 4 mis-sizing pinned: for the same budget, the
+        // single-vector plan must never be finer than the batched plan.
+        for (rows, cols, nnz) in [(512usize, 4096usize, 32 * 512usize), (64, 100, 6400)] {
+            for budget in [256usize, 4096, 1 << 20] {
+                let single = BandPlan::choose(rows, cols, nnz, 1, budget);
+                let batched = BandPlan::choose(rows, cols, nnz, 8, budget);
+                assert!(
+                    single.count() <= batched.count(),
+                    "{rows}x{cols}/{nnz} at {budget}: single {} > batched {}",
+                    single.count(),
+                    batched.count()
+                );
+            }
+        }
     }
 }

@@ -28,7 +28,13 @@
 //! [`Scheduler::schedule_banded`] additionally composes the coloring
 //! with cache-aware column blocking (see [`banded`]): each window × band
 //! sub-graph is colored independently so the execution engine can walk
-//! one cache-resident operand slice at a time.
+//! one cache-resident operand slice at a time — with the band count
+//! chosen per call by the density-aware [`banded::BandPlan`] (batch
+//! width 1 for single-vector walks, the register block for batched
+//! ones). [`Scheduler::schedule_tiled`] adds the second blocking
+//! dimension (see [`tiled`]): rows split into budget-sized tiles, each
+//! tile's sub-matrix scheduled as an independent banded matrix so the
+//! output side stays cache-resident too.
 
 pub mod banded;
 pub mod edge_coloring;
@@ -37,15 +43,17 @@ pub mod naive;
 pub mod scheduled;
 pub mod serialize;
 pub mod stats;
+pub mod tiled;
 pub mod windows;
 pub mod workspace;
 
 use crate::config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
 use crate::parallel::Pool;
-use banded::{BandedSchedule, BandedWindow, ColumnBands};
+use banded::{BandPlan, BandedSchedule, BandedWindow, ColumnBands};
 use gust_sparse::CsrMatrix;
 use scheduled::{ScheduledMatrix, WindowSchedule};
 use std::sync::{Mutex, OnceLock};
+use tiled::TiledSchedule;
 use windows::WindowPlan;
 use workspace::ColoringWorkspace;
 
@@ -108,20 +116,48 @@ impl Scheduler {
     }
 
     /// Schedules `matrix` with cache-blocked column bands (see
-    /// [`banded`]): columns are partitioned by
-    /// [`GustConfig::effective_cache_budget`] (and the backend's register
-    /// block, so a band's *batched* operand slice fits the budget), each
-    /// window × band sub-graph is colored independently, and the result
-    /// executes via [`crate::Gust::execute_banded`] /
-    /// [`crate::Gust::execute_batch_banded`]. With a budget that covers
-    /// the whole operand vector this degenerates to a single band and the
+    /// [`banded`]) sized for **single-vector** execution: the density-aware
+    /// [`BandPlan::choose`] picks the band count from
+    /// [`GustConfig::effective_cache_budget`] at batch width 1 — a band's
+    /// single-vector operand slice fits the budget — capped at the
+    /// matrix's nnz/row density so sparse rows don't pay accumulator
+    /// re-streaming. The result executes via
+    /// [`crate::Gust::execute_banded`]. With a budget that covers the
+    /// whole operand vector this degenerates to a single band and the
     /// exact schedule [`Scheduler::schedule`] produces.
+    ///
+    /// Schedules meant for [`crate::Gust::execute_batch_banded`] should
+    /// come from [`Scheduler::schedule_banded_for_batch`] instead: a
+    /// batched walk streams a register block of operands per band, so its
+    /// bands must be narrower for the slice to stay resident. (Earlier
+    /// revisions always sized for the batched slice, which handed
+    /// single-vector walks bands `reg_block×` narrower than the budget
+    /// allows.)
     #[must_use]
     pub fn schedule_banded(&self, matrix: &CsrMatrix) -> BandedSchedule {
-        let budget = self.config.effective_cache_budget();
-        let reg_block = self.config.effective_backend().reg_block();
-        let bands = ColumnBands::for_budget(matrix.cols(), budget, reg_block);
-        self.schedule_banded_with(matrix, bands)
+        self.schedule_banded_for_batch(matrix, 1)
+    }
+
+    /// As [`Scheduler::schedule_banded`], sized for batched execution of
+    /// `batch` right-hand sides: the effective width is
+    /// `min(batch, reg_block)` — one register block's band slice
+    /// (`band_cols × width × 4` bytes) fits the cache budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn schedule_banded_for_batch(&self, matrix: &CsrMatrix, batch: usize) -> BandedSchedule {
+        assert!(batch > 0, "batch must contain at least one vector");
+        let width = batch.min(self.config.effective_backend().reg_block());
+        let plan = BandPlan::choose(
+            matrix.rows(),
+            matrix.cols(),
+            matrix.nnz(),
+            width,
+            self.config.effective_cache_budget(),
+        );
+        self.schedule_banded_with(matrix, plan.into_bands())
     }
 
     /// As [`Scheduler::schedule_banded`], with an explicit band
@@ -154,6 +190,104 @@ impl Scheduler {
             plan.row_perm().to_vec(),
             bands,
             windows,
+        )
+    }
+
+    /// Schedules `matrix` with 2D row×column tiles (see [`tiled`]) sized
+    /// for **single-vector** execution: rows are partitioned by
+    /// [`GustConfig::effective_row_budget`] (tile output slices stay
+    /// cache-resident, tiles aligned to the accelerator length), and each
+    /// tile's sub-matrix is scheduled as an independent banded matrix
+    /// with its own density-aware [`BandPlan`]. Executes via
+    /// [`crate::Gust::execute_tiled`] /
+    /// [`crate::Gust::execute_batch_tiled`]. With budgets covering both
+    /// vectors this degenerates to one tile of one band — the exact
+    /// [`Scheduler::schedule`] output, banded-walked.
+    #[must_use]
+    pub fn schedule_tiled(&self, matrix: &CsrMatrix) -> TiledSchedule {
+        self.schedule_tiled_for_batch(matrix, 1)
+    }
+
+    /// As [`Scheduler::schedule_tiled`], sized for batched execution of
+    /// `batch` right-hand sides (both budgets divide by the effective
+    /// width `min(batch, reg_block)` — accumulator panels and operand
+    /// slices scale with the register block alike).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn schedule_tiled_for_batch(&self, matrix: &CsrMatrix, batch: usize) -> TiledSchedule {
+        assert!(batch > 0, "batch must contain at least one vector");
+        let width = batch.min(self.config.effective_backend().reg_block());
+        let cache_budget = self.config.effective_cache_budget();
+        let row_starts = tiled::row_tile_starts_for_budget(
+            matrix.rows(),
+            self.config.length(),
+            width,
+            self.config.effective_row_budget(),
+        );
+        let tiles = row_starts
+            .windows(2)
+            .map(|w| {
+                let sub = matrix.row_slice(w[0] as usize..w[1] as usize);
+                // Band count from the *tile's* structure: row density
+                // and per-column gather count are tile-local (a
+                // hyper-sparse tile gains nothing from bands — see
+                // [`BandPlan::choose_for_tile`]).
+                let plan = BandPlan::choose_for_tile(
+                    sub.rows(),
+                    sub.cols(),
+                    sub.nnz(),
+                    width,
+                    cache_budget,
+                );
+                self.schedule_banded_with(&sub, plan.into_bands())
+            })
+            .collect();
+        TiledSchedule::from_parts(
+            self.config.length(),
+            matrix.rows(),
+            matrix.cols(),
+            row_starts,
+            tiles,
+        )
+    }
+
+    /// As [`Scheduler::schedule_tiled`], with an explicit row-tile count
+    /// and a shared band partition (tests and tuning sweeps): rows split
+    /// into `row_tiles` near-equal tiles, every tile banded by `bands`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_tiles` is zero or exceeds `max(rows, 1)`, or if
+    /// `bands` does not cover exactly `matrix.cols()` columns.
+    #[must_use]
+    pub fn schedule_tiled_with(
+        &self,
+        matrix: &CsrMatrix,
+        row_tiles: usize,
+        bands: ColumnBands,
+    ) -> TiledSchedule {
+        assert_eq!(
+            bands.cols(),
+            matrix.cols(),
+            "band partition must cover the matrix columns"
+        );
+        let row_starts = tiled::row_tile_starts(matrix.rows(), row_tiles);
+        let tiles = row_starts
+            .windows(2)
+            .map(|w| {
+                let sub = matrix.row_slice(w[0] as usize..w[1] as usize);
+                self.schedule_banded_with(&sub, bands.clone())
+            })
+            .collect();
+        TiledSchedule::from_parts(
+            self.config.length(),
+            matrix.rows(),
+            matrix.cols(),
+            row_starts,
+            tiles,
         )
     }
 

@@ -21,12 +21,17 @@
 
 use super::banded::{BandedSchedule, BandedWindow, ColumnBands};
 use super::scheduled::{ScheduledMatrix, WindowSchedule};
+use super::tiled::TiledSchedule;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"GUST";
 /// Banded-schedule container magic: the band partition and per-window
 /// band offsets wrap the same per-window cell grid as the flat format.
 const BANDED_MAGIC: &[u8; 4] = b"GUSB";
+/// Tiled-schedule container magic: row-tile boundaries wrapping one
+/// banded-schedule body (band partition + per-window cell grids + band
+/// offsets) per tile.
+const TILED_MAGIC: &[u8; 4] = b"GUTL";
 const VERSION: u32 = 1;
 
 /// Errors from reading a serialized schedule.
@@ -136,6 +141,14 @@ pub fn write_banded_schedule<W: Write>(schedule: &BandedSchedule, mut writer: W)
     writer.write_all(&(schedule.length() as u32).to_le_bytes())?;
     writer.write_all(&(schedule.rows() as u64).to_le_bytes())?;
     writer.write_all(&(schedule.cols() as u64).to_le_bytes())?;
+    write_banded_body(schedule, &mut writer)
+}
+
+/// Writes the banded payload that follows the shape header: band count,
+/// band boundaries, row permutation, window count, then each window's
+/// cell grid plus its band slot offsets. Shared by the `GUSB` container
+/// and each tile of the `GUTL` container.
+fn write_banded_body<W: Write>(schedule: &BandedSchedule, writer: &mut W) -> io::Result<()> {
     writer.write_all(&(schedule.bands().count() as u64).to_le_bytes())?;
     for &start in schedule.bands().starts() {
         writer.write_all(&start.to_le_bytes())?;
@@ -146,10 +159,42 @@ pub fn write_banded_schedule<W: Write>(schedule: &BandedSchedule, mut writer: W)
     writer.write_all(&(schedule.windows().len() as u64).to_le_bytes())?;
     let l = schedule.length();
     for window in schedule.windows() {
-        write_window(window.window(), l, &mut writer)?;
+        write_window(window.window(), l, writer)?;
         for &ptr in window.band_slot_ptr() {
             writer.write_all(&ptr.to_le_bytes())?;
         }
+    }
+    Ok(())
+}
+
+/// Writes `schedule` — a 2D row×column tiled schedule — to `writer`.
+///
+/// Layout: the shape header with the [`TILED_MAGIC`], the row-tile
+/// boundaries, then one banded body (as in [`write_banded_schedule`])
+/// per tile:
+///
+/// ```text
+/// magic "GUTL" | version u32 | length u32 | rows u64 | cols u64
+/// | tile count u64 | row_starts: (tiles + 1) × u32
+/// | per tile: band count u64, band_starts, row_perm (tile rows × u32),
+///   window count u64, windows (cell grid + band offsets)
+/// ```
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_tiled_schedule<W: Write>(schedule: &TiledSchedule, mut writer: W) -> io::Result<()> {
+    writer.write_all(TILED_MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(schedule.length() as u32).to_le_bytes())?;
+    writer.write_all(&(schedule.rows() as u64).to_le_bytes())?;
+    writer.write_all(&(schedule.cols() as u64).to_le_bytes())?;
+    writer.write_all(&(schedule.tile_count() as u64).to_le_bytes())?;
+    for &start in schedule.row_starts() {
+        writer.write_all(&start.to_le_bytes())?;
+    }
+    for tile in schedule.tiles() {
+        write_banded_body(tile, &mut writer)?;
     }
     Ok(())
 }
@@ -304,6 +349,19 @@ pub fn read_banded_schedule<R: Read>(mut reader: R) -> Result<BandedSchedule, Re
     }
     let rows = read_u64(&mut reader)? as usize;
     let cols = read_u64(&mut reader)? as usize;
+    read_banded_body(&mut reader, length, rows, cols)
+}
+
+/// Reads the banded payload that follows the shape header (see
+/// [`write_banded_body`]), validating the band partition and every
+/// window's band offsets. Shared by the `GUSB` container and each tile
+/// of the `GUTL` container.
+fn read_banded_body<R: Read>(
+    reader: &mut R,
+    length: usize,
+    rows: usize,
+    cols: usize,
+) -> Result<BandedSchedule, ReadScheduleError> {
     // Band boundaries are u32, so a stream claiming more columns than
     // u32 can address is corrupt by construction — reject it before the
     // `cols as u32` comparison below could truncate.
@@ -312,7 +370,7 @@ pub fn read_banded_schedule<R: Read>(mut reader: R) -> Result<BandedSchedule, Re
             "column count {cols} exceeds the u32 band-boundary range"
         )));
     }
-    let band_count = read_u64(&mut reader)? as usize;
+    let band_count = read_u64(reader)? as usize;
     if band_count == 0 {
         return Err(ReadScheduleError::Format("zero bands".into()));
     }
@@ -326,7 +384,7 @@ pub fn read_banded_schedule<R: Read>(mut reader: R) -> Result<BandedSchedule, Re
     }
     let mut band_starts = Vec::with_capacity(band_count + 1);
     for _ in 0..=band_count {
-        band_starts.push(read_u32(&mut reader)?);
+        band_starts.push(read_u32(reader)?);
     }
     if band_starts[0] != 0
         || band_starts.last().copied() != Some(cols as u32)
@@ -337,8 +395,8 @@ pub fn read_banded_schedule<R: Read>(mut reader: R) -> Result<BandedSchedule, Re
         )));
     }
     let bands = ColumnBands::from_starts(band_starts);
-    let row_perm = read_row_perm(&mut reader, rows)?;
-    let window_count = read_u64(&mut reader)? as usize;
+    let row_perm = read_row_perm(reader, rows)?;
+    let window_count = read_u64(reader)? as usize;
     if window_count != rows.div_ceil(length) {
         return Err(ReadScheduleError::Format(format!(
             "window count {window_count} inconsistent with {rows} rows at length {length}"
@@ -346,10 +404,10 @@ pub fn read_banded_schedule<R: Read>(mut reader: R) -> Result<BandedSchedule, Re
     }
     let mut windows = Vec::with_capacity(window_count);
     for _ in 0..window_count {
-        let window = read_window(&mut reader, length, cols)?;
+        let window = read_window(reader, length, cols)?;
         let mut band_slot_ptr = Vec::with_capacity(bands.count() + 1);
         for _ in 0..=bands.count() {
-            band_slot_ptr.push(read_u32(&mut reader)?);
+            band_slot_ptr.push(read_u32(reader)?);
         }
         let banded = BandedWindow::from_merged(window, band_slot_ptr, bands.starts())
             .map_err(ReadScheduleError::Format)?;
@@ -357,6 +415,72 @@ pub fn read_banded_schedule<R: Read>(mut reader: R) -> Result<BandedSchedule, Re
     }
     Ok(BandedSchedule::from_parts(
         length, rows, cols, row_perm, bands, windows,
+    ))
+}
+
+/// Reads a tiled schedule previously written with
+/// [`write_tiled_schedule`].
+///
+/// # Errors
+///
+/// [`ReadScheduleError::Format`] on a bad magic/version, an inconsistent
+/// row-tile partition, or any per-tile banded-body violation;
+/// [`ReadScheduleError::Io`] on reader failure.
+pub fn read_tiled_schedule<R: Read>(mut reader: R) -> Result<TiledSchedule, ReadScheduleError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != TILED_MAGIC {
+        return Err(ReadScheduleError::Format("bad tiled magic".into()));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(ReadScheduleError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let length = read_u32(&mut reader)? as usize;
+    if length == 0 {
+        return Err(ReadScheduleError::Format("zero length".into()));
+    }
+    let rows = read_u64(&mut reader)? as usize;
+    let cols = read_u64(&mut reader)? as usize;
+    // Row-tile boundaries are u32; a row count past that range is
+    // corrupt by construction.
+    if u32::try_from(rows).is_err() {
+        return Err(ReadScheduleError::Format(format!(
+            "row count {rows} exceeds the u32 tile-boundary range"
+        )));
+    }
+    let tile_count = read_u64(&mut reader)? as usize;
+    if tile_count == 0 {
+        return Err(ReadScheduleError::Format("zero tiles".into()));
+    }
+    // Tiles partition the rows, so a count past the row range is corrupt
+    // by construction — reject before trusting it for an allocation.
+    if tile_count > rows.max(1) {
+        return Err(ReadScheduleError::Format(format!(
+            "tile count {tile_count} exceeds {rows} rows"
+        )));
+    }
+    let mut row_starts = Vec::with_capacity(tile_count + 1);
+    for _ in 0..=tile_count {
+        row_starts.push(read_u32(&mut reader)?);
+    }
+    if row_starts[0] != 0
+        || row_starts.last().copied() != Some(rows as u32)
+        || row_starts.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(ReadScheduleError::Format(format!(
+            "row-tile boundaries must ascend from 0 to {rows}"
+        )));
+    }
+    let mut tiles = Vec::with_capacity(tile_count);
+    for t in 0..tile_count {
+        let tile_rows = (row_starts[t + 1] - row_starts[t]) as usize;
+        tiles.push(read_banded_body(&mut reader, length, tile_rows, cols)?);
+    }
+    Ok(TiledSchedule::from_parts(
+        length, rows, cols, row_starts, tiles,
     ))
 }
 
@@ -567,6 +691,75 @@ mod tests {
         let err = read_banded_schedule(buf.as_slice()).unwrap_err();
         assert!(
             err.to_string().contains("outside"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn tiled_schedules_round_trip_exactly() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::power_law(60, 70, 500, 1.9, 33));
+        for (tiles, bands) in [(1usize, 1usize), (1, 3), (3, 2), (5, 7)] {
+            let schedule = Scheduler::new(GustConfig::new(8)).schedule_tiled_with(
+                &m,
+                tiles,
+                ColumnBands::with_count(70, bands),
+            );
+            let mut buf = Vec::new();
+            write_tiled_schedule(&schedule, &mut buf).expect("write to vec");
+            let back = read_tiled_schedule(buf.as_slice()).expect("read own output");
+            assert_eq!(back, schedule, "{tiles} tiles × {bands} bands");
+            // And the round-tripped schedule executes identically.
+            let gust = Gust::new(GustConfig::new(8));
+            let x: Vec<f32> = (0..70).map(|i| (i % 5) as f32 - 2.0).collect();
+            assert_eq!(
+                gust.execute_tiled(&back, &x),
+                gust.execute_tiled(&schedule, &x)
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_reader_rejects_other_containers_and_truncation() {
+        let m = CsrMatrix::from(&gen::uniform(12, 12, 50, 5));
+        let gust = Gust::new(GustConfig::new(4));
+        // A banded stream is not a tiled stream and vice versa.
+        let banded = gust.schedule_banded(&m);
+        let mut banded_buf = Vec::new();
+        write_banded_schedule(&banded, &mut banded_buf).expect("write");
+        assert!(read_tiled_schedule(banded_buf.as_slice()).is_err());
+
+        let tiled = gust.schedule_tiled(&m);
+        let mut buf = Vec::new();
+        write_tiled_schedule(&tiled, &mut buf).expect("write");
+        assert!(read_banded_schedule(buf.as_slice()).is_err());
+        assert!(read_schedule(buf.as_slice()).is_err());
+        for cut in [3usize, 20, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                read_tiled_schedule(&buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_reader_rejects_bad_row_boundaries() {
+        use crate::schedule::{banded::ColumnBands, Scheduler};
+        let m = CsrMatrix::from(&gen::uniform(16, 16, 80, 3));
+        let schedule = Scheduler::new(GustConfig::new(4)).schedule_tiled_with(
+            &m,
+            2,
+            ColumnBands::with_count(16, 2),
+        );
+        let mut buf = Vec::new();
+        write_tiled_schedule(&schedule, &mut buf).expect("write");
+        // Header: magic 4 + version 4 + length 4 + rows 8 + cols 8 +
+        // tile count 8 = 36 bytes, then 3 × u32 row boundaries.
+        let starts_at = 36;
+        buf[starts_at + 4..starts_at + 8].copy_from_slice(&99u32.to_le_bytes());
+        let err = read_tiled_schedule(buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("ascend"),
             "unexpected error: {err}"
         );
     }

@@ -1,0 +1,269 @@
+//! 2D row×column tiled schedules: cache blocking for matrices whose
+//! **output** vector also exceeds the last-level cache.
+//!
+//! Column bands ([`super::banded`]) keep the `x[col]` gathers resident,
+//! but on tall matrices the `y[row]` side still thrashes: the banded
+//! batch walk carries one accumulator bank per window, and with millions
+//! of rows the bank array itself is re-streamed from memory once per
+//! band. The GPU SpMV literature (Yang et al.) reaches the same
+//! conclusion for this regime — when both vectors spill, blocking must
+//! be two-dimensional.
+//!
+//! A [`TiledSchedule`] partitions the rows into contiguous **row tiles**
+//! sized by [`crate::GustConfig::with_row_budget`] (`GUST_ROW_BUDGET`
+//! override) and schedules each tile's sub-matrix
+//! ([`gust_sparse::CsrMatrix::row_slice`]) as an independent
+//! [`BandedSchedule`]: windowed, load-balanced and column-banded on its
+//! own, with a per-tile density-aware [`super::banded::BandPlan`]. The
+//! execution engine ([`crate::Gust::execute_tiled`] /
+//! [`crate::Gust::execute_batch_tiled`]) walks tiles outermost, so the
+//! accumulator carry of a band sweep is confined to one tile's output
+//! slice — both vectors stay cache-resident at once.
+//!
+//! # Bit-identity
+//!
+//! A tile is scheduled exactly as a stand-alone matrix, so tiled
+//! execution of tile `t` is the PR 4 banded walk of that tile — which is
+//! bit-identical to the unbanded engine on the tile's flattened schedule
+//! ([`BandedSchedule::to_unbanded`]) under every backend. The tiled
+//! output is the concatenation of the tiles' outputs (each original row
+//! lives in exactly one tile), so the whole tiled run is bit-identical
+//! to running the unbanded engine per tile and stitching the slices, and
+//! a **single row tile reproduces the [`BandedSchedule`] path exactly**,
+//! partition, coloring and walk. `tests/tiled_equivalence.rs` pins both
+//! properties per backend.
+
+use super::banded::BandedSchedule;
+use std::ops::Range;
+
+/// A fully scheduled matrix with 2D row×column tiles — the tiled
+/// counterpart of [`BandedSchedule`], produced by
+/// [`crate::schedule::Scheduler::schedule_tiled`] and executed by
+/// [`crate::Gust::execute_tiled`] / [`crate::Gust::execute_batch_tiled`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TiledSchedule {
+    length: usize,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    /// Row-tile boundaries: tile `t` covers original rows
+    /// `row_starts[t]..row_starts[t + 1]` (length `tiles + 1`).
+    row_starts: Vec<u32>,
+    /// Per-tile banded schedules, in row order. A tile's `row_perm` is
+    /// tile-local: it permutes within the tile's row range.
+    tiles: Vec<BandedSchedule>,
+}
+
+impl TiledSchedule {
+    /// Assembles a tiled schedule from its parts. Crate-internal:
+    /// produced by the scheduler and the binary reader, both of which
+    /// guarantee (or validate) the tile invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row partition does not ascend from 0 to `rows`, a
+    /// tile's shape disagrees with its row range or the matrix columns,
+    /// or a tile targets a different accelerator length.
+    #[must_use]
+    pub(crate) fn from_parts(
+        length: usize,
+        rows: usize,
+        cols: usize,
+        row_starts: Vec<u32>,
+        tiles: Vec<BandedSchedule>,
+    ) -> Self {
+        assert_eq!(
+            tiles.len() + 1,
+            row_starts.len(),
+            "tile count inconsistent with row boundaries"
+        );
+        assert!(
+            row_starts.first() == Some(&0)
+                && row_starts.last().copied() == Some(rows as u32)
+                && row_starts.windows(2).all(|w| w[0] <= w[1]),
+            "row-tile boundaries must ascend from 0 to {rows}"
+        );
+        let mut nnz = 0usize;
+        for (t, tile) in tiles.iter().enumerate() {
+            let tile_rows = (row_starts[t + 1] - row_starts[t]) as usize;
+            assert_eq!(tile.rows(), tile_rows, "tile {t}: row count mismatch");
+            assert_eq!(tile.cols(), cols, "tile {t}: column count mismatch");
+            assert_eq!(tile.length(), length, "tile {t}: length mismatch");
+            nnz += tile.nnz();
+        }
+        Self {
+            length,
+            rows,
+            cols,
+            nnz,
+            row_starts,
+            tiles,
+        }
+    }
+
+    /// Accelerator length `l` the schedule targets.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Rows of the original matrix.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the original matrix.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Scheduled non-zeros (equals the source matrix's nnz).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of row tiles.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The row-tile boundaries (length `tile_count() + 1`).
+    #[must_use]
+    pub fn row_starts(&self) -> &[u32] {
+        &self.row_starts
+    }
+
+    /// The original-row range of tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.tile_count()`.
+    #[must_use]
+    pub fn tile_range(&self, t: usize) -> Range<usize> {
+        self.row_starts[t] as usize..self.row_starts[t + 1] as usize
+    }
+
+    /// Per-tile banded schedules, in row order. Each tile is a complete
+    /// stand-alone [`BandedSchedule`] over the tile's rows and **all**
+    /// columns; with a single tile, `tiles()[0]` *is* the schedule
+    /// [`crate::schedule::Scheduler::schedule_banded_with`] would have
+    /// produced for the whole matrix.
+    #[must_use]
+    pub fn tiles(&self) -> &[BandedSchedule] {
+        &self.tiles
+    }
+
+    /// Total colors across tiles, windows and bands — the tiled
+    /// streaming cycle count. At least the flat schedule's total: like
+    /// banding, tiling trades modeled cycles for host cache locality
+    /// (each tile's ragged final window wastes lanes the untiled
+    /// windowing would have filled).
+    #[must_use]
+    pub fn total_colors(&self) -> u64 {
+        self.tiles.iter().map(BandedSchedule::total_colors).sum()
+    }
+
+    /// Total stalled lane-cycles (naive scheduling only).
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.tiles.iter().map(BandedSchedule::total_stalls).sum()
+    }
+}
+
+/// Near-equal row-tile boundaries: tile `t` covers rows
+/// `t·rows/count .. (t+1)·rows/count` — non-empty whenever
+/// `count <= max(rows, 1)` (mirrors [`super::banded::ColumnBands`]).
+///
+/// # Panics
+///
+/// Panics if `count` is zero or exceeds `max(rows, 1)`.
+#[must_use]
+pub(crate) fn row_tile_starts(rows: usize, count: usize) -> Vec<u32> {
+    assert!(count > 0, "need at least one row tile");
+    assert!(
+        count <= rows.max(1),
+        "cannot split {rows} rows into {count} non-empty tiles"
+    );
+    (0..=count).map(|t| (t * rows / count) as u32).collect()
+}
+
+/// Row-tile boundaries for a `rows`-row matrix under `row_budget_bytes`
+/// at effective batch width `batch`, on a length-`length` accelerator:
+/// every tile spans exactly `tile_rows` rows — the largest multiple of
+/// `length` whose output slice (`tile_rows × batch × 4` bytes) fits the
+/// budget, never less than one window — except the final tile, which
+/// takes the remainder. Chunked rather than near-equal splitting keeps
+/// every non-final tile window-aligned, so only each tile's *final*
+/// window can be ragged.
+#[must_use]
+pub(crate) fn row_tile_starts_for_budget(
+    rows: usize,
+    length: usize,
+    batch: usize,
+    row_budget_bytes: usize,
+) -> Vec<u32> {
+    let budget_rows = (row_budget_bytes / (std::mem::size_of::<f32>() * batch.max(1))).max(1);
+    let tile_rows = (budget_rows / length * length).max(length);
+    let count = rows.div_ceil(tile_rows).max(1);
+    (0..=count)
+        .map(|t| (t * tile_rows).min(rows) as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_tile_starts_cover_all_rows_in_order() {
+        for (rows, count) in [(9usize, 2usize), (100, 7), (5, 5), (1, 1), (64, 1)] {
+            let starts = row_tile_starts(rows, count);
+            assert_eq!(starts.len(), count + 1);
+            assert_eq!(starts[0], 0);
+            assert_eq!(*starts.last().unwrap() as usize, rows);
+            for w in starts.windows(2) {
+                assert!(w[0] < w[1], "{rows} rows / {count}: empty tile");
+            }
+        }
+        // Zero rows degenerate to one empty tile.
+        assert_eq!(row_tile_starts(0, 1), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty tiles")]
+    fn more_tiles_than_rows_panics() {
+        let _ = row_tile_starts(3, 4);
+    }
+
+    #[test]
+    fn budget_tile_starts_align_to_the_accelerator_length() {
+        // 64 KiB at batch 1 → 16 384 rows per tile, rounded to l = 256.
+        let starts = row_tile_starts_for_budget(1 << 20, 256, 1, 64 * 1024);
+        assert_eq!(starts.len(), 64 + 1);
+        // Batched walks divide the budget by the block width.
+        assert_eq!(
+            row_tile_starts_for_budget(1 << 20, 256, 8, 64 * 1024).len(),
+            512 + 1
+        );
+        // Every non-final boundary is window-aligned, so only each
+        // tile's final window can be ragged.
+        let starts = row_tile_starts_for_budget(100, 8, 8, 1);
+        assert_eq!(starts.len(), 13 + 1);
+        for &s in &starts[..starts.len() - 1] {
+            assert_eq!(s % 8, 0, "boundary {s} not window-aligned");
+        }
+        assert_eq!(*starts.last().unwrap(), 100);
+        assert!(starts.windows(2).all(|w| w[0] < w[1]), "no empty tiles");
+        // A generous budget means one tile; a tile is never smaller than
+        // one accelerator window, so tiny matrices stay a single tile
+        // even under a 1-byte budget.
+        assert_eq!(row_tile_starts_for_budget(100, 8, 8, 1 << 30).len(), 2);
+        assert_eq!(row_tile_starts_for_budget(3, 8, 8, 1), vec![0, 3]);
+        assert_eq!(row_tile_starts_for_budget(0, 8, 1, 1), vec![0, 0]);
+    }
+}

@@ -165,23 +165,48 @@ pub fn write_matrix_market<W: Write>(matrix: &CooMatrix, mut writer: W) -> std::
 
 /// Binary CSR cache magic.
 const BIN_MAGIC: &[u8; 4] = b"GSPB";
-/// Binary CSR cache format version.
-const BIN_VERSION: u32 = 1;
+/// Binary CSR cache format version. Version 2 added the source byte
+/// length to the header (see [`write_bin_with_source`]); version-1
+/// streams are rejected, which for the cache use case simply forces one
+/// reparse-and-rewrite.
+const BIN_VERSION: u32 = 2;
 
-/// Writes `matrix` in the binary CSR cache format (little-endian):
+/// Writes `matrix` in the binary CSR cache format (little-endian) with
+/// no recorded source length (see [`write_bin_with_source`]):
 ///
 /// ```text
-/// magic "GSPB" | version u32 | rows u64 | cols u64 | nnz u64
-/// | indptr: (rows + 1) × u64 | indices: nnz × u32 | values: nnz × f32
+/// magic "GSPB" | version u32 | source_len u64 | rows u64 | cols u64
+/// | nnz u64 | indptr: (rows + 1) × u64 | indices: nnz × u32
+/// | values: nnz × f32
 /// ```
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_bin<W: Write>(matrix: &CsrMatrix, mut writer: W) -> std::io::Result<()> {
+pub fn write_bin<W: Write>(matrix: &CsrMatrix, writer: W) -> std::io::Result<()> {
+    write_bin_with_source(matrix, 0, writer)
+}
+
+/// As [`write_bin`], recording the byte length of the source file the
+/// matrix was parsed from. [`read_matrix_market_cached`] uses the field
+/// as a second freshness signal besides mtime: a source rewritten within
+/// the same filesystem timestamp tick as the cache write is still
+/// detected as stale when its length changed. `source_len == 0` means
+/// "not recorded" (a parseable Matrix Market file is never 0 bytes), and
+/// skips the check.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_bin_with_source<W: Write>(
+    matrix: &CsrMatrix,
+    source_len: u64,
+    mut writer: W,
+) -> std::io::Result<()> {
     let (indptr, indices, values) = matrix.raw_parts();
     writer.write_all(BIN_MAGIC)?;
     writer.write_all(&BIN_VERSION.to_le_bytes())?;
+    writer.write_all(&source_len.to_le_bytes())?;
     writer.write_all(&(matrix.rows() as u64).to_le_bytes())?;
     writer.write_all(&(matrix.cols() as u64).to_le_bytes())?;
     writer.write_all(&(matrix.nnz() as u64).to_le_bytes())?;
@@ -213,8 +238,22 @@ pub fn write_bin<W: Write>(matrix: &CsrMatrix, mut writer: W) -> std::io::Result
 ///
 /// Propagates I/O errors.
 pub fn write_bin_file(matrix: &CsrMatrix, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_bin_file_with_source(matrix, 0, path)
+}
+
+/// Writes the binary CSR cache to `path`, recording the source byte
+/// length (see [`write_bin_with_source`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_bin_file_with_source(
+    matrix: &CsrMatrix,
+    source_len: u64,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
     let mut writer = std::io::BufWriter::new(std::fs::File::create(path)?);
-    write_bin(matrix, &mut writer)?;
+    write_bin_with_source(matrix, source_len, &mut writer)?;
     writer.flush()
 }
 
@@ -226,7 +265,18 @@ pub fn write_bin_file(matrix: &CsrMatrix, path: impl AsRef<Path>) -> std::io::Re
 /// [`SparseError::ParseError`] on a bad magic/version/truncation,
 /// [`SparseError::InvalidStructure`] / [`SparseError::IndexOutOfBounds`]
 /// if the arrays do not form a valid CSR matrix.
-pub fn read_bin<R: Read>(mut reader: R) -> Result<CsrMatrix, SparseError> {
+pub fn read_bin<R: Read>(reader: R) -> Result<CsrMatrix, SparseError> {
+    read_bin_with_source(reader).map(|(matrix, _)| matrix)
+}
+
+/// As [`read_bin`], also returning the recorded source byte length
+/// (0 when the writer did not record one — see
+/// [`write_bin_with_source`]).
+///
+/// # Errors
+///
+/// As [`read_bin`].
+pub fn read_bin_with_source<R: Read>(mut reader: R) -> Result<(CsrMatrix, u64), SparseError> {
     let bin_err = |message: String| SparseError::ParseError { line: 0, message };
     let mut magic = [0u8; 4];
     reader
@@ -250,6 +300,7 @@ pub fn read_bin<R: Read>(mut reader: R) -> Result<CsrMatrix, SparseError> {
             .map_err(|e| bin_err(format!("truncated {what}: {e}")))?;
         Ok(u64::from_le_bytes(buf))
     };
+    let source_len = read_u64("source length")?;
     let rows = read_u64("rows")? as usize;
     let cols = read_u64("cols")? as usize;
     let nnz = read_u64("nnz")? as usize;
@@ -296,7 +347,7 @@ pub fn read_bin<R: Read>(mut reader: R) -> Result<CsrMatrix, SparseError> {
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
         .collect();
-    CsrMatrix::try_new(rows, cols, indptr, indices, values)
+    CsrMatrix::try_new(rows, cols, indptr, indices, values).map(|m| (m, source_len))
 }
 
 /// Reads a binary CSR cache from `path` (see [`read_bin`]).
@@ -306,21 +357,36 @@ pub fn read_bin<R: Read>(mut reader: R) -> Result<CsrMatrix, SparseError> {
 /// Any [`SparseError`] from validation, or a [`SparseError::ParseError`]
 /// wrapping the I/O failure.
 pub fn read_bin_file(path: impl AsRef<Path>) -> Result<CsrMatrix, SparseError> {
+    read_bin_file_with_source(path).map(|(matrix, _)| matrix)
+}
+
+/// Reads a binary CSR cache from `path`, also returning the recorded
+/// source byte length (see [`read_bin_with_source`]).
+///
+/// # Errors
+///
+/// As [`read_bin_file`].
+pub fn read_bin_file_with_source(path: impl AsRef<Path>) -> Result<(CsrMatrix, u64), SparseError> {
     let file = std::fs::File::open(path.as_ref()).map_err(|e| SparseError::ParseError {
         line: 0,
         message: format!("cannot open {}: {e}", path.as_ref().display()),
     })?;
-    read_bin(BufReader::new(file))
+    read_bin_with_source(BufReader::new(file))
 }
 
 /// Loads `mtx_path` through the binary cache: reads `<mtx_path>.gspb` if
-/// present and no older than the text file, otherwise parses the Matrix
-/// Market text and (re)writes the cache. A bench harness points this at
-/// a SuiteSparse file and pays the text parse exactly once per version
-/// of the file — an edited `.mtx` invalidates the cache by mtime.
-/// (Freshness is timestamp-granular: a source rewritten within the same
-/// filesystem mtime tick as the cache write is not detected; delete the
-/// `.gspb` to force a reparse in that window.)
+/// present and still fresh, otherwise parses the Matrix Market text and
+/// (re)writes the cache. A bench harness points this at a SuiteSparse
+/// file and pays the text parse exactly once per version of the file.
+///
+/// Freshness is judged on two signals: the cache's mtime must not
+/// predate the source's, **and** the source's current byte length must
+/// match the length recorded in the cache header at write time
+/// (`write_bin_with_source`) — so a source rewritten within the same
+/// filesystem mtime tick as the cache write is still caught whenever
+/// the rewrite changed the file's size. (The residual blind spot is a
+/// same-length rewrite within the same tick; delete the `.gspb` to
+/// force a reparse in that window.)
 ///
 /// # Errors
 ///
@@ -335,20 +401,30 @@ pub fn read_matrix_market_cached(mtx_path: impl AsRef<Path>) -> Result<CsrMatrix
         std::path::PathBuf::from(os)
     };
     let mtime = |path: &Path| std::fs::metadata(path).and_then(|m| m.modified()).ok();
+    // Source length: the second freshness signal. `None` means the
+    // source is missing (cache-only distribution) — trust the cache.
+    let source_len = std::fs::metadata(mtx_path).map(|m| m.len()).ok();
     let cache_fresh = match (mtime(&cache_path), mtime(mtx_path)) {
         (Some(cache), Some(source)) => cache >= source,
-        // Source missing (cache-only distribution): trust the cache.
         (Some(_), None) => true,
         (None, _) => false,
     };
     if cache_fresh {
-        if let Ok(matrix) = read_bin_file(&cache_path) {
-            return Ok(matrix);
+        if let Ok((matrix, recorded_len)) = read_bin_file_with_source(&cache_path) {
+            let length_matches = match (source_len, recorded_len) {
+                // 0 = the writer recorded no length; nothing to compare.
+                (_, 0) | (None, _) => true,
+                (Some(current), recorded) => current == recorded,
+            };
+            if length_matches {
+                return Ok(matrix);
+            }
+            // Same-tick rewrite with a different size: stale, reparse.
         }
         // A corrupt cache falls through to a fresh parse.
     }
     let matrix = CsrMatrix::from(&read_matrix_market_file(mtx_path)?);
-    let _ = write_bin_file(&matrix, &cache_path);
+    let _ = write_bin_file_with_source(&matrix, source_len.unwrap_or(0), &cache_path);
     Ok(matrix)
 }
 
@@ -515,7 +591,8 @@ mod tests {
         for rows in [u64::MAX, 1u64 << 40] {
             let mut buf = Vec::new();
             buf.extend_from_slice(b"GSPB");
-            buf.extend_from_slice(&1u32.to_le_bytes());
+            buf.extend_from_slice(&2u32.to_le_bytes());
+            buf.extend_from_slice(&0u64.to_le_bytes()); // source length
             buf.extend_from_slice(&rows.to_le_bytes()); // rows
             buf.extend_from_slice(&4u64.to_le_bytes()); // cols
             buf.extend_from_slice(&0u64.to_le_bytes()); // nnz
@@ -525,6 +602,32 @@ mod tests {
                 "rows {rows}: unexpected error {err}"
             );
         }
+    }
+
+    #[test]
+    fn binary_cache_records_the_source_length() {
+        let m = CsrMatrix::identity(3);
+        let mut buf = Vec::new();
+        write_bin_with_source(&m, 12345, &mut buf).unwrap();
+        let (back, source_len) = read_bin_with_source(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(source_len, 12345);
+        // The plain writer records 0 ("unknown").
+        let mut buf = Vec::new();
+        write_bin(&m, &mut buf).unwrap();
+        assert_eq!(read_bin_with_source(buf.as_slice()).unwrap().1, 0);
+    }
+
+    #[test]
+    fn binary_cache_rejects_version_one_streams() {
+        // A pre-source-length cache must be rejected (the cached loader
+        // then reparses and rewrites), never misread with shifted fields.
+        let m = CsrMatrix::identity(2);
+        let mut buf = Vec::new();
+        write_bin(&m, &mut buf).unwrap();
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let err = read_bin(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("unsupported binary version 1"));
     }
 
     #[test]
@@ -551,6 +654,50 @@ mod tests {
         std::fs::remove_file(&mtx).unwrap();
         let second = read_matrix_market_cached(&mtx).unwrap();
         assert_eq!(second, first);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn matrix_market_cache_detects_same_tick_rewrites_by_length() {
+        let dir = std::env::temp_dir().join(format!(
+            "gust-io-tick-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("m.mtx");
+        let write_mtx = |coo: &CooMatrix| {
+            let mut text = Vec::new();
+            write_matrix_market(coo, &mut text).unwrap();
+            std::fs::write(&mtx, &text).unwrap();
+        };
+        let old = CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0)]).unwrap();
+        write_mtx(&old);
+        assert_eq!(
+            read_matrix_market_cached(&mtx).unwrap(),
+            CsrMatrix::from(&old)
+        );
+        let cache = dir.join("m.mtx.gspb");
+
+        // Rewrite the source with different, longer contents, then force
+        // the cache's mtime *ahead* of the source — the worst case of a
+        // rewrite landing in the same filesystem timestamp tick as the
+        // cache write. The mtime test alone would serve the stale cache;
+        // the recorded source length must catch it.
+        let new = CooMatrix::from_triplets(2, 2, vec![(0, 0, 2.5), (1, 1, 7.5)]).unwrap();
+        write_mtx(&new);
+        let future = std::time::SystemTime::now() + std::time::Duration::from_secs(3600);
+        std::fs::File::options()
+            .append(true)
+            .open(&cache)
+            .unwrap()
+            .set_modified(future)
+            .unwrap();
+        assert_eq!(
+            read_matrix_market_cached(&mtx).unwrap(),
+            CsrMatrix::from(&new),
+            "a same-tick rewrite with a different length must not be served stale"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

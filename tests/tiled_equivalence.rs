@@ -1,0 +1,214 @@
+//! Property tests pinning 2D row×column tiled execution to the unbanded
+//! engine, bit for bit, per backend.
+//!
+//! A [`TiledSchedule`] schedules each row tile's sub-matrix as an
+//! independent [`BandedSchedule`], so tiled execution of tile `t` must
+//! equal unbanded execution of that tile's flattened schedule —
+//! concatenated over tiles, the whole tiled output is **bit-identical to
+//! the unbanded engine run per tile**, under every backend, batched or
+//! not. These properties sweep the three matrix generators (uniform,
+//! power-law, R-MAT), row-tile counts {1, 3}, band counts {1, 2, 7} and
+//! batch sizes {1, 8, 17}; with a single row tile the tiled schedule
+//! must reproduce the PR 4 [`BandedSchedule`] path *exactly* — the tile
+//! IS the banded schedule, and execution matches it bit for bit, report
+//! included.
+
+use gust::prelude::*;
+use gust_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Column-major panel of `batch` deterministic, distinct vectors.
+fn panel(cols: usize, batch: usize, seed: u64) -> Vec<f32> {
+    (0..batch)
+        .flat_map(|j| {
+            (0..cols).map(move |i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(seed ^ (j as u64) << 17)
+                    .rotate_left(23);
+                ((h % 2000) as f32) / 500.0 - 2.0
+            })
+        })
+        .collect()
+}
+
+/// The three generator families the acceptance numbers are quoted on.
+fn generate(kind: usize, rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+    let coo = match kind {
+        0 => gen::uniform(rows, cols, nnz, seed),
+        1 => gen::power_law(rows, cols, nnz, 1.9, seed),
+        _ => gen::rmat(rows, cols, nnz, seed),
+    };
+    CsrMatrix::from(&coo)
+}
+
+/// The backends runnable on this host, scalar always included.
+fn backends() -> Vec<Backend> {
+    let mut v = vec![Backend::Scalar];
+    if Backend::Avx2.is_available() {
+        v.push(Backend::Avx2);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Tiled execution — single vector and batched — is bit-identical to
+    /// the unbanded engine run on each tile's flattened schedule, per
+    /// backend, across generators × row tiles × band counts × batch
+    /// sizes.
+    #[test]
+    fn tiled_execution_is_bit_identical_per_backend(
+        seed in 0u64..512,
+        rows in 20usize..80,
+        l in 3usize..12,
+    ) {
+        let cols = rows + 7;
+        let nnz = rows * 6;
+        for kind in 0..3usize {
+            let matrix = generate(kind, rows, cols, nnz, seed);
+            for tiles in [1usize, 3] {
+                for bands in [1usize, 2, 7] {
+                    let scheduler = gust::schedule::Scheduler::new(GustConfig::new(l));
+                    let tiled = scheduler.schedule_tiled_with(
+                        &matrix,
+                        tiles,
+                        ColumnBands::with_count(cols, bands),
+                    );
+                    let flats: Vec<ScheduledMatrix> =
+                        tiled.tiles().iter().map(BandedSchedule::to_unbanded).collect();
+                    for backend in backends() {
+                        let engine = Gust::new(
+                            GustConfig::new(l)
+                                .with_backend(Some(backend))
+                                .with_parallelism(Some(1)),
+                        );
+                        // Single vector: stitch the per-tile unbanded
+                        // outputs and compare bit for bit.
+                        let x = &panel(cols, 1, seed)[..];
+                        let tiled_run = engine.execute_tiled(&tiled, x);
+                        let mut expected = vec![0.0f32; rows];
+                        for (t, flat) in flats.iter().enumerate() {
+                            let range = tiled.tile_range(t);
+                            expected[range].copy_from_slice(&engine.execute(flat, x).output);
+                        }
+                        prop_assert_eq!(
+                            &tiled_run.output, &expected,
+                            "kind {} tiles {} bands {} backend {}: single-vector walk diverged",
+                            kind, tiles, bands, backend.name()
+                        );
+                        // Batched, including a multi-block ragged batch:
+                        // stitch per-tile unbanded panels column by column.
+                        for batch in [1usize, 8, 17] {
+                            let b = panel(cols, batch, seed.wrapping_add(batch as u64));
+                            let (y_tiled, _) = engine.execute_batch_tiled(&tiled, &b, batch);
+                            let mut expected = vec![0.0f32; rows * batch];
+                            for (t, flat) in flats.iter().enumerate() {
+                                let (y_flat, _) = engine.execute_batch(flat, &b, batch);
+                                let range = tiled.tile_range(t);
+                                for j in 0..batch {
+                                    expected[j * rows + range.start..j * rows + range.end]
+                                        .copy_from_slice(
+                                            &y_flat[j * range.len()..(j + 1) * range.len()],
+                                        );
+                                }
+                            }
+                            prop_assert_eq!(
+                                &y_tiled, &expected,
+                                "kind {} tiles {} bands {} backend {} batch {}: batched walk diverged",
+                                kind, tiles, bands, backend.name(), batch
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A single row tile degenerates to the PR 4 banded path exactly:
+    /// the tile is the banded schedule, and both walks (single vector
+    /// and batched) match it bit for bit, reports included.
+    #[test]
+    fn single_row_tile_is_the_banded_path(
+        seed in 0u64..256,
+        rows in 16usize..64,
+        l in 3usize..10,
+    ) {
+        for kind in 0..3usize {
+            let matrix = generate(kind, rows, rows, rows * 5, seed);
+            let config = GustConfig::new(l).with_parallelism(Some(1));
+            let scheduler = gust::schedule::Scheduler::new(config.clone());
+            let bands = ColumnBands::with_count(rows, 2);
+            let tiled = scheduler.schedule_tiled_with(&matrix, 1, bands.clone());
+            let banded = scheduler.schedule_banded_with(&matrix, bands);
+            prop_assert_eq!(&tiled.tiles()[0], &banded, "kind {}", kind);
+            let engine = Gust::new(config);
+            let x = &panel(rows, 1, seed)[..];
+            let from_tiled = engine.execute_tiled(&tiled, x);
+            let from_banded = engine.execute_banded(&banded, x);
+            prop_assert_eq!(&from_tiled.output, &from_banded.output);
+            prop_assert_eq!(&from_tiled.report, &from_banded.report);
+            let b = panel(rows, 8, seed ^ 1);
+            prop_assert_eq!(
+                engine.execute_batch_tiled(&tiled, &b, 8),
+                engine.execute_batch_banded(&banded, &b, 8)
+            );
+        }
+    }
+}
+
+/// A tiled schedule round-trips through the binary serializer exactly
+/// (the `GUTL` container), row boundaries, band offsets and band-local
+/// columns included.
+#[test]
+fn tiled_schedule_round_trips_through_the_serializer() {
+    use gust::schedule::serialize::{read_tiled_schedule, write_tiled_schedule};
+    for (tiles, bands, seed) in [(1usize, 1usize, 3u64), (3, 2, 4), (5, 7, 5)] {
+        let matrix = generate(1, 60, 67, 400, seed);
+        let schedule = gust::schedule::Scheduler::new(GustConfig::new(8)).schedule_tiled_with(
+            &matrix,
+            tiles,
+            ColumnBands::with_count(67, bands),
+        );
+        let mut buf = Vec::new();
+        write_tiled_schedule(&schedule, &mut buf).expect("write to vec");
+        let back = read_tiled_schedule(buf.as_slice()).expect("read own output");
+        assert_eq!(back, schedule, "{tiles} tiles × {bands} bands");
+    }
+}
+
+/// The auto entry points compose the two budgets: a tiny row budget
+/// forces several tiles, a tiny cache budget forces several bands per
+/// tile (density-capped), and execution still matches the reference
+/// kernel.
+#[test]
+fn auto_tiled_schedules_execute_correctly_under_forced_budgets() {
+    let matrix = generate(0, 200, 150, 2400, 77);
+    let engine = Gust::new(
+        GustConfig::new(8)
+            .with_row_budget(Some(128)) // 32 rows/tile at batch 1
+            .with_cache_budget(Some(128)), // 32 cols/band at batch 1
+    );
+    let tiled = engine.schedule_tiled(&matrix);
+    assert!(tiled.tile_count() > 1, "row budget must force tiles");
+    assert!(
+        tiled.tiles().iter().any(|t| t.bands().count() > 1),
+        "cache budget must force bands"
+    );
+    let x = panel(150, 1, 9);
+    let run = engine.execute_tiled(&tiled, &x);
+    assert_vectors_close(&run.output, &reference_spmv(&matrix, &x), 1e-4);
+    let b: Vec<f32> = (0..150 * 17).map(|i| (i % 13) as f32 / 6.0 - 1.0).collect();
+    let (y, _) = engine.execute_batch_tiled(&tiled, &b, 17);
+    for j in 0..17 {
+        let col = &b[j * 150..(j + 1) * 150];
+        let expect = reference_spmv(&matrix, col);
+        let max_err = y[j * 200..(j + 1) * 200]
+            .iter()
+            .zip(&expect)
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-3, "column {j}: {max_err}");
+    }
+}
