@@ -1,5 +1,17 @@
 //! GUST configuration: length, clock, scheduling policy, kernel backend,
 //! worker parallelism and the cache budget that sizes column bands.
+//!
+//! # Environment handling
+//!
+//! The runtime env resolvers (`GUST_PARALLELISM`, `GUST_CACHE_BUDGET`,
+//! `GUST_ROW_BUDGET`, and `GUST_BACKEND` over in
+//! [`gust_sparse::kernels::default_backend`]) **warn and default** on a
+//! malformed value: a long-lived process must not be taken down at its
+//! first SpMV by a typo in its environment. Callers that instead want a
+//! misspelled variable to fail loudly — CI matrix legs that must not
+//! silently benchmark a different configuration than they claim —
+//! validate eagerly with [`GustConfig::from_env_checked`], which turns
+//! every malformed variable into a [`ConfigError`].
 
 use gust_sparse::kernels::Backend;
 
@@ -62,6 +74,39 @@ impl ColoringAlgorithm {
     }
 }
 
+/// A configuration/environment value that could not be interpreted.
+///
+/// Produced by [`GustConfig::from_env_checked`]; the lenient runtime
+/// resolvers log the same information as a warning and fall back to the
+/// automatic default instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The environment variable (or constructor argument) at fault.
+    pub var: String,
+    /// The offending value, verbatim.
+    pub value: String,
+    /// What a valid value looks like.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}={:?}: {}", self.var, self.value, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    fn new(var: &str, value: &str, message: impl Into<String>) -> Self {
+        Self {
+            var: var.to_string(),
+            value: value.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
 /// Configuration of one GUST instance.
 ///
 /// # Example
@@ -112,6 +157,41 @@ impl GustConfig {
             cache_budget: None,
             row_budget: None,
         }
+    }
+
+    /// As [`GustConfig::new`], but validates every `GUST_*` environment
+    /// variable eagerly and **pins** the parsed values into the
+    /// configuration, so later `effective_*` calls cannot be surprised by
+    /// the environment. Where the lenient runtime resolvers warn and
+    /// fall back to automatic selection, this constructor turns each
+    /// malformed variable into a [`ConfigError`] — use it at process
+    /// startup when a misconfigured environment should abort the run
+    /// (CI legs, benchmark harnesses) rather than degrade it.
+    ///
+    /// Checked variables: `GUST_PARALLELISM` (positive integer),
+    /// `GUST_BACKEND` (`scalar`/`avx2`/`auto`), `GUST_CACHE_BUDGET` and
+    /// `GUST_ROW_BUDGET` (non-zero byte sizes, `k`/`m`/`g` suffixes
+    /// allowed). Unset (or empty) variables stay on automatic selection.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the first malformed variable, its
+    /// verbatim value, and what a valid value looks like. A zero
+    /// `length` is reported the same way instead of panicking.
+    pub fn from_env_checked(length: usize) -> Result<Self, ConfigError> {
+        if length == 0 {
+            return Err(ConfigError::new(
+                "length",
+                "0",
+                "GUST length must be non-zero",
+            ));
+        }
+        let mut config = Self::new(length);
+        config.parallelism = checked_env_parallelism()?;
+        config.backend = checked_env_backend()?;
+        config.cache_budget = checked_env_byte_budget("GUST_CACHE_BUDGET")?;
+        config.row_budget = checked_env_byte_budget("GUST_ROW_BUDGET")?;
+        Ok(config)
     }
 
     /// Sets the scheduling policy.
@@ -342,20 +422,60 @@ impl GustConfig {
     }
 }
 
+/// Validated `GUST_PARALLELISM`: `Ok(None)` when unset/empty.
+fn checked_env_parallelism() -> Result<Option<usize>, ConfigError> {
+    match std::env::var("GUST_PARALLELISM") {
+        Ok(raw) if !raw.is_empty() => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(ConfigError::new(
+                "GUST_PARALLELISM",
+                &raw,
+                "must be a positive worker count (e.g. 4)",
+            )),
+        },
+        _ => Ok(None),
+    }
+}
+
+/// Validated `GUST_BACKEND`: `Ok(None)` when unset, empty or `auto`.
+fn checked_env_backend() -> Result<Option<Backend>, ConfigError> {
+    match std::env::var("GUST_BACKEND") {
+        Ok(raw) if !raw.is_empty() && raw != "auto" => {
+            Backend::from_name(&raw).map(Some).ok_or_else(|| {
+                ConfigError::new("GUST_BACKEND", &raw, "must be one of scalar|avx2|auto")
+            })
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Validated byte-budget variable (`GUST_CACHE_BUDGET` /
+/// `GUST_ROW_BUDGET`): `Ok(None)` when unset/empty.
+fn checked_env_byte_budget(var: &str) -> Result<Option<usize>, ConfigError> {
+    match std::env::var(var) {
+        Ok(raw) if !raw.is_empty() => parse_byte_size(&raw).map(Some).ok_or_else(|| {
+            ConfigError::new(
+                var,
+                &raw,
+                "must be a non-zero byte size (e.g. 262144, 256k, 4m)",
+            )
+        }),
+        _ => Ok(None),
+    }
+}
+
 /// The `GUST_PARALLELISM` environment override, parsed once per process.
-/// `0` or a non-number fails loudly: a misspelled CI leg must not
-/// silently run a different worker count than it claims.
+/// `0` or a non-number warns (once) and falls back to automatic
+/// parallelism — validate with [`GustConfig::from_env_checked`] when a
+/// misspelled CI leg should fail loudly instead.
 fn env_parallelism() -> Option<usize> {
     static ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
-    *ENV.get_or_init(|| match std::env::var("GUST_PARALLELISM") {
-        Ok(raw) if !raw.is_empty() => {
-            let n: usize = raw
-                .parse()
-                .unwrap_or_else(|_| panic!("GUST_PARALLELISM must be a number, got '{raw}'"));
-            assert!(n > 0, "GUST_PARALLELISM must be at least 1");
-            Some(n)
+    *ENV.get_or_init(|| match checked_env_parallelism() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("warning: {e}; using automatic parallelism");
+            None
         }
-        _ => None,
     })
 }
 
@@ -379,15 +499,19 @@ pub fn default_row_budget() -> usize {
 }
 
 /// Resolves one byte-budget environment variable: the parsed value when
-/// set (a malformed or overflowing value fails loudly — a misspelled CI
-/// leg must not silently run a different budget than it claims), the
-/// detected LLC size otherwise, 32 MiB as the last resort.
+/// set, the detected LLC size otherwise, 32 MiB as the last resort. A
+/// malformed or overflowing value warns and takes the detected default —
+/// validate with [`GustConfig::from_env_checked`] when a misspelled CI
+/// leg should fail loudly instead.
 fn env_byte_budget(var: &str) -> usize {
-    match std::env::var(var) {
-        Ok(raw) if !raw.is_empty() => parse_byte_size(&raw)
-            .unwrap_or_else(|| panic!("{var} must be bytes (e.g. 262144, 256k, 4m), got '{raw}'")),
-        _ => detect_llc_bytes().unwrap_or(32 * 1024 * 1024),
-    }
+    let configured = match checked_env_byte_budget(var) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("warning: {e}; using the detected cache size");
+            None
+        }
+    };
+    configured.unwrap_or_else(|| detect_llc_bytes().unwrap_or(32 * 1024 * 1024))
 }
 
 /// Parses `"262144"`, `"256k"`, `"4M"`, `"1g"` into bytes. `None` on
@@ -575,5 +699,34 @@ mod tests {
     #[should_panic(expected = "at least 1 byte")]
     fn zero_row_budget_panics() {
         let _ = GustConfig::new(8).with_row_budget(Some(0));
+    }
+
+    #[test]
+    fn config_error_names_variable_value_and_expectation() {
+        let e = ConfigError::new(
+            "GUST_PARALLELISM",
+            "banana",
+            "must be a positive worker count",
+        );
+        let rendered = e.to_string();
+        assert!(rendered.contains("GUST_PARALLELISM"));
+        assert!(rendered.contains("banana"));
+        assert!(rendered.contains("positive worker count"));
+    }
+
+    #[test]
+    fn from_env_checked_rejects_zero_length_without_panicking() {
+        let e = GustConfig::from_env_checked(0).unwrap_err();
+        assert_eq!(e.var, "length");
+    }
+
+    #[test]
+    fn from_env_checked_succeeds_in_a_clean_environment() {
+        // The test harness does not set GUST_* variables, so every
+        // checked resolver should land on automatic selection. (Runs
+        // that deliberately set them — the CI fault-injection leg — set
+        // well-formed values, so this stays true there too.)
+        let config = GustConfig::from_env_checked(8).expect("clean env must validate");
+        assert_eq!(config.length(), 8);
     }
 }

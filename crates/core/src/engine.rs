@@ -70,6 +70,7 @@
 //! [`crate::schedule::banded`] and [`crate::schedule::tiled`].
 
 use crate::config::{GustConfig, SchedulingPolicy};
+use crate::error::GustError;
 use crate::kernels::{self, Backend};
 use crate::parallel::Pool;
 use crate::schedule::banded::BandedSchedule;
@@ -186,6 +187,55 @@ impl Gust {
         Scheduler::new(self.config.clone()).schedule(matrix)
     }
 
+    /// Validates a single-vector run: schedule built for this engine's
+    /// length, input as long as the schedule's column count.
+    fn check_single(&self, sched_len: usize, cols: usize, x_len: usize) -> Result<(), GustError> {
+        let l = self.config.length();
+        if sched_len != l {
+            return Err(GustError::LengthMismatch {
+                schedule: sched_len,
+                engine: l,
+            });
+        }
+        if x_len != cols {
+            return Err(GustError::InputLength {
+                got: x_len,
+                expected: cols,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates a batched run: length match, non-empty batch, panel of
+    /// exactly `cols × batch` values (overflow-proof: an impossible
+    /// product can never equal a real slice length).
+    fn check_batch(
+        &self,
+        sched_len: usize,
+        cols: usize,
+        b_len: usize,
+        batch: usize,
+    ) -> Result<(), GustError> {
+        let l = self.config.length();
+        if sched_len != l {
+            return Err(GustError::LengthMismatch {
+                schedule: sched_len,
+                engine: l,
+            });
+        }
+        if batch == 0 {
+            return Err(GustError::EmptyBatch);
+        }
+        if cols.checked_mul(batch) != Some(b_len) {
+            return Err(GustError::PanelShape {
+                got: b_len,
+                cols,
+                batch,
+            });
+        }
+        Ok(())
+    }
+
     /// Runs one SpMV: streams the schedule through the engine (fast,
     /// uninstrumented path — see the module docs).
     ///
@@ -195,16 +245,25 @@ impl Gust {
     /// # Panics
     ///
     /// Panics if `x.len() != schedule.cols()` or the schedule's length does
-    /// not match this engine's configuration.
+    /// not match this engine's configuration. Use [`Gust::try_execute`]
+    /// to get a [`GustError`] instead.
     #[must_use]
     pub fn execute(&self, schedule: &ScheduledMatrix, x: &[f32]) -> GustRun {
+        self.try_execute(schedule, x)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute`]: the same single pass, with shape
+    /// mismatches reported as values instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`GustError::LengthMismatch`] when the schedule was built for a
+    /// different accelerator length, [`GustError::InputLength`] when
+    /// `x.len() != schedule.cols()`.
+    pub fn try_execute(&self, schedule: &ScheduledMatrix, x: &[f32]) -> Result<GustRun, GustError> {
+        self.check_single(schedule.length(), schedule.cols(), x.len())?;
         let l = self.config.length();
-        assert_eq!(
-            schedule.length(),
-            l,
-            "schedule was produced for a different GUST length"
-        );
-        assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
 
         let backend = self.backend();
         let mut y = vec![0.0f32; schedule.rows()];
@@ -252,10 +311,10 @@ impl Gust {
             }
         }
 
-        GustRun {
+        Ok(GustRun {
             output: y,
             report: self.analytic_report(schedule, 1),
-        }
+        })
     }
 
     /// Runs one SpMV with live per-cycle unit counters — the literal
@@ -266,16 +325,26 @@ impl Gust {
     ///
     /// # Panics
     ///
-    /// As [`Gust::execute`].
+    /// As [`Gust::execute`]. Use [`Gust::try_execute_instrumented`] to
+    /// get a [`GustError`] instead.
     #[must_use]
     pub fn execute_instrumented(&self, schedule: &ScheduledMatrix, x: &[f32]) -> GustRun {
+        self.try_execute_instrumented(schedule, x)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute_instrumented`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::try_execute`].
+    pub fn try_execute_instrumented(
+        &self,
+        schedule: &ScheduledMatrix,
+        x: &[f32],
+    ) -> Result<GustRun, GustError> {
+        self.check_single(schedule.length(), schedule.cols(), x.len())?;
         let l = self.config.length();
-        assert_eq!(
-            schedule.length(),
-            l,
-            "schedule was produced for a different GUST length"
-        );
-        assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
 
         let mut y = vec![0.0f32; schedule.rows()];
         let mut adders = vec![0.0f32; l];
@@ -313,14 +382,42 @@ impl Gust {
         report.busy_unit_cycles = mults.busy_unit_cycles() + adds.busy_unit_cycles();
         report.multiplies = multiplies;
         report.additions = multiplies;
-        GustRun { output: y, report }
+        Ok(GustRun { output: y, report })
     }
 
     /// Schedules and executes in one call.
+    ///
+    /// # Panics
+    ///
+    /// As [`Gust::execute`] (an `x` shorter or longer than the matrix's
+    /// column count). Use [`Gust::try_spmv`] to get a [`GustError`]
+    /// instead.
     #[must_use]
     pub fn spmv(&self, matrix: &gust_sparse::CsrMatrix, x: &[f32]) -> GustRun {
+        self.try_spmv(matrix, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::spmv`]: schedules and executes in one call,
+    /// reporting a mismatched `x` as a value instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`GustError::InputLength`] when `x.len() != matrix.cols()`.
+    pub fn try_spmv(
+        &self,
+        matrix: &gust_sparse::CsrMatrix,
+        x: &[f32],
+    ) -> Result<GustRun, GustError> {
+        // Validate before scheduling: preprocessing is the expensive
+        // step, and a bad input vector should not buy a full schedule.
+        if x.len() != matrix.cols() {
+            return Err(GustError::InputLength {
+                got: x.len(),
+                expected: matrix.cols(),
+            });
+        }
         let schedule = self.schedule(matrix);
-        self.execute(&schedule, x)
+        self.try_execute(&schedule, x)
     }
 
     /// Sparse-matrix × dense-panel product by schedule reuse: `batch`
@@ -363,7 +460,8 @@ impl Gust {
     /// # Panics
     ///
     /// Panics if `batch == 0`, `b.len() != schedule.cols() * batch`, or the
-    /// schedule's length does not match this engine's configuration.
+    /// schedule's length does not match this engine's configuration. Use
+    /// [`Gust::try_execute_batch`] to get a [`GustError`] instead.
     #[must_use]
     pub fn execute_batch(
         &self,
@@ -371,19 +469,25 @@ impl Gust {
         b: &[f32],
         batch: usize,
     ) -> (Vec<f32>, ExecutionReport) {
-        let l = self.config.length();
-        assert_eq!(
-            schedule.length(),
-            l,
-            "schedule was produced for a different GUST length"
-        );
-        assert!(batch > 0, "batch must contain at least one vector");
+        self.try_execute_batch(schedule, b, batch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute_batch`]: the same one-pass panel walk,
+    /// with shape mismatches reported as values instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`GustError::LengthMismatch`], [`GustError::EmptyBatch`], or
+    /// [`GustError::PanelShape`] when `b.len() != cols × batch`.
+    pub fn try_execute_batch(
+        &self,
+        schedule: &ScheduledMatrix,
+        b: &[f32],
+        batch: usize,
+    ) -> Result<(Vec<f32>, ExecutionReport), GustError> {
+        self.check_batch(schedule.length(), schedule.cols(), b.len(), batch)?;
         let cols = schedule.cols();
-        assert_eq!(
-            b.len(),
-            cols * batch,
-            "panel must hold batch × cols values (column-major)"
-        );
 
         let backend = self.backend();
         let rb = backend.reg_block();
@@ -427,7 +531,7 @@ impl Gust {
             },
         );
 
-        (y, self.analytic_report(schedule, batch as u64))
+        Ok((y, self.analytic_report(schedule, batch as u64)))
     }
 
     /// Preprocesses `matrix` into a cache-blocked [`BandedSchedule`]
@@ -450,7 +554,9 @@ impl Gust {
     ///
     /// # Panics
     ///
-    /// Panics if `batch` is zero.
+    /// Panics if `batch` is zero. Use
+    /// [`Gust::try_schedule_banded_for_batch`] to get a [`GustError`]
+    /// instead.
     #[must_use]
     pub fn schedule_banded_for_batch(
         &self,
@@ -458,6 +564,22 @@ impl Gust {
         batch: usize,
     ) -> BandedSchedule {
         Scheduler::new(self.config.clone()).schedule_banded_for_batch(matrix, batch)
+    }
+
+    /// Fallible [`Gust::schedule_banded_for_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`GustError::EmptyBatch`] when `batch` is zero.
+    pub fn try_schedule_banded_for_batch(
+        &self,
+        matrix: &gust_sparse::CsrMatrix,
+        batch: usize,
+    ) -> Result<BandedSchedule, GustError> {
+        if batch == 0 {
+            return Err(GustError::EmptyBatch);
+        }
+        Ok(self.schedule_banded_for_batch(matrix, batch))
     }
 
     /// Preprocesses `matrix` into a 2D row×column [`TiledSchedule`]
@@ -476,7 +598,9 @@ impl Gust {
     ///
     /// # Panics
     ///
-    /// Panics if `batch` is zero.
+    /// Panics if `batch` is zero. Use
+    /// [`Gust::try_schedule_tiled_for_batch`] to get a [`GustError`]
+    /// instead.
     #[must_use]
     pub fn schedule_tiled_for_batch(
         &self,
@@ -484,6 +608,22 @@ impl Gust {
         batch: usize,
     ) -> TiledSchedule {
         Scheduler::new(self.config.clone()).schedule_tiled_for_batch(matrix, batch)
+    }
+
+    /// Fallible [`Gust::schedule_tiled_for_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`GustError::EmptyBatch`] when `batch` is zero.
+    pub fn try_schedule_tiled_for_batch(
+        &self,
+        matrix: &gust_sparse::CsrMatrix,
+        batch: usize,
+    ) -> Result<TiledSchedule, GustError> {
+        if batch == 0 {
+            return Err(GustError::EmptyBatch);
+        }
+        Ok(self.schedule_tiled_for_batch(matrix, batch))
     }
 
     /// Runs one SpMV over a cache-blocked [`BandedSchedule`]: bands are
@@ -498,23 +638,32 @@ impl Gust {
     /// # Panics
     ///
     /// Panics if `x.len() != schedule.cols()` or the schedule's length
-    /// does not match this engine's configuration.
+    /// does not match this engine's configuration. Use
+    /// [`Gust::try_execute_banded`] to get a [`GustError`] instead.
     #[must_use]
     pub fn execute_banded(&self, schedule: &BandedSchedule, x: &[f32]) -> GustRun {
-        let l = self.config.length();
-        assert_eq!(
-            schedule.length(),
-            l,
-            "schedule was produced for a different GUST length"
-        );
-        assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
+        self.try_execute_banded(schedule, x)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute_banded`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::try_execute`].
+    pub fn try_execute_banded(
+        &self,
+        schedule: &BandedSchedule,
+        x: &[f32],
+    ) -> Result<GustRun, GustError> {
+        self.check_single(schedule.length(), schedule.cols(), x.len())?;
 
         let mut y = vec![0.0f32; schedule.rows()];
         banded_walk_single(self.backend(), schedule, x, &mut y);
-        GustRun {
+        Ok(GustRun {
             output: y,
             report: self.banded_report(schedule, 1),
-        }
+        })
     }
 
     /// Runs one SpMV over a 2D row×column [`TiledSchedule`]: row tiles
@@ -532,26 +681,35 @@ impl Gust {
     /// # Panics
     ///
     /// Panics if `x.len() != schedule.cols()` or the schedule's length
-    /// does not match this engine's configuration.
+    /// does not match this engine's configuration. Use
+    /// [`Gust::try_execute_tiled`] to get a [`GustError`] instead.
     #[must_use]
     pub fn execute_tiled(&self, schedule: &TiledSchedule, x: &[f32]) -> GustRun {
-        let l = self.config.length();
-        assert_eq!(
-            schedule.length(),
-            l,
-            "schedule was produced for a different GUST length"
-        );
-        assert_eq!(x.len(), schedule.cols(), "input vector length mismatch");
+        self.try_execute_tiled(schedule, x)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute_tiled`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::try_execute`].
+    pub fn try_execute_tiled(
+        &self,
+        schedule: &TiledSchedule,
+        x: &[f32],
+    ) -> Result<GustRun, GustError> {
+        self.check_single(schedule.length(), schedule.cols(), x.len())?;
 
         let backend = self.backend();
         let mut y = vec![0.0f32; schedule.rows()];
         for (t, tile) in schedule.tiles().iter().enumerate() {
             banded_walk_single(backend, tile, x, &mut y[schedule.tile_range(t)]);
         }
-        GustRun {
+        Ok(GustRun {
             output: y,
             report: self.tiled_report(schedule, 1),
-        }
+        })
     }
 
     /// Batched SpMV over a cache-blocked [`BandedSchedule`] — the
@@ -569,7 +727,8 @@ impl Gust {
     ///
     /// # Panics
     ///
-    /// As [`Gust::execute_batch`].
+    /// As [`Gust::execute_batch`]. Use
+    /// [`Gust::try_execute_batch_banded`] to get a [`GustError`] instead.
     #[must_use]
     pub fn execute_batch_banded(
         &self,
@@ -577,19 +736,23 @@ impl Gust {
         b: &[f32],
         batch: usize,
     ) -> (Vec<f32>, ExecutionReport) {
-        let l = self.config.length();
-        assert_eq!(
-            schedule.length(),
-            l,
-            "schedule was produced for a different GUST length"
-        );
-        assert!(batch > 0, "batch must contain at least one vector");
+        self.try_execute_batch_banded(schedule, b, batch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute_batch_banded`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::try_execute_batch`].
+    pub fn try_execute_batch_banded(
+        &self,
+        schedule: &BandedSchedule,
+        b: &[f32],
+        batch: usize,
+    ) -> Result<(Vec<f32>, ExecutionReport), GustError> {
+        self.check_batch(schedule.length(), schedule.cols(), b.len(), batch)?;
         let cols = schedule.cols();
-        assert_eq!(
-            b.len(),
-            cols * batch,
-            "panel must hold batch × cols values (column-major)"
-        );
 
         let backend = self.backend();
         let rb = backend.reg_block();
@@ -640,7 +803,7 @@ impl Gust {
             },
         );
 
-        (y, self.banded_report(schedule, batch as u64))
+        Ok((y, self.banded_report(schedule, batch as u64)))
     }
 
     /// Batched SpMV over a 2D row×column [`TiledSchedule`] — the full 2D
@@ -658,7 +821,8 @@ impl Gust {
     ///
     /// # Panics
     ///
-    /// As [`Gust::execute_batch`].
+    /// As [`Gust::execute_batch`]. Use
+    /// [`Gust::try_execute_batch_tiled`] to get a [`GustError`] instead.
     #[must_use]
     pub fn execute_batch_tiled(
         &self,
@@ -666,19 +830,23 @@ impl Gust {
         b: &[f32],
         batch: usize,
     ) -> (Vec<f32>, ExecutionReport) {
-        let l = self.config.length();
-        assert_eq!(
-            schedule.length(),
-            l,
-            "schedule was produced for a different GUST length"
-        );
-        assert!(batch > 0, "batch must contain at least one vector");
+        self.try_execute_batch_tiled(schedule, b, batch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute_batch_tiled`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::try_execute_batch`].
+    pub fn try_execute_batch_tiled(
+        &self,
+        schedule: &TiledSchedule,
+        b: &[f32],
+        batch: usize,
+    ) -> Result<(Vec<f32>, ExecutionReport), GustError> {
+        self.check_batch(schedule.length(), schedule.cols(), b.len(), batch)?;
         let cols = schedule.cols();
-        assert_eq!(
-            b.len(),
-            cols * batch,
-            "panel must hold batch × cols values (column-major)"
-        );
 
         let backend = self.backend();
         let rb = backend.reg_block();
@@ -748,7 +916,7 @@ impl Gust {
             },
         );
 
-        (y, self.tiled_report(schedule, batch as u64))
+        Ok((y, self.tiled_report(schedule, batch as u64)))
     }
 
     /// Worker threads for a batched run over `blocks` register blocks

@@ -54,6 +54,7 @@ pub mod bandwidth;
 pub mod bound;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod gpu;
 pub mod hw;
 pub mod kernels;
@@ -61,10 +62,15 @@ pub mod parallel;
 pub mod pipeline;
 pub mod schedule;
 
-pub use config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
+pub use config::{ColoringAlgorithm, ConfigError, GustConfig, SchedulingPolicy};
 pub use engine::{Gust, GustRun};
+pub use error::GustError;
 pub use kernels::Backend;
 pub use parallel::Pool;
+
+// Re-exported so engine-level callers can drive fault injection (and
+// tests can scope it) without depending on `gust_sparse` directly.
+pub use gust_sparse::faults;
 pub use schedule::banded::{BandPlan, BandedSchedule, BandedWindow, ColumnBands};
 pub use schedule::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
 pub use schedule::tiled::TiledSchedule;
@@ -73,8 +79,9 @@ pub use schedule::tiled::TiledSchedule;
 pub mod prelude {
     pub use crate::bandwidth;
     pub use crate::bound;
-    pub use crate::config::{ColoringAlgorithm, GustConfig, SchedulingPolicy};
+    pub use crate::config::{ColoringAlgorithm, ConfigError, GustConfig, SchedulingPolicy};
     pub use crate::engine::{Gust, GustRun};
+    pub use crate::error::GustError;
     pub use crate::kernels::Backend;
     pub use crate::parallel::{ParallelGust, Pool};
     pub use crate::pipeline::EndToEnd;

@@ -358,8 +358,24 @@ mod pool {
         ///
         /// # Panics
         ///
-        /// Re-raises (as a panic on the caller) any panic from `f`.
+        /// Re-raises (as a panic on the caller) any panic from `f` —
+        /// including panics injected by the `worker_panic` fault site
+        /// (see [`gust_sparse::faults`]), which fire through the same
+        /// catch-and-re-raise path a real task panic takes.
         pub fn run<F: Fn(usize) + Sync>(&self, workers: usize, tasks: usize, f: F) {
+            use gust_sparse::faults;
+            // The injection sits inside the task body (not around the
+            // run) so an injected crash exercises exactly the recovery
+            // machinery a real one would: per-task catch_unwind on
+            // workers, ticket retirement, and the caller's re-raise.
+            self.run_inner(workers, tasks, move |task| {
+                faults::check_panic(faults::sites::WORKER_PANIC);
+                f(task);
+            });
+        }
+
+        /// [`Pool::run`] without the fault-injection shim.
+        fn run_inner<F: Fn(usize) + Sync>(&self, workers: usize, tasks: usize, f: F) {
             let helpers = workers
                 .saturating_sub(1)
                 .min(tasks.saturating_sub(1))

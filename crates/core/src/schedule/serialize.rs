@@ -2,10 +2,21 @@
 //! Buffer Filler consumes from off-chip memory (§3.3 "Streaming the
 //! Inputs").
 //!
-//! Layout (little-endian):
+//! Every container shares one corruption-safe envelope (little-endian):
 //!
 //! ```text
-//! magic "GUST" | version u32 | length u32 | rows u64 | cols u64
+//! magic | version u32 | payload_len u64 | payload | crc32 u32
+//! ```
+//!
+//! The trailer CRC32 covers exactly the payload, so a truncated copy or
+//! a bit flip on disk surfaces as [`ReadScheduleError::Corrupt`] before
+//! any structural parsing happens; the structural validation below then
+//! only ever sees payloads whose bytes are intact.
+//!
+//! The flat (`"GUST"`) payload:
+//!
+//! ```text
+//! length u32 | rows u64 | cols u64
 //! | row_perm: rows × u32
 //! | window count u64
 //! | per window: colors u32, vizing u32, stalls u64,
@@ -19,10 +30,18 @@
 //! schedule matches [`ScheduledMatrix::dense_stream_bytes`] up to the
 //! per-cell bookkeeping this container format adds.
 
+// Production loaders must surface failures as typed errors, never
+// `unwrap` panics: this module is part of the fault-tolerant loading
+// path (see the README's Robustness section).
+#![deny(clippy::unwrap_used)]
+
 use super::banded::{BandedSchedule, BandedWindow, ColumnBands};
 use super::scheduled::{ScheduledMatrix, WindowSchedule};
 use super::tiled::TiledSchedule;
+use gust_sparse::checksum::crc32;
+use gust_sparse::faults;
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"GUST";
 /// Banded-schedule container magic: the band partition and per-window
@@ -32,7 +51,10 @@ const BANDED_MAGIC: &[u8; 4] = b"GUSB";
 /// banded-schedule body (band partition + per-window cell grids + band
 /// offsets) per tile.
 const TILED_MAGIC: &[u8; 4] = b"GUTL";
-const VERSION: u32 = 1;
+/// Container version. v2 wrapped the v1 body in the length-prefixed,
+/// CRC32-trailed envelope above; v1 streams are rejected (rebuild the
+/// schedule once to migrate).
+const VERSION: u32 = 2;
 
 /// Errors from reading a serialized schedule.
 #[derive(Debug)]
@@ -42,6 +64,10 @@ pub enum ReadScheduleError {
     Io(io::Error),
     /// Not a schedule stream, or an unsupported version.
     Format(String),
+    /// The stream was a schedule container once and has been damaged:
+    /// truncated payload or checksum mismatch. Callers may quarantine
+    /// the file and rebuild the schedule (see [`read_schedule_cached`]).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for ReadScheduleError {
@@ -49,6 +75,7 @@ impl std::fmt::Display for ReadScheduleError {
         match self {
             Self::Io(e) => write!(f, "io error: {e}"),
             Self::Format(m) => write!(f, "format error: {m}"),
+            Self::Corrupt(m) => write!(f, "corrupt schedule: {m}"),
         }
     }
 }
@@ -61,6 +88,84 @@ impl From<io::Error> for ReadScheduleError {
     }
 }
 
+/// Writes the container envelope around an already-serialized payload.
+fn write_container<W: Write>(magic: &[u8; 4], payload: &[u8], writer: &mut W) -> io::Result<()> {
+    faults::check_io(faults::sites::SCHEDULE_WRITE)?;
+    writer.write_all(magic)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.write_all(&crc32(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads and verifies the container envelope, returning the intact
+/// payload bytes. `magic_label` names the container in the bad-magic
+/// message.
+fn read_container<R: Read>(
+    magic: &[u8; 4],
+    magic_label: &str,
+    mut reader: R,
+) -> Result<Vec<u8>, ReadScheduleError> {
+    faults::check_io(faults::sites::SCHEDULE_READ)?;
+    let eof_corrupt = |what: &str, e: io::Error| -> ReadScheduleError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ReadScheduleError::Corrupt(format!("truncated {what}"))
+        } else {
+            ReadScheduleError::Io(e)
+        }
+    };
+    let mut got = [0u8; 4];
+    reader
+        .read_exact(&mut got)
+        .map_err(|e| eof_corrupt("container magic", e))?;
+    if &got != magic {
+        return Err(ReadScheduleError::Format(magic_label.to_string()));
+    }
+    let mut word = [0u8; 4];
+    reader
+        .read_exact(&mut word)
+        .map_err(|e| eof_corrupt("container version", e))?;
+    let version = u32::from_le_bytes(word);
+    if version != VERSION {
+        return Err(ReadScheduleError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let mut qword = [0u8; 8];
+    reader
+        .read_exact(&mut qword)
+        .map_err(|e| eof_corrupt("payload length", e))?;
+    let payload_len = u64::from_le_bytes(qword);
+    // Read the payload in bounded chunks: a forged length fails at the
+    // stream's real end instead of one giant up-front allocation.
+    const CHUNK: u64 = 16 << 20;
+    let mut payload = Vec::new();
+    let mut remaining = payload_len;
+    while remaining > 0 {
+        let take = usize::try_from(remaining.min(CHUNK))
+            .map_err(|_| ReadScheduleError::Corrupt("payload exceeds address space".into()))?;
+        let start = payload.len();
+        payload.resize(start + take, 0u8);
+        reader
+            .read_exact(&mut payload[start..])
+            .map_err(|e| eof_corrupt("payload", e))?;
+        remaining -= take as u64;
+    }
+    let mut trailer = [0u8; 4];
+    reader
+        .read_exact(&mut trailer)
+        .map_err(|e| eof_corrupt("checksum trailer", e))?;
+    let stored = u32::from_le_bytes(trailer);
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(ReadScheduleError::Corrupt(format!(
+            "payload checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        )));
+    }
+    Ok(payload)
+}
+
 /// Writes `schedule` to `writer` in the stream format above.
 ///
 /// Accepts any [`Write`]r by value; pass `&mut writer` to keep ownership.
@@ -69,20 +174,19 @@ impl From<io::Error> for ReadScheduleError {
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_schedule<W: Write>(schedule: &ScheduledMatrix, mut writer: W) -> io::Result<()> {
-    writer.write_all(MAGIC)?;
-    writer.write_all(&VERSION.to_le_bytes())?;
-    writer.write_all(&(schedule.length() as u32).to_le_bytes())?;
-    writer.write_all(&(schedule.rows() as u64).to_le_bytes())?;
-    writer.write_all(&(schedule.cols() as u64).to_le_bytes())?;
+    let mut payload = Vec::new();
+    payload.write_all(&(schedule.length() as u32).to_le_bytes())?;
+    payload.write_all(&(schedule.rows() as u64).to_le_bytes())?;
+    payload.write_all(&(schedule.cols() as u64).to_le_bytes())?;
     for &orig in schedule.row_perm() {
-        writer.write_all(&orig.to_le_bytes())?;
+        payload.write_all(&orig.to_le_bytes())?;
     }
-    writer.write_all(&(schedule.windows().len() as u64).to_le_bytes())?;
+    payload.write_all(&(schedule.windows().len() as u64).to_le_bytes())?;
     let l = schedule.length();
     for window in schedule.windows() {
-        write_window(window, l, &mut writer)?;
+        write_window(window, l, &mut payload)?;
     }
-    Ok(())
+    write_container(MAGIC, &payload, &mut writer)
 }
 
 /// Writes one window's header and dense per-color cell grid (the shared
@@ -120,12 +224,10 @@ fn write_window<W: Write>(window: &WindowSchedule, l: usize, writer: &mut W) -> 
 
 /// Writes `schedule` — a cache-blocked banded schedule — to `writer`.
 ///
-/// Layout: the flat header with the [`BANDED_MAGIC`], then the band
-/// boundaries, then per window the merged band-major cell grid followed
-/// by its CSR-style band slot offsets:
+/// Payload layout (inside the checksummed envelope, [`BANDED_MAGIC`]):
 ///
 /// ```text
-/// magic "GUSB" | version u32 | length u32 | rows u64 | cols u64
+/// length u32 | rows u64 | cols u64
 /// | band count u64 | band_starts: (bands + 1) × u32
 /// | row_perm: rows × u32
 /// | window count u64
@@ -136,12 +238,12 @@ fn write_window<W: Write>(window: &WindowSchedule, l: usize, writer: &mut W) -> 
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_banded_schedule<W: Write>(schedule: &BandedSchedule, mut writer: W) -> io::Result<()> {
-    writer.write_all(BANDED_MAGIC)?;
-    writer.write_all(&VERSION.to_le_bytes())?;
-    writer.write_all(&(schedule.length() as u32).to_le_bytes())?;
-    writer.write_all(&(schedule.rows() as u64).to_le_bytes())?;
-    writer.write_all(&(schedule.cols() as u64).to_le_bytes())?;
-    write_banded_body(schedule, &mut writer)
+    let mut payload = Vec::new();
+    payload.write_all(&(schedule.length() as u32).to_le_bytes())?;
+    payload.write_all(&(schedule.rows() as u64).to_le_bytes())?;
+    payload.write_all(&(schedule.cols() as u64).to_le_bytes())?;
+    write_banded_body(schedule, &mut payload)?;
+    write_container(BANDED_MAGIC, &payload, &mut writer)
 }
 
 /// Writes the banded payload that follows the shape header: band count,
@@ -169,12 +271,10 @@ fn write_banded_body<W: Write>(schedule: &BandedSchedule, writer: &mut W) -> io:
 
 /// Writes `schedule` — a 2D row×column tiled schedule — to `writer`.
 ///
-/// Layout: the shape header with the [`TILED_MAGIC`], the row-tile
-/// boundaries, then one banded body (as in [`write_banded_schedule`])
-/// per tile:
+/// Payload layout (inside the checksummed envelope, [`TILED_MAGIC`]):
 ///
 /// ```text
-/// magic "GUTL" | version u32 | length u32 | rows u64 | cols u64
+/// length u32 | rows u64 | cols u64
 /// | tile count u64 | row_starts: (tiles + 1) × u32
 /// | per tile: band count u64, band_starts, row_perm (tile rows × u32),
 ///   window count u64, windows (cell grid + band offsets)
@@ -184,19 +284,18 @@ fn write_banded_body<W: Write>(schedule: &BandedSchedule, writer: &mut W) -> io:
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_tiled_schedule<W: Write>(schedule: &TiledSchedule, mut writer: W) -> io::Result<()> {
-    writer.write_all(TILED_MAGIC)?;
-    writer.write_all(&VERSION.to_le_bytes())?;
-    writer.write_all(&(schedule.length() as u32).to_le_bytes())?;
-    writer.write_all(&(schedule.rows() as u64).to_le_bytes())?;
-    writer.write_all(&(schedule.cols() as u64).to_le_bytes())?;
-    writer.write_all(&(schedule.tile_count() as u64).to_le_bytes())?;
+    let mut payload = Vec::new();
+    payload.write_all(&(schedule.length() as u32).to_le_bytes())?;
+    payload.write_all(&(schedule.rows() as u64).to_le_bytes())?;
+    payload.write_all(&(schedule.cols() as u64).to_le_bytes())?;
+    payload.write_all(&(schedule.tile_count() as u64).to_le_bytes())?;
     for &start in schedule.row_starts() {
-        writer.write_all(&start.to_le_bytes())?;
+        payload.write_all(&start.to_le_bytes())?;
     }
     for tile in schedule.tiles() {
-        write_banded_body(tile, &mut writer)?;
+        write_banded_body(tile, &mut payload)?;
     }
-    Ok(())
+    write_container(TILED_MAGIC, &payload, &mut writer)
 }
 
 /// Reads a schedule previously written with [`write_schedule`].
@@ -204,19 +303,12 @@ pub fn write_tiled_schedule<W: Write>(schedule: &TiledSchedule, mut writer: W) -
 /// # Errors
 ///
 /// [`ReadScheduleError::Format`] on a bad magic/version or inconsistent
-/// structure, [`ReadScheduleError::Io`] on reader failure.
-pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadScheduleError> {
-    let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(ReadScheduleError::Format("bad magic".into()));
-    }
-    let version = read_u32(&mut reader)?;
-    if version != VERSION {
-        return Err(ReadScheduleError::Format(format!(
-            "unsupported version {version}"
-        )));
-    }
+/// structure, [`ReadScheduleError::Corrupt`] on a truncated or
+/// bit-damaged stream (checksum mismatch), [`ReadScheduleError::Io`] on
+/// reader failure.
+pub fn read_schedule<R: Read>(reader: R) -> Result<ScheduledMatrix, ReadScheduleError> {
+    let payload = read_container(MAGIC, "bad magic", reader)?;
+    let mut reader = payload.as_slice();
     let length = read_u32(&mut reader)? as usize;
     if length == 0 {
         return Err(ReadScheduleError::Format("zero length".into()));
@@ -233,6 +325,12 @@ pub fn read_schedule<R: Read>(mut reader: R) -> Result<ScheduledMatrix, ReadSche
     let mut windows = Vec::with_capacity(window_count);
     for _ in 0..window_count {
         windows.push(read_window(&mut reader, length, cols)?);
+    }
+    if !reader.is_empty() {
+        return Err(ReadScheduleError::Format(format!(
+            "{} trailing payload bytes",
+            reader.len()
+        )));
     }
     Ok(ScheduledMatrix::from_parts(
         length, rows, cols, row_perm, windows,
@@ -330,26 +428,25 @@ fn read_window<R: Read>(
 ///
 /// [`ReadScheduleError::Format`] on a bad magic/version, an inconsistent
 /// band partition, or a slot whose column falls outside its band;
+/// [`ReadScheduleError::Corrupt`] on a truncated or bit-damaged stream;
 /// [`ReadScheduleError::Io`] on reader failure.
-pub fn read_banded_schedule<R: Read>(mut reader: R) -> Result<BandedSchedule, ReadScheduleError> {
-    let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
-    if &magic != BANDED_MAGIC {
-        return Err(ReadScheduleError::Format("bad banded magic".into()));
-    }
-    let version = read_u32(&mut reader)?;
-    if version != VERSION {
-        return Err(ReadScheduleError::Format(format!(
-            "unsupported version {version}"
-        )));
-    }
+pub fn read_banded_schedule<R: Read>(reader: R) -> Result<BandedSchedule, ReadScheduleError> {
+    let payload = read_container(BANDED_MAGIC, "bad banded magic", reader)?;
+    let mut reader = payload.as_slice();
     let length = read_u32(&mut reader)? as usize;
     if length == 0 {
         return Err(ReadScheduleError::Format("zero length".into()));
     }
     let rows = read_u64(&mut reader)? as usize;
     let cols = read_u64(&mut reader)? as usize;
-    read_banded_body(&mut reader, length, rows, cols)
+    let schedule = read_banded_body(&mut reader, length, rows, cols)?;
+    if !reader.is_empty() {
+        return Err(ReadScheduleError::Format(format!(
+            "{} trailing payload bytes",
+            reader.len()
+        )));
+    }
+    Ok(schedule)
 }
 
 /// Reads the banded payload that follows the shape header (see
@@ -425,19 +522,11 @@ fn read_banded_body<R: Read>(
 ///
 /// [`ReadScheduleError::Format`] on a bad magic/version, an inconsistent
 /// row-tile partition, or any per-tile banded-body violation;
+/// [`ReadScheduleError::Corrupt`] on a truncated or bit-damaged stream;
 /// [`ReadScheduleError::Io`] on reader failure.
-pub fn read_tiled_schedule<R: Read>(mut reader: R) -> Result<TiledSchedule, ReadScheduleError> {
-    let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
-    if &magic != TILED_MAGIC {
-        return Err(ReadScheduleError::Format("bad tiled magic".into()));
-    }
-    let version = read_u32(&mut reader)?;
-    if version != VERSION {
-        return Err(ReadScheduleError::Format(format!(
-            "unsupported version {version}"
-        )));
-    }
+pub fn read_tiled_schedule<R: Read>(reader: R) -> Result<TiledSchedule, ReadScheduleError> {
+    let payload = read_container(TILED_MAGIC, "bad tiled magic", reader)?;
+    let mut reader = payload.as_slice();
     let length = read_u32(&mut reader)? as usize;
     if length == 0 {
         return Err(ReadScheduleError::Format("zero length".into()));
@@ -479,9 +568,189 @@ pub fn read_tiled_schedule<R: Read>(mut reader: R) -> Result<TiledSchedule, Read
         let tile_rows = (row_starts[t + 1] - row_starts[t]) as usize;
         tiles.push(read_banded_body(&mut reader, length, tile_rows, cols)?);
     }
+    if !reader.is_empty() {
+        return Err(ReadScheduleError::Format(format!(
+            "{} trailing payload bytes",
+            reader.len()
+        )));
+    }
     Ok(TiledSchedule::from_parts(
         length, rows, cols, row_starts, tiles,
     ))
+}
+
+/// Reads a flat schedule from `path`.
+///
+/// # Errors
+///
+/// As [`read_schedule`]; a file that cannot be opened is
+/// [`ReadScheduleError::Io`].
+pub fn read_schedule_file(path: impl AsRef<Path>) -> Result<ScheduledMatrix, ReadScheduleError> {
+    read_schedule(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Writes `path` atomically: bytes land in a `.tmp` sibling and are
+/// renamed over the destination only once fully flushed, so an
+/// interrupted write never leaves a partial container behind. On error
+/// the temporary is removed and `path` is untouched.
+fn write_file_atomic(
+    path: &Path,
+    write: impl FnOnce(&mut io::BufWriter<std::fs::File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let result = (|| {
+        let mut writer = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        write(&mut writer)?;
+        writer.flush()?;
+        drop(writer);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Writes a flat schedule to `path` (atomically — see
+/// [`write_schedule`] for the container format).
+///
+/// # Errors
+///
+/// Propagates I/O errors; on error `path` is untouched.
+pub fn write_schedule_file(schedule: &ScheduledMatrix, path: impl AsRef<Path>) -> io::Result<()> {
+    write_file_atomic(path.as_ref(), |w| write_schedule(schedule, w))
+}
+
+/// Reads a banded schedule from `path` (see [`read_schedule_file`]).
+///
+/// # Errors
+///
+/// As [`read_banded_schedule`].
+pub fn read_banded_schedule_file(
+    path: impl AsRef<Path>,
+) -> Result<BandedSchedule, ReadScheduleError> {
+    read_banded_schedule(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Writes a banded schedule to `path` (atomically — see
+/// [`write_schedule_file`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors; on error `path` is untouched.
+pub fn write_banded_schedule_file(
+    schedule: &BandedSchedule,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    write_file_atomic(path.as_ref(), |w| write_banded_schedule(schedule, w))
+}
+
+/// Reads a tiled schedule from `path` (see [`read_schedule_file`]).
+///
+/// # Errors
+///
+/// As [`read_tiled_schedule`].
+pub fn read_tiled_schedule_file(
+    path: impl AsRef<Path>,
+) -> Result<TiledSchedule, ReadScheduleError> {
+    read_tiled_schedule(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Writes a tiled schedule to `path` (atomically — see
+/// [`write_schedule_file`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors; on error `path` is untouched.
+pub fn write_tiled_schedule_file(
+    schedule: &TiledSchedule,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    write_file_atomic(path.as_ref(), |w| write_tiled_schedule(schedule, w))
+}
+
+/// The shared load-or-rebuild policy behind the `*_cached` helpers:
+/// serve `path` when it holds an intact container; quarantine it (rename
+/// to `<path>.corrupt`) when it is damaged; in every failure case fall
+/// back to `build` and best-effort rewrite the file. Scheduling again is
+/// always correct — the cache only ever saves time, never changes
+/// results — so no cache problem is allowed to surface as an error.
+fn cached_schedule<T>(
+    path: &Path,
+    read: impl FnOnce(&Path) -> Result<T, ReadScheduleError>,
+    write: impl FnOnce(&T, &Path) -> io::Result<()>,
+    build: impl FnOnce() -> T,
+) -> T {
+    if path.exists() {
+        match read(path) {
+            Ok(schedule) => return schedule,
+            Err(ReadScheduleError::Corrupt(why)) => {
+                match gust_sparse::io::quarantine_corrupt(path) {
+                    Some(dest) => eprintln!(
+                        "warning: quarantined corrupt schedule cache {} -> {} ({why})",
+                        path.display(),
+                        dest.display()
+                    ),
+                    None => eprintln!(
+                        "warning: removed corrupt schedule cache {} ({why})",
+                        path.display()
+                    ),
+                }
+            }
+            // Older version, foreign file, transient I/O failure: the
+            // rebuild below overwrites it either way.
+            Err(_) => {}
+        }
+    }
+    let schedule = build();
+    let _ = write(&schedule, path);
+    schedule
+}
+
+/// Loads a flat schedule from `path`, rebuilding it with `build` when
+/// the file is missing, outdated, or damaged. A damaged file is
+/// quarantined as `<path>.corrupt` first; the rebuilt schedule is
+/// written back (best-effort) so the next load is cheap again.
+pub fn read_schedule_cached(
+    path: impl AsRef<Path>,
+    build: impl FnOnce() -> ScheduledMatrix,
+) -> ScheduledMatrix {
+    cached_schedule(
+        path.as_ref(),
+        |p| read_schedule_file(p),
+        |s, p| write_schedule_file(s, p),
+        build,
+    )
+}
+
+/// As [`read_schedule_cached`], for banded schedules.
+pub fn read_banded_schedule_cached(
+    path: impl AsRef<Path>,
+    build: impl FnOnce() -> BandedSchedule,
+) -> BandedSchedule {
+    cached_schedule(
+        path.as_ref(),
+        |p| read_banded_schedule_file(p),
+        |s, p| write_banded_schedule_file(s, p),
+        build,
+    )
+}
+
+/// As [`read_schedule_cached`], for tiled schedules.
+pub fn read_tiled_schedule_cached(
+    path: impl AsRef<Path>,
+    build: impl FnOnce() -> TiledSchedule,
+) -> TiledSchedule {
+    cached_schedule(
+        path.as_ref(),
+        |p| read_tiled_schedule_file(p),
+        |s, p| write_tiled_schedule_file(s, p),
+        build,
+    )
 }
 
 fn read_array<R: Read, const N: usize>(reader: &mut R) -> io::Result<[u8; N]> {
@@ -499,11 +768,24 @@ fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests may unwrap; the gate is for load paths
 mod tests {
     use super::*;
     use crate::config::{GustConfig, SchedulingPolicy};
     use crate::engine::Gust;
     use gust_sparse::prelude::*;
+
+    /// Container envelope: magic 4 + version 4 + payload_len 8.
+    const ENVELOPE: usize = 16;
+
+    /// Recomputes the trailer CRC after a test deliberately edits
+    /// payload bytes, so structural validation (not the checksum) is
+    /// what the reader exercises.
+    fn fix_crc(buf: &mut [u8]) {
+        let end = buf.len() - 4;
+        let crc = crc32(&buf[ENVELOPE..end]);
+        buf[end..].copy_from_slice(&crc.to_le_bytes());
+    }
 
     fn round_trip(schedule: &ScheduledMatrix) -> ScheduledMatrix {
         let mut buf = Vec::new();
@@ -589,15 +871,16 @@ mod tests {
         let schedule = Gust::new(GustConfig::new(4)).schedule(&m);
         let mut buf = Vec::new();
         write_schedule(&schedule, &mut buf).expect("write");
-        // Stream layout: magic 4 + version 4 + length 4 + rows 8 + cols 8
-        // + row_perm 8×4 + window count 8 + first window header (colors 4
-        // + vizing 4 + stalls 8) = 84 bytes, then the first cell. Lane 0
-        // of the identity's first window is occupied.
-        let occupied = 84;
+        // Payload layout: length 4 + rows 8 + cols 8 + row_perm 8×4 +
+        // window count 8 + first window header (colors 4 + vizing 4 +
+        // stalls 8) = 76 bytes past the envelope, then the first cell.
+        // Lane 0 of the identity's first window is occupied.
+        let occupied = ENVELOPE + 76;
         assert_eq!(buf[occupied], 1, "expected an occupied first cell");
         // Cell layout: occupancy u8, value f32, row_mod u32, col u32.
         let col_at = occupied + 1 + 4 + 4;
         buf[col_at..col_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        fix_crc(&mut buf);
         let err = read_schedule(buf.as_slice()).unwrap_err();
         assert!(
             err.to_string().contains("out of range"),
@@ -672,11 +955,11 @@ mod tests {
             .schedule_banded_with(&m, ColumnBands::with_count(16, 2));
         let mut buf = Vec::new();
         write_banded_schedule(&schedule, &mut buf).expect("write");
-        // Header: magic 4 + version 4 + length 4 + rows 8 + cols 8 +
-        // band count 8 + 3 × u32 boundaries + 16 × u32 row_perm + window
-        // count 8 = 120 bytes, then the first window (colors 4 + vizing 4
+        // Payload: length 4 + rows 8 + cols 8 + band count 8 + 3 × u32
+        // boundaries + 16 × u32 row_perm + window count 8 = 112 bytes
+        // past the envelope, then the first window (colors 4 + vizing 4
         // + stalls 8), then the first cell.
-        let first_cell = 120 + 16;
+        let first_cell = ENVELOPE + 112 + 16;
         let occupied = buf[first_cell..]
             .iter()
             .position(|&b| b == 1)
@@ -688,6 +971,7 @@ mod tests {
         let col = u32::from_le_bytes(buf[col_at..col_at + 4].try_into().unwrap());
         let wrong = if col < 8 { col + 8 } else { col - 8 };
         buf[col_at..col_at + 4].copy_from_slice(&wrong.to_le_bytes());
+        fix_crc(&mut buf);
         let err = read_banded_schedule(buf.as_slice()).unwrap_err();
         assert!(
             err.to_string().contains("outside"),
@@ -753,10 +1037,11 @@ mod tests {
         );
         let mut buf = Vec::new();
         write_tiled_schedule(&schedule, &mut buf).expect("write");
-        // Header: magic 4 + version 4 + length 4 + rows 8 + cols 8 +
-        // tile count 8 = 36 bytes, then 3 × u32 row boundaries.
-        let starts_at = 36;
+        // Payload: length 4 + rows 8 + cols 8 + tile count 8 = 28 bytes
+        // past the envelope, then 3 × u32 row boundaries.
+        let starts_at = ENVELOPE + 28;
         buf[starts_at + 4..starts_at + 8].copy_from_slice(&99u32.to_le_bytes());
+        fix_crc(&mut buf);
         let err = read_tiled_schedule(buf.as_slice()).unwrap_err();
         assert!(
             err.to_string().contains("ascend"),
@@ -776,5 +1061,126 @@ mod tests {
                 "truncation at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected_in_all_containers() {
+        let m = CsrMatrix::from(&gen::uniform(8, 8, 30, 3));
+        let gust = Gust::new(GustConfig::new(4));
+        let mut streams: Vec<(&str, Vec<u8>)> = Vec::new();
+        let mut buf = Vec::new();
+        write_schedule(&gust.schedule(&m), &mut buf).expect("write flat");
+        streams.push(("flat", buf));
+        let mut buf = Vec::new();
+        write_banded_schedule(&gust.schedule_banded(&m), &mut buf).expect("write banded");
+        streams.push(("banded", buf));
+        let mut buf = Vec::new();
+        write_tiled_schedule(&gust.schedule_tiled(&m), &mut buf).expect("write tiled");
+        streams.push(("tiled", buf));
+
+        for (kind, clean) in streams {
+            let read_any = |bytes: &[u8]| -> Result<(), ReadScheduleError> {
+                match kind {
+                    "flat" => read_schedule(bytes).map(drop),
+                    "banded" => read_banded_schedule(bytes).map(drop),
+                    _ => read_tiled_schedule(bytes).map(drop),
+                }
+            };
+            read_any(&clean).expect("clean stream must load");
+            for byte in 0..clean.len() {
+                let mut damaged = clean.clone();
+                damaged[byte] ^= 0x10;
+                let err = read_any(&damaged)
+                    .expect_err(&format!("{kind}: byte {byte} corruption must not load"));
+                // Past magic + version, damage must be classified as
+                // Corrupt (the checksum or length prefix catches it
+                // before structural parsing runs).
+                if byte >= 8 {
+                    assert!(
+                        matches!(err, ReadScheduleError::Corrupt(_)),
+                        "{kind}: byte {byte} expected Corrupt, got {err:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn version_one_streams_are_rejected_as_format() {
+        let m = CsrMatrix::identity(6);
+        let schedule = Gust::new(GustConfig::new(3)).schedule(&m);
+        let mut buf = Vec::new();
+        write_schedule(&schedule, &mut buf).expect("write");
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let err = read_schedule(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, ReadScheduleError::Format(m) if m.contains("unsupported version 1")),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn cached_loader_quarantines_corrupt_schedules_and_rebuilds() {
+        let dir = std::env::temp_dir().join(format!(
+            "gust-sched-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.gusb");
+        let m = CsrMatrix::from(&gen::uniform(12, 12, 50, 5));
+        let gust = Gust::new(GustConfig::new(4));
+        let expected = gust.schedule_banded(&m);
+
+        // First call: cache miss, builds and writes.
+        let first = read_banded_schedule_cached(&path, || gust.schedule_banded(&m));
+        assert_eq!(first, expected);
+        assert!(path.is_file(), "cache must be written on miss");
+
+        // Second call: pure cache hit (build closure must not run).
+        let second = read_banded_schedule_cached(&path, || panic!("cache hit must not rebuild"));
+        assert_eq!(second, expected);
+
+        // Damage one payload byte: the next load must quarantine and
+        // rebuild transparently, with a correct result.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        let third = read_banded_schedule_cached(&path, || gust.schedule_banded(&m));
+        assert_eq!(third, expected, "corrupt cache must fall back to rebuild");
+        let quarantined = dir.join("m.gusb.corrupt");
+        assert!(quarantined.is_file(), "corrupt cache must be quarantined");
+        assert_eq!(std::fs::read(&quarantined).unwrap(), bytes);
+        // And the cache was rewritten healthy.
+        assert_eq!(read_banded_schedule_file(&path).unwrap(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cached_loader_round_trips_flat_and_tiled() {
+        let dir = std::env::temp_dir().join(format!(
+            "gust-sched-cache2-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = CsrMatrix::from(&gen::uniform(12, 12, 50, 5));
+        let gust = Gust::new(GustConfig::new(4));
+
+        let flat_path = dir.join("m.gust");
+        let flat = read_schedule_cached(&flat_path, || gust.schedule(&m));
+        assert_eq!(
+            read_schedule_cached(&flat_path, || panic!("hit must not rebuild")),
+            flat
+        );
+
+        let tiled_path = dir.join("m.gutl");
+        let tiled = read_tiled_schedule_cached(&tiled_path, || gust.schedule_tiled(&m));
+        assert_eq!(
+            read_tiled_schedule_cached(&tiled_path, || panic!("hit must not rebuild")),
+            tiled
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -43,6 +43,15 @@ pub enum SparseError {
     },
     /// CSR/CSC structural invariant violated (e.g. non-monotone pointers).
     InvalidStructure(String),
+    /// An on-disk artifact failed an integrity check (CRC mismatch,
+    /// truncated payload, impossible section length). Unlike
+    /// [`SparseError::ParseError`], this means the bytes were once valid
+    /// and have since been damaged — callers may quarantine the file and
+    /// rebuild it from its source.
+    Corrupt(String),
+    /// An underlying I/O operation failed (carries the rendered
+    /// [`std::io::Error`]; `String` keeps this type `Clone + PartialEq`).
+    Io(String),
 }
 
 impl fmt::Display for SparseError {
@@ -69,11 +78,19 @@ impl fmt::Display for SparseError {
                 write!(f, "matrix market parse error at line {line}: {message}")
             }
             Self::InvalidStructure(message) => write!(f, "invalid structure: {message}"),
+            Self::Corrupt(message) => write!(f, "corrupt data: {message}"),
+            Self::Io(message) => write!(f, "i/o error: {message}"),
         }
     }
 }
 
 impl Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -104,6 +121,12 @@ mod tests {
             message: "bad float".into(),
         };
         assert!(e.to_string().contains("line 7"));
+
+        let e = SparseError::Corrupt("GSPB payload checksum mismatch".into());
+        assert!(e.to_string().contains("corrupt"));
+
+        let e = SparseError::from(std::io::Error::other("disk on fire"));
+        assert!(matches!(&e, SparseError::Io(m) if m.contains("disk on fire")));
     }
 
     #[test]

@@ -19,11 +19,18 @@
 //! loads at I/O speed ([`read_bin_file`] on a warm page cache is a
 //! `memcpy`) — the first step of the roadmap's mmap item.
 
+// Production loaders must surface failures as typed errors, never
+// `unwrap` panics: this module is part of the fault-tolerant loading
+// path (see the README's Robustness section).
+#![deny(clippy::unwrap_used)]
+
+use crate::checksum::{Crc32, Crc32Reader, Crc32Writer};
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
+use crate::faults;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Parses a Matrix Market stream into a [`CooMatrix`].
 ///
@@ -165,35 +172,92 @@ pub fn write_matrix_market<W: Write>(matrix: &CooMatrix, mut writer: W) -> std::
 
 /// Binary CSR cache magic.
 const BIN_MAGIC: &[u8; 4] = b"GSPB";
-/// Binary CSR cache format version. Version 2 added the source byte
-/// length to the header (see [`write_bin_with_source`]); version-1
-/// streams are rejected, which for the cache use case simply forces one
-/// reparse-and-rewrite.
-const BIN_VERSION: u32 = 2;
+/// Binary CSR cache format version.
+///
+/// * v2 added the source byte length to the header.
+/// * v3 made the format corruption-safe: the body is length-prefixed
+///   (`payload_len u64` right after the version) and followed by a
+///   CRC32 trailer, and the header records a CRC32 fingerprint of the
+///   source file besides its length (see [`SourceFingerprint`]).
+///
+/// Older versions are rejected with a [`SparseError::ParseError`], which
+/// for the cache use case simply forces one reparse-and-rewrite.
+const BIN_VERSION: u32 = 3;
+
+/// Fingerprint of the source file a cached matrix was parsed from:
+/// its byte length and the CRC32 of its contents.
+/// [`read_matrix_market_cached`] compares both against the current
+/// source to decide freshness, which closes the classic mtime blind spot
+/// (a rewrite landing in the same filesystem timestamp tick as the cache
+/// write). Zero fields mean "not recorded" and skip that comparison; the
+/// all-zero [`Default`] is what [`write_bin`] records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceFingerprint {
+    /// Source byte length (0 = not recorded; a parseable Matrix Market
+    /// file is never empty).
+    pub len: u64,
+    /// CRC32 of the source bytes (0 = not recorded).
+    pub crc: u32,
+}
+
+/// Streams `path` once and returns its [`SourceFingerprint`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening or reading the file.
+pub fn file_fingerprint(path: impl AsRef<Path>) -> std::io::Result<SourceFingerprint> {
+    let mut file = std::fs::File::open(path)?;
+    let mut crc = Crc32::new();
+    let mut len = 0u64;
+    let mut buf = vec![0u8; 1 << 20];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        crc.update(&buf[..n]);
+        len += n as u64;
+    }
+    Ok(SourceFingerprint {
+        len,
+        crc: crc.finish(),
+    })
+}
+
+/// Byte length of a v3 payload for a `rows × …` matrix with `nnz`
+/// non-zeros; `None` if it overflows `u64` (only a forged header can).
+fn bin_payload_len(rows: u64, nnz: u64) -> Option<u64> {
+    // source_len u64 + source_crc u32 + rows/cols/nnz u64 each.
+    let fixed = 8u64 + 4 + 8 + 8 + 8;
+    let indptr = rows.checked_add(1)?.checked_mul(8)?;
+    let entries = nnz.checked_mul(8)?; // index u32 + value f32 per entry
+    fixed.checked_add(indptr)?.checked_add(entries)
+}
 
 /// Writes `matrix` in the binary CSR cache format (little-endian) with
-/// no recorded source length (see [`write_bin_with_source`]):
+/// no recorded source fingerprint (see [`write_bin_with_fingerprint`]):
 ///
 /// ```text
-/// magic "GSPB" | version u32 | source_len u64 | rows u64 | cols u64
-/// | nnz u64 | indptr: (rows + 1) × u64 | indices: nnz × u32
-/// | values: nnz × f32
+/// magic "GSPB" | version u32 | payload_len u64 | payload | crc32 u32
+/// payload = source_len u64 | source_crc u32 | rows u64 | cols u64
+///         | nnz u64 | indptr: (rows + 1) × u64 | indices: nnz × u32
+///         | values: nnz × f32
 /// ```
+///
+/// `payload_len` covers exactly the payload (not magic/version/trailer),
+/// and the trailing CRC32 is computed over the same bytes, so any
+/// truncation or bit flip after the version field surfaces as
+/// [`SparseError::Corrupt`] on read.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_bin<W: Write>(matrix: &CsrMatrix, writer: W) -> std::io::Result<()> {
-    write_bin_with_source(matrix, 0, writer)
+    write_bin_with_fingerprint(matrix, SourceFingerprint::default(), writer)
 }
 
-/// As [`write_bin`], recording the byte length of the source file the
-/// matrix was parsed from. [`read_matrix_market_cached`] uses the field
-/// as a second freshness signal besides mtime: a source rewritten within
-/// the same filesystem timestamp tick as the cache write is still
-/// detected as stale when its length changed. `source_len == 0` means
-/// "not recorded" (a parseable Matrix Market file is never 0 bytes), and
-/// skips the check.
+/// As [`write_bin`], recording only the source byte length (kept for
+/// callers that have no source bytes to checksum).
 ///
 /// # Errors
 ///
@@ -201,12 +265,41 @@ pub fn write_bin<W: Write>(matrix: &CsrMatrix, writer: W) -> std::io::Result<()>
 pub fn write_bin_with_source<W: Write>(
     matrix: &CsrMatrix,
     source_len: u64,
+    writer: W,
+) -> std::io::Result<()> {
+    write_bin_with_fingerprint(
+        matrix,
+        SourceFingerprint {
+            len: source_len,
+            crc: 0,
+        },
+        writer,
+    )
+}
+
+/// As [`write_bin`], recording the full [`SourceFingerprint`] of the
+/// file the matrix was parsed from (see [`read_matrix_market_cached`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer (including injected
+/// [`faults::sites::IO_WRITE`] faults when fault injection is active).
+pub fn write_bin_with_fingerprint<W: Write>(
+    matrix: &CsrMatrix,
+    source: SourceFingerprint,
     mut writer: W,
 ) -> std::io::Result<()> {
+    faults::check_io(faults::sites::IO_WRITE)?;
     let (indptr, indices, values) = matrix.raw_parts();
+    let payload_len = bin_payload_len(matrix.rows() as u64, matrix.nnz() as u64)
+        .ok_or_else(|| std::io::Error::other("matrix too large for the GSPB format"))?;
     writer.write_all(BIN_MAGIC)?;
     writer.write_all(&BIN_VERSION.to_le_bytes())?;
-    writer.write_all(&source_len.to_le_bytes())?;
+    writer.write_all(&payload_len.to_le_bytes())?;
+    // Everything from here to the trailer goes through the CRC.
+    let mut writer = Crc32Writer::new(writer);
+    writer.write_all(&source.len.to_le_bytes())?;
+    writer.write_all(&source.crc.to_le_bytes())?;
     writer.write_all(&(matrix.rows() as u64).to_le_bytes())?;
     writer.write_all(&(matrix.cols() as u64).to_le_bytes())?;
     writer.write_all(&(matrix.nnz() as u64).to_le_bytes())?;
@@ -229,6 +322,9 @@ pub fn write_bin_with_source<W: Write>(
         buf.extend_from_slice(&v.to_le_bytes());
     }
     writer.write_all(&buf)?;
+    debug_assert_eq!(writer.written(), payload_len);
+    let crc = writer.crc();
+    writer.inner_mut().write_all(&crc.to_le_bytes())?;
     Ok(())
 }
 
@@ -252,9 +348,81 @@ pub fn write_bin_file_with_source(
     source_len: u64,
     path: impl AsRef<Path>,
 ) -> std::io::Result<()> {
-    let mut writer = std::io::BufWriter::new(std::fs::File::create(path)?);
-    write_bin_with_source(matrix, source_len, &mut writer)?;
-    writer.flush()
+    write_bin_file_with_fingerprint(
+        matrix,
+        SourceFingerprint {
+            len: source_len,
+            crc: 0,
+        },
+        path,
+    )
+}
+
+/// Writes the binary CSR cache to `path`, recording the full source
+/// fingerprint (see [`write_bin_with_fingerprint`]).
+///
+/// The write is atomic at the destination: bytes land in a `.tmp`
+/// sibling first and are renamed over `path` only once fully flushed,
+/// so a crash or I/O failure mid-write can never leave a partial cache
+/// for a later load to trip over.
+///
+/// # Errors
+///
+/// Propagates I/O errors; on error the temporary file is removed and
+/// `path` is untouched.
+pub fn write_bin_file_with_fingerprint(
+    matrix: &CsrMatrix,
+    source: SourceFingerprint,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let result = (|| {
+        let mut writer = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        write_bin_with_fingerprint(matrix, source, &mut writer)?;
+        writer.flush()?;
+        drop(writer);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Maps a raw read failure: end-of-stream mid-structure means the bytes
+/// were damaged (truncated copy, torn write) → [`SparseError::Corrupt`];
+/// anything else is a live I/O failure → [`SparseError::Io`].
+fn read_failure(what: &str, e: &std::io::Error) -> SparseError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        SparseError::Corrupt(format!("truncated {what}"))
+    } else {
+        SparseError::Io(format!("reading {what}: {e}"))
+    }
+}
+
+/// Reads `count` bytes in bounded chunks, so a forged size field fails
+/// at the stream's real end instead of attempting one giant allocation
+/// up front (pre-allocation never outruns the bytes actually received).
+fn read_chunked<R: Read>(reader: &mut R, count: u64, what: &str) -> Result<Vec<u8>, SparseError> {
+    const CHUNK: u64 = 16 << 20;
+    let mut buf = Vec::new();
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = usize::try_from(remaining.min(CHUNK))
+            .map_err(|_| SparseError::Corrupt(format!("{what} size exceeds address space")))?;
+        let start = buf.len();
+        buf.resize(start + take, 0u8);
+        reader
+            .read_exact(&mut buf[start..])
+            .map_err(|e| read_failure(what, &e))?;
+        remaining -= take as u64;
+    }
+    Ok(buf)
 }
 
 /// Reads a matrix previously written with [`write_bin`], re-validating
@@ -262,11 +430,15 @@ pub fn write_bin_file_with_source(
 ///
 /// # Errors
 ///
-/// [`SparseError::ParseError`] on a bad magic/version/truncation,
+/// [`SparseError::ParseError`] on a bad magic or an unsupported version
+/// (the stream is not a v3 GSPB artifact at all),
+/// [`SparseError::Corrupt`] on truncation, a payload length that
+/// contradicts the declared shape, or a CRC mismatch (it was one, and
+/// has been damaged), [`SparseError::Io`] on a live read failure, and
 /// [`SparseError::InvalidStructure`] / [`SparseError::IndexOutOfBounds`]
-/// if the arrays do not form a valid CSR matrix.
+/// if the (intact) arrays do not form a valid CSR matrix.
 pub fn read_bin<R: Read>(reader: R) -> Result<CsrMatrix, SparseError> {
-    read_bin_with_source(reader).map(|(matrix, _)| matrix)
+    read_bin_with_fingerprint(reader).map(|(matrix, _)| matrix)
 }
 
 /// As [`read_bin`], also returning the recorded source byte length
@@ -276,78 +448,130 @@ pub fn read_bin<R: Read>(reader: R) -> Result<CsrMatrix, SparseError> {
 /// # Errors
 ///
 /// As [`read_bin`].
-pub fn read_bin_with_source<R: Read>(mut reader: R) -> Result<(CsrMatrix, u64), SparseError> {
-    let bin_err = |message: String| SparseError::ParseError { line: 0, message };
+pub fn read_bin_with_source<R: Read>(reader: R) -> Result<(CsrMatrix, u64), SparseError> {
+    read_bin_with_fingerprint(reader).map(|(matrix, fp)| (matrix, fp.len))
+}
+
+/// As [`read_bin`], also returning the recorded [`SourceFingerprint`]
+/// (zero fields when the writer did not record one).
+///
+/// # Errors
+///
+/// As [`read_bin`] (plus injected [`faults::sites::IO_READ`] faults,
+/// surfaced as [`SparseError::Io`], when fault injection is active).
+pub fn read_bin_with_fingerprint<R: Read>(
+    mut reader: R,
+) -> Result<(CsrMatrix, SourceFingerprint), SparseError> {
+    faults::check_io(faults::sites::IO_READ)?;
     let mut magic = [0u8; 4];
     reader
         .read_exact(&mut magic)
-        .map_err(|e| bin_err(format!("bad binary matrix header: {e}")))?;
+        .map_err(|e| read_failure("binary matrix header", &e))?;
     if &magic != BIN_MAGIC {
-        return Err(bin_err("not a GSPB binary matrix stream".into()));
+        return Err(SparseError::ParseError {
+            line: 0,
+            message: "not a GSPB binary matrix stream".into(),
+        });
     }
     let mut word = [0u8; 4];
     reader
         .read_exact(&mut word)
-        .map_err(|e| bin_err(format!("truncated version: {e}")))?;
+        .map_err(|e| read_failure("version", &e))?;
     let version = u32::from_le_bytes(word);
     if version != BIN_VERSION {
-        return Err(bin_err(format!("unsupported binary version {version}")));
+        return Err(SparseError::ParseError {
+            line: 0,
+            message: format!("unsupported binary version {version}"),
+        });
     }
-    let mut read_u64 = |what: &str| -> Result<u64, SparseError> {
-        let mut buf = [0u8; 8];
-        reader
-            .read_exact(&mut buf)
-            .map_err(|e| bin_err(format!("truncated {what}: {e}")))?;
-        Ok(u64::from_le_bytes(buf))
-    };
-    let source_len = read_u64("source length")?;
-    let rows = read_u64("rows")? as usize;
-    let cols = read_u64("cols")? as usize;
-    let nnz = read_u64("nnz")? as usize;
+    let mut qword = [0u8; 8];
+    reader
+        .read_exact(&mut qword)
+        .map_err(|e| read_failure("payload length", &e))?;
+    let declared_payload = u64::from_le_bytes(qword);
 
-    // Array byte counts come from the (untrusted) header: compute them
-    // checked, and read in bounded chunks so a corrupt size field fails
-    // at the stream's real end instead of attempting one giant
-    // allocation up front.
-    let byte_count = |elems: usize, width: usize, what: &str| -> Result<usize, SparseError> {
-        elems
-            .checked_mul(width)
-            .ok_or_else(|| bin_err(format!("{what} size overflows ({elems} entries)")))
+    // Everything between the length prefix and the trailer is
+    // checksummed; parse it through the CRC adapter.
+    let mut payload = Crc32Reader::new(reader);
+    fn read_u64<R: Read>(payload: &mut R, what: &str) -> Result<u64, SparseError> {
+        let mut buf = [0u8; 8];
+        payload
+            .read_exact(&mut buf)
+            .map_err(|e| read_failure(what, &e))?;
+        Ok(u64::from_le_bytes(buf))
+    }
+    let source_len = read_u64(&mut payload, "source length")?;
+    let source_crc = {
+        let mut buf = [0u8; 4];
+        payload
+            .read_exact(&mut buf)
+            .map_err(|e| read_failure("source checksum", &e))?;
+        u32::from_le_bytes(buf)
     };
-    let bytes = |count: usize, what: &str, reader: &mut R| -> Result<Vec<u8>, SparseError> {
-        const CHUNK: usize = 16 << 20;
-        let mut buf = Vec::new();
-        let mut remaining = count;
-        while remaining > 0 {
-            let take = remaining.min(CHUNK);
-            let start = buf.len();
-            buf.resize(start + take, 0u8);
-            reader
-                .read_exact(&mut buf[start..])
-                .map_err(|e| bin_err(format!("truncated {what}: {e}")))?;
-            remaining -= take;
-        }
-        Ok(buf)
+    let rows64 = read_u64(&mut payload, "rows")?;
+    let cols64 = read_u64(&mut payload, "cols")?;
+    let nnz64 = read_u64(&mut payload, "nnz")?;
+
+    // The shape fields and the payload length prefix are redundant:
+    // they must agree exactly, or some of them are forged/damaged. This
+    // is also the pre-allocation cap — sizes are cross-checked *before*
+    // any array is read, and reads stay chunked regardless.
+    let expected_payload = bin_payload_len(rows64, nnz64)
+        .ok_or_else(|| SparseError::Corrupt(format!("shape {rows64}x{cols64} overflows")))?;
+    if expected_payload != declared_payload {
+        return Err(SparseError::Corrupt(format!(
+            "payload length {declared_payload} does not match the declared shape \
+             (rows {rows64}, nnz {nnz64} require {expected_payload})"
+        )));
+    }
+    let to_usize = |v: u64, what: &str| -> Result<usize, SparseError> {
+        usize::try_from(v).map_err(|_| SparseError::Corrupt(format!("{what} {v} does not fit")))
     };
-    let indptr_len = rows
-        .checked_add(1)
-        .ok_or_else(|| bin_err(format!("row count {rows} overflows")))?;
-    let indptr_bytes = bytes(byte_count(indptr_len, 8, "indptr")?, "indptr", &mut reader)?;
+    let rows = to_usize(rows64, "row count")?;
+    let cols = to_usize(cols64, "column count")?;
+    to_usize(nnz64, "nnz")?;
+
+    let indptr_bytes = read_chunked(&mut payload, (rows64 + 1) * 8, "indptr")?;
     let indptr: Vec<usize> = indptr_bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as usize)
         .collect();
-    let indices_bytes = bytes(byte_count(nnz, 4, "indices")?, "indices", &mut reader)?;
+    drop(indptr_bytes);
+    let indices_bytes = read_chunked(&mut payload, nnz64 * 4, "indices")?;
     let indices: Vec<u32> = indices_bytes
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
         .collect();
-    let values_bytes = bytes(byte_count(nnz, 4, "values")?, "values", &mut reader)?;
+    drop(indices_bytes);
+    let values_bytes = read_chunked(&mut payload, nnz64 * 4, "values")?;
     let values: Vec<f32> = values_bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
         .collect();
-    CsrMatrix::try_new(rows, cols, indptr, indices, values).map(|m| (m, source_len))
+    drop(values_bytes);
+
+    let computed_crc = payload.crc();
+    let mut trailer = [0u8; 4];
+    payload
+        .inner_mut()
+        .read_exact(&mut trailer)
+        .map_err(|e| read_failure("checksum trailer", &e))?;
+    let stored_crc = u32::from_le_bytes(trailer);
+    if stored_crc != computed_crc {
+        return Err(SparseError::Corrupt(format!(
+            "GSPB payload checksum mismatch (stored {stored_crc:#010x}, \
+             computed {computed_crc:#010x})"
+        )));
+    }
+    CsrMatrix::try_new(rows, cols, indptr, indices, values).map(|m| {
+        (
+            m,
+            SourceFingerprint {
+                len: source_len,
+                crc: source_crc,
+            },
+        )
+    })
 }
 
 /// Reads a binary CSR cache from `path` (see [`read_bin`]).
@@ -367,11 +591,43 @@ pub fn read_bin_file(path: impl AsRef<Path>) -> Result<CsrMatrix, SparseError> {
 ///
 /// As [`read_bin_file`].
 pub fn read_bin_file_with_source(path: impl AsRef<Path>) -> Result<(CsrMatrix, u64), SparseError> {
-    let file = std::fs::File::open(path.as_ref()).map_err(|e| SparseError::ParseError {
-        line: 0,
-        message: format!("cannot open {}: {e}", path.as_ref().display()),
-    })?;
-    read_bin_with_source(BufReader::new(file))
+    read_bin_file_with_fingerprint(path).map(|(matrix, fp)| (matrix, fp.len))
+}
+
+/// Reads a binary CSR cache from `path`, also returning the recorded
+/// [`SourceFingerprint`] (see [`read_bin_with_fingerprint`]).
+///
+/// # Errors
+///
+/// As [`read_bin_file`].
+pub fn read_bin_file_with_fingerprint(
+    path: impl AsRef<Path>,
+) -> Result<(CsrMatrix, SourceFingerprint), SparseError> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| SparseError::Io(format!("cannot open {}: {e}", path.as_ref().display())))?;
+    read_bin_with_fingerprint(BufReader::new(file))
+}
+
+/// Moves a corrupt on-disk artifact out of the way by renaming it to
+/// `<path>.corrupt` (replacing any previous quarantine of the same
+/// file), so the rebuilt artifact can take its place while the damaged
+/// bytes stay available for post-mortem. Falls back to deleting the
+/// file when the rename itself fails. Returns the quarantine path if
+/// the rename succeeded.
+///
+/// Best-effort by design: the caller is already on its degradation path
+/// and must not fail because quarantining did.
+pub fn quarantine_corrupt(path: &Path) -> Option<PathBuf> {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".corrupt");
+    let dest = PathBuf::from(os);
+    let _ = std::fs::remove_file(&dest);
+    if std::fs::rename(path, &dest).is_ok() {
+        Some(dest)
+    } else {
+        let _ = std::fs::remove_file(path);
+        None
+    }
 }
 
 /// Loads `mtx_path` through the binary cache: reads `<mtx_path>.gspb` if
@@ -379,20 +635,27 @@ pub fn read_bin_file_with_source(path: impl AsRef<Path>) -> Result<(CsrMatrix, u
 /// (re)writes the cache. A bench harness points this at a SuiteSparse
 /// file and pays the text parse exactly once per version of the file.
 ///
-/// Freshness is judged on two signals: the cache's mtime must not
-/// predate the source's, **and** the source's current byte length must
-/// match the length recorded in the cache header at write time
-/// (`write_bin_with_source`) — so a source rewritten within the same
-/// filesystem mtime tick as the cache write is still caught whenever
-/// the rewrite changed the file's size. (The residual blind spot is a
-/// same-length rewrite within the same tick; delete the `.gspb` to
-/// force a reparse in that window.)
+/// Freshness is judged on three signals: the cache's mtime must not
+/// predate the source's, the source's current byte length must match
+/// the one recorded in the cache header, and — when both are recorded
+/// and the cheaper signals pass — the source's CRC32 must match the
+/// recorded [`SourceFingerprint`]. The checksum closes the former blind
+/// spot of a same-length rewrite landing in the same filesystem
+/// timestamp tick as the cache write, at the cost of one streaming read
+/// of the source text (no parse) per cached load.
+///
+/// A cache that fails its integrity check ([`SparseError::Corrupt`]) is
+/// quarantined — renamed to `<cache>.gspb.corrupt` (see
+/// [`quarantine_corrupt`]) — and the load transparently falls back to
+/// reparsing the text. A cache in an older format version is simply
+/// reparsed and overwritten; a cache that cannot be *written* is not an
+/// error either (the parse already succeeded; the next run parses
+/// again).
 ///
 /// # Errors
 ///
-/// Any [`SparseError`] from parsing or cache validation. A failure to
-/// *write* the cache is not an error (the parse already succeeded); the
-/// next run simply parses again.
+/// Any [`SparseError`] from parsing the Matrix Market text. Cache
+/// problems never surface as errors while the source is available.
 pub fn read_matrix_market_cached(mtx_path: impl AsRef<Path>) -> Result<CsrMatrix, SparseError> {
     let mtx_path = mtx_path.as_ref();
     let cache_path = {
@@ -410,22 +673,60 @@ pub fn read_matrix_market_cached(mtx_path: impl AsRef<Path>) -> Result<CsrMatrix
         (None, _) => false,
     };
     if cache_fresh {
-        if let Ok((matrix, recorded_len)) = read_bin_file_with_source(&cache_path) {
-            let length_matches = match (source_len, recorded_len) {
-                // 0 = the writer recorded no length; nothing to compare.
-                (_, 0) | (None, _) => true,
-                (Some(current), recorded) => current == recorded,
-            };
-            if length_matches {
-                return Ok(matrix);
+        match read_bin_file_with_fingerprint(&cache_path) {
+            Ok((matrix, recorded)) => {
+                if source_matches(mtx_path, source_len, recorded) {
+                    return Ok(matrix);
+                }
+                // Same-tick rewrite: stale, reparse below.
             }
-            // Same-tick rewrite with a different size: stale, reparse.
+            Err(SparseError::Corrupt(why)) => {
+                // Damaged bytes: move them aside so the rewrite below
+                // replaces them, and keep going from the source.
+                match quarantine_corrupt(&cache_path) {
+                    Some(dest) => eprintln!(
+                        "warning: quarantined corrupt matrix cache {} -> {} ({why})",
+                        cache_path.display(),
+                        dest.display()
+                    ),
+                    None => eprintln!(
+                        "warning: removed corrupt matrix cache {} ({why})",
+                        cache_path.display()
+                    ),
+                }
+            }
+            // Older version, transient I/O failure, invalid CSR: the
+            // reparse below overwrites the cache either way.
+            Err(_) => {}
         }
-        // A corrupt cache falls through to a fresh parse.
     }
     let matrix = CsrMatrix::from(&read_matrix_market_file(mtx_path)?);
-    let _ = write_bin_file_with_source(&matrix, source_len.unwrap_or(0), &cache_path);
+    let fingerprint = file_fingerprint(mtx_path).unwrap_or_default();
+    let _ = write_bin_file_with_fingerprint(&matrix, fingerprint, &cache_path);
     Ok(matrix)
+}
+
+/// Whether the source at `mtx_path` still matches the fingerprint
+/// `recorded` in its cache. Checks are ordered cheapest first; zero
+/// fingerprint fields mean "not recorded" and pass (see
+/// [`SourceFingerprint`]).
+fn source_matches(mtx_path: &Path, source_len: Option<u64>, recorded: SourceFingerprint) -> bool {
+    // Source missing = cache-only distribution: trust the cache.
+    let Some(current_len) = source_len else {
+        return true;
+    };
+    if recorded.len != 0 && recorded.len != current_len {
+        return false;
+    }
+    if recorded.crc == 0 {
+        return true;
+    }
+    match file_fingerprint(mtx_path) {
+        Ok(current) => current.crc == recorded.crc,
+        // Unreadable right now: freshness is unknowable; serve the
+        // cache rather than fail a load that has a good artifact.
+        Err(_) => true,
+    }
 }
 
 type Lines<R> = std::iter::Enumerate<std::io::Lines<BufReader<R>>>;
@@ -462,6 +763,7 @@ fn parse_err(line: usize, message: impl Into<String>) -> SparseError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests may unwrap; the gate is for load paths
 mod tests {
     use super::*;
 
@@ -578,27 +880,59 @@ mod tests {
         for cut in [2usize, 7, buf.len() / 2, buf.len() - 1] {
             assert!(read_bin(&buf[..cut]).is_err(), "truncation at {cut}");
         }
-        // A corrupt column index must fail CSR validation, not load.
-        let col_region = buf.len() - 4 * 4 - 4 * 4; // first of 4 indices
+        // A corrupt column index must fail the checksum, not load.
+        // Layout: 4-byte trailer CRC at the end, preceded by the values
+        // (nnz × f32) and the indices (nnz × u32).
+        let col_region = buf.len() - 4 - 4 * 4 - 4 * 4; // first of 4 indices
         buf[col_region..col_region + 4].copy_from_slice(&99u32.to_le_bytes());
-        assert!(read_bin(buf.as_slice()).is_err());
+        let err = read_bin(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, SparseError::Corrupt(_)),
+            "expected Corrupt, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn binary_cache_detects_every_single_byte_corruption() {
+        // Whole-stream sweep: no single damaged byte may load, and any
+        // damage past the version field must be classified as Corrupt
+        // (magic/version damage is a format error instead).
+        let m = CsrMatrix::from(&crate::gen::power_law(6, 5, 12, 1.5, 3));
+        let mut clean = Vec::new();
+        write_bin(&m, &mut clean).unwrap();
+        for byte in 0..clean.len() {
+            let mut damaged = clean.clone();
+            damaged[byte] ^= 0x10;
+            let err = read_bin(damaged.as_slice())
+                .expect_err(&format!("byte {byte} corruption must not load"));
+            if byte >= 8 {
+                assert!(
+                    matches!(err, SparseError::Corrupt(_)),
+                    "byte {byte}: expected Corrupt, got {err:?}"
+                );
+            }
+        }
     }
 
     #[test]
     fn binary_cache_rejects_absurd_header_sizes() {
-        // A bit-flipped header must surface as an error, not an
-        // arithmetic overflow or a terabyte allocation attempt.
+        // A forged header must surface as an error, not an arithmetic
+        // overflow or a terabyte allocation attempt — even when the
+        // payload-length prefix is forged consistently with the shape.
         for rows in [u64::MAX, 1u64 << 40] {
             let mut buf = Vec::new();
             buf.extend_from_slice(b"GSPB");
-            buf.extend_from_slice(&2u32.to_le_bytes());
+            buf.extend_from_slice(&BIN_VERSION.to_le_bytes());
+            let declared = bin_payload_len(rows, 0).unwrap_or(u64::MAX);
+            buf.extend_from_slice(&declared.to_le_bytes());
             buf.extend_from_slice(&0u64.to_le_bytes()); // source length
+            buf.extend_from_slice(&0u32.to_le_bytes()); // source crc
             buf.extend_from_slice(&rows.to_le_bytes()); // rows
             buf.extend_from_slice(&4u64.to_le_bytes()); // cols
             buf.extend_from_slice(&0u64.to_le_bytes()); // nnz
             let err = read_bin(buf.as_slice()).unwrap_err();
             assert!(
-                err.to_string().contains("overflow") || err.to_string().contains("truncated"),
+                matches!(err, SparseError::Corrupt(_)),
                 "rows {rows}: unexpected error {err}"
             );
         }
@@ -654,6 +988,106 @@ mod tests {
         std::fs::remove_file(&mtx).unwrap();
         let second = read_matrix_market_cached(&mtx).unwrap();
         assert_eq!(second, first);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_cache_records_the_fingerprint() {
+        let m = CsrMatrix::identity(3);
+        let fp = SourceFingerprint {
+            len: 12345,
+            crc: 0xDEAD_BEEF,
+        };
+        let mut buf = Vec::new();
+        write_bin_with_fingerprint(&m, fp, &mut buf).unwrap();
+        let (back, recorded) = read_bin_with_fingerprint(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(recorded, fp);
+    }
+
+    #[test]
+    fn corrupt_cache_is_quarantined_and_rebuilt_from_source() {
+        let dir = std::env::temp_dir().join(format!(
+            "gust-io-quarantine-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("q.mtx");
+        let coo = CooMatrix::from_triplets(3, 3, vec![(0, 0, 1.5), (2, 1, -2.0)]).unwrap();
+        let mut text = Vec::new();
+        write_matrix_market(&coo, &mut text).unwrap();
+        std::fs::write(&mtx, &text).unwrap();
+        let expected = CsrMatrix::from(&coo);
+
+        assert_eq!(read_matrix_market_cached(&mtx).unwrap(), expected);
+        let cache = dir.join("q.mtx.gspb");
+
+        // Flip one payload byte in the cache; the next load must detect
+        // the damage, quarantine the file, and still return the correct
+        // matrix by reparsing the text.
+        let mut bytes = std::fs::read(&cache).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&cache, &bytes).unwrap();
+
+        assert_eq!(
+            read_matrix_market_cached(&mtx).unwrap(),
+            expected,
+            "a corrupt cache must fall back to the source"
+        );
+        let quarantined = dir.join("q.mtx.gspb.corrupt");
+        assert!(quarantined.is_file(), "corrupt cache must be quarantined");
+        assert_eq!(
+            std::fs::read(&quarantined).unwrap(),
+            bytes,
+            "quarantine must preserve the damaged bytes"
+        );
+        // The fallback also rewrote a healthy cache in place.
+        assert!(read_bin_file(&cache).is_ok(), "cache must be rebuilt");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn matrix_market_cache_detects_same_tick_same_length_rewrites() {
+        let dir = std::env::temp_dir().join(format!(
+            "gust-io-samelen-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("m.mtx");
+        let write_mtx = |coo: &CooMatrix| {
+            let mut text = Vec::new();
+            write_matrix_market(coo, &mut text).unwrap();
+            std::fs::write(&mtx, &text).unwrap();
+        };
+        // Two sources with byte-identical lengths but different values:
+        // the length signal cannot tell them apart, only the checksum.
+        let old = CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.5)]).unwrap();
+        let new = CooMatrix::from_triplets(2, 2, vec![(0, 0, 2.5)]).unwrap();
+        write_mtx(&old);
+        assert_eq!(
+            read_matrix_market_cached(&mtx).unwrap(),
+            CsrMatrix::from(&old)
+        );
+        let cache = dir.join("m.mtx.gspb");
+
+        write_mtx(&new);
+        // Force the worst case: the cache's mtime says "fresh" even
+        // though the source just changed.
+        let future = std::time::SystemTime::now() + std::time::Duration::from_secs(3600);
+        std::fs::File::options()
+            .append(true)
+            .open(&cache)
+            .unwrap()
+            .set_modified(future)
+            .unwrap();
+        assert_eq!(
+            read_matrix_market_cached(&mtx).unwrap(),
+            CsrMatrix::from(&new),
+            "a same-tick same-length rewrite must be caught by the source checksum"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -121,19 +121,24 @@ impl Backend {
 /// cannot run falls back to [`Backend::Scalar`] rather than executing
 /// unsupported instructions.
 ///
-/// # Panics
-///
-/// Panics (once, at first use) if `GUST_BACKEND` is set to an unknown
-/// value — a misspelled CI matrix leg must fail loudly, not silently
-/// benchmark the wrong kernel.
+/// An unknown `GUST_BACKEND` value warns on stderr (once, at first use)
+/// and falls back to automatic selection — a misconfigured environment
+/// must not take a serving process down at its first SpMV. Callers that
+/// want a misspelled value to fail loudly (CI matrix legs) should
+/// validate eagerly with [`Backend::from_name`] — `gust`'s
+/// `GustConfig::from_env_checked` does exactly that.
 #[must_use]
 pub fn default_backend() -> Backend {
     static DEFAULT: std::sync::OnceLock<Backend> = std::sync::OnceLock::new();
     *DEFAULT.get_or_init(|| match std::env::var("GUST_BACKEND") {
         Ok(name) if !name.is_empty() && name != "auto" => {
-            let requested = Backend::from_name(&name).unwrap_or_else(|| {
-                panic!("unknown GUST_BACKEND value {name:?} (scalar|avx2|auto)")
-            });
+            let Some(requested) = Backend::from_name(&name) else {
+                eprintln!(
+                    "warning: unknown GUST_BACKEND value {name:?} (scalar|avx2|auto); \
+                     using auto selection"
+                );
+                return best_available();
+            };
             if requested.is_available() {
                 requested
             } else {

@@ -40,11 +40,13 @@
 // every block).
 #![deny(unsafe_code)]
 
+pub mod checksum;
 pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod faults;
 pub mod gen;
 pub mod io;
 pub mod kernels;
