@@ -24,6 +24,10 @@
 //! * `soa-batch-seq` — [`Gust::execute_batch`] over exactly one register
 //!   block (the backend's `reg_block()` width), pinned to one
 //!   thread: the pure one-pass batching win, once per available backend,
+//! * `soa-batch-f64` — [`Gust::execute_batch_f64`] over one f64 register
+//!   block (`reg_block_f64()`, 8 lanes everywhere), once per available
+//!   backend: the double-precision walk iterative solvers run at
+//!   production scale, gated against the exact-order f64 CSR oracle,
 //! * `soa-single-banded` / `soa-batch-banded` — the cache-blocked
 //!   [`Gust::execute_banded`] / [`Gust::execute_batch_banded`] over a
 //!   [`gust::BandedSchedule`], once per available backend. Cache-resident
@@ -45,7 +49,8 @@
 //!
 //! and reports wall time, nnz/s (batched kernels process `batch × nnz`
 //! useful non-zeros per pass) and speedup over the seed layout. Every row
-//! records the **backend name**, the **detected CPU features**, the
+//! records the **backend name**, the **element type** (`elem`, f32/f64),
+//! the **detected CPU features**, the
 //! **register-block width**, the **real nnz of the matrix it ran on**
 //! (shapes differ now — a constant column was a PR 3 reporting bug), the
 //! **band count** (`banded`, 0 for unbanded rows; the max over tiles for
@@ -60,8 +65,8 @@
 //! `soa-single` on every backend, scalar batch columns, banded vs. its
 //! own flattened schedule and tiled vs. its per-tile flattened schedules
 //! on *every* backend), within the documented FMA-contraction bound for
-//! AVX2 batch columns. The benchmark refuses
-//! to time wrong answers.
+//! AVX2/AVX-512 batch columns and the f64 oracle bound for the f64 rows.
+//! The benchmark refuses to time wrong answers.
 //!
 //! Scale: `GUST_SCALE` as everywhere (dimensions ×s, non-zeros ×s²);
 //! `GUST_SCALE=1` runs the full 16 384² / 1.25 M-nnz matrices the
@@ -97,6 +102,8 @@ pub struct ThroughputOutput {
 struct Measurement {
     kernel: &'static str,
     backend: &'static str,
+    /// Element type the kernel ran in: `"f32"` or `"f64"`.
+    elem: &'static str,
     /// Register-block width of the batched kernels; 1 for single-vector
     /// rows.
     reg_block: usize,
@@ -131,6 +138,9 @@ fn available_backends() -> Vec<Backend> {
     let mut backends = vec![Backend::Scalar];
     if Backend::Avx2.is_available() {
         backends.push(Backend::Avx2);
+    }
+    if Backend::Avx512.is_available() {
+        backends.push(Backend::Avx512);
     }
     backends
 }
@@ -227,6 +237,7 @@ pub fn run(scale: f64) -> ThroughputOutput {
         "matrix",
         "kernel",
         "backend",
+        "elem",
         "features",
         "reg_block",
         "batch",
@@ -250,6 +261,7 @@ pub fn run(scale: f64) -> ThroughputOutput {
                 workload.name.to_string(),
                 m.kernel.to_string(),
                 m.backend.to_string(),
+                m.elem.to_string(),
                 features.clone(),
                 m.reg_block.to_string(),
                 m.batch.to_string(),
@@ -348,6 +360,7 @@ fn measure_kernels(
     results.push(Measurement {
         kernel: "legacy-slots",
         backend: Backend::Scalar.name(),
+        elem: "f32",
         reg_block: 1,
         batch: 1,
         banded: 0,
@@ -448,6 +461,7 @@ fn measure_kernels(
         results.push(Measurement {
             kernel: "soa-single",
             backend: backend.name(),
+            elem: "f32",
             reg_block: 1,
             batch: 1,
             banded: 0,
@@ -462,6 +476,7 @@ fn measure_kernels(
         results.push(Measurement {
             kernel: "soa-batch-seq",
             backend: backend.name(),
+            elem: "f32",
             reg_block: rb,
             batch: rb,
             banded: 0,
@@ -473,9 +488,49 @@ fn measure_kernels(
             }),
             work: rb as u64 * nnz,
         });
+        // Double-precision batched walk over one f64 register block:
+        // each widened column is gated against the exact-order f64 CSR
+        // oracle (re-association in f64 leaves ~k·ε_f64 of slack —
+        // invisible at 1e-9).
+        let rb64 = backend.reg_block_f64();
+        let panel64_f32 = crate::workloads::shifted_panel(&x, rb64, 0.25);
+        let panel64: Vec<f64> = panel64_f32.iter().map(|&v| f64::from(v)).collect();
+        let (batched64, _) = gust.execute_batch_f64(&schedule, &panel64, rb64);
+        for j in 0..rb64 {
+            let col = &panel64_f32[j * matrix.cols()..(j + 1) * matrix.cols()];
+            let oracle = matrix.spmv_f64(col);
+            for (r, (&got, want)) in batched64[j * rows..(j + 1) * rows]
+                .iter()
+                .zip(oracle)
+                .enumerate()
+            {
+                let denom = want.abs().max(1.0);
+                assert!(
+                    ((got - want) / denom).abs() < 1e-9,
+                    "{} f64 batched column {j} row {r} diverged: {got} vs {want}",
+                    backend.name()
+                );
+            }
+        }
+        results.push(Measurement {
+            kernel: "soa-batch-f64",
+            backend: backend.name(),
+            elem: "f64",
+            reg_block: rb64,
+            batch: rb64,
+            banded: 0,
+            cache_budget: 0,
+            row_tiles: 0,
+            row_budget: 0,
+            wall: timed(reps, || {
+                std::hint::black_box(gust.execute_batch_f64(&schedule, &panel64, rb64));
+            }),
+            work: rb64 as u64 * nnz,
+        });
         results.push(Measurement {
             kernel: "soa-single-banded",
             backend: backend.name(),
+            elem: "f32",
             reg_block: 1,
             batch: 1,
             banded: banded_single.bands().count(),
@@ -490,6 +545,7 @@ fn measure_kernels(
         results.push(Measurement {
             kernel: "soa-batch-banded",
             backend: backend.name(),
+            elem: "f32",
             reg_block: rb,
             batch: rb,
             banded: banded_batch.bands().count(),
@@ -504,6 +560,7 @@ fn measure_kernels(
         results.push(Measurement {
             kernel: "soa-batch-tiled",
             backend: backend.name(),
+            elem: "f32",
             reg_block: rb,
             batch: rb,
             banded: tile_bands,
@@ -518,6 +575,7 @@ fn measure_kernels(
         results.push(Measurement {
             kernel: "reference-csr",
             backend: backend.name(),
+            elem: "f32",
             reg_block: 1,
             batch: 1,
             banded: 0,
@@ -546,6 +604,7 @@ fn measure_kernels(
     results.push(Measurement {
         kernel: "soa-batch-mt",
         backend: best.name(),
+        elem: "f32",
         reg_block: rb,
         batch: batch_mt,
         banded: 0,
@@ -585,6 +644,7 @@ mod tests {
             "legacy-slots",
             "soa-single",
             "soa-batch-seq",
+            "soa-batch-f64",
             "soa-single-banded",
             "soa-batch-banded",
             "soa-batch-tiled",
@@ -598,13 +658,15 @@ mod tests {
         assert!(out.json.contains("\"speedup_vs_legacy\":"));
         assert!(out.json.contains("\"backend\": \"scalar\""));
         assert!(out.json.contains("\"features\":"));
+        assert!(out.json.contains("\"elem\": \"f32\""));
+        assert!(out.json.contains("\"elem\": \"f64\""));
         assert!(out.json.contains("\"reg_block\":"));
         assert!(out.json.contains("\"banded\":"));
         assert!(out.json.contains("\"cache_budget\":"));
         assert!(out.json.contains("\"row_tiles\":"));
         assert!(out.json.contains("\"row_budget\":"));
-        // Seven workloads × (legacy + mt + 6 rows per available backend).
-        let rows_per_matrix = 2 + 6 * available_backends().len();
+        // Seven workloads × (legacy + mt + 7 rows per available backend).
+        let rows_per_matrix = 2 + 7 * available_backends().len();
         assert_eq!(out.json.matches("\"matrix\":").count(), 7 * rows_per_matrix);
         assert!(out.json.contains("\"hub-reuse\""));
         assert!(out.json.contains("\"llc-uniform\""));
@@ -645,6 +707,9 @@ mod tests {
         assert!(max_bands > 1, "LLC rows must split into bands");
         if Backend::Avx2.is_available() {
             assert!(out.json.contains("\"backend\": \"avx2\""));
+        }
+        if Backend::Avx512.is_available() {
+            assert!(out.json.contains("\"backend\": \"avx512\""));
         }
     }
 }

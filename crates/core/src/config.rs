@@ -442,7 +442,11 @@ fn checked_env_backend() -> Result<Option<Backend>, ConfigError> {
     match std::env::var("GUST_BACKEND") {
         Ok(raw) if !raw.is_empty() && raw != "auto" => {
             Backend::from_name(&raw).map(Some).ok_or_else(|| {
-                ConfigError::new("GUST_BACKEND", &raw, "must be one of scalar|avx2|auto")
+                ConfigError::new(
+                    "GUST_BACKEND",
+                    &raw,
+                    "must be one of scalar|avx2|avx512|auto",
+                )
             })
         }
         _ => Ok(None),
@@ -600,6 +604,17 @@ mod tests {
         assert!(effective.is_available());
         if Backend::Avx2.is_available() {
             assert_eq!(effective, Backend::Avx2);
+        } else {
+            assert_eq!(effective, Backend::Scalar);
+        }
+        // Pinned AVX-512 likewise: the backend on capable hosts, a
+        // graceful scalar fallback everywhere else (the `GUST_BACKEND=
+        // avx512` path on a host without the feature set).
+        let wide = GustConfig::new(8).with_backend(Some(Backend::Avx512));
+        let effective = wide.effective_backend();
+        assert!(effective.is_available());
+        if Backend::Avx512.is_available() {
+            assert_eq!(effective, Backend::Avx512);
         } else {
             assert_eq!(effective, Backend::Scalar);
         }

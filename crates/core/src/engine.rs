@@ -29,8 +29,10 @@
 //!
 //! Every hot loop below dispatches through a runtime-selected
 //! [`Backend`] (see [`crate::kernels`]): a safe scalar implementation
-//! that reproduces the PR 2 arithmetic bit for bit, and an AVX2+FMA
-//! implementation gated by `is_x86_feature_detected!`. Selection is
+//! that reproduces the PR 2 arithmetic bit for bit, an AVX2+FMA
+//! implementation gated by `is_x86_feature_detected!`, and an AVX-512
+//! implementation (16-lane f32 register blocks, masked ragged tails)
+//! gated on `avx512f`+`avx512vl` on top of the AVX2 set. Selection is
 //! automatic, overridable with [`GustConfig::with_backend`] or the
 //! `GUST_BACKEND` environment variable. Windows whose columns are reused
 //! (≥ 2× mean reuse,
@@ -46,16 +48,29 @@
 //! [`Gust::execute_batch`] streams the schedule **once** for a whole panel
 //! of right-hand sides (the §5.3 multi-RHS amortization): the batch is cut
 //! into register blocks of [`Gust::reg_block`] columns (a backend
-//! property; currently 8), each block's operands are staged/interleaved so one slot's `B`
+//! property; 8 on scalar/AVX2, 16 on AVX-512), each block's operands are
+//! staged/interleaved so one slot's `B`
 //! multiply-accumulates are contiguous, and blocks can fan out across
 //! threads via [`crate::config::GustConfig::with_parallelism`]. Under the
 //! scalar backend, per-column arithmetic order equals the per-vector
 //! scalar path, so batched outputs are bit-identical to `B` independent
-//! [`Gust::execute`] calls; the AVX2 backend fuses each accumulate into
-//! an FMA and matches within the one-ULP-per-step contraction bound (see
-//! `tests/backend_equivalence.rs`). [`Gust::execute`] itself is
-//! bit-identical across *all* backends: its SIMD path vectorizes only the
-//! multiply-gathers and keeps the scatter adds in slot order.
+//! [`Gust::execute`] calls; the AVX2/AVX-512 backends fuse each
+//! accumulate into an FMA and match within the one-ULP-per-step
+//! contraction bound (see `tests/backend_equivalence.rs`).
+//! [`Gust::execute`] itself is bit-identical across *all* backends: its
+//! SIMD paths vectorize only the multiply-gathers (masked tail lanes
+//! included) and keep the scatter adds in slot order.
+//!
+//! The batched walk is **generic over the element type** (the private
+//! [`Element`] trait, monomorphized for f32 and f64):
+//! [`Gust::execute_batch_f64`], [`Gust::execute_batch_banded_f64`] and
+//! [`Gust::execute_batch_tiled_f64`] run the identical pipeline in
+//! double precision — schedule values stay f32, widened per slot; f64
+//! register blocks are [`Gust::reg_block_f64`] (8 lanes everywhere, one
+//! 512-bit `pd` register on AVX-512) — and the f64 scheduling twins
+//! ([`Gust::schedule_banded_for_batch_f64`] /
+//! [`Gust::schedule_tiled_for_batch_f64`]) divide the cache budgets by
+//! the 8-byte element width so band slices stay resident.
 
 //!
 //! # Cache-blocked execution
@@ -118,20 +133,24 @@ pub struct Gust {
 const STAGE_SOURCE_BYTES: usize = 512 * 1024;
 
 /// Whether the engine stages `window`'s operands for a pass whose source
-/// operand block covers `cols` columns at `bb` values per column: the
-/// window must have ≥ 2× column reuse
+/// operand block covers `cols` columns at `bb` values per column of
+/// `elem_bytes` each: the window must have ≥ 2× column reuse
 /// ([`crate::schedule::scheduled::WindowSchedule::has_column_reuse`]),
 /// the source block must exceed [`STAGE_SOURCE_BYTES`], and the stage
-/// must compact it at least 4×. Staging never changes results — the
-/// staged values are bit-copies — so this predicate is purely a
-/// performance decision.
+/// must compact it at least 4×. The element width matters: an f64 panel
+/// (or an f32 one at AVX-512's 16-lane register block) reaches the
+/// staging threshold at half the column count, exactly as its footprint
+/// reaches cache capacity at half the columns. Staging never changes
+/// results — the staged values are bit-copies — so this predicate is
+/// purely a performance decision.
 fn window_staged(
     window: &crate::schedule::scheduled::WindowSchedule,
     cols: usize,
     bb: usize,
+    elem_bytes: usize,
 ) -> bool {
     window.has_column_reuse()
-        && cols * bb * std::mem::size_of::<f32>() > STAGE_SOURCE_BYTES
+        && cols * bb * elem_bytes > STAGE_SOURCE_BYTES
         && 4 * window.gather_cols().len() <= cols
 }
 
@@ -171,13 +190,20 @@ impl Gust {
         self.config.effective_backend()
     }
 
-    /// Columns per register block of the batched kernel — a property of
-    /// the selected [`Backend`] (see [`Backend::reg_block`]; currently 8
-    /// on both backends, one 256-bit register of f32 per slot), not a
-    /// hardcoded constant.
+    /// Columns per register block of the batched `f32` kernel — a
+    /// property of the selected [`Backend`] (see [`Backend::reg_block`]:
+    /// 8 on scalar/AVX2, 16 on AVX-512), not a hardcoded constant.
     #[must_use]
     pub fn reg_block(&self) -> usize {
         self.backend().reg_block()
+    }
+
+    /// Columns per register block of the batched `f64` kernel (see
+    /// [`Backend::reg_block_f64`]; 8 on every backend — one 512-bit
+    /// register under AVX-512).
+    #[must_use]
+    pub fn reg_block_f64(&self) -> usize {
+        self.backend().reg_block_f64()
     }
 
     /// Preprocesses `matrix` (the paper's scheduling step). Delegates to
@@ -288,13 +314,14 @@ impl Gust {
             // their distinct entries into a dense window-local stage
             // (same values, so still bit-identical) and index it through
             // the compacted `local_cols`.
-            let (idx, operands): (&[u32], &[f32]) = if window_staged(window, x.len(), 1) {
-                stage.resize(window.gather_cols().len(), 0.0);
-                kernels::gather(backend, x, window.gather_cols(), &mut stage);
-                (window.local_cols(), &stage)
-            } else {
-                (window.cols(), x)
-            };
+            let (idx, operands): (&[u32], &[f32]) =
+                if window_staged(window, x.len(), 1, std::mem::size_of::<f32>()) {
+                    stage.resize(window.gather_cols().len(), 0.0);
+                    kernels::gather(backend, x, window.gather_cols(), &mut stage);
+                    (window.local_cols(), &stage)
+                } else {
+                    (window.cols(), x)
+                };
             kernels::window_walk(
                 backend,
                 window.values(),
@@ -486,13 +513,67 @@ impl Gust {
         b: &[f32],
         batch: usize,
     ) -> Result<(Vec<f32>, ExecutionReport), GustError> {
+        self.try_execute_batch_generic(schedule, b, batch)
+    }
+
+    /// [`Gust::execute_batch`] in double precision: the same one-pass
+    /// panel walk over the same `f32`-valued schedule, with the operand
+    /// panel, every accumulator, and the output in `f64` (the schedule's
+    /// matrix values are widened once per slot). The register block is
+    /// [`Gust::reg_block_f64`] — 8 lanes on every backend, one 512-bit
+    /// register under AVX-512 — and the staging heuristic accounts for
+    /// the doubled element width. Under the scalar backend outputs are
+    /// bit-identical to a scalar double-precision reference walk in slot
+    /// order; AVX-512 fuses each accumulate into an FMA within the usual
+    /// contraction bound, now at `f64` precision.
+    ///
+    /// # Panics
+    ///
+    /// As [`Gust::execute_batch`]. Use [`Gust::try_execute_batch_f64`] to
+    /// get a [`GustError`] instead.
+    #[must_use]
+    pub fn execute_batch_f64(
+        &self,
+        schedule: &ScheduledMatrix,
+        b: &[f64],
+        batch: usize,
+    ) -> (Vec<f64>, ExecutionReport) {
+        self.try_execute_batch_f64(schedule, b, batch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute_batch_f64`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::try_execute_batch`].
+    pub fn try_execute_batch_f64(
+        &self,
+        schedule: &ScheduledMatrix,
+        b: &[f64],
+        batch: usize,
+    ) -> Result<(Vec<f64>, ExecutionReport), GustError> {
+        self.try_execute_batch_generic(schedule, b, batch)
+    }
+
+    /// The shared monomorphized body of [`Gust::try_execute_batch`] and
+    /// [`Gust::try_execute_batch_f64`]: everything about the walk is
+    /// element-generic — the register block, the staging threshold, the
+    /// interleave/stage buffers, the panel kernel — so the two precisions
+    /// cannot drift structurally.
+    fn try_execute_batch_generic<E: Element>(
+        &self,
+        schedule: &ScheduledMatrix,
+        b: &[E],
+        batch: usize,
+    ) -> Result<(Vec<E>, ExecutionReport), GustError> {
         self.check_batch(schedule.length(), schedule.cols(), b.len(), batch)?;
         let cols = schedule.cols();
 
         let backend = self.backend();
-        let rb = backend.reg_block();
+        let rb = E::reg_block(backend);
         let rows = schedule.rows();
-        let mut y = vec![0.0f32; rows * batch];
+        let mut y = vec![E::ZERO; rows * batch];
         let blocks = batch.div_ceil(rb);
         let workers = self.batch_workers(blocks);
         // Decide staging once per window, at the full register-block
@@ -502,7 +583,7 @@ impl Gust {
         let stage_flags: Vec<bool> = schedule
             .windows()
             .iter()
-            .map(|w| window_staged(w, cols, rb.min(batch)))
+            .map(|w| window_staged(w, cols, rb.min(batch), E::BYTES))
             .collect();
         let needs_interleave = schedule
             .windows()
@@ -582,6 +663,25 @@ impl Gust {
         Ok(self.schedule_banded_for_batch(matrix, batch))
     }
 
+    /// As [`Gust::schedule_banded_for_batch`], sized for **double
+    /// precision** batched execution
+    /// ([`Gust::execute_batch_banded_f64`]): the band plan divides the
+    /// cache budget by 8-byte operands, so bands come out half as wide as
+    /// the f32 plan's for the same budget. Delegates to
+    /// [`Scheduler::schedule_banded_for_batch_f64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn schedule_banded_for_batch_f64(
+        &self,
+        matrix: &gust_sparse::CsrMatrix,
+        batch: usize,
+    ) -> BandedSchedule {
+        Scheduler::new(self.config.clone()).schedule_banded_for_batch_f64(matrix, batch)
+    }
+
     /// Preprocesses `matrix` into a 2D row×column [`TiledSchedule`]
     /// sized for single-vector execution ([`Gust::execute_tiled`]): rows
     /// are partitioned by [`GustConfig::effective_row_budget`] and each
@@ -624,6 +724,23 @@ impl Gust {
             return Err(GustError::EmptyBatch);
         }
         Ok(self.schedule_tiled_for_batch(matrix, batch))
+    }
+
+    /// As [`Gust::schedule_tiled_for_batch`], sized for **double
+    /// precision** batched execution ([`Gust::execute_batch_tiled_f64`]):
+    /// row-tile and band budgets divide by 8-byte elements. Delegates to
+    /// [`Scheduler::schedule_tiled_for_batch_f64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn schedule_tiled_for_batch_f64(
+        &self,
+        matrix: &gust_sparse::CsrMatrix,
+        batch: usize,
+    ) -> TiledSchedule {
+        Scheduler::new(self.config.clone()).schedule_tiled_for_batch_f64(matrix, batch)
     }
 
     /// Runs one SpMV over a cache-blocked [`BandedSchedule`]: bands are
@@ -751,13 +868,59 @@ impl Gust {
         b: &[f32],
         batch: usize,
     ) -> Result<(Vec<f32>, ExecutionReport), GustError> {
+        self.try_execute_batch_banded_generic(schedule, b, batch)
+    }
+
+    /// [`Gust::execute_batch_banded`] in double precision — the banded
+    /// counterpart of [`Gust::execute_batch_f64`]. Schedules should come
+    /// from [`Gust::schedule_banded_for_batch_f64`], whose bands are
+    /// sized for the doubled operand width.
+    ///
+    /// # Panics
+    ///
+    /// As [`Gust::execute_batch`]. Use
+    /// [`Gust::try_execute_batch_banded_f64`] to get a [`GustError`]
+    /// instead.
+    #[must_use]
+    pub fn execute_batch_banded_f64(
+        &self,
+        schedule: &BandedSchedule,
+        b: &[f64],
+        batch: usize,
+    ) -> (Vec<f64>, ExecutionReport) {
+        self.try_execute_batch_banded_f64(schedule, b, batch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute_batch_banded_f64`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::try_execute_batch`].
+    pub fn try_execute_batch_banded_f64(
+        &self,
+        schedule: &BandedSchedule,
+        b: &[f64],
+        batch: usize,
+    ) -> Result<(Vec<f64>, ExecutionReport), GustError> {
+        self.try_execute_batch_banded_generic(schedule, b, batch)
+    }
+
+    /// The shared element-generic body of the banded batch walks (see
+    /// [`Gust::try_execute_batch_generic`]).
+    fn try_execute_batch_banded_generic<E: Element>(
+        &self,
+        schedule: &BandedSchedule,
+        b: &[E],
+        batch: usize,
+    ) -> Result<(Vec<E>, ExecutionReport), GustError> {
         self.check_batch(schedule.length(), schedule.cols(), b.len(), batch)?;
         let cols = schedule.cols();
 
         let backend = self.backend();
-        let rb = backend.reg_block();
+        let rb = E::reg_block(backend);
         let rows = schedule.rows();
-        let mut y = vec![0.0f32; rows * batch];
+        let mut y = vec![E::ZERO; rows * batch];
         let workers = self.batch_workers(batch.div_ceil(rb));
         // With a single band, banding is vacuous and the walk takes the
         // unbanded per-window path, including its staging decisions
@@ -767,7 +930,7 @@ impl Gust {
         let stage_flags: Vec<bool> = schedule
             .windows()
             .iter()
-            .map(|w| single_band && window_staged(w.window(), cols, rb.min(batch)))
+            .map(|w| single_band && window_staged(w.window(), cols, rb.min(batch), E::BYTES))
             .collect();
         let needs_interleave = single_band
             && schedule
@@ -845,13 +1008,59 @@ impl Gust {
         b: &[f32],
         batch: usize,
     ) -> Result<(Vec<f32>, ExecutionReport), GustError> {
+        self.try_execute_batch_tiled_generic(schedule, b, batch)
+    }
+
+    /// [`Gust::execute_batch_tiled`] in double precision — the 2D-tiled
+    /// counterpart of [`Gust::execute_batch_f64`]. Schedules should come
+    /// from [`Gust::schedule_tiled_for_batch_f64`], whose tile and band
+    /// budgets account for the doubled operand width.
+    ///
+    /// # Panics
+    ///
+    /// As [`Gust::execute_batch`]. Use
+    /// [`Gust::try_execute_batch_tiled_f64`] to get a [`GustError`]
+    /// instead.
+    #[must_use]
+    pub fn execute_batch_tiled_f64(
+        &self,
+        schedule: &TiledSchedule,
+        b: &[f64],
+        batch: usize,
+    ) -> (Vec<f64>, ExecutionReport) {
+        self.try_execute_batch_tiled_f64(schedule, b, batch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gust::execute_batch_tiled_f64`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::try_execute_batch`].
+    pub fn try_execute_batch_tiled_f64(
+        &self,
+        schedule: &TiledSchedule,
+        b: &[f64],
+        batch: usize,
+    ) -> Result<(Vec<f64>, ExecutionReport), GustError> {
+        self.try_execute_batch_tiled_generic(schedule, b, batch)
+    }
+
+    /// The shared element-generic body of the tiled batch walks (see
+    /// [`Gust::try_execute_batch_generic`]).
+    fn try_execute_batch_tiled_generic<E: Element>(
+        &self,
+        schedule: &TiledSchedule,
+        b: &[E],
+        batch: usize,
+    ) -> Result<(Vec<E>, ExecutionReport), GustError> {
         self.check_batch(schedule.length(), schedule.cols(), b.len(), batch)?;
         let cols = schedule.cols();
 
         let backend = self.backend();
-        let rb = backend.reg_block();
+        let rb = E::reg_block(backend);
         let rows = schedule.rows();
-        let mut y = vec![0.0f32; rows * batch];
+        let mut y = vec![E::ZERO; rows * batch];
         let workers = self.batch_workers(batch.div_ceil(rb));
         // Per-tile staging decisions, mirroring [`Gust::execute_batch_banded`]:
         // a single-band tile takes the unbanded per-window path with the
@@ -869,7 +1078,9 @@ impl Gust {
                 let flags: Vec<bool> = tile
                     .windows()
                     .iter()
-                    .map(|w| single_band && window_staged(w.window(), cols, rb.min(batch)))
+                    .map(|w| {
+                        single_band && window_staged(w.window(), cols, rb.min(batch), E::BYTES)
+                    })
                     .collect();
                 let reads_panel = single_band
                     && tile
@@ -890,7 +1101,7 @@ impl Gust {
             batch,
             |j0, bb, y_block, scratch| {
                 if needs_panel {
-                    scratch.xb.resize(cols * bb, 0.0);
+                    scratch.xb.resize(cols * bb, E::ZERO);
                     kernels::interleave_panel(b, cols, j0, bb, &mut scratch.xb);
                 }
                 for (t, tile) in schedule.tiles().iter().enumerate() {
@@ -1032,36 +1243,163 @@ impl Gust {
     }
 }
 
+/// Element type of a batched panel walk: the precision the operand
+/// panel, accumulators and output are held in. The schedule's matrix
+/// values stay `f32` either way; the two impls (`f32`, `f64`) plug the
+/// matching monomorphized panel kernels, register-block width and
+/// thread-local scratch into the one generic walk body, so the two
+/// precisions cannot drift structurally.
+pub(crate) trait Element:
+    Copy + Default + Send + Sync + std::fmt::Debug + PartialEq + 'static
+{
+    /// Additive identity (accumulator/buffer fill value).
+    const ZERO: Self;
+    /// Element width in bytes — what the staging threshold and the
+    /// band/tile budget math divide by.
+    const BYTES: usize;
+    /// Register-block width of this element type under `backend`
+    /// ([`Backend::reg_block`] / [`Backend::reg_block_f64`]).
+    fn reg_block(backend: Backend) -> usize;
+    /// The batched panel walk at this precision
+    /// ([`kernels::panel_walk`] / [`kernels::panel_walk_f64`]).
+    fn panel_walk(
+        backend: Backend,
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[Self],
+        acc: &mut [Self],
+        bb: usize,
+    );
+    /// The window-local panel stage at this precision
+    /// ([`kernels::stage_panel`] / [`kernels::stage_panel_f64`]).
+    fn stage_panel(
+        backend: Backend,
+        b: &[Self],
+        cols: usize,
+        j0: usize,
+        bb: usize,
+        gather_cols: &[u32],
+        stage: &mut [Self],
+    );
+    /// Runs `f` with this thread's scratch for this element type (each
+    /// impl owns its own `thread_local!` — Rust has no generic
+    /// thread-locals).
+    fn with_block_scratch<R>(f: impl FnOnce(&mut BlockScratch<Self>) -> R) -> R;
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const BYTES: usize = std::mem::size_of::<f32>();
+
+    fn reg_block(backend: Backend) -> usize {
+        backend.reg_block()
+    }
+
+    fn panel_walk(
+        backend: Backend,
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[Self],
+        acc: &mut [Self],
+        bb: usize,
+    ) {
+        kernels::panel_walk(backend, values, idx, row_mods, operands, acc, bb);
+    }
+
+    fn stage_panel(
+        backend: Backend,
+        b: &[Self],
+        cols: usize,
+        j0: usize,
+        bb: usize,
+        gather_cols: &[u32],
+        stage: &mut [Self],
+    ) {
+        kernels::stage_panel(backend, b, cols, j0, bb, gather_cols, stage);
+    }
+
+    fn with_block_scratch<R>(f: impl FnOnce(&mut BlockScratch<Self>) -> R) -> R {
+        std::thread_local! {
+            static SCRATCH: std::cell::RefCell<BlockScratch<f32>> =
+                std::cell::RefCell::new(BlockScratch::default());
+        }
+        SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+    }
+}
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+    const BYTES: usize = std::mem::size_of::<f64>();
+
+    fn reg_block(backend: Backend) -> usize {
+        backend.reg_block_f64()
+    }
+
+    fn panel_walk(
+        backend: Backend,
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[Self],
+        acc: &mut [Self],
+        bb: usize,
+    ) {
+        kernels::panel_walk_f64(backend, values, idx, row_mods, operands, acc, bb);
+    }
+
+    fn stage_panel(
+        backend: Backend,
+        b: &[Self],
+        cols: usize,
+        j0: usize,
+        bb: usize,
+        gather_cols: &[u32],
+        stage: &mut [Self],
+    ) {
+        kernels::stage_panel_f64(backend, b, cols, j0, bb, gather_cols, stage);
+    }
+
+    fn with_block_scratch<R>(f: impl FnOnce(&mut BlockScratch<Self>) -> R) -> R {
+        std::thread_local! {
+            static SCRATCH: std::cell::RefCell<BlockScratch<f64>> =
+                std::cell::RefCell::new(BlockScratch::default());
+        }
+        SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+    }
+}
+
 /// Reusable per-thread scratch of the batched kernel: the (optional)
 /// whole-panel interleave, the window-local operand stage, and the
-/// per-window accumulator block.
+/// per-window accumulator block — in the walk's element type.
 ///
 /// Pool workers are never reaped, so their thread-local scratch lives
 /// for the process; [`BlockScratch::trim`] bounds what a parked worker
 /// keeps pinned after a huge matrix passes through.
 #[derive(Debug, Default)]
-struct BlockScratch {
+pub(crate) struct BlockScratch<E> {
     /// `xb[col * bb + j]` = panel value of column `col`, RHS `j0 + j`
     /// (only filled when some window skips staging). The tiled walk
     /// fills it once per register block and shares it across tiles.
-    xb: Vec<f32>,
+    xb: Vec<E>,
     /// Per-band operand slice of the multi-band walks (kept separate
     /// from `xb` so a multi-band tile cannot clobber the shared
     /// whole-panel interleave of its sibling tiles).
-    band_xb: Vec<f32>,
+    band_xb: Vec<E>,
     /// `stage[i * bb + j]` = panel value of the window's i-th distinct
     /// column, RHS `j0 + j` (staged windows).
-    stage: Vec<f32>,
+    stage: Vec<E>,
     /// `acc[row_mod * bb + j]` = running sum for adder `row_mod`, RHS `j`.
-    acc: Vec<f32>,
+    acc: Vec<E>,
 }
 
-impl BlockScratch {
-    /// Retained capacity ceiling per buffer: 2²² f32 = 16 MiB. Below it,
-    /// buffers amortize across pool tasks and `execute_batch` calls (the
-    /// repeated-solve pattern); above it — the multi-GB LLC shapes —
-    /// the memory is released so a parked worker does not pin
-    /// matrix-sized buffers for the process lifetime.
+impl<E> BlockScratch<E> {
+    /// Retained capacity ceiling per buffer: 2²² elements (16 MiB of
+    /// f32, 32 MiB of f64). Below it, buffers amortize across pool tasks
+    /// and `execute_batch` calls (the repeated-solve pattern); above it —
+    /// the multi-GB LLC shapes — the memory is released so a parked
+    /// worker does not pin matrix-sized buffers for the process lifetime.
     const MAX_RETAINED: usize = 1 << 22;
 
     /// Releases oversized buffers (see [`BlockScratch::MAX_RETAINED`]).
@@ -1110,13 +1448,14 @@ fn banded_walk_single(backend: Backend, schedule: &BandedSchedule, x: &[f32], y:
             let window = banded.window();
             let active = schedule.window_rows(w);
             adders[..active].fill(0.0);
-            let (idx, operands): (&[u32], &[f32]) = if window_staged(window, x.len(), 1) {
-                stage.resize(window.gather_cols().len(), 0.0);
-                kernels::gather(backend, x, window.gather_cols(), &mut stage);
-                (window.local_cols(), &stage)
-            } else {
-                (window.cols(), x)
-            };
+            let (idx, operands): (&[u32], &[f32]) =
+                if window_staged(window, x.len(), 1, std::mem::size_of::<f32>()) {
+                    stage.resize(window.gather_cols().len(), 0.0);
+                    kernels::gather(backend, x, window.gather_cols(), &mut stage);
+                    (window.local_cols(), &stage)
+                } else {
+                    (window.cols(), x)
+                };
             kernels::window_walk(
                 backend,
                 window.values(),
@@ -1170,16 +1509,16 @@ fn banded_walk_single(backend: Backend, schedule: &BandedSchedule, x: &[f32], y:
 /// the tail is just a smaller `bb` — and follow the same per-window
 /// staging decisions (`stage_flags`, one per window).
 #[allow(clippy::too_many_arguments)]
-fn run_block(
+fn run_block<E: Element>(
     backend: Backend,
     schedule: &ScheduledMatrix,
-    b: &[f32],
+    b: &[E],
     j0: usize,
     bb: usize,
     stage_flags: &[bool],
     needs_interleave: bool,
-    y_block: &mut [f32],
-    scratch: &mut BlockScratch,
+    y_block: &mut [E],
+    scratch: &mut BlockScratch<E>,
 ) {
     let cols = schedule.cols();
     let rows = schedule.rows();
@@ -1192,21 +1531,23 @@ fn run_block(
     // the accumulator is zeroed per window, so stale contents from a
     // previous block are never read.
     if needs_interleave {
-        scratch.xb.resize(cols * bb, 0.0);
+        scratch.xb.resize(cols * bb, E::ZERO);
         kernels::interleave_panel(b, cols, j0, bb, &mut scratch.xb);
     }
-    scratch.acc.resize(l * bb, 0.0);
+    scratch.acc.resize(l * bb, E::ZERO);
 
     let row_perm = schedule.row_perm();
     for (w, window) in schedule.windows().iter().enumerate() {
         let active = schedule.window_rows(w);
-        scratch.acc[..active * bb].fill(0.0);
+        scratch.acc[..active * bb].fill(E::ZERO);
         // Staged windows gather their distinct columns once per block
         // into a dense `u × bb` stage (same values as the interleave —
         // the numerical contract does not depend on staging).
-        let (idx, operands): (&[u32], &[f32]) = if stage_flags[w] {
-            scratch.stage.resize(window.gather_cols().len() * bb, 0.0);
-            kernels::stage_panel(
+        let (idx, operands): (&[u32], &[E]) = if stage_flags[w] {
+            scratch
+                .stage
+                .resize(window.gather_cols().len() * bb, E::ZERO);
+            E::stage_panel(
                 backend,
                 b,
                 cols,
@@ -1219,7 +1560,7 @@ fn run_block(
         } else {
             (window.cols(), &scratch.xb)
         };
-        kernels::panel_walk(
+        E::panel_walk(
             backend,
             window.values(),
             idx,
@@ -1257,18 +1598,18 @@ fn run_block(
 /// tile-local row permutation into the `rows_total`-row output block
 /// (0 and `schedule.rows()` for an untiled banded schedule).
 #[allow(clippy::too_many_arguments)]
-fn run_block_banded(
+fn run_block_banded<E: Element>(
     backend: Backend,
     schedule: &BandedSchedule,
-    b: &[f32],
+    b: &[E],
     j0: usize,
     bb: usize,
     stage_flags: &[bool],
     panel: PanelSource,
     row0: usize,
     rows_total: usize,
-    y_block: &mut [f32],
-    scratch: &mut BlockScratch,
+    y_block: &mut [E],
+    scratch: &mut BlockScratch<E>,
 ) {
     let cols = schedule.cols();
     let l = schedule.length();
@@ -1283,17 +1624,19 @@ fn run_block_banded(
     // bit-identical to the multi-band walk.
     if schedule.bands().count() == 1 {
         if panel == PanelSource::Interleave {
-            scratch.xb.resize(cols * bb, 0.0);
+            scratch.xb.resize(cols * bb, E::ZERO);
             kernels::interleave_panel_band(b, cols, 0, cols, j0, bb, &mut scratch.xb);
         }
-        scratch.acc.resize(l * bb, 0.0);
+        scratch.acc.resize(l * bb, E::ZERO);
         for (w, banded) in schedule.windows().iter().enumerate() {
             let window = banded.window();
             let active = schedule.window_rows(w);
-            scratch.acc[..active * bb].fill(0.0);
-            let (idx, operands): (&[u32], &[f32]) = if stage_flags[w] {
-                scratch.stage.resize(window.gather_cols().len() * bb, 0.0);
-                kernels::stage_panel(
+            scratch.acc[..active * bb].fill(E::ZERO);
+            let (idx, operands): (&[u32], &[E]) = if stage_flags[w] {
+                scratch
+                    .stage
+                    .resize(window.gather_cols().len() * bb, E::ZERO);
+                E::stage_panel(
                     backend,
                     b,
                     cols,
@@ -1306,7 +1649,7 @@ fn run_block_banded(
             } else {
                 (window.cols(), &scratch.xb)
             };
-            kernels::panel_walk(
+            E::panel_walk(
                 backend,
                 window.values(),
                 idx,
@@ -1331,8 +1674,8 @@ fn run_block_banded(
     // One accumulator bank per window, all carried across the band
     // sweep. The fill is mandatory: banks persist from the previous
     // block in the thread-local scratch.
-    scratch.acc.resize(window_count * l * bb, 0.0);
-    scratch.acc.fill(0.0);
+    scratch.acc.resize(window_count * l * bb, E::ZERO);
+    scratch.acc.fill(E::ZERO);
 
     for band in 0..schedule.bands().count() {
         let range = schedule.bands().range(band);
@@ -1340,14 +1683,14 @@ fn run_block_banded(
         if width == 0 {
             continue;
         }
-        scratch.band_xb.resize(width * bb, 0.0);
+        scratch.band_xb.resize(width * bb, E::ZERO);
         kernels::interleave_panel_band(b, cols, col0, width, j0, bb, &mut scratch.band_xb);
         for (w, window) in schedule.windows().iter().enumerate() {
             let slots = window.band_slots(band);
             if slots.is_empty() {
                 continue;
             }
-            kernels::panel_walk(
+            E::panel_walk(
                 backend,
                 &window.window().values()[slots.clone()],
                 &window.local_cols()[slots.clone()],
@@ -1375,29 +1718,22 @@ fn run_block_banded(
     }
 }
 
-std::thread_local! {
-    /// Per-thread batched-execution scratch. Thread-local rather than
-    /// per-call because the worker threads are the persistent
-    /// [`Pool`]'s: the interleave/stage/accumulator buffers amortize
-    /// across `execute_batch` calls, which is exactly the repeated-solve
-    /// pattern the pool exists for.
-    static BLOCK_SCRATCH: std::cell::RefCell<BlockScratch> =
-        std::cell::RefCell::new(BlockScratch::default());
-}
-
 /// Runs `f(j0, bb, y_block, scratch)` for every register block of the
 /// batch, either sequentially or fanned out over the persistent worker
 /// [`Pool`]. Each block owns a disjoint chunk of the column-major output
 /// panel (claimed exactly once through its own slot), so the result is
 /// bit-identical for every worker count regardless of the pool's dynamic
-/// task order.
-fn run_blocks(
+/// task order. Pool workers keep per-thread scratch per element type
+/// ([`Element::with_block_scratch`]), so the interleave/stage/accumulator
+/// buffers amortize across `execute_batch` calls — exactly the
+/// repeated-solve pattern the pool exists for.
+fn run_blocks<E: Element>(
     workers: usize,
-    y: &mut [f32],
+    y: &mut [E],
     rows: usize,
     rb: usize,
     batch: usize,
-    f: impl Fn(usize, usize, &mut [f32], &mut BlockScratch) + Sync,
+    f: impl Fn(usize, usize, &mut [E], &mut BlockScratch<E>) + Sync,
 ) {
     // A zero-row schedule has no output to chunk (and `chunks_mut(0)`
     // would panic); every block's dump would be empty anyway.
@@ -1414,7 +1750,7 @@ fn run_blocks(
         }
         return;
     }
-    let chunks: Vec<std::sync::Mutex<Option<&mut [f32]>>> = y
+    let chunks: Vec<std::sync::Mutex<Option<&mut [E]>>> = y
         .chunks_mut(rows * rb)
         .map(|chunk| std::sync::Mutex::new(Some(chunk)))
         .collect();
@@ -1426,9 +1762,8 @@ fn run_blocks(
             .expect("each block runs exactly once");
         let j0 = blk * rb;
         let bb = (batch - j0).min(rb);
-        BLOCK_SCRATCH.with(|scratch| {
-            let mut scratch = scratch.borrow_mut();
-            f(j0, bb, y_block, &mut scratch);
+        E::with_block_scratch(|scratch| {
+            f(j0, bb, y_block, scratch);
             scratch.trim();
         });
     });

@@ -4,11 +4,22 @@
 //! gather (stage `x[col]` into a window-local buffer), the single-vector
 //! window walk (multiply–crossbar–accumulate per slot), and the batched
 //! panel walk (one slot × a register block of right-hand sides). Each is
-//! implemented here twice — a safe scalar version that reproduces the
-//! PR 2 arithmetic bit for bit, and an `std::arch::x86_64` AVX2+FMA
-//! version — and dispatched per window through
+//! implemented here three times — a safe scalar version that reproduces
+//! the PR 2 arithmetic bit for bit, an `std::arch::x86_64` AVX2+FMA
+//! version, and an AVX-512 version at twice the lane width with masked
+//! ragged tails — and dispatched per window through
 //! [`Backend`] (re-exported from [`gust_sparse::kernels`], where detection
 //! and the `GUST_BACKEND` override live).
+//!
+//! The batched panel walk additionally exists in an `f64` variant
+//! ([`panel_walk_f64`] / [`stage_panel_f64`]): the schedule's *matrix*
+//! values stay `f32` (widened per slot), while operand panels and
+//! accumulators are double precision — the element type the engine's
+//! generic batch walk (`gust::engine::Element`) is monomorphized over.
+//! AVX-512 runs it 8 lanes per 512-bit register; scalar and forced-Avx2
+//! walks share the autovectorized fixed-8 scalar body (AVX2 gains too
+//! little over it at 4 lanes per register to justify a third unsafe
+//! path).
 //!
 //! # Numerical contract
 //!
@@ -18,24 +29,34 @@
 //!   widens the multiplies (IEEE-exact), the scatter adds stay scalar and
 //!   in slot order — which is what keeps `Gust::execute` pinned to the
 //!   instrumented walk and the `hw::GustPipeline` regardless of backend.
+//! * [`window_walk`]'s AVX-512 path keeps the same split (16-wide
+//!   IEEE-exact multiplies, scalar in-order scatter adds) and therefore
+//!   the same bit-identity, masked tails included — a masked multiply
+//!   lane computes the identical product the scalar remainder loop did.
 //! * [`panel_walk`] is bit-identical to the scalar path under
-//!   [`Backend::Scalar`]; under [`Backend::Avx2`] each accumulate is an
-//!   FMA (one rounding instead of two), so outputs differ from scalar by
-//!   at most one ULP per accumulation step — the bound
-//!   `tests/backend_equivalence.rs` enforces.
+//!   [`Backend::Scalar`]; under [`Backend::Avx2`] and [`Backend::Avx512`]
+//!   each accumulate is an FMA (one rounding instead of two), so outputs
+//!   differ from scalar by at most one ULP per accumulation step — the
+//!   bound `tests/backend_equivalence.rs` enforces. [`panel_walk_f64`]
+//!   obeys the same contract in double precision.
 //!
 //! # Safety
 //!
-//! The only `unsafe` in this crate lives in this module's `avx2`
-//! submodule (the crate root carries `#![deny(unsafe_code)]`). Every
-//! unsafe block is either a call to a `#[target_feature(enable =
-//! "avx2,fma")]` function guarded by [`Backend::is_available`], or a
-//! gather/load intrinsic whose indices were validated when the schedule
+//! The only `unsafe` in this crate lives in this module's `avx2` and
+//! `avx512` submodules (the crate root carries `#![deny(unsafe_code)]`).
+//! Every unsafe block is either a call to a `#[target_feature(...)]`
+//! function guarded by [`Backend::is_available`] (enabling `avx2,fma`,
+//! plus `avx512f,avx512vl` for the avx512 module — exactly the set
+//! `Backend::Avx512.is_available()` checks), or a gather/load intrinsic
+//! whose indices were validated when the schedule
 //! was built: [`crate::ScheduledMatrix`] asserts at construction (release
 //! builds included) that every slot column is `< cols`, every `row_mod`
 //! is `< length`, and `local_cols` indexes its own gather list by
 //! construction — and the engine asserts `x.len() == cols` /
 //! `stage.len() == gather_cols.len() · bb` before any kernel runs.
+//! AVX-512 masked loads/gathers/stores never access masked-out lanes, so
+//! a masked tail needs no stronger precondition than the scalar remainder
+//! loop it replaces.
 
 #![allow(unsafe_code)]
 
@@ -53,6 +74,14 @@ pub use gust_sparse::kernels::{best_available, cpu_features, default_backend, Ba
 pub(crate) fn gather(backend: Backend, src: &[f32], idx: &[u32], dst: &mut [f32]) {
     assert_eq!(dst.len(), idx.len(), "gather output length mismatch");
     debug_assert!(idx.iter().all(|&i| (i as usize) < src.len()));
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        // SAFETY: avx512f+avx512vl+avx2+fma verified; indices validated
+        // at schedule build (`ScheduledMatrix::from_parts`) against
+        // `cols == src.len()`, masked-out tail lanes access no memory.
+        unsafe { avx512::gather_avx512(src, idx, dst) };
+        return;
+    }
     #[cfg(target_arch = "x86_64")]
     if backend == Backend::Avx2 && Backend::Avx2.is_available() {
         // SAFETY: avx2+fma verified; indices validated at schedule build
@@ -88,6 +117,14 @@ pub(crate) fn window_walk(
 ) {
     assert_eq!(values.len(), idx.len(), "slot array length mismatch");
     assert_eq!(values.len(), row_mods.len(), "slot array length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        // SAFETY: avx512f+avx512vl+avx2+fma verified; gather indices
+        // validated at schedule build against the operand array the
+        // engine sized to match, masked tail lanes access no memory.
+        unsafe { avx512::window_walk_avx512(values, idx, row_mods, operands, adders) };
+        return;
+    }
     #[cfg(target_arch = "x86_64")]
     if backend == Backend::Avx2 && Backend::Avx2.is_available() {
         // SAFETY: avx2+fma verified; gather indices validated at schedule
@@ -126,6 +163,23 @@ pub(crate) fn panel_walk(
     assert_eq!(values.len(), idx.len(), "slot array length mismatch");
     assert_eq!(values.len(), row_mods.len(), "slot array length mismatch");
     #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        debug_assert!(idx.iter().all(|&c| (c as usize + 1) * bb <= operands.len()));
+        debug_assert!(row_mods.iter().all(|&r| (r as usize + 1) * bb <= acc.len()));
+        // SAFETY: avx512f+avx512vl+avx2+fma verified; block offsets are
+        // the same schedule invariants as the AVX2 arm below. Full
+        // 512-bit register blocks take the monomorphized straight-line
+        // kernel; any other width takes the masked-striding one.
+        unsafe {
+            match bb {
+                16 => avx512::panel_walk_avx512_const::<1>(values, idx, row_mods, operands, acc),
+                32 => avx512::panel_walk_avx512_const::<2>(values, idx, row_mods, operands, acc),
+                _ => avx512::panel_walk_avx512(values, idx, row_mods, operands, acc, bb),
+            }
+        }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
     if backend == Backend::Avx2 && Backend::Avx2.is_available() {
         debug_assert!(idx.iter().all(|&c| (c as usize + 1) * bb <= operands.len()));
         debug_assert!(row_mods.iter().all(|&r| (r as usize + 1) * bb <= acc.len()));
@@ -154,14 +208,68 @@ pub(crate) fn panel_walk(
     }
 }
 
+/// The batched panel walk in double precision: for each slot `i` and each
+/// right-hand side `j < bb`,
+/// `acc[row_mods[i]·bb + j] += f64(values[i]) * operands[idx[i]·bb + j]`.
+///
+/// The schedule's matrix values stay `f32` storage (widened once per
+/// slot); operands and accumulators are `f64`. Only [`Backend::Avx512`]
+/// has an explicit SIMD body (8 lanes fill one 512-bit register);
+/// [`Backend::Avx2`] and [`Backend::Scalar`] share the autovectorized
+/// fixed-8 scalar kernel — see the module docs.
+///
+/// # Panics
+///
+/// Panics if the slot arrays disagree in length or a slot's operand or
+/// accumulator block would fall outside its array.
+pub(crate) fn panel_walk_f64(
+    backend: Backend,
+    values: &[f32],
+    idx: &[u32],
+    row_mods: &[u32],
+    operands: &[f64],
+    acc: &mut [f64],
+    bb: usize,
+) {
+    assert_eq!(values.len(), idx.len(), "slot array length mismatch");
+    assert_eq!(values.len(), row_mods.len(), "slot array length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        debug_assert!(idx.iter().all(|&c| (c as usize + 1) * bb <= operands.len()));
+        debug_assert!(row_mods.iter().all(|&r| (r as usize + 1) * bb <= acc.len()));
+        // SAFETY: avx512f+avx512vl+avx2+fma verified; block offsets are
+        // schedule invariants validated at construction, as in
+        // `panel_walk`.
+        unsafe {
+            match bb {
+                8 => avx512::panel_walk_f64_avx512_const::<1>(values, idx, row_mods, operands, acc),
+                16 => {
+                    avx512::panel_walk_f64_avx512_const::<2>(values, idx, row_mods, operands, acc);
+                }
+                _ => avx512::panel_walk_f64_avx512(values, idx, row_mods, operands, acc, bb),
+            }
+        }
+        return;
+    }
+    let _ = backend;
+    if bb == Backend::Scalar.reg_block_f64() {
+        panel_walk_f64_scalar_const::<8>(values, idx, row_mods, operands, acc);
+    } else {
+        panel_walk_f64_scalar_dyn(values, idx, row_mods, operands, acc, bb);
+    }
+}
+
 /// Interleaves one register block of the column-major panel:
 /// `xb[i·bb + j] = b[(j0+j)·cols + i]` for all columns `i` — the PR 2
 /// whole-panel transpose, used for windows that are not staged.
 ///
+/// Generic over the element type (`f32` / `f64` panels interleave the
+/// same way — it is a copy).
+///
 /// # Panics
 ///
 /// Panics if `xb.len() != cols·bb` or the panel slice is too short.
-pub(crate) fn interleave_panel(b: &[f32], cols: usize, j0: usize, bb: usize, xb: &mut [f32]) {
+pub(crate) fn interleave_panel<T: Copy>(b: &[T], cols: usize, j0: usize, bb: usize, xb: &mut [T]) {
     interleave_panel_band(b, cols, 0, cols, j0, bb, xb);
 }
 
@@ -176,14 +284,14 @@ pub(crate) fn interleave_panel(b: &[f32], cols: usize, j0: usize, bb: usize, xb:
 ///
 /// Panics if `xb.len() != width·bb` or the band falls outside a panel
 /// column.
-pub(crate) fn interleave_panel_band(
-    b: &[f32],
+pub(crate) fn interleave_panel_band<T: Copy>(
+    b: &[T],
     cols: usize,
     col0: usize,
     width: usize,
     j0: usize,
     bb: usize,
-    xb: &mut [f32],
+    xb: &mut [T],
 ) {
     assert_eq!(xb.len(), width * bb, "interleave buffer length mismatch");
     assert!(col0 + width <= cols, "band outside the panel columns");
@@ -220,12 +328,65 @@ pub(crate) fn stage_panel(
         "stage buffer length mismatch"
     );
     #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        for j in 0..bb {
+            let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
+            // SAFETY: avx512f+avx512vl+avx2+fma verified; gather indices
+            // validated at schedule build against `cols == src.len()`.
+            unsafe { avx512::gather_strided_avx512(src, gather_cols, stage, bb, j) };
+        }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
     if backend == Backend::Avx2 && Backend::Avx2.is_available() {
         for j in 0..bb {
             let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
             // SAFETY: avx2+fma verified; gather indices validated at
             // schedule build against `cols == src.len()`.
             unsafe { avx2::gather_strided_avx2(src, gather_cols, stage, bb, j) };
+        }
+        return;
+    }
+    let _ = backend;
+    for j in 0..bb {
+        let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
+        for (i, &g) in gather_cols.iter().enumerate() {
+            stage[i * bb + j] = src[g as usize];
+        }
+    }
+}
+
+/// [`stage_panel`] in double precision: stages one register block of a
+/// window's distinct columns from a column-major `f64` panel. Exact under
+/// every backend (a copy); AVX-512 runs the gathers 8 lanes per 512-bit
+/// register.
+///
+/// # Panics
+///
+/// Panics if `stage.len() != gather.len()·bb` or (scalar path) an index
+/// is out of bounds; the AVX-512 path requires in-bounds gather indices,
+/// which the schedule guarantees.
+pub(crate) fn stage_panel_f64(
+    backend: Backend,
+    b: &[f64],
+    cols: usize,
+    j0: usize,
+    bb: usize,
+    gather_cols: &[u32],
+    stage: &mut [f64],
+) {
+    assert_eq!(
+        stage.len(),
+        gather_cols.len() * bb,
+        "stage buffer length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        for j in 0..bb {
+            let src = &b[(j0 + j) * cols..(j0 + j + 1) * cols];
+            // SAFETY: avx512f+avx512vl+avx2+fma verified; gather indices
+            // validated at schedule build against `cols == src.len()`.
+            unsafe { avx512::gather_strided_avx512_pd(src, gather_cols, stage, bb, j) };
         }
         return;
     }
@@ -253,13 +414,13 @@ pub(crate) fn stage_panel(
 ///
 /// Panics if `acc` is not `row_perm.len()·bb` long or a permuted row
 /// falls outside a `rows_total`-row output column.
-pub(crate) fn scatter_panel(
-    acc: &[f32],
+pub(crate) fn scatter_panel<T: Copy>(
+    acc: &[T],
     row_perm: &[u32],
     row0: usize,
     rows_total: usize,
     bb: usize,
-    y_block: &mut [f32],
+    y_block: &mut [T],
 ) {
     assert_eq!(
         acc.len(),
@@ -350,6 +511,53 @@ fn panel_walk_scalar_dyn(
         let x = &operands[c as usize * bb..c as usize * bb + bb];
         let a = &mut acc[r as usize * bb..r as usize * bb + bb];
         slot_axpy(v, x, a);
+    }
+}
+
+/// [`slot_axpy`] in double precision: `a[j] += v · x[j]` with the slot
+/// value already widened. Both f64 scalar panel paths funnel through this
+/// one body.
+#[inline(always)]
+fn slot_axpy_f64(v: f64, x: &[f64], a: &mut [f64]) {
+    for (aj, &xj) in a.iter_mut().zip(x) {
+        *aj += v * xj;
+    }
+}
+
+/// Full-register-block f64 scalar panel walk, monomorphized at the block
+/// width so the fixed-length [`slot_axpy_f64`] autovectorizes.
+fn panel_walk_f64_scalar_const<const B: usize>(
+    values: &[f32],
+    idx: &[u32],
+    row_mods: &[u32],
+    operands: &[f64],
+    acc: &mut [f64],
+) {
+    for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+        let x: &[f64; B] = operands[c as usize * B..c as usize * B + B]
+            .try_into()
+            .expect("block-sized operand slice");
+        let a: &mut [f64; B] = (&mut acc[r as usize * B..r as usize * B + B])
+            .try_into()
+            .expect("block-sized accumulator slice");
+        slot_axpy_f64(f64::from(v), x, a);
+    }
+}
+
+/// Ragged-tail f64 scalar panel walk at a runtime width — same
+/// [`slot_axpy_f64`] body as the full-block path.
+fn panel_walk_f64_scalar_dyn(
+    values: &[f32],
+    idx: &[u32],
+    row_mods: &[u32],
+    operands: &[f64],
+    acc: &mut [f64],
+    bb: usize,
+) {
+    for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+        let x = &operands[c as usize * bb..c as usize * bb + bb];
+        let a = &mut acc[r as usize * bb..r as usize * bb + bb];
+        slot_axpy_f64(f64::from(v), x, a);
     }
 }
 
@@ -529,6 +737,312 @@ mod avx2 {
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! AVX-512 engine kernels. Every function is
+    //! `#[target_feature(enable = "avx512f,avx512vl,avx2,fma")]` — the
+    //! exact set [`super::Backend::Avx512.is_available`] checks — and
+    //! only called after that check returned `true`; gather indices are
+    //! schedule invariants validated at construction (see the module
+    //! docs). Ragged tails use masked loads/gathers/stores: masked-out
+    //! lanes never touch memory, so the preconditions match the scalar
+    //! remainder loops these masks replace.
+
+    use std::arch::x86_64::{
+        __mmask16, __mmask8, _mm256_loadu_si256, _mm256_maskz_loadu_epi32, _mm512_fmadd_pd,
+        _mm512_fmadd_ps, _mm512_i32gather_pd, _mm512_i32gather_ps, _mm512_loadu_epi32,
+        _mm512_loadu_pd, _mm512_loadu_ps, _mm512_mask_i32gather_pd, _mm512_mask_i32gather_ps,
+        _mm512_mask_storeu_pd, _mm512_mask_storeu_ps, _mm512_maskz_loadu_epi32,
+        _mm512_maskz_loadu_pd, _mm512_maskz_loadu_ps, _mm512_mul_ps, _mm512_set1_pd,
+        _mm512_set1_ps, _mm512_setzero_pd, _mm512_setzero_ps, _mm512_storeu_pd, _mm512_storeu_ps,
+    };
+
+    /// 16-wide `dst[i] = src[idx[i]]` with a masked tail.
+    ///
+    /// # Safety
+    ///
+    /// Caller verified the avx512 feature set and that every index is
+    /// `< src.len()`; `dst.len() == idx.len()` is asserted by the
+    /// dispatcher. Masked-out tail lanes access no memory.
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn gather_avx512(src: &[f32], idx: &[u32], dst: &mut [f32]) {
+        let n = idx.len();
+        let full = n / 16 * 16;
+        let mut i = 0usize;
+        while i < full {
+            let iv = _mm512_loadu_epi32(idx.as_ptr().add(i).cast());
+            let g = _mm512_i32gather_ps::<4>(iv, src.as_ptr().cast());
+            _mm512_storeu_ps(dst.as_mut_ptr().add(i), g);
+            i += 16;
+        }
+        let rem = n - full;
+        if rem > 0 {
+            let m: __mmask16 = (1u16 << rem) - 1;
+            let iv = _mm512_maskz_loadu_epi32(m, idx.as_ptr().add(full).cast());
+            let g = _mm512_mask_i32gather_ps::<4>(_mm512_setzero_ps(), m, iv, src.as_ptr().cast());
+            _mm512_mask_storeu_ps(dst.as_mut_ptr().add(full), m, g);
+        }
+    }
+
+    /// Strided gather for the f32 panel stage: `stage[i·bb + j] =
+    /// src[gather[i]]`, one right-hand side `j` at a time — the AVX2
+    /// version at twice the gather width, masked on the tail. Stores stay
+    /// scalar (the stride defeats a vector store).
+    ///
+    /// # Safety
+    ///
+    /// Caller verified the avx512 feature set, every gather index
+    /// `< src.len()`, and `stage.len() == gather.len()·bb` with `j < bb`.
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn gather_strided_avx512(
+        src: &[f32],
+        gather: &[u32],
+        stage: &mut [f32],
+        bb: usize,
+        j: usize,
+    ) {
+        let mut buf = [0.0f32; 16];
+        let n = gather.len();
+        let full = n / 16 * 16;
+        let mut i = 0usize;
+        while i < full {
+            let iv = _mm512_loadu_epi32(gather.as_ptr().add(i).cast());
+            let vals = _mm512_i32gather_ps::<4>(iv, src.as_ptr().cast());
+            _mm512_storeu_ps(buf.as_mut_ptr(), vals);
+            for (k, &v) in buf.iter().enumerate() {
+                stage[(i + k) * bb + j] = v;
+            }
+            i += 16;
+        }
+        let rem = n - full;
+        if rem > 0 {
+            let m: __mmask16 = (1u16 << rem) - 1;
+            let iv = _mm512_maskz_loadu_epi32(m, gather.as_ptr().add(full).cast());
+            let vals =
+                _mm512_mask_i32gather_ps::<4>(_mm512_setzero_ps(), m, iv, src.as_ptr().cast());
+            _mm512_mask_storeu_ps(buf.as_mut_ptr(), m, vals);
+            for (k, &v) in buf[..rem].iter().enumerate() {
+                stage[(full + k) * bb + j] = v;
+            }
+        }
+    }
+
+    /// [`gather_strided_avx512`] for `f64` panels: 8 double lanes per
+    /// 512-bit gather, indices in one 256-bit register.
+    ///
+    /// # Safety
+    ///
+    /// As [`gather_strided_avx512`].
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn gather_strided_avx512_pd(
+        src: &[f64],
+        gather: &[u32],
+        stage: &mut [f64],
+        bb: usize,
+        j: usize,
+    ) {
+        let mut buf = [0.0f64; 8];
+        let n = gather.len();
+        let full = n / 8 * 8;
+        let mut i = 0usize;
+        while i < full {
+            let iv = _mm256_loadu_si256(gather.as_ptr().add(i).cast());
+            let vals = _mm512_i32gather_pd::<8>(iv, src.as_ptr().cast());
+            _mm512_storeu_pd(buf.as_mut_ptr(), vals);
+            for (k, &v) in buf.iter().enumerate() {
+                stage[(i + k) * bb + j] = v;
+            }
+            i += 8;
+        }
+        let rem = n - full;
+        if rem > 0 {
+            let m: __mmask8 = (1u8 << rem) - 1;
+            let iv = _mm256_maskz_loadu_epi32(m, gather.as_ptr().add(full).cast());
+            let vals =
+                _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, iv, src.as_ptr().cast());
+            _mm512_mask_storeu_pd(buf.as_mut_ptr(), m, vals);
+            for (k, &v) in buf[..rem].iter().enumerate() {
+                stage[(full + k) * bb + j] = v;
+            }
+        }
+    }
+
+    /// 16-slot single-vector walk: gather + multiply vectorized (masked
+    /// on the tail), scatter adds scalar and in slot order —
+    /// bit-identical to the scalar path, because a masked multiply lane
+    /// computes the identical IEEE product the scalar remainder did.
+    ///
+    /// # Safety
+    ///
+    /// Caller verified the avx512 feature set and that every gather index
+    /// is `< operands.len()`. Scatter adds use bounds-checked indexing.
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn window_walk_avx512(
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[f32],
+        adders: &mut [f32],
+    ) {
+        let mut buf = [0.0f32; 16];
+        let n = values.len();
+        let mut s = 0usize;
+        while s < n {
+            let rem = (n - s).min(16);
+            let m: __mmask16 = if rem == 16 { !0 } else { (1u16 << rem) - 1 };
+            let iv = _mm512_maskz_loadu_epi32(m, idx.as_ptr().add(s).cast());
+            let xs =
+                _mm512_mask_i32gather_ps::<4>(_mm512_setzero_ps(), m, iv, operands.as_ptr().cast());
+            let vv = _mm512_maskz_loadu_ps(m, values.as_ptr().add(s));
+            let p = _mm512_mul_ps(vv, xs);
+            _mm512_mask_storeu_ps(buf.as_mut_ptr(), m, p);
+            for (k, &rm) in row_mods[s..s + rem].iter().enumerate() {
+                adders[rm as usize] += buf[k];
+            }
+            s += rem;
+        }
+    }
+
+    /// f32 panel walk at a compile-time width of `NREG` 512-bit registers
+    /// (`bb = 16·NREG`): per slot, `NREG` straight-line FMAs.
+    ///
+    /// # Safety
+    ///
+    /// Caller verified the avx512 feature set and that for every slot,
+    /// `(idx[i]+1)·16·NREG ≤ operands.len()` and
+    /// `(row_mods[i]+1)·16·NREG ≤ acc.len()` (schedule invariants,
+    /// debug-asserted by the dispatcher).
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn panel_walk_avx512_const<const NREG: usize>(
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[f32],
+        acc: &mut [f32],
+    ) {
+        let op = operands.as_ptr();
+        let ac = acc.as_mut_ptr();
+        for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+            let vv = _mm512_set1_ps(v);
+            let xp = op.add(c as usize * (NREG * 16));
+            let ap = ac.add(r as usize * (NREG * 16));
+            for k in 0..NREG {
+                let av = _mm512_loadu_ps(ap.add(16 * k));
+                let xv = _mm512_loadu_ps(xp.add(16 * k));
+                _mm512_storeu_ps(ap.add(16 * k), _mm512_fmadd_ps(vv, xv, av));
+            }
+        }
+    }
+
+    /// f32 panel walk at any width `bb`: 16-lane FMA strides plus a
+    /// masked remainder — the masked loads/stores replacing the scalar
+    /// tail loop of the AVX2 path.
+    ///
+    /// # Safety
+    ///
+    /// Caller verified the avx512 feature set. Per-slot blocks are
+    /// obtained with bounds-checked slicing before any raw load, and the
+    /// remainder mask covers exactly the in-bounds lanes.
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn panel_walk_avx512(
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[f32],
+        acc: &mut [f32],
+        bb: usize,
+    ) {
+        for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+            let x = &operands[c as usize * bb..c as usize * bb + bb];
+            let a = &mut acc[r as usize * bb..r as usize * bb + bb];
+            let vv = _mm512_set1_ps(v);
+            let xp = x.as_ptr();
+            let ap = a.as_mut_ptr();
+            let mut j = 0usize;
+            while j + 16 <= bb {
+                let av = _mm512_loadu_ps(ap.add(j));
+                let xv = _mm512_loadu_ps(xp.add(j));
+                _mm512_storeu_ps(ap.add(j), _mm512_fmadd_ps(vv, xv, av));
+                j += 16;
+            }
+            let rem = bb - j;
+            if rem > 0 {
+                let m: __mmask16 = (1u16 << rem) - 1;
+                let av = _mm512_maskz_loadu_ps(m, ap.add(j));
+                let xv = _mm512_maskz_loadu_ps(m, xp.add(j));
+                _mm512_mask_storeu_ps(ap.add(j), m, _mm512_fmadd_ps(vv, xv, av));
+            }
+        }
+    }
+
+    /// f64 panel walk at a compile-time width of `NREG` 512-bit `pd`
+    /// registers (`bb = 8·NREG`): the slot value is widened once, then
+    /// `NREG` straight-line double-precision FMAs per slot.
+    ///
+    /// # Safety
+    ///
+    /// As [`panel_walk_avx512_const`] with 8-lane blocks.
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn panel_walk_f64_avx512_const<const NREG: usize>(
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[f64],
+        acc: &mut [f64],
+    ) {
+        let op = operands.as_ptr();
+        let ac = acc.as_mut_ptr();
+        for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+            let vv = _mm512_set1_pd(f64::from(v));
+            let xp = op.add(c as usize * (NREG * 8));
+            let ap = ac.add(r as usize * (NREG * 8));
+            for k in 0..NREG {
+                let av = _mm512_loadu_pd(ap.add(8 * k));
+                let xv = _mm512_loadu_pd(xp.add(8 * k));
+                _mm512_storeu_pd(ap.add(8 * k), _mm512_fmadd_pd(vv, xv, av));
+            }
+        }
+    }
+
+    /// f64 panel walk at any width `bb`: 8-lane `pd` FMA strides plus a
+    /// masked remainder.
+    ///
+    /// # Safety
+    ///
+    /// As [`panel_walk_avx512`].
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn panel_walk_f64_avx512(
+        values: &[f32],
+        idx: &[u32],
+        row_mods: &[u32],
+        operands: &[f64],
+        acc: &mut [f64],
+        bb: usize,
+    ) {
+        for ((&v, &c), &r) in values.iter().zip(idx).zip(row_mods) {
+            let x = &operands[c as usize * bb..c as usize * bb + bb];
+            let a = &mut acc[r as usize * bb..r as usize * bb + bb];
+            let vv = _mm512_set1_pd(f64::from(v));
+            let xp = x.as_ptr();
+            let ap = a.as_mut_ptr();
+            let mut j = 0usize;
+            while j + 8 <= bb {
+                let av = _mm512_loadu_pd(ap.add(j));
+                let xv = _mm512_loadu_pd(xp.add(j));
+                _mm512_storeu_pd(ap.add(j), _mm512_fmadd_pd(vv, xv, av));
+                j += 8;
+            }
+            let rem = bb - j;
+            if rem > 0 {
+                let m: __mmask8 = (1u8 << rem) - 1;
+                let av = _mm512_maskz_loadu_pd(m, ap.add(j));
+                let xv = _mm512_maskz_loadu_pd(m, xp.add(j));
+                _mm512_mask_storeu_pd(ap.add(j), m, _mm512_fmadd_pd(vv, xv, av));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,6 +1051,9 @@ mod tests {
         let mut v = vec![Backend::Scalar];
         if Backend::Avx2.is_available() {
             v.push(Backend::Avx2);
+        }
+        if Backend::Avx512.is_available() {
+            v.push(Backend::Avx512);
         }
         v
     }
@@ -579,7 +1096,7 @@ mod tests {
     #[test]
     fn panel_walk_full_block_and_tail_agree_with_naive() {
         for backend in both_backends() {
-            for bb in [1usize, 3, 7, 8, 11, 16, 17] {
+            for bb in [1usize, 3, 7, 8, 11, 16, 17, 32, 33] {
                 let slots = 23;
                 let u = 9;
                 let l = 6;
@@ -607,6 +1124,60 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn panel_walk_f64_agrees_with_naive_under_every_backend() {
+        for backend in both_backends() {
+            for bb in [1usize, 3, 7, 8, 11, 16, 17] {
+                let slots = 23;
+                let u = 9;
+                let l = 6;
+                let values: Vec<f32> = (0..slots).map(|i| 0.25 + i as f32 * 0.125).collect();
+                let idx: Vec<u32> = (0..slots as u32).map(|i| (i * 5) % u as u32).collect();
+                let row_mods: Vec<u32> = (0..slots as u32).map(|i| (i * 3) % l as u32).collect();
+                let operands: Vec<f64> = (0..u * bb).map(|i| (i as f64 * 0.375).sin()).collect();
+                let mut acc = vec![0.0f64; l * bb];
+                panel_walk_f64(backend, &values, &idx, &row_mods, &operands, &mut acc, bb);
+
+                let mut oracle = vec![0.0f64; l * bb];
+                for s in 0..slots {
+                    for j in 0..bb {
+                        oracle[row_mods[s] as usize * bb + j] +=
+                            f64::from(values[s]) * operands[idx[s] as usize * bb + j];
+                    }
+                }
+                for (a, o) in acc.iter().zip(&oracle) {
+                    // Scalar/AVX-512 differ only by FMA contraction; the
+                    // oracle is the exact same double arithmetic.
+                    assert!(
+                        (a - o).abs() < 1e-12 * o.abs().max(1.0),
+                        "{} bb={bb}: {a} vs {o}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_panel_f64_matches_the_scalar_copy() {
+        let cols = 29;
+        let bb = 5;
+        let b: Vec<f64> = (0..cols * (bb + 1)).map(|i| i as f64 * 0.25).collect();
+        let gather: Vec<u32> = (0..cols as u32).filter(|i| i % 3 != 1).collect();
+        let mut expected = vec![0.0f64; gather.len() * bb];
+        stage_panel_f64(Backend::Scalar, &b, cols, 1, bb, &gather, &mut expected);
+        for j in 0..bb {
+            for (i, &g) in gather.iter().enumerate() {
+                assert_eq!(expected[i * bb + j], b[(1 + j) * cols + g as usize]);
+            }
+        }
+        for backend in both_backends() {
+            let mut stage = vec![0.0f64; gather.len() * bb];
+            stage_panel_f64(backend, &b, cols, 1, bb, &gather, &mut stage);
+            assert_eq!(stage, expected, "{}", backend.name());
         }
     }
 

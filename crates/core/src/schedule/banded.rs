@@ -56,8 +56,8 @@ pub struct ColumnBands {
 
 impl ColumnBands {
     /// Partitions `cols` columns so that one band's operand slice at the
-    /// **effective batch width** — `band_cols × batch` f32 values — fits
-    /// in `budget_bytes`.
+    /// **effective batch width** — `band_cols × batch` elements of
+    /// `elem_bytes` each — fits in `budget_bytes`.
     ///
     /// `batch` is the number of right-hand sides a band walk streams per
     /// pass: **1** for single-vector [`crate::Gust::execute`] walks, the
@@ -69,14 +69,20 @@ impl ColumnBands {
     /// LLC-exceeding shapes — sizing is now a per-call decision threaded
     /// from the scheduling entry points.
     ///
+    /// `elem_bytes` is the operand element width (4 for f32 walks, 8 for
+    /// f64): an f64 band slice occupies twice the cache per column, so
+    /// the budget halves the band width rather than silently assuming
+    /// 4-byte operands.
+    ///
     /// # Panics
     ///
-    /// Panics if `budget_bytes` or `batch` is zero.
+    /// Panics if `budget_bytes`, `batch` or `elem_bytes` is zero.
     #[must_use]
-    pub fn for_budget(cols: usize, budget_bytes: usize, batch: usize) -> Self {
+    pub fn for_budget(cols: usize, budget_bytes: usize, batch: usize, elem_bytes: usize) -> Self {
         assert!(budget_bytes > 0, "cache budget must be non-zero");
         assert!(batch > 0, "effective batch width must be non-zero");
-        let band_cols = (budget_bytes / (std::mem::size_of::<f32>() * batch)).max(1);
+        assert!(elem_bytes > 0, "element width must be non-zero");
+        let band_cols = (budget_bytes / (elem_bytes * batch)).max(1);
         let count = cols.div_ceil(band_cols).max(1);
         Self::with_count(cols, count)
     }
@@ -172,6 +178,7 @@ impl BandPlan {
     /// Chooses a band partition for a `rows × cols` matrix with `nnz`
     /// non-zeros, walked at effective batch width `batch` (1 for
     /// single-vector walks, the per-block panel width for batched ones)
+    /// with operand elements `elem_bytes` wide (4 for f32, 8 for f64)
     /// under a cache budget of `budget_bytes`.
     ///
     /// The count is the budget-implied band count capped at the average
@@ -181,12 +188,20 @@ impl BandPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `budget_bytes` or `batch` is zero.
+    /// Panics if `budget_bytes`, `batch` or `elem_bytes` is zero.
     #[must_use]
-    pub fn choose(rows: usize, cols: usize, nnz: usize, batch: usize, budget_bytes: usize) -> Self {
+    pub fn choose(
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+        batch: usize,
+        elem_bytes: usize,
+        budget_bytes: usize,
+    ) -> Self {
         assert!(budget_bytes > 0, "cache budget must be non-zero");
         assert!(batch > 0, "effective batch width must be non-zero");
-        let band_cols = (budget_bytes / (std::mem::size_of::<f32>() * batch)).max(1);
+        assert!(elem_bytes > 0, "element width must be non-zero");
+        let band_cols = (budget_bytes / (elem_bytes * batch)).max(1);
         let budget_bands = cols.div_ceil(band_cols).max(1);
         let density_cap = (nnz / rows.max(1)).max(1);
         let count = budget_bands.min(density_cap).min(cols.max(1)).max(1);
@@ -212,16 +227,17 @@ impl BandPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `budget_bytes` or `batch` is zero.
+    /// Panics if `budget_bytes`, `batch` or `elem_bytes` is zero.
     #[must_use]
     pub fn choose_for_tile(
         rows: usize,
         cols: usize,
         nnz: usize,
         batch: usize,
+        elem_bytes: usize,
         budget_bytes: usize,
     ) -> Self {
-        let mut plan = Self::choose(rows, cols, nnz, batch, budget_bytes);
+        let mut plan = Self::choose(rows, cols, nnz, batch, elem_bytes, budget_bytes);
         let reuse_cap = (nnz / cols.max(1)).max(1);
         if plan.count() > reuse_cap {
             plan.bands = ColumnBands::with_count(cols, reuse_cap.min(cols.max(1)));
@@ -591,19 +607,19 @@ mod tests {
     #[test]
     fn for_budget_sizes_the_batched_slice() {
         // 1 KiB budget, reg_block 8 → 32 columns per band.
-        let bands = ColumnBands::for_budget(100, 1024, 8);
+        let bands = ColumnBands::for_budget(100, 1024, 8, 4);
         assert_eq!(bands.count(), 4); // ceil(100 / 32)
         for b in 0..bands.count() {
             let width = bands.range(b).len();
             assert!(width * 8 * 4 <= 1024 + 8 * 4, "band {b} width {width}");
         }
         // A budget covering everything yields one band.
-        assert_eq!(ColumnBands::for_budget(100, 1 << 20, 8).count(), 1);
+        assert_eq!(ColumnBands::for_budget(100, 1 << 20, 8, 4).count(), 1);
     }
 
     #[test]
     fn zero_cols_gets_one_empty_band() {
-        let bands = ColumnBands::for_budget(0, 1024, 8);
+        let bands = ColumnBands::for_budget(0, 1024, 8, 4);
         assert_eq!(bands.count(), 1);
         assert_eq!(bands.cols(), 0);
     }
@@ -619,8 +635,8 @@ mod tests {
         // Single-vector sizing (batch = 1) must not divide the budget by
         // the register block: 1 KiB covers 256 single-vector columns but
         // only 32 batched ones.
-        let single = ColumnBands::for_budget(1000, 1024, 1);
-        let batched = ColumnBands::for_budget(1000, 1024, 8);
+        let single = ColumnBands::for_budget(1000, 1024, 1, 4);
+        let batched = ColumnBands::for_budget(1000, 1024, 8, 4);
         assert_eq!(single.count(), 4); // ceil(1000 / 256)
         assert_eq!(batched.count(), 32); // ceil(1000 / 32)
         assert!(single.count() <= batched.count());
@@ -630,25 +646,25 @@ mod tests {
     fn for_budget_handles_degenerate_budgets() {
         // A budget smaller than one column slice degenerates to one
         // column per band, never zero-width bands.
-        let bands = ColumnBands::for_budget(5, 1, 8);
+        let bands = ColumnBands::for_budget(5, 1, 8, 4);
         assert_eq!(bands.count(), 5);
         for b in 0..bands.count() {
             assert_eq!(bands.range(b).len(), 1);
         }
-        assert_eq!(ColumnBands::for_budget(0, 1, 8).count(), 1);
+        assert_eq!(ColumnBands::for_budget(0, 1, 8, 4).count(), 1);
     }
 
     #[test]
     fn band_plan_caps_the_band_count_at_the_row_density() {
         // 1024 rows × 4096 cols × 8 nnz/row under a budget that would
         // demand 64 batched bands: the density cap wins at 8.
-        let plan = BandPlan::choose(1024, 4096, 8 * 1024, 8, 4096 * 4 * 8 / 64);
+        let plan = BandPlan::choose(1024, 4096, 8 * 1024, 8, 4, 4096 * 4 * 8 / 64);
         assert_eq!(plan.budget_bands(), 64);
         assert_eq!(plan.density_cap(), 8);
         assert_eq!(plan.count(), 8);
         // A generous budget keeps one band regardless of density.
         assert_eq!(
-            BandPlan::choose(1024, 4096, 8 * 1024, 8, 1 << 30).count(),
+            BandPlan::choose(1024, 4096, 8 * 1024, 8, 4, 1 << 30).count(),
             1
         );
     }
@@ -656,14 +672,14 @@ mod tests {
     #[test]
     fn band_plan_handles_degenerate_shapes() {
         // cols == 0: one empty band.
-        let plan = BandPlan::choose(10, 0, 0, 8, 1024);
+        let plan = BandPlan::choose(10, 0, 0, 8, 4, 1024);
         assert_eq!(plan.count(), 1);
         assert_eq!(plan.bands().cols(), 0);
         // Empty matrix: density cap clamps to one band.
-        assert_eq!(BandPlan::choose(0, 64, 0, 1, 1024).count(), 1);
+        assert_eq!(BandPlan::choose(0, 64, 0, 1, 4, 1024).count(), 1);
         // Budget below one column slice: never more bands than columns
         // (with_count would panic otherwise), still density-capped.
-        let tiny = BandPlan::choose(2, 7, 1000, 8, 1);
+        let tiny = BandPlan::choose(2, 7, 1000, 8, 4, 1);
         assert!(tiny.count() <= 7);
         assert_eq!(tiny.bands().cols(), 7);
     }
@@ -673,19 +689,36 @@ mod tests {
         // A hyper-sparse tile (fewer non-zeros than columns) gains
         // nothing from bands: one band, regardless of what the budget
         // would demand.
-        let tile = BandPlan::choose_for_tile(32 * 1024, 1 << 20, 6 * 32 * 1024, 8, 1 << 20);
+        let tile = BandPlan::choose_for_tile(32 * 1024, 1 << 20, 6 * 32 * 1024, 8, 4, 1 << 20);
         assert_eq!(tile.count(), 1);
         // The same shape untiled keeps its density-capped budget count.
-        let whole = BandPlan::choose(32 * 1024, 1 << 20, 6 * 32 * 1024, 8, 1 << 20);
+        let whole = BandPlan::choose(32 * 1024, 1 << 20, 6 * 32 * 1024, 8, 4, 1 << 20);
         assert!(whole.count() > 1);
         // A dense tile keeps the ordinary plan.
-        let dense = BandPlan::choose_for_tile(1024, 512, 64 * 1024, 8, 1024);
+        let dense = BandPlan::choose_for_tile(1024, 512, 64 * 1024, 8, 4, 1024);
         assert_eq!(
             dense.count(),
-            BandPlan::choose(1024, 512, 64 * 1024, 8, 1024).count()
+            BandPlan::choose(1024, 512, 64 * 1024, 8, 4, 1024).count()
         );
         // Degenerate columns stay valid.
-        assert_eq!(BandPlan::choose_for_tile(10, 0, 0, 8, 1024).count(), 1);
+        assert_eq!(BandPlan::choose_for_tile(10, 0, 0, 8, 4, 1024).count(), 1);
+    }
+
+    #[test]
+    fn f64_operands_halve_the_band_width() {
+        // The ISSUE 7 fix pinned: the budget divides by the element
+        // width, so an f64 band holds half the columns of an f32 band
+        // under the same budget (and the plan doubles its band count
+        // until a structural cap takes over).
+        let f32_bands = ColumnBands::for_budget(1024, 4096, 8, 4);
+        let f64_bands = ColumnBands::for_budget(1024, 4096, 8, 8);
+        assert_eq!(f32_bands.count(), 8); // ceil(1024 / 128)
+        assert_eq!(f64_bands.count(), 16); // ceil(1024 / 64)
+
+        let f32_plan = BandPlan::choose(1024, 4096, 64 * 1024, 8, 4, 4096);
+        let f64_plan = BandPlan::choose(1024, 4096, 64 * 1024, 8, 8, 4096);
+        assert_eq!(f64_plan.budget_bands(), 2 * f32_plan.budget_bands());
+        assert!(f64_plan.count() >= f32_plan.count());
     }
 
     #[test]
@@ -694,8 +727,8 @@ mod tests {
         // single-vector plan must never be finer than the batched plan.
         for (rows, cols, nnz) in [(512usize, 4096usize, 32 * 512usize), (64, 100, 6400)] {
             for budget in [256usize, 4096, 1 << 20] {
-                let single = BandPlan::choose(rows, cols, nnz, 1, budget);
-                let batched = BandPlan::choose(rows, cols, nnz, 8, budget);
+                let single = BandPlan::choose(rows, cols, nnz, 1, 4, budget);
+                let batched = BandPlan::choose(rows, cols, nnz, 8, 4, budget);
                 assert!(
                     single.count() <= batched.count(),
                     "{rows}x{cols}/{nnz} at {budget}: single {} > batched {}",

@@ -148,13 +148,43 @@ impl Scheduler {
     /// Panics if `batch` is zero.
     #[must_use]
     pub fn schedule_banded_for_batch(&self, matrix: &CsrMatrix, batch: usize) -> BandedSchedule {
-        assert!(batch > 0, "batch must contain at least one vector");
         let width = batch.min(self.config.effective_backend().reg_block());
+        self.schedule_banded_for_width(matrix, batch, width, std::mem::size_of::<f32>())
+    }
+
+    /// As [`Scheduler::schedule_banded_for_batch`], sized for **f64**
+    /// batched execution ([`crate::Gust::execute_batch_banded_f64`]):
+    /// the effective width is `min(batch, reg_block_f64)` and the band
+    /// budget divides by 8-byte operands, so bands are half as wide as
+    /// the f32 plan's under the same cache budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn schedule_banded_for_batch_f64(
+        &self,
+        matrix: &CsrMatrix,
+        batch: usize,
+    ) -> BandedSchedule {
+        let width = batch.min(self.config.effective_backend().reg_block_f64());
+        self.schedule_banded_for_width(matrix, batch, width, std::mem::size_of::<f64>())
+    }
+
+    fn schedule_banded_for_width(
+        &self,
+        matrix: &CsrMatrix,
+        batch: usize,
+        width: usize,
+        elem_bytes: usize,
+    ) -> BandedSchedule {
+        assert!(batch > 0, "batch must contain at least one vector");
         let plan = BandPlan::choose(
             matrix.rows(),
             matrix.cols(),
             matrix.nnz(),
             width,
+            elem_bytes,
             self.config.effective_cache_budget(),
         );
         self.schedule_banded_with(matrix, plan.into_bands())
@@ -218,13 +248,38 @@ impl Scheduler {
     /// Panics if `batch` is zero.
     #[must_use]
     pub fn schedule_tiled_for_batch(&self, matrix: &CsrMatrix, batch: usize) -> TiledSchedule {
-        assert!(batch > 0, "batch must contain at least one vector");
         let width = batch.min(self.config.effective_backend().reg_block());
+        self.schedule_tiled_for_width(matrix, batch, width, std::mem::size_of::<f32>())
+    }
+
+    /// As [`Scheduler::schedule_tiled_for_batch`], sized for **f64**
+    /// batched execution ([`crate::Gust::execute_batch_tiled_f64`]):
+    /// effective width `min(batch, reg_block_f64)`, both budgets divided
+    /// by 8-byte elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn schedule_tiled_for_batch_f64(&self, matrix: &CsrMatrix, batch: usize) -> TiledSchedule {
+        let width = batch.min(self.config.effective_backend().reg_block_f64());
+        self.schedule_tiled_for_width(matrix, batch, width, std::mem::size_of::<f64>())
+    }
+
+    fn schedule_tiled_for_width(
+        &self,
+        matrix: &CsrMatrix,
+        batch: usize,
+        width: usize,
+        elem_bytes: usize,
+    ) -> TiledSchedule {
+        assert!(batch > 0, "batch must contain at least one vector");
         let cache_budget = self.config.effective_cache_budget();
         let row_starts = tiled::row_tile_starts_for_budget(
             matrix.rows(),
             self.config.length(),
             width,
+            elem_bytes,
             self.config.effective_row_budget(),
         );
         let tiles = row_starts
@@ -240,6 +295,7 @@ impl Scheduler {
                     sub.cols(),
                     sub.nnz(),
                     width,
+                    elem_bytes,
                     cache_budget,
                 );
                 self.schedule_banded_with(&sub, plan.into_bands())

@@ -193,21 +193,23 @@ pub(crate) fn row_tile_starts(rows: usize, count: usize) -> Vec<u32> {
 }
 
 /// Row-tile boundaries for a `rows`-row matrix under `row_budget_bytes`
-/// at effective batch width `batch`, on a length-`length` accelerator:
-/// every tile spans exactly `tile_rows` rows — the largest multiple of
-/// `length` whose output slice (`tile_rows × batch × 4` bytes) fits the
-/// budget, never less than one window — except the final tile, which
-/// takes the remainder. Chunked rather than near-equal splitting keeps
-/// every non-final tile window-aligned, so only each tile's *final*
-/// window can be ragged.
+/// at effective batch width `batch` with `elem_bytes`-wide elements (4
+/// for f32 walks, 8 for f64), on a length-`length` accelerator: every
+/// tile spans exactly `tile_rows` rows — the largest multiple of
+/// `length` whose output slice (`tile_rows × batch × elem_bytes` bytes)
+/// fits the budget, never less than one window — except the final tile,
+/// which takes the remainder. Chunked rather than near-equal splitting
+/// keeps every non-final tile window-aligned, so only each tile's
+/// *final* window can be ragged.
 #[must_use]
 pub(crate) fn row_tile_starts_for_budget(
     rows: usize,
     length: usize,
     batch: usize,
+    elem_bytes: usize,
     row_budget_bytes: usize,
 ) -> Vec<u32> {
-    let budget_rows = (row_budget_bytes / (std::mem::size_of::<f32>() * batch.max(1))).max(1);
+    let budget_rows = (row_budget_bytes / (elem_bytes.max(1) * batch.max(1))).max(1);
     let tile_rows = (budget_rows / length * length).max(length);
     let count = rows.div_ceil(tile_rows).max(1);
     (0..=count)
@@ -243,16 +245,16 @@ mod tests {
     #[test]
     fn budget_tile_starts_align_to_the_accelerator_length() {
         // 64 KiB at batch 1 → 16 384 rows per tile, rounded to l = 256.
-        let starts = row_tile_starts_for_budget(1 << 20, 256, 1, 64 * 1024);
+        let starts = row_tile_starts_for_budget(1 << 20, 256, 1, 4, 64 * 1024);
         assert_eq!(starts.len(), 64 + 1);
         // Batched walks divide the budget by the block width.
         assert_eq!(
-            row_tile_starts_for_budget(1 << 20, 256, 8, 64 * 1024).len(),
+            row_tile_starts_for_budget(1 << 20, 256, 8, 4, 64 * 1024).len(),
             512 + 1
         );
         // Every non-final boundary is window-aligned, so only each
         // tile's final window can be ragged.
-        let starts = row_tile_starts_for_budget(100, 8, 8, 1);
+        let starts = row_tile_starts_for_budget(100, 8, 8, 4, 1);
         assert_eq!(starts.len(), 13 + 1);
         for &s in &starts[..starts.len() - 1] {
             assert_eq!(s % 8, 0, "boundary {s} not window-aligned");
@@ -262,8 +264,17 @@ mod tests {
         // A generous budget means one tile; a tile is never smaller than
         // one accelerator window, so tiny matrices stay a single tile
         // even under a 1-byte budget.
-        assert_eq!(row_tile_starts_for_budget(100, 8, 8, 1 << 30).len(), 2);
-        assert_eq!(row_tile_starts_for_budget(3, 8, 8, 1), vec![0, 3]);
-        assert_eq!(row_tile_starts_for_budget(0, 8, 1, 1), vec![0, 0]);
+        assert_eq!(row_tile_starts_for_budget(100, 8, 8, 4, 1 << 30).len(), 2);
+        assert_eq!(row_tile_starts_for_budget(3, 8, 8, 4, 1), vec![0, 3]);
+        assert_eq!(row_tile_starts_for_budget(0, 8, 1, 4, 1), vec![0, 0]);
+    }
+
+    #[test]
+    fn f64_tiles_halve_under_the_same_budget() {
+        // The element width divides the budget: f64 output slices are
+        // twice the bytes per row, so the tile count doubles.
+        let f32_tiles = row_tile_starts_for_budget(1 << 20, 256, 8, 4, 64 * 1024).len() - 1;
+        let f64_tiles = row_tile_starts_for_budget(1 << 20, 256, 8, 8, 64 * 1024).len() - 1;
+        assert_eq!(f64_tiles, 2 * f32_tiles);
     }
 }

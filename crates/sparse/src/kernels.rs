@@ -3,11 +3,12 @@
 //! Every hot inner loop in this workspace — the engine's window walks in
 //! `gust::engine` and the reference kernels here ([`crate::CsrMatrix::spmv`]
 //! and friends) — dispatches through a [`Backend`]: a safe scalar
-//! implementation that reproduces the seed arithmetic bit for bit, and an
-//! `std::arch::x86_64` AVX2+FMA implementation selected at runtime with
-//! `is_x86_feature_detected!`. The selection can be forced with the
-//! `GUST_BACKEND` environment variable (`scalar`, `avx2`, or `auto`) so CI
-//! legs and benchmarks can pin a backend regardless of host.
+//! implementation that reproduces the seed arithmetic bit for bit, plus
+//! `std::arch::x86_64` AVX2+FMA and AVX-512 implementations selected at
+//! runtime with `is_x86_feature_detected!`. The selection can be forced
+//! with the `GUST_BACKEND` environment variable (`scalar`, `avx2`,
+//! `avx512`, or `auto`) so CI legs and benchmarks can pin a backend
+//! regardless of host.
 //!
 //! # Numerical contract
 //!
@@ -27,6 +28,13 @@
 //!   is observable (the CSC column scatter, the engine's single-vector
 //!   walk) keep scalar in-order adds and stay bit-identical under every
 //!   backend.
+//! * **Avx512** follows the same contract as Avx2 at twice the width
+//!   (16 f32 lanes), with one deliberate difference in mechanism: ragged
+//!   tails are handled by masked loads/gathers/stores instead of scalar
+//!   remainder loops, so the whole row runs through the same FMA
+//!   accumulator. A masked-out lane contributes an exact `0·0` to the
+//!   accumulator and performs no memory access, so the bounds above are
+//!   unchanged; order-observable kernels still keep scalar in-order adds.
 //!
 //! # Safety
 //!
@@ -57,6 +65,13 @@ pub enum Backend {
     /// 256-bit AVX2 gathers + FMA (`std::arch::x86_64`). Only available on
     /// x86-64 hosts whose CPU reports `avx2` and `fma`.
     Avx2,
+    /// 512-bit AVX-512 gathers + FMA with masked tails
+    /// (`std::arch::x86_64`). Only available on x86-64 hosts whose CPU
+    /// reports exactly the subfeature set the kernels use: `avx512f`
+    /// (512-bit registers, masked loads/gathers) and `avx512vl` (the
+    /// 256-bit masked ops in the f64 paths), plus the `avx2`+`fma`
+    /// baseline.
+    Avx512,
 }
 
 impl Backend {
@@ -66,57 +81,87 @@ impl Backend {
         match self {
             Self::Scalar => "scalar",
             Self::Avx2 => "avx2",
+            Self::Avx512 => "avx512",
         }
     }
 
-    /// Parses a `GUST_BACKEND`-style name (`"scalar"`, `"avx2"`).
+    /// Parses a `GUST_BACKEND`-style name (`"scalar"`, `"avx2"`,
+    /// `"avx512"`).
     #[must_use]
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "scalar" => Some(Self::Scalar),
             "avx2" => Some(Self::Avx2),
+            "avx512" => Some(Self::Avx512),
             _ => None,
         }
     }
 
     /// Whether this backend can run on the current host. [`Backend::Scalar`]
     /// always can; [`Backend::Avx2`] requires a runtime
-    /// `is_x86_feature_detected!` check for both `avx2` and `fma`.
+    /// `is_x86_feature_detected!` check for both `avx2` and `fma`;
+    /// [`Backend::Avx512`] additionally requires `avx512f` and `avx512vl`
+    /// — exactly the feature set the AVX-512 kernels are compiled with,
+    /// no more (`avx512bw`/`avx512dq` are reported by [`cpu_features`]
+    /// for diagnostics but not required, because no kernel uses them).
     #[must_use]
     pub fn is_available(self) -> bool {
         match self {
             Self::Scalar => true,
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx512 => {
+                is_x86_feature_detected!("avx512f")
+                    && is_x86_feature_detected!("avx512vl")
+                    && is_x86_feature_detected!("avx2")
+                    && is_x86_feature_detected!("fma")
+            }
             #[cfg(not(target_arch = "x86_64"))]
-            Self::Avx2 => false,
+            Self::Avx2 | Self::Avx512 => false,
         }
     }
 
-    /// Register-block width of the batched engine kernels under this
+    /// Register-block width of the batched `f32` engine kernels under this
     /// backend: how many right-hand sides one scheduled slot processes per
     /// inner-loop step — a backend property, not a hardcoded engine
-    /// constant. 8 `f32` lanes fill one 256-bit register on both current
-    /// backends: the scalar path autovectorizes a fixed-8 array FMA, the
-    /// AVX2 path issues one explicit `vfmadd` per slot. Measurements at
-    /// the paper's 16 384² / 1.25 M-nnz shape showed that doubling the
+    /// constant. 8 `f32` lanes fill one 256-bit register on the scalar and
+    /// AVX2 backends: the scalar path autovectorizes a fixed-8 array FMA,
+    /// the AVX2 path issues one explicit `vfmadd` per slot. Measurements
+    /// at the paper's 16 384² / 1.25 M-nnz shape showed that doubling the
     /// AVX2 width to 16 doubles the interleaved operand panel to ~1 MB
     /// and falls out of L2 — costing ~1.5× more wall clock than the
     /// single-register block despite halving slot overhead — so wider
-    /// blocks are reserved for backends whose targets have the cache for
-    /// them (the engine kernels are monomorphized for 16- and 32-lane
-    /// blocks already).
+    /// blocks are reserved for backends with the registers to fill them:
+    /// AVX-512 runs 16 lanes (one 512-bit `vfmadd` per slot, the same
+    /// panel footprint *per register* as AVX2), and the band/tile budget
+    /// math sizes operand bands from the effective element width so the
+    /// 2× panel footprint narrows bands instead of falling out of L2
+    /// (the PR 3 cliff re-measured under AVX-512 — see `BENCH_spmv.json`).
     #[must_use]
     pub fn reg_block(self) -> usize {
         match self {
-            Self::Scalar => 8,
-            Self::Avx2 => 8,
+            Self::Scalar | Self::Avx2 => 8,
+            Self::Avx512 => 16,
+        }
+    }
+
+    /// Register-block width of the batched `f64` engine kernels: the f64
+    /// twin of [`Backend::reg_block`]. 8 lanes everywhere — one 512-bit
+    /// `vfmadd...pd` register on AVX-512, a fixed-8 autovectorized array
+    /// FMA on the scalar path (which is also what a forced-Avx2 f64 walk
+    /// runs: AVX2 has no explicit f64 panel kernel, and 8 f64 lanes are
+    /// two 256-bit registers the autovectorizer already handles well).
+    #[must_use]
+    pub fn reg_block_f64(self) -> usize {
+        match self {
+            Self::Scalar | Self::Avx2 | Self::Avx512 => 8,
         }
     }
 }
 
 /// The process-wide default backend: the `GUST_BACKEND` environment
-/// variable if set (`scalar` / `avx2` / `auto`), otherwise the fastest
+/// variable if set (`scalar` / `avx2` / `avx512` / `auto`), otherwise the fastest
 /// available backend. Read once and cached; a forced backend that the host
 /// cannot run falls back to [`Backend::Scalar`] rather than executing
 /// unsupported instructions.
@@ -134,7 +179,7 @@ pub fn default_backend() -> Backend {
         Ok(name) if !name.is_empty() && name != "auto" => {
             let Some(requested) = Backend::from_name(&name) else {
                 eprintln!(
-                    "warning: unknown GUST_BACKEND value {name:?} (scalar|avx2|auto); \
+                    "warning: unknown GUST_BACKEND value {name:?} (scalar|avx2|avx512|auto); \
                      using auto selection"
                 );
                 return best_available();
@@ -149,10 +194,13 @@ pub fn default_backend() -> Backend {
     })
 }
 
-/// The fastest backend the host supports, ignoring `GUST_BACKEND`.
+/// The fastest backend the host supports, ignoring `GUST_BACKEND`:
+/// Avx512 > Avx2 > Scalar.
 #[must_use]
 pub fn best_available() -> Backend {
-    if Backend::Avx2.is_available() {
+    if Backend::Avx512.is_available() {
+        Backend::Avx512
+    } else if Backend::Avx2.is_available() {
         Backend::Avx2
     } else {
         Backend::Scalar
@@ -180,6 +228,15 @@ pub fn cpu_features() -> String {
         if is_x86_feature_detected!("avx512f") {
             feats.push("avx512f");
         }
+        if is_x86_feature_detected!("avx512vl") {
+            feats.push("avx512vl");
+        }
+        if is_x86_feature_detected!("avx512bw") {
+            feats.push("avx512bw");
+        }
+        if is_x86_feature_detected!("avx512dq") {
+            feats.push("avx512dq");
+        }
         if feats.is_empty() {
             "none".to_string()
         } else {
@@ -206,6 +263,14 @@ pub fn csr_spmv_into(backend: Backend, a: &CsrMatrix, x: &[f32], y: &mut [f32]) 
     assert_eq!(x.len(), a.cols(), "input vector length mismatch");
     assert_eq!(y.len(), a.rows(), "output vector length mismatch");
     #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        // SAFETY: `is_available` proved avx512f+avx512vl+avx2+fma; row
+        // column indices are `< cols == x.len()` by the CSR construction
+        // invariant, and masked-out gather lanes access no memory.
+        unsafe { csr_spmv_avx512(a, x, y) };
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
     if backend == Backend::Avx2 && Backend::Avx2.is_available() {
         // SAFETY: `is_available` proved avx2+fma; row column indices are
         // `< cols == x.len()` by the CSR construction invariant.
@@ -226,6 +291,11 @@ pub fn csr_spmv_into(backend: Backend, a: &CsrMatrix, x: &[f32], y: &mut [f32]) 
 pub fn csr_spmv_f64(backend: Backend, a: &CsrMatrix, x: &[f32]) -> Vec<f64> {
     assert_eq!(x.len(), a.cols(), "input vector length mismatch");
     #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        // SAFETY: as `csr_spmv_into`.
+        return unsafe { csr_spmv_f64_avx512(a, x) };
+    }
+    #[cfg(target_arch = "x86_64")]
     if backend == Backend::Avx2 && Backend::Avx2.is_available() {
         // SAFETY: as `csr_spmv_into`.
         return unsafe { csr_spmv_f64_avx2(a, x) };
@@ -245,6 +315,13 @@ pub fn csr_spmv_f64(backend: Backend, a: &CsrMatrix, x: &[f32]) -> Vec<f64> {
 /// Panics if `y.len() != rows` implied by `col_rows` entries (checked by
 /// the caller, [`crate::CscMatrix::spmv`]).
 pub fn csc_scatter_column(backend: Backend, rows: &[u32], vals: &[f32], xj: f32, y: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        // SAFETY: `is_available` proved avx512f+avx512vl+avx2+fma; row
+        // indices are bounds-checked scalar stores inside.
+        unsafe { csc_scatter_avx512(rows, vals, xj, y) };
+        return;
+    }
     #[cfg(target_arch = "x86_64")]
     if backend == Backend::Avx2 && Backend::Avx2.is_available() {
         // SAFETY: `is_available` proved avx2+fma; row indices are
@@ -303,6 +380,13 @@ pub fn csr_spmv_banded(
 /// One row's (or row slice's) dot product against `x` under `backend` —
 /// the shared body of [`csr_spmv_into`] and [`csr_spmv_banded`].
 fn row_sum(backend: Backend, cols: &[u32], vals: &[f32], x: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx512 && Backend::Avx512.is_available() {
+        // SAFETY: `is_available` proved avx512f+avx512vl+avx2+fma; column
+        // indices are `< cols == x.len()` by the CSR construction
+        // invariant, and masked-out gather lanes access no memory.
+        return unsafe { avx512::row_sum_avx512(cols, vals, x) };
+    }
     #[cfg(target_arch = "x86_64")]
     if backend == Backend::Avx2 && Backend::Avx2.is_available() {
         // SAFETY: `is_available` proved avx2+fma; column indices are
@@ -517,7 +601,162 @@ mod avx2 {
 }
 
 #[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! The AVX-512 implementations. Every function here carries
+    //! `#[target_feature(enable = "avx512f,avx512vl,avx2,fma")]` — exactly
+    //! the set [`super::Backend::Avx512.is_available`] checks — and is
+    //! therefore `unsafe` to call; the dispatchers above only do so after
+    //! that check returned `true`. Ragged tails run through masked
+    //! loads/gathers instead of scalar remainder loops: a lane masked out
+    //! of a load is zeroed without touching memory, a lane masked out of a
+    //! gather performs no access at all, and a `0·0` FMA contribution is
+    //! exact, so masking changes neither the bounds nor the safety
+    //! argument.
+
+    use super::CsrMatrix;
+    use std::arch::x86_64::{
+        __mmask16, __mmask8, _mm256_maskz_loadu_epi32, _mm256_maskz_loadu_ps,
+        _mm256_mmask_i32gather_ps, _mm256_setzero_ps, _mm512_cvtps_pd, _mm512_fmadd_pd,
+        _mm512_fmadd_ps, _mm512_i32gather_ps, _mm512_loadu_epi32, _mm512_loadu_ps,
+        _mm512_mask_i32gather_ps, _mm512_mask_storeu_ps, _mm512_maskz_loadu_epi32,
+        _mm512_maskz_loadu_ps, _mm512_mul_ps, _mm512_reduce_add_pd, _mm512_reduce_add_ps,
+        _mm512_set1_ps, _mm512_setzero_pd, _mm512_setzero_ps,
+    };
+
+    /// CSR SpMV, f32: per row, 16-wide gather of `x[col]` fused into a
+    /// single FMA accumulator, with a masked 16-wide step for the ragged
+    /// tail, reduced at row end.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified avx512f+avx512vl+avx2+fma support.
+    /// Gather indices are the matrix's column indices, which
+    /// [`CsrMatrix`] guarantees are `< cols`; the caller asserted
+    /// `x.len() == cols`, so every active gather lane reads in bounds,
+    /// and masked-out lanes access no memory.
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn csr_spmv_avx512(a: &CsrMatrix, x: &[f32], y: &mut [f32]) {
+        for (r, out) in y.iter_mut().enumerate() {
+            let (cols, vals) = a.row(r);
+            // SAFETY: as above — indices in bounds for `x`.
+            *out = unsafe { row_sum_avx512(cols, vals, x) };
+        }
+    }
+
+    /// One row slice's dot product against `x` — the AVX-512 body shared
+    /// by the full and cache-blocked CSR kernels.
+    ///
+    /// # Safety
+    ///
+    /// As [`csr_spmv_avx512`]: features verified, every `cols` entry
+    /// `< x.len()`.
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn row_sum_avx512(cols: &[u32], vals: &[f32], x: &[f32]) -> f32 {
+        let mut acc = _mm512_setzero_ps();
+        let full = cols.len() / 16 * 16;
+        let mut k = 0usize;
+        while k < full {
+            // SAFETY: `k + 16 <= cols.len() == vals.len()`; gather lanes
+            // index `x` in bounds per the function contract.
+            unsafe {
+                let idx = _mm512_loadu_epi32(cols.as_ptr().add(k).cast());
+                let xs = _mm512_i32gather_ps::<4>(idx, x.as_ptr().cast());
+                let vv = _mm512_loadu_ps(vals.as_ptr().add(k));
+                acc = _mm512_fmadd_ps(vv, xs, acc);
+            }
+            k += 16;
+        }
+        let rem = cols.len() - full;
+        if rem > 0 {
+            let m: __mmask16 = (1u16 << rem) - 1;
+            // SAFETY: the mask covers exactly the `rem` in-bounds
+            // elements; masked-out load lanes are zeroed and masked-out
+            // gather lanes access no memory.
+            unsafe {
+                let idx = _mm512_maskz_loadu_epi32(m, cols.as_ptr().add(full).cast());
+                let xs =
+                    _mm512_mask_i32gather_ps::<4>(_mm512_setzero_ps(), m, idx, x.as_ptr().cast());
+                let vv = _mm512_maskz_loadu_ps(m, vals.as_ptr().add(full));
+                acc = _mm512_fmadd_ps(vv, xs, acc);
+            }
+        }
+        _mm512_reduce_add_ps(acc)
+    }
+
+    /// CSR SpMV, f64 accumulation: 8-wide masked gathers widened to one
+    /// 512-bit `f64` FMA accumulator per row — every step including the
+    /// tail is the same masked 8-lane body.
+    ///
+    /// # Safety
+    ///
+    /// As [`csr_spmv_avx512`].
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn csr_spmv_f64_avx512(a: &CsrMatrix, x: &[f32]) -> Vec<f64> {
+        (0..a.rows())
+            .map(|r| {
+                let (cols, vals) = a.row(r);
+                let mut acc = _mm512_setzero_pd();
+                let mut k = 0usize;
+                while k < cols.len() {
+                    let rem = (cols.len() - k).min(8);
+                    let m: __mmask8 = if rem == 8 { !0 } else { (1u8 << rem) - 1 };
+                    // SAFETY: the mask covers exactly the `rem` in-bounds
+                    // elements; active gather lanes index `x` in bounds,
+                    // masked-out lanes access no memory.
+                    unsafe {
+                        let idx = _mm256_maskz_loadu_epi32(m, cols.as_ptr().add(k).cast());
+                        let xs = _mm256_mmask_i32gather_ps::<4>(
+                            _mm256_setzero_ps(),
+                            m,
+                            idx,
+                            x.as_ptr().cast(),
+                        );
+                        let vv = _mm256_maskz_loadu_ps(m, vals.as_ptr().add(k));
+                        acc = _mm512_fmadd_pd(_mm512_cvtps_pd(vv), _mm512_cvtps_pd(xs), acc);
+                    }
+                    k += rem;
+                }
+                _mm512_reduce_add_pd(acc)
+            })
+            .collect()
+    }
+
+    /// CSC column scatter: products computed 16-wide (masked on the
+    /// tail), stored to a spill buffer, then added in stored row order —
+    /// bit-identical to the scalar path (SIMD multiplies are IEEE-exact,
+    /// no FMA is used, and add order is unchanged).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified avx512f+avx512vl+avx2+fma support. All
+    /// scatter stores go through bounds-checked slice indexing.
+    #[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+    pub(super) unsafe fn csc_scatter_avx512(rows: &[u32], vals: &[f32], xj: f32, y: &mut [f32]) {
+        let xv = _mm512_set1_ps(xj);
+        let mut buf = [0.0f32; 16];
+        let mut k = 0usize;
+        while k < rows.len() {
+            let rem = (rows.len() - k).min(16);
+            let m: __mmask16 = if rem == 16 { !0 } else { (1u16 << rem) - 1 };
+            // SAFETY: the mask covers exactly the `rem` in-bounds value
+            // elements; the masked store writes only the first `rem`
+            // lanes of the 16-element spill buffer.
+            unsafe {
+                let p = _mm512_mul_ps(_mm512_maskz_loadu_ps(m, vals.as_ptr().add(k)), xv);
+                _mm512_mask_storeu_ps(buf.as_mut_ptr(), m, p);
+            }
+            for (i, &row) in rows[k..k + rem].iter().enumerate() {
+                y[row as usize] += buf[i];
+            }
+            k += rem;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
 use avx2::{csc_scatter_avx2, csr_spmv_avx2, csr_spmv_f64_avx2};
+#[cfg(target_arch = "x86_64")]
+use avx512::{csc_scatter_avx512, csr_spmv_avx512, csr_spmv_f64_avx512};
 
 #[cfg(test)]
 mod tests {
@@ -535,7 +774,7 @@ mod tests {
 
     #[test]
     fn backend_names_round_trip() {
-        for b in [Backend::Scalar, Backend::Avx2] {
+        for b in [Backend::Scalar, Backend::Avx2, Backend::Avx512] {
             assert_eq!(Backend::from_name(b.name()), Some(b));
         }
         assert_eq!(Backend::from_name("neon"), None);
@@ -546,6 +785,10 @@ mod tests {
         assert!(Backend::Scalar.is_available());
         assert_eq!(Backend::Scalar.reg_block(), 8);
         assert_eq!(Backend::Avx2.reg_block(), 8);
+        assert_eq!(Backend::Avx512.reg_block(), 16);
+        for b in [Backend::Scalar, Backend::Avx2, Backend::Avx512] {
+            assert_eq!(b.reg_block_f64(), 8);
+        }
     }
 
     #[test]
@@ -556,16 +799,44 @@ mod tests {
     }
 
     #[test]
+    fn best_available_prefers_the_widest_supported_tier() {
+        let best = best_available();
+        if Backend::Avx512.is_available() {
+            assert_eq!(best, Backend::Avx512);
+        } else if Backend::Avx2.is_available() {
+            assert_eq!(best, Backend::Avx2);
+        } else {
+            assert_eq!(best, Backend::Scalar);
+        }
+    }
+
+    #[test]
+    fn avx512_availability_implies_its_features_are_reported() {
+        if Backend::Avx512.is_available() {
+            let feats = cpu_features();
+            assert!(feats.contains("avx512f"), "features: {feats}");
+            assert!(feats.contains("avx512vl"), "features: {feats}");
+            assert!(
+                Backend::Avx2.is_available(),
+                "avx512 tier requires the avx2+fma baseline"
+            );
+        }
+    }
+
+    #[test]
     fn csr_backends_agree_within_ulp_bound() {
         let m = crate::CsrMatrix::from(&gen::uniform(80, 90, 900, 3));
         let x = vector(90, 5);
         let mut y_scalar = vec![0.0f32; 80];
         csr_spmv_into(Backend::Scalar, &m, &x, &mut y_scalar);
-        if Backend::Avx2.is_available() {
-            let mut y_avx2 = vec![0.0f32; 80];
-            csr_spmv_into(Backend::Avx2, &m, &x, &mut y_avx2);
-            let err = crate::ops::max_relative_error(&y_avx2, &y_scalar);
-            assert!(err < 1e-4, "avx2 diverged from scalar: {err}");
+        for backend in [Backend::Avx2, Backend::Avx512] {
+            if !backend.is_available() {
+                continue;
+            }
+            let mut y_simd = vec![0.0f32; 80];
+            csr_spmv_into(backend, &m, &x, &mut y_simd);
+            let err = crate::ops::max_relative_error(&y_simd, &y_scalar);
+            assert!(err < 1e-4, "{} diverged from scalar: {err}", backend.name());
         }
     }
 
@@ -574,10 +845,17 @@ mod tests {
         let m = crate::CsrMatrix::from(&gen::power_law(60, 60, 700, 1.8, 4));
         let x = vector(60, 6);
         let scalar = csr_spmv_f64(Backend::Scalar, &m, &x);
-        if Backend::Avx2.is_available() {
-            let simd = csr_spmv_f64(Backend::Avx2, &m, &x);
+        for backend in [Backend::Avx2, Backend::Avx512] {
+            if !backend.is_available() {
+                continue;
+            }
+            let simd = csr_spmv_f64(backend, &m, &x);
             for (a, b) in scalar.iter().zip(&simd) {
-                assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "{} diverged from scalar",
+                    backend.name()
+                );
             }
         }
     }
@@ -588,7 +866,7 @@ mod tests {
         let x = vector(90, 11);
         let mut flat = vec![0.0f32; 70];
         csr_spmv_into(Backend::Scalar, &m, &x, &mut flat);
-        for backend in [Backend::Scalar, Backend::Avx2] {
+        for backend in [Backend::Scalar, Backend::Avx2, Backend::Avx512] {
             if !backend.is_available() {
                 continue;
             }
@@ -620,10 +898,13 @@ mod tests {
         let vals = vector(37, 9);
         let mut y_scalar = vec![0.0f32; 50];
         csc_scatter_column(Backend::Scalar, &rows, &vals, 1.375, &mut y_scalar);
-        if Backend::Avx2.is_available() {
-            let mut y_avx2 = vec![0.0f32; 50];
-            csc_scatter_column(Backend::Avx2, &rows, &vals, 1.375, &mut y_avx2);
-            assert_eq!(y_scalar, y_avx2, "CSC scatter must not depend on backend");
+        for backend in [Backend::Avx2, Backend::Avx512] {
+            if !backend.is_available() {
+                continue;
+            }
+            let mut y_simd = vec![0.0f32; 50];
+            csc_scatter_column(backend, &rows, &vals, 1.375, &mut y_simd);
+            assert_eq!(y_scalar, y_simd, "CSC scatter must not depend on backend");
         }
     }
 }

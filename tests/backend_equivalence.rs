@@ -12,24 +12,34 @@
 //! 2. **Order-preserving kernels are backend-invariant.** Kernels whose
 //!    accumulation order is observable — the single-vector engine walk
 //!    and the CSC column scatter — vectorize only their multiplies (which
-//!    are IEEE-exact), so their outputs are bit-identical under *every*
-//!    backend.
+//!    are IEEE-exact, masked AVX-512 tail lanes included), so their
+//!    outputs are bit-identical under *every* backend.
 //! 3. **FMA kernels match scalar within a documented ULP bound.** The
-//!    AVX2 batched panel walk and CSR row reduction fuse multiply and add
-//!    (one rounding instead of two) and re-associate row sums. Each
-//!    accumulation step can shift the partial sum by at most 1 ULP, so on
-//!    cancellation-free inputs a row of `k` non-zeros diverges from the
-//!    scalar result by a relative error of at most about `k · 2⁻²³`; the
-//!    tests below enforce `4 · k_max · ε_f32` (the factor 4 covers both
-//!    paths' distance from the exact sum) across uniform / power-law /
-//!    R-MAT matrices and batch sizes 1, 8, 16 and 17.
+//!    AVX2/AVX-512 batched panel walks and CSR row reductions fuse
+//!    multiply and add (one rounding instead of two) and re-associate row
+//!    sums. Each accumulation step can shift the partial sum by at most
+//!    1 ULP, so on cancellation-free inputs a row of `k` non-zeros
+//!    diverges from the scalar result by a relative error of at most
+//!    about `k · 2⁻²³`; the tests below enforce `4 · k_max · ε_f32` (the
+//!    factor 4 covers both paths' distance from the exact sum) across
+//!    uniform / power-law / R-MAT matrices and batch sizes 1, 8, 16
+//!    and 17. The f64 leg applies the same reasoning at `ε_f64`.
 //!
-//! On hosts without AVX2+FMA the SIMD assertions skip gracefully (the
-//! scalar tier still runs), so the suite passes on every target — which
-//! is exactly what the `GUST_BACKEND` CI matrix leg relies on.
+//! On hosts without AVX2+FMA (or the AVX-512 feature set) the missing
+//! SIMD assertions skip gracefully (the scalar tier still runs), so the
+//! suite passes on every target — which is exactly what the
+//! `GUST_BACKEND` CI matrix legs rely on.
 
 use gust::prelude::*;
 use gust_repro::prelude::*;
+
+/// The SIMD backends runnable on this host (possibly none).
+fn simd_backends() -> Vec<Backend> {
+    [Backend::Avx2, Backend::Avx512]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
 
 /// Deterministic strictly positive vector (cancellation-free inputs make
 /// the ULP bound of tier 3 rigorous).
@@ -132,7 +142,7 @@ fn staging_matrix() -> CsrMatrix {
 fn staged_windows_are_bit_identical_to_the_unstaged_walk() {
     let matrix = staging_matrix();
     let x = positive_vector(matrix.cols(), 19);
-    for backend in [Backend::Scalar, Backend::Avx2] {
+    for backend in [Backend::Scalar, Backend::Avx2, Backend::Avx512] {
         if !backend.is_available() {
             continue;
         }
@@ -201,8 +211,9 @@ fn forced_scalar_csr_kernel_matches_seed_arithmetic() {
 
 #[test]
 fn single_vector_engine_is_backend_invariant() {
-    if !Backend::Avx2.is_available() {
-        eprintln!("AVX2 unavailable on this host; scalar-only run, skipping");
+    let simd = simd_backends();
+    if simd.is_empty() {
+        eprintln!("no SIMD backend on this host; scalar-only run, skipping");
         return;
     }
     for kind in 0..3usize {
@@ -210,90 +221,241 @@ fn single_vector_engine_is_backend_invariant() {
         let matrix = positive_matrix(kind, 45, 45, 500, 23 + kind as u64);
         let x = positive_vector(45, 3);
         let scalar = Gust::new(GustConfig::new(8).with_backend(Some(Backend::Scalar)));
-        let simd = Gust::new(GustConfig::new(8).with_backend(Some(Backend::Avx2)));
         let schedule = scalar.schedule(&matrix);
         let a = scalar.execute(&schedule, &x);
-        let b = simd.execute(&schedule, &x);
-        assert_eq!(
-            a.output, b.output,
-            "kind {kind}: single-vector walk must be bit-identical across backends"
-        );
-        assert_eq!(a.report, b.report);
+        for &backend in &simd {
+            let wide = Gust::new(GustConfig::new(8).with_backend(Some(backend)));
+            let b = wide.execute(&schedule, &x);
+            assert_eq!(
+                a.output,
+                b.output,
+                "kind {kind} / {}: single-vector walk must be bit-identical across backends",
+                backend.name()
+            );
+            assert_eq!(a.report, b.report);
+        }
     }
 }
 
 #[test]
 fn csc_spmv_is_backend_invariant() {
-    if !Backend::Avx2.is_available() {
-        eprintln!("AVX2 unavailable on this host; scalar-only run, skipping");
+    let simd = simd_backends();
+    if simd.is_empty() {
+        eprintln!("no SIMD backend on this host; scalar-only run, skipping");
         return;
     }
     let matrix = positive_matrix(1, 80, 70, 900, 31);
     let csc = CscMatrix::from(&matrix);
     let x = positive_vector(70, 13);
-    assert_eq!(
-        csc.spmv_with(Backend::Scalar, &x),
-        csc.spmv_with(Backend::Avx2, &x),
-        "CSC scatter order is observable; backends must agree bit for bit"
-    );
+    let reference = csc.spmv_with(Backend::Scalar, &x);
+    for backend in simd {
+        assert_eq!(
+            reference,
+            csc.spmv_with(backend, &x),
+            "CSC scatter order is observable; {} must agree with scalar bit for bit",
+            backend.name()
+        );
+    }
 }
 
 #[test]
 fn simd_batched_engine_matches_scalar_within_ulp_bound() {
-    if !Backend::Avx2.is_available() {
-        eprintln!("AVX2 unavailable on this host; scalar-only run, skipping");
+    let simd = simd_backends();
+    if simd.is_empty() {
+        eprintln!("no SIMD backend on this host; scalar-only run, skipping");
         return;
     }
     for kind in 0..3usize {
         let matrix = positive_matrix(kind, 90, 90, 1100, 57 + kind as u64);
         let bound = ulp_bound(&matrix);
         let scalar = Gust::new(GustConfig::new(16).with_backend(Some(Backend::Scalar)));
-        let simd = Gust::new(GustConfig::new(16).with_backend(Some(Backend::Avx2)));
         let schedule = scalar.schedule(&matrix);
         // 1 and 17 exercise the fused scalar remainder, 8 a half-register
-        // tail, 16 the full AVX2 register block.
+        // tail (AVX2) / a masked half-register (AVX-512), 16 the full
+        // AVX2 double block and the full AVX-512 register block.
         for batch in [1usize, 8, 16, 17] {
             let panel = positive_panel(90, batch, 71);
             let (y_scalar, report_scalar) = scalar.execute_batch(&schedule, &panel, batch);
-            let (y_simd, report_simd) = simd.execute_batch(&schedule, &panel, batch);
-            let err = max_relative_error(&y_simd, &y_scalar);
-            assert!(
-                err <= bound,
-                "kind {kind} batch {batch}: relative divergence {err} exceeds \
-                 the FMA bound {bound} (k_max = {})",
-                max_row_nnz(&matrix)
-            );
-            assert_eq!(report_scalar, report_simd, "accounting is backend-free");
+            for &backend in &simd {
+                let wide = Gust::new(GustConfig::new(16).with_backend(Some(backend)));
+                let (y_simd, report_simd) = wide.execute_batch(&schedule, &panel, batch);
+                let err = max_relative_error(&y_simd, &y_scalar);
+                assert!(
+                    err <= bound,
+                    "kind {kind} batch {batch} / {}: relative divergence {err} exceeds \
+                     the FMA bound {bound} (k_max = {})",
+                    backend.name(),
+                    max_row_nnz(&matrix)
+                );
+                assert_eq!(report_scalar, report_simd, "accounting is backend-free");
+            }
         }
     }
 }
 
 #[test]
 fn simd_csr_kernels_match_scalar_within_ulp_bound() {
-    if !Backend::Avx2.is_available() {
-        eprintln!("AVX2 unavailable on this host; scalar-only run, skipping");
+    let simd = simd_backends();
+    if simd.is_empty() {
+        eprintln!("no SIMD backend on this host; scalar-only run, skipping");
         return;
     }
     for kind in 0..3usize {
         let matrix = positive_matrix(kind, 100, 110, 1300, 83 + kind as u64);
         let bound = ulp_bound(&matrix);
         let x = positive_vector(110, 29);
-        let err = max_relative_error(
-            &matrix.spmv_with(Backend::Avx2, &x),
-            &matrix.spmv_with(Backend::Scalar, &x),
-        );
-        assert!(
-            err <= bound,
-            "kind {kind}: CSR f32 divergence {err} > {bound}"
-        );
+        let scalar32 = matrix.spmv_with(Backend::Scalar, &x);
         let scalar64 = gust_sparse::kernels::csr_spmv_f64(Backend::Scalar, &matrix, &x);
-        let simd64 = gust_sparse::kernels::csr_spmv_f64(Backend::Avx2, &matrix, &x);
-        for (a, b) in scalar64.iter().zip(&simd64) {
-            let denom = a.abs().max(1.0);
+        for &backend in &simd {
+            let err = max_relative_error(&matrix.spmv_with(backend, &x), &scalar32);
             assert!(
-                ((a - b) / denom).abs() <= f64::from(f32::EPSILON),
-                "kind {kind}: f64 kernels diverged beyond reason: {a} vs {b}"
+                err <= bound,
+                "kind {kind} / {}: CSR f32 divergence {err} > {bound}",
+                backend.name()
             );
+            let simd64 = gust_sparse::kernels::csr_spmv_f64(backend, &matrix, &x);
+            for (a, b) in scalar64.iter().zip(&simd64) {
+                let denom = a.abs().max(1.0);
+                assert!(
+                    ((a - b) / denom).abs() <= f64::from(f32::EPSILON),
+                    "kind {kind} / {}: f64 kernels diverged beyond reason: {a} vs {b}",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic strictly positive f64 vector (same generator family as
+/// [`positive_vector`], widened).
+fn positive_vector_f64(n: usize, seed: u64) -> Vec<f64> {
+    positive_vector(n, seed)
+        .into_iter()
+        .map(f64::from)
+        .collect()
+}
+
+/// Column-major panel of positive f64 vectors.
+fn positive_panel_f64(cols: usize, batch: usize, seed: u64) -> Vec<f64> {
+    (0..batch)
+        .flat_map(|j| positive_vector_f64(cols, seed.wrapping_add(j as u64 * 7919)))
+        .collect()
+}
+
+/// Exact-order-free f64 oracle: per row, `Σ f64(v) · x[c]` in CSR order.
+fn reference_spmv_f64(matrix: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+    (0..matrix.rows())
+        .map(|r| {
+            let (cols, vals) = matrix.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(|(&c, &v)| f64::from(v) * x[c as usize])
+                .sum()
+        })
+        .collect()
+}
+
+/// Tier-3 bound at double precision: `4 · k_max · ε_f64`.
+fn ulp_bound_f64(m: &CsrMatrix) -> f64 {
+    4.0 * max_row_nnz(m) as f64 * f64::EPSILON
+}
+
+#[test]
+fn f64_batched_engine_matches_the_f64_oracle_under_every_backend() {
+    for kind in 0..3usize {
+        let matrix = positive_matrix(kind, 90, 90, 1100, 101 + kind as u64);
+        let bound = ulp_bound_f64(&matrix);
+        let scalar = Gust::new(GustConfig::new(16).with_backend(Some(Backend::Scalar)));
+        let schedule = scalar.schedule(&matrix);
+        // Batches straddle the 8-lane f64 register block: 1 and 17 hit
+        // the ragged remainder, 8 the full f64 block.
+        for batch in [1usize, 8, 17] {
+            let panel = positive_panel_f64(90, batch, 131);
+            let (y_scalar, report_scalar) = scalar.execute_batch_f64(&schedule, &panel, batch);
+            // Scalar f64 must track the row-order oracle to a few ε_f64
+            // per accumulation step — the whole point of running the
+            // engine in double precision.
+            for j in 0..batch {
+                let col = &panel[j * 90..(j + 1) * 90];
+                let oracle = reference_spmv_f64(&matrix, col);
+                for (r, (&got, want)) in y_scalar[j * 90..(j + 1) * 90]
+                    .iter()
+                    .zip(oracle)
+                    .enumerate()
+                {
+                    let denom = want.abs().max(1.0);
+                    assert!(
+                        ((got - want) / denom).abs() <= bound,
+                        "kind {kind} batch {batch} col {j} row {r}: {got} vs {want}"
+                    );
+                }
+            }
+            // Every SIMD backend agrees with scalar f64 within the FMA
+            // bound at ε_f64, and accounting is identical.
+            for backend in simd_backends() {
+                let wide = Gust::new(GustConfig::new(16).with_backend(Some(backend)));
+                let (y_simd, report_simd) = wide.execute_batch_f64(&schedule, &panel, batch);
+                for (r, (&a, &b)) in y_scalar.iter().zip(&y_simd).enumerate() {
+                    let denom = a.abs().max(1.0);
+                    assert!(
+                        ((a - b) / denom).abs() <= bound,
+                        "kind {kind} batch {batch} / {} slot {r}: {a} vs {b}",
+                        backend.name()
+                    );
+                }
+                assert_eq!(report_scalar, report_simd, "accounting is backend-free");
+            }
+        }
+    }
+}
+
+#[test]
+fn f64_banded_and_tiled_walks_match_their_flat_f64_counterparts() {
+    let matrix = positive_matrix(2, 64, 96, 900, 163);
+    let batch = 9;
+    let panel = positive_panel_f64(96, batch, 177);
+    let oracle_bound = ulp_bound_f64(&matrix);
+    for backend in std::iter::once(Backend::Scalar).chain(simd_backends()) {
+        let gust = Gust::new(
+            GustConfig::new(8)
+                .with_backend(Some(backend))
+                .with_cache_budget(Some(512))
+                .with_row_budget(Some(256)),
+        );
+
+        // A banded f64 walk is bit-identical to flat-walking the merged
+        // (unbanded) schedule: the band sweep preserves per-window slot
+        // order, in f64 exactly as in f32.
+        let banded = gust.schedule_banded_for_batch_f64(&matrix, batch);
+        assert!(
+            banded.bands().count() > 1,
+            "budget must force a multi-band f64 plan"
+        );
+        let (y_banded, _) = gust.execute_batch_banded_f64(&banded, &panel, batch);
+        let (y_flat, _) = gust.execute_batch_f64(&banded.to_unbanded(), &panel, batch);
+        assert_eq!(
+            y_flat,
+            y_banded,
+            "{}: banded f64 walk drifted from its merged schedule",
+            backend.name()
+        );
+
+        // The tiled f64 walk stays within the f64 FMA bound of the
+        // row-order oracle (tile boundaries re-associate row sums).
+        let tiled = gust.schedule_tiled_for_batch_f64(&matrix, batch);
+        assert!(tiled.tiles().len() > 1, "budget must force multiple tiles");
+        let (y_tiled, _) = gust.execute_batch_tiled_f64(&tiled, &panel, batch);
+        for j in 0..batch {
+            let col = &panel[j * 96..(j + 1) * 96];
+            let oracle = reference_spmv_f64(&matrix, col);
+            for (r, (&got, want)) in y_tiled[j * 64..(j + 1) * 64].iter().zip(oracle).enumerate() {
+                let denom = want.abs().max(1.0);
+                assert!(
+                    ((got - want) / denom).abs() <= oracle_bound,
+                    "{} col {j} row {r}: tiled f64 {got} vs oracle {want}",
+                    backend.name()
+                );
+            }
         }
     }
 }

@@ -48,6 +48,9 @@ fn backends() -> Vec<Backend> {
     if Backend::Avx2.is_available() {
         v.push(Backend::Avx2);
     }
+    if Backend::Avx512.is_available() {
+        v.push(Backend::Avx512);
+    }
     v
 }
 
