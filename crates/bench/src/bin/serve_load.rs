@@ -1,0 +1,15 @@
+//! Open-loop serving benchmark: p50/p99 latency and aggregate nnz/s of
+//! the `gust::serve` runtime, clean and under the CI fault plan. Prints
+//! the report and archives the JSON rows (default `BENCH_serve.json`,
+//! override with `GUST_BENCH_JSON`).
+
+fn main() {
+    let out = gust_bench::runners::serve_load::run_cli();
+    print!("{}", out.report);
+    let path = std::env::var("GUST_BENCH_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    if let Err(e) = std::fs::write(&path, format!("{}\n", out.json)) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,322 @@
+//! Open-loop serving benchmark: request latency and aggregate
+//! throughput of the `gust::serve` runtime, clean and under the CI
+//! fault-injection plan.
+//!
+//! Unlike the closed-loop kernel benchmarks (submit, wait, repeat —
+//! where a slow server conveniently slows the offered load), this
+//! runner is **open-loop**: every tenant thread submits on a fixed
+//! arrival schedule whether or not earlier requests have completed, so
+//! queueing delay shows up in the latency distribution instead of
+//! hiding in the arrival gaps. Two legs run back to back on fresh
+//! servers:
+//!
+//! * `clean` — no injected faults: the fast-path baseline,
+//! * `injected` — the CI fault plan
+//!   (`io_read:0.25,sched_build:0.25,worker_panic:0.05`, plus
+//!   `exec_delay:0.1`): schedule builds fail and retry, panels panic
+//!   and are retried/degraded, and the report shows what that does to
+//!   p50/p99 and throughput. Responses are still required to be exact.
+//!
+//! Every response is checked bit-identically against the reference
+//! [`CsrMatrix::spmv`] before it is counted (integer-valued workload, so
+//! every summation order agrees) — the benchmark refuses to time wrong
+//! answers. Reported per leg: completed / shed / deadline-missed /
+//! degraded counts, achieved batching factor, p50/p99 latency, and
+//! aggregate useful nnz/s (completed requests × matrix nnz / wall).
+//!
+//! Scale: `GUST_SCALE` as everywhere (`--quick` = 0.05). Arrival rate
+//! and request counts scale with the workload so the quick leg stays
+//! sub-second.
+
+use crate::table::TextTable;
+use gust::faults;
+use gust::serve::{RetryPolicy, ScheduleRegistry};
+use gust::{Gust, GustConfig, GustError, ServeConfig, SpmvServer};
+use gust_sparse::{gen, CsrMatrix};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Full-scale workload: matrix dimension and non-zeros.
+const FULL_DIM: usize = 4096;
+const FULL_NNZ: usize = 200_000;
+/// GUST length for the serving engine.
+const LENGTH: usize = 64;
+/// Tenant threads driving the open loop.
+const TENANTS: usize = 4;
+/// Requests per tenant at full scale.
+const FULL_REQUESTS: usize = 400;
+/// Open-loop arrival interval per tenant at full scale.
+const FULL_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Rendered report plus the bare JSON rows (for `BENCH_serve.json`).
+pub struct ServeLoadOutput {
+    /// Human-readable report, JSON section included.
+    pub report: String,
+    /// The JSON array alone.
+    pub json: String,
+}
+
+/// Outcome counts and latencies of one leg.
+struct LegResult {
+    completed: u64,
+    shed: u64,
+    missed: u64,
+    degraded: u64,
+    batches: u64,
+    batched_requests: u64,
+    /// Latencies of completed requests, submit → response.
+    latencies: Vec<Duration>,
+    wall: Duration,
+}
+
+/// Integer-valued uniform matrix: every summation order is exact, so
+/// the correctness gate can demand bit-identity to the reference.
+fn int_matrix(dim: usize, nnz: usize, seed: u64) -> CsrMatrix {
+    let float = CsrMatrix::from(&gen::uniform(dim, dim, nnz, seed));
+    let (indptr, indices, values) = float.raw_parts();
+    let ints = values
+        .iter()
+        .map(|v| (v * 7.0).floor().abs() + 1.0)
+        .collect();
+    CsrMatrix::try_new(dim, dim, indptr.to_vec(), indices.to_vec(), ints)
+        .expect("structure unchanged")
+}
+
+/// Small-integer input vector, deterministic in `seed`.
+fn int_vector(cols: usize, seed: u64) -> Vec<f32> {
+    (0..cols)
+        .map(|i| (((i as u64).wrapping_mul(seed + 3) % 9) as f32) - 4.0)
+        .collect()
+}
+
+/// The percentile (0–100) of a sorted latency slice.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Entry point for the `serve_load` binary: full scale unless
+/// `GUST_SCALE` (or a `--quick` argument, meaning scale 0.05) says
+/// otherwise.
+#[must_use]
+pub fn run_cli() -> ServeLoadOutput {
+    let quick = std::env::args().any(|a| a == "--quick");
+    run(crate::env_scale(if quick { 0.05 } else { 1.0 }))
+}
+
+/// Runs both legs at the given scale and renders the report.
+///
+/// # Panics
+///
+/// Panics if any response differs from the reference kernel — the
+/// benchmark refuses to time wrong answers — or if a request fails
+/// with anything other than the contracted overload/deadline errors.
+#[must_use]
+pub fn run(scale: f64) -> ServeLoadOutput {
+    let dim = ((FULL_DIM as f64 * scale) as usize).max(64);
+    let nnz = ((FULL_NNZ as f64 * scale * scale) as usize).max(1_000);
+    let requests = ((FULL_REQUESTS as f64 * scale.sqrt()) as usize).max(50);
+    let matrix = Arc::new(int_matrix(dim, nnz, 21));
+
+    let legs: [(&str, String); 2] = [
+        ("clean", String::new()),
+        (
+            "injected",
+            "io_read:0.25,sched_build:0.25,worker_panic:0.05,exec_delay:0.1".to_string(),
+        ),
+    ];
+
+    let mut out = super::header("serve_load — open-loop serving latency", scale);
+    out.push_str(&format!(
+        "matrix {dim}x{dim}, {} nnz (integer-valued: responses gated bit-identically), l = {LENGTH}\n\
+         {TENANTS} tenants x {requests} requests, open-loop arrival every {:?}/tenant\n\n",
+        matrix.nnz(),
+        FULL_INTERVAL,
+    ));
+
+    let mut table = TextTable::new([
+        "leg",
+        "fault_plan",
+        "tenants",
+        "requests",
+        "completed",
+        "shed",
+        "deadline_missed",
+        "degraded",
+        "batches",
+        "agg_factor",
+        "p50_us",
+        "p99_us",
+        "nnz_per_s",
+    ]);
+
+    for (leg, plan) in &legs {
+        let result = run_leg(&matrix, plan, requests);
+        let mut sorted = result.latencies.clone();
+        sorted.sort_unstable();
+        let p50 = percentile(&sorted, 50.0);
+        let p99 = percentile(&sorted, 99.0);
+        let rate = (result.completed as f64 * matrix.nnz() as f64) / result.wall.as_secs_f64();
+        let agg = if result.batches == 0 {
+            0.0
+        } else {
+            result.batched_requests as f64 / result.batches as f64
+        };
+        table.push_row([
+            (*leg).to_string(),
+            if plan.is_empty() {
+                "none".to_string()
+            } else {
+                plan.clone()
+            },
+            TENANTS.to_string(),
+            (requests * TENANTS).to_string(),
+            result.completed.to_string(),
+            result.shed.to_string(),
+            result.missed.to_string(),
+            result.degraded.to_string(),
+            result.batches.to_string(),
+            format!("{agg:.2}"),
+            format!("{:.1}", p50.as_secs_f64() * 1e6),
+            format!("{:.1}", p99.as_secs_f64() * 1e6),
+            format!("{rate:.0}"),
+        ]);
+    }
+
+    out.push_str(&table.render());
+    out.push_str("\nJSON:\n");
+    let json = table.to_json();
+    out.push_str(&json);
+    out.push('\n');
+    ServeLoadOutput { report: out, json }
+}
+
+/// One leg: fresh registry and server, open-loop submit from every
+/// tenant, exact-result gating, stats harvest.
+fn run_leg(matrix: &Arc<CsrMatrix>, plan: &str, requests: usize) -> LegResult {
+    // The guard both injects this leg's plan and masks any ambient
+    // `GUST_FAULT` so the two legs stay comparable across environments.
+    let _guard = faults::override_for_tests(plan);
+
+    let registry = Arc::new(
+        ScheduleRegistry::new(Gust::new(GustConfig::new(LENGTH).with_parallelism(Some(2))))
+            .with_retry(RetryPolicy {
+                attempts: 4,
+                base: Duration::from_micros(50),
+                cap: Duration::from_micros(500),
+            }),
+    );
+    let server = SpmvServer::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            queue_capacity: 256,
+            max_batch: 16,
+            default_deadline: Duration::from_secs(5),
+            ..ServeConfig::default()
+        },
+    );
+    let key = server.register(matrix);
+    let deadline = Duration::from_secs(5);
+
+    let start = Instant::now();
+    let (completed, shed, missed, degraded, latencies) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|tenant| {
+                let server = &server;
+                let matrix = Arc::clone(matrix);
+                scope.spawn(move || {
+                    let mut tickets = Vec::with_capacity(requests);
+                    let mut shed = 0u64;
+                    let t0 = Instant::now();
+                    for i in 0..requests {
+                        // Open loop: hold the arrival schedule even if
+                        // the server is slow.
+                        let due = t0 + FULL_INTERVAL.mul_f64(i as f64);
+                        if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(sleep);
+                        }
+                        let x = int_vector(matrix.cols(), (tenant * 10_000 + i) as u64);
+                        match server.submit(tenant, key, x.clone(), Some(deadline)) {
+                            Ok(t) => tickets.push((t, x)),
+                            Err(GustError::Overloaded { .. }) => shed += 1,
+                            Err(e) => panic!("unexpected admission error: {e}"),
+                        }
+                    }
+                    let mut completed = 0u64;
+                    let mut missed = 0u64;
+                    let mut degraded = 0u64;
+                    let mut latencies = Vec::with_capacity(tickets.len());
+                    for (t, x) in tickets {
+                        match t.wait() {
+                            Ok(resp) => {
+                                assert_eq!(
+                                    resp.output,
+                                    matrix.spmv(&x),
+                                    "serving returned a wrong answer; refusing to time it"
+                                );
+                                completed += 1;
+                                degraded += u64::from(resp.degraded);
+                                latencies.push(resp.latency);
+                            }
+                            Err(GustError::DeadlineExceeded { .. }) => missed += 1,
+                            Err(e) => panic!("unexpected serve error: {e}"),
+                        }
+                    }
+                    (completed, shed, missed, degraded, latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .fold((0, 0, 0, 0, Vec::new()), |(c, s, m, d, mut lat), h| {
+                let (hc, hs, hm, hd, hlat) = h.join().expect("tenant thread");
+                lat.extend(hlat);
+                (c + hc, s + hs, m + hm, d + hd, lat)
+            })
+    });
+    let wall = start.elapsed();
+
+    let stats = server.stats();
+    drop(server);
+    LegResult {
+        completed,
+        shed,
+        missed,
+        degraded,
+        batches: stats.batches,
+        batched_requests: stats.batched_requests,
+        latencies,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quick leg pair runs end to end, counts add up, and the JSON
+    /// rows carry the fields the trajectory tooling keys on.
+    #[test]
+    fn quick_run_produces_consistent_rows() {
+        let out = run(0.02);
+        assert!(out.report.contains("serve_load"));
+        assert!(out.json.contains("\"leg\": \"clean\""));
+        assert!(out.json.contains("\"leg\": \"injected\""));
+        assert!(out.json.contains("\"p99_us\""));
+        assert!(out.json.contains("\"nnz_per_s\""));
+    }
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 99.0), Duration::ZERO);
+        let one = [Duration::from_millis(3)];
+        assert_eq!(percentile(&one, 50.0), one[0]);
+        let many: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(percentile(&many, 0.0), Duration::from_micros(1));
+        assert_eq!(percentile(&many, 100.0), Duration::from_micros(100));
+        assert!(percentile(&many, 50.0) >= Duration::from_micros(49));
+    }
+}

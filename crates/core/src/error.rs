@@ -67,6 +67,33 @@ pub enum GustError {
     /// An environment/configuration value could not be interpreted (see
     /// [`crate::config::ConfigError`]).
     Config(crate::config::ConfigError),
+    /// The serving runtime's admission queue is full and the request
+    /// was shed instead of queued (see [`crate::serve::SpmvServer`]):
+    /// explicit backpressure beats unbounded latency. Shed requests are
+    /// counted; resubmit after backing off.
+    Overloaded {
+        /// Requests queued when the request was shed.
+        queued: usize,
+        /// The admission queue's capacity.
+        capacity: usize,
+    },
+    /// The request's deadline passed before a result was produced.
+    /// Deadlines are enforced at every serving boundary; `stage` names
+    /// the one that tripped (`"aggregation"`, `"execution"`, `"wait"`).
+    DeadlineExceeded {
+        /// The serving boundary at which the deadline was detected.
+        stage: &'static str,
+    },
+    /// The request named a matrix key the schedule registry has no
+    /// entry for (see [`crate::serve::ScheduleRegistry::insert`]).
+    UnknownMatrix {
+        /// The unrecognized content-hash key.
+        key: u64,
+    },
+    /// The server was stopped while the request was still queued; the
+    /// request was drained with this error rather than dropped
+    /// silently.
+    ServerStopped,
 }
 
 impl fmt::Display for GustError {
@@ -90,6 +117,17 @@ impl fmt::Display for GustError {
             Self::Sparse(e) => write!(f, "{e}"),
             Self::Schedule(e) => write!(f, "{e}"),
             Self::Config(e) => write!(f, "{e}"),
+            Self::Overloaded { queued, capacity } => write!(
+                f,
+                "server overloaded: {queued} requests queued (capacity {capacity}); request shed"
+            ),
+            Self::DeadlineExceeded { stage } => {
+                write!(f, "request deadline exceeded at the {stage} boundary")
+            }
+            Self::UnknownMatrix { key } => {
+                write!(f, "no matrix registered under key {key:#018x}")
+            }
+            Self::ServerStopped => write!(f, "server stopped before the request was served"),
         }
     }
 }
@@ -159,6 +197,27 @@ mod tests {
         assert!(e
             .to_string()
             .contains("panel must hold batch × cols values (column-major)"));
+    }
+
+    #[test]
+    fn serving_variants_render_their_context() {
+        let e = GustError::Overloaded {
+            queued: 128,
+            capacity: 128,
+        };
+        assert!(e.to_string().contains("server overloaded"));
+        assert!(e.to_string().contains("capacity 128"));
+
+        let e = GustError::DeadlineExceeded { stage: "execution" };
+        assert!(e
+            .to_string()
+            .contains("deadline exceeded at the execution boundary"));
+
+        let e = GustError::UnknownMatrix { key: 0xABCD };
+        assert!(e.to_string().contains("0x000000000000abcd"));
+
+        assert!(GustError::ServerStopped.to_string().contains("stopped"));
+        assert!(GustError::ServerStopped.source().is_none());
     }
 
     #[test]

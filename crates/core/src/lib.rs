@@ -61,6 +61,7 @@ pub mod kernels;
 pub mod parallel;
 pub mod pipeline;
 pub mod schedule;
+pub mod serve;
 
 pub use config::{ColoringAlgorithm, ConfigError, GustConfig, SchedulingPolicy};
 pub use engine::{Gust, GustRun};
@@ -74,6 +75,7 @@ pub use gust_sparse::faults;
 pub use schedule::banded::{BandPlan, BandedSchedule, BandedWindow, ColumnBands};
 pub use schedule::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
 pub use schedule::tiled::TiledSchedule;
+pub use serve::{ScheduleRegistry, ServeConfig, SpmvServer};
 
 /// Common imports for working with this crate.
 pub mod prelude {
@@ -88,4 +90,8 @@ pub mod prelude {
     pub use crate::schedule::banded::{BandPlan, BandedSchedule, BandedWindow, ColumnBands};
     pub use crate::schedule::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
     pub use crate::schedule::tiled::TiledSchedule;
+    pub use crate::serve::{
+        MatrixKey, Response, ScheduleKind, ScheduleRegistry, ServeConfig, ServeStats, SpmvServer,
+        Ticket,
+    };
 }

@@ -297,6 +297,7 @@ mod pool {
             // SAFETY: `call`/`f` pair was erased from a live `&F`.
             if catch_unwind(AssertUnwindSafe(|| unsafe { (ctx.call)(ctx.f, task) })).is_err() {
                 ctx.panicked.store(true, Ordering::SeqCst);
+                Pool::global().panics.fetch_add(1, Ordering::SeqCst);
             }
         }
         let mut outstanding = ctx.outstanding.lock().expect("pool run mutex");
@@ -324,6 +325,9 @@ mod pool {
         threads: AtomicUsize,
         /// Total spawns ever — the warm-up assertion counter.
         spawned: AtomicUsize,
+        /// Task panics caught and contained by the pool's recovery
+        /// machinery (see [`Pool::panics_observed`]).
+        panics: AtomicUsize,
     }
 
     impl Pool {
@@ -336,6 +340,7 @@ mod pool {
                 work_available: Condvar::new(),
                 threads: AtomicUsize::new(0),
                 spawned: AtomicUsize::new(0),
+                panics: AtomicUsize::new(0),
             })
         }
 
@@ -345,6 +350,22 @@ mod pool {
         #[must_use]
         pub fn threads_spawned(&self) -> usize {
             self.spawned.load(Ordering::SeqCst)
+        }
+
+        /// Task panics the pool's recovery machinery has caught and
+        /// contained over its lifetime — each one a task that died
+        /// (organically or via the `worker_panic` fault site) without
+        /// taking a worker thread or the process down. The run that
+        /// contained the panic still fails (re-raised on its caller);
+        /// this counter is the serving runtime's watchdog signal that
+        /// recoveries are happening, and lets tests prove *repeated*
+        /// injected crashes are each individually contained.
+        ///
+        /// Inline runs (`workers <= 1`, nested calls) propagate panics
+        /// without pool involvement and are not counted.
+        #[must_use]
+        pub fn panics_observed(&self) -> usize {
+            self.panics.load(Ordering::SeqCst)
         }
 
         /// Runs `f(0)`, `f(1)`, …, `f(tasks - 1)`, using up to `workers`
@@ -445,7 +466,13 @@ mod pool {
             drop(outstanding);
             // Every ticket retired; `ctx` is no longer referenced anywhere.
             match caller_result {
-                Err(payload) => std::panic::resume_unwind(payload),
+                Err(payload) => {
+                    // The caller's own task panicked; the catch above
+                    // kept the frame alive until every ticket retired,
+                    // which is the same containment workers provide.
+                    self.panics.fetch_add(1, Ordering::SeqCst);
+                    std::panic::resume_unwind(payload)
+                }
                 Ok(()) if ctx.panicked.load(Ordering::SeqCst) => {
                     panic!("a pool task panicked (see worker backtrace above)")
                 }
@@ -553,6 +580,23 @@ mod pool {
                 count.fetch_add(1, Ordering::SeqCst);
             });
             assert_eq!(count.load(Ordering::SeqCst), 8);
+        }
+
+        #[test]
+        fn contained_panics_are_counted() {
+            let before = Pool::global().panics_observed();
+            let result = std::panic::catch_unwind(|| {
+                Pool::global().run(3, 8, |t| {
+                    assert!(t != 2, "task 2 fails");
+                });
+            });
+            assert!(result.is_err());
+            // Strict inequality only: sibling tests share the global
+            // pool and may contain panics of their own concurrently.
+            assert!(
+                Pool::global().panics_observed() > before,
+                "the contained task panic must be observable"
+            );
         }
     }
 }

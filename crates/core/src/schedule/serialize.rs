@@ -589,17 +589,23 @@ pub fn read_schedule_file(path: impl AsRef<Path>) -> Result<ScheduledMatrix, Rea
     read_schedule(io::BufReader::new(std::fs::File::open(path)?))
 }
 
-/// Writes `path` atomically: bytes land in a `.tmp` sibling and are
-/// renamed over the destination only once fully flushed, so an
-/// interrupted write never leaves a partial container behind. On error
-/// the temporary is removed and `path` is untouched.
+/// Writes `path` atomically: bytes land in a uniquely named temporary
+/// sibling (`<path>.<pid>.<seq>.tmp` — pid plus a process-wide counter,
+/// so concurrent writers of the same destination never share a temp
+/// file) and are renamed over the destination only once fully flushed,
+/// so an interrupted write or a racing writer never leaves a partial
+/// container behind. On error the temporary is removed and `path` is
+/// untouched.
 fn write_file_atomic(
     path: &Path,
     write: impl FnOnce(&mut io::BufWriter<std::fs::File>) -> io::Result<()>,
 ) -> io::Result<()> {
     let tmp = {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
         let mut os = path.as_os_str().to_os_string();
-        os.push(".tmp");
+        os.push(format!(".{}.{}.tmp", std::process::id(), seq));
         std::path::PathBuf::from(os)
     };
     let result = (|| {

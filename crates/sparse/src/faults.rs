@@ -36,6 +36,8 @@
 //! | [`sites::SCHEDULE_READ`] | `GUST`/`GUSB`/`GUTL` schedule container reads |
 //! | [`sites::SCHEDULE_WRITE`] | schedule container writes |
 //! | [`sites::WORKER_PANIC`] | inside each `gust::parallel::Pool` task |
+//! | [`sites::SCHED_BUILD`] | schedule construction in `gust::serve::ScheduleRegistry` |
+//! | [`sites::EXEC_DELAY`] | latency injection at `gust::serve` execution boundaries |
 //!
 //! # Test override
 //!
@@ -59,7 +61,21 @@ pub mod sites {
     pub const SCHEDULE_WRITE: &str = "schedule_write";
     /// Worker-pool task bodies (`gust::parallel::Pool`).
     pub const WORKER_PANIC: &str = "worker_panic";
+    /// Schedule construction inside the serving registry
+    /// (`gust::serve::ScheduleRegistry`): a fired roll makes the build
+    /// attempt fail as a transient error, exercising the registry's
+    /// retry/backoff and circuit-breaker paths.
+    pub const SCHED_BUILD: &str = "sched_build";
+    /// Latency injection at the serving runtime's execution boundaries
+    /// (`gust::serve`): a fired roll makes the boundary sleep for
+    /// [`INJECTED_DELAY`], exercising deadline enforcement without any
+    /// component actually failing.
+    pub const EXEC_DELAY: &str = "exec_delay";
 }
+
+/// How long a fired [`sites::EXEC_DELAY`] roll stalls the injection
+/// point (see [`injected_delay`]).
+pub const INJECTED_DELAY: std::time::Duration = std::time::Duration::from_millis(2);
 
 /// A parsed fault plan: which sites fire, and how often.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -217,6 +233,20 @@ pub fn check_io(site: &str) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Returns the delay to inject when a latency fault fires at `site`
+/// (`None` otherwise). Latency sites model a component that is *slow*
+/// rather than broken — the caller sleeps for the returned duration and
+/// then proceeds normally, so only deadline enforcement (never a
+/// result) is affected.
+#[must_use]
+pub fn injected_delay(site: &str) -> Option<std::time::Duration> {
+    if active(site) {
+        Some(INJECTED_DELAY)
+    } else {
+        None
+    }
+}
+
 /// Panics when a fault fires at `site` — the worker-crash injection.
 ///
 /// # Panics
@@ -316,6 +346,17 @@ mod tests {
         // Deterministic hash, generous tolerance: the point is "not 0,
         // not 10000, near 3000".
         assert!((2000..4000).contains(&fired), "fired {fired}/10000");
+    }
+
+    #[test]
+    fn injected_delay_fires_and_clears() {
+        {
+            let _guard = override_for_tests("test_delay:1");
+            assert_eq!(injected_delay("test_delay"), Some(INJECTED_DELAY));
+            assert_eq!(injected_delay("test_other"), None);
+        }
+        let _guard = override_for_tests("");
+        assert_eq!(injected_delay("test_delay"), None);
     }
 
     #[test]

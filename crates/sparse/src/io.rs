@@ -358,13 +358,31 @@ pub fn write_bin_file_with_source(
     )
 }
 
+/// Builds a collision-free temporary sibling name for an atomic write
+/// to `path`: `<path>.<pid>.<seq>.tmp`. The pid disambiguates separate
+/// processes writing the same destination; the process-wide counter
+/// disambiguates concurrent writers (and repeated writes) within one
+/// process. A fixed `.tmp` sibling — the pre-PR-9 scheme — let two
+/// concurrent writers of the same cache path truncate each other's
+/// in-progress temp file and rename a partial artifact into place.
+pub(crate) fn unique_tmp_sibling(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".{}.{}.tmp", std::process::id(), seq));
+    PathBuf::from(os)
+}
+
 /// Writes the binary CSR cache to `path`, recording the full source
 /// fingerprint (see [`write_bin_with_fingerprint`]).
 ///
-/// The write is atomic at the destination: bytes land in a `.tmp`
-/// sibling first and are renamed over `path` only once fully flushed,
-/// so a crash or I/O failure mid-write can never leave a partial cache
-/// for a later load to trip over.
+/// The write is atomic at the destination: bytes land in a uniquely
+/// named temporary sibling first (per-process id + per-call counter, so
+/// concurrent writers of the same path never share a temp file) and are
+/// renamed over `path` only once fully flushed, so a crash, an I/O
+/// failure mid-write, or a racing writer can never leave a partial
+/// cache for a later load to trip over.
 ///
 /// # Errors
 ///
@@ -376,11 +394,7 @@ pub fn write_bin_file_with_fingerprint(
     path: impl AsRef<Path>,
 ) -> std::io::Result<()> {
     let path = path.as_ref();
-    let tmp = {
-        let mut os = path.as_os_str().to_os_string();
-        os.push(".tmp");
-        std::path::PathBuf::from(os)
-    };
+    let tmp = unique_tmp_sibling(path);
     let result = (|| {
         let mut writer = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
         write_bin_with_fingerprint(matrix, source, &mut writer)?;
@@ -1003,6 +1017,64 @@ mod tests {
         let (back, recorded) = read_bin_with_fingerprint(buf.as_slice()).unwrap();
         assert_eq!(back, m);
         assert_eq!(recorded, fp);
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_cache_path_never_tear_it() {
+        // Regression: the atomic writer used a *fixed* `.tmp` sibling,
+        // so two concurrent writers of the same cache path truncated
+        // each other's in-progress temp file and could rename a partial
+        // artifact into place. With per-call unique temp names, every
+        // round must leave a fully readable cache holding one of the
+        // two matrices, never torn bytes.
+        let dir = std::env::temp_dir().join(format!(
+            "gust-io-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("race.gspb");
+        let a = CsrMatrix::from(&crate::gen::uniform(64, 64, 900, 1));
+        let b = CsrMatrix::from(&crate::gen::uniform(64, 64, 900, 2));
+
+        for round in 0..40 {
+            std::thread::scope(|scope| {
+                for m in [&a, &b] {
+                    scope.spawn(|| {
+                        write_bin_file_with_fingerprint(m, SourceFingerprint::default(), &path)
+                            .expect("atomic write must succeed");
+                    });
+                }
+            });
+            let loaded = read_bin_file(&path)
+                .unwrap_or_else(|e| panic!("round {round}: torn cache after race: {e}"));
+            assert!(
+                loaded == a || loaded == b,
+                "round {round}: cache holds neither writer's matrix"
+            );
+        }
+        // No temp litter: every writer either renamed or removed its own.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp files leaked: {stray:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unique_tmp_siblings_never_collide() {
+        let path = Path::new("/tmp/gust-some-cache.gspb");
+        let first = unique_tmp_sibling(path);
+        let second = unique_tmp_sibling(path);
+        assert_ne!(first, second, "two calls must yield distinct temp names");
+        for tmp in [&first, &second] {
+            let name = tmp.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(name.starts_with("gust-some-cache.gspb."));
+            assert!(name.ends_with(".tmp"));
+        }
     }
 
     #[test]

@@ -240,3 +240,72 @@ fn corrupt_cache_quarantine_is_transparent_to_execution() {
 
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+/// N threads race [`read_matrix_market_cached`] on the **same** corrupt
+/// cache file: every thread must come back with the correct matrix
+/// (quarantine-and-rebuild is not allowed to make *any* racer fail or
+/// observe a torn cache), the damaged bytes must land in quarantine,
+/// and the cache left behind must be intact. The final point is what
+/// the unique-temp-sibling atomic write guarantees: concurrent
+/// rebuilders rewriting the same destination never truncate each
+/// other's in-flight temp file.
+#[test]
+fn racing_loaders_on_one_corrupt_cache_all_recover() {
+    let dir = scratch("cache-race");
+    let coo = gen::uniform(20, 20, 80, 77);
+    let mtx = dir.join("m.mtx");
+    let mut text = Vec::new();
+    write_matrix_market(&coo, &mut text).expect("serialize");
+    std::fs::write(&mtx, &text).expect("write source");
+
+    let clean = read_matrix_market_cached(&mtx).expect("first load");
+    let cache = dir.join("m.mtx.gspb");
+    let mut bytes = std::fs::read(&cache).expect("cache exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&cache, &bytes).expect("damage cache");
+
+    const RACERS: usize = 8;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..RACERS)
+            .map(|_| {
+                let mtx = &mtx;
+                let clean = &clean;
+                scope.spawn(move || {
+                    let loaded = read_matrix_market_cached(mtx).expect("racing load must succeed");
+                    assert_eq!(&loaded, clean, "every racer must get the real matrix");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("racer thread");
+        }
+    });
+
+    // The corrupt bytes were quarantined (one racer wins the rename;
+    // losers fall through to the source, which is equally correct).
+    assert!(
+        dir.read_dir()
+            .expect("scratch dir")
+            .filter_map(Result::ok)
+            .any(|e| e
+                .file_name()
+                .to_string_lossy()
+                .starts_with("m.mtx.gspb.corrupt")),
+        "damaged cache must be quarantined, not deleted silently"
+    );
+    // Whatever cache the racers left behind is intact and fresh: one
+    // more load must be able to trust it.
+    let reloaded = read_matrix_market_cached(&mtx).expect("post-race load");
+    assert_eq!(reloaded, clean, "post-race cache must be intact");
+    // And no racer leaked a temp sibling.
+    assert!(
+        !dir.read_dir()
+            .expect("scratch dir")
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp")),
+        "atomic writers must clean up their temp files"
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

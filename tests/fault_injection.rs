@@ -210,6 +210,60 @@ fn pool_survives_injected_worker_panic_bit_identically() {
     assert_vectors_close(&run.output, &reference_spmv(&m, &x), 1e-4);
 }
 
+/// The pool survives *repeated* injected worker panics — panic, retire,
+/// respawn, again and again — with the clean rerun after every crash
+/// bit-identical to the pre-crash baseline, and every contained panic
+/// visible in [`Pool::panics_observed`]. One survived panic could be
+/// luck; five in a row is a recovery path.
+#[test]
+fn pool_survives_repeated_injected_worker_panics_bit_identically() {
+    let m = CsrMatrix::from(&gen::uniform(64, 64, 600, 27));
+    let gust = Gust::new(GustConfig::new(8).with_parallelism(Some(4)));
+    let batch = 32usize;
+    let panel: Vec<f32> = (0..64 * batch)
+        .map(|i| ((i % 11) as f32 - 5.0) / 4.0)
+        .collect();
+
+    let (schedule, baseline) = {
+        let _quiet = faults::override_for_tests("");
+        let schedule = gust.schedule(&m);
+        let baseline = gust.execute_batch(&schedule, &panel, batch);
+        (schedule, baseline)
+    };
+
+    let before = Pool::global().panics_observed();
+    for round in 0..5 {
+        {
+            let _guard = faults::override_for_tests("worker_panic:1");
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                gust.execute_batch(&schedule, &panel, batch)
+            }));
+            assert!(
+                result.is_err(),
+                "round {round}: worker_panic:1 must take the run down"
+            );
+        }
+        // Clean rerun on the same (recovered) global pool: outputs and
+        // accounting bit-identical to the baseline, every round.
+        let _quiet = faults::override_for_tests("");
+        let rerun = gust.execute_batch(&schedule, &panel, batch);
+        assert_eq!(
+            rerun.0, baseline.0,
+            "round {round}: outputs must be bit-identical after recovery"
+        );
+        assert_eq!(
+            rerun.1, baseline.1,
+            "round {round}: reports must be identical"
+        );
+    }
+    let after = Pool::global().panics_observed();
+    assert!(
+        after >= before + 5,
+        "five injected crash rounds must be visible in the recovery \
+         counter (before {before}, after {after})"
+    );
+}
+
 /// Replays whatever `GUST_FAULT` plan the environment provides (the CI
 /// fault matrix) through the guard: loading must stay correct under
 /// io/schedule faults, a certain (`probability == 1`) worker-panic plan
