@@ -92,6 +92,7 @@ use crate::schedule::banded::BandedSchedule;
 use crate::schedule::scheduled::{log2_ceil, ScheduledMatrix};
 use crate::schedule::tiled::TiledSchedule;
 use crate::schedule::Scheduler;
+use crate::verify::{AuditReport, VerifiedSchedule, Violation};
 use gust_sim::{ExecutionReport, MemoryTraffic, UnitCounter};
 
 /// Result of one SpMV on the GUST engine.
@@ -741,6 +742,71 @@ impl Gust {
         batch: usize,
     ) -> TiledSchedule {
         Scheduler::new(self.config.clone()).schedule_tiled_for_batch_f64(matrix, batch)
+    }
+
+    /// Audits a schedule of unknown provenance against the full safety
+    /// contract the unsafe kernels rely on (see [`crate::verify`]) and,
+    /// additionally, against this engine's configured accelerator
+    /// length, issuing a [`VerifiedSchedule`] witness on success.
+    ///
+    /// Schedules built by this engine's own `schedule*` methods satisfy
+    /// the contract by construction; `admit` is the checkpoint for
+    /// everything else — hand-assembled schedules, schedules built by a
+    /// different engine, or deserialized ones obtained outside the
+    /// auditing `read_*_file_verified` readers.
+    ///
+    /// # Errors
+    ///
+    /// The [`AuditReport`] listing every violation found (a
+    /// length-mismatch is reported as [`Violation::Shape`]).
+    pub fn admit(
+        &self,
+        schedule: ScheduledMatrix,
+    ) -> Result<VerifiedSchedule<ScheduledMatrix>, Box<AuditReport>> {
+        self.admit_any(schedule.length(), schedule)
+    }
+
+    /// As [`Gust::admit`], for banded schedules.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::admit`].
+    pub fn admit_banded(
+        &self,
+        schedule: BandedSchedule,
+    ) -> Result<VerifiedSchedule<BandedSchedule>, Box<AuditReport>> {
+        self.admit_any(schedule.length(), schedule)
+    }
+
+    /// As [`Gust::admit`], for tiled schedules.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gust::admit`].
+    pub fn admit_tiled(
+        &self,
+        schedule: TiledSchedule,
+    ) -> Result<VerifiedSchedule<TiledSchedule>, Box<AuditReport>> {
+        self.admit_any(schedule.length(), schedule)
+    }
+
+    /// Shared admission check: engine-length fit, then the full audit.
+    fn admit_any<S: crate::verify::Auditable>(
+        &self,
+        length: usize,
+        schedule: S,
+    ) -> Result<VerifiedSchedule<S>, Box<AuditReport>> {
+        if length != self.config.length() {
+            return Err(Box::new(AuditReport::from_violations(vec![
+                Violation::Shape {
+                    what: format!(
+                        "schedule length {length} does not match engine length {}",
+                        self.config.length()
+                    ),
+                },
+            ])));
+        }
+        VerifiedSchedule::verify(schedule)
     }
 
     /// Runs one SpMV over a cache-blocked [`BandedSchedule`]: bands are

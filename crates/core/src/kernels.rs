@@ -59,6 +59,9 @@
 //! loop it replaces.
 
 #![allow(unsafe_code)]
+// Every unsafe block must state the contract it discharges; enforced
+// mechanically (clippy) on top of the xtask lint.
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 pub use gust_sparse::kernels::{best_available, cpu_features, default_backend, Backend};
 

@@ -62,6 +62,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod schedule;
 pub mod serve;
+pub mod verify;
 
 pub use config::{ColoringAlgorithm, ConfigError, GustConfig, SchedulingPolicy};
 pub use engine::{Gust, GustRun};
@@ -76,6 +77,7 @@ pub use schedule::banded::{BandPlan, BandedSchedule, BandedWindow, ColumnBands};
 pub use schedule::scheduled::{ScheduledMatrix, ScheduledSlot, WindowSchedule};
 pub use schedule::tiled::TiledSchedule;
 pub use serve::{ScheduleRegistry, ServeConfig, SpmvServer};
+pub use verify::{AuditReport, Auditable, VerifiedSchedule, Violation};
 
 /// Common imports for working with this crate.
 pub mod prelude {
@@ -94,4 +96,5 @@ pub mod prelude {
         MatrixKey, Response, ScheduleKind, ScheduleRegistry, ServeConfig, ServeStats, SpmvServer,
         Ticket,
     };
+    pub use crate::verify::{AuditReport, Auditable, VerifiedSchedule, Violation};
 }

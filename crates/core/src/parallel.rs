@@ -254,6 +254,10 @@ mod pool {
         /// The caller's closure, type-erased (`*const F`).
         f: *const (),
         /// Monomorphized trampoline that re-types `f` and calls it.
+        /// SAFETY (of the fn-pointer type): callers must pass the same
+        /// `*const F` that `run` erased into `f`, still live — upheld
+        /// because only `drain_and_retire` calls it, before retiring
+        /// the ticket that keeps the run (and `f`) alive.
         call: unsafe fn(*const (), usize),
         /// Job tickets handed to the pool that have not yet finished.
         outstanding: Mutex<usize>,
@@ -272,6 +276,13 @@ mod pool {
     // and its lifetime is enforced by the completion protocol above.
     unsafe impl Send for Job {}
 
+    /// Re-types the erased closure pointer and invokes it for `task`.
+    ///
+    /// # Safety
+    ///
+    /// `f` must be the `*const F` produced by erasing the `&F` of the
+    /// `run` invocation this trampoline was monomorphized for, and that
+    /// reference must still be live (i.e. `run` has not returned).
     unsafe fn trampoline<F: Fn(usize) + Sync>(f: *const (), task: usize) {
         // SAFETY: `f` is the `&F` that `run` erased; `run` keeps it alive
         // until every ticket completed.

@@ -38,6 +38,7 @@
 use super::banded::{BandedSchedule, BandedWindow, ColumnBands};
 use super::scheduled::{ScheduledMatrix, WindowSchedule};
 use super::tiled::TiledSchedule;
+use crate::verify::{self, AuditReport, VerifiedSchedule};
 use gust_sparse::checksum::crc32;
 use gust_sparse::faults;
 use std::io::{self, Read, Write};
@@ -68,6 +69,23 @@ pub enum ReadScheduleError {
     /// truncated payload or checksum mismatch. Callers may quarantine
     /// the file and rebuild the schedule (see [`read_schedule_cached`]).
     Corrupt(String),
+    /// The bytes are intact (checksum valid) and structurally parseable,
+    /// but the schedule they encode violates the safety contract the
+    /// unsafe kernels rely on — a forged or wrongly-generated stream.
+    /// Treated exactly like [`Self::Corrupt`] by the cached loaders and
+    /// the serving registry: quarantined and rebuilt, never executed.
+    Audit(Box<AuditReport>),
+}
+
+impl ReadScheduleError {
+    /// Wraps audit violations with the tile index they were found in
+    /// (window indices inside a tile are tile-local).
+    fn in_tile(self, tile: usize) -> Self {
+        match self {
+            Self::Audit(report) => Self::Audit(Box::new(report.in_tile(tile))),
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for ReadScheduleError {
@@ -76,6 +94,7 @@ impl std::fmt::Display for ReadScheduleError {
             Self::Io(e) => write!(f, "io error: {e}"),
             Self::Format(m) => write!(f, "format error: {m}"),
             Self::Corrupt(m) => write!(f, "corrupt schedule: {m}"),
+            Self::Audit(report) => write!(f, "schedule failed the safety audit: {report}"),
         }
     }
 }
@@ -323,8 +342,17 @@ pub fn read_schedule<R: Read>(reader: R) -> Result<ScheduledMatrix, ReadSchedule
         )));
     }
     let mut windows = Vec::with_capacity(window_count);
-    for _ in 0..window_count {
-        windows.push(read_window(&mut reader, length, cols)?);
+    let mut scratch = verify::Scratch::new(length);
+    for w in 0..window_count {
+        let window_rows = (rows - (w * length).min(rows)).min(length);
+        windows.push(read_window(
+            &mut reader,
+            length,
+            cols,
+            w,
+            window_rows,
+            &mut scratch,
+        )?);
     }
     if !reader.is_empty() {
         return Err(ReadScheduleError::Format(format!(
@@ -337,30 +365,39 @@ pub fn read_schedule<R: Read>(reader: R) -> Result<ScheduledMatrix, ReadSchedule
     ))
 }
 
-/// Reads a row permutation, validating every entry is `< rows` so a
-/// corrupt stream surfaces as a format error rather than a construction
-/// panic.
+/// Reads a row permutation, auditing that it is a true permutation of
+/// `0..rows` (bounds *and* duplicate-free — a duplicate would scatter
+/// two scheduled positions into one output row concurrently) so a forged
+/// stream surfaces as an audit rejection rather than a construction
+/// panic or a data race.
 fn read_row_perm<R: Read>(reader: &mut R, rows: usize) -> Result<Vec<u32>, ReadScheduleError> {
     let mut row_perm = Vec::with_capacity(rows.min(1 << 20));
     for _ in 0..rows {
-        let orig = read_u32(reader)?;
-        if orig as usize >= rows {
-            return Err(ReadScheduleError::Format(format!(
-                "row permutation entry {orig} out of range for {rows} rows"
-            )));
-        }
-        row_perm.push(orig);
+        row_perm.push(read_u32(reader)?);
+    }
+    let mut violations = Vec::new();
+    verify::audit_row_perm(&row_perm, rows, &mut violations);
+    if !violations.is_empty() {
+        return Err(ReadScheduleError::Audit(Box::new(
+            AuditReport::from_violations(violations),
+        )));
     }
     Ok(row_perm)
 }
 
-/// Reads one window block (header + dense cell grid), validating the
-/// engine's bounds invariants so a corrupt stream surfaces as a format
-/// error rather than a panic in the SIMD kernels.
+/// Reads one window block (header + dense cell grid), then audits the
+/// raw SoA arrays against the full safety contract (bounds, ragged-row
+/// adder limit, intra-color write-disjointness) **before** any
+/// constructor runs. Constructors only `debug_assert` these invariants,
+/// so the audit here is what keeps a checksum-valid forged stream out of
+/// the unsafe SIMD kernels in release builds.
 fn read_window<R: Read>(
     reader: &mut R,
     length: usize,
     cols: usize,
+    window_index: usize,
+    window_rows: usize,
+    scratch: &mut verify::Scratch,
 ) -> Result<WindowSchedule, ReadScheduleError> {
     let colors = read_u32(reader)?;
     let vizing = read_u32(reader)?;
@@ -387,21 +424,6 @@ fn read_window<R: Read>(
                     let value = f32::from_le_bytes(read_array(reader)?);
                     let row_mod = read_u32(reader)?;
                     let col = read_u32(reader)?;
-                    if row_mod as usize >= length {
-                        return Err(ReadScheduleError::Format(format!(
-                            "row_mod {row_mod} out of range for length {length}"
-                        )));
-                    }
-                    // The execution engine's SIMD gathers treat
-                    // in-bounds columns as a schedule invariant
-                    // (`ScheduledMatrix::from_parts` re-asserts it);
-                    // a corrupt stream must surface as a format
-                    // error here, not a panic there.
-                    if col as usize >= cols {
-                        return Err(ReadScheduleError::Format(format!(
-                            "column {col} out of range for {cols} columns"
-                        )));
-                    }
                     lanes.push(lane as u32);
                     row_mods.push(row_mod);
                     cols_arr.push(col);
@@ -415,6 +437,25 @@ fn read_window<R: Read>(
             }
         }
         color_ptr.push(lanes.len() as u32);
+    }
+    let mut violations = Vec::new();
+    verify::audit_window_soa(
+        window_index,
+        colors,
+        &color_ptr,
+        &lanes,
+        &row_mods,
+        &cols_arr,
+        length,
+        window_rows,
+        cols,
+        scratch,
+        &mut violations,
+    );
+    if !violations.is_empty() {
+        return Err(ReadScheduleError::Audit(Box::new(
+            AuditReport::from_violations(violations),
+        )));
     }
     Ok(WindowSchedule::from_soa(
         colors, vizing, stalls, color_ptr, lanes, row_mods, cols_arr, values,
@@ -500,11 +541,29 @@ fn read_banded_body<R: Read>(
         )));
     }
     let mut windows = Vec::with_capacity(window_count);
-    for _ in 0..window_count {
-        let window = read_window(reader, length, cols)?;
+    let mut scratch = verify::Scratch::new(length);
+    for w in 0..window_count {
+        let window_rows = (rows - (w * length).min(rows)).min(length);
+        let window = read_window(reader, length, cols, w, window_rows, &mut scratch)?;
         let mut band_slot_ptr = Vec::with_capacity(bands.count() + 1);
         for _ in 0..=bands.count() {
             band_slot_ptr.push(read_u32(reader)?);
+        }
+        // Audit the band slot pointers and per-band column containment on
+        // the raw arrays before `from_merged` derives the band-local
+        // staging offsets from them.
+        let mut violations = Vec::new();
+        verify::audit_banded_window(
+            w,
+            &band_slot_ptr,
+            bands.starts(),
+            window.cols(),
+            &mut violations,
+        );
+        if !violations.is_empty() {
+            return Err(ReadScheduleError::Audit(Box::new(
+                AuditReport::from_violations(violations),
+            )));
         }
         let banded = BandedWindow::from_merged(window, band_slot_ptr, bands.starts())
             .map_err(ReadScheduleError::Format)?;
@@ -566,7 +625,9 @@ pub fn read_tiled_schedule<R: Read>(reader: R) -> Result<TiledSchedule, ReadSche
     let mut tiles = Vec::with_capacity(tile_count);
     for t in 0..tile_count {
         let tile_rows = (row_starts[t + 1] - row_starts[t]) as usize;
-        tiles.push(read_banded_body(&mut reader, length, tile_rows, cols)?);
+        tiles.push(
+            read_banded_body(&mut reader, length, tile_rows, cols).map_err(|e| e.in_tile(t))?,
+        );
     }
     if !reader.is_empty() {
         return Err(ReadScheduleError::Format(format!(
@@ -679,6 +740,48 @@ pub fn write_tiled_schedule_file(
     write_file_atomic(path.as_ref(), |w| write_tiled_schedule(schedule, w))
 }
 
+/// Reads a flat schedule from `path` and wraps it as a
+/// [`VerifiedSchedule`] witness.
+///
+/// The wrap is free: [`read_schedule`] already audits the raw arrays of
+/// every window (and the row permutation) unconditionally — release
+/// builds included — before any constructor runs, so every schedule a
+/// reader returns has passed the full safety audit. This is the
+/// once-per-admission point where disk bytes earn the right to flow
+/// into the unsafe kernels.
+///
+/// # Errors
+///
+/// As [`read_schedule_file`]; a contract violation in an intact stream
+/// is [`ReadScheduleError::Audit`].
+pub fn read_schedule_file_verified(
+    path: impl AsRef<Path>,
+) -> Result<VerifiedSchedule<ScheduledMatrix>, ReadScheduleError> {
+    read_schedule_file(path).map(VerifiedSchedule::witness)
+}
+
+/// As [`read_schedule_file_verified`], for banded schedules.
+///
+/// # Errors
+///
+/// As [`read_banded_schedule_file`].
+pub fn read_banded_schedule_file_verified(
+    path: impl AsRef<Path>,
+) -> Result<VerifiedSchedule<BandedSchedule>, ReadScheduleError> {
+    read_banded_schedule_file(path).map(VerifiedSchedule::witness)
+}
+
+/// As [`read_schedule_file_verified`], for tiled schedules.
+///
+/// # Errors
+///
+/// As [`read_tiled_schedule_file`].
+pub fn read_tiled_schedule_file_verified(
+    path: impl AsRef<Path>,
+) -> Result<VerifiedSchedule<TiledSchedule>, ReadScheduleError> {
+    read_tiled_schedule_file(path).map(VerifiedSchedule::witness)
+}
+
 /// The shared load-or-rebuild policy behind the `*_cached` helpers:
 /// serve `path` when it holds an intact container; quarantine it (rename
 /// to `<path>.corrupt`) when it is damaged; in every failure case fall
@@ -694,15 +797,17 @@ fn cached_schedule<T>(
     if path.exists() {
         match read(path) {
             Ok(schedule) => return schedule,
-            Err(ReadScheduleError::Corrupt(why)) => {
+            // Damaged bytes and checksum-valid-but-forged contents take
+            // the same quarantine path: keep the evidence, never execute.
+            Err(err @ (ReadScheduleError::Corrupt(_) | ReadScheduleError::Audit(_))) => {
                 match gust_sparse::io::quarantine_corrupt(path) {
                     Some(dest) => eprintln!(
-                        "warning: quarantined corrupt schedule cache {} -> {} ({why})",
+                        "warning: quarantined corrupt schedule cache {} -> {} ({err})",
                         path.display(),
                         dest.display()
                     ),
                     None => eprintln!(
-                        "warning: removed corrupt schedule cache {} ({why})",
+                        "warning: removed corrupt schedule cache {} ({err})",
                         path.display()
                     ),
                 }

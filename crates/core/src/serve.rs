@@ -50,19 +50,38 @@
 //! assert_vectors_close(&resp.output, &csr.spmv(&x), 1e-4);
 //! ```
 
+// The serving layer must never deny service over a recoverable local
+// failure: no `unwrap` panics in production paths (the tests module is
+// exempted below).
+#![deny(clippy::unwrap_used)]
+
 use crate::engine::Gust;
 use crate::error::GustError;
 use crate::schedule::banded::BandedSchedule;
 use crate::schedule::scheduled::ScheduledMatrix;
 use crate::schedule::serialize;
 use crate::schedule::tiled::TiledSchedule;
+use crate::verify::{AuditReport, Auditable, VerifiedSchedule};
 use gust_sparse::{faults, CsrMatrix};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering the guard when the lock is poisoned.
+///
+/// A poisoned lock means some thread panicked while holding it. Every
+/// critical section in this module leaves its guarded state consistent
+/// at every await-free step (counters bumped atomically under the lock,
+/// queue entries pushed/popped whole), and the serving layer's contract
+/// is to keep serving after a *contained* panic — so the right response
+/// to poison here is to keep going, not to cascade the panic into every
+/// client thread.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Double-precision row-order reference SpMV over a genuinely `f64`
 /// input vector.
@@ -211,6 +230,16 @@ impl PreparedSchedule {
     }
 }
 
+impl Auditable for PreparedSchedule {
+    fn audit(&self) -> AuditReport {
+        match self {
+            Self::Flat(s) => s.audit(),
+            Self::Banded(s) => s.audit(),
+            Self::Tiled(s) => s.audit(),
+        }
+    }
+}
+
 /// Jittered exponential retry/backoff policy for transient faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -286,8 +315,11 @@ enum Breaker {
 /// What [`ScheduleRegistry::acquire`] hands back.
 #[derive(Debug, Clone)]
 pub enum Acquired {
-    /// The fast path: a memoized prepared schedule.
-    Scheduled(Arc<PreparedSchedule>),
+    /// The fast path: a memoized prepared schedule, carrying the
+    /// [`VerifiedSchedule`] witness that its safety contract was
+    /// audited at admission (disk loads) or established at
+    /// construction (in-process builds).
+    Scheduled(Arc<VerifiedSchedule<PreparedSchedule>>),
     /// The breaker is open (or the build exhausted its retries):
     /// serve this request through the reference kernel.
     Degraded,
@@ -306,6 +338,11 @@ pub struct RegistryStats {
     pub rebuilds: u64,
     /// Corrupt cache containers quarantined on disk.
     pub quarantined: u64,
+    /// Disk loads rejected by the schedule safety auditor
+    /// ([`crate::verify`]): checksum-valid containers whose decoded
+    /// contents violate the kernels' safety contract. Each is also
+    /// counted in `quarantined` and treated as a miss (rebuilt).
+    pub audit_rejects: u64,
     /// In-RAM entries evicted as poisoned (corrupt disk mirror, or
     /// [`ScheduleRegistry::poison`] after an execution failure).
     pub poisoned_evictions: u64,
@@ -321,7 +358,7 @@ pub struct RegistryStats {
 /// A registered matrix plus its memoized schedule and breaker state.
 struct Entry {
     matrix: Arc<CsrMatrix>,
-    schedule: Option<Arc<PreparedSchedule>>,
+    schedule: Option<Arc<VerifiedSchedule<PreparedSchedule>>>,
     breaker: Breaker,
 }
 
@@ -425,7 +462,7 @@ impl ScheduleRegistry {
     /// schedule is built lazily on first [`ScheduleRegistry::acquire`].
     pub fn insert(&self, matrix: &CsrMatrix) -> MatrixKey {
         let key = content_hash(matrix);
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         inner.entries.entry(key.0).or_insert_with(|| Entry {
             matrix: Arc::new(matrix.clone()),
             schedule: None,
@@ -438,14 +475,14 @@ impl ScheduleRegistry {
     /// The registered matrix for `key`, if any.
     #[must_use]
     pub fn matrix(&self, key: MatrixKey) -> Option<Arc<CsrMatrix>> {
-        let inner = self.inner.lock().expect("registry lock poisoned");
+        let inner = lock_recover(&self.inner);
         inner.entries.get(&key.0).map(|e| Arc::clone(&e.matrix))
     }
 
     /// Snapshot of the cumulative registry counters.
     #[must_use]
     pub fn stats(&self) -> RegistryStats {
-        self.inner.lock().expect("registry lock poisoned").stats
+        lock_recover(&self.inner).stats
     }
 
     /// Evicts `key`'s memoized schedule as poisoned (e.g. after it
@@ -454,7 +491,7 @@ impl ScheduleRegistry {
     /// matrix degrades to the reference kernel until the cooldown
     /// elapses.
     pub fn poison(&self, key: MatrixKey) {
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         let breaker = self.breaker;
         if let Some(entry) = inner.entries.get_mut(&key.0) {
             if entry.schedule.take().is_some() {
@@ -527,7 +564,7 @@ impl ScheduleRegistry {
     /// degrades instead of erroring.
     pub fn acquire(&self, key: MatrixKey) -> Result<Acquired, GustError> {
         let matrix = {
-            let mut inner = self.inner.lock().expect("registry lock poisoned");
+            let mut inner = lock_recover(&self.inner);
             let Some(entry) = inner.entries.get_mut(&key.0) else {
                 return Err(GustError::UnknownMatrix { key: key.0 });
             };
@@ -559,7 +596,7 @@ impl ScheduleRegistry {
         // the memo store below is idempotent.
         if let Some(schedule) = self.try_disk_load(key, &matrix) {
             let schedule = Arc::new(schedule);
-            let mut inner = self.inner.lock().expect("registry lock poisoned");
+            let mut inner = lock_recover(&self.inner);
             inner.stats.disk_loads += 1;
             Self::record_success(&mut inner, key);
             if let Some(entry) = inner.entries.get_mut(&key.0) {
@@ -571,13 +608,12 @@ impl ScheduleRegistry {
 
         match self.build_with_retry(key, &matrix) {
             Some(schedule) => {
-                let schedule = Arc::new(schedule);
                 if let Some(path) = self.cache_path(key) {
                     if let Some(dir) = path.parent() {
                         let _ = std::fs::create_dir_all(dir);
                     }
                     // Best-effort write-back; serving never depends on it.
-                    let _ = match &*schedule {
+                    let _ = match &schedule {
                         PreparedSchedule::Flat(s) => serialize::write_schedule_file(s, &path),
                         PreparedSchedule::Banded(s) => {
                             serialize::write_banded_schedule_file(s, &path)
@@ -587,7 +623,12 @@ impl ScheduleRegistry {
                         }
                     };
                 }
-                let mut inner = self.inner.lock().expect("registry lock poisoned");
+                // Construction-trusted: the scheduler's output satisfies
+                // the contract by construction (and is exercised by the
+                // engine's own validation tests), so the witness is
+                // issued without a redundant audit on the hot path.
+                let schedule = Arc::new(VerifiedSchedule::witness(schedule));
+                let mut inner = lock_recover(&self.inner);
                 inner.stats.rebuilds += 1;
                 Self::record_success(&mut inner, key);
                 if let Some(entry) = inner.entries.get_mut(&key.0) {
@@ -597,7 +638,7 @@ impl ScheduleRegistry {
                 Ok(Acquired::Scheduled(schedule))
             }
             None => {
-                let mut inner = self.inner.lock().expect("registry lock poisoned");
+                let mut inner = lock_recover(&self.inner);
                 Self::record_failure(&mut inner, key, self.breaker);
                 drop(inner);
                 Ok(Acquired::Degraded)
@@ -606,22 +647,31 @@ impl ScheduleRegistry {
     }
 
     /// Attempts to revive `key`'s schedule from the disk cache.
-    /// Corrupt containers are quarantined on disk and mirrored as a
-    /// poisoned-entry eviction in the stats; shape-mismatched or stale
-    /// containers are simply ignored (the rebuild overwrites them).
-    fn try_disk_load(&self, key: MatrixKey, matrix: &CsrMatrix) -> Option<PreparedSchedule> {
+    /// Corrupt containers — damaged bytes *and* checksum-valid files
+    /// the safety auditor rejects — are quarantined on disk and
+    /// mirrored as a poisoned-entry eviction in the stats;
+    /// shape-mismatched or stale containers are simply ignored (the
+    /// rebuild overwrites them).
+    fn try_disk_load(
+        &self,
+        key: MatrixKey,
+        matrix: &CsrMatrix,
+    ) -> Option<VerifiedSchedule<PreparedSchedule>> {
         let path = self.cache_path(key)?;
         if !path.exists() {
             return None;
         }
+        // The `_verified` readers audit every container unconditionally,
+        // so re-wrapping the witness around the `PreparedSchedule`
+        // variant is sound: the inner schedule is exactly the audited
+        // one, moved unmodified.
         let loaded = match self.kind {
-            ScheduleKind::Flat => serialize::read_schedule_file(&path).map(PreparedSchedule::Flat),
-            ScheduleKind::Banded => {
-                serialize::read_banded_schedule_file(&path).map(PreparedSchedule::Banded)
-            }
-            ScheduleKind::Tiled => {
-                serialize::read_tiled_schedule_file(&path).map(PreparedSchedule::Tiled)
-            }
+            ScheduleKind::Flat => serialize::read_schedule_file_verified(&path)
+                .map(|v| VerifiedSchedule::witness(PreparedSchedule::Flat(v.into_inner()))),
+            ScheduleKind::Banded => serialize::read_banded_schedule_file_verified(&path)
+                .map(|v| VerifiedSchedule::witness(PreparedSchedule::Banded(v.into_inner()))),
+            ScheduleKind::Tiled => serialize::read_tiled_schedule_file_verified(&path)
+                .map(|v| VerifiedSchedule::witness(PreparedSchedule::Tiled(v.into_inner()))),
         };
         match loaded {
             Ok(schedule) => {
@@ -630,19 +680,26 @@ impl ScheduleRegistry {
                     && schedule.cols() == matrix.cols();
                 fits.then_some(schedule)
             }
-            Err(serialize::ReadScheduleError::Corrupt(why)) => {
-                let mut inner = self.inner.lock().expect("registry lock poisoned");
+            Err(
+                err @ (serialize::ReadScheduleError::Corrupt(_)
+                | serialize::ReadScheduleError::Audit(_)),
+            ) => {
+                let audit = matches!(err, serialize::ReadScheduleError::Audit(_));
+                let mut inner = lock_recover(&self.inner);
                 inner.stats.quarantined += 1;
                 inner.stats.poisoned_evictions += 1;
+                if audit {
+                    inner.stats.audit_rejects += 1;
+                }
                 drop(inner);
                 match gust_sparse::io::quarantine_corrupt(&path) {
                     Some(dest) => eprintln!(
-                        "warning: quarantined corrupt schedule cache {} -> {} ({why})",
+                        "warning: quarantined corrupt schedule cache {} -> {} ({err})",
                         path.display(),
                         dest.display()
                     ),
                     None => eprintln!(
-                        "warning: removed corrupt schedule cache {} ({why})",
+                        "warning: removed corrupt schedule cache {} ({err})",
                         path.display()
                     ),
                 }
@@ -666,7 +723,7 @@ impl ScheduleRegistry {
             if let Some(schedule) = built {
                 return Some(schedule);
             }
-            let mut inner = self.inner.lock().expect("registry lock poisoned");
+            let mut inner = lock_recover(&self.inner);
             inner.stats.build_failures += 1;
             drop(inner);
             if attempt + 1 < self.retry.attempts.max(1) {
@@ -761,7 +818,7 @@ impl<T> Slot<T> {
     /// Delivers `result`; `true` when the client was still waiting,
     /// `false` when it had already abandoned the slot.
     fn complete(&self, result: Result<Response<T>, GustError>) -> bool {
-        let mut state = self.state.lock().expect("slot lock poisoned");
+        let mut state = lock_recover(&self.state);
         let delivered = match *state {
             SlotState::Pending => {
                 *state = SlotState::Done(result);
@@ -801,7 +858,7 @@ impl<T> Ticket<T> {
     /// server shut down with the request still queued; plus whatever
     /// error the dispatcher delivered.
     pub fn wait(self) -> Result<Response<T>, GustError> {
-        let mut state = self.slot.state.lock().expect("slot lock poisoned");
+        let mut state = lock_recover(&self.slot.state);
         loop {
             match std::mem::replace(&mut *state, SlotState::Pending) {
                 SlotState::Done(result) => return result,
@@ -817,7 +874,7 @@ impl<T> Ticket<T> {
                 .slot
                 .cv
                 .wait_timeout(state, self.deadline - now)
-                .expect("slot lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             state = s;
         }
     }
@@ -921,7 +978,7 @@ struct QueueState {
 
 impl ServerShared {
     fn bump(&self, f: impl FnOnce(&mut ServeStats)) {
-        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        let mut stats = lock_recover(&self.stats);
         f(&mut stats);
         drop(stats);
     }
@@ -967,7 +1024,7 @@ impl SpmvServer {
             std::thread::Builder::new()
                 .name("gust-serve".into())
                 .spawn(move || dispatch_loop(&shared))
-                .expect("failed to spawn gust-serve dispatcher")
+                .unwrap_or_else(|e| panic!("failed to spawn gust-serve dispatcher: {e}"))
         };
         Self {
             shared,
@@ -989,13 +1046,13 @@ impl SpmvServer {
     /// Snapshot of the cumulative serving counters.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        *self.shared.stats.lock().expect("stats lock poisoned")
+        *lock_recover(&self.shared.stats)
     }
 
     /// Requests currently queued across all tenants.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        let queues = self.shared.queues.lock().expect("queue lock poisoned");
+        let queues = lock_recover(&self.shared.queues);
         queues.tenants.values().map(VecDeque::len).sum()
     }
 
@@ -1094,7 +1151,7 @@ impl SpmvServer {
             slot: Arc::clone(&slot),
         };
 
-        let mut queues = self.shared.queues.lock().expect("queue lock poisoned");
+        let mut queues = lock_recover(&self.shared.queues);
         if queues.stop {
             drop(queues);
             self.shared.bump(|s| s.shed += 1);
@@ -1121,7 +1178,7 @@ impl SpmvServer {
     /// [`GustError::ServerStopped`]. Idempotent; also run by `Drop`.
     pub fn stop(&mut self) {
         {
-            let mut queues = self.shared.queues.lock().expect("queue lock poisoned");
+            let mut queues = lock_recover(&self.shared.queues);
             queues.stop = true;
             drop(queues);
             self.shared.wake.notify_all();
@@ -1143,7 +1200,7 @@ impl Drop for SpmvServer {
 fn dispatch_loop(shared: &ServerShared) {
     loop {
         let batch = {
-            let mut queues = shared.queues.lock().expect("queue lock poisoned");
+            let mut queues = lock_recover(&shared.queues);
             loop {
                 if queues.tenants.values().any(|q| !q.is_empty()) {
                     break;
@@ -1151,7 +1208,10 @@ fn dispatch_loop(shared: &ServerShared) {
                 if queues.stop {
                     return;
                 }
-                queues = shared.wake.wait(queues).expect("queue lock poisoned");
+                queues = shared
+                    .wake
+                    .wait(queues)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             collect_batch(&mut queues, shared.config.max_batch)
         };
@@ -1249,8 +1309,10 @@ fn collect_batch(queues: &mut QueueState, max_batch: usize) -> Vec<Work> {
                 continue;
             };
             if queue.front().is_some_and(|w| batch[0].compatible(w)) {
-                batch.push(queue.pop_front().expect("front checked"));
-                took = true;
+                if let Some(work) = queue.pop_front() {
+                    batch.push(work);
+                    took = true;
+                }
             }
         }
         if !took || batch.len() >= max_batch {
@@ -1325,7 +1387,7 @@ fn execute_panel<T: Copy>(
         let retry = shared.config.retry;
         for attempt in 0..retry.attempts.max(1) {
             let result = catch_unwind(AssertUnwindSafe(|| {
-                execute(&engine, schedule.as_ref(), &panel, batch)
+                execute(&engine, schedule.get(), &panel, batch)
             }));
             match result {
                 Ok(Ok(y)) => {
@@ -1427,6 +1489,7 @@ fn reference_f32(matrix: &CsrMatrix, x: &[f32]) -> Vec<f32> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::config::GustConfig;

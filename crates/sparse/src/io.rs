@@ -545,22 +545,34 @@ pub fn read_bin_with_fingerprint<R: Read>(
     let cols = to_usize(cols64, "column count")?;
     to_usize(nnz64, "nnz")?;
 
+    // `chunks_exact(N)` yields exactly-N-byte slices; the copy into a
+    // fixed array cannot come up short, so no fallible conversion here.
+    let word8 = |c: &[u8]| {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        w
+    };
+    let word4 = |c: &[u8]| {
+        let mut w = [0u8; 4];
+        w.copy_from_slice(c);
+        w
+    };
     let indptr_bytes = read_chunked(&mut payload, (rows64 + 1) * 8, "indptr")?;
     let indptr: Vec<usize> = indptr_bytes
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as usize)
+        .map(|c| u64::from_le_bytes(word8(c)) as usize)
         .collect();
     drop(indptr_bytes);
     let indices_bytes = read_chunked(&mut payload, nnz64 * 4, "indices")?;
     let indices: Vec<u32> = indices_bytes
         .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .map(|c| u32::from_le_bytes(word4(c)))
         .collect();
     drop(indices_bytes);
     let values_bytes = read_chunked(&mut payload, nnz64 * 4, "values")?;
     let values: Vec<f32> = values_bytes
         .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .map(|c| f32::from_le_bytes(word4(c)))
         .collect();
     drop(values_bytes);
 

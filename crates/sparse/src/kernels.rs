@@ -51,6 +51,9 @@
 //!   validates schedules at assembly — see the per-function comments).
 
 #![allow(unsafe_code)]
+// Every unsafe block must state the contract it discharges; enforced
+// mechanically (clippy) on top of the xtask lint.
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 use crate::csr::CsrMatrix;
 

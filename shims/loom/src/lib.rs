@@ -1,0 +1,65 @@
+//! Workspace-local, dependency-free stand-in for the subset of the
+//! `loom` model checker this repository's concurrency tests use.
+//!
+//! The build environment has no network registry. Real loom replaces
+//! `std::sync` with instrumented types and exhaustively explores every
+//! allowed interleaving of a bounded model; this shim keeps the exact
+//! same test-side API (`loom::model`, `loom::thread`, `loom::sync::*`)
+//! but backs it with `std` primitives and **repeated stress
+//! iterations**, so the same `#[cfg(loom)]` test files compile and run
+//! unmodified against either implementation. Swapping in the real
+//! crate later is a one-line `Cargo.toml` change — the models
+//! themselves stay loom-shaped (bounded thread counts, no
+//! std-only blocking primitives inside the closure).
+//!
+//! Coverage difference to be aware of: stress iterations sample the
+//! interleaving space probabilistically instead of enumerating it.
+//! `LOOM_MAX_PREEMPTIONS`-style tuning is ignored; the iteration count
+//! comes from `LOOM_SHIM_ITERS` (default 200).
+//!
+//! Provided surface:
+//!
+//! * [`model`] — runs the closure `LOOM_SHIM_ITERS` times
+//! * [`thread::spawn`] / [`thread::yield_now`]
+//! * [`sync`]: `Arc`, `Mutex`, `Condvar`, and `sync::atomic::*`
+//!   re-exported from `std` (loom's lock API differs from std's only
+//!   in poisoning details the tests do not rely on)
+
+#![forbid(unsafe_code)]
+
+/// Runs `f` repeatedly as a stress surrogate for loom's exhaustive
+/// interleaving exploration.
+///
+/// Each iteration spawns fresh state inside the closure exactly as a
+/// real loom model does. The iteration count is `LOOM_SHIM_ITERS`
+/// (default 200) so CI can dial the stress level without recompiling.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(200)
+        .max(1);
+    for _ in 0..iters {
+        f();
+    }
+}
+
+/// Thread handling: loom's `thread` module, std-backed.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Synchronization primitives: loom's `sync` module, std-backed.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    /// Atomics, as `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
